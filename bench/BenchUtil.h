@@ -1,0 +1,84 @@
+//===- bench/BenchUtil.h - Shared benchmark scaffolding ---------*- C++ -*-===//
+///
+/// \file
+/// Small helpers shared by the experiment binaries: level setup with an
+/// installed certified collector, a run-to-halt driver, and fixed-width
+/// table printing. Each experiment binary prints the paper claim it
+/// reproduces, the measured series, and a PASS/FAIL verdict on the claim's
+/// *shape* (EXPERIMENTS.md records the outputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_BENCH_BENCHUTIL_H
+#define SCAV_BENCH_BENCHUTIL_H
+
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
+#include "harness/HeapForge.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+namespace scav::bench {
+
+using namespace scav::gc;
+using namespace scav::harness;
+
+/// A machine with the level's certified collector installed and a data
+/// region (plus an old region at the Generational level).
+struct Setup {
+  std::unique_ptr<GcContext> C;
+  std::unique_ptr<Machine> M;
+  Address GcAddr{};
+  Region R, Old;
+
+  explicit Setup(LanguageLevel Level, MachineConfig Cfg = {}) {
+    C = std::make_unique<GcContext>();
+    M = std::make_unique<Machine>(*C, Level, Cfg);
+    switch (Level) {
+    case LanguageLevel::Base:
+      GcAddr = installBasicCollector(*M).Gc;
+      break;
+    case LanguageLevel::Forward:
+      GcAddr = installForwardCollector(*M).Gc;
+      break;
+    case LanguageLevel::Generational:
+      GcAddr = installGenCollector(*M).Gc;
+      break;
+    }
+    R = M->createRegion("from", 0);
+    Old = Level == LanguageLevel::Generational
+              ? M->createRegion("old", 0)
+              : R;
+  }
+
+  /// Runs one certified collection of \p H; returns false on failure.
+  bool collectOnce(const ForgedHeap &H, uint64_t MaxSteps = 50'000'000) {
+    Address Fin = installFinisher(*M, H.Tag);
+    const Term *E = collectOnceTerm(*M, GcAddr, H, R, Old, Fin);
+    M->start(E);
+    M->run(MaxSteps);
+    if (M->status() != Machine::Status::Halted) {
+      std::fprintf(stderr, "collection failed: %s\n",
+                   M->stuckReason().c_str());
+      return false;
+    }
+    return true;
+  }
+};
+
+inline double secondsSince(
+    const std::chrono::steady_clock::time_point &T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+inline void verdict(bool Ok, const char *Claim) {
+  std::printf("%s: %s\n", Ok ? "PASS" : "FAIL", Claim);
+}
+
+} // namespace scav::bench
+
+#endif // SCAV_BENCH_BENCHUTIL_H

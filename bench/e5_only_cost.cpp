@@ -1,0 +1,88 @@
+//===- bench/e5_only_cost.cpp - E5: `only` deallocation cost (§4.1/§6.4) --===//
+//
+// Paper claim: "Deallocation of a region is implicit since only lists the
+// regions that should be kept... at the cost of a more expensive
+// deallocation operation (only needs to go through the list of all
+// regions)... Since this number is usually small, it entails an
+// insignificant runtime penalty."
+//
+// Measured with google-benchmark: the cost of an `only` machine step as a
+// function of (a) the number of regions and (b) the number of cells per
+// region. The claim's shape: linear in the region count, independent of
+// cell count (reclamation drops whole regions without touching cells —
+// modulo allocator free costs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Builder.h"
+#include "gc/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+void BM_OnlyByRegionCount(benchmark::State &State) {
+  int64_t NumRegions = State.range(0);
+  for (auto _ : State) {
+    GcContext C;
+    Machine M(C, LanguageLevel::Base);
+    RegionSet Keep;
+    for (int64_t I = 0; I != NumRegions; ++I) {
+      Region R = M.createRegion("r", 0);
+      if (I == 0)
+        Keep.insert(R);
+      M.memory().put(R.sym(), C.valInt(7));
+    }
+    const Term *E = C.termOnly(Keep, C.termHalt(C.valInt(0)));
+    M.start(E);
+    auto T0 = std::chrono::steady_clock::now();
+    M.step(); // the only-step under measurement
+    State.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count());
+    benchmark::DoNotOptimize(M.memory().numRegions());
+  }
+  State.SetComplexityN(NumRegions);
+}
+
+void BM_OnlyByCellCount(benchmark::State &State) {
+  int64_t CellsPerRegion = State.range(0);
+  for (auto _ : State) {
+    GcContext C;
+    Machine M(C, LanguageLevel::Base);
+    RegionSet Keep;
+    for (int64_t I = 0; I != 8; ++I) {
+      Region R = M.createRegion("r", 0);
+      if (I == 0)
+        Keep.insert(R);
+      for (int64_t J = 0; J != CellsPerRegion; ++J)
+        M.memory().put(R.sym(), C.valInt(J));
+    }
+    const Term *E = C.termOnly(Keep, C.termHalt(C.valInt(0)));
+    M.start(E);
+    auto T0 = std::chrono::steady_clock::now();
+    M.step();
+    State.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count());
+    benchmark::DoNotOptimize(M.memory().numRegions());
+  }
+  State.SetComplexityN(CellsPerRegion);
+}
+
+// Fixed iteration counts: the timed section is tiny (one machine step)
+// while per-iteration setup is not, so letting the library run to its
+// default min-time would take minutes.
+BENCHMARK(BM_OnlyByRegionCount)->RangeMultiplier(4)->Range(4, 1024)
+    ->UseManualTime()->Iterations(300)->Complexity(benchmark::oN);
+BENCHMARK(BM_OnlyByCellCount)->RangeMultiplier(4)->Range(16, 4096)
+    ->UseManualTime()->Iterations(300);
+
+} // namespace
+
+BENCHMARK_MAIN();

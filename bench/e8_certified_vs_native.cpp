@@ -1,0 +1,80 @@
+//===- bench/e8_certified_vs_native.cpp - E8: the price of certification --===//
+//
+// Not a claim from the paper but its elephant in the room: our certified
+// collectors run *inside* the λGC machine (every collector instruction is
+// an interpreted, substitution-based small step), while a production
+// collector is native code. This benchmark quantifies that gap on the same
+// heaps with the same semantics (the native collector is the
+// sharing-preserving oracle of gc/NativeCollector.h).
+//
+// google-benchmark: per-collection time, certified (Base and Forward
+// levels, type tracking off for fairness) vs native, over list heaps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "gc/NativeCollector.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace scav;
+using namespace scav::bench;
+using namespace scav::gc;
+
+namespace {
+
+void BM_CertifiedCollect(benchmark::State &State, LanguageLevel Level) {
+  int64_t N = State.range(0);
+  for (auto _ : State) {
+    State.PauseTiming();
+    MachineConfig Cfg;
+    Cfg.TrackTypes = false; // measure the collector, not Ψ bookkeeping
+    Setup S(Level, Cfg);
+    ForgedHeap H = forgeList(*S.M, S.R, S.Old, static_cast<size_t>(N));
+    Address Fin = installFinisher(*S.M, H.Tag);
+    const Term *E = collectOnceTerm(*S.M, S.GcAddr, H, S.R, S.Old, Fin);
+    S.M->start(E);
+    State.ResumeTiming();
+    S.M->run(100'000'000);
+    benchmark::DoNotOptimize(S.M->memory().liveDataCells());
+    if (S.M->status() != Machine::Status::Halted)
+      State.SkipWithError("certified collection did not halt");
+  }
+  State.SetItemsProcessed(State.iterations() * N * 2); // cells collected
+}
+
+void BM_NativeCollect(benchmark::State &State) {
+  int64_t N = State.range(0);
+  for (auto _ : State) {
+    State.PauseTiming();
+    GcContext C;
+    MachineConfig Cfg;
+    Cfg.TrackTypes = false;
+    Machine M(C, LanguageLevel::Base, Cfg);
+    Region R = M.createRegion("from", 0);
+    ForgedHeap H = forgeList(M, R, R, static_cast<size_t>(N));
+    NativeGcStats Stats;
+    State.ResumeTiming();
+    nativeCollect(M, H.Root, R, /*PreserveSharing=*/true, Stats);
+    benchmark::DoNotOptimize(Stats.ObjectsCopied);
+  }
+  State.SetItemsProcessed(State.iterations() * N * 2);
+}
+
+void CertifiedBase(benchmark::State &S) {
+  BM_CertifiedCollect(S, LanguageLevel::Base);
+}
+void CertifiedForward(benchmark::State &S) {
+  BM_CertifiedCollect(S, LanguageLevel::Forward);
+}
+
+BENCHMARK(CertifiedBase)->RangeMultiplier(4)->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(CertifiedForward)->RangeMultiplier(4)->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NativeCollect)->RangeMultiplier(4)->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

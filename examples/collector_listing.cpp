@@ -1,0 +1,69 @@
+//===- examples/collector_listing.cpp - Print the certified collectors ----===//
+//
+// Renders the λGC source of a certified collector (the executable analogue
+// of the paper's Figs 9, 11 and 12) together with its certification
+// verdict. Pass `basic`, `forward`, or `gen`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace scav;
+using namespace scav::gc;
+
+int main(int argc, char **argv) {
+  const char *Which = argc > 1 ? argv[1] : "basic";
+  LanguageLevel Level = LanguageLevel::Base;
+  if (!std::strcmp(Which, "forward"))
+    Level = LanguageLevel::Forward;
+  else if (!std::strcmp(Which, "gen"))
+    Level = LanguageLevel::Generational;
+  else if (std::strcmp(Which, "basic")) {
+    std::fprintf(stderr, "usage: collector_listing [basic|forward|gen]\n");
+    return 2;
+  }
+
+  GcContext C;
+  Machine M(C, Level);
+  const char *Names[6] = {"gc", "gcend", "copy", "copypair1", "copypair2",
+                          "copyexist1"};
+  switch (Level) {
+  case LanguageLevel::Base:
+    installBasicCollector(M);
+    break;
+  case LanguageLevel::Forward:
+    installForwardCollector(M);
+    break;
+  case LanguageLevel::Generational:
+    installGenCollector(M);
+    break;
+  }
+
+  std::printf("// The %s certified collector, as installed in cd.\n",
+              languageLevelName(Level));
+  std::printf("// (CPS + closure-converted; the executable analogue of the "
+              "paper's Fig %s.)\n\n",
+              Level == LanguageLevel::Base
+                  ? "12"
+                  : (Level == LanguageLevel::Forward ? "9" : "11"));
+
+  const RegionData *Cd = M.memory().region(C.cd().sym());
+  for (uint32_t Off = 0; Off != Cd->Cells.size(); ++Off) {
+    if (!Cd->Cells[Off])
+      continue;
+    std::printf("cd.%u  (%s):\n%s\n\n", Off, Off < 6 ? Names[Off] : "?",
+                printValue(C, Cd->Cells[Off]).c_str());
+  }
+
+  DiagEngine Diags;
+  bool Ok = certifyCodeRegion(M, Diags);
+  std::printf("certification: %s\n", Ok ? "PASS (all code blocks are "
+                                          "well-typed lambda-GC)"
+                                        : Diags.str().c_str());
+  return Ok ? 0 : 1;
+}

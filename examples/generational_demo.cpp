@@ -1,0 +1,76 @@
+//===- examples/generational_demo.cpp - Minor collections (Fig 11) --------===//
+//
+// Runs a mutator that repeatedly fills a tiny young generation, showing
+// the certified generational collector promoting survivors into the old
+// generation and stopping its traversal at old-generation references.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+
+#include <cstdio>
+
+using namespace scav;
+using namespace scav::harness;
+
+int main() {
+  // Builds a closure chain of length 24 — far more allocation than the
+  // young generation (capacity 10) can hold, so survivors keep getting
+  // promoted while the already-promoted prefix is never re-copied.
+  const char *Source =
+      "(app (app (fix build (n Int) (-> Int Int)"
+      "  (if0 n (lam (x Int) x)"
+      "    (let g (app build (- n 1))"
+      "      (lam (x Int) (app g (+ x n))))))"
+      " 24) 0)";
+
+  PipelineOptions Opts;
+  Opts.Level = gc::LanguageLevel::Generational;
+  Opts.InstallMajorCollector = true; // certified full collector on ifgc ro
+  Opts.Machine.DefaultRegionCapacity = 10;
+
+  Pipeline Pipe(Opts);
+  DiagEngine Diags;
+  if (!Pipe.compile(Source, Diags)) {
+    std::printf("compilation failed:\n%s\n", Diags.str().c_str());
+    return 1;
+  }
+
+  gc::Machine &M = Pipe.machine();
+  M.start(Pipe.mainTerm());
+
+  std::printf("running with a 10-cell young generation...\n\n");
+  std::printf("%12s %10s %10s\n", "collections", "young", "old");
+
+  uint64_t LastGc = 0;
+  while (M.status() == gc::Machine::Status::Running) {
+    M.step();
+    if (M.stats().IfGcTaken != LastGc &&
+        M.stats().RegionsReclaimed >= 2 * M.stats().IfGcTaken) {
+      LastGc = M.stats().IfGcTaken;
+      // Sample generation sizes right after each collection completes.
+      size_t Young = 0, Old = 0;
+      for (const auto &[S, R] : M.memory().Regions) {
+        std::string_view Name = M.context().name(S);
+        if (Name.substr(0, 2) == "ry")
+          Young = R.Cells.size();
+        else if (Name.substr(0, 2) == "ro")
+          Old = R.Cells.size();
+      }
+      std::printf("%12llu %10zu %10zu\n", (unsigned long long)LastGc, Young,
+                  Old);
+    }
+  }
+
+  if (M.status() != gc::Machine::Status::Halted) {
+    std::printf("failed: %s\n", M.stuckReason().c_str());
+    return 1;
+  }
+  std::printf("\nresult: %lld (expected %d)\n",
+              (long long)M.haltValue()->intValue(), 24 * 25 / 2);
+  std::printf("collections: %llu (minor on young-full, certified major on "
+              "old-full);\nthe old generation grows by survivors and is "
+              "compacted by the major collector.\n",
+              (unsigned long long)M.stats().IfGcTaken);
+  return 0;
+}

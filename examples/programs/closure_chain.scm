@@ -1,0 +1,7 @@
+; Builds a 40-deep chain of closures (a linked list in the heap), then
+; collapses it. With --capacity 24 the collector runs several times.
+(app (app (fix build (n Int) (-> Int Int)
+  (if0 n (lam (x Int) x)
+    (let g (app build (- n 1))
+      (lam (x Int) (app g (+ x n))))))
+ 40) 0)

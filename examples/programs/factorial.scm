@@ -1,0 +1,5 @@
+; Factorial via fix, run under the certified collector:
+;   certgc_run --level forward --capacity 16 --stats examples/programs/factorial.scm
+(app (fix fact (n Int) Int
+  (if0 n 1 (* n (app fact (- n 1)))))
+ 10)

@@ -1,0 +1,7 @@
+; A DAG of closures: every level reuses the SAME subtree closure twice.
+; Compare live heap sizes under --level base vs --level forward.
+(app (app (fix tree (d Int) (-> Int Int)
+  (if0 d (lam (x Int) (+ x 1))
+    (let s (app tree (- d 1))
+      (lam (x Int) (app s (app s x))))))
+ 8) 0)

@@ -1,0 +1,75 @@
+//===- examples/quickstart.cpp - Five-minute tour --------------------------===//
+//
+// Compiles a small functional program through the whole certified-GC
+// pipeline (STLC → CPS → λCLOS → λGC), certifies the collector AND the
+// compiled mutator with the λGC typechecker, and runs the result on the
+// λGC machine with a heap small enough that the certified collector has to
+// run mid-computation.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+
+#include <cstdio>
+
+using namespace scav;
+using namespace scav::harness;
+
+int main() {
+  // A loop that builds a chain of closures on the heap — each iteration's
+  // λ captures the previous one — then collapses it to an integer.
+  const char *Source =
+      "(app (app (fix build (n Int) (-> Int Int)"
+      "  (if0 n (lam (x Int) x)"
+      "    (let g (app build (- n 1))"
+      "      (lam (x Int) (app g (+ x n))))))"
+      " 20) 1000)";
+
+  std::printf("source program:\n  %s\n\n", Source);
+
+  PipelineOptions Opts;
+  Opts.Level = gc::LanguageLevel::Base; // the Fig 12 collector
+  Opts.Machine.DefaultRegionCapacity = 24; // tiny heap → collections fire
+
+  Pipeline Pipe(Opts);
+  DiagEngine Diags;
+  if (!Pipe.compile(Source, Diags)) {
+    std::printf("compilation failed:\n%s\n", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("compiled: %zu lambda-CLOS functions translated to lambda-GC "
+              "code in cd\n",
+              Pipe.closProgram().Funs.size());
+
+  // The headline property: collector + mutator are well-typed λGC code.
+  if (!Pipe.certify(Diags)) {
+    std::printf("certification FAILED:\n%s\n", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("certified: every cd code block typechecks (collector + "
+              "compiled mutator)\n\n");
+
+  RunResult Ref = Pipe.runSource();
+  RunResult Got = Pipe.runMachine();
+  if (!Got.Ok) {
+    std::printf("machine run failed: %s\n", Got.Error.c_str());
+    return 1;
+  }
+
+  const gc::MachineStats &St = Pipe.machine().stats();
+  std::printf("reference evaluation: %lld\n", (long long)Ref.Value);
+  std::printf("lambda-GC machine:    %lld  (%s)\n", (long long)Got.Value,
+              Got.Value == Ref.Value ? "agrees" : "MISMATCH");
+  std::printf("\nmachine statistics:\n");
+  std::printf("  steps:               %llu\n", (unsigned long long)St.Steps);
+  std::printf("  heap allocations:    %llu\n", (unsigned long long)St.Puts);
+  std::printf("  collections:         %llu\n",
+              (unsigned long long)St.IfGcTaken);
+  std::printf("  regions reclaimed:   %llu\n",
+              (unsigned long long)St.RegionsReclaimed);
+  std::printf("  typecase dispatches: %llu (the collector analysing tags)\n",
+              (unsigned long long)St.TypecaseSteps);
+  return Got.Value == Ref.Value ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+//===- examples/sharing_and_forwarding.cpp - Fig 4 vs Fig 9 ---------------===//
+//
+// The paper's §7 motivation, live: collect the same maximally-shared DAG
+// with the basic collector (which unfolds it into a tree) and with the
+// forwarding-pointer collector (which keeps it a DAG), and watch the
+// forwarding pointers being installed with `set` after the heap has been
+// `widen`ed to the collector's view.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "harness/HeapForge.h"
+
+#include <cstdio>
+
+using namespace scav;
+using namespace scav::gc;
+using namespace scav::harness;
+
+namespace {
+
+void demo(LanguageLevel Level, unsigned Depth) {
+  GcContext C;
+  Machine M(C, Level);
+  Address GcAddr = Level == LanguageLevel::Base
+                       ? installBasicCollector(M).Gc
+                       : installForwardCollector(M).Gc;
+  Region R = M.createRegion("from", 0);
+  ForgedHeap H = forgeTree(M, R, R, Depth, /*Share=*/true);
+  Address Fin = installFinisher(M, H.Tag);
+  const Term *E = collectOnceTerm(M, GcAddr, H, R, R, Fin);
+  M.start(E);
+  M.run(10'000'000);
+  if (M.status() != Machine::Status::Halted) {
+    std::printf("  collection failed: %s\n", M.stuckReason().c_str());
+    return;
+  }
+  std::printf("  %-14s: %3zu cells before -> %4zu after   "
+              "(forwarding stores: %llu, widen casts: %llu)\n",
+              languageLevelName(Level), H.Cells,
+              M.memory().liveDataCells(),
+              (unsigned long long)M.stats().Sets,
+              (unsigned long long)M.stats().Widens);
+}
+
+} // namespace
+
+int main() {
+  std::printf("A maximally-shared DAG: depth-D tree whose children are the "
+              "SAME object.\nD+1 physical cells describe 2^(D+1)-1 logical "
+              "nodes.\n\n");
+  for (unsigned D : {3, 6, 9}) {
+    std::printf("depth %u (%u cells, %llu logical nodes):\n", D, D + 1,
+                (unsigned long long)((1ULL << (D + 1)) - 1));
+    demo(LanguageLevel::Base, D);
+    demo(LanguageLevel::Forward, D);
+    std::printf("\n");
+  }
+  std::printf("The basic collector (Fig 4/12) re-copies the shared subtree "
+              "at every reference;\nthe forwarding collector (Fig 9) "
+              "installs `inr z` into each from-space object\nafter `widen` "
+              "exposes the spare tag bit that the mutator-side M type "
+              "forced\nevery object to carry.\n");
+  return 0;
+}

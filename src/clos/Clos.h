@@ -1,0 +1,286 @@
+//===- clos/Clos.h - λCLOS: the closure-converted language (§3) -*- C++ -*-===//
+///
+/// \file
+/// λCLOS, the paper's §3 language: CPS + closure-converted simply typed
+/// λ-calculus, extended (like every layer here) with integer primitives and
+/// if0.
+///
+///   τ ::= Int | t | τ1 × τ2 | τ → 0 | ∃t.τ
+///   v ::= n | f | x | (v1, v2) | ⟨t = τ1, v : τ2⟩
+///   e ::= let x = v in e | let x = πi v in e | v1(v2)
+///       | open v as ⟨t, x⟩ in e | halt v
+///       | let x = v1 ⊕ v2 in e | if0 v e1 e2
+///   p ::= letrec ~f = λ(x:τ).e in e
+///
+/// λCLOS types coincide exactly with λGC *tags* (Fig 3 translates them
+/// verbatim), so we represent them as gc::Tag and reuse the gc kinding,
+/// substitution, and alpha-equality machinery. Functions are unary; CPS
+/// functions take their (argument, continuation) as a pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_CLOS_CLOS_H
+#define SCAV_CLOS_CLOS_H
+
+#include "cps/Cps.h"
+#include "gc/Ops.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scav::clos {
+
+using scav::Symbol;
+using gc::GcContext;
+using gc::Tag;
+
+enum class ValKind { Int, Var, FunName, Pair, Pack };
+
+class Val {
+public:
+  ValKind kind() const { return K; }
+  bool is(ValKind Which) const { return K == Which; }
+
+  int64_t intValue() const {
+    assert(K == ValKind::Int && "not an int");
+    return N;
+  }
+  /// Var: x. FunName: f. Pack: the bound tag variable t.
+  Symbol var() const { return X; }
+
+  const Val *first() const {
+    assert(K == ValKind::Pair && "not a pair");
+    return A;
+  }
+  const Val *second() const {
+    assert(K == ValKind::Pair && "not a pair");
+    return B;
+  }
+
+  /// Pack ⟨t = τ1, v : τ2⟩.
+  const Tag *witness() const {
+    assert(K == ValKind::Pack && "not a package");
+    return W;
+  }
+  const Val *payload() const {
+    assert(K == ValKind::Pack && "not a package");
+    return A;
+  }
+  const Tag *bodyType() const {
+    assert(K == ValKind::Pack && "not a package");
+    return BT;
+  }
+
+private:
+  friend class ClosContext;
+  Val(ValKind K) : K(K) {}
+  ValKind K;
+  int64_t N = 0;
+  Symbol X;
+  const Val *A = nullptr;
+  const Val *B = nullptr;
+  const Tag *W = nullptr;
+  const Tag *BT = nullptr;
+};
+
+enum class ExpKind { LetVal, LetProj1, LetProj2, App, Open, Halt, LetPrim,
+                     If0 };
+
+class Exp {
+public:
+  ExpKind kind() const { return K; }
+  bool is(ExpKind Which) const { return K == Which; }
+
+  Symbol binder() const { return X1; }
+  /// Open: the bound tag variable; the value variable is binder().
+  Symbol tagBinder() const { return X2; }
+  const Val *val1() const { return V1; }
+  const Val *val2() const { return V2; }
+  lambda::PrimOp primOp() const { return P; }
+  const Exp *sub1() const { return E1; }
+  const Exp *sub2() const { return E2; }
+
+private:
+  friend class ClosContext;
+  Exp(ExpKind K) : K(K) {}
+  ExpKind K;
+  Symbol X1;
+  Symbol X2;
+  const Val *V1 = nullptr;
+  const Val *V2 = nullptr;
+  lambda::PrimOp P = lambda::PrimOp::Add;
+  const Exp *E1 = nullptr;
+  const Exp *E2 = nullptr;
+};
+
+/// A top-level letrec function f = λ(x:τ).e.
+struct FunDef {
+  Symbol Name;
+  Symbol Param;
+  const Tag *ParamTy;
+  const Exp *Body;
+};
+
+/// A λCLOS program: letrec ~f in main.
+struct Program {
+  std::vector<FunDef> Funs;
+  const Exp *Main = nullptr;
+};
+
+/// Owns λCLOS expression nodes; tags live in the shared GcContext.
+class ClosContext {
+public:
+  explicit ClosContext(GcContext &GC) : GC(GC) {}
+  ClosContext(const ClosContext &) = delete;
+  ClosContext &operator=(const ClosContext &) = delete;
+
+  GcContext &gcContext() { return GC; }
+  Symbol intern(std::string_view S) { return GC.intern(S); }
+  Symbol fresh(std::string_view S) { return GC.fresh(S); }
+  std::string_view name(Symbol S) const { return GC.name(S); }
+
+  const Val *intLit(int64_t N) {
+    Val *V = alloc(ValKind::Int);
+    V->N = N;
+    return V;
+  }
+  const Val *var(Symbol S) {
+    Val *V = alloc(ValKind::Var);
+    V->X = S;
+    return V;
+  }
+  const Val *funName(Symbol S) {
+    Val *V = alloc(ValKind::FunName);
+    V->X = S;
+    return V;
+  }
+  const Val *pair(const Val *L, const Val *R) {
+    Val *V = alloc(ValKind::Pair);
+    V->A = L;
+    V->B = R;
+    return V;
+  }
+  const Val *pack(Symbol TVar, const Tag *Witness, const Val *Payload,
+                  const Tag *BodyTy) {
+    Val *V = alloc(ValKind::Pack);
+    V->X = TVar;
+    V->W = Witness;
+    V->A = Payload;
+    V->BT = BodyTy;
+    return V;
+  }
+
+  const Exp *letVal(Symbol X, const Val *V, const Exp *Body) {
+    Exp *E = alloc(ExpKind::LetVal);
+    E->X1 = X;
+    E->V1 = V;
+    E->E1 = Body;
+    return E;
+  }
+  const Exp *letProj(Symbol X, unsigned Index, const Val *V,
+                     const Exp *Body) {
+    assert((Index == 1 || Index == 2) && "bad projection index");
+    Exp *E = alloc(Index == 1 ? ExpKind::LetProj1 : ExpKind::LetProj2);
+    E->X1 = X;
+    E->V1 = V;
+    E->E1 = Body;
+    return E;
+  }
+  const Exp *app(const Val *F, const Val *Arg) {
+    Exp *E = alloc(ExpKind::App);
+    E->V1 = F;
+    E->V2 = Arg;
+    return E;
+  }
+  const Exp *open(const Val *V, Symbol TVar, Symbol XVar, const Exp *Body) {
+    Exp *E = alloc(ExpKind::Open);
+    E->V1 = V;
+    E->X2 = TVar;
+    E->X1 = XVar;
+    E->E1 = Body;
+    return E;
+  }
+  const Exp *halt(const Val *V) {
+    Exp *E = alloc(ExpKind::Halt);
+    E->V1 = V;
+    return E;
+  }
+  const Exp *letPrim(Symbol X, lambda::PrimOp P, const Val *L, const Val *R,
+                     const Exp *Body) {
+    Exp *E = alloc(ExpKind::LetPrim);
+    E->X1 = X;
+    E->P = P;
+    E->V1 = L;
+    E->V2 = R;
+    E->E1 = Body;
+    return E;
+  }
+  const Exp *if0(const Val *Scrut, const Exp *Zero, const Exp *NonZero) {
+    Exp *E = alloc(ExpKind::If0);
+    E->V1 = Scrut;
+    E->E1 = Zero;
+    E->E2 = NonZero;
+    return E;
+  }
+
+private:
+  Val *alloc(ValKind K) { return Alloc.create<Val>(Val(K)); }
+  Exp *alloc(ExpKind K) { return Alloc.create<Exp>(Exp(K)); }
+
+  GcContext &GC;
+  Arena Alloc;
+};
+
+//===----------------------------------------------------------------------===//
+// Typechecker (§3)
+//===----------------------------------------------------------------------===//
+
+/// Checks a whole program: every letrec function body and the main term.
+bool typeCheckProgram(ClosContext &C, const Program &P, DiagEngine &Diags);
+
+/// Infers the λCLOS type (= λGC tag) of a value. \p FunTys maps letrec
+/// function names to their (unary arrow) types. Used by the checker and by
+/// the Fig 3 translator, which needs component types for its annotations.
+const Tag *typeOfVal(ClosContext &C, const Val *V, const gc::TagEnv &Theta,
+                     const std::map<Symbol, const Tag *> &Gamma,
+                     const std::map<Symbol, const Tag *> &FunTys,
+                     DiagEngine &Diags);
+
+//===----------------------------------------------------------------------===//
+// Evaluator (iterative tail-call machine)
+//===----------------------------------------------------------------------===//
+
+struct ClosEvalResult {
+  bool Ok = false;
+  int64_t Value = 0;
+  std::string Error;
+  uint64_t Steps = 0;
+  uint64_t PairAllocs = 0; ///< Heap-cell proxy: pairs + packages created.
+};
+
+ClosEvalResult evaluate(const ClosContext &C, const Program &P,
+                        uint64_t Fuel = 10'000'000);
+
+//===----------------------------------------------------------------------===//
+// Closure conversion from CPS (§3: closures become existential packages)
+//===----------------------------------------------------------------------===//
+
+/// Converts a closed, well-typed CPS program. Every λ is lifted to a
+/// top-level letrec function taking (environment, arguments) as nested
+/// pairs; the closure value is ⟨t = envTy, (f, env)⟩ : ∃t.((t × args) → 0
+/// × t). Returns false + diagnostics on failure.
+bool closureConvert(cps::CpsContext &CC, ClosContext &C, const cps::Exp *E,
+                    Program &Out, DiagEngine &Diags);
+
+/// The closure-conversion type translation, mapping CPS types to λCLOS
+/// types (= λGC tags): ⟦(~T)→0⟧ = ∃t.((t × pairup(⟦~T⟧)) → 0 × t).
+const Tag *ccType(ClosContext &C, const cps::Type *T);
+
+std::string printVal(const ClosContext &C, const Val *V);
+std::string printExp(const ClosContext &C, const Exp *E);
+std::string printProgram(const ClosContext &C, const Program &P);
+
+} // namespace scav::clos
+
+#endif // SCAV_CLOS_CLOS_H

@@ -1,0 +1,355 @@
+//===- clos/CloseConvert.cpp - Typed closure conversion (§3) ---------------===//
+///
+/// \file
+/// Typed closure conversion from the CPS IR into λCLOS, representing
+/// closures as existential packages [Minamide–Morrisett–Harper], which is
+/// what makes the paper's library GC possible without whole-program
+/// analysis (§2.1): the collector traces a closure through the ∃, never
+/// needing to know its environment type.
+///
+/// Every CPS λ is lifted to a top-level letrec function over one parameter
+///   p : envTy × argsTy
+/// (environments and multi-argument lists are right-nested pairs). A
+/// recursive λ (from source `fix`) rebuilds its own closure package from
+/// the environment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "clos/Clos.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace scav;
+using namespace scav::clos;
+
+const Tag *scav::clos::ccType(ClosContext &C, const cps::Type *T) {
+  GcContext &GC = C.gcContext();
+  switch (T->kind()) {
+  case cps::TypeKind::Int:
+    return GC.tagInt();
+  case cps::TypeKind::Prod:
+    return GC.tagProd(ccType(C, T->left()), ccType(C, T->right()));
+  case cps::TypeKind::Code: {
+    // ∃t.((t × argsTy) → 0 × t)
+    std::vector<const Tag *> Args;
+    for (const cps::Type *P : T->params())
+      Args.push_back(ccType(C, P));
+    const Tag *ArgsTy = nullptr;
+    if (Args.empty()) {
+      ArgsTy = GC.tagInt();
+    } else {
+      ArgsTy = Args.back();
+      for (size_t I = Args.size() - 1; I-- > 0;)
+        ArgsTy = GC.tagProd(Args[I], ArgsTy);
+    }
+    Symbol TV = GC.fresh("tenv");
+    const Tag *CodeTy =
+        GC.tagArrow({GC.tagProd(GC.tagVar(TV), ArgsTy)});
+    return GC.tagExists(TV, GC.tagProd(CodeTy, GC.tagVar(TV)));
+  }
+  }
+  return nullptr;
+}
+
+namespace {
+
+using cps::Exp;
+using cps::ExpKind;
+using cps::Val;
+using cps::ValKind;
+
+/// Free variables of CPS terms (order-stable: sorted by symbol id).
+void freeVarsVal(const Val *V, std::set<Symbol> &Bound,
+                 std::set<Symbol> &Out);
+
+void freeVarsExp(const Exp *E, std::set<Symbol> &Bound,
+                 std::set<Symbol> &Out) {
+  switch (E->kind()) {
+  case ExpKind::LetVal:
+    freeVarsVal(E->val1(), Bound, Out);
+    break;
+  case ExpKind::LetPair:
+  case ExpKind::LetPrim:
+    freeVarsVal(E->val1(), Bound, Out);
+    freeVarsVal(E->val2(), Bound, Out);
+    break;
+  case ExpKind::LetProj1:
+  case ExpKind::LetProj2:
+    freeVarsVal(E->val1(), Bound, Out);
+    break;
+  case ExpKind::App:
+    freeVarsVal(E->val1(), Bound, Out);
+    for (const Val *A : E->appArgs())
+      freeVarsVal(A, Bound, Out);
+    return;
+  case ExpKind::If0: {
+    freeVarsVal(E->val1(), Bound, Out);
+    freeVarsExp(E->sub1(), Bound, Out);
+    freeVarsExp(E->sub2(), Bound, Out);
+    return;
+  }
+  case ExpKind::Halt:
+    freeVarsVal(E->val1(), Bound, Out);
+    return;
+  }
+  // Let-forms fall through here: bind then continue.
+  bool Inserted = Bound.insert(E->binder()).second;
+  freeVarsExp(E->sub1(), Bound, Out);
+  if (Inserted)
+    Bound.erase(E->binder());
+}
+
+void freeVarsVal(const Val *V, std::set<Symbol> &Bound,
+                 std::set<Symbol> &Out) {
+  switch (V->kind()) {
+  case ValKind::Int:
+    return;
+  case ValKind::Var:
+    if (!Bound.count(V->var()))
+      Out.insert(V->var());
+    return;
+  case ValKind::Lam: {
+    std::set<Symbol> Inner = Bound;
+    if (V->self().isValid())
+      Inner.insert(V->self());
+    for (Symbol P : V->params())
+      Inner.insert(P);
+    freeVarsExp(V->body(), Inner, Out);
+    return;
+  }
+  }
+}
+
+struct CCDriver {
+  cps::CpsContext &CC;
+  ClosContext &C;
+  GcContext &GC;
+  DiagEngine &Diags;
+  std::vector<FunDef> Funs;
+  bool Failed = false;
+
+  const clos::Exp *fail(const std::string &Msg) {
+    if (!Failed)
+      Diags.error(Msg);
+    Failed = true;
+    return C.halt(C.intLit(0));
+  }
+
+  /// Right-nested tuple of tags; empty ↦ Int (dummy environment slot).
+  const Tag *tuple(const std::vector<const Tag *> &Ts) {
+    if (Ts.empty())
+      return GC.tagInt();
+    const Tag *Out = Ts.back();
+    for (size_t I = Ts.size() - 1; I-- > 0;)
+      Out = GC.tagProd(Ts[I], Out);
+    return Out;
+  }
+
+  /// The args part of a closure's parameter for the given CPS code type.
+  const Tag *argsTuple(const cps::Type *CodeTy) {
+    std::vector<const Tag *> Args;
+    for (const cps::Type *P : CodeTy->params())
+      Args.push_back(ccType(C, P));
+    return tuple(Args);
+  }
+
+  /// Converts a CPS λ: lifts it to a letrec function and returns the
+  /// closure package value (built in the *current* scope).
+  const clos::Val *convertLam(const Val *Lam, const cps::TypeEnv &Env) {
+    // Free variables, deterministic order.
+    std::set<Symbol> Bound, FreeSet;
+    freeVarsVal(Lam, Bound, FreeSet);
+    std::vector<Symbol> Frees(FreeSet.begin(), FreeSet.end());
+
+    std::vector<const Tag *> FreeTys;
+    for (Symbol Y : Frees) {
+      auto It = Env.find(Y);
+      if (It == Env.end()) {
+        fail("free variable of lambda missing from environment");
+        return C.intLit(0);
+      }
+      FreeTys.push_back(ccType(C, It->second));
+    }
+    const Tag *EnvTy = tuple(FreeTys);
+
+    const cps::Type *CodeTy = CC.tyCode(Lam->paramTypes());
+    const Tag *ArgsTy = argsTuple(CodeTy);
+    const Tag *ParamTy = GC.tagProd(EnvTy, ArgsTy);
+
+    // Code body: destructure (env, args), rebuild self if recursive,
+    // then convert the λ body.
+    Symbol FName = GC.fresh("fn");
+    Symbol P = GC.fresh("p");
+
+    cps::TypeEnv InnerEnv;
+    for (size_t I = 0, N = Frees.size(); I != N; ++I)
+      InnerEnv[Frees[I]] = Env.at(Frees[I]);
+    for (size_t I = 0, N = Lam->params().size(); I != N; ++I)
+      InnerEnv[Lam->params()[I]] = Lam->paramTypes()[I];
+    if (Lam->self().isValid())
+      InnerEnv[Lam->self()] = CodeTy;
+
+    const clos::Exp *Body = convertExp(Lam->body(), InnerEnv);
+
+    // Bind self closure (if any): rebuild the package from the env tuple.
+    if (Lam->self().isValid()) {
+      const clos::Val *EnvTuple = tupleVal(Frees);
+      Body = C.letVal(Lam->self(), closureValue(FName, EnvTy, ArgsTy,
+                                                EnvTuple),
+                      Body);
+    }
+    // Bind parameters from the args tuple.
+    Symbol ArgsVar = GC.fresh("args");
+    Body = destructure(ArgsVar, Lam->params(), Body);
+    // Bind free variables from the env tuple.
+    Symbol EnvVar = GC.fresh("env");
+    Body = destructure(EnvVar, Frees, Body);
+    Body = C.letProj(ArgsVar, 2, C.var(P), Body);
+    Body = C.letProj(EnvVar, 1, C.var(P), Body);
+
+    Funs.push_back(FunDef{FName, P, ParamTy, Body});
+
+    // The closure package at the use site.
+    return closureValue(FName, EnvTy, ArgsTy, tupleVal(Frees));
+  }
+
+  /// Binds each name in \p Names from the right-nested tuple rooted at
+  /// \p TupleVar, in front of \p Body.
+  const clos::Exp *destructure(Symbol TupleVar, std::vector<Symbol> Names,
+                               const clos::Exp *Body) {
+    if (Names.empty())
+      return Body;
+    if (Names.size() == 1)
+      return C.letVal(Names[0], C.var(TupleVar), Body);
+    // names[0] = π1 t; rest from π2 t.
+    Symbol Rest = GC.fresh("rest");
+    std::vector<Symbol> Tail(Names.begin() + 1, Names.end());
+    const clos::Exp *Inner = destructure(Rest, Tail, Body);
+    Inner = C.letProj(Rest, 2, C.var(TupleVar), Inner);
+    return C.letProj(Names[0], 1, C.var(TupleVar), Inner);
+  }
+
+  /// The right-nested tuple *value* of the given variables.
+  const clos::Val *tupleVal(const std::vector<Symbol> &Names) {
+    if (Names.empty())
+      return C.intLit(0);
+    const clos::Val *Out = C.var(Names.back());
+    for (size_t I = Names.size() - 1; I-- > 0;)
+      Out = C.pair(C.var(Names[I]), Out);
+    return Out;
+  }
+
+  /// ⟨t = EnvTy, (f, env) : ((t × ArgsTy) → 0) × t⟩.
+  const clos::Val *closureValue(Symbol FName, const Tag *EnvTy,
+                                const Tag *ArgsTy, const clos::Val *EnvVal) {
+    Symbol TV = GC.fresh("tenv");
+    const Tag *CodeTy = GC.tagArrow({GC.tagProd(GC.tagVar(TV), ArgsTy)});
+    const Tag *BodyTy = GC.tagProd(CodeTy, GC.tagVar(TV));
+    return C.pack(TV, EnvTy, C.pair(C.funName(FName), EnvVal), BodyTy);
+  }
+
+  const clos::Val *atom(const Val *V, const cps::TypeEnv &Env) {
+    switch (V->kind()) {
+    case ValKind::Int:
+      return C.intLit(V->intValue());
+    case ValKind::Var:
+      return C.var(V->var());
+    case ValKind::Lam:
+      return convertLam(V, Env);
+    }
+    return C.intLit(0);
+  }
+
+  const cps::Type *typeOfAtom(const Val *V, const cps::TypeEnv &Env) {
+    DiagEngine Scratch;
+    return cps::typeOfVal(CC, V, Env, Scratch);
+  }
+
+  const clos::Exp *convertExp(const Exp *E, cps::TypeEnv Env) {
+    switch (E->kind()) {
+    case ExpKind::LetVal: {
+      const cps::Type *T = typeOfAtom(E->val1(), Env);
+      if (!T)
+        return fail("CPS value does not typecheck during closure conversion");
+      const clos::Val *V = atom(E->val1(), Env);
+      Env[E->binder()] = T;
+      return C.letVal(E->binder(), V, convertExp(E->sub1(), Env));
+    }
+    case ExpKind::LetPair: {
+      const cps::Type *L = typeOfAtom(E->val1(), Env);
+      const cps::Type *R = typeOfAtom(E->val2(), Env);
+      if (!L || !R)
+        return fail("CPS pair does not typecheck");
+      const clos::Val *V = C.pair(atom(E->val1(), Env), atom(E->val2(), Env));
+      Env[E->binder()] = CC.tyProd(L, R);
+      return C.letVal(E->binder(), V, convertExp(E->sub1(), Env));
+    }
+    case ExpKind::LetProj1:
+    case ExpKind::LetProj2: {
+      const cps::Type *T = typeOfAtom(E->val1(), Env);
+      if (!T || !T->is(cps::TypeKind::Prod))
+        return fail("CPS projection from non-pair");
+      bool First = E->is(ExpKind::LetProj1);
+      Env[E->binder()] = First ? T->left() : T->right();
+      return C.letProj(E->binder(), First ? 1 : 2, atom(E->val1(), Env),
+                       convertExp(E->sub1(), Env));
+    }
+    case ExpKind::LetPrim: {
+      Env[E->binder()] = CC.tyInt();
+      return C.letPrim(E->binder(), E->primOp(), atom(E->val1(), Env),
+                       atom(E->val2(), Env), convertExp(E->sub1(), Env));
+    }
+    case ExpKind::App: {
+      const cps::Type *FTy = typeOfAtom(E->val1(), Env);
+      if (!FTy || !FTy->is(cps::TypeKind::Code))
+        return fail("CPS application of non-code value");
+      const clos::Val *F = atom(E->val1(), Env);
+      // Build the argument tuple.
+      const clos::Val *Args = nullptr;
+      if (E->appArgs().empty()) {
+        Args = C.intLit(0);
+      } else {
+        Args = atom(E->appArgs().back(), Env);
+        for (size_t I = E->appArgs().size() - 1; I-- > 0;)
+          Args = C.pair(atom(E->appArgs()[I], Env), Args);
+      }
+      // open f as ⟨t, p⟩ in let cd = π1 p in let env = π2 p in
+      // cd((env, args))
+      Symbol TV = GC.fresh("t");
+      Symbol PV = GC.fresh("clo");
+      Symbol CdV = GC.fresh("code");
+      Symbol EnvV = GC.fresh("env");
+      const clos::Exp *Call =
+          C.app(C.var(CdV), C.pair(C.var(EnvV), Args));
+      const clos::Exp *Body = C.letProj(
+          CdV, 1, C.var(PV), C.letProj(EnvV, 2, C.var(PV), Call));
+      return C.open(F, TV, PV, Body);
+    }
+    case ExpKind::If0:
+      return C.if0(atom(E->val1(), Env), convertExp(E->sub1(), Env),
+                   convertExp(E->sub2(), Env));
+    case ExpKind::Halt:
+      return C.halt(atom(E->val1(), Env));
+    }
+    return fail("unknown CPS expression kind");
+  }
+};
+
+} // namespace
+
+bool scav::clos::closureConvert(cps::CpsContext &CC, ClosContext &C,
+                                const cps::Exp *E, Program &Out,
+                                DiagEngine &Diags) {
+  // The input must be well-typed CPS.
+  cps::TypeEnv Empty;
+  if (!cps::checkExp(CC, E, Empty, Diags))
+    return false;
+  CCDriver D{CC, C, C.gcContext(), Diags, {}, false};
+  const clos::Exp *Main = D.convertExp(E, {});
+  if (D.Failed)
+    return false;
+  Out.Funs = std::move(D.Funs);
+  Out.Main = Main;
+  return true;
+}

@@ -1,0 +1,228 @@
+//===- cps/Convert.cpp - CPS conversion from the source STLC ---------------===//
+///
+/// \file
+/// Standard call-by-value CPS conversion [Danvy–Filinski, §3 of the paper].
+/// The converter is written with meta-continuations: convert(e, κ) produces
+/// CPS code that computes e and hands the resulting atom to κ. Reified
+/// continuations are created at applications and as if0 join points.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cps/Cps.h"
+
+#include <functional>
+
+using namespace scav;
+using namespace scav::cps;
+
+const Type *scav::cps::cpsType(CpsContext &C, const lambda::Type *T) {
+  switch (T->kind()) {
+  case lambda::TypeKind::Int:
+    return C.tyInt();
+  case lambda::TypeKind::Prod:
+    return C.tyProd(cpsType(C, T->left()), cpsType(C, T->right()));
+  case lambda::TypeKind::Arrow: {
+    const Type *Arg = cpsType(C, T->from());
+    const Type *Ret = cpsType(C, T->to());
+    const Type *Kont = C.tyCode({Ret});
+    return C.tyCode({Arg, Kont});
+  }
+  }
+  return nullptr;
+}
+
+namespace {
+
+using lambda::Expr;
+using lambda::ExprKind;
+using lambda::LambdaContext;
+
+/// The meta-continuation: given an atom and its source type, produce the
+/// rest of the CPS program.
+using MetaK =
+    std::function<const Exp *(const Val *, const lambda::Type *)>;
+
+struct Converter {
+  LambdaContext &LC;
+  CpsContext &C;
+  DiagEngine &Diags;
+  bool Failed = false;
+
+  const Exp *fail(const std::string &Msg) {
+    if (!Failed)
+      Diags.error(Msg);
+    Failed = true;
+    return C.halt(C.intLit(0));
+  }
+
+  const Exp *convert(const Expr *E, const lambda::TypeEnv &Env,
+                     const MetaK &K) {
+    switch (E->kind()) {
+    case ExprKind::Int:
+      return K(C.intLit(E->intValue()), LC.tyInt());
+
+    case ExprKind::Var: {
+      auto It = Env.find(E->var());
+      if (It == Env.end())
+        return fail("unbound variable during CPS conversion");
+      return K(C.var(E->var()), It->second);
+    }
+
+    case ExprKind::Lam:
+    case ExprKind::Fix: {
+      bool IsFix = E->is(ExprKind::Fix);
+      Symbol Self = IsFix ? E->var() : Symbol();
+      Symbol Param = IsFix ? E->var2() : E->var();
+      const lambda::Type *ParamSrcTy = E->annot();
+      DiagEngine ScratchDiags;
+      lambda::TypeEnv Inner = Env;
+      Inner[Param] = ParamSrcTy;
+      const lambda::Type *FnTy;
+      const lambda::Type *RetTy;
+      if (IsFix) {
+        FnTy = LC.tyArrow(E->annot(), E->annot2());
+        RetTy = E->annot2();
+        Inner[Self] = FnTy;
+      } else {
+        RetTy = lambda::typeOf(LC, E->sub1(), Inner, ScratchDiags);
+        if (!RetTy)
+          return fail("lambda body does not typecheck");
+        FnTy = LC.tyArrow(ParamSrcTy, RetTy);
+      }
+      Symbol KVar = C.fresh("k");
+      const Type *KontTy = C.tyCode({cpsType(C, RetTy)});
+      const Exp *Body =
+          convert(E->sub1(), Inner,
+                  [&](const Val *R, const lambda::Type *) -> const Exp * {
+                    return C.app(C.var(KVar), {R});
+                  });
+      const Val *Lam = C.lam(Self, {Param, KVar},
+                             {cpsType(C, ParamSrcTy), KontTy}, Body);
+      Symbol F = C.fresh("f");
+      return C.letVal(F, Lam, K(C.var(F), FnTy));
+    }
+
+    case ExprKind::App: {
+      return convert(
+          E->sub1(), Env,
+          [&, E](const Val *F, const lambda::Type *FTy) -> const Exp * {
+            if (!FTy->is(lambda::TypeKind::Arrow))
+              return fail("application of non-function");
+            const lambda::Type *RetTy = FTy->to();
+            return convert(
+                E->sub2(), Env,
+                [&, F, RetTy](const Val *A,
+                              const lambda::Type *) -> const Exp * {
+                  // Reify the continuation.
+                  Symbol R = C.fresh("r");
+                  const Exp *KBody = K(C.var(R), RetTy);
+                  const Val *Kont =
+                      C.lam(Symbol(), {R}, {cpsType(C, RetTy)}, KBody);
+                  Symbol KV = C.fresh("k");
+                  return C.letVal(KV, Kont,
+                                  C.app(F, {A, C.var(KV)}));
+                });
+          });
+    }
+
+    case ExprKind::Pair: {
+      return convert(
+          E->sub1(), Env,
+          [&, E](const Val *L, const lambda::Type *LTy) -> const Exp * {
+            return convert(
+                E->sub2(), Env,
+                [&, L, LTy](const Val *R,
+                            const lambda::Type *RTy) -> const Exp * {
+                  Symbol P = C.fresh("p");
+                  return C.letPair(P, L, R,
+                                   K(C.var(P), LC.tyProd(LTy, RTy)));
+                });
+          });
+    }
+
+    case ExprKind::Fst:
+    case ExprKind::Snd: {
+      bool First = E->is(ExprKind::Fst);
+      return convert(
+          E->sub1(), Env,
+          [&, First](const Val *P, const lambda::Type *PTy) -> const Exp * {
+            if (!PTy->is(lambda::TypeKind::Prod))
+              return fail("projection from non-pair");
+            Symbol X = C.fresh("x");
+            const lambda::Type *Ty = First ? PTy->left() : PTy->right();
+            return C.letProj(X, First ? 1 : 2, P, K(C.var(X), Ty));
+          });
+    }
+
+    case ExprKind::Let: {
+      return convert(
+          E->sub1(), Env,
+          [&, E](const Val *B, const lambda::Type *BTy) -> const Exp * {
+            lambda::TypeEnv Inner = Env;
+            Inner[E->var()] = BTy;
+            return C.letVal(E->var(), B, convert(E->sub2(), Inner, K));
+          });
+    }
+
+    case ExprKind::Prim: {
+      return convert(
+          E->sub1(), Env,
+          [&, E](const Val *L, const lambda::Type *) -> const Exp * {
+            return convert(
+                E->sub2(), Env,
+                [&, L, E](const Val *R, const lambda::Type *) -> const Exp * {
+                  Symbol X = C.fresh("n");
+                  return C.letPrim(X, E->primOp(), L, R,
+                                   K(C.var(X), LC.tyInt()));
+                });
+          });
+    }
+
+    case ExprKind::If0: {
+      return convert(
+          E->sub1(), Env,
+          [&, E](const Val *S, const lambda::Type *) -> const Exp * {
+            // Reify a join continuation so K is emitted once.
+            DiagEngine ScratchDiags;
+            const lambda::Type *BrTy =
+                lambda::typeOf(LC, E->sub2(), Env, ScratchDiags);
+            if (!BrTy)
+              return fail("if0 branch does not typecheck");
+            Symbol R = C.fresh("r");
+            const Exp *JBody = K(C.var(R), BrTy);
+            const Val *Join =
+                C.lam(Symbol(), {R}, {cpsType(C, BrTy)}, JBody);
+            Symbol J = C.fresh("j");
+            MetaK CallJoin = [&, J](const Val *V,
+                                    const lambda::Type *) -> const Exp * {
+              return C.app(C.var(J), {V});
+            };
+            const Exp *Zero = convert(E->sub2(), Env, CallJoin);
+            const Exp *NonZero = convert(E->sub3(), Env, CallJoin);
+            return C.letVal(J, Join, C.if0(S, Zero, NonZero));
+          });
+    }
+    }
+    return fail("unknown expression kind in CPS conversion");
+  }
+};
+
+} // namespace
+
+const Exp *scav::cps::cpsConvert(lambda::LambdaContext &LC, CpsContext &C,
+                                 const lambda::Expr *E, DiagEngine &Diags) {
+  const lambda::Type *Ty = lambda::typeCheck(LC, E, Diags);
+  if (!Ty)
+    return nullptr;
+  if (!Ty->is(lambda::TypeKind::Int)) {
+    Diags.error("whole program must have type Int (it is halted with)");
+    return nullptr;
+  }
+  Converter Cv{LC, C, Diags};
+  lambda::TypeEnv Empty;
+  const Exp *Out = Cv.convert(
+      E, Empty, [&](const Val *V, const lambda::Type *) -> const Exp * {
+        return C.halt(V);
+      });
+  return Cv.Failed ? nullptr : Out;
+}

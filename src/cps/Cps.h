@@ -1,0 +1,295 @@
+//===- cps/Cps.h - The CPS intermediate language ----------------*- C++ -*-===//
+///
+/// \file
+/// The continuation-passing-style intermediate language sitting between the
+/// source STLC and λCLOS (§3: "we need to convert the source program into a
+/// continuation passing style form"). Functions never return (code type
+/// (~T) → 0); the IR is in A-normal form, which makes the subsequent typed
+/// closure conversion a local transformation.
+///
+///   T ::= Int | T1 × T2 | (~T) → 0
+///   v ::= n | x | λ(~x:~T).e            (possibly recursive via self name)
+///   e ::= let x = v in e | let x = (v1, v2) in e | let x = πi v in e
+///       | let x = v1 ⊕ v2 in e | v(~v) | if0 v e1 e2 | halt v
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_CPS_CPS_H
+#define SCAV_CPS_CPS_H
+
+#include "lambda/Lambda.h"
+#include "support/Arena.h"
+#include "support/Symbol.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace scav::cps {
+
+using scav::Symbol;
+using scav::SymbolTable;
+
+enum class TypeKind { Int, Prod, Code };
+
+class Type {
+public:
+  TypeKind kind() const { return K; }
+  bool is(TypeKind Which) const { return K == Which; }
+
+  const Type *left() const {
+    assert(K == TypeKind::Prod && "not a product");
+    return A;
+  }
+  const Type *right() const {
+    assert(K == TypeKind::Prod && "not a product");
+    return B;
+  }
+  const std::vector<const Type *> &params() const {
+    assert(K == TypeKind::Code && "not a code type");
+    return Params;
+  }
+
+private:
+  friend class CpsContext;
+  Type(TypeKind K) : K(K) {}
+  TypeKind K;
+  const Type *A = nullptr;
+  const Type *B = nullptr;
+  std::vector<const Type *> Params;
+};
+
+enum class ValKind { Int, Var, Lam };
+
+class Exp;
+
+class Val {
+public:
+  ValKind kind() const { return K; }
+  bool is(ValKind Which) const { return K == Which; }
+
+  int64_t intValue() const {
+    assert(K == ValKind::Int && "not an int");
+    return N;
+  }
+  Symbol var() const {
+    assert(K == ValKind::Var && "not a variable");
+    return X;
+  }
+
+  /// Lam: the optional self-reference name (fix); invalid Symbol if none.
+  Symbol self() const {
+    assert(K == ValKind::Lam && "not a lambda");
+    return X;
+  }
+  const std::vector<Symbol> &params() const {
+    assert(K == ValKind::Lam && "not a lambda");
+    return Params;
+  }
+  const std::vector<const Type *> &paramTypes() const {
+    assert(K == ValKind::Lam && "not a lambda");
+    return ParamTys;
+  }
+  const Exp *body() const {
+    assert(K == ValKind::Lam && "not a lambda");
+    return Body;
+  }
+
+private:
+  friend class CpsContext;
+  Val(ValKind K) : K(K) {}
+  ValKind K;
+  int64_t N = 0;
+  Symbol X;
+  std::vector<Symbol> Params;
+  std::vector<const Type *> ParamTys;
+  const Exp *Body = nullptr;
+};
+
+enum class ExpKind { LetVal, LetPair, LetProj1, LetProj2, LetPrim, App, If0,
+                     Halt };
+
+class Exp {
+public:
+  ExpKind kind() const { return K; }
+  bool is(ExpKind Which) const { return K == Which; }
+
+  Symbol binder() const { return X; }
+  const Val *val1() const { return V1; }
+  const Val *val2() const { return V2; }
+  lambda::PrimOp primOp() const { return P; }
+  const Exp *sub1() const { return E1; }
+  const Exp *sub2() const { return E2; }
+  const std::vector<const Val *> &appArgs() const {
+    assert(K == ExpKind::App && "not an application");
+    return Args;
+  }
+
+private:
+  friend class CpsContext;
+  Exp(ExpKind K) : K(K) {}
+  ExpKind K;
+  Symbol X;
+  const Val *V1 = nullptr;
+  const Val *V2 = nullptr;
+  lambda::PrimOp P = lambda::PrimOp::Add;
+  const Exp *E1 = nullptr;
+  const Exp *E2 = nullptr;
+  std::vector<const Val *> Args;
+};
+
+class CpsContext {
+public:
+  explicit CpsContext(SymbolTable &Syms) : Syms(Syms) {
+    IntTy = Alloc.create<Type>(Type(TypeKind::Int));
+  }
+  CpsContext(const CpsContext &) = delete;
+  CpsContext &operator=(const CpsContext &) = delete;
+
+  SymbolTable &symbols() { return Syms; }
+  Symbol intern(std::string_view S) { return Syms.intern(S); }
+  Symbol fresh(std::string_view S) { return Syms.fresh(S); }
+  std::string_view name(Symbol S) const { return Syms.name(S); }
+
+  const Type *tyInt() const { return IntTy; }
+  const Type *tyProd(const Type *L, const Type *R) {
+    Type *T = Alloc.create<Type>(Type(TypeKind::Prod));
+    T->A = L;
+    T->B = R;
+    return T;
+  }
+  const Type *tyCode(std::vector<const Type *> Params) {
+    Type *T = Alloc.create<Type>(Type(TypeKind::Code));
+    T->Params = std::move(Params);
+    return T;
+  }
+
+  const Val *intLit(int64_t N) {
+    Val *V = Alloc.create<Val>(Val(ValKind::Int));
+    V->N = N;
+    return V;
+  }
+  const Val *var(Symbol S) {
+    Val *V = Alloc.create<Val>(Val(ValKind::Var));
+    V->X = S;
+    return V;
+  }
+  const Val *lam(Symbol Self, std::vector<Symbol> Params,
+                 std::vector<const Type *> ParamTys, const Exp *Body) {
+    assert(Params.size() == ParamTys.size() && "mismatched parameters");
+    Val *V = Alloc.create<Val>(Val(ValKind::Lam));
+    V->X = Self;
+    V->Params = std::move(Params);
+    V->ParamTys = std::move(ParamTys);
+    V->Body = Body;
+    return V;
+  }
+
+  const Exp *letVal(Symbol X, const Val *V, const Exp *Body) {
+    Exp *E = alloc(ExpKind::LetVal);
+    E->X = X;
+    E->V1 = V;
+    E->E1 = Body;
+    return E;
+  }
+  const Exp *letPair(Symbol X, const Val *L, const Val *R, const Exp *Body) {
+    Exp *E = alloc(ExpKind::LetPair);
+    E->X = X;
+    E->V1 = L;
+    E->V2 = R;
+    E->E1 = Body;
+    return E;
+  }
+  const Exp *letProj(Symbol X, unsigned Index, const Val *V,
+                     const Exp *Body) {
+    assert((Index == 1 || Index == 2) && "bad projection index");
+    Exp *E = alloc(Index == 1 ? ExpKind::LetProj1 : ExpKind::LetProj2);
+    E->X = X;
+    E->V1 = V;
+    E->E1 = Body;
+    return E;
+  }
+  const Exp *letPrim(Symbol X, lambda::PrimOp P, const Val *L, const Val *R,
+                     const Exp *Body) {
+    Exp *E = alloc(ExpKind::LetPrim);
+    E->X = X;
+    E->P = P;
+    E->V1 = L;
+    E->V2 = R;
+    E->E1 = Body;
+    return E;
+  }
+  const Exp *app(const Val *F, std::vector<const Val *> Args) {
+    Exp *E = alloc(ExpKind::App);
+    E->V1 = F;
+    E->Args = std::move(Args);
+    return E;
+  }
+  const Exp *if0(const Val *Scrut, const Exp *Zero, const Exp *NonZero) {
+    Exp *E = alloc(ExpKind::If0);
+    E->V1 = Scrut;
+    E->E1 = Zero;
+    E->E2 = NonZero;
+    return E;
+  }
+  const Exp *halt(const Val *V) {
+    Exp *E = alloc(ExpKind::Halt);
+    E->V1 = V;
+    return E;
+  }
+
+private:
+  Exp *alloc(ExpKind K) { return Alloc.create<Exp>(Exp(K)); }
+
+  Arena Alloc;
+  SymbolTable &Syms;
+  const Type *IntTy;
+};
+
+//===----------------------------------------------------------------------===//
+// Typechecker
+//===----------------------------------------------------------------------===//
+
+bool typeEqual(const Type *A, const Type *B);
+
+using TypeEnv = std::map<Symbol, const Type *>;
+
+const Type *typeOfVal(CpsContext &C, const Val *V, const TypeEnv &Env,
+                      DiagEngine &Diags);
+bool checkExp(CpsContext &C, const Exp *E, const TypeEnv &Env,
+              DiagEngine &Diags);
+
+//===----------------------------------------------------------------------===//
+// Evaluator (iterative — CPS programs only make tail calls)
+//===----------------------------------------------------------------------===//
+
+struct CpsEvalResult {
+  bool Ok = false;
+  int64_t Value = 0; ///< CPS programs halt with an integer.
+  std::string Error;
+  uint64_t Steps = 0;
+};
+
+CpsEvalResult evaluate(const Exp *E, uint64_t Fuel = 10'000'000);
+
+//===----------------------------------------------------------------------===//
+// CPS conversion from the source language
+//===----------------------------------------------------------------------===//
+
+/// The CPS type translation:
+///   ⟦Int⟧ = Int,  ⟦T1×T2⟧ = ⟦T1⟧×⟦T2⟧,
+///   ⟦T1→T2⟧ = (⟦T1⟧, (⟦T2⟧)→0) → 0.
+const Type *cpsType(CpsContext &C, const lambda::Type *T);
+
+/// Converts a closed, well-typed source program of type Int.
+/// Returns nullptr + diagnostics on failure.
+const Exp *cpsConvert(lambda::LambdaContext &LC, CpsContext &C,
+                      const lambda::Expr *E, DiagEngine &Diags);
+
+std::string printType(const CpsContext &C, const Type *T);
+std::string printExp(const CpsContext &C, const Exp *E);
+
+} // namespace scav::cps
+
+#endif // SCAV_CPS_CPS_H

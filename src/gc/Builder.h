@@ -1,0 +1,200 @@
+//===- gc/Builder.h - Ergonomic λGC term construction ----------*- C++ -*-===//
+///
+/// \file
+/// A small forward-style builder for λGC terms. λGC code is A-normal /
+/// continuation-passing, so straight-line prefixes (lets, opens, region
+/// allocation, set, widen) compose naturally: build the prefix with a
+/// BlockBuilder, then `finish(tail)` wraps the accumulated binders around
+/// the tail term. Branching constructs (ifgc, typecase, ifleft, ifreg, if0)
+/// take fully-built sub-terms.
+///
+/// CodeBuilder assembles λ[~t:~κ][~r](~x:~σ).e code values, giving the
+/// collectors (CollectorBasic/Forward/Gen) a readable shape that tracks the
+/// paper's Figs 9, 11, and 12 closely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_BUILDER_H
+#define SCAV_GC_BUILDER_H
+
+#include "gc/GcContext.h"
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace scav::gc {
+
+/// Accumulates straight-line binders and wraps them around a tail term.
+class BlockBuilder {
+public:
+  explicit BlockBuilder(GcContext &C) : C(C) {}
+
+  GcContext &context() { return C; }
+
+  /// let x = op in ...; returns the variable as a value.
+  const Value *bind(std::string_view Base, const Op *O) {
+    return bindExact(C.fresh(Base), O);
+  }
+
+  /// let X = op in ... with the exact symbol (used by the translators,
+  /// whose binders come from the source program).
+  const Value *bindExact(Symbol X, const Op *O) {
+    Wrappers.push_back(
+        [this, X, O](const Term *T) { return C.termLet(X, O, T); });
+    return C.valVar(X);
+  }
+
+  const Value *name(std::string_view Base, const Value *V) {
+    return bind(Base, C.opVal(V));
+  }
+  const Value *proj1(const Value *V) { return bind("p1", C.opProj(1, V)); }
+  const Value *proj2(const Value *V) { return bind("p2", C.opProj(2, V)); }
+  const Value *put(Region R, const Value *V) {
+    return bind("a", C.opPut(R, V));
+  }
+  const Value *get(const Value *V) { return bind("g", C.opGet(V)); }
+  const Value *strip(const Value *V) { return bind("s", C.opStrip(V)); }
+  const Value *prim(PrimOp P, const Value *L, const Value *R) {
+    return bind("n", C.opPrim(P, L, R));
+  }
+
+  /// let region r in ...; returns the region variable.
+  Region letRegion(std::string_view Base) {
+    Symbol R = C.fresh(Base);
+    Wrappers.push_back(
+        [this, R](const Term *T) { return C.termLetRegion(R, T); });
+    return Region::var(R);
+  }
+
+  /// only ∆ in ...
+  void only(RegionSet Keep) {
+    Wrappers.push_back([this, Keep = std::move(Keep)](const Term *T) {
+      return C.termOnly(Keep, T);
+    });
+  }
+
+  /// open v as ⟨t, x⟩ in ...; returns {tag variable, value variable}.
+  std::pair<const Tag *, const Value *> openTag(const Value *V,
+                                                std::string_view TagBase,
+                                                std::string_view ValBase) {
+    return openTagExact(V, C.fresh(TagBase), C.fresh(ValBase));
+  }
+
+  /// open v as ⟨T, X⟩ in ... with exact symbols.
+  std::pair<const Tag *, const Value *> openTagExact(const Value *V, Symbol T,
+                                                     Symbol X) {
+    Wrappers.push_back([this, V, T, X](const Term *Body) {
+      return C.termOpenTag(V, T, X, Body);
+    });
+    return {C.tagVar(T), C.valVar(X)};
+  }
+
+  /// open v as ⟨α, x⟩ in ...; returns {type variable, value variable}.
+  std::pair<const Type *, const Value *> openTyVar(const Value *V,
+                                                   std::string_view TyBase,
+                                                   std::string_view ValBase) {
+    Symbol A = C.fresh(TyBase);
+    Symbol X = C.fresh(ValBase);
+    Wrappers.push_back([this, V, A, X](const Term *Body) {
+      return C.termOpenTyVar(V, A, X, Body);
+    });
+    return {C.typeVar(A), C.valVar(X)};
+  }
+
+  /// open v as ⟨r, x⟩ in ...; returns {region variable, value variable}.
+  std::pair<Region, const Value *> openRegion(const Value *V,
+                                              std::string_view RegBase,
+                                              std::string_view ValBase) {
+    Symbol R = C.fresh(RegBase);
+    Symbol X = C.fresh(ValBase);
+    Wrappers.push_back([this, V, R, X](const Term *Body) {
+      return C.termOpenRegion(V, R, X, Body);
+    });
+    return {Region::var(R), C.valVar(X)};
+  }
+
+  /// set dst := src ; ...
+  void setCell(const Value *Dst, const Value *Src) {
+    Wrappers.push_back([this, Dst, Src](const Term *T) {
+      return C.termSet(Dst, Src, T);
+    });
+  }
+
+  /// let x = widen[ρ][τ](v) in ...; returns the variable.
+  const Value *widen(Region To, const Tag *Tau, const Value *V) {
+    Symbol X = C.fresh("w");
+    Wrappers.push_back([this, X, To, Tau, V](const Term *T) {
+      return C.termLetWiden(X, To, Tau, V, T);
+    });
+    return C.valVar(X);
+  }
+
+  /// Wraps the accumulated binders around \p Tail.
+  const Term *finish(const Term *Tail) {
+    const Term *Out = Tail;
+    for (auto It = Wrappers.rbegin(), E = Wrappers.rend(); It != E; ++It)
+      Out = (*It)(Out);
+    Wrappers.clear();
+    return Out;
+  }
+
+private:
+  GcContext &C;
+  std::vector<std::function<const Term *(const Term *)>> Wrappers;
+};
+
+/// Assembles a code value λ[~t:~κ][~r](~x:~σ).e.
+class CodeBuilder {
+public:
+  explicit CodeBuilder(GcContext &C) : C(C) {}
+
+  /// Adds a tag parameter of kind Ω (or the given kind).
+  const Tag *tagParam(std::string_view Base) {
+    return tagParam(Base, C.omega());
+  }
+  const Tag *tagParam(std::string_view Base, const Kind *K) {
+    Symbol S = C.fresh(Base);
+    TagParams.push_back(S);
+    TagKinds.push_back(K);
+    return C.tagVar(S);
+  }
+
+  Region regionParam(std::string_view Base) {
+    Symbol S = C.fresh(Base);
+    RegionParams.push_back(S);
+    return Region::var(S);
+  }
+
+  const Value *valParam(std::string_view Base, const Type *T) {
+    Symbol S = C.fresh(Base);
+    ValParams.push_back(S);
+    ValTypes.push_back(T);
+    return C.valVar(S);
+  }
+
+  /// Value-parameter types may need to be fixed up after the fact (the
+  /// closure-converted collector's continuation types mention tags created
+  /// later); index is the parameter's position.
+  void setValParamType(size_t Index, const Type *T) {
+    assert(Index < ValTypes.size() && "bad parameter index");
+    ValTypes[Index] = T;
+  }
+
+  const Value *build(const Term *Body) {
+    return C.valCode(TagParams, TagKinds, RegionParams, ValParams, ValTypes,
+                     Body);
+  }
+
+private:
+  GcContext &C;
+  std::vector<Symbol> TagParams;
+  std::vector<const Kind *> TagKinds;
+  std::vector<Symbol> RegionParams;
+  std::vector<Symbol> ValParams;
+  std::vector<const Type *> ValTypes;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_BUILDER_H

@@ -1,0 +1,300 @@
+//===- gc/CollectorBasic.cpp - The certified basic collector (Fig 12) -----===//
+///
+/// \file
+/// See CollectorBasic.h for the overview. Deviations from the figure as
+/// printed (all derived by re-typechecking the figure):
+///
+///  * translucent code pins regions as well as tags (Type.h);
+///  * pack witnesses / pinning orders follow the types, where the figure's
+///    copypair1 swaps t1/t2 inconsistently;
+///  * copyexist1's env parameter has type tk[∃u.te u] (the original
+///    continuation), where the figure prints tk[te t1].
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorBasic.h"
+
+#include "gc/ContClosure.h"
+#include "gc/StateCheck.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+/// The basic collector's continuation layout: regions (r1,r2,r3), copied
+/// values land in r2, continuation closures live in r3.
+ContLayout basicLayout(Region R1, Region R2, Region R3) {
+  ContLayout L;
+  L.Regions = {R1, R2, R3};
+  L.To = R2;
+  L.Holder = R3;
+  return L;
+}
+
+const Term *applyContB(GcContext &C, const Value *K, const Value *CopiedVal,
+                       Region R1, Region R2, Region R3) {
+  return scav::gc::applyCont(C, basicLayout(R1, R2, R3), K, CopiedVal);
+}
+
+const Value *packContB(GcContext &C, const Tag *S, const Tag *W1, const Tag *W2,
+                       const Tag *We, const Type *EnvTy, const Value *Code,
+                       const Value *Env, Region R1, Region R2, Region R3) {
+  return scav::gc::packCont(C, basicLayout(R1, R2, R3), S, W1, W2, We, EnvTy,
+                            Code, Env);
+}
+
+/// M_ρ(τ→0) for a unary arrow.
+const Type *mArrow(GcContext &C, Region R, const Tag *Arg) {
+  return C.typeM(R, C.tagArrow({Arg}));
+}
+
+} // namespace
+
+const Type *scav::gc::basicContType(GcContext &C, const Tag *S, Region R1,
+                                    Region R2, Region R3) {
+  return contType(C, basicLayout(R1, R2, R3), S);
+}
+
+BasicCollectorLib scav::gc::installBasicCollector(Machine &M) {
+  GcContext &C = M.context();
+
+  BasicCollectorLib Lib;
+  Lib.Gc = M.reserveCode("gc");
+  Lib.GcEnd = M.reserveCode("gcend");
+  Lib.Copy = M.reserveCode("copy");
+  Lib.CopyPair1 = M.reserveCode("copypair1");
+  Lib.CopyPair2 = M.reserveCode("copypair2");
+  Lib.CopyExist1 = M.reserveCode("copyexist1");
+
+  const Tag *IdFun = C.tagIdFun();
+
+  //--------------------------------------------------------------------//
+  // copy[t:Ω][r1,r2,r3](x : M_{r1}(t), k : tk[t])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T = CB.tagParam("t");
+    Region R1 = CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    Region R3 = CB.regionParam("r3");
+    const Value *X = CB.valParam("x", C.typeM(R1, T));
+    const Value *K = CB.valParam("k", basicContType(C, T, R1, R2, R3));
+
+    // Int and λ arms: x already needs no copy; return it to k.
+    const Term *IntArm = applyContB(C, K, X, R1, R2, R3);
+    const Term *ArrowArm = applyContB(C, K, X, R1, R2, R3);
+
+    // t1 × t2 arm.
+    Symbol TP1 = C.fresh("t1"), TP2 = C.fresh("t2");
+    const Term *ProdArm;
+    {
+      const Tag *T1 = C.tagVar(TP1), *T2 = C.tagVar(TP2);
+      const Tag *ProdTag = C.tagProd(T1, T2);
+      BlockBuilder B(C);
+      const Value *G = B.get(X);
+      const Value *X2 = B.proj2(G);
+      const Value *Env = C.valPair(X2, K);
+      const Type *EnvTy =
+          C.typeProd(C.typeM(R1, T2), basicContType(C, ProdTag, R1, R2, R3));
+      const Value *Code = C.valTransApp(C.valAddr(Lib.CopyPair1),
+                                        {T1, T2, IdFun}, {R1, R2, R3});
+      const Value *Pk =
+          packContB(C, T1, T1, T2, IdFun, EnvTy, Code, Env, R1, R2, R3);
+      const Value *K2 = B.put(R3, Pk);
+      const Value *X1 = B.proj1(G);
+      ProdArm = B.finish(
+          C.termApp(C.valAddr(Lib.Copy), {T1}, {R1, R2, R3}, {X1, K2}));
+    }
+
+    // ∃ arm.
+    Symbol TEv = C.fresh("te");
+    const Term *ExistsArm;
+    {
+      const Tag *Te = C.tagVar(TEv);
+      Symbol U = C.fresh("u");
+      const Tag *ExTag = C.tagExists(U, C.tagApp(Te, C.tagVar(U)));
+      BlockBuilder B(C);
+      const Value *G = B.get(X);
+      auto [Tx, Y] = B.openTag(G, "tx", "y");
+      const Tag *PayloadTag = C.tagApp(Te, Tx);
+      const Type *EnvTy = basicContType(C, ExTag, R1, R2, R3);
+      const Value *Code = C.valTransApp(C.valAddr(Lib.CopyExist1),
+                                        {Tx, C.tagInt(), Te}, {R1, R2, R3});
+      const Value *Pk = packContB(C, PayloadTag, Tx, C.tagInt(), Te, EnvTy,
+                                 Code, K, R1, R2, R3);
+      const Value *K2 = B.put(R3, Pk);
+      ExistsArm = B.finish(C.termApp(C.valAddr(Lib.Copy), {PayloadTag},
+                                     {R1, R2, R3}, {Y, K2}));
+    }
+
+    const Term *Body = C.termTypecase(T, IntArm, ArrowArm, TP1, TP2, ProdArm,
+                                      TEv, ExistsArm);
+    M.defineCode(Lib.Copy, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copypair1[t1,t2,te][r1,r2,r3](x1 : M_{r2}(t1),
+  //                               c : M_{r1}(t2) × tk[t1×t2])
+  // First component copied; start copying the second.
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    const Tag *T2 = CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    Region R1 = CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    Region R3 = CB.regionParam("r3");
+    const Tag *ProdTag = C.tagProd(T1, T2);
+    const Value *X1 = CB.valParam("x1", C.typeM(R2, T1));
+    const Value *Cv = CB.valParam(
+        "c",
+        C.typeProd(C.typeM(R1, T2), basicContType(C, ProdTag, R1, R2, R3)));
+
+    BlockBuilder B(C);
+    const Value *K = B.proj2(Cv);
+    const Value *Env = C.valPair(X1, K);
+    const Type *EnvTy =
+        C.typeProd(C.typeM(R2, T1), basicContType(C, ProdTag, R1, R2, R3));
+    const Value *Code = C.valTransApp(C.valAddr(Lib.CopyPair2), {T1, T2, IdFun},
+                                      {R1, R2, R3});
+    const Value *Pk =
+        packContB(C, T2, T1, T2, IdFun, EnvTy, Code, Env, R1, R2, R3);
+    const Value *K2 = B.put(R3, Pk);
+    const Value *X2From = B.proj1(Cv);
+    const Term *Body = B.finish(
+        C.termApp(C.valAddr(Lib.Copy), {T2}, {R1, R2, R3}, {X2From, K2}));
+    M.defineCode(Lib.CopyPair1, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copypair2[t1,t2,te][r1,r2,r3](x2 : M_{r2}(t2),
+  //                               c : M_{r2}(t1) × tk[t1×t2])
+  // Both components copied; allocate the pair and resume.
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    const Tag *T2 = CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    Region R1 = CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    Region R3 = CB.regionParam("r3");
+    const Tag *ProdTag = C.tagProd(T1, T2);
+    const Value *X2 = CB.valParam("x2", C.typeM(R2, T2));
+    const Value *Cv = CB.valParam(
+        "c",
+        C.typeProd(C.typeM(R2, T1), basicContType(C, ProdTag, R1, R2, R3)));
+
+    BlockBuilder B(C);
+    const Value *X1 = B.proj1(Cv);
+    const Value *A = B.put(R2, C.valPair(X1, X2));
+    const Value *K = B.proj2(Cv);
+    const Term *Body = B.finish(applyContB(C, K, A, R1, R2, R3));
+    M.defineCode(Lib.CopyPair2, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copyexist1[t1,t2,te][r1,r2,r3](z : M_{r2}(te t1), c : tk[∃u.te u])
+  // Payload copied; repack the existential in to-space and resume.
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    (void)CB.tagParam("t2");
+    const Tag *Te = CB.tagParam("te", C.omegaToOmega());
+    Region R1 = CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    Region R3 = CB.regionParam("r3");
+    Symbol U = C.fresh("u");
+    const Tag *ExTag = C.tagExists(U, C.tagApp(Te, C.tagVar(U)));
+    const Value *Z = CB.valParam("z", C.typeM(R2, C.tagApp(Te, T1)));
+    const Value *Cv = CB.valParam("c", basicContType(C, ExTag, R1, R2, R3));
+
+    BlockBuilder B(C);
+    Symbol V = C.fresh("v");
+    const Value *Pk = C.valPackTag(
+        V, T1, Z, C.typeM(R2, C.tagApp(Te, C.tagVar(V))));
+    const Value *A = B.put(R2, Pk);
+    const Term *Body = B.finish(applyContB(C, Cv, A, R1, R2, R3));
+    M.defineCode(Lib.CopyExist1, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // gcend[t1,t2,te][r1,r2,r3](y : M_{r2}(t1), f : M_{r2}(t1→0))
+  // Collection finished: free everything but to-space and re-enter the
+  // mutator.
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    (void)CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    (void)CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    (void)CB.regionParam("r3");
+    const Value *Y = CB.valParam("y", C.typeM(R2, T1));
+    const Value *F = CB.valParam("f", mArrow(C, R2, T1));
+
+    BlockBuilder B(C);
+    B.only(RegionSet{R2});
+    const Term *Body = B.finish(C.termApp(F, {}, {R2}, {Y}));
+    M.defineCode(Lib.GcEnd, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // gc[t:Ω][r1](f : M_{r1}(t→0), x : M_{r1}(t))
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T = CB.tagParam("t");
+    Region R1 = CB.regionParam("r1");
+    const Value *F = CB.valParam("f", mArrow(C, R1, T));
+    const Value *X = CB.valParam("x", C.typeM(R1, T));
+
+    BlockBuilder B(C);
+    Region R2 = B.letRegion("r2");
+    Region R3 = B.letRegion("r3");
+    const Type *EnvTy = mArrow(C, R2, T);
+    const Value *Code = C.valTransApp(C.valAddr(Lib.GcEnd),
+                                      {T, C.tagInt(), IdFun}, {R1, R2, R3});
+    const Value *Pk =
+        packContB(C, T, T, C.tagInt(), IdFun, EnvTy, Code, F, R1, R2, R3);
+    const Value *K = B.put(R3, Pk);
+    const Term *Body = B.finish(
+        C.termApp(C.valAddr(Lib.Copy), {T}, {R1, R2, R3}, {X, K}));
+    M.defineCode(Lib.Gc, CB.build(Body));
+  }
+
+  return Lib;
+}
+
+bool scav::gc::certifyCodeRegion(Machine &M, DiagEngine &Diags) {
+  GcContext &C = M.context();
+  TypeChecker Checker(C, M.level(), Diags);
+  Checker.setSkipCodeBodies(false);
+
+  CheckEnv Env;
+  Env.Psi.M = &M.psi();
+  Env.Psi.Cd = C.cd().sym();
+  Env.Delta = M.psi().domain();
+
+  const RegionData *Cd = M.memory().region(C.cd().sym());
+  if (!Cd)
+    return false;
+  bool Ok = true;
+  for (uint32_t Off = 0; Off != Cd->Cells.size(); ++Off) {
+    const Value *V = Cd->Cells[Off];
+    if (!V)
+      continue;
+    Address A{C.cd(), Off};
+    const Type *T = M.psi().lookup(A);
+    if (!T || !Checker.checkValue(V, T, Env)) {
+      Diags.error("code block at cd." + std::to_string(Off) +
+                  " failed certification");
+      Ok = false;
+    }
+  }
+  return Ok;
+}

@@ -1,0 +1,64 @@
+//===- gc/CollectorBasic.h - The certified basic collector (Fig 12) -*-C++-===//
+///
+/// \file
+/// The stop-and-copy collector of Fig 4, in its real form: CPS-converted
+/// and closure-converted (Fig 12), written as λGC code and installed in the
+/// cd region. The collector is a *library*: one polymorphic `copy` driven
+/// by runtime type analysis, no per-type code duplication (contrast §2.1's
+/// Wang–Appel baseline, reproduced in SpecializeCopy).
+///
+/// Code blocks (cd labels):
+///   gc[t:Ω][r1](f : M_{r1}(t→0), x : M_{r1}(t))
+///     allocates to-space r2 and continuation-space r3, then starts copy
+///     with gcend as the final continuation.
+///   gcend[t1,t2,te][r1,r2,r3](y : M_{r2}(t1), f : M_{r2}(t1→0))
+///     frees everything but r2 (`only {r2}`) and re-enters the mutator.
+///   copy[t:Ω][r1,r2,r3](x : M_{r1}(t), k : tk[t])
+///     typecase-driven depth-first copy; the implicit stack is the chain of
+///     continuation closures in r3 (§6.1).
+///   copypair1 / copypair2 / copyexist1
+///     the CPS continuations for the two recursive pair copies and the
+///     one existential copy.
+///
+/// Continuation typing: tk[s] is the uniform continuation type
+///
+///   tk[s] = (∃t1:Ω.∃t2:Ω.∃te:Ω→Ω.∃αc:{r1,r2,r3}.
+///             (∀Jt1,t2,teKJr1,r2,r3K(M_{r2}(s), αc) → 0) × αc) at r3
+///
+/// using the region-pinned translucent code type (see Type.h for why the
+/// regions are pinned rather than bound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_COLLECTORBASIC_H
+#define SCAV_GC_COLLECTORBASIC_H
+
+#include "gc/Machine.h"
+
+namespace scav::gc {
+
+/// Addresses of the installed collector entry points.
+struct BasicCollectorLib {
+  Address Gc;
+  Address GcEnd;
+  Address Copy;
+  Address CopyPair1;
+  Address CopyPair2;
+  Address CopyExist1;
+};
+
+/// Builds the Fig 12 collector and installs it in \p M's cd region.
+BasicCollectorLib installBasicCollector(Machine &M);
+
+/// The continuation type tk[s] with the given collector regions.
+const Type *basicContType(GcContext &C, const Tag *S, Region R1, Region R2,
+                          Region R3);
+
+/// Certification: fully typechecks every code block in cd (this is the
+/// paper's headline property — the collector itself is well-typed λGC
+/// code). Returns false and fills \p Diags on failure.
+bool certifyCodeRegion(Machine &M, DiagEngine &Diags);
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_COLLECTORBASIC_H

@@ -1,0 +1,319 @@
+//===- gc/CollectorForward.cpp - Certified forwarding collector (§7) ------===//
+///
+/// \file
+/// See CollectorForward.h. The figure-9 collector is direct-style; this is
+/// its CPS/closure-converted form, following the Fig 12 continuation
+/// discipline. The continuation environments carry, in addition to Fig 12's
+/// state, the original from-space address so copypair2/copyexist1 can
+/// overwrite it with `inr z` once the copy exists.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorForward.h"
+
+#include "gc/ContClosure.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+ContLayout fwdLayout(Region R1, Region R2, Region R3) {
+  ContLayout L;
+  L.Regions = {R1, R2, R3};
+  L.To = R2;
+  L.Holder = R3;
+  return L;
+}
+
+} // namespace
+
+ForwardCollectorLib scav::gc::installForwardCollector(Machine &M) {
+  assert(M.level() == LanguageLevel::Forward &&
+         "forwarding collector requires lambda-GC-forw");
+  GcContext &C = M.context();
+
+  ForwardCollectorLib Lib;
+  Lib.Gc = M.reserveCode("gcF");
+  Lib.GcEnd = M.reserveCode("gcendF");
+  Lib.Copy = M.reserveCode("copyF");
+  Lib.CopyPair1 = M.reserveCode("copypair1F");
+  Lib.CopyPair2 = M.reserveCode("copypair2F");
+  Lib.CopyExist1 = M.reserveCode("copyexist1F");
+
+  const Tag *IdFun = C.tagIdFun();
+
+  auto TkOf = [&](const Tag *S, Region R1, Region R2, Region R3) {
+    return contType(C, fwdLayout(R1, R2, R3), S);
+  };
+  auto Apply = [&](const Value *K, const Value *V, Region R1, Region R2,
+                   Region R3) {
+    return applyCont(C, fwdLayout(R1, R2, R3), K, V);
+  };
+  auto Pack = [&](const Tag *S, const Tag *W1, const Tag *W2, const Tag *We,
+                  const Type *EnvTy, const Value *Code, const Value *Env,
+                  Region R1, Region R2, Region R3) {
+    return packCont(C, fwdLayout(R1, R2, R3), S, W1, W2, We, EnvTy, Code,
+                    Env);
+  };
+  auto MArrow = [&](Region R, const Tag *Arg) {
+    return C.typeM(R, C.tagArrow({Arg}));
+  };
+
+  //--------------------------------------------------------------------//
+  // copy[t:Ω][r1,r2,r3](x : C_{r1,r2}(t), k : tk[t])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T = CB.tagParam("t");
+    Region R1 = CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    Region R3 = CB.regionParam("r3");
+    const Value *X = CB.valParam("x", C.typeC(R1, R2, T));
+    const Value *K = CB.valParam("k", TkOf(T, R1, R2, R3));
+
+    // Int and λ arms: C(t) = M_{r2}(t) already.
+    const Term *IntArm = Apply(K, X, R1, R2, R3);
+    const Term *ArrowArm = Apply(K, X, R1, R2, R3);
+
+    // t1 × t2 arm.
+    Symbol TP1 = C.fresh("t1"), TP2 = C.fresh("t2");
+    const Term *ProdArm;
+    {
+      const Tag *T1 = C.tagVar(TP1), *T2 = C.tagVar(TP2);
+      const Tag *ProdTag = C.tagProd(T1, T2);
+      BlockBuilder B(C);
+      const Value *Y = B.get(X);
+      // Not yet copied: recurse on the first component; the environment
+      // keeps (rest-of-pair, (original address, k)).
+      Symbol W = C.fresh("w");
+      const Term *ThenArm;
+      {
+        BlockBuilder TB(C);
+        const Value *P = TB.strip(C.valVar(W));
+        const Value *Rest = TB.proj2(P);
+        const Value *Env = C.valPair(Rest, C.valPair(X, K));
+        const Type *EnvTy = C.typeProd(
+            C.typeC(R1, R2, T2),
+            C.typeProd(C.typeC(R1, R2, ProdTag),
+                       TkOf(ProdTag, R1, R2, R3)));
+        const Value *Code = C.valTransApp(C.valAddr(Lib.CopyPair1),
+                                          {T1, T2, IdFun}, {R1, R2, R3});
+        const Value *Pk =
+            Pack(T1, T1, T2, IdFun, EnvTy, Code, Env, R1, R2, R3);
+        const Value *K2 = TB.put(R3, Pk);
+        const Value *First = TB.proj1(P);
+        ThenArm = TB.finish(
+            C.termApp(C.valAddr(Lib.Copy), {T1}, {R1, R2, R3}, {First, K2}));
+      }
+      // Forwarded: return the forwarding pointer.
+      const Term *ElseArm;
+      {
+        BlockBuilder EB(C);
+        const Value *Z = EB.strip(C.valVar(W));
+        ElseArm = EB.finish(Apply(K, Z, R1, R2, R3));
+      }
+      ProdArm = B.finish(C.termIfLeft(W, Y, ThenArm, ElseArm));
+    }
+
+    // ∃ arm.
+    Symbol TEv = C.fresh("te");
+    const Term *ExistsArm;
+    {
+      const Tag *Te = C.tagVar(TEv);
+      Symbol U = C.fresh("u");
+      const Tag *ExTag = C.tagExists(U, C.tagApp(Te, C.tagVar(U)));
+      BlockBuilder B(C);
+      const Value *Y = B.get(X);
+      Symbol W = C.fresh("w");
+      const Term *ThenArm;
+      {
+        BlockBuilder TB(C);
+        const Value *P = TB.strip(C.valVar(W));
+        auto [Tx, Payload] = TB.openTag(P, "tx", "y");
+        const Tag *PayloadTag = C.tagApp(Te, Tx);
+        const Value *Env = C.valPair(X, K);
+        const Type *EnvTy = C.typeProd(C.typeC(R1, R2, ExTag),
+                                       TkOf(ExTag, R1, R2, R3));
+        const Value *Code = C.valTransApp(C.valAddr(Lib.CopyExist1),
+                                          {Tx, C.tagInt(), Te}, {R1, R2, R3});
+        const Value *Pk = Pack(PayloadTag, Tx, C.tagInt(), Te, EnvTy, Code,
+                               Env, R1, R2, R3);
+        const Value *K2 = TB.put(R3, Pk);
+        ThenArm = TB.finish(C.termApp(C.valAddr(Lib.Copy), {PayloadTag},
+                                      {R1, R2, R3}, {Payload, K2}));
+      }
+      const Term *ElseArm;
+      {
+        BlockBuilder EB(C);
+        const Value *Z = EB.strip(C.valVar(W));
+        ElseArm = EB.finish(Apply(K, Z, R1, R2, R3));
+      }
+      ExistsArm = B.finish(C.termIfLeft(W, Y, ThenArm, ElseArm));
+    }
+
+    const Term *Body = C.termTypecase(T, IntArm, ArrowArm, TP1, TP2, ProdArm,
+                                      TEv, ExistsArm);
+    M.defineCode(Lib.Copy, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copypair1[t1,t2,te][r1,r2,r3](x1 : M_{r2}(t1),
+  //      c : C(t2) × (C(t1×t2) × tk[t1×t2]))
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    const Tag *T2 = CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    Region R1 = CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    Region R3 = CB.regionParam("r3");
+    const Tag *ProdTag = C.tagProd(T1, T2);
+    const Value *X1 = CB.valParam("x1", C.typeM(R2, T1));
+    const Value *Cv = CB.valParam(
+        "c", C.typeProd(C.typeC(R1, R2, T2),
+                        C.typeProd(C.typeC(R1, R2, ProdTag),
+                                   TkOf(ProdTag, R1, R2, R3))));
+
+    BlockBuilder B(C);
+    const Value *Rest = B.proj2(Cv);
+    const Value *Env = C.valPair(X1, Rest);
+    const Type *EnvTy = C.typeProd(
+        C.typeM(R2, T1), C.typeProd(C.typeC(R1, R2, ProdTag),
+                                    TkOf(ProdTag, R1, R2, R3)));
+    const Value *Code = C.valTransApp(C.valAddr(Lib.CopyPair2),
+                                      {T1, T2, IdFun}, {R1, R2, R3});
+    const Value *Pk = Pack(T2, T1, T2, IdFun, EnvTy, Code, Env, R1, R2, R3);
+    const Value *K2 = B.put(R3, Pk);
+    const Value *Second = B.proj1(Cv);
+    const Term *Body = B.finish(
+        C.termApp(C.valAddr(Lib.Copy), {T2}, {R1, R2, R3}, {Second, K2}));
+    M.defineCode(Lib.CopyPair1, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copypair2[t1,t2,te][r1,r2,r3](x2 : M_{r2}(t2),
+  //      c : M_{r2}(t1) × (C(t1×t2) × tk[t1×t2]))
+  // Allocate the copied pair, install the forwarding pointer, resume.
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    const Tag *T2 = CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    Region R1 = CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    Region R3 = CB.regionParam("r3");
+    const Tag *ProdTag = C.tagProd(T1, T2);
+    const Value *X2 = CB.valParam("x2", C.typeM(R2, T2));
+    const Value *Cv = CB.valParam(
+        "c", C.typeProd(C.typeM(R2, T1),
+                        C.typeProd(C.typeC(R1, R2, ProdTag),
+                                   TkOf(ProdTag, R1, R2, R3))));
+
+    BlockBuilder B(C);
+    const Value *X1 = B.proj1(Cv);
+    const Value *Z = B.put(R2, C.valInl(C.valPair(X1, X2)));
+    const Value *Rest = B.proj2(Cv);
+    const Value *Orig = B.proj1(Rest);
+    B.setCell(Orig, C.valInr(Z));
+    const Value *K = B.proj2(Rest);
+    const Term *Body = B.finish(Apply(K, Z, R1, R2, R3));
+    M.defineCode(Lib.CopyPair2, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copyexist1[t1,t2,te][r1,r2,r3](z1 : M_{r2}(te t1),
+  //      c : C(∃u.te u) × tk[∃u.te u])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    (void)CB.tagParam("t2");
+    const Tag *Te = CB.tagParam("te", C.omegaToOmega());
+    Region R1 = CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    Region R3 = CB.regionParam("r3");
+    Symbol U = C.fresh("u");
+    const Tag *ExTag = C.tagExists(U, C.tagApp(Te, C.tagVar(U)));
+    const Value *Z1 = CB.valParam("z1", C.typeM(R2, C.tagApp(Te, T1)));
+    const Value *Cv = CB.valParam(
+        "c", C.typeProd(C.typeC(R1, R2, ExTag), TkOf(ExTag, R1, R2, R3)));
+
+    BlockBuilder B(C);
+    Symbol V = C.fresh("v");
+    const Value *Pk =
+        C.valPackTag(V, T1, Z1, C.typeM(R2, C.tagApp(Te, C.tagVar(V))));
+    const Value *Z = B.put(R2, C.valInl(Pk));
+    const Value *Orig = B.proj1(Cv);
+    B.setCell(Orig, C.valInr(Z));
+    const Value *K = B.proj2(Cv);
+    const Term *Body = B.finish(Apply(K, Z, R1, R2, R3));
+    M.defineCode(Lib.CopyExist1, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // gcend[t1,t2,te][r1,r2,r3](y : M_{r2}(t1), f : M_{r2}(t1→0))
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    (void)CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    (void)CB.regionParam("r1");
+    Region R2 = CB.regionParam("r2");
+    (void)CB.regionParam("r3");
+    const Value *Y = CB.valParam("y", C.typeM(R2, T1));
+    const Value *F = CB.valParam("f", MArrow(R2, T1));
+
+    BlockBuilder B(C);
+    B.only(RegionSet{R2});
+    const Term *Body = B.finish(C.termApp(F, {}, {R2}, {Y}));
+    M.defineCode(Lib.GcEnd, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // gc[t:Ω][r1](f : M_{r1}(t→0), x : M_{r1}(t))
+  // Bundle (f, x), widen the heap to the collector view, then copy.
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T = CB.tagParam("t");
+    Region R1 = CB.regionParam("r1");
+    const Value *F = CB.valParam("f", MArrow(R1, T));
+    const Value *X = CB.valParam("x", C.typeM(R1, T));
+
+    const Tag *BundleTag = C.tagProd(C.tagArrow({T}), T);
+
+    BlockBuilder B(C);
+    Region R2 = B.letRegion("r2");
+    const Value *Bundle = B.put(R1, C.valInl(C.valPair(F, X)));
+    const Value *W = B.widen(R2, BundleTag, Bundle);
+    const Value *Y = B.get(W);
+    Symbol U = C.fresh("u");
+    const Term *ThenArm;
+    {
+      BlockBuilder TB(C);
+      const Value *P = TB.strip(C.valVar(U));
+      const Value *Fp = TB.proj1(P);
+      const Value *Xp = TB.proj2(P);
+      Region R3 = TB.letRegion("r3");
+      const Type *EnvTy = MArrow(R2, T);
+      const Value *Code = C.valTransApp(C.valAddr(Lib.GcEnd),
+                                        {T, C.tagInt(), IdFun}, {R1, R2, R3});
+      const Value *Pk =
+          Pack(T, T, C.tagInt(), IdFun, EnvTy, Code, Fp, R1, R2, R3);
+      const Value *K = TB.put(R3, Pk);
+      ThenArm = TB.finish(
+          C.termApp(C.valAddr(Lib.Copy), {T}, {R1, R2, R3}, {Xp, K}));
+    }
+    // The freshly-allocated bundle can never already be forwarded.
+    const Term *ElseArm = C.termHalt(C.valInt(0));
+    const Term *Body =
+        B.finish(C.termIfLeft(U, Y, ThenArm, ElseArm));
+    M.defineCode(Lib.Gc, CB.build(Body));
+  }
+
+  return Lib;
+}

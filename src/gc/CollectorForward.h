@@ -1,0 +1,46 @@
+//===- gc/CollectorForward.h - Certified forwarding collector (§7) -*-C++-*-=//
+///
+/// \file
+/// The λGC-forw collector of Fig 9 in CPS/closure-converted form. Compared
+/// to the basic collector:
+///
+///  * every mutator heap object carries a one-bit tag (`inl`, forced by the
+///    Forward-level M operator), so the collector can overwrite it with a
+///    forwarding pointer (`inr z`) via `set` — sharing is preserved and
+///    DAGs stay DAGs;
+///  * `gc` bundles (f, x) into a fresh from-space cell and `widen`s it,
+///    switching the whole heap from the mutator view M to the collector
+///    view C (a no-op at runtime, §7.1);
+///  * `copy` works over C-typed from-space values: `ifleft` distinguishes
+///    not-yet-copied objects from forwarding pointers.
+///
+/// Code blocks: gc, gcend, copy, copypair1, copypair2, copyexist1 — same
+/// continuation discipline as Fig 12, with the original object's address
+/// threaded through the environments so the final continuation can install
+/// the forwarding pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_COLLECTORFORWARD_H
+#define SCAV_GC_COLLECTORFORWARD_H
+
+#include "gc/Machine.h"
+
+namespace scav::gc {
+
+struct ForwardCollectorLib {
+  Address Gc;
+  Address GcEnd;
+  Address Copy;
+  Address CopyPair1;
+  Address CopyPair2;
+  Address CopyExist1;
+};
+
+/// Builds the forwarding collector and installs it in \p M's cd region.
+/// \p M must be at LanguageLevel::Forward.
+ForwardCollectorLib installForwardCollector(Machine &M);
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_COLLECTORFORWARD_H

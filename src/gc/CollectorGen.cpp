@@ -1,0 +1,559 @@
+//===- gc/CollectorGen.cpp - Certified generational collector (§8) --------===//
+///
+/// \file
+/// See CollectorGen.h. CPS/closure-converted form of Fig 11, following the
+/// Fig 12 continuation discipline with a temporary continuation region r3.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorGen.h"
+
+#include "gc/ContClosure.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+ContLayout genLayout(Region Ry, Region Ro, Region R3) {
+  ContLayout L;
+  L.Regions = {Ry, Ro, R3};
+  L.To = Ro;
+  L.Holder = R3;
+  L.ExtraM = {Ro};
+  return L;
+}
+
+} // namespace
+
+GenCollectorLib scav::gc::installGenCollector(Machine &M) {
+  assert(M.level() == LanguageLevel::Generational &&
+         "generational collector requires lambda-GC-gen");
+  GcContext &C = M.context();
+
+  GenCollectorLib Lib;
+  Lib.Gc = M.reserveCode("gcG");
+  Lib.GcEnd = M.reserveCode("gcendG");
+  Lib.Copy = M.reserveCode("copyG");
+  Lib.CopyPair1 = M.reserveCode("copypair1G");
+  Lib.CopyPair2 = M.reserveCode("copypair2G");
+  Lib.CopyExist1 = M.reserveCode("copyexist1G");
+
+  const Tag *IdFun = C.tagIdFun();
+
+  // M_{a,b}(τ) and M_{a,b}(τ→0).
+  auto MM = [&](Region A, Region B, const Tag *T) {
+    return C.typeM({A, B}, T);
+  };
+  auto MArrow = [&](Region A, Region B, const Tag *Arg) {
+    return MM(A, B, C.tagArrow({Arg}));
+  };
+
+  //--------------------------------------------------------------------//
+  // copy[t:Ω][ry,ro,r3](x : M_{ry,ro}(t), k : tk[t])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T = CB.tagParam("t");
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    Region R3 = CB.regionParam("r3");
+    ContLayout L = genLayout(Ry, Ro, R3);
+    const Value *X = CB.valParam("x", MM(Ry, Ro, T));
+    const Value *K = CB.valParam("k", contType(C, L, T));
+
+    const Term *IntArm = applyCont(C, L, K, X);
+    const Term *ArrowArm = applyCont(C, L, K, X);
+
+    // t1 × t2 arm.
+    Symbol TP1 = C.fresh("t1"), TP2 = C.fresh("t2");
+    const Term *ProdArm;
+    {
+      const Tag *T1 = C.tagVar(TP1), *T2 = C.tagVar(TP2);
+      const Tag *ProdTag = C.tagProd(T1, T2);
+      BlockBuilder B(C);
+      auto [R, Xp] = B.openRegion(X, "r", "xp");
+
+      // r = ro: the object is already old; re-pack at the tighter bound.
+      const Term *OldArm;
+      {
+        BlockBuilder OB(C);
+        Symbol R2 = C.fresh("r");
+        const Type *Body =
+            C.typeProd(MM(Region::var(R2), Ro, T1),
+                       MM(Region::var(R2), Ro, T2));
+        const Value *Pk =
+            C.valPackRegion(R2, RegionSet{Ro}, Ro, Xp, Body);
+        OldArm = OB.finish(applyCont(C, L, K, Pk));
+      }
+
+      // r ≠ ro: young; copy both components into the old generation.
+      const Term *YoungArm;
+      {
+        BlockBuilder YB(C);
+        const Value *G = YB.get(Xp);
+        const Value *X2 = YB.proj2(G);
+        const Value *Env = C.valPair(X2, K);
+        const Type *EnvTy =
+            C.typeProd(MM(Ry, Ro, T2), contType(C, L, ProdTag));
+        const Value *Code = C.valTransApp(C.valAddr(Lib.CopyPair1),
+                                          {T1, T2, IdFun}, {Ry, Ro, R3});
+        const Value *Pk =
+            packCont(C, L, T1, T1, T2, IdFun, EnvTy, Code, Env);
+        const Value *K2 = YB.put(R3, Pk);
+        const Value *X1 = YB.proj1(G);
+        YoungArm = YB.finish(
+            C.termApp(C.valAddr(Lib.Copy), {T1}, {Ry, Ro, R3}, {X1, K2}));
+      }
+
+      ProdArm = B.finish(C.termIfReg(R, Ro, OldArm, YoungArm));
+    }
+
+    // ∃ arm.
+    Symbol TEv = C.fresh("te");
+    const Term *ExistsArm;
+    {
+      const Tag *Te = C.tagVar(TEv);
+      Symbol U = C.fresh("u");
+      const Tag *ExTag = C.tagExists(U, C.tagApp(Te, C.tagVar(U)));
+      BlockBuilder B(C);
+      auto [R, Xp] = B.openRegion(X, "r", "xp");
+
+      const Term *OldArm;
+      {
+        BlockBuilder OB(C);
+        Symbol R2 = C.fresh("r");
+        Symbol U2 = C.fresh("u");
+        const Type *Body = C.typeExistsTag(
+            U2, C.omega(),
+            MM(Region::var(R2), Ro, C.tagApp(Te, C.tagVar(U2))));
+        const Value *Pk =
+            C.valPackRegion(R2, RegionSet{Ro}, Ro, Xp, Body);
+        OldArm = OB.finish(applyCont(C, L, K, Pk));
+      }
+
+      const Term *YoungArm;
+      {
+        BlockBuilder YB(C);
+        const Value *G = YB.get(Xp);
+        auto [Tx, Y] = YB.openTag(G, "tx", "y");
+        const Tag *PayloadTag = C.tagApp(Te, Tx);
+        const Type *EnvTy = contType(C, L, ExTag);
+        const Value *Code = C.valTransApp(C.valAddr(Lib.CopyExist1),
+                                          {Tx, C.tagInt(), Te}, {Ry, Ro, R3});
+        const Value *Pk = packCont(C, L, PayloadTag, Tx, C.tagInt(), Te,
+                                   EnvTy, Code, K);
+        const Value *K2 = YB.put(R3, Pk);
+        YoungArm = YB.finish(C.termApp(C.valAddr(Lib.Copy), {PayloadTag},
+                                       {Ry, Ro, R3}, {Y, K2}));
+      }
+
+      ExistsArm = B.finish(C.termIfReg(R, Ro, OldArm, YoungArm));
+    }
+
+    const Term *Body = C.termTypecase(T, IntArm, ArrowArm, TP1, TP2, ProdArm,
+                                      TEv, ExistsArm);
+    M.defineCode(Lib.Copy, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copypair1[t1,t2,te][ry,ro,r3](x1 : M_{ro,ro}(t1),
+  //                               c : M_{ry,ro}(t2) × tk[t1×t2])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    const Tag *T2 = CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    Region R3 = CB.regionParam("r3");
+    ContLayout L = genLayout(Ry, Ro, R3);
+    const Tag *ProdTag = C.tagProd(T1, T2);
+    const Value *X1 = CB.valParam("x1", MM(Ro, Ro, T1));
+    const Value *Cv = CB.valParam(
+        "c", C.typeProd(MM(Ry, Ro, T2), contType(C, L, ProdTag)));
+
+    BlockBuilder B(C);
+    const Value *K = B.proj2(Cv);
+    const Value *Env = C.valPair(X1, K);
+    const Type *EnvTy =
+        C.typeProd(MM(Ro, Ro, T1), contType(C, L, ProdTag));
+    const Value *Code = C.valTransApp(C.valAddr(Lib.CopyPair2),
+                                      {T1, T2, IdFun}, {Ry, Ro, R3});
+    const Value *Pk = packCont(C, L, T2, T1, T2, IdFun, EnvTy, Code, Env);
+    const Value *K2 = B.put(R3, Pk);
+    const Value *Second = B.proj1(Cv);
+    const Term *Body = B.finish(
+        C.termApp(C.valAddr(Lib.Copy), {T2}, {Ry, Ro, R3}, {Second, K2}));
+    M.defineCode(Lib.CopyPair1, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copypair2[t1,t2,te][ry,ro,r3](x2 : M_{ro,ro}(t2),
+  //                               c : M_{ro,ro}(t1) × tk[t1×t2])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    const Tag *T2 = CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    Region R3 = CB.regionParam("r3");
+    ContLayout L = genLayout(Ry, Ro, R3);
+    const Value *X2 = CB.valParam("x2", MM(Ro, Ro, T2));
+    const Value *Cv = CB.valParam(
+        "c",
+        C.typeProd(MM(Ro, Ro, T1), contType(C, L, C.tagProd(T1, T2))));
+
+    BlockBuilder B(C);
+    const Value *X1 = B.proj1(Cv);
+    const Value *A = B.put(Ro, C.valPair(X1, X2));
+    Symbol R2 = C.fresh("r");
+    const Type *Body2 = C.typeProd(MM(Region::var(R2), Ro, T1),
+                                   MM(Region::var(R2), Ro, T2));
+    const Value *Pk = C.valPackRegion(R2, RegionSet{Ro}, Ro, A, Body2);
+    const Value *K = B.proj2(Cv);
+    const Term *Body = B.finish(applyCont(C, L, K, Pk));
+    M.defineCode(Lib.CopyPair2, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copyexist1[t1,t2,te][ry,ro,r3](z1 : M_{ro,ro}(te t1), c : tk[∃u.te u])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    (void)CB.tagParam("t2");
+    const Tag *Te = CB.tagParam("te", C.omegaToOmega());
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    Region R3 = CB.regionParam("r3");
+    ContLayout L = genLayout(Ry, Ro, R3);
+    Symbol U = C.fresh("u");
+    const Tag *ExTag = C.tagExists(U, C.tagApp(Te, C.tagVar(U)));
+    const Value *Z1 = CB.valParam("z1", MM(Ro, Ro, C.tagApp(Te, T1)));
+    const Value *Cv = CB.valParam("c", contType(C, L, ExTag));
+
+    BlockBuilder B(C);
+    Symbol V = C.fresh("v");
+    const Value *Inner = C.valPackTag(
+        V, T1, Z1, MM(Ro, Ro, C.tagApp(Te, C.tagVar(V))));
+    const Value *A = B.put(Ro, Inner);
+    Symbol R2 = C.fresh("r");
+    Symbol U2 = C.fresh("u");
+    const Type *Body2 = C.typeExistsTag(
+        U2, C.omega(),
+        MM(Region::var(R2), Ro, C.tagApp(Te, C.tagVar(U2))));
+    const Value *Pk = C.valPackRegion(R2, RegionSet{Ro}, Ro, A, Body2);
+    const Term *Body = B.finish(applyCont(C, L, Cv, Pk));
+    M.defineCode(Lib.CopyExist1, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // gcend[t1,t2,te][ry,ro,r3](y : M_{ro,ro}(t1), f : M_{ro,ro}(t1→0))
+  // Free the young generation and continuation region, allocate a fresh
+  // young generation, and re-enter the mutator.
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    (void)CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    (void)CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    (void)CB.regionParam("r3");
+    const Value *Y = CB.valParam("y", MM(Ro, Ro, T1));
+    const Value *F = CB.valParam("f", MArrow(Ro, Ro, T1));
+
+    BlockBuilder B(C);
+    B.only(RegionSet{Ro});
+    Region Ry2 = B.letRegion("ry");
+    const Term *Body = B.finish(C.termApp(F, {}, {Ry2, Ro}, {Y}));
+    M.defineCode(Lib.GcEnd, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // gc[t:Ω][ry,ro](f : M_{ry,ro}(t→0), x : M_{ry,ro}(t))
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T = CB.tagParam("t");
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    const Value *F = CB.valParam("f", MArrow(Ry, Ro, T));
+    const Value *X = CB.valParam("x", MM(Ry, Ro, T));
+
+    BlockBuilder B(C);
+    Region R3 = B.letRegion("r3");
+    ContLayout L = genLayout(Ry, Ro, R3);
+    const Type *EnvTy = MArrow(Ro, Ro, T);
+    const Value *Code = C.valTransApp(C.valAddr(Lib.GcEnd),
+                                      {T, C.tagInt(), IdFun}, {Ry, Ro, R3});
+    const Value *Pk =
+        packCont(C, L, T, T, C.tagInt(), IdFun, EnvTy, Code, F);
+    const Value *K = B.put(R3, Pk);
+    const Term *Body = B.finish(
+        C.termApp(C.valAddr(Lib.Copy), {T}, {Ry, Ro, R3}, {X, K}));
+    M.defineCode(Lib.Gc, CB.build(Body));
+  }
+
+  return Lib;
+}
+
+//===----------------------------------------------------------------------===//
+// The major collector (§8's "same as the non-generational one", written at
+// the Generational level): regions (ry, ro, rn, r3), everything reachable
+// is copied into rn unconditionally.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ContLayout fullLayout(Region Ry, Region Ro, Region Rn, Region R3) {
+  ContLayout L;
+  L.Regions = {Ry, Ro, Rn, R3};
+  L.To = Rn;
+  L.Holder = R3;
+  L.ExtraM = {Rn};
+  return L;
+}
+
+} // namespace
+
+GenCollectorLib scav::gc::installGenFullCollector(Machine &M) {
+  assert(M.level() == LanguageLevel::Generational &&
+         "major collector requires lambda-GC-gen");
+  GcContext &C = M.context();
+
+  GenCollectorLib Lib;
+  Lib.Gc = M.reserveCode("gcFull");
+  Lib.GcEnd = M.reserveCode("gcendFull");
+  Lib.Copy = M.reserveCode("copyFull");
+  Lib.CopyPair1 = M.reserveCode("copypair1Full");
+  Lib.CopyPair2 = M.reserveCode("copypair2Full");
+  Lib.CopyExist1 = M.reserveCode("copyexist1Full");
+
+  const Tag *IdFun = C.tagIdFun();
+  auto MM = [&](Region A, Region B, const Tag *T) {
+    return C.typeM({A, B}, T);
+  };
+  auto MArrow = [&](Region A, Region B, const Tag *Arg) {
+    return MM(A, B, C.tagArrow({Arg}));
+  };
+
+  //--------------------------------------------------------------------//
+  // copyFull[t:Ω][ry,ro,rn,r3](x : M_{ry,ro}(t), k : tk[t])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T = CB.tagParam("t");
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    Region Rn = CB.regionParam("rn");
+    Region R3 = CB.regionParam("r3");
+    ContLayout L = fullLayout(Ry, Ro, Rn, R3);
+    const Value *X = CB.valParam("x", MM(Ry, Ro, T));
+    const Value *K = CB.valParam("k", contType(C, L, T));
+
+    const Term *IntArm = applyCont(C, L, K, X);
+    const Term *ArrowArm = applyCont(C, L, K, X);
+
+    Symbol TP1 = C.fresh("t1"), TP2 = C.fresh("t2");
+    const Term *ProdArm;
+    {
+      const Tag *T1 = C.tagVar(TP1), *T2 = C.tagVar(TP2);
+      const Tag *ProdTag = C.tagProd(T1, T2);
+      BlockBuilder B(C);
+      auto [R, Xp] = B.openRegion(X, "r", "xp");
+      (void)R;
+      const Value *G = B.get(Xp);
+      const Value *X2 = B.proj2(G);
+      const Value *Env = C.valPair(X2, K);
+      const Type *EnvTy =
+          C.typeProd(MM(Ry, Ro, T2), contType(C, L, ProdTag));
+      const Value *Code = C.valTransApp(C.valAddr(Lib.CopyPair1),
+                                        {T1, T2, IdFun}, L.Regions);
+      const Value *Pk = packCont(C, L, T1, T1, T2, IdFun, EnvTy, Code, Env);
+      const Value *K2 = B.put(R3, Pk);
+      const Value *X1 = B.proj1(G);
+      ProdArm = B.finish(
+          C.termApp(C.valAddr(Lib.Copy), {T1}, L.Regions, {X1, K2}));
+    }
+
+    Symbol TEv = C.fresh("te");
+    const Term *ExistsArm;
+    {
+      const Tag *Te = C.tagVar(TEv);
+      Symbol U = C.fresh("u");
+      const Tag *ExTag = C.tagExists(U, C.tagApp(Te, C.tagVar(U)));
+      BlockBuilder B(C);
+      auto [R, Xp] = B.openRegion(X, "r", "xp");
+      (void)R;
+      const Value *G = B.get(Xp);
+      auto [Tx, Y] = B.openTag(G, "tx", "y");
+      const Tag *PayloadTag = C.tagApp(Te, Tx);
+      const Type *EnvTy = contType(C, L, ExTag);
+      const Value *Code = C.valTransApp(C.valAddr(Lib.CopyExist1),
+                                        {Tx, C.tagInt(), Te}, L.Regions);
+      const Value *Pk =
+          packCont(C, L, PayloadTag, Tx, C.tagInt(), Te, EnvTy, Code, K);
+      const Value *K2 = B.put(R3, Pk);
+      ExistsArm = B.finish(C.termApp(C.valAddr(Lib.Copy), {PayloadTag},
+                                     L.Regions, {Y, K2}));
+    }
+
+    const Term *Body = C.termTypecase(T, IntArm, ArrowArm, TP1, TP2, ProdArm,
+                                      TEv, ExistsArm);
+    M.defineCode(Lib.Copy, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copypair1Full[t1,t2,te][ry,ro,rn,r3](x1 : M_{rn,rn}(t1),
+  //                                      c : M_{ry,ro}(t2) × tk[t1×t2])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    const Tag *T2 = CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    Region Rn = CB.regionParam("rn");
+    Region R3 = CB.regionParam("r3");
+    ContLayout L = fullLayout(Ry, Ro, Rn, R3);
+    const Tag *ProdTag = C.tagProd(T1, T2);
+    const Value *X1 = CB.valParam("x1", MM(Rn, Rn, T1));
+    const Value *Cv = CB.valParam(
+        "c", C.typeProd(MM(Ry, Ro, T2), contType(C, L, ProdTag)));
+
+    BlockBuilder B(C);
+    const Value *K = B.proj2(Cv);
+    const Value *Env = C.valPair(X1, K);
+    const Type *EnvTy =
+        C.typeProd(MM(Rn, Rn, T1), contType(C, L, ProdTag));
+    const Value *Code = C.valTransApp(C.valAddr(Lib.CopyPair2),
+                                      {T1, T2, IdFun}, L.Regions);
+    const Value *Pk = packCont(C, L, T2, T1, T2, IdFun, EnvTy, Code, Env);
+    const Value *K2 = B.put(R3, Pk);
+    const Value *Second = B.proj1(Cv);
+    const Term *Body = B.finish(
+        C.termApp(C.valAddr(Lib.Copy), {T2}, L.Regions, {Second, K2}));
+    M.defineCode(Lib.CopyPair1, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copypair2Full[t1,t2,te][ry,ro,rn,r3](x2 : M_{rn,rn}(t2),
+  //                                      c : M_{rn,rn}(t1) × tk[t1×t2])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    const Tag *T2 = CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    Region Rn = CB.regionParam("rn");
+    Region R3 = CB.regionParam("r3");
+    ContLayout L = fullLayout(Ry, Ro, Rn, R3);
+    const Value *X2 = CB.valParam("x2", MM(Rn, Rn, T2));
+    const Value *Cv = CB.valParam(
+        "c",
+        C.typeProd(MM(Rn, Rn, T1), contType(C, L, C.tagProd(T1, T2))));
+
+    BlockBuilder B(C);
+    const Value *X1 = B.proj1(Cv);
+    const Value *A = B.put(Rn, C.valPair(X1, X2));
+    Symbol R2 = C.fresh("r");
+    const Type *Body2 = C.typeProd(MM(Region::var(R2), Rn, T1),
+                                   MM(Region::var(R2), Rn, T2));
+    const Value *Pk = C.valPackRegion(R2, RegionSet{Rn}, Rn, A, Body2);
+    const Value *K = B.proj2(Cv);
+    const Term *Body = B.finish(applyCont(C, L, K, Pk));
+    M.defineCode(Lib.CopyPair2, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // copyexist1Full[t1,t2,te][ry,ro,rn,r3](z1 : M_{rn,rn}(te t1),
+  //                                       c : tk[∃u.te u])
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    (void)CB.tagParam("t2");
+    const Tag *Te = CB.tagParam("te", C.omegaToOmega());
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    Region Rn = CB.regionParam("rn");
+    Region R3 = CB.regionParam("r3");
+    ContLayout L = fullLayout(Ry, Ro, Rn, R3);
+    Symbol U = C.fresh("u");
+    const Tag *ExTag = C.tagExists(U, C.tagApp(Te, C.tagVar(U)));
+    const Value *Z1 = CB.valParam("z1", MM(Rn, Rn, C.tagApp(Te, T1)));
+    const Value *Cv = CB.valParam("c", contType(C, L, ExTag));
+
+    BlockBuilder B(C);
+    Symbol V = C.fresh("v");
+    const Value *Inner = C.valPackTag(
+        V, T1, Z1, MM(Rn, Rn, C.tagApp(Te, C.tagVar(V))));
+    const Value *A = B.put(Rn, Inner);
+    Symbol R2 = C.fresh("r");
+    Symbol U2 = C.fresh("u");
+    const Type *Body2 = C.typeExistsTag(
+        U2, C.omega(),
+        MM(Region::var(R2), Rn, C.tagApp(Te, C.tagVar(U2))));
+    const Value *Pk = C.valPackRegion(R2, RegionSet{Rn}, Rn, A, Body2);
+    const Term *Body = B.finish(applyCont(C, L, Cv, Pk));
+    M.defineCode(Lib.CopyExist1, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // gcendFull[t1,t2,te][ry,ro,rn,r3](y : M_{rn,rn}(t1), f : M_{rn,rn}(t1→0))
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T1 = CB.tagParam("t1");
+    (void)CB.tagParam("t2");
+    (void)CB.tagParam("te", C.omegaToOmega());
+    (void)CB.regionParam("ry");
+    (void)CB.regionParam("ro");
+    Region Rn = CB.regionParam("rn");
+    (void)CB.regionParam("r3");
+    const Value *Y = CB.valParam("y", MM(Rn, Rn, T1));
+    const Value *F = CB.valParam("f", MArrow(Rn, Rn, T1));
+
+    BlockBuilder B(C);
+    B.only(RegionSet{Rn});
+    Region Ry2 = B.letRegion("ry");
+    const Term *Body = B.finish(C.termApp(F, {}, {Ry2, Rn}, {Y}));
+    M.defineCode(Lib.GcEnd, CB.build(Body));
+  }
+
+  //--------------------------------------------------------------------//
+  // gcFull[t:Ω][ry,ro](f : M_{ry,ro}(t→0), x : M_{ry,ro}(t))
+  //--------------------------------------------------------------------//
+  {
+    CodeBuilder CB(C);
+    const Tag *T = CB.tagParam("t");
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    const Value *F = CB.valParam("f", MArrow(Ry, Ro, T));
+    const Value *X = CB.valParam("x", MM(Ry, Ro, T));
+
+    BlockBuilder B(C);
+    Region Rn = B.letRegion("rn");
+    Region R3 = B.letRegion("r3");
+    ContLayout L = fullLayout(Ry, Ro, Rn, R3);
+    const Type *EnvTy = MArrow(Rn, Rn, T);
+    const Value *Code = C.valTransApp(C.valAddr(Lib.GcEnd),
+                                      {T, C.tagInt(), IdFun}, L.Regions);
+    const Value *Pk =
+        packCont(C, L, T, T, C.tagInt(), IdFun, EnvTy, Code, F);
+    const Value *K = B.put(R3, Pk);
+    const Term *Body = B.finish(
+        C.termApp(C.valAddr(Lib.Copy), {T}, L.Regions, {X, K}));
+    M.defineCode(Lib.Gc, CB.build(Body));
+  }
+
+  return Lib;
+}

@@ -1,0 +1,56 @@
+//===- gc/CollectorGen.h - Certified generational collector (§8) --*- C++-*-=//
+///
+/// \file
+/// The λGC-gen minor collector of Fig 11 in CPS/closure-converted form.
+/// The generational M operator M_{ρy,ρo}(τ) wraps every heap object in a
+/// region existential ∃r∈{ρy,ρo}, so the mutator need not know which
+/// generation an object lives in, while the type {r,ρo} bound enforces that
+/// old objects never point into the young generation. The collector copies
+/// the young generation into the old one, using `ifreg` to stop tracing at
+/// old-generation references (which it simply re-packs at the tighter
+/// bound ∃r∈{ρo}).
+///
+/// Code blocks: gc, gcend, copy, copypair1, copypair2, copyexist1 — the
+/// continuation discipline of Fig 12, with a temporary continuation region
+/// r3 (freed by gcend's `only {ro}` along with the young generation).
+///
+/// The old generation itself is collected by the non-generational collector
+/// (§8: "that one is the same as the non-generational one"); like the
+/// paper, we do not wire the two together.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_COLLECTORGEN_H
+#define SCAV_GC_COLLECTORGEN_H
+
+#include "gc/Machine.h"
+
+namespace scav::gc {
+
+struct GenCollectorLib {
+  Address Gc;
+  Address GcEnd;
+  Address Copy;
+  Address CopyPair1;
+  Address CopyPair2;
+  Address CopyExist1;
+};
+
+/// Builds the generational collector and installs it in \p M's cd region.
+/// \p M must be at LanguageLevel::Generational.
+GenCollectorLib installGenCollector(Machine &M);
+
+/// The *major* collector the paper only gestures at (§8: "another function
+/// needs to be written to garbage collect the old generation, but that one
+/// is the same as the non-generational one"): copies BOTH generations into
+/// a fresh region rn (no ifreg test — everything moves), frees ry/ro/r3,
+/// allocates a fresh young generation, and re-enters the mutator with
+/// (ry', rn). Written at the Generational level so it composes with the
+/// minor collector in one mutator:
+///
+///   ifgc ro (gcFull[τ][ry,ro](f,x)) (ifgc ry (gc[τ][ry,ro](f,x)) e)
+GenCollectorLib installGenFullCollector(Machine &M);
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_COLLECTORGEN_H

@@ -1,0 +1,92 @@
+//===- gc/ContClosure.cpp - Continuation closures for the collectors ------===//
+
+#include "gc/ContClosure.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+/// tc = (∀JT1,T2,TeKJ~ρK(M_{To}(S), αc) → 0) × αc.
+const Type *contBody(GcContext &C, const ContLayout &L, const Tag *S,
+                     const Tag *T1, const Tag *T2, const Tag *Te, Symbol Ac) {
+  const Type *Trans =
+      C.typeTransCode({T1, T2, Te}, L.Regions,
+                      {L.mOf(C, L.To, S), C.typeVar(Ac)}, C.cd());
+  return C.typeProd(Trans, C.typeVar(Ac));
+}
+
+RegionSet layoutDelta(const ContLayout &L) {
+  RegionSet D;
+  for (Region R : L.Regions)
+    D.insert(R);
+  return D;
+}
+
+/// ∃αc:∆. contBody.
+const Type *contExistsAc(GcContext &C, const ContLayout &L, const Tag *S,
+                         const Tag *T1, const Tag *T2, const Tag *Te,
+                         Symbol Ac) {
+  return C.typeExistsTyVar(Ac, layoutDelta(L),
+                           contBody(C, L, S, T1, T2, Te, Ac));
+}
+
+} // namespace
+
+const Type *scav::gc::contType(GcContext &C, const ContLayout &L,
+                               const Tag *S) {
+  Symbol T1 = C.fresh("t1"), T2 = C.fresh("t2"), Te = C.fresh("te"),
+         Ac = C.fresh("ac");
+  const Type *Inner =
+      contExistsAc(C, L, S, C.tagVar(T1), C.tagVar(T2), C.tagVar(Te), Ac);
+  const Type *E3 = C.typeExistsTag(Te, C.omegaToOmega(), Inner);
+  const Type *E2 = C.typeExistsTag(T2, C.omega(), E3);
+  const Type *E1 = C.typeExistsTag(T1, C.omega(), E2);
+  return C.typeAt(E1, L.Holder);
+}
+
+const Value *scav::gc::packCont(GcContext &C, const ContLayout &L,
+                                const Tag *S, const Tag *W1, const Tag *W2,
+                                const Tag *We, const Type *EnvTy,
+                                const Value *Code, const Value *Env) {
+  Symbol T1 = C.fresh("t1"), T2 = C.fresh("t2"), Te = C.fresh("te"),
+         Ac = C.fresh("ac");
+  const Value *P0 =
+      C.valPackTyVar(Ac, layoutDelta(L), EnvTy, C.valPair(Code, Env),
+                     contBody(C, L, S, W1, W2, We, Ac));
+  const Value *P1 = C.valPackTag(
+      Te, We, P0, contExistsAc(C, L, S, W1, W2, C.tagVar(Te), Ac));
+  const Value *P2 = C.valPackTag(
+      T2, W2, P1,
+      C.typeExistsTag(
+          Te, C.omegaToOmega(),
+          contExistsAc(C, L, S, W1, C.tagVar(T2), C.tagVar(Te), Ac)));
+  const Value *P3 = C.valPackTag(
+      T1, W1, P2,
+      C.typeExistsTag(
+          T2, C.omega(),
+          C.typeExistsTag(Te, C.omegaToOmega(),
+                          contExistsAc(C, L, S, C.tagVar(T1), C.tagVar(T2),
+                                       C.tagVar(Te), Ac))));
+  return P3;
+}
+
+const Term *scav::gc::applyCont(GcContext &C, const ContLayout &L,
+                                const Value *K, const Value *CopiedVal) {
+  BlockBuilder B(C);
+  const Value *G = B.get(K);
+  auto [T1, V1] = B.openTag(G, "t1", "k1");
+  auto [T2, V2] = B.openTag(V1, "t2", "k2");
+  auto [Te, V3] = B.openTag(V2, "te", "k3");
+  auto [Ac, Pair] = B.openTyVar(V3, "ac", "c");
+  (void)Ac;
+  const Value *CodeV = B.proj1(Pair);
+  const Value *EnvV = B.proj2(Pair);
+  return B.finish(
+      C.termApp(CodeV, {T1, T2, Te}, L.Regions, {CopiedVal, EnvV}));
+}
+
+const Type *scav::gc::mArrowType(GcContext &C, const ContLayout &L, Region R,
+                                 const Tag *Arg) {
+  return L.mOf(C, R, C.tagArrow({Arg}));
+}

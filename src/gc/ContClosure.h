@@ -1,0 +1,62 @@
+//===- gc/ContClosure.h - Continuation closures for the collectors -*-C++-*-=//
+///
+/// \file
+/// The typed closure-conversion machinery shared by all three collectors
+/// (§6.1, Fig 12 and its λGC-forw / λGC-gen analogues): the uniform
+/// continuation type tk[s], construction of the nested continuation
+/// packages, and the open-and-apply sequence.
+///
+///   tk[s] = (∃t1:Ω.∃t2:Ω.∃te:Ω→Ω.∃αc:∆.
+///             (∀Jt1,t2,teKJ~ρK(M_{ρto}(s), αc) → 0) × αc) at ρk
+///
+/// where ~ρ is the collector's region vector (r1,r2,r3 for basic/forwarding
+/// collectors; ry,ro for the generational one), ρto is the region copied
+/// values land in, and ρk is the region holding continuation closures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_CONTCLOSURE_H
+#define SCAV_GC_CONTCLOSURE_H
+
+#include "gc/Builder.h"
+
+namespace scav::gc {
+
+/// Describes the region layout of a collector's continuations.
+struct ContLayout {
+  std::vector<Region> Regions; ///< The collector's region vector ~ρ.
+  Region To;                   ///< Where copied values land (M_{To}(s)).
+  Region Holder;               ///< Where continuation closures live.
+  /// Regions the generational M operator needs (empty = base/forward,
+  /// one region = the old generation for M_{r,ρo}).
+  std::vector<Region> ExtraM;
+
+  /// M view of tag S in region R, honoring ExtraM.
+  const Type *mOf(GcContext &C, Region R, const Tag *S) const {
+    std::vector<Region> Rs{R};
+    for (Region E : ExtraM)
+      Rs.push_back(E);
+    return C.typeM(std::move(Rs), S);
+  }
+};
+
+/// The uniform continuation type tk[S].
+const Type *contType(GcContext &C, const ContLayout &L, const Tag *S);
+
+/// Builds the nested continuation package
+///   ⟨t1=W1, ⟨t2=W2, ⟨te=We, ⟨αc=EnvTy, (Code, Env)⟩⟩⟩⟩ : body of tk[S].
+const Value *packCont(GcContext &C, const ContLayout &L, const Tag *S,
+                      const Tag *W1, const Tag *W2, const Tag *We,
+                      const Type *EnvTy, const Value *Code, const Value *Env);
+
+/// Opens K : tk[s] and applies it to CopiedVal.
+const Term *applyCont(GcContext &C, const ContLayout &L, const Value *K,
+                      const Value *CopiedVal);
+
+/// M_ρ(τ→0) for a unary arrow (the type of mutator return functions).
+const Type *mArrowType(GcContext &C, const ContLayout &L, Region R,
+                       const Tag *Arg);
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_CONTCLOSURE_H

@@ -1,0 +1,278 @@
+//===- gc/Equal.cpp - Alpha-equivalence and kinding ------------------------===//
+///
+/// \file
+/// Alpha-equivalence of tags and types, semantic equality (normalize, then
+/// alpha-compare), and tag kinding (Θ ⊢ τ : κ, Fig 6).
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Ops.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+/// A stack of binder correspondences, one per variable sort.
+struct AlphaEnv {
+  std::vector<std::pair<Symbol, Symbol>> TagVars;
+  std::vector<std::pair<Symbol, Symbol>> RegionVars;
+  std::vector<std::pair<Symbol, Symbol>> TypeVars;
+
+  static bool varEq(const std::vector<std::pair<Symbol, Symbol>> &Stack,
+                    Symbol A, Symbol B) {
+    for (auto It = Stack.rbegin(), E = Stack.rend(); It != E; ++It) {
+      if (It->first == A || It->second == B)
+        return It->first == A && It->second == B;
+    }
+    return A == B;
+  }
+
+  bool tagVarEq(Symbol A, Symbol B) const { return varEq(TagVars, A, B); }
+  bool typeVarEq(Symbol A, Symbol B) const { return varEq(TypeVars, A, B); }
+
+  bool regionEq(Region A, Region B) const {
+    if (A.isName() || B.isName())
+      return A == B;
+    return varEq(RegionVars, A.sym(), B.sym());
+  }
+
+  bool regionSetEq(const RegionSet &A, const RegionSet &B) const {
+    if (A.size() != B.size())
+      return false;
+    // Translate A into B-space and compare as sets.
+    RegionSet Mapped;
+    for (Region R : A) {
+      if (R.isVar()) {
+        Symbol S = R.sym();
+        for (auto It = RegionVars.rbegin(), E = RegionVars.rend(); It != E;
+             ++It) {
+          if (It->first == S) {
+            S = It->second;
+            break;
+          }
+        }
+        Mapped.insert(Region::var(S));
+      } else {
+        Mapped.insert(R);
+      }
+    }
+    return Mapped == B;
+  }
+};
+
+bool tagEq(const Tag *A, const Tag *B, AlphaEnv &Env) {
+  if (A == B && Env.TagVars.empty())
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TagKind::Int:
+    return true;
+  case TagKind::Var:
+    return Env.tagVarEq(A->var(), B->var());
+  case TagKind::Prod:
+  case TagKind::App:
+    return tagEq(A->left(), B->left(), Env) &&
+           tagEq(A->right(), B->right(), Env);
+  case TagKind::Arrow: {
+    if (A->arrowArgs().size() != B->arrowArgs().size())
+      return false;
+    for (size_t I = 0, E = A->arrowArgs().size(); I != E; ++I)
+      if (!tagEq(A->arrowArgs()[I], B->arrowArgs()[I], Env))
+        return false;
+    return true;
+  }
+  case TagKind::Exists: {
+    Env.TagVars.push_back({A->var(), B->var()});
+    bool R = tagEq(A->body(), B->body(), Env);
+    Env.TagVars.pop_back();
+    return R;
+  }
+  case TagKind::Lam: {
+    if (!Kind::equal(A->binderKind(), B->binderKind()))
+      return false;
+    Env.TagVars.push_back({A->var(), B->var()});
+    bool R = tagEq(A->body(), B->body(), Env);
+    Env.TagVars.pop_back();
+    return R;
+  }
+  }
+  return false;
+}
+
+bool typeEq(const Type *A, const Type *B, AlphaEnv &Env) {
+  if (A == B && Env.TagVars.empty() && Env.RegionVars.empty() &&
+      Env.TypeVars.empty())
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TypeKind::Int:
+    return true;
+  case TypeKind::TyVar:
+    return Env.typeVarEq(A->var(), B->var());
+  case TypeKind::Prod:
+  case TypeKind::Sum:
+    return typeEq(A->left(), B->left(), Env) &&
+           typeEq(A->right(), B->right(), Env);
+  case TypeKind::Left:
+  case TypeKind::Right:
+    return typeEq(A->body(), B->body(), Env);
+  case TypeKind::At:
+    return Env.regionEq(A->atRegion(), B->atRegion()) &&
+           typeEq(A->body(), B->body(), Env);
+  case TypeKind::MApp: {
+    if (A->mRegions().size() != B->mRegions().size())
+      return false;
+    for (size_t I = 0, E = A->mRegions().size(); I != E; ++I)
+      if (!Env.regionEq(A->mRegions()[I], B->mRegions()[I]))
+        return false;
+    return tagEq(A->tag(), B->tag(), Env);
+  }
+  case TypeKind::CApp:
+    return Env.regionEq(A->cFrom(), B->cFrom()) &&
+           Env.regionEq(A->cTo(), B->cTo()) && tagEq(A->tag(), B->tag(), Env);
+  case TypeKind::ExistsTag: {
+    if (!Kind::equal(A->binderKind(), B->binderKind()))
+      return false;
+    Env.TagVars.push_back({A->var(), B->var()});
+    bool R = typeEq(A->body(), B->body(), Env);
+    Env.TagVars.pop_back();
+    return R;
+  }
+  case TypeKind::ExistsTyVar: {
+    if (!Env.regionSetEq(A->delta(), B->delta()))
+      return false;
+    Env.TypeVars.push_back({A->var(), B->var()});
+    bool R = typeEq(A->body(), B->body(), Env);
+    Env.TypeVars.pop_back();
+    return R;
+  }
+  case TypeKind::ExistsRegion: {
+    if (!Env.regionSetEq(A->delta(), B->delta()))
+      return false;
+    Env.RegionVars.push_back({A->var(), B->var()});
+    bool R = typeEq(A->body(), B->body(), Env);
+    Env.RegionVars.pop_back();
+    return R;
+  }
+  case TypeKind::Code: {
+    const auto &AT = A->tagParams(), &BT = B->tagParams();
+    const auto &AR = A->regionParams(), &BR = B->regionParams();
+    if (AT.size() != BT.size() || AR.size() != BR.size() ||
+        A->argTypes().size() != B->argTypes().size())
+      return false;
+    for (size_t I = 0, E = AT.size(); I != E; ++I)
+      if (!Kind::equal(A->tagParamKinds()[I], B->tagParamKinds()[I]))
+        return false;
+    size_t TagDepth = Env.TagVars.size(), RegDepth = Env.RegionVars.size();
+    for (size_t I = 0, E = AT.size(); I != E; ++I)
+      Env.TagVars.push_back({AT[I], BT[I]});
+    for (size_t I = 0, E = AR.size(); I != E; ++I)
+      Env.RegionVars.push_back({AR[I], BR[I]});
+    bool R = true;
+    for (size_t I = 0, E = A->argTypes().size(); R && I != E; ++I)
+      R = typeEq(A->argTypes()[I], B->argTypes()[I], Env);
+    Env.TagVars.resize(TagDepth);
+    Env.RegionVars.resize(RegDepth);
+    return R;
+  }
+  case TypeKind::TransCode: {
+    if (A->transTags().size() != B->transTags().size() ||
+        A->transRegions().size() != B->transRegions().size() ||
+        A->argTypes().size() != B->argTypes().size())
+      return false;
+    if (!Env.regionEq(A->atRegion(), B->atRegion()))
+      return false;
+    for (size_t I = 0, E = A->transTags().size(); I != E; ++I)
+      if (!tagEq(A->transTags()[I], B->transTags()[I], Env))
+        return false;
+    for (size_t I = 0, E = A->transRegions().size(); I != E; ++I)
+      if (!Env.regionEq(A->transRegions()[I], B->transRegions()[I]))
+        return false;
+    for (size_t I = 0, E = A->argTypes().size(); I != E; ++I)
+      if (!typeEq(A->argTypes()[I], B->argTypes()[I], Env))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+} // namespace
+
+bool scav::gc::alphaEqualTag(const Tag *A, const Tag *B) {
+  AlphaEnv Env;
+  return tagEq(A, B, Env);
+}
+
+bool scav::gc::alphaEqualType(const Type *A, const Type *B) {
+  AlphaEnv Env;
+  return typeEq(A, B, Env);
+}
+
+bool scav::gc::tagEqual(GcContext &C, const Tag *A, const Tag *B) {
+  return alphaEqualTag(normalizeTag(C, A), normalizeTag(C, B));
+}
+
+bool scav::gc::typeEqual(GcContext &C, const Type *A, const Type *B,
+                         LanguageLevel Level) {
+  return alphaEqualType(normalizeType(C, A, Level),
+                        normalizeType(C, B, Level));
+}
+
+//===----------------------------------------------------------------------===//
+// Kinding: Θ ⊢ τ : κ (Fig 6)
+//===----------------------------------------------------------------------===//
+
+const Kind *scav::gc::kindOfTag(GcContext &C, const Tag *T,
+                                const TagEnv &Theta) {
+  switch (T->kind()) {
+  case TagKind::Int:
+    return C.omega();
+  case TagKind::Var: {
+    auto It = Theta.find(T->var());
+    return It == Theta.end() ? nullptr : It->second;
+  }
+  case TagKind::Prod: {
+    const Kind *L = kindOfTag(C, T->left(), Theta);
+    const Kind *R = kindOfTag(C, T->right(), Theta);
+    if (!L || !R || !L->isOmega() || !R->isOmega())
+      return nullptr;
+    return C.omega();
+  }
+  case TagKind::Arrow: {
+    for (const Tag *A : T->arrowArgs()) {
+      const Kind *K = kindOfTag(C, A, Theta);
+      if (!K || !K->isOmega())
+        return nullptr;
+    }
+    return C.omega();
+  }
+  case TagKind::Exists: {
+    TagEnv Inner = Theta;
+    Inner[T->var()] = C.omega();
+    const Kind *B = kindOfTag(C, T->body(), Inner);
+    if (!B || !B->isOmega())
+      return nullptr;
+    return C.omega();
+  }
+  case TagKind::Lam: {
+    TagEnv Inner = Theta;
+    Inner[T->var()] = T->binderKind();
+    const Kind *B = kindOfTag(C, T->body(), Inner);
+    if (!B)
+      return nullptr;
+    return C.arrowKind(T->binderKind(), B);
+  }
+  case TagKind::App: {
+    const Kind *F = kindOfTag(C, T->left(), Theta);
+    const Kind *A = kindOfTag(C, T->right(), Theta);
+    if (!F || !A || !F->isArrow() || !Kind::equal(F->from(), A))
+      return nullptr;
+    return F->to();
+  }
+  }
+  return nullptr;
+}

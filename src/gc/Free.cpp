@@ -1,0 +1,484 @@
+//===- gc/Free.cpp - Symbol and region collection --------------------------===//
+///
+/// \file
+/// collectSymbols gathers *every* symbol mentioned by a node (free or
+/// bound); it feeds the capture-avoidance check in Subst.cpp, where being
+/// conservative is sound. freeTagVars / freeRegionsOfType / freeValVars are
+/// precise (binder-aware) and feed the typechecker's environment
+/// restrictions Γ|∆, Φ|∆ (Fig 6, `only` rule) and well-formedness checks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Ops.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+//===----------------------------------------------------------------------===//
+// collectSymbols
+//===----------------------------------------------------------------------===//
+
+void scav::gc::collectSymbols(const Tag *T, SymbolSet &Out) {
+  switch (T->kind()) {
+  case TagKind::Int:
+    return;
+  case TagKind::Var:
+    Out.insert(T->var());
+    return;
+  case TagKind::Prod:
+  case TagKind::App:
+    collectSymbols(T->left(), Out);
+    collectSymbols(T->right(), Out);
+    return;
+  case TagKind::Arrow:
+    for (const Tag *A : T->arrowArgs())
+      collectSymbols(A, Out);
+    return;
+  case TagKind::Exists:
+  case TagKind::Lam:
+    Out.insert(T->var());
+    collectSymbols(T->body(), Out);
+    return;
+  }
+}
+
+void scav::gc::collectSymbols(const Type *T, SymbolSet &Out) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+    return;
+  case TypeKind::TyVar:
+    Out.insert(T->var());
+    return;
+  case TypeKind::Prod:
+  case TypeKind::Sum:
+    collectSymbols(T->left(), Out);
+    collectSymbols(T->right(), Out);
+    return;
+  case TypeKind::Left:
+  case TypeKind::Right:
+    collectSymbols(T->body(), Out);
+    return;
+  case TypeKind::At:
+    Out.insert(T->atRegion().sym());
+    collectSymbols(T->body(), Out);
+    return;
+  case TypeKind::MApp:
+    for (Region R : T->mRegions())
+      Out.insert(R.sym());
+    collectSymbols(T->tag(), Out);
+    return;
+  case TypeKind::CApp:
+    Out.insert(T->cFrom().sym());
+    Out.insert(T->cTo().sym());
+    collectSymbols(T->tag(), Out);
+    return;
+  case TypeKind::ExistsTag:
+    Out.insert(T->var());
+    collectSymbols(T->body(), Out);
+    return;
+  case TypeKind::ExistsTyVar:
+  case TypeKind::ExistsRegion:
+    Out.insert(T->var());
+    for (Region R : T->delta())
+      Out.insert(R.sym());
+    collectSymbols(T->body(), Out);
+    return;
+  case TypeKind::Code:
+    for (Symbol P : T->tagParams())
+      Out.insert(P);
+    for (Symbol P : T->regionParams())
+      Out.insert(P);
+    for (const Type *A : T->argTypes())
+      collectSymbols(A, Out);
+    return;
+  case TypeKind::TransCode:
+    for (const Tag *A : T->transTags())
+      collectSymbols(A, Out);
+    for (Region R : T->transRegions())
+      Out.insert(R.sym());
+    for (const Type *A : T->argTypes())
+      collectSymbols(A, Out);
+    Out.insert(T->atRegion().sym());
+    return;
+  }
+}
+
+void scav::gc::collectSymbols(const Value *V, SymbolSet &Out) {
+  switch (V->kind()) {
+  case ValueKind::Int:
+    return;
+  case ValueKind::Addr:
+    Out.insert(V->address().R.sym());
+    return;
+  case ValueKind::Var:
+    Out.insert(V->var());
+    return;
+  case ValueKind::Pair:
+    collectSymbols(V->first(), Out);
+    collectSymbols(V->second(), Out);
+    return;
+  case ValueKind::Inl:
+  case ValueKind::Inr:
+    collectSymbols(V->payload(), Out);
+    return;
+  case ValueKind::PackTag:
+    Out.insert(V->var());
+    collectSymbols(V->tagWitness(), Out);
+    collectSymbols(V->payload(), Out);
+    collectSymbols(V->bodyType(), Out);
+    return;
+  case ValueKind::PackTyVar:
+    Out.insert(V->var());
+    for (Region R : V->delta())
+      Out.insert(R.sym());
+    collectSymbols(V->typeWitness(), Out);
+    collectSymbols(V->payload(), Out);
+    collectSymbols(V->bodyType(), Out);
+    return;
+  case ValueKind::PackRegion:
+    Out.insert(V->var());
+    for (Region R : V->delta())
+      Out.insert(R.sym());
+    Out.insert(V->regionWitness().sym());
+    collectSymbols(V->payload(), Out);
+    collectSymbols(V->bodyType(), Out);
+    return;
+  case ValueKind::TransApp:
+    collectSymbols(V->payload(), Out);
+    for (const Tag *T : V->transTags())
+      collectSymbols(T, Out);
+    for (Region R : V->transRegions())
+      Out.insert(R.sym());
+    return;
+  case ValueKind::Code:
+    for (Symbol P : V->tagParams())
+      Out.insert(P);
+    for (Symbol P : V->regionParams())
+      Out.insert(P);
+    for (Symbol P : V->valParams())
+      Out.insert(P);
+    for (const Type *T : V->valParamTypes())
+      collectSymbols(T, Out);
+    collectSymbols(V->codeBody(), Out);
+    return;
+  }
+}
+
+void scav::gc::collectSymbols(const Term *E, SymbolSet &Out) {
+  switch (E->kind()) {
+  case TermKind::App:
+    collectSymbols(E->appFun(), Out);
+    for (const Tag *T : E->appTags())
+      collectSymbols(T, Out);
+    for (Region R : E->appRegions())
+      Out.insert(R.sym());
+    for (const Value *V : E->appArgs())
+      collectSymbols(V, Out);
+    return;
+  case TermKind::Let: {
+    const Op *O = E->letOp();
+    if (O->is(OpKind::Prim)) {
+      collectSymbols(O->lhs(), Out);
+      collectSymbols(O->rhs(), Out);
+    } else {
+      collectSymbols(O->value(), Out);
+      if (O->is(OpKind::Put))
+        Out.insert(O->putRegion().sym());
+    }
+    Out.insert(E->binderVar());
+    collectSymbols(E->sub1(), Out);
+    return;
+  }
+  case TermKind::Halt:
+    collectSymbols(E->scrutinee(), Out);
+    return;
+  case TermKind::IfGc:
+    Out.insert(E->region().sym());
+    collectSymbols(E->sub1(), Out);
+    collectSymbols(E->sub2(), Out);
+    return;
+  case TermKind::OpenTag:
+  case TermKind::OpenTyVar:
+  case TermKind::OpenRegion:
+    collectSymbols(E->scrutinee(), Out);
+    Out.insert(E->binderVar());
+    Out.insert(E->binderVar2());
+    collectSymbols(E->sub1(), Out);
+    return;
+  case TermKind::LetRegion:
+    Out.insert(E->binderVar());
+    collectSymbols(E->sub1(), Out);
+    return;
+  case TermKind::Only:
+    for (Region R : E->onlySet())
+      Out.insert(R.sym());
+    collectSymbols(E->sub1(), Out);
+    return;
+  case TermKind::Typecase:
+    collectSymbols(E->tag(), Out);
+    collectSymbols(E->caseInt(), Out);
+    collectSymbols(E->caseArrow(), Out);
+    Out.insert(E->prodVar1());
+    Out.insert(E->prodVar2());
+    collectSymbols(E->caseProd(), Out);
+    Out.insert(E->existsVar());
+    collectSymbols(E->caseExists(), Out);
+    return;
+  case TermKind::IfLeft:
+    collectSymbols(E->scrutinee(), Out);
+    Out.insert(E->binderVar());
+    collectSymbols(E->sub1(), Out);
+    collectSymbols(E->sub2(), Out);
+    return;
+  case TermKind::Set:
+    collectSymbols(E->scrutinee(), Out);
+    collectSymbols(E->setSource(), Out);
+    collectSymbols(E->sub1(), Out);
+    return;
+  case TermKind::LetWiden:
+    Out.insert(E->region().sym());
+    collectSymbols(E->tag(), Out);
+    collectSymbols(E->scrutinee(), Out);
+    Out.insert(E->binderVar());
+    collectSymbols(E->sub1(), Out);
+    return;
+  case TermKind::IfReg:
+    Out.insert(E->ifregLhs().sym());
+    Out.insert(E->ifregRhs().sym());
+    collectSymbols(E->sub1(), Out);
+    collectSymbols(E->sub2(), Out);
+    return;
+  case TermKind::If0:
+    collectSymbols(E->scrutinee(), Out);
+    collectSymbols(E->sub1(), Out);
+    collectSymbols(E->sub2(), Out);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Precise free-variable queries
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void freeTagVarsRec(const Tag *T, SymbolSet &Bound, SymbolSet &Out) {
+  switch (T->kind()) {
+  case TagKind::Int:
+    return;
+  case TagKind::Var:
+    if (!Bound.count(T->var()))
+      Out.insert(T->var());
+    return;
+  case TagKind::Prod:
+  case TagKind::App:
+    freeTagVarsRec(T->left(), Bound, Out);
+    freeTagVarsRec(T->right(), Bound, Out);
+    return;
+  case TagKind::Arrow:
+    for (const Tag *A : T->arrowArgs())
+      freeTagVarsRec(A, Bound, Out);
+    return;
+  case TagKind::Exists:
+  case TagKind::Lam: {
+    bool Inserted = Bound.insert(T->var()).second;
+    freeTagVarsRec(T->body(), Bound, Out);
+    if (Inserted)
+      Bound.erase(T->var());
+    return;
+  }
+  }
+}
+
+void freeRegionsRec(const Type *T, SymbolSet &BoundRegionVars,
+                    RegionSet &Out) {
+  auto Add = [&](Region R) {
+    if (R.isName() || !BoundRegionVars.count(R.sym()))
+      Out.insert(R);
+  };
+  switch (T->kind()) {
+  case TypeKind::Int:
+  case TypeKind::TyVar:
+    // Free type variables α carry their own ∆ constraint in Φ; they do not
+    // contribute free regions here. The typechecker checks Φ(α) ⊆ ∆
+    // separately (Fig 6, ∆;Θ;Φ ⊢ α rule).
+    return;
+  case TypeKind::Prod:
+  case TypeKind::Sum:
+    freeRegionsRec(T->left(), BoundRegionVars, Out);
+    freeRegionsRec(T->right(), BoundRegionVars, Out);
+    return;
+  case TypeKind::Left:
+  case TypeKind::Right:
+    freeRegionsRec(T->body(), BoundRegionVars, Out);
+    return;
+  case TypeKind::At:
+    Add(T->atRegion());
+    freeRegionsRec(T->body(), BoundRegionVars, Out);
+    return;
+  case TypeKind::MApp:
+    for (Region R : T->mRegions())
+      Add(R);
+    return;
+  case TypeKind::CApp:
+    Add(T->cFrom());
+    Add(T->cTo());
+    return;
+  case TypeKind::ExistsTag:
+    freeRegionsRec(T->body(), BoundRegionVars, Out);
+    return;
+  case TypeKind::ExistsTyVar:
+    for (Region R : T->delta())
+      Add(R);
+    freeRegionsRec(T->body(), BoundRegionVars, Out);
+    return;
+  case TypeKind::ExistsRegion: {
+    for (Region R : T->delta())
+      Add(R);
+    bool Inserted = BoundRegionVars.insert(T->var()).second;
+    freeRegionsRec(T->body(), BoundRegionVars, Out);
+    if (Inserted)
+      BoundRegionVars.erase(T->var());
+    return;
+  }
+  case TypeKind::Code:
+    // Code types are fully closed w.r.t. outer regions: their argument
+    // types may only use the bound ~r (checked separately), so a code type
+    // contributes no free regions. (Fig 6: {~r}; ~t:~κ; · ⊢ σi.)
+    return;
+  case TypeKind::TransCode: {
+    Add(T->atRegion());
+    for (Region R : T->transRegions())
+      Add(R);
+    for (const Type *A : T->argTypes())
+      freeRegionsRec(A, BoundRegionVars, Out);
+    return;
+  }
+  }
+}
+
+void freeValVarsRec(const Value *V, SymbolSet &Bound, SymbolSet &Out);
+void freeValVarsRec(const Term *E, SymbolSet &Bound, SymbolSet &Out);
+
+void freeValVarsRec(const Value *V, SymbolSet &Bound, SymbolSet &Out) {
+  switch (V->kind()) {
+  case ValueKind::Int:
+  case ValueKind::Addr:
+    return;
+  case ValueKind::Var:
+    if (!Bound.count(V->var()))
+      Out.insert(V->var());
+    return;
+  case ValueKind::Pair:
+    freeValVarsRec(V->first(), Bound, Out);
+    freeValVarsRec(V->second(), Bound, Out);
+    return;
+  case ValueKind::Inl:
+  case ValueKind::Inr:
+  case ValueKind::TransApp:
+  case ValueKind::PackTag:
+  case ValueKind::PackTyVar:
+  case ValueKind::PackRegion:
+    freeValVarsRec(V->payload(), Bound, Out);
+    return;
+  case ValueKind::Code: {
+    SymbolSet Inner = Bound;
+    for (Symbol P : V->valParams())
+      Inner.insert(P);
+    freeValVarsRec(V->codeBody(), Inner, Out);
+    return;
+  }
+  }
+}
+
+void freeValVarsRec(const Term *E, SymbolSet &Bound, SymbolSet &Out) {
+  auto WithBinder = [&](Symbol B, const Term *Body) {
+    bool Inserted = Bound.insert(B).second;
+    freeValVarsRec(Body, Bound, Out);
+    if (Inserted)
+      Bound.erase(B);
+  };
+  switch (E->kind()) {
+  case TermKind::App:
+    freeValVarsRec(E->appFun(), Bound, Out);
+    for (const Value *V : E->appArgs())
+      freeValVarsRec(V, Bound, Out);
+    return;
+  case TermKind::Let: {
+    const Op *O = E->letOp();
+    if (O->is(OpKind::Prim)) {
+      freeValVarsRec(O->lhs(), Bound, Out);
+      freeValVarsRec(O->rhs(), Bound, Out);
+    } else {
+      freeValVarsRec(O->value(), Bound, Out);
+    }
+    WithBinder(E->binderVar(), E->sub1());
+    return;
+  }
+  case TermKind::Halt:
+    freeValVarsRec(E->scrutinee(), Bound, Out);
+    return;
+  case TermKind::IfGc:
+  case TermKind::IfReg:
+    freeValVarsRec(E->sub1(), Bound, Out);
+    freeValVarsRec(E->sub2(), Bound, Out);
+    return;
+  case TermKind::OpenTag:
+  case TermKind::OpenTyVar:
+  case TermKind::OpenRegion:
+    freeValVarsRec(E->scrutinee(), Bound, Out);
+    WithBinder(E->binderVar2(), E->sub1());
+    return;
+  case TermKind::LetRegion:
+  case TermKind::Only:
+    freeValVarsRec(E->sub1(), Bound, Out);
+    return;
+  case TermKind::Typecase:
+    freeValVarsRec(E->caseInt(), Bound, Out);
+    freeValVarsRec(E->caseArrow(), Bound, Out);
+    freeValVarsRec(E->caseProd(), Bound, Out);
+    freeValVarsRec(E->caseExists(), Bound, Out);
+    return;
+  case TermKind::IfLeft:
+    freeValVarsRec(E->scrutinee(), Bound, Out);
+    WithBinder(E->binderVar(), E->sub1());
+    WithBinder(E->binderVar(), E->sub2());
+    return;
+  case TermKind::Set:
+    freeValVarsRec(E->scrutinee(), Bound, Out);
+    freeValVarsRec(E->setSource(), Bound, Out);
+    freeValVarsRec(E->sub1(), Bound, Out);
+    return;
+  case TermKind::LetWiden:
+    freeValVarsRec(E->scrutinee(), Bound, Out);
+    WithBinder(E->binderVar(), E->sub1());
+    return;
+  case TermKind::If0:
+    freeValVarsRec(E->scrutinee(), Bound, Out);
+    freeValVarsRec(E->sub1(), Bound, Out);
+    freeValVarsRec(E->sub2(), Bound, Out);
+    return;
+  }
+}
+
+} // namespace
+
+void scav::gc::freeTagVars(const Tag *T, SymbolSet &Out) {
+  SymbolSet Bound;
+  freeTagVarsRec(T, Bound, Out);
+}
+
+void scav::gc::freeRegionsOfType(const Type *T, RegionSet &Out) {
+  SymbolSet Bound;
+  freeRegionsRec(T, Bound, Out);
+}
+
+void scav::gc::freeValVars(const Value *V, SymbolSet &Out) {
+  SymbolSet Bound;
+  freeValVarsRec(V, Bound, Out);
+}
+
+void scav::gc::freeValVars(const Term *E, SymbolSet &Out) {
+  SymbolSet Bound;
+  freeValVarsRec(E, Bound, Out);
+}

@@ -1,0 +1,524 @@
+//===- gc/GcContext.h - Owning context and node factories ------*- C++ -*-===//
+///
+/// \file
+/// GcContext owns the arena behind every λGC AST node and provides the only
+/// way to construct nodes. It also interns the handful of singletons (Ω,
+/// int, the Int tag, the cd region) used everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_GCCONTEXT_H
+#define SCAV_GC_GCCONTEXT_H
+
+#include "gc/Term.h"
+#include "support/Arena.h"
+#include "support/Symbol.h"
+
+#include <string_view>
+
+namespace scav::gc {
+
+/// Owns all λGC AST nodes and the symbol table used for their variables.
+class GcContext {
+public:
+  GcContext() {
+    OmegaKind = Alloc.create<Kind>(Kind());
+    IntTagNode = allocTag(TagKind::Int);
+    IntTypeNode = allocType(TypeKind::Int);
+    CdRegion = Region::name(Syms.intern("cd"));
+  }
+
+  GcContext(const GcContext &) = delete;
+  GcContext &operator=(const GcContext &) = delete;
+
+  SymbolTable &symbols() { return Syms; }
+  const SymbolTable &symbols() const { return Syms; }
+
+  Symbol intern(std::string_view S) { return Syms.intern(S); }
+  Symbol fresh(std::string_view Base) { return Syms.fresh(Base); }
+  std::string_view name(Symbol S) const { return Syms.name(S); }
+
+  /// The distinguished code region cd (§4.3).
+  Region cd() const { return CdRegion; }
+
+  // -- Kinds -------------------------------------------------------------
+
+  const Kind *omega() const { return OmegaKind; }
+  const Kind *arrowKind(const Kind *From, const Kind *To) {
+    return Alloc.create<Kind>(Kind(From, To));
+  }
+  /// Ω → Ω, the kind of tag functions.
+  const Kind *omegaToOmega() { return arrowKind(OmegaKind, OmegaKind); }
+
+  // -- Tags ----------------------------------------------------------------
+
+  const Tag *tagInt() const { return IntTagNode; }
+
+  const Tag *tagVar(Symbol S) {
+    Tag *T = allocTag(TagKind::Var);
+    T->V = S;
+    return T;
+  }
+
+  const Tag *tagProd(const Tag *L, const Tag *R) {
+    Tag *T = allocTag(TagKind::Prod);
+    T->A = L;
+    T->B = R;
+    return T;
+  }
+
+  const Tag *tagArrow(std::vector<const Tag *> Args) {
+    Tag *T = allocTag(TagKind::Arrow);
+    T->Args = std::move(Args);
+    return T;
+  }
+
+  const Tag *tagExists(Symbol Var, const Tag *Body) {
+    Tag *T = allocTag(TagKind::Exists);
+    T->V = Var;
+    T->A = Body;
+    return T;
+  }
+
+  const Tag *tagLam(Symbol Var, const Kind *K, const Tag *Body) {
+    Tag *T = allocTag(TagKind::Lam);
+    T->V = Var;
+    T->BK = K;
+    T->A = Body;
+    return T;
+  }
+  const Tag *tagLam(Symbol Var, const Tag *Body) {
+    return tagLam(Var, omega(), Body);
+  }
+
+  const Tag *tagApp(const Tag *Fun, const Tag *Arg) {
+    Tag *T = allocTag(TagKind::App);
+    T->A = Fun;
+    T->B = Arg;
+    return T;
+  }
+
+  /// λt.t — the identity tag function, used to fill unused te slots in the
+  /// closure-converted collector (Fig 12).
+  const Tag *tagIdFun() {
+    Symbol T = fresh("t");
+    return tagLam(T, tagVar(T));
+  }
+
+  // -- Types ---------------------------------------------------------------
+
+  const Type *typeInt() const { return IntTypeNode; }
+
+  const Type *typeProd(const Type *L, const Type *R) {
+    Type *T = allocType(TypeKind::Prod);
+    T->A = L;
+    T->B = R;
+    return T;
+  }
+
+  const Type *typeCode(std::vector<Symbol> TagParams,
+                       std::vector<const Kind *> TagKinds,
+                       std::vector<Symbol> RegionParams,
+                       std::vector<const Type *> Args) {
+    assert(TagParams.size() == TagKinds.size() && "mismatched tag binders");
+    Type *T = allocType(TypeKind::Code);
+    T->TagParams = std::move(TagParams);
+    T->TagKinds = std::move(TagKinds);
+    T->RegionParams = std::move(RegionParams);
+    T->Args = std::move(Args);
+    return T;
+  }
+
+  /// ∀J~τKJ~ρK(~σ) →At 0: translucent code with pinned tag and region
+  /// arguments (see the note in Type.h).
+  const Type *typeTransCode(std::vector<const Tag *> TagArgs,
+                            std::vector<Region> RegionArgs,
+                            std::vector<const Type *> Args, Region At) {
+    Type *T = allocType(TypeKind::TransCode);
+    T->TagArgs = std::move(TagArgs);
+    T->Regions = std::move(RegionArgs);
+    T->Args = std::move(Args);
+    T->R1 = At;
+    return T;
+  }
+
+  const Type *typeExistsTag(Symbol Var, const Kind *K, const Type *Body) {
+    Type *T = allocType(TypeKind::ExistsTag);
+    T->V = Var;
+    T->BK = K;
+    T->A = Body;
+    return T;
+  }
+
+  const Type *typeExistsTyVar(Symbol Var, RegionSet Delta, const Type *Body) {
+    Type *T = allocType(TypeKind::ExistsTyVar);
+    T->V = Var;
+    T->Delta = std::move(Delta);
+    T->A = Body;
+    return T;
+  }
+
+  /// ∃r∈∆.(Body at r); Body may mention r.
+  const Type *typeExistsRegion(Symbol Var, RegionSet Delta, const Type *Body) {
+    Type *T = allocType(TypeKind::ExistsRegion);
+    T->V = Var;
+    T->Delta = std::move(Delta);
+    T->A = Body;
+    return T;
+  }
+
+  const Type *typeAt(const Type *Body, Region R) {
+    Type *T = allocType(TypeKind::At);
+    T->A = Body;
+    T->R1 = R;
+    return T;
+  }
+
+  /// M_ρ(τ) (Base/Forward: one region) or M_{ρy,ρo}(τ) (Generational: two).
+  const Type *typeM(std::vector<Region> Regions, const Tag *T) {
+    assert((Regions.size() == 1 || Regions.size() == 2) &&
+           "M takes one or two regions");
+    Type *Ty = allocType(TypeKind::MApp);
+    Ty->Regions = std::move(Regions);
+    Ty->T = T;
+    return Ty;
+  }
+  const Type *typeM(Region R, const Tag *T) {
+    return typeM(std::vector<Region>{R}, T);
+  }
+
+  const Type *typeC(Region From, Region To, const Tag *T) {
+    Type *Ty = allocType(TypeKind::CApp);
+    Ty->R1 = From;
+    Ty->R2 = To;
+    Ty->T = T;
+    return Ty;
+  }
+
+  const Type *typeVar(Symbol S) {
+    Type *T = allocType(TypeKind::TyVar);
+    T->V = S;
+    return T;
+  }
+
+  const Type *typeLeft(const Type *Body) {
+    Type *T = allocType(TypeKind::Left);
+    T->A = Body;
+    return T;
+  }
+
+  const Type *typeRight(const Type *Body) {
+    Type *T = allocType(TypeKind::Right);
+    T->A = Body;
+    return T;
+  }
+
+  const Type *typeSum(const Type *L, const Type *R) {
+    Type *T = allocType(TypeKind::Sum);
+    T->A = L;
+    T->B = R;
+    return T;
+  }
+
+  // -- Values ----------------------------------------------------------
+
+  const Value *valInt(int64_t N) {
+    Value *V = allocValue(ValueKind::Int);
+    V->N = N;
+    return V;
+  }
+
+  const Value *valVar(Symbol S) {
+    Value *V = allocValue(ValueKind::Var);
+    V->V = S;
+    return V;
+  }
+
+  const Value *valAddr(Address A) {
+    assert(A.R.isName() && "addresses live in concrete regions");
+    Value *V = allocValue(ValueKind::Addr);
+    V->Addr = A;
+    return V;
+  }
+
+  const Value *valPair(const Value *A, const Value *B) {
+    Value *V = allocValue(ValueKind::Pair);
+    V->A = A;
+    V->B = B;
+    return V;
+  }
+
+  const Value *valPackTag(Symbol Var, const Tag *Witness, const Value *Payload,
+                          const Type *BodyType) {
+    Value *V = allocValue(ValueKind::PackTag);
+    V->V = Var;
+    V->TW = Witness;
+    V->A = Payload;
+    V->BT = BodyType;
+    return V;
+  }
+
+  /// vJ~τKJ~ρK: translucent application pinning tags and regions.
+  const Value *valTransApp(const Value *Inner, std::vector<const Tag *> TagArgs,
+                           std::vector<Region> RegionArgs) {
+    Value *V = allocValue(ValueKind::TransApp);
+    V->A = Inner;
+    V->TagArgs = std::move(TagArgs);
+    V->RegionArgs = std::move(RegionArgs);
+    return V;
+  }
+
+  const Value *valPackTyVar(Symbol Var, RegionSet Delta, const Type *Witness,
+                            const Value *Payload, const Type *BodyType) {
+    Value *V = allocValue(ValueKind::PackTyVar);
+    V->V = Var;
+    V->Delta = std::move(Delta);
+    V->TyW = Witness;
+    V->A = Payload;
+    V->BT = BodyType;
+    return V;
+  }
+
+  const Value *valCode(std::vector<Symbol> TagParams,
+                       std::vector<const Kind *> TagKinds,
+                       std::vector<Symbol> RegionParams,
+                       std::vector<Symbol> ValParams,
+                       std::vector<const Type *> ValTypes, const Term *Body) {
+    assert(TagParams.size() == TagKinds.size() && "mismatched tag binders");
+    assert(ValParams.size() == ValTypes.size() && "mismatched val binders");
+    Value *V = allocValue(ValueKind::Code);
+    V->TagParams = std::move(TagParams);
+    V->TagKinds = std::move(TagKinds);
+    V->RegionParams = std::move(RegionParams);
+    V->ValParams = std::move(ValParams);
+    V->ValTypes = std::move(ValTypes);
+    V->Body = Body;
+    return V;
+  }
+
+  const Value *valInl(const Value *Payload) {
+    Value *V = allocValue(ValueKind::Inl);
+    V->A = Payload;
+    return V;
+  }
+
+  const Value *valInr(const Value *Payload) {
+    Value *V = allocValue(ValueKind::Inr);
+    V->A = Payload;
+    return V;
+  }
+
+  const Value *valPackRegion(Symbol Var, RegionSet Delta, Region Witness,
+                             const Value *Payload, const Type *BodyType) {
+    Value *V = allocValue(ValueKind::PackRegion);
+    V->V = Var;
+    V->Delta = std::move(Delta);
+    V->RW = Witness;
+    V->A = Payload;
+    V->BT = BodyType;
+    return V;
+  }
+
+  // -- Operations --------------------------------------------------------
+
+  const Op *opVal(const Value *V) {
+    Op *O = allocOp(OpKind::Val);
+    O->A = V;
+    return O;
+  }
+
+  const Op *opProj(unsigned Index, const Value *V) {
+    assert((Index == 1 || Index == 2) && "projection index must be 1 or 2");
+    Op *O = allocOp(Index == 1 ? OpKind::Proj1 : OpKind::Proj2);
+    O->A = V;
+    return O;
+  }
+
+  const Op *opPut(Region R, const Value *V) {
+    Op *O = allocOp(OpKind::Put);
+    O->R = R;
+    O->A = V;
+    return O;
+  }
+
+  const Op *opGet(const Value *V) {
+    Op *O = allocOp(OpKind::Get);
+    O->A = V;
+    return O;
+  }
+
+  const Op *opStrip(const Value *V) {
+    Op *O = allocOp(OpKind::Strip);
+    O->A = V;
+    return O;
+  }
+
+  const Op *opPrim(PrimOp P, const Value *L, const Value *R) {
+    Op *O = allocOp(OpKind::Prim);
+    O->P = P;
+    O->A = L;
+    O->B = R;
+    return O;
+  }
+
+  // -- Terms ---------------------------------------------------------------
+
+  const Term *termApp(const Value *Fun, std::vector<const Tag *> Tags,
+                      std::vector<Region> Regions,
+                      std::vector<const Value *> Args) {
+    Term *T = allocTerm(TermKind::App);
+    T->V1 = Fun;
+    T->TagArgs = std::move(Tags);
+    T->RegionArgs = std::move(Regions);
+    T->ValArgs = std::move(Args);
+    return T;
+  }
+
+  const Term *termLet(Symbol X, const Op *O, const Term *Body) {
+    Term *T = allocTerm(TermKind::Let);
+    T->X1 = X;
+    T->O = O;
+    T->E1 = Body;
+    return T;
+  }
+
+  const Term *termHalt(const Value *V) {
+    Term *T = allocTerm(TermKind::Halt);
+    T->V1 = V;
+    return T;
+  }
+
+  const Term *termIfGc(Region R, const Term *Full, const Term *NotFull) {
+    Term *T = allocTerm(TermKind::IfGc);
+    T->R1 = R;
+    T->E1 = Full;
+    T->E2 = NotFull;
+    return T;
+  }
+
+  const Term *termOpenTag(const Value *V, Symbol TagVar, Symbol ValVar,
+                          const Term *Body) {
+    Term *T = allocTerm(TermKind::OpenTag);
+    T->V1 = V;
+    T->X1 = TagVar;
+    T->X2 = ValVar;
+    T->E1 = Body;
+    return T;
+  }
+
+  const Term *termOpenTyVar(const Value *V, Symbol TyVar, Symbol ValVar,
+                            const Term *Body) {
+    Term *T = allocTerm(TermKind::OpenTyVar);
+    T->V1 = V;
+    T->X1 = TyVar;
+    T->X2 = ValVar;
+    T->E1 = Body;
+    return T;
+  }
+
+  const Term *termLetRegion(Symbol R, const Term *Body) {
+    Term *T = allocTerm(TermKind::LetRegion);
+    T->X1 = R;
+    T->E1 = Body;
+    return T;
+  }
+
+  const Term *termOnly(RegionSet Keep, const Term *Body) {
+    Term *T = allocTerm(TermKind::Only);
+    T->Delta = std::move(Keep);
+    T->E1 = Body;
+    return T;
+  }
+
+  const Term *termTypecase(const Tag *Scrutinee, const Term *CaseInt,
+                           const Term *CaseArrow, Symbol ProdVar1,
+                           Symbol ProdVar2, const Term *CaseProd,
+                           Symbol ExistsVar, const Term *CaseExists) {
+    Term *T = allocTerm(TermKind::Typecase);
+    T->T = Scrutinee;
+    T->E1 = CaseInt;
+    T->E2 = CaseArrow;
+    T->X1 = ProdVar1;
+    T->X2 = ProdVar2;
+    T->E3 = CaseProd;
+    T->X3 = ExistsVar;
+    T->E4 = CaseExists;
+    return T;
+  }
+
+  const Term *termIfLeft(Symbol X, const Value *Scrutinee, const Term *IfL,
+                         const Term *IfR) {
+    Term *T = allocTerm(TermKind::IfLeft);
+    T->X1 = X;
+    T->V1 = Scrutinee;
+    T->E1 = IfL;
+    T->E2 = IfR;
+    return T;
+  }
+
+  const Term *termSet(const Value *Dst, const Value *Src, const Term *Rest) {
+    Term *T = allocTerm(TermKind::Set);
+    T->V1 = Dst;
+    T->V2 = Src;
+    T->E1 = Rest;
+    return T;
+  }
+
+  const Term *termLetWiden(Symbol X, Region ToRegion, const Tag *Tau,
+                           const Value *V, const Term *Body) {
+    Term *T = allocTerm(TermKind::LetWiden);
+    T->X1 = X;
+    T->R1 = ToRegion;
+    T->T = Tau;
+    T->V1 = V;
+    T->E1 = Body;
+    return T;
+  }
+
+  const Term *termOpenRegion(const Value *V, Symbol RegionVar, Symbol ValVar,
+                             const Term *Body) {
+    Term *T = allocTerm(TermKind::OpenRegion);
+    T->V1 = V;
+    T->X1 = RegionVar;
+    T->X2 = ValVar;
+    T->E1 = Body;
+    return T;
+  }
+
+  const Term *termIfReg(Region A, Region B, const Term *Eq, const Term *Ne) {
+    Term *T = allocTerm(TermKind::IfReg);
+    T->R1 = A;
+    T->R2 = B;
+    T->E1 = Eq;
+    T->E2 = Ne;
+    return T;
+  }
+
+  const Term *termIf0(const Value *V, const Term *Zero, const Term *NonZero) {
+    Term *T = allocTerm(TermKind::If0);
+    T->V1 = V;
+    T->E1 = Zero;
+    T->E2 = NonZero;
+    return T;
+  }
+
+  Arena &arena() { return Alloc; }
+
+private:
+  Tag *allocTag(TagKind K) { return Alloc.create<Tag>(Tag(K)); }
+  Type *allocType(TypeKind K) { return Alloc.create<Type>(Type(K)); }
+  Value *allocValue(ValueKind K) { return Alloc.create<Value>(Value(K)); }
+  Op *allocOp(OpKind K) { return Alloc.create<Op>(Op(K)); }
+  Term *allocTerm(TermKind K) { return Alloc.create<Term>(Term(K)); }
+
+  Arena Alloc;
+  SymbolTable Syms;
+  const Kind *OmegaKind;
+  const Tag *IntTagNode;
+  const Type *IntTypeNode;
+  Region CdRegion;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_GCCONTEXT_H

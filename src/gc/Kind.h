@@ -1,0 +1,58 @@
+//===- gc/Kind.h - Kinds κ ::= Ω | κ → κ -----------------------*- C++ -*-===//
+///
+/// \file
+/// The kind calculus classifying tags (Fig 2). The paper only needs Ω and
+/// Ω→Ω; we keep the general arrow form, which costs nothing and keeps the
+/// kind checker honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_KIND_H
+#define SCAV_GC_KIND_H
+
+#include <cassert>
+
+namespace scav::gc {
+
+enum class KindKind { Omega, Arrow };
+
+/// A kind; arena-allocated and immutable. Compare with Kind::equal.
+class Kind {
+public:
+  KindKind kind() const { return K; }
+  bool isOmega() const { return K == KindKind::Omega; }
+  bool isArrow() const { return K == KindKind::Arrow; }
+
+  const Kind *from() const {
+    assert(isArrow() && "from() on non-arrow kind");
+    return From;
+  }
+  const Kind *to() const {
+    assert(isArrow() && "to() on non-arrow kind");
+    return To;
+  }
+
+  static bool equal(const Kind *A, const Kind *B) {
+    if (A == B)
+      return true;
+    if (A->K != B->K)
+      return false;
+    if (A->isOmega())
+      return true;
+    return equal(A->From, B->From) && equal(A->To, B->To);
+  }
+
+private:
+  friend class GcContext;
+  Kind() : K(KindKind::Omega), From(nullptr), To(nullptr) {}
+  Kind(const Kind *From, const Kind *To)
+      : K(KindKind::Arrow), From(From), To(To) {}
+
+  KindKind K;
+  const Kind *From;
+  const Kind *To;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_KIND_H

@@ -1,0 +1,41 @@
+//===- gc/Lang.h - Language levels of the λGC family -----------*- C++ -*-===//
+///
+/// \file
+/// The paper defines a base calculus λGC (§4–§6) and two extensions:
+/// λGC-forw (§7, forwarding pointers) and λGC-gen (§8, generations). We use
+/// one shared AST; the typechecker, the type operator M, and the machine are
+/// parameterized by the LanguageLevel, which gates the extension constructs
+/// and selects the matching M equations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_LANG_H
+#define SCAV_GC_LANG_H
+
+namespace scav::gc {
+
+enum class LanguageLevel {
+  /// λGC: regions + intensional type analysis (Fig 2/5/6).
+  Base,
+  /// λGC-forw: adds left/right/sum types, inl/inr/strip, ifleft, set, widen
+  /// (Fig 8, §7).
+  Forward,
+  /// λGC-gen: adds region existentials and ifreg (Fig 10, §8).
+  Generational,
+};
+
+inline const char *languageLevelName(LanguageLevel L) {
+  switch (L) {
+  case LanguageLevel::Base:
+    return "lambda-GC";
+  case LanguageLevel::Forward:
+    return "lambda-GC-forw";
+  case LanguageLevel::Generational:
+    return "lambda-GC-gen";
+  }
+  return "<invalid>";
+}
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_LANG_H

@@ -1,0 +1,561 @@
+//===- gc/Machine.cpp - Small-step allocation semantics -------------------===//
+///
+/// \file
+/// Implements Fig 5 (λGC), the §7 rules (ifleft/strip/set/widen — with the
+/// paper's `ifleft (inr v) ⇒ el` typo corrected to `er`), and the §8 rules
+/// (region-existential open, ifreg). See Machine.h for the Ψ-maintenance
+/// contract.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Machine.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+Address Machine::reserveCode(std::string_view Label) {
+  Symbol CdS = C.cd().sym();
+  RegionData *R = Mem.region(CdS);
+  assert(R && "cd region must exist");
+  (void)Label;
+  uint32_t Off = static_cast<uint32_t>(R->Cells.size());
+  R->Cells.push_back(nullptr); // placeholder until defineCode
+  return Address{C.cd(), Off};
+}
+
+void Machine::defineCode(Address A, const Value *Code) {
+  assert(A.R == C.cd() && "code must live in cd");
+  assert(Code->is(ValueKind::Code) && "cd region only holds code (§6.2)");
+  RegionData *R = Mem.region(C.cd().sym());
+  assert(A.Offset < R->Cells.size() && "defineCode on unreserved label");
+  R->Cells[A.Offset] = Code;
+  ++R->TotalAllocated;
+  // Ψ(cd.ℓ) is the code's declared type.
+  const Type *Ty = C.typeCode(Code->tagParams(), Code->tagParamKinds(),
+                              Code->regionParams(), Code->valParamTypes());
+  Psi.set(A, Ty);
+}
+
+Address Machine::installCode(std::string_view Label, const Value *Code) {
+  Address A = reserveCode(Label);
+  defineCode(A, Code);
+  return A;
+}
+
+Region Machine::createRegion(std::string_view BaseName, uint32_t Capacity) {
+  Symbol S = C.fresh(BaseName);
+  Mem.addRegion(S, Capacity == 0 ? Config.DefaultRegionCapacity : Capacity);
+  Mem.region(S)->Epoch = OnlyEpoch;
+  Psi.addRegion(S);
+  ++Stats.RegionsCreated;
+  return Region::name(S);
+}
+
+const Value *Machine::allocate(Region R, const Value *V) {
+  assert(R.isName() && "allocate into a concrete region");
+  std::optional<Address> A = Mem.put(R.sym(), V);
+  assert(A && "allocate into a reclaimed region");
+  ++Stats.Puts;
+  recordPut(*A, V);
+  return C.valAddr(*A);
+}
+
+void Machine::start(const Term *E) {
+  Cur = E;
+  St = Status::Running;
+  HaltVal = nullptr;
+  StuckMsg.clear();
+}
+
+const Type *Machine::inferRuntimeType(const Value *V) {
+  InferDiags.clear();
+  CheckEnv E;
+  E.Psi.M = &Psi;
+  E.Psi.Cd = C.cd().sym();
+  E.Delta = Psi.domain();
+  return Checker.inferValue(V, E);
+}
+
+void Machine::recordPut(Address A, const Value *V) {
+  if (!Config.TrackTypes)
+    return;
+  const Type *T = inferRuntimeType(V);
+  if (!T) {
+    if (TypeTrackingOkFlag) {
+      TypeTrackingOkFlag = false;
+      TypeTrackingMsg = "put of value that does not infer: " +
+                        printValue(C, V) + "\n" + InferDiags.str();
+    }
+    return;
+  }
+  Psi.set(A, T);
+}
+
+//===----------------------------------------------------------------------===//
+// The T iterator (Lemma C.8) on Ψ cell types
+//===----------------------------------------------------------------------===//
+
+const Type *Machine::renameRegionName(const Type *T, Symbol From, Symbol To) {
+  auto Ren = [&](Region R) {
+    return (R.isName() && R.sym() == From) ? Region::name(To) : R;
+  };
+  switch (T->kind()) {
+  case TypeKind::Int:
+  case TypeKind::TyVar:
+  case TypeKind::Code:
+    return T;
+  case TypeKind::Prod:
+    return C.typeProd(renameRegionName(T->left(), From, To),
+                      renameRegionName(T->right(), From, To));
+  case TypeKind::Sum:
+    return C.typeSum(renameRegionName(T->left(), From, To),
+                     renameRegionName(T->right(), From, To));
+  case TypeKind::Left:
+    return C.typeLeft(renameRegionName(T->body(), From, To));
+  case TypeKind::Right:
+    return C.typeRight(renameRegionName(T->body(), From, To));
+  case TypeKind::At:
+    return C.typeAt(renameRegionName(T->body(), From, To), Ren(T->atRegion()));
+  case TypeKind::MApp: {
+    std::vector<Region> Rs;
+    for (Region R : T->mRegions())
+      Rs.push_back(Ren(R));
+    return C.typeM(std::move(Rs), T->tag());
+  }
+  case TypeKind::CApp:
+    return C.typeC(Ren(T->cFrom()), Ren(T->cTo()), T->tag());
+  case TypeKind::ExistsTag:
+    return C.typeExistsTag(T->var(), T->binderKind(),
+                           renameRegionName(T->body(), From, To));
+  case TypeKind::ExistsTyVar: {
+    RegionSet D;
+    for (Region R : T->delta())
+      D.insert(Ren(R));
+    return C.typeExistsTyVar(T->var(), std::move(D),
+                             renameRegionName(T->body(), From, To));
+  }
+  case TypeKind::ExistsRegion: {
+    RegionSet D;
+    for (Region R : T->delta())
+      D.insert(Ren(R));
+    return C.typeExistsRegion(T->var(), std::move(D),
+                              renameRegionName(T->body(), From, To));
+  }
+  case TypeKind::TransCode: {
+    std::vector<Region> Rs;
+    for (Region R : T->transRegions())
+      Rs.push_back(Ren(R));
+    std::vector<const Type *> Args;
+    for (const Type *A : T->argTypes())
+      Args.push_back(renameRegionName(A, From, To));
+    return C.typeTransCode(T->transTags(), std::move(Rs), std::move(Args),
+                           Ren(T->atRegion()));
+  }
+  }
+  return T;
+}
+
+const Type *Machine::widenPsiType(const Type *T, Symbol FromR, Symbol ToR) {
+  Region From = Region::name(FromR);
+  switch (T->kind()) {
+  case TypeKind::Int:
+  case TypeKind::Code:
+  case TypeKind::TransCode:
+  case TypeKind::TyVar:
+  case TypeKind::Sum:   // already collector-view; T is idempotent on it
+  case TypeKind::Right:
+  case TypeKind::CApp:
+    return T;
+  case TypeKind::Prod:
+    return C.typeProd(widenPsiType(T->left(), FromR, ToR),
+                      widenPsiType(T->right(), FromR, ToR));
+  case TypeKind::ExistsTag:
+    return C.typeExistsTag(T->var(), T->binderKind(),
+                           widenPsiType(T->body(), FromR, ToR));
+  case TypeKind::ExistsTyVar:
+    return C.typeExistsTyVar(T->var(), T->delta(),
+                             widenPsiType(T->body(), FromR, ToR));
+  case TypeKind::ExistsRegion:
+    return C.typeExistsRegion(T->var(), T->delta(),
+                              widenPsiType(T->body(), FromR, ToR));
+  case TypeKind::MApp:
+    // T(M_ν(τ)) = C_{ν,ν'}(τ); M at other regions is untouched.
+    if (T->mRegions().size() == 1 && T->mRegions()[0] == From)
+      return C.typeC(From, Region::name(ToR), T->tag());
+    return T;
+  case TypeKind::Left:
+    // A bare mutator cell type `left σ` gains the forwarding alternative:
+    // left σ  ↦  left T(σ) + right((left σ[ν'/ν]) at ν').
+    return C.typeSum(
+        C.typeLeft(widenPsiType(T->body(), FromR, ToR)),
+        C.typeRight(C.typeAt(
+            C.typeLeft(renameRegionName(T->body(), FromR, ToR)),
+            Region::name(ToR))));
+  case TypeKind::At: {
+    if (T->atRegion() == C.cd())
+      return T;
+    if (T->atRegion() == From && T->body()->is(TypeKind::Left))
+      return C.typeAt(widenPsiType(T->body(), FromR, ToR), From);
+    return C.typeAt(widenPsiType(T->body(), FromR, ToR), T->atRegion());
+  }
+  }
+  return T;
+}
+
+const Value *Machine::widenValueTypes(const Value *V, Symbol FromR,
+                                      Symbol ToR) {
+  switch (V->kind()) {
+  case ValueKind::Int:
+  case ValueKind::Var:
+  case ValueKind::Addr:
+  case ValueKind::Code: // cd cells are never widened
+    return V;
+  case ValueKind::Pair:
+    return C.valPair(widenValueTypes(V->first(), FromR, ToR),
+                     widenValueTypes(V->second(), FromR, ToR));
+  case ValueKind::Inl:
+    return C.valInl(widenValueTypes(V->payload(), FromR, ToR));
+  case ValueKind::Inr:
+    return C.valInr(widenValueTypes(V->payload(), FromR, ToR));
+  case ValueKind::TransApp:
+    return C.valTransApp(widenValueTypes(V->payload(), FromR, ToR),
+                         V->transTags(), V->transRegions());
+  case ValueKind::PackTag:
+    return C.valPackTag(V->var(), V->tagWitness(),
+                        widenValueTypes(V->payload(), FromR, ToR),
+                        widenPsiType(V->bodyType(), FromR, ToR));
+  case ValueKind::PackTyVar:
+    return C.valPackTyVar(V->var(), V->delta(),
+                          widenPsiType(V->typeWitness(), FromR, ToR),
+                          widenValueTypes(V->payload(), FromR, ToR),
+                          widenPsiType(V->bodyType(), FromR, ToR));
+  case ValueKind::PackRegion:
+    return C.valPackRegion(V->var(), V->delta(), V->regionWitness(),
+                           widenValueTypes(V->payload(), FromR, ToR),
+                           widenPsiType(V->bodyType(), FromR, ToR));
+  }
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// The step function
+//===----------------------------------------------------------------------===//
+
+Machine::Status Machine::step() {
+  if (St != Status::Running)
+    return St;
+  const Term *E = Cur;
+  ++Stats.Steps;
+
+  switch (E->kind()) {
+  case TermKind::App: {
+    ++Stats.Applications;
+    const Value *F = E->appFun();
+    if (F->is(ValueKind::TransApp))
+      F = F->payload(); // (vJ~τK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v)
+    if (!F->is(ValueKind::Addr))
+      return stuck("application of non-address value: " + printValue(C, F));
+    const Value *Code = Mem.get(F->address());
+    if (!Code)
+      return stuck("application of dangling code address: " +
+                   printValue(C, F));
+    if (!Code->is(ValueKind::Code))
+      return stuck("application of non-code cell: " + printValue(C, F));
+    if (Code->tagParams().size() != E->appTags().size() ||
+        Code->regionParams().size() != E->appRegions().size() ||
+        Code->valParams().size() != E->appArgs().size())
+      return stuck("application arity mismatch at " + printValue(C, F));
+    Subst S;
+    for (size_t I = 0, N = E->appTags().size(); I != N; ++I)
+      S.Tags[Code->tagParams()[I]] = normalizeTag(C, E->appTags()[I]);
+    for (size_t I = 0, N = E->appRegions().size(); I != N; ++I) {
+      Region R = E->appRegions()[I];
+      if (!R.isName())
+        return stuck("application with unresolved region variable " +
+                     printRegion(C, R));
+      S.Regions[Code->regionParams()[I]] = R;
+    }
+    for (size_t I = 0, N = E->appArgs().size(); I != N; ++I)
+      S.Vals[Code->valParams()[I]] = E->appArgs()[I];
+    Cur = applySubst(C, Code->codeBody(), S);
+    return St;
+  }
+
+  case TermKind::Let: {
+    const Op *O = E->letOp();
+    Subst S;
+    switch (O->kind()) {
+    case OpKind::Val:
+      S.Vals[E->binderVar()] = O->value();
+      break;
+    case OpKind::Proj1:
+    case OpKind::Proj2: {
+      ++Stats.Projections;
+      const Value *V = O->value();
+      if (!V->is(ValueKind::Pair))
+        return stuck("projection from non-pair: " + printValue(C, V));
+      S.Vals[E->binderVar()] =
+          O->is(OpKind::Proj1) ? V->first() : V->second();
+      break;
+    }
+    case OpKind::Put: {
+      ++Stats.Puts;
+      Region R = O->putRegion();
+      if (!R.isName())
+        return stuck("put into unresolved region variable " +
+                     printRegion(C, R));
+      std::optional<Address> A = Mem.put(R.sym(), O->value());
+      if (!A)
+        return stuck("put into reclaimed region " + printRegion(C, R));
+      recordPut(*A, O->value());
+      S.Vals[E->binderVar()] = C.valAddr(*A);
+      break;
+    }
+    case OpKind::Get: {
+      ++Stats.Gets;
+      const Value *V = O->value();
+      if (!V->is(ValueKind::Addr))
+        return stuck("get of non-address: " + printValue(C, V));
+      const Value *Cell = Mem.get(V->address());
+      if (!Cell)
+        return stuck("get of dangling address: " + printValue(C, V));
+      S.Vals[E->binderVar()] = Cell;
+      break;
+    }
+    case OpKind::Strip: {
+      const Value *V = O->value();
+      if (!V->is(ValueKind::Inl) && !V->is(ValueKind::Inr))
+        return stuck("strip of untagged value: " + printValue(C, V));
+      S.Vals[E->binderVar()] = V->payload();
+      break;
+    }
+    case OpKind::Prim: {
+      const Value *L = O->lhs(), *R = O->rhs();
+      if (!L->is(ValueKind::Int) || !R->is(ValueKind::Int))
+        return stuck("primitive on non-integers");
+      int64_t A = L->intValue(), B = R->intValue(), Res = 0;
+      switch (O->primOp()) {
+      case PrimOp::Add:
+        Res = A + B;
+        break;
+      case PrimOp::Sub:
+        Res = A - B;
+        break;
+      case PrimOp::Mul:
+        Res = A * B;
+        break;
+      case PrimOp::Le:
+        Res = A <= B ? 1 : 0;
+        break;
+      }
+      S.Vals[E->binderVar()] = C.valInt(Res);
+      break;
+    }
+    }
+    Cur = applySubst(C, E->sub1(), S);
+    return St;
+  }
+
+  case TermKind::Halt: {
+    const Value *V = E->scrutinee();
+    St = Status::Halted;
+    HaltVal = V;
+    return St;
+  }
+
+  case TermKind::IfGc: {
+    Region R = E->region();
+    if (!R.isName())
+      return stuck("ifgc on unresolved region variable");
+    if (Mem.isFull(R.sym())) {
+      ++Stats.IfGcTaken;
+      Cur = E->sub1();
+    } else {
+      ++Stats.IfGcSkipped;
+      Cur = E->sub2();
+    }
+    return St;
+  }
+
+  case TermKind::OpenTag: {
+    ++Stats.Opens;
+    const Value *V = E->scrutinee();
+    if (!V->is(ValueKind::PackTag))
+      return stuck("open-as-tag of non-package: " + printValue(C, V));
+    Subst S;
+    S.Tags[E->binderVar()] = normalizeTag(C, V->tagWitness());
+    S.Vals[E->binderVar2()] = V->payload();
+    Cur = applySubst(C, E->sub1(), S);
+    return St;
+  }
+
+  case TermKind::OpenTyVar: {
+    ++Stats.Opens;
+    const Value *V = E->scrutinee();
+    if (!V->is(ValueKind::PackTyVar))
+      return stuck("open-as-type of non-package: " + printValue(C, V));
+    Subst S;
+    S.Types[E->binderVar()] = V->typeWitness();
+    S.Vals[E->binderVar2()] = V->payload();
+    Cur = applySubst(C, E->sub1(), S);
+    return St;
+  }
+
+  case TermKind::OpenRegion: {
+    ++Stats.Opens;
+    const Value *V = E->scrutinee();
+    if (!V->is(ValueKind::PackRegion))
+      return stuck("open-as-region of non-package: " + printValue(C, V));
+    if (!V->regionWitness().isName())
+      return stuck("region package with unresolved witness");
+    Subst S;
+    S.Regions[E->binderVar()] = V->regionWitness();
+    S.Vals[E->binderVar2()] = V->payload();
+    Cur = applySubst(C, E->sub1(), S);
+    return St;
+  }
+
+  case TermKind::LetRegion: {
+    Region R = createRegion(C.name(E->binderVar()), 0);
+    Subst S;
+    S.Regions[E->binderVar()] = R;
+    Cur = applySubst(C, E->sub1(), S);
+    return St;
+  }
+
+  case TermKind::Only: {
+    ++Stats.OnlyOps;
+    Stats.OnlyRegionsScanned += Mem.numRegions();
+    for (Region R : E->onlySet())
+      if (!R.isName())
+        return stuck("only with unresolved region variable");
+    size_t Reclaimed = Mem.restrictTo(E->onlySet());
+    Stats.RegionsReclaimed += Reclaimed;
+    if (Config.HeapGrowthFactor != 0 && Config.DefaultRegionCapacity != 0) {
+      // Resize the collection's own to-spaces (regions born this epoch);
+      // older regions keep their capacity so that triggers like the
+      // generational mutator's `ifgc ro` can still fire.
+      for (auto &[S2, R2] : Mem.Regions) {
+        if (S2 == C.cd().sym() || R2.Capacity == 0 || R2.Epoch != OnlyEpoch)
+          continue;
+        uint32_t Want = static_cast<uint32_t>(
+            R2.Cells.size() * Config.HeapGrowthFactor);
+        R2.Capacity = std::max(Config.DefaultRegionCapacity, Want);
+      }
+    }
+    ++OnlyEpoch;
+    // Ψ|∆.
+    std::vector<Symbol> Drop;
+    for (const auto &[S2, _] : Psi.Regions)
+      if (S2 != C.cd().sym() && !E->onlySet().contains(Region::name(S2)))
+        Drop.push_back(S2);
+    for (Symbol S2 : Drop)
+      Psi.removeRegion(S2);
+    Cur = E->sub1();
+    return St;
+  }
+
+  case TermKind::Typecase: {
+    ++Stats.TypecaseSteps;
+    const Tag *T = normalizeTag(C, E->tag());
+    switch (T->kind()) {
+    case TagKind::Int:
+      Cur = E->caseInt();
+      return St;
+    case TagKind::Arrow:
+      Cur = E->caseArrow();
+      return St;
+    case TagKind::Prod: {
+      Subst S;
+      S.Tags[E->prodVar1()] = T->left();
+      S.Tags[E->prodVar2()] = T->right();
+      Cur = applySubst(C, E->caseProd(), S);
+      return St;
+    }
+    case TagKind::Exists: {
+      Subst S;
+      S.Tags[E->existsVar()] = C.tagLam(T->var(), C.omega(), T->body());
+      Cur = applySubst(C, E->caseExists(), S);
+      return St;
+    }
+    default:
+      return stuck("typecase on non-constructor tag: " + printTag(C, T));
+    }
+  }
+
+  case TermKind::IfLeft: {
+    const Value *V = E->scrutinee();
+    Subst S;
+    S.Vals[E->binderVar()] = V;
+    if (V->is(ValueKind::Inl))
+      Cur = applySubst(C, E->sub1(), S);
+    else if (V->is(ValueKind::Inr))
+      Cur = applySubst(C, E->sub2(), S); // (paper Fig 5 typo corrected)
+    else
+      return stuck("ifleft of untagged value: " + printValue(C, V));
+    return St;
+  }
+
+  case TermKind::Set: {
+    ++Stats.Sets;
+    const Value *Dst = E->scrutinee();
+    if (!Dst->is(ValueKind::Addr))
+      return stuck("set of non-address: " + printValue(C, Dst));
+    if (!Mem.update(Dst->address(), E->setSource()))
+      return stuck("set of dangling address: " + printValue(C, Dst));
+    // Ψ deliberately keeps the cell's (sum) type: the forwarding pointer is
+    // typed by subsumption against it.
+    Cur = E->sub1();
+    return St;
+  }
+
+  case TermKind::LetWiden: {
+    ++Stats.Widens;
+    const Value *V = E->scrutinee();
+    if (!V->is(ValueKind::Addr))
+      return stuck("widen of non-address value: " + printValue(C, V));
+    Region To = E->region();
+    if (!To.isName())
+      return stuck("widen with unresolved to-region");
+    Symbol FromS = V->address().R.sym();
+    if (Config.TrackTypes) {
+      auto It = Psi.Regions.find(FromS);
+      if (It != Psi.Regions.end())
+        for (const Type *&Ty : It->second.Cells)
+          if (Ty)
+            Ty = widenPsiType(Ty, FromS, To.sym());
+      if (RegionData *R = Mem.region(FromS))
+        for (const Value *&Cell : R->Cells)
+          if (Cell)
+            Cell = widenValueTypes(Cell, FromS, To.sym());
+    }
+    Subst S;
+    S.Vals[E->binderVar()] = V; // widen is a no-op on data (§7.1)
+    Cur = applySubst(C, E->sub1(), S);
+    return St;
+  }
+
+  case TermKind::IfReg: {
+    Region A = E->ifregLhs(), B = E->ifregRhs();
+    if (!A.isName() || !B.isName())
+      return stuck("ifreg on unresolved region variable");
+    Cur = A == B ? E->sub1() : E->sub2();
+    return St;
+  }
+
+  case TermKind::If0: {
+    const Value *V = E->scrutinee();
+    if (!V->is(ValueKind::Int))
+      return stuck("if0 of non-integer: " + printValue(C, V));
+    Cur = V->intValue() == 0 ? E->sub1() : E->sub2();
+    return St;
+  }
+  }
+  return stuck("unknown term form");
+}
+
+Machine::Status Machine::run(uint64_t MaxSteps) {
+  for (uint64_t I = 0; I != MaxSteps && St == Status::Running; ++I)
+    step();
+  return St;
+}

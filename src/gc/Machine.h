@@ -1,0 +1,187 @@
+//===- gc/Machine.h - Small-step allocation semantics (Fig 5) --*- C++ -*-===//
+///
+/// \file
+/// Executes machine states P = (M, e) by the small-step rules of Fig 5 plus
+/// the λGC-forw (§7) and λGC-gen (§8) extensions. The machine additionally
+/// maintains the memory-type witness Ψ (⊢ M : Ψ) incrementally:
+///
+///   * `put` records the inferred type of the stored value;
+///   * `set` keeps the cell's type (the new value is re-checked against it
+///     by the state checker via sum subsumption — this is what makes
+///     installing forwarding pointers type-safe);
+///   * `widen` rewrites Ψ with the T_{ν,ν'} iterator of Lemma C.8, turning
+///     every mutator-view cell type into its collector (C) view;
+///   * `only` restricts Ψ alongside M.
+///
+/// The paper's `ifgc ρ e1 e2` steps to e1 "if ρ is full": regions carry a
+/// soft capacity (MachineConfig::DefaultRegionCapacity) that only drives
+/// this test; allocation itself never fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_MACHINE_H
+#define SCAV_GC_MACHINE_H
+
+#include "gc/Memory.h"
+#include "gc/TypeCheck.h"
+
+#include <string>
+
+namespace scav::gc {
+
+struct MachineConfig {
+  /// Soft capacity (in cells) for regions created by `let region`;
+  /// 0 = unlimited (ifgc never fires).
+  uint32_t DefaultRegionCapacity = 0;
+  /// Heap-growth policy (Appel-style semispace sizing): after an `only`
+  /// step, each surviving data region's capacity becomes
+  /// max(DefaultRegionCapacity, HeapGrowthFactor × live-cells). Without
+  /// this, a live set ≥ capacity livelocks the mutator in back-to-back
+  /// collections (made worse at the Base level, where every collection
+  /// *grows* the heap by duplicating shared objects — E1). Set to 0 to
+  /// disable growth (used by tests that want exact capacities).
+  uint32_t HeapGrowthFactor = 2;
+  /// Maintain Ψ (needed by the soundness harness; disable for raw
+  /// throughput benchmarks).
+  bool TrackTypes = true;
+};
+
+struct MachineStats {
+  uint64_t Steps = 0;
+  uint64_t Puts = 0;
+  uint64_t Gets = 0;
+  uint64_t Sets = 0;
+  uint64_t Projections = 0;
+  uint64_t Applications = 0;
+  uint64_t TypecaseSteps = 0;
+  uint64_t Opens = 0;
+  uint64_t RegionsCreated = 0;
+  uint64_t RegionsReclaimed = 0;
+  uint64_t OnlyOps = 0;
+  /// Total regions examined across all `only` steps: the paper's claim
+  /// (§6.4/E5) is that deallocation cost is proportional to this count.
+  uint64_t OnlyRegionsScanned = 0;
+  uint64_t Widens = 0;
+  uint64_t IfGcTaken = 0;
+  uint64_t IfGcSkipped = 0;
+};
+
+/// The λGC abstract machine.
+class Machine {
+public:
+  enum class Status { Running, Halted, Stuck };
+
+  Machine(GcContext &C, LanguageLevel Level, MachineConfig Config = {})
+      : C(C), Level(Level), Config(Config), Mem(C.cd().sym()),
+        Checker(C, Level, InferDiags) {
+    Checker.setSkipCodeBodies(true);
+    Checker.setTrustAddresses(true);
+    Psi.addRegion(C.cd().sym());
+  }
+
+  GcContext &context() { return C; }
+  LanguageLevel level() const { return Level; }
+  const MachineConfig &config() const { return Config; }
+
+  /// Reserves a code label in cd; the body is supplied by defineCode. This
+  /// two-phase protocol lets mutually recursive code blocks reference each
+  /// other by address.
+  Address reserveCode(std::string_view Label);
+
+  /// Installs \p Code at a reserved address and records its type in Ψ.
+  void defineCode(Address A, const Value *Code);
+
+  /// Convenience: reserve + define in one step.
+  Address installCode(std::string_view Label, const Value *Code);
+
+  /// Creates a fresh data region (as `let region` would) and returns it.
+  /// Used by drivers to set up the initial mutator region.
+  Region createRegion(std::string_view BaseName, uint32_t Capacity);
+
+  /// Allocates \p V in region \p R exactly as a `put` step would (Ψ is
+  /// maintained); returns the address value. Used by drivers and the heap
+  /// forge to set up initial heaps.
+  const Value *allocate(Region R, const Value *V);
+
+  /// Sets the term to execute. Resets halt/stuck state but keeps memory.
+  void start(const Term *E);
+
+  Status status() const { return St; }
+  const Term *currentTerm() const { return Cur; }
+  const Value *haltValue() const { return HaltVal; }
+  const std::string &stuckReason() const { return StuckMsg; }
+
+  /// Performs one small step (possibly fused with administrative tag
+  /// normalization, as in Fig 5's first rule).
+  Status step();
+
+  /// Runs until halt, stuck, or \p MaxSteps more steps.
+  Status run(uint64_t MaxSteps);
+
+  Memory &memory() { return Mem; }
+  const Memory &memory() const { return Mem; }
+  MemoryType &psi() { return Psi; }
+  const MemoryType &psi() const { return Psi; }
+  MachineStats &stats() { return Stats; }
+  const MachineStats &stats() const { return Stats; }
+
+  /// False if Ψ maintenance ever failed (a stored value did not infer);
+  /// the reason is in typeTrackingError().
+  bool typeTrackingOk() const { return TypeTrackingOkFlag; }
+  const std::string &typeTrackingError() const { return TypeTrackingMsg; }
+
+  /// The T_{ν,ν'} iterator of Lemma C.8: rewrites a mutator-view type into
+  /// the collector view (M ↦ C, mutator cells gain the forwarding
+  /// alternative). Exposed for tests.
+  const Type *widenPsiType(const Type *T, Symbol FromRegion, Symbol ToRegion);
+
+  /// Applies the T iterator to the *type annotations* embedded in a heap
+  /// value (existential-package body types and witnesses). Values are
+  /// otherwise unchanged — annotations are erased at runtime, so `widen`
+  /// remains a no-op on data (§7.1). Without this, a package fetched from
+  /// the widened heap would still claim the mutator view for its payload;
+  /// the paper's pack rule is declarative in the annotation (Lemma C.8
+  /// re-derives it), which this rewrite makes algorithmic.
+  const Value *widenValueTypes(const Value *V, Symbol FromRegion,
+                               Symbol ToRegion);
+
+  /// Renames region name From to To everywhere in a type. Used by widen's
+  /// Ψ transformation and by the native collector's Ψ refresh.
+  const Type *renameRegionName(const Type *T, Symbol From, Symbol To);
+
+private:
+  Status stuck(std::string Msg) {
+    St = Status::Stuck;
+    StuckMsg = std::move(Msg);
+    return St;
+  }
+
+  /// Infers the type of a closed runtime value under the current Ψ.
+  const Type *inferRuntimeType(const Value *V);
+
+  void recordPut(Address A, const Value *V);
+
+
+  GcContext &C;
+  LanguageLevel Level;
+  MachineConfig Config;
+  Memory Mem;
+  MemoryType Psi;
+  MachineStats Stats;
+
+  DiagEngine InferDiags;
+  TypeChecker Checker;
+
+  const Term *Cur = nullptr;
+  Status St = Status::Stuck;
+  const Value *HaltVal = nullptr;
+  std::string StuckMsg = "machine not started";
+
+  bool TypeTrackingOkFlag = true;
+  std::string TypeTrackingMsg;
+  uint64_t OnlyEpoch = 0;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_MACHINE_H

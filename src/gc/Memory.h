@@ -1,0 +1,190 @@
+//===- gc/Memory.h - Regions, memories, and memory types -------*- C++ -*-===//
+///
+/// \file
+/// The allocation-semantics state (§6, Fig 2 bottom):
+///
+///   R ::= {ℓ1 ↦ v1, ..., ℓn ↦ vn}                 regions
+///   M ::= {cd ↦ Rcd, ν1 ↦ R1, ..., νn ↦ Rn}       memories
+///   Υ ::= {ℓ1 : σ1, ..., ℓn : σn}                  region types
+///   Ψ ::= {cd : Υcd, ν1 : Υ1, ..., νn : Υn}        memory types
+///
+/// Ψ is the typing witness for M; the machine maintains it incrementally
+/// (see Machine.cpp) so the dynamic soundness harness can re-establish
+/// ⊢ (M, e) after every step. Regions carry a soft capacity that drives
+/// `ifgc ρ e1 e2` ("if ρ is full"): allocation beyond capacity is allowed
+/// (the collector itself must be able to allocate), but `ifgc` reports full.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_MEMORY_H
+#define SCAV_GC_MEMORY_H
+
+#include "gc/Term.h"
+
+#include <map>
+#include <vector>
+#include <optional>
+
+namespace scav::gc {
+
+/// A region R: a dense bump-allocated cell array (offset = index). Regions
+/// are only ever freed wholesale (`only`), never cell by cell, so a vector
+/// models the paper's region arenas faithfully — including O(1) bulk free.
+struct RegionData {
+  std::vector<const Value *> Cells;
+  /// Soft capacity in cells; 0 means unlimited (never "full").
+  uint32_t Capacity = 0;
+  /// Total cells ever allocated here.
+  uint64_t TotalAllocated = 0;
+  /// The machine's only-epoch at creation time; the heap-growth policy
+  /// resizes only regions born in the current collection cycle (the
+  /// to-spaces), so long-lived regions keep their trigger capacity.
+  uint64_t Epoch = 0;
+};
+
+/// A region type Υ (dense, parallel to RegionData).
+struct RegionType {
+  std::vector<const Type *> Cells;
+};
+
+/// A memory type Ψ.
+class MemoryType {
+public:
+  /// \returns the cell type Ψ(ν.ℓ), or nullptr if absent.
+  const Type *lookup(Address A) const {
+    auto RIt = Regions.find(A.R.sym());
+    if (RIt == Regions.end())
+      return nullptr;
+    const auto &Cs = RIt->second.Cells;
+    return A.Offset < Cs.size() ? Cs[A.Offset] : nullptr;
+  }
+
+  void set(Address A, const Type *T) {
+    auto &Cs = Regions[A.R.sym()].Cells;
+    if (A.Offset >= Cs.size())
+      Cs.resize(A.Offset + 1, nullptr);
+    Cs[A.Offset] = T;
+  }
+
+  bool hasRegion(Symbol S) const { return Regions.count(S) != 0; }
+  void addRegion(Symbol S) { Regions.try_emplace(S); }
+  void removeRegion(Symbol S) { Regions.erase(S); }
+
+  /// Dom(Ψ) as a RegionSet of region names.
+  RegionSet domain() const {
+    RegionSet Out;
+    for (const auto &[S, _] : Regions)
+      Out.insert(Region::name(S));
+    return Out;
+  }
+
+  std::map<Symbol, RegionType> Regions;
+};
+
+/// A memory M. Always contains cd.
+class Memory {
+public:
+  explicit Memory(Symbol CdSym) : CdSym(CdSym) { Regions.try_emplace(CdSym); }
+
+  /// Allocates a fresh region named \p S with the given soft capacity.
+  void addRegion(Symbol S, uint32_t Capacity) {
+    RegionData &R = Regions[S];
+    R.Capacity = Capacity;
+  }
+
+  bool hasRegion(Symbol S) const { return Regions.count(S) != 0; }
+
+  RegionData *region(Symbol S) {
+    auto It = Regions.find(S);
+    return It == Regions.end() ? nullptr : &It->second;
+  }
+  const RegionData *region(Symbol S) const {
+    auto It = Regions.find(S);
+    return It == Regions.end() ? nullptr : &It->second;
+  }
+
+  /// Stores \p V at a fresh offset in region \p S; returns the address.
+  std::optional<Address> put(Symbol S, const Value *V) {
+    RegionData *R = region(S);
+    if (!R)
+      return std::nullopt;
+    uint32_t Off = static_cast<uint32_t>(R->Cells.size());
+    R->Cells.push_back(V);
+    ++R->TotalAllocated;
+    return Address{Region::name(S), Off};
+  }
+
+  /// \returns the value stored at \p A, or nullptr.
+  const Value *get(Address A) const {
+    const RegionData *R = region(A.R.sym());
+    if (!R)
+      return nullptr;
+    return A.Offset < R->Cells.size() ? R->Cells[A.Offset] : nullptr;
+  }
+
+  /// Fills a reserved (nullptr) slot; used by the Cheney copier and
+  /// defineCode-style two-phase initialization.
+  bool fill(Address A, const Value *V) {
+    RegionData *R = region(A.R.sym());
+    if (!R || A.Offset >= R->Cells.size())
+      return false;
+    R->Cells[A.Offset] = V;
+    return true;
+  }
+
+  /// Overwrites the cell at \p A (used by `set`); returns false if absent.
+  bool update(Address A, const Value *V) {
+    RegionData *R = region(A.R.sym());
+    if (!R)
+      return false;
+    if (A.Offset >= R->Cells.size() || !R->Cells[A.Offset])
+      return false;
+    R->Cells[A.Offset] = V;
+    return true;
+  }
+
+  /// `only ∆`: drops every region not in \p Keep (cd always survives).
+  /// \returns the number of regions reclaimed.
+  size_t restrictTo(const RegionSet &Keep) {
+    size_t Reclaimed = 0;
+    for (auto It = Regions.begin(); It != Regions.end();) {
+      if (It->first == CdSym || Keep.contains(Region::name(It->first))) {
+        ++It;
+        continue;
+      }
+      It = Regions.erase(It);
+      ++Reclaimed;
+    }
+    return Reclaimed;
+  }
+
+  /// "ρ is full" for ifgc: at least Capacity cells live (0 = never full).
+  bool isFull(Symbol S) const {
+    const RegionData *R = region(S);
+    if (!R || R->Capacity == 0)
+      return false;
+    return R->Cells.size() >= R->Capacity;
+  }
+
+  Symbol cdSym() const { return CdSym; }
+
+  size_t numRegions() const { return Regions.size(); }
+
+  /// Live cells across all regions except cd.
+  size_t liveDataCells() const {
+    size_t N = 0;
+    for (const auto &[S, R] : Regions)
+      if (S != CdSym)
+        N += R.Cells.size();
+    return N;
+  }
+
+  std::map<Symbol, RegionData> Regions;
+
+private:
+  Symbol CdSym;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_MEMORY_H

@@ -1,0 +1,233 @@
+//===- gc/NativeCollector.cpp - Meta-level C++ collector -------------------===//
+
+#include "gc/NativeCollector.h"
+
+#include <deque>
+#include <map>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+struct NativeGc {
+  Machine &M;
+  GcContext &C;
+  Symbol FromSym;
+  Symbol ToSym;
+  bool PreserveSharing;
+  NativeGcStats &Stats;
+  std::map<uint32_t, uint32_t> Forwarding; // from-offset → to-offset
+
+  const Value *relocate(const Value *V) {
+    switch (V->kind()) {
+    case ValueKind::Int:
+    case ValueKind::Var:
+    case ValueKind::Code:
+      return V;
+    case ValueKind::Addr: {
+      Address A = V->address();
+      if (A.R.sym() != FromSym)
+        return V; // cd or another surviving region
+      return C.valAddr(copyCell(A));
+    }
+    case ValueKind::Pair:
+      return C.valPair(relocate(V->first()), relocate(V->second()));
+    case ValueKind::Inl:
+      return C.valInl(relocate(V->payload()));
+    case ValueKind::Inr:
+      return C.valInr(relocate(V->payload()));
+    case ValueKind::PackTag:
+      return C.valPackTag(V->var(), V->tagWitness(), relocate(V->payload()),
+                          retarget(V->bodyType()));
+    case ValueKind::PackTyVar:
+      return C.valPackTyVar(V->var(), retargetSet(V->delta()),
+                            retarget(V->typeWitness()),
+                            relocate(V->payload()), retarget(V->bodyType()));
+    case ValueKind::PackRegion: {
+      Region W = V->regionWitness();
+      if (W.isName() && W.sym() == FromSym)
+        W = Region::name(ToSym);
+      return C.valPackRegion(V->var(), retargetSet(V->delta()), W,
+                             relocate(V->payload()), retarget(V->bodyType()));
+    }
+    case ValueKind::TransApp: {
+      std::vector<Region> Rs;
+      for (Region R : V->transRegions())
+        Rs.push_back(R.isName() && R.sym() == FromSym ? Region::name(ToSym)
+                                                      : R);
+      return C.valTransApp(relocate(V->payload()), V->transTags(),
+                           std::move(Rs));
+    }
+    }
+    return V;
+  }
+
+  Address copyCell(Address A) {
+    if (PreserveSharing) {
+      auto It = Forwarding.find(A.Offset);
+      if (It != Forwarding.end()) {
+        ++Stats.ForwardingHits;
+        return Address{Region::name(ToSym), It->second};
+      }
+    }
+    const Value *Cell = M.memory().get(A);
+    assert(Cell && "native collector hit a dangling address");
+    // Depth-first copy; reserve the slot before descending so cycles would
+    // at least terminate (the λGC heaps here are acyclic, like the paper's).
+    const Value *Copied = relocate(Cell);
+    std::optional<Address> NewA = M.memory().put(ToSym, Copied);
+    assert(NewA && "to-region vanished during native collection");
+    ++Stats.ObjectsCopied;
+    if (PreserveSharing)
+      Forwarding[A.Offset] = NewA->Offset;
+    if (M.config().TrackTypes) {
+      const Type *T = M.psi().lookup(A);
+      if (T)
+        M.psi().set(*NewA, retarget(T));
+    }
+    return *NewA;
+  }
+
+  /// Renames the from-region to the to-region inside recorded cell types.
+  const Type *retarget(const Type *T) {
+    return M.renameRegionName(T, FromSym, ToSym);
+  }
+
+  RegionSet retargetSet(const RegionSet &RS) {
+    RegionSet Out;
+    for (Region R : RS)
+      Out.insert(R.isName() && R.sym() == FromSym ? Region::name(ToSym) : R);
+    return Out;
+  }
+};
+
+} // namespace
+
+namespace {
+
+/// Cheney-style breadth-first copy: slots are reserved in arrival order
+/// (the reservation doubles as the forwarding pointer), and a queue of
+/// pending from-cells plays the role of the scan pointer. Sharing is
+/// inherently preserved.
+struct CheneyGc {
+  Machine &M;
+  GcContext &C;
+  Symbol FromSym;
+  Symbol ToSym;
+  NativeGcStats &Stats;
+  std::map<uint32_t, uint32_t> Forwarding;
+  std::deque<uint32_t> Queue; // from-offsets with a reserved to-slot
+
+  Address reserve(Address A) {
+    auto It = Forwarding.find(A.Offset);
+    if (It != Forwarding.end()) {
+      ++Stats.ForwardingHits;
+      return Address{Region::name(ToSym), It->second};
+    }
+    std::optional<Address> Slot = M.memory().put(ToSym, nullptr);
+    assert(Slot && "to-region vanished");
+    Forwarding[A.Offset] = Slot->Offset;
+    Queue.push_back(A.Offset);
+    return *Slot;
+  }
+
+  /// Rewrites one value shallowly: from-addresses become reserved to-slots.
+  const Value *scan(const Value *V) {
+    switch (V->kind()) {
+    case ValueKind::Int:
+    case ValueKind::Var:
+    case ValueKind::Code:
+      return V;
+    case ValueKind::Addr: {
+      Address A = V->address();
+      if (A.R.sym() != FromSym)
+        return V;
+      return C.valAddr(reserve(A));
+    }
+    case ValueKind::Pair:
+      return C.valPair(scan(V->first()), scan(V->second()));
+    case ValueKind::Inl:
+      return C.valInl(scan(V->payload()));
+    case ValueKind::Inr:
+      return C.valInr(scan(V->payload()));
+    case ValueKind::PackTag:
+      return C.valPackTag(V->var(), V->tagWitness(), scan(V->payload()),
+                          M.renameRegionName(V->bodyType(), FromSym, ToSym));
+    case ValueKind::PackTyVar:
+      return C.valPackTyVar(
+          V->var(), retargetSet(V->delta()),
+          M.renameRegionName(V->typeWitness(), FromSym, ToSym),
+          scan(V->payload()),
+          M.renameRegionName(V->bodyType(), FromSym, ToSym));
+    case ValueKind::PackRegion: {
+      Region W = V->regionWitness();
+      if (W.isName() && W.sym() == FromSym)
+        W = Region::name(ToSym);
+      return C.valPackRegion(
+          V->var(), retargetSet(V->delta()), W, scan(V->payload()),
+          M.renameRegionName(V->bodyType(), FromSym, ToSym));
+    }
+    case ValueKind::TransApp: {
+      std::vector<Region> Rs;
+      for (Region R : V->transRegions())
+        Rs.push_back(R.isName() && R.sym() == FromSym ? Region::name(ToSym)
+                                                      : R);
+      return C.valTransApp(scan(V->payload()), V->transTags(),
+                           std::move(Rs));
+    }
+    }
+    return V;
+  }
+
+  RegionSet retargetSet(const RegionSet &RS) {
+    RegionSet Out;
+    for (Region R : RS)
+      Out.insert(R.isName() && R.sym() == FromSym ? Region::name(ToSym) : R);
+    return Out;
+  }
+
+  void drain() {
+    while (!Queue.empty()) {
+      uint32_t FromOff = Queue.front();
+      Queue.pop_front();
+      Address FromA{Region::name(FromSym), FromOff};
+      const Value *Cell = M.memory().get(FromA);
+      assert(Cell && "Cheney scan hit a dangling cell");
+      Address ToA{Region::name(ToSym), Forwarding[FromOff]};
+      M.memory().fill(ToA, scan(Cell));
+      ++Stats.ObjectsCopied;
+      if (M.config().TrackTypes) {
+        if (const Type *T = M.psi().lookup(FromA))
+          M.psi().set(ToA, M.renameRegionName(T, FromSym, ToSym));
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::pair<const Value *, Region>
+scav::gc::nativeCollect(Machine &M, const Value *Root, Region From,
+                        bool PreserveSharing, NativeGcStats &Stats,
+                        CopyOrder Order) {
+  GcContext &C = M.context();
+  Region To = M.createRegion("to", 0);
+  const Value *NewRoot = nullptr;
+  if (Order == CopyOrder::BreadthFirst) {
+    CheneyGc Gc{M, C, From.sym(), To.sym(), Stats, {}, {}};
+    NewRoot = Gc.scan(Root);
+    Gc.drain();
+  } else {
+    NativeGc Gc{M, C, From.sym(), To.sym(), PreserveSharing, Stats, {}};
+    NewRoot = Gc.relocate(Root);
+  }
+  // Reclaim the from-region (the machine-level analogue of `only`).
+  RegionSet Keep;
+  for (const auto &[S, _] : M.memory().Regions)
+    if (S != From.sym() && S != C.cd().sym())
+      Keep.insert(Region::name(S));
+  M.memory().restrictTo(Keep);
+  M.psi().removeRegion(From.sym());
+  return {NewRoot, To};
+}

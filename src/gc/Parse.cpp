@@ -1,0 +1,805 @@
+//===- gc/Parse.cpp - Textual λGC programs ---------------------------------===//
+
+#include "gc/Parse.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// S-expression reader
+//===----------------------------------------------------------------------===//
+
+struct SExpr {
+  bool IsAtom = false;
+  std::string Atom;
+  std::vector<SExpr> Items;
+
+  bool isList(std::string_view Head) const {
+    return !IsAtom && !Items.empty() && Items[0].IsAtom &&
+           Items[0].Atom == Head;
+  }
+  size_t arity() const { return IsAtom ? 0 : Items.size() - 1; }
+};
+
+struct Reader {
+  std::string_view Src;
+  size_t Pos = 0;
+  DiagEngine &Diags;
+
+  void skipWs() {
+    while (Pos < Src.size()) {
+      if (std::isspace(static_cast<unsigned char>(Src[Pos]))) {
+        ++Pos;
+      } else if (Src[Pos] == ';') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= Src.size();
+  }
+
+  std::optional<SExpr> read() {
+    skipWs();
+    if (Pos >= Src.size()) {
+      Diags.error("unexpected end of lambda-GC input");
+      return std::nullopt;
+    }
+    if (Src[Pos] == '(') {
+      ++Pos;
+      SExpr List;
+      for (;;) {
+        skipWs();
+        if (Pos >= Src.size()) {
+          Diags.error("unterminated list in lambda-GC input");
+          return std::nullopt;
+        }
+        if (Src[Pos] == ')') {
+          ++Pos;
+          return List;
+        }
+        auto Item = read();
+        if (!Item)
+          return std::nullopt;
+        List.Items.push_back(std::move(*Item));
+      }
+    }
+    if (Src[Pos] == ')') {
+      Diags.error("unexpected ')' in lambda-GC input");
+      return std::nullopt;
+    }
+    SExpr Atom;
+    Atom.IsAtom = true;
+    size_t Start = Pos;
+    while (Pos < Src.size() &&
+           !std::isspace(static_cast<unsigned char>(Src[Pos])) &&
+           Src[Pos] != '(' && Src[Pos] != ')' && Src[Pos] != ';')
+      ++Pos;
+    Atom.Atom = std::string(Src.substr(Start, Pos - Start));
+    return Atom;
+  }
+};
+
+bool looksLikeInt(const std::string &A) {
+  if (A.empty())
+    return false;
+  size_t I = A[0] == '-' ? 1 : 0;
+  if (I == A.size())
+    return false;
+  for (; I != A.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(A[I])))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// λGC syntax builder
+//===----------------------------------------------------------------------===//
+
+struct GcBuilder {
+  GcContext &C;
+  DiagEngine &Diags;
+  const std::map<std::string, Address> *Funs;
+
+  template <typename T> T *fail(const std::string &Msg) {
+    Diags.error(Msg);
+    return nullptr;
+  }
+
+  /// Binder positions must hold identifiers, not integer literals.
+  bool binder(const SExpr &S, Symbol &Out) {
+    if (!S.IsAtom || looksLikeInt(S.Atom)) {
+      Diags.error("expected an identifier binder");
+      return false;
+    }
+    Out = C.intern(S.Atom);
+    return true;
+  }
+
+  Region region(const SExpr &S) {
+    if (!S.IsAtom) {
+      Diags.error("region must be an identifier");
+      return Region();
+    }
+    if (S.Atom == "cd")
+      return C.cd();
+    return Region::var(C.intern(S.Atom));
+  }
+
+  bool regionSet(const SExpr &S, RegionSet &Out) {
+    if (S.IsAtom) {
+      Diags.error("region set must be a list");
+      return false;
+    }
+    for (const SExpr &R : S.Items) {
+      Region Rr = region(R);
+      if (!Rr.isValid())
+        return false;
+      Out.insert(Rr);
+    }
+    return true;
+  }
+
+  const Kind *kind(const SExpr &S) {
+    if (S.IsAtom) {
+      if (S.Atom == "O")
+        return C.omega();
+      return fail<const Kind>("unknown kind '" + S.Atom + "'");
+    }
+    if (S.isList("->") && S.arity() == 2) {
+      const Kind *A = kind(S.Items[1]);
+      const Kind *B = kind(S.Items[2]);
+      return A && B ? C.arrowKind(A, B) : nullptr;
+    }
+    return fail<const Kind>("malformed kind");
+  }
+
+  const Tag *tag(const SExpr &S) {
+    if (S.IsAtom) {
+      if (S.Atom == "Int")
+        return C.tagInt();
+      return C.tagVar(C.intern(S.Atom));
+    }
+    if (S.Items.empty() || !S.Items[0].IsAtom)
+      return fail<const Tag>("malformed tag");
+    const std::string &H = S.Items[0].Atom;
+    if (H == "*" && S.arity() == 2) {
+      const Tag *A = tag(S.Items[1]), *B = tag(S.Items[2]);
+      return A && B ? C.tagProd(A, B) : nullptr;
+    }
+    if (H == "->") {
+      std::vector<const Tag *> Args;
+      for (size_t I = 1; I != S.Items.size(); ++I) {
+        const Tag *A = tag(S.Items[I]);
+        if (!A)
+          return nullptr;
+        Args.push_back(A);
+      }
+      return C.tagArrow(std::move(Args));
+    }
+    if (H == "E" && S.arity() == 2 && S.Items[1].IsAtom) {
+      const Tag *B = tag(S.Items[2]);
+      return B ? C.tagExists(C.intern(S.Items[1].Atom), B) : nullptr;
+    }
+    if (H == "\\" && S.arity() == 3 && S.Items[1].IsAtom) {
+      const Kind *K = kind(S.Items[2]);
+      const Tag *B = tag(S.Items[3]);
+      return K && B ? C.tagLam(C.intern(S.Items[1].Atom), K, B) : nullptr;
+    }
+    if (H == "@" && S.arity() == 2) {
+      const Tag *A = tag(S.Items[1]), *B = tag(S.Items[2]);
+      return A && B ? C.tagApp(A, B) : nullptr;
+    }
+    return fail<const Tag>("unknown tag form '" + H + "'");
+  }
+
+  const Type *type(const SExpr &S) {
+    if (S.IsAtom) {
+      if (S.Atom == "int")
+        return C.typeInt();
+      return C.typeVar(C.intern(S.Atom));
+    }
+    if (S.Items.empty() || !S.Items[0].IsAtom)
+      return fail<const Type>("malformed type");
+    const std::string &H = S.Items[0].Atom;
+    auto Want = [&](size_t N) {
+      if (S.arity() == N)
+        return true;
+      Diags.error("type form '" + H + "' expects " + std::to_string(N) +
+                  " operands");
+      return false;
+    };
+
+    if (H == "*") {
+      if (!Want(2))
+        return nullptr;
+      const Type *A = type(S.Items[1]), *B = type(S.Items[2]);
+      return A && B ? C.typeProd(A, B) : nullptr;
+    }
+    if (H == "+") {
+      if (!Want(2))
+        return nullptr;
+      const Type *A = type(S.Items[1]), *B = type(S.Items[2]);
+      return A && B ? C.typeSum(A, B) : nullptr;
+    }
+    if (H == "left" || H == "right") {
+      if (!Want(1))
+        return nullptr;
+      const Type *A = type(S.Items[1]);
+      if (!A)
+        return nullptr;
+      return H == "left" ? C.typeLeft(A) : C.typeRight(A);
+    }
+    if (H == "at") {
+      if (!Want(2))
+        return nullptr;
+      const Type *A = type(S.Items[1]);
+      Region R = region(S.Items[2]);
+      return A && R.isValid() ? C.typeAt(A, R) : nullptr;
+    }
+    if (H == "M") {
+      if (!Want(2))
+        return nullptr;
+      Region R = region(S.Items[1]);
+      const Tag *T = tag(S.Items[2]);
+      return R.isValid() && T ? C.typeM(R, T) : nullptr;
+    }
+    if (H == "M2") {
+      if (!Want(3))
+        return nullptr;
+      Region A = region(S.Items[1]), B = region(S.Items[2]);
+      const Tag *T = tag(S.Items[3]);
+      return A.isValid() && B.isValid() && T ? C.typeM({A, B}, T) : nullptr;
+    }
+    if (H == "C") {
+      if (!Want(3))
+        return nullptr;
+      Region A = region(S.Items[1]), B = region(S.Items[2]);
+      const Tag *T = tag(S.Items[3]);
+      return A.isValid() && B.isValid() && T ? C.typeC(A, B, T) : nullptr;
+    }
+    if (H == "code") {
+      if (!Want(3))
+        return nullptr;
+      std::vector<Symbol> TP;
+      std::vector<const Kind *> TK;
+      if (!tagBinders(S.Items[1], TP, TK))
+        return nullptr;
+      std::vector<Symbol> RP;
+      if (!names(S.Items[2], RP))
+        return nullptr;
+      std::vector<const Type *> Args;
+      if (!typeList(S.Items[3], Args))
+        return nullptr;
+      return C.typeCode(std::move(TP), std::move(TK), std::move(RP),
+                        std::move(Args));
+    }
+    if (H == "Et") {
+      if (!Want(3) || !S.Items[1].IsAtom)
+        return nullptr;
+      const Kind *K = kind(S.Items[2]);
+      const Type *B = type(S.Items[3]);
+      return K && B ? C.typeExistsTag(C.intern(S.Items[1].Atom), K, B)
+                    : nullptr;
+    }
+    if (H == "Ea" || H == "Er") {
+      if (!Want(3) || !S.Items[1].IsAtom)
+        return nullptr;
+      RegionSet D;
+      if (!regionSet(S.Items[2], D))
+        return nullptr;
+      const Type *B = type(S.Items[3]);
+      if (!B)
+        return nullptr;
+      Symbol V = C.intern(S.Items[1].Atom);
+      return H == "Ea" ? C.typeExistsTyVar(V, std::move(D), B)
+                       : C.typeExistsRegion(V, std::move(D), B);
+    }
+    if (H == "trans") {
+      if (!Want(4))
+        return nullptr;
+      std::vector<const Tag *> Tags;
+      if (!tagList(S.Items[1], Tags))
+        return nullptr;
+      std::vector<Region> Rs;
+      if (!regionList(S.Items[2], Rs))
+        return nullptr;
+      std::vector<const Type *> Args;
+      if (!typeList(S.Items[3], Args))
+        return nullptr;
+      Region At = region(S.Items[4]);
+      if (!At.isValid())
+        return nullptr;
+      return C.typeTransCode(std::move(Tags), std::move(Rs), std::move(Args),
+                             At);
+    }
+    return fail<const Type>("unknown type form '" + H + "'");
+  }
+
+  bool names(const SExpr &S, std::vector<Symbol> &Out) {
+    if (S.IsAtom) {
+      Diags.error("expected a list of names");
+      return false;
+    }
+    for (const SExpr &N : S.Items) {
+      if (!N.IsAtom) {
+        Diags.error("expected a name");
+        return false;
+      }
+      Out.push_back(C.intern(N.Atom));
+    }
+    return true;
+  }
+
+  bool tagBinders(const SExpr &S, std::vector<Symbol> &Names,
+                  std::vector<const Kind *> &Kinds) {
+    if (S.IsAtom) {
+      Diags.error("expected tag-binder list");
+      return false;
+    }
+    for (const SExpr &B : S.Items) {
+      if (B.IsAtom || B.Items.size() != 2 || !B.Items[0].IsAtom) {
+        Diags.error("tag binder must be (name kind)");
+        return false;
+      }
+      const Kind *K = kind(B.Items[1]);
+      if (!K)
+        return false;
+      Names.push_back(C.intern(B.Items[0].Atom));
+      Kinds.push_back(K);
+    }
+    return true;
+  }
+
+  bool tagList(const SExpr &S, std::vector<const Tag *> &Out) {
+    if (S.IsAtom) {
+      Diags.error("expected tag list");
+      return false;
+    }
+    for (const SExpr &T : S.Items) {
+      const Tag *Tt = tag(T);
+      if (!Tt)
+        return false;
+      Out.push_back(Tt);
+    }
+    return true;
+  }
+
+  bool typeList(const SExpr &S, std::vector<const Type *> &Out) {
+    if (S.IsAtom) {
+      Diags.error("expected type list");
+      return false;
+    }
+    for (const SExpr &T : S.Items) {
+      const Type *Tt = type(T);
+      if (!Tt)
+        return false;
+      Out.push_back(Tt);
+    }
+    return true;
+  }
+
+  bool regionList(const SExpr &S, std::vector<Region> &Out) {
+    if (S.IsAtom) {
+      Diags.error("expected region list");
+      return false;
+    }
+    for (const SExpr &R : S.Items) {
+      Region Rr = region(R);
+      if (!Rr.isValid())
+        return false;
+      Out.push_back(Rr);
+    }
+    return true;
+  }
+
+  const Value *value(const SExpr &S) {
+    if (S.IsAtom) {
+      if (looksLikeInt(S.Atom))
+        return C.valInt(std::stoll(S.Atom));
+      return C.valVar(C.intern(S.Atom));
+    }
+    if (S.Items.empty() || !S.Items[0].IsAtom)
+      return fail<const Value>("malformed value");
+    const std::string &H = S.Items[0].Atom;
+
+    if (H == "fn" && S.arity() == 1 && S.Items[1].IsAtom) {
+      auto It = Funs ? Funs->find(S.Items[1].Atom) : std::map<std::string,
+                                                              Address>::
+                                                         const_iterator{};
+      if (!Funs || It == Funs->end())
+        return fail<const Value>("unknown function '" + S.Items[1].Atom +
+                                 "'");
+      return C.valAddr(It->second);
+    }
+    if (H == "pair" && S.arity() == 2) {
+      const Value *A = value(S.Items[1]), *B = value(S.Items[2]);
+      return A && B ? C.valPair(A, B) : nullptr;
+    }
+    if (H == "inl" && S.arity() == 1) {
+      const Value *A = value(S.Items[1]);
+      return A ? C.valInl(A) : nullptr;
+    }
+    if (H == "inr" && S.arity() == 1) {
+      const Value *A = value(S.Items[1]);
+      return A ? C.valInr(A) : nullptr;
+    }
+    if (H == "packt" && S.arity() == 4 && S.Items[1].IsAtom) {
+      const Tag *W = tag(S.Items[2]);
+      const Value *P = value(S.Items[3]);
+      const Type *B = type(S.Items[4]);
+      return W && P && B
+                 ? C.valPackTag(C.intern(S.Items[1].Atom), W, P, B)
+                 : nullptr;
+    }
+    if (H == "packa" && S.arity() == 5 && S.Items[1].IsAtom) {
+      RegionSet D;
+      if (!regionSet(S.Items[2], D))
+        return nullptr;
+      const Type *W = type(S.Items[3]);
+      const Value *P = value(S.Items[4]);
+      const Type *B = type(S.Items[5]);
+      return W && P && B
+                 ? C.valPackTyVar(C.intern(S.Items[1].Atom), std::move(D), W,
+                                  P, B)
+                 : nullptr;
+    }
+    if (H == "packr" && S.arity() == 5 && S.Items[1].IsAtom) {
+      RegionSet D;
+      if (!regionSet(S.Items[2], D))
+        return nullptr;
+      Region W = region(S.Items[3]);
+      const Value *P = value(S.Items[4]);
+      const Type *B = type(S.Items[5]);
+      return W.isValid() && P && B
+                 ? C.valPackRegion(C.intern(S.Items[1].Atom), std::move(D),
+                                   W, P, B)
+                 : nullptr;
+    }
+    if (H == "transapp" && S.arity() == 3) {
+      const Value *V = value(S.Items[1]);
+      std::vector<const Tag *> Tags;
+      std::vector<Region> Rs;
+      if (!V || !tagList(S.Items[2], Tags) || !regionList(S.Items[3], Rs))
+        return nullptr;
+      return C.valTransApp(V, std::move(Tags), std::move(Rs));
+    }
+    return fail<const Value>("unknown value form '" + H + "'");
+  }
+
+  const Op *op(const SExpr &S) {
+    if (!S.IsAtom && !S.Items.empty() && S.Items[0].IsAtom) {
+      const std::string &H = S.Items[0].Atom;
+      auto Bin = [&](PrimOp P) -> const Op * {
+        if (S.arity() != 2)
+          return fail<const Op>("primitive expects two operands");
+        const Value *A = value(S.Items[1]), *B = value(S.Items[2]);
+        return A && B ? C.opPrim(P, A, B) : nullptr;
+      };
+      if (H == "pi1" || H == "pi2") {
+        if (S.arity() != 1)
+          return fail<const Op>("projection expects one operand");
+        const Value *V = value(S.Items[1]);
+        return V ? C.opProj(H == "pi1" ? 1 : 2, V) : nullptr;
+      }
+      if (H == "put") {
+        if (S.arity() != 2)
+          return fail<const Op>("put expects region and value");
+        Region R = region(S.Items[1]);
+        const Value *V = value(S.Items[2]);
+        return R.isValid() && V ? C.opPut(R, V) : nullptr;
+      }
+      if (H == "get") {
+        if (S.arity() != 1)
+          return fail<const Op>("get expects one operand");
+        const Value *V = value(S.Items[1]);
+        return V ? C.opGet(V) : nullptr;
+      }
+      if (H == "strip") {
+        if (S.arity() != 1)
+          return fail<const Op>("strip expects one operand");
+        const Value *V = value(S.Items[1]);
+        return V ? C.opStrip(V) : nullptr;
+      }
+      if (H == "+")
+        return Bin(PrimOp::Add);
+      if (H == "-")
+        return Bin(PrimOp::Sub);
+      if (H == "*")
+        return Bin(PrimOp::Mul);
+      if (H == "<=")
+        return Bin(PrimOp::Le);
+    }
+    const Value *V = value(S);
+    return V ? C.opVal(V) : nullptr;
+  }
+
+  const Term *term(const SExpr &S) {
+    if (S.IsAtom || S.Items.empty() || !S.Items[0].IsAtom)
+      return fail<const Term>("malformed term");
+    const std::string &H = S.Items[0].Atom;
+    auto Want = [&](size_t N) {
+      if (S.arity() == N)
+        return true;
+      Diags.error("term form '" + H + "' expects " + std::to_string(N) +
+                  " operands");
+      return false;
+    };
+
+    if (H == "app") {
+      if (!Want(4))
+        return nullptr;
+      const Value *F = value(S.Items[1]);
+      std::vector<const Tag *> Tags;
+      std::vector<Region> Rs;
+      if (!F || !tagList(S.Items[2], Tags) || !regionList(S.Items[3], Rs))
+        return nullptr;
+      std::vector<const Value *> Args;
+      if (S.Items[4].IsAtom)
+        return fail<const Term>("app arguments must be a list");
+      for (const SExpr &A : S.Items[4].Items) {
+        const Value *V = value(A);
+        if (!V)
+          return nullptr;
+        Args.push_back(V);
+      }
+      return C.termApp(F, std::move(Tags), std::move(Rs), std::move(Args));
+    }
+    if (H == "let") {
+      Symbol X;
+      if (!Want(3) || !binder(S.Items[1], X))
+        return nullptr;
+      const Op *O = op(S.Items[2]);
+      const Term *B = term(S.Items[3]);
+      return O && B ? C.termLet(X, O, B) : nullptr;
+    }
+    if (H == "halt") {
+      if (!Want(1))
+        return nullptr;
+      const Value *V = value(S.Items[1]);
+      return V ? C.termHalt(V) : nullptr;
+    }
+    if (H == "ifgc") {
+      if (!Want(3))
+        return nullptr;
+      Region R = region(S.Items[1]);
+      const Term *A = term(S.Items[2]), *B = term(S.Items[3]);
+      return R.isValid() && A && B ? C.termIfGc(R, A, B) : nullptr;
+    }
+    if (H == "opent" || H == "opena" || H == "openr") {
+      Symbol X1, X2;
+      if (!Want(4) || !binder(S.Items[2], X1) || !binder(S.Items[3], X2))
+        return nullptr;
+      const Value *V = value(S.Items[1]);
+      const Term *B = term(S.Items[4]);
+      if (!V || !B)
+        return nullptr;
+      if (H == "opent")
+        return C.termOpenTag(V, X1, X2, B);
+      if (H == "opena")
+        return C.termOpenTyVar(V, X1, X2, B);
+      return C.termOpenRegion(V, X1, X2, B);
+    }
+    if (H == "letregion") {
+      Symbol R;
+      if (!Want(2) || !binder(S.Items[1], R))
+        return nullptr;
+      const Term *B = term(S.Items[2]);
+      return B ? C.termLetRegion(R, B) : nullptr;
+    }
+    if (H == "only") {
+      if (!Want(2))
+        return nullptr;
+      RegionSet D;
+      if (!regionSet(S.Items[1], D))
+        return nullptr;
+      const Term *B = term(S.Items[2]);
+      return B ? C.termOnly(std::move(D), B) : nullptr;
+    }
+    if (H == "typecase") {
+      // (typecase τ eI eL (t1 t2 eP) (te eE))
+      if (!Want(5))
+        return nullptr;
+      const Tag *T = tag(S.Items[1]);
+      const Term *EI = term(S.Items[2]);
+      const Term *EL = term(S.Items[3]);
+      const SExpr &PArm = S.Items[4];
+      const SExpr &EArm = S.Items[5];
+      if (!T || !EI || !EL || PArm.IsAtom || PArm.Items.size() != 3 ||
+          !PArm.Items[0].IsAtom || !PArm.Items[1].IsAtom || EArm.IsAtom ||
+          EArm.Items.size() != 2 || !EArm.Items[0].IsAtom)
+        return fail<const Term>("malformed typecase arms");
+      const Term *EP = term(PArm.Items[2]);
+      const Term *EE = term(EArm.Items[1]);
+      if (!EP || !EE)
+        return nullptr;
+      return C.termTypecase(T, EI, EL, C.intern(PArm.Items[0].Atom),
+                            C.intern(PArm.Items[1].Atom), EP,
+                            C.intern(EArm.Items[0].Atom), EE);
+    }
+    if (H == "ifleft") {
+      Symbol X;
+      if (!Want(4) || !binder(S.Items[1], X))
+        return nullptr;
+      const Value *V = value(S.Items[2]);
+      const Term *A = term(S.Items[3]), *B = term(S.Items[4]);
+      return V && A && B ? C.termIfLeft(X, V, A, B) : nullptr;
+    }
+    if (H == "set") {
+      if (!Want(3))
+        return nullptr;
+      const Value *D = value(S.Items[1]), *Src = value(S.Items[2]);
+      const Term *B = term(S.Items[3]);
+      return D && Src && B ? C.termSet(D, Src, B) : nullptr;
+    }
+    if (H == "widen") {
+      Symbol X;
+      if (!Want(5) || !binder(S.Items[1], X))
+        return nullptr;
+      Region R = region(S.Items[2]);
+      const Tag *T = tag(S.Items[3]);
+      const Value *V = value(S.Items[4]);
+      const Term *B = term(S.Items[5]);
+      return R.isValid() && T && V && B
+                 ? C.termLetWiden(X, R, T, V, B)
+                 : nullptr;
+    }
+    if (H == "ifreg") {
+      if (!Want(4))
+        return nullptr;
+      Region A = region(S.Items[1]), B = region(S.Items[2]);
+      const Term *E1 = term(S.Items[3]), *E2 = term(S.Items[4]);
+      return A.isValid() && B.isValid() && E1 && E2
+                 ? C.termIfReg(A, B, E1, E2)
+                 : nullptr;
+    }
+    if (H == "if0") {
+      if (!Want(3))
+        return nullptr;
+      const Value *V = value(S.Items[1]);
+      const Term *A = term(S.Items[2]), *B = term(S.Items[3]);
+      return V && A && B ? C.termIf0(V, A, B) : nullptr;
+    }
+    return fail<const Term>("unknown term form '" + H + "'");
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+const Tag *scav::gc::parseGcTag(GcContext &C, std::string_view Src,
+                                DiagEngine &Diags) {
+  Reader R{Src, 0, Diags};
+  auto S = R.read();
+  if (!S)
+    return nullptr;
+  GcBuilder B{C, Diags, nullptr};
+  return B.tag(*S);
+}
+
+const Type *scav::gc::parseGcType(GcContext &C, std::string_view Src,
+                                  DiagEngine &Diags) {
+  Reader R{Src, 0, Diags};
+  auto S = R.read();
+  if (!S)
+    return nullptr;
+  GcBuilder B{C, Diags, nullptr};
+  return B.type(*S);
+}
+
+const Term *scav::gc::parseGcTerm(GcContext &C, std::string_view Src,
+                                  DiagEngine &Diags,
+                                  const std::map<std::string, Address> &Funs) {
+  Reader R{Src, 0, Diags};
+  auto S = R.read();
+  if (!S)
+    return nullptr;
+  GcBuilder B{C, Diags, &Funs};
+  return B.term(*S);
+}
+
+ParsedGcProgram scav::gc::parseGcProgram(
+    Machine &M, std::string_view Src, DiagEngine &Diags,
+    const std::map<std::string, Address> &Prelude) {
+  ParsedGcProgram Out;
+  GcContext &C = M.context();
+  Reader R{Src, 0, Diags};
+  auto S = R.read();
+  if (!S || !R.atEnd()) {
+    if (S)
+      Diags.error("trailing input after lambda-GC program");
+    return Out;
+  }
+  if (!S->isList("program")) {
+    Diags.error("expected (program ...)");
+    return Out;
+  }
+
+  Out.Funs = Prelude;
+
+  // Pass 1: reserve all function labels.
+  std::vector<const SExpr *> FunForms;
+  const SExpr *MainForm = nullptr;
+  for (size_t I = 1; I != S->Items.size(); ++I) {
+    const SExpr &F = S->Items[I];
+    if (F.isList("fun")) {
+      if (F.Items.size() != 6 || !F.Items[1].IsAtom) {
+        Diags.error("malformed (fun name ((t κ)...) (r...) ((x σ)...) e)");
+        return Out;
+      }
+      if (Out.Funs.count(F.Items[1].Atom)) {
+        Diags.error("duplicate function '" + F.Items[1].Atom + "'");
+        return Out;
+      }
+      Address A = M.reserveCode(F.Items[1].Atom);
+      Out.Funs[F.Items[1].Atom] = A;
+      Out.OwnFuns[F.Items[1].Atom] = A;
+      FunForms.push_back(&F);
+    } else if (F.isList("main")) {
+      if (MainForm || F.Items.size() != 2) {
+        Diags.error("malformed or duplicate (main e)");
+        return Out;
+      }
+      MainForm = &F;
+    } else {
+      Diags.error("expected (fun ...) or (main ...) in program");
+      return Out;
+    }
+  }
+
+  // Pass 2: build bodies.
+  GcBuilder B{C, Diags, &Out.Funs};
+  for (const SExpr *F : FunForms) {
+    std::vector<Symbol> TP;
+    std::vector<const Kind *> TK;
+    if (!B.tagBinders(F->Items[2], TP, TK))
+      return Out;
+    std::vector<Symbol> RP;
+    if (!B.names(F->Items[3], RP))
+      return Out;
+    std::vector<Symbol> VP;
+    std::vector<const Type *> VT;
+    if (F->Items[4].IsAtom) {
+      Diags.error("expected value-parameter list");
+      return Out;
+    }
+    for (const SExpr &P : F->Items[4].Items) {
+      if (P.IsAtom || P.Items.size() != 2 || !P.Items[0].IsAtom) {
+        Diags.error("value parameter must be (name type)");
+        return Out;
+      }
+      const Type *T = B.type(P.Items[1]);
+      if (!T)
+        return Out;
+      VP.push_back(C.intern(P.Items[0].Atom));
+      VT.push_back(T);
+    }
+    const Term *Body = B.term(F->Items[5]);
+    if (!Body)
+      return Out;
+    M.defineCode(Out.Funs[F->Items[1].Atom],
+                 C.valCode(std::move(TP), std::move(TK), std::move(RP),
+                           std::move(VP), std::move(VT), Body));
+  }
+  if (MainForm) {
+    Out.Main = B.term(MainForm->Items[1]);
+    if (!Out.Main)
+      return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}

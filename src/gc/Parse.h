@@ -1,0 +1,83 @@
+//===- gc/Parse.h - Textual λGC programs -----------------------*- C++ -*-===//
+///
+/// \file
+/// An s-expression concrete syntax for λGC, so collectors and mutators can
+/// be written, stored, and diffed as text. The grammar mirrors Fig 2 (plus
+/// the §7/§8 extensions); region *names* ν and raw addresses are runtime
+/// entities and cannot be written — code references functions as
+/// `(fn name)`, resolved against the program's own definitions and any
+/// pre-registered entries (e.g. an installed collector's `gc`).
+///
+///   kinds   O | (-> κ1 κ2)
+///   tags    Int | t | (* τ1 τ2) | (-> τ... ) | (E t τ) | (\ t κ τ)
+///         | (@ τ1 τ2)
+///   types   int | a | (* σ1 σ2) | (+ σ1 σ2) | (left σ) | (right σ)
+///         | (at σ ρ) | (M ρ τ) | (M2 ρy ρo τ) | (C ρ ρ' τ)
+///         | (code ((t κ)...) (r...) (σ...)) | (Et t κ σ)
+///         | (Ea a (ρ...) σ) | (Er r (ρ...) σ)
+///         | (trans (τ...) (ρ...) (σ...) ρ)
+///   values  n | x | (fn f) | (pair v v) | (inl v) | (inr v)
+///         | (packt t τ v σ) | (packa a (ρ...) σ v σ)
+///         | (packr r (ρ...) ρ v σ) | (transapp v (τ...) (ρ...))
+///   ops     v | (pi1 v) | (pi2 v) | (put ρ v) | (get v) | (strip v)
+///         | (+ v v) | (- v v) | (* v v) | (<= v v)
+///   terms   (app v (τ...) (ρ...) (v...)) | (let x op e) | (halt v)
+///         | (ifgc ρ e e) | (opent v t x e) | (opena v a x e)
+///         | (openr v r x e) | (letregion r e) | (only (ρ...) e)
+///         | (typecase τ e e (t1 t2 e) (te e))
+///         | (ifleft x v e e) | (set v v e) | (widen x ρ τ v e)
+///         | (ifreg ρ ρ e e) | (if0 v e e)
+///   program (program (fun f ((t κ)...) (r...) ((x σ)...) e)... (main e))
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_PARSE_H
+#define SCAV_GC_PARSE_H
+
+#include "gc/Machine.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace scav::gc {
+
+/// A parsed-and-installed λGC program.
+struct ParsedGcProgram {
+  /// All resolvable names: the program's own functions plus the prelude.
+  std::map<std::string, Address> Funs;
+  /// Only the functions defined by this program (what the printer emits).
+  std::map<std::string, Address> OwnFuns;
+  const Term *Main = nullptr;
+  bool Ok = false;
+};
+
+/// Parses \p Src, installing its functions into \p M's cd region.
+/// \p Prelude maps names usable via `(fn name)` to pre-existing addresses
+/// (e.g. an installed collector's entry points).
+ParsedGcProgram parseGcProgram(Machine &M, std::string_view Src,
+                               DiagEngine &Diags,
+                               const std::map<std::string, Address> &Prelude = {});
+
+/// Expression-level entry points (for tests and tools). Function
+/// references resolve against \p Funs.
+const Tag *parseGcTag(GcContext &C, std::string_view Src, DiagEngine &Diags);
+const Type *parseGcType(GcContext &C, std::string_view Src,
+                        DiagEngine &Diags);
+const Term *parseGcTerm(GcContext &C, std::string_view Src, DiagEngine &Diags,
+                        const std::map<std::string, Address> &Funs = {});
+
+/// Prints in the same concrete syntax (parse ∘ print = id up to names).
+/// \p FnName renders a cd address as its function name; return empty to
+/// print an error marker.
+using AddressNamer = std::function<std::string(Address)>;
+std::string printGcTagSexp(const GcContext &C, const Tag *T);
+std::string printGcTypeSexp(const GcContext &C, const Type *T);
+std::string printGcTermSexp(const GcContext &C, const Term *E,
+                            const AddressNamer &FnName);
+std::string printGcProgramSexp(const GcContext &C, const Machine &M,
+                               const ParsedGcProgram &P);
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_PARSE_H

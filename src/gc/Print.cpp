@@ -1,0 +1,702 @@
+//===- gc/Print.cpp - Pretty-printers and size metrics ---------------------===//
+///
+/// \file
+/// ASCII renderings of the λGC family syntax, close to the paper's notation
+/// (M_r(t) prints as `M[r](t)`, ⟨t=τ, v:σ⟩ as `pack<t=τ, v:σ>`, etc.).
+/// Also the node-count metrics used by the E6 type-growth ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Ops.h"
+#include "support/Printer.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+void printTagRec(const GcContext &C, const Tag *T, Printer &P);
+void printTypeRec(const GcContext &C, const Type *T, Printer &P);
+void printValueRec(const GcContext &C, const Value *V, Printer &P);
+void printTermRec(const GcContext &C, const Term *E, Printer &P);
+
+void printRegionRec(const GcContext &C, Region R, Printer &P) {
+  if (!R.isValid()) {
+    P << "<?region>";
+    return;
+  }
+  P << C.name(R.sym());
+}
+
+void printRegionSetRec(const GcContext &C, const RegionSet &RS, Printer &P) {
+  P << '{';
+  bool First = true;
+  for (Region R : RS) {
+    if (!First)
+      P << ", ";
+    First = false;
+    printRegionRec(C, R, P);
+  }
+  P << '}';
+}
+
+void printKindRec(const Kind *K, Printer &P) {
+  if (K->isOmega()) {
+    P << 'O';
+    return;
+  }
+  P << '(';
+  printKindRec(K->from(), P);
+  P << " -> ";
+  printKindRec(K->to(), P);
+  P << ')';
+}
+
+void printTagRec(const GcContext &C, const Tag *T, Printer &P) {
+  switch (T->kind()) {
+  case TagKind::Int:
+    P << "Int";
+    return;
+  case TagKind::Var:
+    P << C.name(T->var());
+    return;
+  case TagKind::Prod:
+    P << '(';
+    printTagRec(C, T->left(), P);
+    P << " x ";
+    printTagRec(C, T->right(), P);
+    P << ')';
+    return;
+  case TagKind::Arrow: {
+    P << '(';
+    bool First = true;
+    for (const Tag *A : T->arrowArgs()) {
+      if (!First)
+        P << ", ";
+      First = false;
+      printTagRec(C, A, P);
+    }
+    P << ") -> 0";
+    return;
+  }
+  case TagKind::Exists:
+    P << "E" << C.name(T->var()) << '.';
+    printTagRec(C, T->body(), P);
+    return;
+  case TagKind::Lam:
+    P << "\\" << C.name(T->var()) << '.';
+    printTagRec(C, T->body(), P);
+    return;
+  case TagKind::App:
+    P << '(';
+    printTagRec(C, T->left(), P);
+    P << ' ';
+    printTagRec(C, T->right(), P);
+    P << ')';
+    return;
+  }
+}
+
+void printTypeRec(const GcContext &C, const Type *T, Printer &P) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+    P << "int";
+    return;
+  case TypeKind::TyVar:
+    P << C.name(T->var());
+    return;
+  case TypeKind::Prod:
+    P << '(';
+    printTypeRec(C, T->left(), P);
+    P << " x ";
+    printTypeRec(C, T->right(), P);
+    P << ')';
+    return;
+  case TypeKind::Sum:
+    P << '(';
+    printTypeRec(C, T->left(), P);
+    P << " + ";
+    printTypeRec(C, T->right(), P);
+    P << ')';
+    return;
+  case TypeKind::Left:
+    P << "left(";
+    printTypeRec(C, T->body(), P);
+    P << ')';
+    return;
+  case TypeKind::Right:
+    P << "right(";
+    printTypeRec(C, T->body(), P);
+    P << ')';
+    return;
+  case TypeKind::At:
+    P << '(';
+    printTypeRec(C, T->body(), P);
+    P << " at ";
+    printRegionRec(C, T->atRegion(), P);
+    P << ')';
+    return;
+  case TypeKind::MApp: {
+    P << "M[";
+    bool First = true;
+    for (Region R : T->mRegions()) {
+      if (!First)
+        P << ", ";
+      First = false;
+      printRegionRec(C, R, P);
+    }
+    P << "](";
+    printTagRec(C, T->tag(), P);
+    P << ')';
+    return;
+  }
+  case TypeKind::CApp:
+    P << "C[";
+    printRegionRec(C, T->cFrom(), P);
+    P << ", ";
+    printRegionRec(C, T->cTo(), P);
+    P << "](";
+    printTagRec(C, T->tag(), P);
+    P << ')';
+    return;
+  case TypeKind::ExistsTag:
+    P << "E" << C.name(T->var()) << ':';
+    printKindRec(T->binderKind(), P);
+    P << '.';
+    printTypeRec(C, T->body(), P);
+    return;
+  case TypeKind::ExistsTyVar:
+    P << "E" << C.name(T->var()) << ':';
+    printRegionSetRec(C, T->delta(), P);
+    P << '.';
+    printTypeRec(C, T->body(), P);
+    return;
+  case TypeKind::ExistsRegion:
+    P << "Er " << C.name(T->var()) << " in ";
+    printRegionSetRec(C, T->delta(), P);
+    P << ".(";
+    printTypeRec(C, T->body(), P);
+    P << " at " << C.name(T->var()) << ')';
+    return;
+  case TypeKind::Code: {
+    P << "A[";
+    for (size_t I = 0, E = T->tagParams().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      P << C.name(T->tagParams()[I]) << ':';
+      printKindRec(T->tagParamKinds()[I], P);
+    }
+    P << "][";
+    for (size_t I = 0, E = T->regionParams().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      P << C.name(T->regionParams()[I]);
+    }
+    P << "](";
+    for (size_t I = 0, E = T->argTypes().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      printTypeRec(C, T->argTypes()[I], P);
+    }
+    P << ") -> 0";
+    return;
+  }
+  case TypeKind::TransCode: {
+    P << "A<|";
+    for (size_t I = 0, E = T->transTags().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      printTagRec(C, T->transTags()[I], P);
+    }
+    P << "|><|";
+    for (size_t I = 0, E = T->transRegions().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      printRegionRec(C, T->transRegions()[I], P);
+    }
+    P << "|>(";
+    for (size_t I = 0, E = T->argTypes().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      printTypeRec(C, T->argTypes()[I], P);
+    }
+    P << ") -{";
+    printRegionRec(C, T->atRegion(), P);
+    P << "}-> 0";
+    return;
+  }
+  }
+}
+
+void printValueRec(const GcContext &C, const Value *V, Printer &P) {
+  switch (V->kind()) {
+  case ValueKind::Int:
+    P << V->intValue();
+    return;
+  case ValueKind::Var:
+    P << C.name(V->var());
+    return;
+  case ValueKind::Addr:
+    printRegionRec(C, V->address().R, P);
+    P << '.' << static_cast<int64_t>(V->address().Offset);
+    return;
+  case ValueKind::Pair:
+    P << '(';
+    printValueRec(C, V->first(), P);
+    P << ", ";
+    printValueRec(C, V->second(), P);
+    P << ')';
+    return;
+  case ValueKind::Inl:
+    P << "inl ";
+    printValueRec(C, V->payload(), P);
+    return;
+  case ValueKind::Inr:
+    P << "inr ";
+    printValueRec(C, V->payload(), P);
+    return;
+  case ValueKind::PackTag:
+    P << "pack<" << C.name(V->var()) << " = ";
+    printTagRec(C, V->tagWitness(), P);
+    P << ", ";
+    printValueRec(C, V->payload(), P);
+    P << " : ";
+    printTypeRec(C, V->bodyType(), P);
+    P << '>';
+    return;
+  case ValueKind::PackTyVar:
+    P << "pack<" << C.name(V->var()) << " : ";
+    printRegionSetRec(C, V->delta(), P);
+    P << " = ";
+    printTypeRec(C, V->typeWitness(), P);
+    P << ", ";
+    printValueRec(C, V->payload(), P);
+    P << " : ";
+    printTypeRec(C, V->bodyType(), P);
+    P << '>';
+    return;
+  case ValueKind::PackRegion:
+    P << "pack<" << C.name(V->var()) << " in ";
+    printRegionSetRec(C, V->delta(), P);
+    P << " = ";
+    printRegionRec(C, V->regionWitness(), P);
+    P << ", ";
+    printValueRec(C, V->payload(), P);
+    P << '>';
+    return;
+  case ValueKind::TransApp: {
+    printValueRec(C, V->payload(), P);
+    P << "<|";
+    for (size_t I = 0, E = V->transTags().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      printTagRec(C, V->transTags()[I], P);
+    }
+    P << "|><|";
+    for (size_t I = 0, E = V->transRegions().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      printRegionRec(C, V->transRegions()[I], P);
+    }
+    P << "|>";
+    return;
+  }
+  case ValueKind::Code: {
+    P << "\\[";
+    for (size_t I = 0, E = V->tagParams().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      P << C.name(V->tagParams()[I]) << ':';
+      printKindRec(V->tagParamKinds()[I], P);
+    }
+    P << "][";
+    for (size_t I = 0, E = V->regionParams().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      P << C.name(V->regionParams()[I]);
+    }
+    P << "](";
+    for (size_t I = 0, E = V->valParams().size(); I != E; ++I) {
+      if (I)
+        P << ", ";
+      P << C.name(V->valParams()[I]) << " : ";
+      printTypeRec(C, V->valParamTypes()[I], P);
+    }
+    P << ").";
+    P.newline();
+    P.indent();
+    printTermRec(C, V->codeBody(), P);
+    P.dedent();
+    return;
+  }
+  }
+}
+
+void printOpRec(const GcContext &C, const Op *O, Printer &P) {
+  switch (O->kind()) {
+  case OpKind::Val:
+    printValueRec(C, O->value(), P);
+    return;
+  case OpKind::Proj1:
+    P << "pi1 ";
+    printValueRec(C, O->value(), P);
+    return;
+  case OpKind::Proj2:
+    P << "pi2 ";
+    printValueRec(C, O->value(), P);
+    return;
+  case OpKind::Put:
+    P << "put[";
+    printRegionRec(C, O->putRegion(), P);
+    P << "] ";
+    printValueRec(C, O->value(), P);
+    return;
+  case OpKind::Get:
+    P << "get ";
+    printValueRec(C, O->value(), P);
+    return;
+  case OpKind::Strip:
+    P << "strip ";
+    printValueRec(C, O->value(), P);
+    return;
+  case OpKind::Prim:
+    printValueRec(C, O->lhs(), P);
+    P << ' ' << primOpName(O->primOp()) << ' ';
+    printValueRec(C, O->rhs(), P);
+    return;
+  }
+}
+
+void printTermRec(const GcContext &C, const Term *E, Printer &P) {
+  switch (E->kind()) {
+  case TermKind::App: {
+    printValueRec(C, E->appFun(), P);
+    P << '[';
+    for (size_t I = 0, N = E->appTags().size(); I != N; ++I) {
+      if (I)
+        P << ", ";
+      printTagRec(C, E->appTags()[I], P);
+    }
+    P << "][";
+    for (size_t I = 0, N = E->appRegions().size(); I != N; ++I) {
+      if (I)
+        P << ", ";
+      printRegionRec(C, E->appRegions()[I], P);
+    }
+    P << "](";
+    for (size_t I = 0, N = E->appArgs().size(); I != N; ++I) {
+      if (I)
+        P << ", ";
+      printValueRec(C, E->appArgs()[I], P);
+    }
+    P << ')';
+    return;
+  }
+  case TermKind::Let:
+    P << "let " << C.name(E->binderVar()) << " = ";
+    printOpRec(C, E->letOp(), P);
+    P << " in";
+    P.newline();
+    printTermRec(C, E->sub1(), P);
+    return;
+  case TermKind::Halt:
+    P << "halt ";
+    printValueRec(C, E->scrutinee(), P);
+    return;
+  case TermKind::IfGc:
+    P << "ifgc ";
+    printRegionRec(C, E->region(), P);
+    P.newline();
+    P.indent();
+    P << "then ";
+    printTermRec(C, E->sub1(), P);
+    P.newline();
+    P << "else ";
+    printTermRec(C, E->sub2(), P);
+    P.dedent();
+    return;
+  case TermKind::OpenTag:
+  case TermKind::OpenTyVar:
+  case TermKind::OpenRegion:
+    P << "open ";
+    printValueRec(C, E->scrutinee(), P);
+    P << " as <" << C.name(E->binderVar()) << ", " << C.name(E->binderVar2())
+      << "> in";
+    P.newline();
+    printTermRec(C, E->sub1(), P);
+    return;
+  case TermKind::LetRegion:
+    P << "let region " << C.name(E->binderVar()) << " in";
+    P.newline();
+    printTermRec(C, E->sub1(), P);
+    return;
+  case TermKind::Only:
+    P << "only ";
+    printRegionSetRec(C, E->onlySet(), P);
+    P << " in";
+    P.newline();
+    printTermRec(C, E->sub1(), P);
+    return;
+  case TermKind::Typecase:
+    P << "typecase ";
+    printTagRec(C, E->tag(), P);
+    P << " of";
+    P.newline();
+    P.indent();
+    P << "Int => ";
+    printTermRec(C, E->caseInt(), P);
+    P.newline();
+    P << "Arrow => ";
+    printTermRec(C, E->caseArrow(), P);
+    P.newline();
+    P << C.name(E->prodVar1()) << " x " << C.name(E->prodVar2()) << " => ";
+    printTermRec(C, E->caseProd(), P);
+    P.newline();
+    P << "E " << C.name(E->existsVar()) << " => ";
+    printTermRec(C, E->caseExists(), P);
+    P.dedent();
+    return;
+  case TermKind::IfLeft:
+    P << "ifleft " << C.name(E->binderVar()) << " = ";
+    printValueRec(C, E->scrutinee(), P);
+    P.newline();
+    P.indent();
+    P << "then ";
+    printTermRec(C, E->sub1(), P);
+    P.newline();
+    P << "else ";
+    printTermRec(C, E->sub2(), P);
+    P.dedent();
+    return;
+  case TermKind::Set:
+    P << "set ";
+    printValueRec(C, E->scrutinee(), P);
+    P << " := ";
+    printValueRec(C, E->setSource(), P);
+    P << " ;";
+    P.newline();
+    printTermRec(C, E->sub1(), P);
+    return;
+  case TermKind::LetWiden:
+    P << "let " << C.name(E->binderVar()) << " = widen[";
+    printRegionRec(C, E->region(), P);
+    P << "][";
+    printTagRec(C, E->tag(), P);
+    P << "](";
+    printValueRec(C, E->scrutinee(), P);
+    P << ") in";
+    P.newline();
+    printTermRec(C, E->sub1(), P);
+    return;
+  case TermKind::IfReg:
+    P << "ifreg (";
+    printRegionRec(C, E->ifregLhs(), P);
+    P << " = ";
+    printRegionRec(C, E->ifregRhs(), P);
+    P << ')';
+    P.newline();
+    P.indent();
+    P << "then ";
+    printTermRec(C, E->sub1(), P);
+    P.newline();
+    P << "else ";
+    printTermRec(C, E->sub2(), P);
+    P.dedent();
+    return;
+  case TermKind::If0:
+    P << "if0 ";
+    printValueRec(C, E->scrutinee(), P);
+    P.newline();
+    P.indent();
+    P << "then ";
+    printTermRec(C, E->sub1(), P);
+    P.newline();
+    P << "else ";
+    printTermRec(C, E->sub2(), P);
+    P.dedent();
+    return;
+  }
+}
+
+} // namespace
+
+std::string scav::gc::printKind(const GcContext &C, const Kind *K) {
+  Printer P;
+  printKindRec(K, P);
+  return P.take();
+}
+
+std::string scav::gc::printTag(const GcContext &C, const Tag *T) {
+  Printer P;
+  printTagRec(C, T, P);
+  return P.take();
+}
+
+std::string scav::gc::printType(const GcContext &C, const Type *T) {
+  Printer P;
+  printTypeRec(C, T, P);
+  return P.take();
+}
+
+std::string scav::gc::printRegion(const GcContext &C, Region R) {
+  Printer P;
+  printRegionRec(C, R, P);
+  return P.take();
+}
+
+std::string scav::gc::printRegionSet(const GcContext &C, const RegionSet &RS) {
+  Printer P;
+  printRegionSetRec(C, RS, P);
+  return P.take();
+}
+
+std::string scav::gc::printValue(const GcContext &C, const Value *V) {
+  Printer P;
+  printValueRec(C, V, P);
+  return P.take();
+}
+
+std::string scav::gc::printTerm(const GcContext &C, const Term *E) {
+  Printer P;
+  printTermRec(C, E, P);
+  return P.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Size metrics
+//===----------------------------------------------------------------------===//
+
+size_t scav::gc::tagSize(const Tag *T) {
+  switch (T->kind()) {
+  case TagKind::Int:
+  case TagKind::Var:
+    return 1;
+  case TagKind::Prod:
+  case TagKind::App:
+    return 1 + tagSize(T->left()) + tagSize(T->right());
+  case TagKind::Arrow: {
+    size_t N = 1;
+    for (const Tag *A : T->arrowArgs())
+      N += tagSize(A);
+    return N;
+  }
+  case TagKind::Exists:
+  case TagKind::Lam:
+    return 1 + tagSize(T->body());
+  }
+  return 1;
+}
+
+size_t scav::gc::typeSize(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+  case TypeKind::TyVar:
+    return 1;
+  case TypeKind::Prod:
+  case TypeKind::Sum:
+    return 1 + typeSize(T->left()) + typeSize(T->right());
+  case TypeKind::Left:
+  case TypeKind::Right:
+    return 1 + typeSize(T->body());
+  case TypeKind::At:
+  case TypeKind::ExistsTag:
+  case TypeKind::ExistsTyVar:
+  case TypeKind::ExistsRegion:
+    return 1 + typeSize(T->body());
+  case TypeKind::MApp:
+  case TypeKind::CApp:
+    return 1 + tagSize(T->tag());
+  case TypeKind::Code:
+  case TypeKind::TransCode: {
+    size_t N = 1;
+    for (const Type *A : T->argTypes())
+      N += typeSize(A);
+    if (T->is(TypeKind::TransCode))
+      for (const Tag *A : T->transTags())
+        N += tagSize(A);
+    return N;
+  }
+  }
+  return 1;
+}
+
+size_t scav::gc::valueSize(const Value *V) {
+  switch (V->kind()) {
+  case ValueKind::Int:
+  case ValueKind::Var:
+  case ValueKind::Addr:
+    return 1;
+  case ValueKind::Pair:
+    return 1 + valueSize(V->first()) + valueSize(V->second());
+  case ValueKind::Inl:
+  case ValueKind::Inr:
+  case ValueKind::TransApp:
+    return 1 + valueSize(V->payload());
+  case ValueKind::PackTag:
+    return 1 + tagSize(V->tagWitness()) + valueSize(V->payload()) +
+           typeSize(V->bodyType());
+  case ValueKind::PackTyVar:
+    return 1 + typeSize(V->typeWitness()) + valueSize(V->payload()) +
+           typeSize(V->bodyType());
+  case ValueKind::PackRegion:
+    return 1 + valueSize(V->payload()) + typeSize(V->bodyType());
+  case ValueKind::Code: {
+    size_t N = 1;
+    for (const Type *T : V->valParamTypes())
+      N += typeSize(T);
+    return N + termSize(V->codeBody());
+  }
+  }
+  return 1;
+}
+
+size_t scav::gc::termSize(const Term *E) {
+  switch (E->kind()) {
+  case TermKind::App: {
+    size_t N = 1 + valueSize(E->appFun());
+    for (const Tag *T : E->appTags())
+      N += tagSize(T);
+    for (const Value *V : E->appArgs())
+      N += valueSize(V);
+    return N;
+  }
+  case TermKind::Let: {
+    const Op *O = E->letOp();
+    size_t N = 1;
+    if (O->is(OpKind::Prim))
+      N += valueSize(O->lhs()) + valueSize(O->rhs());
+    else
+      N += valueSize(O->value());
+    return N + termSize(E->sub1());
+  }
+  case TermKind::Halt:
+    return 1 + valueSize(E->scrutinee());
+  case TermKind::IfGc:
+  case TermKind::IfReg:
+    return 1 + termSize(E->sub1()) + termSize(E->sub2());
+  case TermKind::OpenTag:
+  case TermKind::OpenTyVar:
+  case TermKind::OpenRegion:
+    return 1 + valueSize(E->scrutinee()) + termSize(E->sub1());
+  case TermKind::LetRegion:
+  case TermKind::Only:
+    return 1 + termSize(E->sub1());
+  case TermKind::Typecase:
+    return 1 + tagSize(E->tag()) + termSize(E->caseInt()) +
+           termSize(E->caseArrow()) + termSize(E->caseProd()) +
+           termSize(E->caseExists());
+  case TermKind::IfLeft:
+    return 1 + valueSize(E->scrutinee()) + termSize(E->sub1()) +
+           termSize(E->sub2());
+  case TermKind::Set:
+    return 1 + valueSize(E->scrutinee()) + valueSize(E->setSource()) +
+           termSize(E->sub1());
+  case TermKind::LetWiden:
+    return 1 + tagSize(E->tag()) + valueSize(E->scrutinee()) +
+           termSize(E->sub1());
+  case TermKind::If0:
+    return 1 + valueSize(E->scrutinee()) + termSize(E->sub1()) +
+           termSize(E->sub2());
+  }
+  return 1;
+}

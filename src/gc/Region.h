@@ -1,0 +1,105 @@
+//===- gc/Region.h - Regions ρ and region sets ∆ ---------------*- C++ -*-===//
+///
+/// \file
+/// Regions ρ ::= ν | r (Fig 2). A region is either a *name* ν — a concrete
+/// runtime region — or a *variable* r bound by `let region`, a code type, or
+/// (in λGC-gen) a region existential. The distinguished code region `cd` is
+/// a name. ∆ environments are ordered sets of regions (RegionSet).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_REGION_H
+#define SCAV_GC_REGION_H
+
+#include "support/Symbol.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace scav::gc {
+
+using scav::Symbol;
+
+/// A region: either a runtime region name ν or a region variable r.
+class Region {
+public:
+  Region() = default;
+
+  static Region var(Symbol S) { return Region(S, /*IsName=*/false); }
+  static Region name(Symbol S) { return Region(S, /*IsName=*/true); }
+
+  bool isValid() const { return Sym.isValid(); }
+  bool isVar() const { return isValid() && !IsName; }
+  bool isName() const { return isValid() && IsName; }
+  Symbol sym() const { return Sym; }
+
+  friend bool operator==(Region A, Region B) {
+    return A.Sym == B.Sym && A.IsName == B.IsName;
+  }
+  friend bool operator!=(Region A, Region B) { return !(A == B); }
+  friend bool operator<(Region A, Region B) {
+    if (A.IsName != B.IsName)
+      return A.IsName < B.IsName;
+    return A.Sym < B.Sym;
+  }
+
+private:
+  Region(Symbol S, bool IsName) : Sym(S), IsName(IsName) {}
+
+  Symbol Sym;
+  bool IsName = false;
+};
+
+/// An ordered set of regions; used for ∆ environments, the `only` keep-set,
+/// and the bounds of region existentials. Deterministic iteration order.
+class RegionSet {
+public:
+  RegionSet() = default;
+  RegionSet(std::initializer_list<Region> Rs) {
+    for (Region R : Rs)
+      insert(R);
+  }
+
+  void insert(Region R) {
+    auto It = std::lower_bound(Elems.begin(), Elems.end(), R);
+    if (It == Elems.end() || *It != R)
+      Elems.insert(It, R);
+  }
+
+  bool contains(Region R) const {
+    return std::binary_search(Elems.begin(), Elems.end(), R);
+  }
+
+  /// \returns true if every element of this set is in \p Other.
+  bool subsetOf(const RegionSet &Other) const {
+    for (Region R : Elems)
+      if (!Other.contains(R))
+        return false;
+    return true;
+  }
+
+  /// Substitutes region \p To for region \p From pointwise.
+  RegionSet substituted(Region From, Region To) const {
+    RegionSet Out;
+    for (Region R : Elems)
+      Out.insert(R == From ? To : R);
+    return Out;
+  }
+
+  bool empty() const { return Elems.empty(); }
+  size_t size() const { return Elems.size(); }
+  auto begin() const { return Elems.begin(); }
+  auto end() const { return Elems.end(); }
+
+  friend bool operator==(const RegionSet &A, const RegionSet &B) {
+    return A.Elems == B.Elems;
+  }
+
+private:
+  std::vector<Region> Elems;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_REGION_H

@@ -1,0 +1,552 @@
+//===- gc/SexpPrint.cpp - Parseable λGC printer ----------------------------===//
+///
+/// \file
+/// Prints λGC syntax in exactly the concrete syntax Parse.cpp accepts, so
+/// parse ∘ print is the identity (up to binder spellings). The human-
+/// oriented renderer lives in Print.cpp; this one is for files and golden
+/// tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Parse.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+struct Sexp {
+  const GcContext &C;
+  const AddressNamer *FnName;
+  std::string Out;
+
+  void atom(std::string_view S) {
+    if (!Out.empty() && Out.back() != '(')
+      Out += ' ';
+    Out += S;
+  }
+  void open() {
+    if (!Out.empty() && Out.back() != '(')
+      Out += ' ';
+    Out += '(';
+  }
+  void close() { Out += ')'; }
+
+  void name(Symbol S) { atom(C.name(S)); }
+
+  void region(Region R) {
+    if (!R.isValid()) {
+      atom("<invalid-region>");
+      return;
+    }
+    atom(C.name(R.sym()));
+  }
+
+  void regionSet(const RegionSet &RS) {
+    open();
+    for (Region R : RS)
+      region(R);
+    close();
+  }
+
+  void kind(const Kind *K) {
+    if (K->isOmega()) {
+      atom("O");
+      return;
+    }
+    open();
+    atom("->");
+    kind(K->from());
+    kind(K->to());
+    close();
+  }
+
+  void tag(const Tag *T) {
+    switch (T->kind()) {
+    case TagKind::Int:
+      atom("Int");
+      return;
+    case TagKind::Var:
+      name(T->var());
+      return;
+    case TagKind::Prod:
+      open();
+      atom("*");
+      tag(T->left());
+      tag(T->right());
+      close();
+      return;
+    case TagKind::Arrow:
+      open();
+      atom("->");
+      for (const Tag *A : T->arrowArgs())
+        tag(A);
+      close();
+      return;
+    case TagKind::Exists:
+      open();
+      atom("E");
+      name(T->var());
+      tag(T->body());
+      close();
+      return;
+    case TagKind::Lam:
+      open();
+      atom("\\");
+      name(T->var());
+      kind(T->binderKind());
+      tag(T->body());
+      close();
+      return;
+    case TagKind::App:
+      open();
+      atom("@");
+      tag(T->left());
+      tag(T->right());
+      close();
+      return;
+    }
+  }
+
+  void type(const Type *T) {
+    switch (T->kind()) {
+    case TypeKind::Int:
+      atom("int");
+      return;
+    case TypeKind::TyVar:
+      name(T->var());
+      return;
+    case TypeKind::Prod:
+    case TypeKind::Sum:
+      open();
+      atom(T->is(TypeKind::Prod) ? "*" : "+");
+      type(T->left());
+      type(T->right());
+      close();
+      return;
+    case TypeKind::Left:
+    case TypeKind::Right:
+      open();
+      atom(T->is(TypeKind::Left) ? "left" : "right");
+      type(T->body());
+      close();
+      return;
+    case TypeKind::At:
+      open();
+      atom("at");
+      type(T->body());
+      region(T->atRegion());
+      close();
+      return;
+    case TypeKind::MApp:
+      open();
+      if (T->mRegions().size() == 1) {
+        atom("M");
+        region(T->mRegions()[0]);
+      } else {
+        atom("M2");
+        region(T->mRegions()[0]);
+        region(T->mRegions()[1]);
+      }
+      tag(T->tag());
+      close();
+      return;
+    case TypeKind::CApp:
+      open();
+      atom("C");
+      region(T->cFrom());
+      region(T->cTo());
+      tag(T->tag());
+      close();
+      return;
+    case TypeKind::Code: {
+      open();
+      atom("code");
+      open();
+      for (size_t I = 0, N = T->tagParams().size(); I != N; ++I) {
+        open();
+        name(T->tagParams()[I]);
+        kind(T->tagParamKinds()[I]);
+        close();
+      }
+      close();
+      open();
+      for (Symbol R : T->regionParams())
+        name(R);
+      close();
+      open();
+      for (const Type *A : T->argTypes())
+        type(A);
+      close();
+      close();
+      return;
+    }
+    case TypeKind::ExistsTag:
+      open();
+      atom("Et");
+      name(T->var());
+      kind(T->binderKind());
+      type(T->body());
+      close();
+      return;
+    case TypeKind::ExistsTyVar:
+    case TypeKind::ExistsRegion:
+      open();
+      atom(T->is(TypeKind::ExistsTyVar) ? "Ea" : "Er");
+      name(T->var());
+      regionSet(T->delta());
+      type(T->body());
+      close();
+      return;
+    case TypeKind::TransCode: {
+      open();
+      atom("trans");
+      open();
+      for (const Tag *A : T->transTags())
+        tag(A);
+      close();
+      open();
+      for (Region R : T->transRegions())
+        region(R);
+      close();
+      open();
+      for (const Type *A : T->argTypes())
+        type(A);
+      close();
+      region(T->atRegion());
+      close();
+      return;
+    }
+    }
+  }
+
+  void value(const Value *V) {
+    switch (V->kind()) {
+    case ValueKind::Int:
+      atom(std::to_string(V->intValue()));
+      return;
+    case ValueKind::Var:
+      name(V->var());
+      return;
+    case ValueKind::Addr: {
+      std::string N = FnName ? (*FnName)(V->address()) : std::string();
+      if (N.empty()) {
+        atom("<unprintable-address>");
+        return;
+      }
+      open();
+      atom("fn");
+      atom(N);
+      close();
+      return;
+    }
+    case ValueKind::Pair:
+      open();
+      atom("pair");
+      value(V->first());
+      value(V->second());
+      close();
+      return;
+    case ValueKind::Inl:
+    case ValueKind::Inr:
+      open();
+      atom(V->is(ValueKind::Inl) ? "inl" : "inr");
+      value(V->payload());
+      close();
+      return;
+    case ValueKind::PackTag:
+      open();
+      atom("packt");
+      name(V->var());
+      tag(V->tagWitness());
+      value(V->payload());
+      type(V->bodyType());
+      close();
+      return;
+    case ValueKind::PackTyVar:
+      open();
+      atom("packa");
+      name(V->var());
+      regionSet(V->delta());
+      type(V->typeWitness());
+      value(V->payload());
+      type(V->bodyType());
+      close();
+      return;
+    case ValueKind::PackRegion:
+      open();
+      atom("packr");
+      name(V->var());
+      regionSet(V->delta());
+      region(V->regionWitness());
+      value(V->payload());
+      type(V->bodyType());
+      close();
+      return;
+    case ValueKind::TransApp: {
+      open();
+      atom("transapp");
+      value(V->payload());
+      open();
+      for (const Tag *T : V->transTags())
+        tag(T);
+      close();
+      open();
+      for (Region R : V->transRegions())
+        region(R);
+      close();
+      close();
+      return;
+    }
+    case ValueKind::Code:
+      atom("<code-literal>"); // only occurs in cd; printed via program form
+      return;
+    }
+  }
+
+  void op(const Op *O) {
+    switch (O->kind()) {
+    case OpKind::Val:
+      value(O->value());
+      return;
+    case OpKind::Proj1:
+    case OpKind::Proj2:
+      open();
+      atom(O->is(OpKind::Proj1) ? "pi1" : "pi2");
+      value(O->value());
+      close();
+      return;
+    case OpKind::Put:
+      open();
+      atom("put");
+      region(O->putRegion());
+      value(O->value());
+      close();
+      return;
+    case OpKind::Get:
+    case OpKind::Strip:
+      open();
+      atom(O->is(OpKind::Get) ? "get" : "strip");
+      value(O->value());
+      close();
+      return;
+    case OpKind::Prim:
+      open();
+      atom(primOpName(O->primOp()));
+      value(O->lhs());
+      value(O->rhs());
+      close();
+      return;
+    }
+  }
+
+  void term(const Term *E) {
+    switch (E->kind()) {
+    case TermKind::App: {
+      open();
+      atom("app");
+      value(E->appFun());
+      open();
+      for (const Tag *T : E->appTags())
+        tag(T);
+      close();
+      open();
+      for (Region R : E->appRegions())
+        region(R);
+      close();
+      open();
+      for (const Value *V : E->appArgs())
+        value(V);
+      close();
+      close();
+      return;
+    }
+    case TermKind::Let:
+      open();
+      atom("let");
+      name(E->binderVar());
+      op(E->letOp());
+      term(E->sub1());
+      close();
+      return;
+    case TermKind::Halt:
+      open();
+      atom("halt");
+      value(E->scrutinee());
+      close();
+      return;
+    case TermKind::IfGc:
+      open();
+      atom("ifgc");
+      region(E->region());
+      term(E->sub1());
+      term(E->sub2());
+      close();
+      return;
+    case TermKind::OpenTag:
+    case TermKind::OpenTyVar:
+    case TermKind::OpenRegion:
+      open();
+      atom(E->is(TermKind::OpenTag)
+               ? "opent"
+               : (E->is(TermKind::OpenTyVar) ? "opena" : "openr"));
+      value(E->scrutinee());
+      name(E->binderVar());
+      name(E->binderVar2());
+      term(E->sub1());
+      close();
+      return;
+    case TermKind::LetRegion:
+      open();
+      atom("letregion");
+      name(E->binderVar());
+      term(E->sub1());
+      close();
+      return;
+    case TermKind::Only:
+      open();
+      atom("only");
+      regionSet(E->onlySet());
+      term(E->sub1());
+      close();
+      return;
+    case TermKind::Typecase:
+      open();
+      atom("typecase");
+      tag(E->tag());
+      term(E->caseInt());
+      term(E->caseArrow());
+      open();
+      name(E->prodVar1());
+      name(E->prodVar2());
+      term(E->caseProd());
+      close();
+      open();
+      name(E->existsVar());
+      term(E->caseExists());
+      close();
+      close();
+      return;
+    case TermKind::IfLeft:
+      open();
+      atom("ifleft");
+      name(E->binderVar());
+      value(E->scrutinee());
+      term(E->sub1());
+      term(E->sub2());
+      close();
+      return;
+    case TermKind::Set:
+      open();
+      atom("set");
+      value(E->scrutinee());
+      value(E->setSource());
+      term(E->sub1());
+      close();
+      return;
+    case TermKind::LetWiden:
+      open();
+      atom("widen");
+      name(E->binderVar());
+      region(E->region());
+      tag(E->tag());
+      value(E->scrutinee());
+      term(E->sub1());
+      close();
+      return;
+    case TermKind::IfReg:
+      open();
+      atom("ifreg");
+      region(E->ifregLhs());
+      region(E->ifregRhs());
+      term(E->sub1());
+      term(E->sub2());
+      close();
+      return;
+    case TermKind::If0:
+      open();
+      atom("if0");
+      value(E->scrutinee());
+      term(E->sub1());
+      term(E->sub2());
+      close();
+      return;
+    }
+  }
+};
+
+} // namespace
+
+std::string scav::gc::printGcTagSexp(const GcContext &C, const Tag *T) {
+  Sexp P{C, nullptr, {}};
+  P.tag(T);
+  return P.Out;
+}
+
+std::string scav::gc::printGcTypeSexp(const GcContext &C, const Type *T) {
+  Sexp P{C, nullptr, {}};
+  P.type(T);
+  return P.Out;
+}
+
+std::string scav::gc::printGcTermSexp(const GcContext &C, const Term *E,
+                                      const AddressNamer &FnName) {
+  Sexp P{C, &FnName, {}};
+  P.term(E);
+  return P.Out;
+}
+
+std::string scav::gc::printGcProgramSexp(const GcContext &C, const Machine &M,
+                                         const ParsedGcProgram &Prog) {
+  std::map<Address, std::string> Names;
+  for (const auto &[N, A] : Prog.Funs)
+    Names[A] = N;
+  AddressNamer Namer = [&Names](Address A) -> std::string {
+    auto It = Names.find(A);
+    return It == Names.end() ? std::string() : It->second;
+  };
+
+  std::string Out = "(program\n";
+  for (const auto &[N, A] : Prog.OwnFuns) {
+    const Value *Code = M.memory().get(A);
+    if (!Code || !Code->is(ValueKind::Code))
+      continue;
+    Sexp P{C, &Namer, {}};
+    P.open();
+    P.atom("fun");
+    P.atom(N);
+    P.open();
+    for (size_t I = 0, K = Code->tagParams().size(); I != K; ++I) {
+      P.open();
+      P.name(Code->tagParams()[I]);
+      P.kind(Code->tagParamKinds()[I]);
+      P.close();
+    }
+    P.close();
+    P.open();
+    for (Symbol R : Code->regionParams())
+      P.name(R);
+    P.close();
+    P.open();
+    for (size_t I = 0, K = Code->valParams().size(); I != K; ++I) {
+      P.open();
+      P.name(Code->valParams()[I]);
+      P.type(Code->valParamTypes()[I]);
+      P.close();
+    }
+    P.close();
+    P.term(Code->codeBody());
+    P.close();
+    Out += "  " + P.Out + "\n";
+  }
+  if (Prog.Main) {
+    Sexp P{C, &Namer, {}};
+    P.open();
+    P.atom("main");
+    P.term(Prog.Main);
+    P.close();
+    Out += "  " + P.Out + "\n";
+  }
+  Out += ")\n";
+  return Out;
+}

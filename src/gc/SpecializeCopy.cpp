@@ -1,0 +1,207 @@
+//===- gc/SpecializeCopy.cpp - Wang–Appel monomorphization baseline -------===//
+
+#include "gc/SpecializeCopy.h"
+
+#include "gc/Builder.h"
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
+
+#include <deque>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+/// Deduplicating worklist of tags (alpha-equality).
+struct TagSet {
+  std::vector<const Tag *> Elems;
+
+  bool insert(GcContext &C, const Tag *T) {
+    const Tag *N = normalizeTag(C, T);
+    for (const Tag *E : Elems)
+      if (alphaEqualTag(E, N))
+        return false;
+    Elems.push_back(N);
+    return true;
+  }
+};
+
+struct SpecGen {
+  GcContext &C;
+  const std::vector<ExistsInstantiations> &Insts;
+  TagSet Done;
+  std::deque<const Tag *> Work;
+  SpecializeStats Stats;
+
+  void enqueue(const Tag *T) {
+    if (Done.insert(C, T))
+      Work.push_back(normalizeTag(C, T));
+  }
+
+  /// Builds the specialized functions for one tag and accounts their size.
+  void emit(const Tag *T) {
+    ++Stats.NumTypes;
+    switch (T->kind()) {
+    case TagKind::Int:
+    case TagKind::Var:
+    case TagKind::Arrow:
+      // copy_τ(x) = x: one trivial function.
+      account(trivialCopy(T));
+      return;
+    case TagKind::Prod: {
+      // copy_τ + the two CPS continuations, each hard-wired to the
+      // component types' copy functions.
+      account(pairCopy(T));
+      account(pairCont(T, /*First=*/true));
+      account(pairCont(T, /*First=*/false));
+      enqueue(T->left());
+      enqueue(T->right());
+      return;
+    }
+    case TagKind::Exists: {
+      // One clone per witness the whole-program analysis found, plus the
+      // dispatcher that tests which witness a package carries (the paper's
+      // "defunctionalization" step).
+      const std::vector<const Tag *> *Ws = nullptr;
+      for (const ExistsInstantiations &I : Insts)
+        if (alphaEqualTag(normalizeTag(C, I.Exists), T)) {
+          Ws = &I.Witnesses;
+          break;
+        }
+      size_t NumW = Ws ? Ws->size() : 1;
+      for (size_t I = 0; I != NumW; ++I) {
+        const Tag *W = Ws ? (*Ws)[I] : C.tagInt();
+        const Tag *Body = substTag(C, T->body(), T->var(), W);
+        account(existsCopyClone(T, Body));
+        enqueue(Body);
+      }
+      account(existsDispatcher(T, NumW));
+      return;
+    }
+    case TagKind::Lam:
+    case TagKind::App:
+      // Ill-kinded as heap types; nothing to do.
+      return;
+    }
+  }
+
+  void account(const Term *Body) {
+    ++Stats.NumFunctions;
+    Stats.TotalTermSize += termSize(Body);
+  }
+
+  // -- Representative bodies (simplified direct-style convention) -------
+
+  const Term *trivialCopy(const Tag *T) {
+    CodeBuilder CB(C);
+    Region R1 = CB.regionParam("r1");
+    (void)CB.regionParam("r2");
+    const Value *X = CB.valParam("x", C.typeM(R1, T));
+    (void)X;
+    return C.termHalt(C.valInt(0));
+  }
+
+  const Term *pairCopy(const Tag *T) {
+    BlockBuilder B(C);
+    Symbol R1 = C.fresh("r1"), R2 = C.fresh("r2");
+    Region Rr1 = Region::var(R1), Rr2 = Region::var(R2);
+    (void)Rr2;
+    Symbol X = C.fresh("x");
+    const Value *G = B.get(C.valVar(X));
+    const Value *P1 = B.proj1(G);
+    const Value *P2 = B.proj2(G);
+    // Calls to the component copies (modeled as cd calls).
+    const Term *Tail = C.termApp(
+        C.valVar(C.fresh("copy_fst")), {}, {Rr1},
+        {P1, C.valPair(P2, C.valVar(C.fresh("k")))});
+    return B.finish(Tail);
+  }
+
+  const Term *pairCont(const Tag *T, bool First) {
+    BlockBuilder B(C);
+    Symbol R2 = C.fresh("r2");
+    Region Rr2 = Region::var(R2);
+    Symbol X = C.fresh(First ? "x1" : "x2");
+    Symbol Cv = C.fresh("c");
+    const Value *Rest = B.proj2(C.valVar(Cv));
+    const Term *Tail;
+    if (First) {
+      Tail = C.termApp(C.valVar(C.fresh("copy_snd")), {}, {Rr2},
+                       {Rest, C.valPair(C.valVar(X), C.valVar(Cv))});
+    } else {
+      const Value *A = B.put(Rr2, C.valPair(B.proj1(C.valVar(Cv)),
+                                            C.valVar(X)));
+      Tail = C.termApp(C.valVar(C.fresh("k")), {}, {Rr2}, {A});
+    }
+    return B.finish(Tail);
+  }
+
+  const Term *existsCopyClone(const Tag *T, const Tag *Body) {
+    BlockBuilder B(C);
+    Symbol R1 = C.fresh("r1"), R2 = C.fresh("r2");
+    Region Rr1 = Region::var(R1), Rr2 = Region::var(R2);
+    (void)Rr2;
+    Symbol X = C.fresh("x");
+    const Value *G = B.get(C.valVar(X));
+    auto [Tv, Y] = B.openTag(G, "t", "y");
+    (void)Tv;
+    const Term *Tail =
+        C.termApp(C.valVar(C.fresh("copy_body")), {}, {Rr1},
+                  {Y, C.valVar(C.fresh("k"))});
+    return B.finish(Tail);
+  }
+
+  const Term *existsDispatcher(const Tag *T, size_t NumWitnesses) {
+    // A chain of witness tests, one per instantiation.
+    const Term *Out = C.termHalt(C.valInt(0));
+    for (size_t I = 0; I != NumWitnesses; ++I) {
+      Symbol X = C.fresh("w");
+      Out = C.termIf0(C.valVar(X),
+                      C.termApp(C.valVar(C.fresh("copy_clone")), {},
+                                {Region::var(C.fresh("r"))},
+                                {C.valVar(C.fresh("p"))}),
+                      Out);
+    }
+    return Out;
+  }
+};
+
+} // namespace
+
+SpecializeStats scav::gc::specializeCopyFamily(
+    GcContext &C, const std::vector<const Tag *> &RootTags,
+    const std::vector<ExistsInstantiations> &Insts) {
+  SpecGen G{C, Insts, {}, {}, {}};
+  for (const Tag *T : RootTags)
+    G.enqueue(T);
+  while (!G.Work.empty()) {
+    const Tag *T = G.Work.front();
+    G.Work.pop_front();
+    G.emit(T);
+  }
+  return G.Stats;
+}
+
+size_t scav::gc::libraryCollectorSize(LanguageLevel Level) {
+  GcContext C;
+  Machine M(C, Level);
+  switch (Level) {
+  case LanguageLevel::Base:
+    installBasicCollector(M);
+    break;
+  case LanguageLevel::Forward:
+    installForwardCollector(M);
+    break;
+  case LanguageLevel::Generational:
+    installGenCollector(M);
+    break;
+  }
+  size_t Total = 0;
+  const RegionData *Cd = M.memory().region(C.cd().sym());
+  for (const Value *V : Cd->Cells)
+    if (V)
+      Total += valueSize(V);
+  return Total;
+}

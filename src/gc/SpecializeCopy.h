@@ -1,0 +1,60 @@
+//===- gc/SpecializeCopy.h - Wang–Appel monomorphization baseline -*-C++-*-=//
+///
+/// \file
+/// A code-size model of the approach our paper argues *against* (§2.1):
+/// Wang–Appel's earlier collectors avoided runtime type analysis by
+/// generating a specialized copy function for every type in the program
+/// (monomorphization + defunctionalization), which requires whole-program
+/// analysis and duplicates collector code per type.
+///
+/// Given the set of heap types a program allocates (tags, with the witness
+/// instantiations of each existential — information only a whole-program
+/// analysis has), this module generates the per-type copy functions as
+/// real λGC terms and reports their count and total AST size, to compare
+/// with the single certified ITA library collector (experiment E7).
+///
+/// The generated functions use a simplified direct-style calling
+/// convention: they model the *structure* (per-type dispatch, per-component
+/// recursion, per-witness existential clones) that drives the size blowup;
+/// they are not certified or executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_SPECIALIZECOPY_H
+#define SCAV_GC_SPECIALIZECOPY_H
+
+#include "gc/Machine.h"
+
+#include <vector>
+
+namespace scav::gc {
+
+struct SpecializeStats {
+  /// Number of generated monomorphic functions.
+  size_t NumFunctions = 0;
+  /// Sum of termSize over all generated function bodies.
+  size_t TotalTermSize = 0;
+  /// Number of distinct tags that needed a specialization.
+  size_t NumTypes = 0;
+};
+
+/// One existential type together with the witness tags a whole-program
+/// analysis found for it.
+struct ExistsInstantiations {
+  const Tag *Exists; ///< ∃t.τ
+  std::vector<const Tag *> Witnesses;
+};
+
+/// Generates the monomorphized copy family for every type reachable from
+/// \p RootTags (existential bodies explored through \p Insts).
+SpecializeStats
+specializeCopyFamily(GcContext &C, const std::vector<const Tag *> &RootTags,
+                     const std::vector<ExistsInstantiations> &Insts);
+
+/// The size of the certified ITA library collector (the six Fig 12 code
+/// blocks) for comparison, measured the same way.
+size_t libraryCollectorSize(LanguageLevel Level);
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_SPECIALIZECOPY_H

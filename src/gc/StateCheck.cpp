@@ -1,0 +1,207 @@
+//===- gc/StateCheck.cpp - Machine-state well-formedness ------------------===//
+
+#include "gc/StateCheck.h"
+
+#include <deque>
+
+using namespace scav;
+using namespace scav::gc;
+
+//===----------------------------------------------------------------------===//
+// Address collection / reachability
+//===----------------------------------------------------------------------===//
+
+void scav::gc::collectAddresses(const Value *V, std::set<Address> &Out) {
+  switch (V->kind()) {
+  case ValueKind::Int:
+  case ValueKind::Var:
+    return;
+  case ValueKind::Addr:
+    Out.insert(V->address());
+    return;
+  case ValueKind::Pair:
+    collectAddresses(V->first(), Out);
+    collectAddresses(V->second(), Out);
+    return;
+  case ValueKind::Inl:
+  case ValueKind::Inr:
+  case ValueKind::TransApp:
+  case ValueKind::PackTag:
+  case ValueKind::PackTyVar:
+  case ValueKind::PackRegion:
+    collectAddresses(V->payload(), Out);
+    return;
+  case ValueKind::Code:
+    collectAddresses(V->codeBody(), Out);
+    return;
+  }
+}
+
+void scav::gc::collectAddresses(const Term *E, std::set<Address> &Out) {
+  switch (E->kind()) {
+  case TermKind::App:
+    collectAddresses(E->appFun(), Out);
+    for (const Value *V : E->appArgs())
+      collectAddresses(V, Out);
+    return;
+  case TermKind::Let: {
+    const Op *O = E->letOp();
+    if (O->is(OpKind::Prim)) {
+      collectAddresses(O->lhs(), Out);
+      collectAddresses(O->rhs(), Out);
+    } else {
+      collectAddresses(O->value(), Out);
+    }
+    collectAddresses(E->sub1(), Out);
+    return;
+  }
+  case TermKind::Halt:
+    collectAddresses(E->scrutinee(), Out);
+    return;
+  case TermKind::IfGc:
+  case TermKind::IfReg:
+    collectAddresses(E->sub1(), Out);
+    collectAddresses(E->sub2(), Out);
+    return;
+  case TermKind::OpenTag:
+  case TermKind::OpenTyVar:
+  case TermKind::OpenRegion:
+  case TermKind::LetWiden:
+    collectAddresses(E->scrutinee(), Out);
+    collectAddresses(E->sub1(), Out);
+    return;
+  case TermKind::LetRegion:
+  case TermKind::Only:
+    collectAddresses(E->sub1(), Out);
+    return;
+  case TermKind::Typecase:
+    collectAddresses(E->caseInt(), Out);
+    collectAddresses(E->caseArrow(), Out);
+    collectAddresses(E->caseProd(), Out);
+    collectAddresses(E->caseExists(), Out);
+    return;
+  case TermKind::IfLeft:
+  case TermKind::If0:
+    collectAddresses(E->scrutinee(), Out);
+    collectAddresses(E->sub1(), Out);
+    collectAddresses(E->sub2(), Out);
+    return;
+  case TermKind::Set:
+    collectAddresses(E->scrutinee(), Out);
+    collectAddresses(E->setSource(), Out);
+    collectAddresses(E->sub1(), Out);
+    return;
+  }
+}
+
+std::set<Address> scav::gc::reachableCells(const Machine &M) {
+  std::set<Address> Seen;
+  std::deque<Address> Work;
+  std::set<Address> Roots;
+  if (M.currentTerm())
+    collectAddresses(M.currentTerm(), Roots);
+  for (Address A : Roots) {
+    if (Seen.insert(A).second)
+      Work.push_back(A);
+  }
+  while (!Work.empty()) {
+    Address A = Work.front();
+    Work.pop_front();
+    const Value *Cell = M.memory().get(A);
+    if (!Cell)
+      continue;
+    std::set<Address> Next;
+    collectAddresses(Cell, Next);
+    for (Address B : Next)
+      if (Seen.insert(B).second)
+        Work.push_back(B);
+  }
+  return Seen;
+}
+
+//===----------------------------------------------------------------------===//
+// ⊢ (M, e)
+//===----------------------------------------------------------------------===//
+
+StateCheckResult scav::gc::checkState(Machine &M,
+                                      const StateCheckOptions &Opts) {
+  GcContext &C = M.context();
+  Symbol CdS = C.cd().sym();
+
+  // Checking allocates heavily (normalization, substitution); none of it
+  // survives the call, so scope it with an arena checkpoint — otherwise a
+  // per-step checking run leaks the whole transcript of its own work.
+  struct ArenaScope {
+    Arena &A;
+    Arena::Checkpoint Cp;
+    explicit ArenaScope(Arena &A) : A(A), Cp(A.mark()) {}
+    ~ArenaScope() { A.release(Cp); }
+  } Scope(C.arena());
+
+  if (!M.typeTrackingOk())
+    return StateCheckResult::failure("Psi maintenance failed: " +
+                                     M.typeTrackingError());
+
+  DiagEngine Diags;
+  TypeChecker Checker(C, M.level(), Diags);
+
+  CheckEnv Env;
+  Env.Psi.M = &M.psi();
+  Env.Psi.Cd = CdS;
+  Env.Delta = M.psi().domain();
+
+  std::set<Address> Reachable;
+  if (Opts.RestrictToReachable)
+    Reachable = reachableCells(M);
+
+  // Dom(M) = Dom(Ψ) region-wise.
+  for (const auto &[S, _] : M.memory().Regions)
+    if (!M.psi().hasRegion(S))
+      return StateCheckResult::failure(
+          "memory region missing from Psi: " + std::string(C.name(S)));
+  for (const auto &[S, _] : M.psi().Regions)
+    if (!M.memory().hasRegion(S))
+      return StateCheckResult::failure(
+          "Psi region missing from memory: " + std::string(C.name(S)));
+
+  // ⊢ M : Ψ (cell by cell), with Fig 7's cd discipline.
+  for (const auto &[S, R] : M.memory().Regions) {
+    bool IsCd = S == CdS;
+    for (uint32_t Off = 0; Off != R.Cells.size(); ++Off) {
+      const Value *V = R.Cells[Off];
+      if (!V)
+        continue; // reserved-but-undefined code slot
+      Address A{Region::name(S), Off};
+      if (Opts.RestrictToReachable && !IsCd && !Reachable.count(A))
+        continue; // Def 7.1: drop unreachable (possibly ill-typed) garbage.
+      const Type *CellTy = M.psi().lookup(A);
+      if (!CellTy)
+        return StateCheckResult::failure("cell missing from Psi: " +
+                                         printValue(C, C.valAddr(A)));
+      if (IsCd) {
+        if (!CellTy->is(TypeKind::Code) || !V->is(ValueKind::Code))
+          return StateCheckResult::failure(
+              "cd region holds a non-code cell (Fig 7): " +
+              printValue(C, C.valAddr(A)));
+        if (!Opts.CheckCodeRegion)
+          continue;
+      }
+      Checker.setSkipCodeBodies(IsCd ? false : true);
+      if (!Checker.checkValue(V, CellTy, Env)) {
+        return StateCheckResult::failure(
+            "cell " + printValue(C, C.valAddr(A)) + " := " + printValue(C, V) +
+            " does not check against Psi type " + printType(C, CellTy) +
+            "\n" + Diags.str());
+      }
+    }
+  }
+
+  // Ψ; Dom(Ψ); ·; ·; · ⊢ e.
+  if (const Term *E = M.currentTerm()) {
+    Checker.setSkipCodeBodies(true);
+    if (!Checker.checkTerm(E, Env))
+      return StateCheckResult::failure("term ill-typed:\n" + Diags.str());
+  }
+
+  return StateCheckResult{};
+}

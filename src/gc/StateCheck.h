@@ -1,0 +1,62 @@
+//===- gc/StateCheck.h - Machine-state well-formedness ---------*- C++ -*-===//
+///
+/// \file
+/// Re-establishes the paper's well-formed machine state judgment on live
+/// machine states:
+///
+///   Def 6.3 (λGC, λGC-gen):    ⊢ M : Ψ   Ψ; Dom(Ψ); ·; ·; · ⊢ e
+///   Def 7.1 (λGC-forw):        M̄ ⊆ M    ⊢ M̄ : Ψ    Ψ; Dom(Ψ); ... ⊢ e
+///
+/// This is the executable form of the soundness theorems: the harness calls
+/// checkState after every machine step (type preservation, Props 6.4 / 7.2
+/// / 8.1) and asserts that an accepted non-halt state can step (progress,
+/// Props 6.5 / 7.3 / 8.2).
+///
+/// For λGC-forw the restriction M̄ is computed as the set of cells reachable
+/// from the current term (plus all of cd), exactly the "sufficient subset"
+/// Def 7.1 asks for: after `widen`, dead mutator objects may not match the
+/// collector-view Ψ, and the paper's own proof discards them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_STATECHECK_H
+#define SCAV_GC_STATECHECK_H
+
+#include "gc/Machine.h"
+
+#include <set>
+#include <string>
+
+namespace scav::gc {
+
+struct StateCheckOptions {
+  /// Re-check every code body in cd. Expensive; the harness does it once
+  /// per program (cd is immutable) and then disables it.
+  bool CheckCodeRegion = true;
+  /// Use the Def 7.1 reachable restriction M̄ ⊆ M instead of checking every
+  /// cell. Required for λGC-forw states between `widen` and `only`.
+  bool RestrictToReachable = false;
+};
+
+struct StateCheckResult {
+  bool Ok = true;
+  std::string Error;
+
+  static StateCheckResult failure(std::string Msg) {
+    return StateCheckResult{false, std::move(Msg)};
+  }
+};
+
+/// Collects every address literal in a term / value.
+void collectAddresses(const Term *E, std::set<Address> &Out);
+void collectAddresses(const Value *V, std::set<Address> &Out);
+
+/// The set of cells reachable from the current term through memory.
+std::set<Address> reachableCells(const Machine &M);
+
+/// Checks ⊢ (M, e) for the machine's current state.
+StateCheckResult checkState(Machine &M, const StateCheckOptions &Opts = {});
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_STATECHECK_H

@@ -1,0 +1,521 @@
+//===- gc/Subst.cpp - Simultaneous capture-avoiding substitution ----------===//
+///
+/// \file
+/// Implements applySubst over every syntactic class. Binders are freshened
+/// only when they collide with the substitution's domain or with symbols
+/// mentioned by its range ("unsafe" symbols), so the common path allocates
+/// no extra maps.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Ops.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+/// The set of symbols that force a binder rename.
+SymbolSet computeUnsafe(const Subst &S) {
+  SymbolSet U;
+  for (const auto &[K, V] : S.Tags) {
+    U.insert(K);
+    collectSymbols(V, U);
+  }
+  for (const auto &[K, V] : S.Regions) {
+    U.insert(K);
+    U.insert(V.sym());
+  }
+  for (const auto &[K, V] : S.Types) {
+    U.insert(K);
+    collectSymbols(V, U);
+  }
+  for (const auto &[K, V] : S.Vals) {
+    U.insert(K);
+    collectSymbols(V, U);
+  }
+  return U;
+}
+
+enum class VarSort { TagVar, RegionVar, TypeVar, ValVar };
+
+/// Carries the substitution and unsafe set down the traversal; extended
+/// (copied) only when a binder must be renamed or shadowed.
+struct Env {
+  GcContext &C;
+  const Subst &S;
+  const SymbolSet &Unsafe;
+};
+
+/// Result of entering a binder: the possibly-renamed binder plus the
+/// environment to use for the body. Owns the extension storage.
+struct BinderScope {
+  BinderScope(const Env &E) : C(E.C), CurS(&E.S), CurUnsafe(&E.Unsafe) {}
+
+  /// Enters one binder of the given sort; returns the binder to emit.
+  Symbol enter(Symbol B, VarSort Sort) {
+    bool InDomain = false;
+    switch (Sort) {
+    case VarSort::TagVar:
+      InDomain = CurS->Tags.count(B) != 0;
+      break;
+    case VarSort::RegionVar:
+      InDomain = CurS->Regions.count(B) != 0;
+      break;
+    case VarSort::TypeVar:
+      InDomain = CurS->Types.count(B) != 0;
+      break;
+    case VarSort::ValVar:
+      InDomain = CurS->Vals.count(B) != 0;
+      break;
+    }
+    if (!InDomain && CurUnsafe->count(B) == 0)
+      return B;
+
+    // Copy-on-write extension.
+    if (!OwnedS) {
+      OwnedS = std::make_unique<Subst>(*CurS);
+      OwnedUnsafe = std::make_unique<SymbolSet>(*CurUnsafe);
+      CurS = OwnedS.get();
+      CurUnsafe = OwnedUnsafe.get();
+    }
+    Symbol B2 = C.fresh(C.name(B));
+    switch (Sort) {
+    case VarSort::TagVar:
+      OwnedS->Tags[B] = C.tagVar(B2);
+      break;
+    case VarSort::RegionVar:
+      OwnedS->Regions[B] = Region::var(B2);
+      break;
+    case VarSort::TypeVar:
+      OwnedS->Types[B] = C.typeVar(B2);
+      break;
+    case VarSort::ValVar:
+      OwnedS->Vals[B] = C.valVar(B2);
+      break;
+    }
+    OwnedUnsafe->insert(B2);
+    return B2;
+  }
+
+  Env env() const { return Env{C, *CurS, *CurUnsafe}; }
+
+private:
+  GcContext &C;
+  const Subst *CurS;
+  const SymbolSet *CurUnsafe;
+  std::unique_ptr<Subst> OwnedS;
+  std::unique_ptr<SymbolSet> OwnedUnsafe;
+};
+
+Region substRegion(Region R, const Env &E) {
+  if (!R.isVar())
+    return R;
+  auto It = E.S.Regions.find(R.sym());
+  return It == E.S.Regions.end() ? R : It->second;
+}
+
+RegionSet substRegionSet(const RegionSet &RS, const Env &E) {
+  RegionSet Out;
+  for (Region R : RS)
+    Out.insert(substRegion(R, E));
+  return Out;
+}
+
+const Tag *substTagRec(const Tag *T, const Env &E);
+const Type *substTypeRec(const Type *T, const Env &E);
+const Value *substValueRec(const Value *V, const Env &E);
+const Term *substTermRec(const Term *T, const Env &E);
+
+const Tag *substTagRec(const Tag *T, const Env &E) {
+  GcContext &C = E.C;
+  switch (T->kind()) {
+  case TagKind::Int:
+    return T;
+  case TagKind::Var: {
+    auto It = E.S.Tags.find(T->var());
+    return It == E.S.Tags.end() ? T : It->second;
+  }
+  case TagKind::Prod:
+    return C.tagProd(substTagRec(T->left(), E), substTagRec(T->right(), E));
+  case TagKind::App:
+    return C.tagApp(substTagRec(T->left(), E), substTagRec(T->right(), E));
+  case TagKind::Arrow: {
+    std::vector<const Tag *> Args;
+    Args.reserve(T->arrowArgs().size());
+    for (const Tag *A : T->arrowArgs())
+      Args.push_back(substTagRec(A, E));
+    return C.tagArrow(std::move(Args));
+  }
+  case TagKind::Exists: {
+    BinderScope BS(E);
+    Symbol B = BS.enter(T->var(), VarSort::TagVar);
+    return C.tagExists(B, substTagRec(T->body(), BS.env()));
+  }
+  case TagKind::Lam: {
+    BinderScope BS(E);
+    Symbol B = BS.enter(T->var(), VarSort::TagVar);
+    return C.tagLam(B, T->binderKind(), substTagRec(T->body(), BS.env()));
+  }
+  }
+  return T;
+}
+
+const Type *substTypeRec(const Type *T, const Env &E) {
+  GcContext &C = E.C;
+  switch (T->kind()) {
+  case TypeKind::Int:
+    return T;
+  case TypeKind::TyVar: {
+    auto It = E.S.Types.find(T->var());
+    return It == E.S.Types.end() ? T : It->second;
+  }
+  case TypeKind::Prod:
+    return C.typeProd(substTypeRec(T->left(), E), substTypeRec(T->right(), E));
+  case TypeKind::Sum:
+    return C.typeSum(substTypeRec(T->left(), E), substTypeRec(T->right(), E));
+  case TypeKind::Left:
+    return C.typeLeft(substTypeRec(T->body(), E));
+  case TypeKind::Right:
+    return C.typeRight(substTypeRec(T->body(), E));
+  case TypeKind::At:
+    return C.typeAt(substTypeRec(T->body(), E), substRegion(T->atRegion(), E));
+  case TypeKind::MApp: {
+    std::vector<Region> Rs;
+    for (Region R : T->mRegions())
+      Rs.push_back(substRegion(R, E));
+    return C.typeM(std::move(Rs), substTagRec(T->tag(), E));
+  }
+  case TypeKind::CApp:
+    return C.typeC(substRegion(T->cFrom(), E), substRegion(T->cTo(), E),
+                   substTagRec(T->tag(), E));
+  case TypeKind::ExistsTag: {
+    BinderScope BS(E);
+    Symbol B = BS.enter(T->var(), VarSort::TagVar);
+    return C.typeExistsTag(B, T->binderKind(),
+                           substTypeRec(T->body(), BS.env()));
+  }
+  case TypeKind::ExistsTyVar: {
+    RegionSet Delta = substRegionSet(T->delta(), E);
+    BinderScope BS(E);
+    Symbol B = BS.enter(T->var(), VarSort::TypeVar);
+    return C.typeExistsTyVar(B, std::move(Delta),
+                             substTypeRec(T->body(), BS.env()));
+  }
+  case TypeKind::ExistsRegion: {
+    RegionSet Delta = substRegionSet(T->delta(), E);
+    BinderScope BS(E);
+    Symbol B = BS.enter(T->var(), VarSort::RegionVar);
+    return C.typeExistsRegion(B, std::move(Delta),
+                              substTypeRec(T->body(), BS.env()));
+  }
+  case TypeKind::Code: {
+    BinderScope BS(E);
+    std::vector<Symbol> TagParams;
+    for (Symbol P : T->tagParams())
+      TagParams.push_back(BS.enter(P, VarSort::TagVar));
+    std::vector<Symbol> RegionParams;
+    for (Symbol P : T->regionParams())
+      RegionParams.push_back(BS.enter(P, VarSort::RegionVar));
+    Env Inner = BS.env();
+    std::vector<const Type *> Args;
+    for (const Type *A : T->argTypes())
+      Args.push_back(substTypeRec(A, Inner));
+    return C.typeCode(std::move(TagParams), T->tagParamKinds(),
+                      std::move(RegionParams), std::move(Args));
+  }
+  case TypeKind::TransCode: {
+    std::vector<const Tag *> TagArgs;
+    for (const Tag *A : T->transTags())
+      TagArgs.push_back(substTagRec(A, E));
+    std::vector<Region> RegionArgs;
+    for (Region R : T->transRegions())
+      RegionArgs.push_back(substRegion(R, E));
+    Region At = substRegion(T->atRegion(), E);
+    std::vector<const Type *> Args;
+    for (const Type *A : T->argTypes())
+      Args.push_back(substTypeRec(A, E));
+    return C.typeTransCode(std::move(TagArgs), std::move(RegionArgs),
+                           std::move(Args), At);
+  }
+  }
+  return T;
+}
+
+const Value *substValueRec(const Value *V, const Env &E) {
+  GcContext &C = E.C;
+  switch (V->kind()) {
+  case ValueKind::Int:
+  case ValueKind::Addr:
+    return V;
+  case ValueKind::Var: {
+    auto It = E.S.Vals.find(V->var());
+    return It == E.S.Vals.end() ? V : It->second;
+  }
+  case ValueKind::Pair:
+    return C.valPair(substValueRec(V->first(), E),
+                     substValueRec(V->second(), E));
+  case ValueKind::Inl:
+    return C.valInl(substValueRec(V->payload(), E));
+  case ValueKind::Inr:
+    return C.valInr(substValueRec(V->payload(), E));
+  case ValueKind::PackTag: {
+    const Tag *W = substTagRec(V->tagWitness(), E);
+    const Value *P = substValueRec(V->payload(), E);
+    BinderScope BS(E);
+    Symbol B = BS.enter(V->var(), VarSort::TagVar);
+    return C.valPackTag(B, W, P, substTypeRec(V->bodyType(), BS.env()));
+  }
+  case ValueKind::PackTyVar: {
+    RegionSet Delta = substRegionSet(V->delta(), E);
+    const Type *W = substTypeRec(V->typeWitness(), E);
+    const Value *P = substValueRec(V->payload(), E);
+    BinderScope BS(E);
+    Symbol B = BS.enter(V->var(), VarSort::TypeVar);
+    return C.valPackTyVar(B, std::move(Delta), W, P,
+                          substTypeRec(V->bodyType(), BS.env()));
+  }
+  case ValueKind::PackRegion: {
+    RegionSet Delta = substRegionSet(V->delta(), E);
+    Region W = substRegion(V->regionWitness(), E);
+    const Value *P = substValueRec(V->payload(), E);
+    BinderScope BS(E);
+    Symbol B = BS.enter(V->var(), VarSort::RegionVar);
+    return C.valPackRegion(B, std::move(Delta), W, P,
+                           substTypeRec(V->bodyType(), BS.env()));
+  }
+  case ValueKind::TransApp: {
+    std::vector<const Tag *> Tags;
+    for (const Tag *T : V->transTags())
+      Tags.push_back(substTagRec(T, E));
+    std::vector<Region> Regions;
+    for (Region R : V->transRegions())
+      Regions.push_back(substRegion(R, E));
+    return C.valTransApp(substValueRec(V->payload(), E), std::move(Tags),
+                         std::move(Regions));
+  }
+  case ValueKind::Code: {
+    BinderScope BS(E);
+    std::vector<Symbol> TagParams;
+    for (Symbol P : V->tagParams())
+      TagParams.push_back(BS.enter(P, VarSort::TagVar));
+    std::vector<Symbol> RegionParams;
+    for (Symbol P : V->regionParams())
+      RegionParams.push_back(BS.enter(P, VarSort::RegionVar));
+    std::vector<Symbol> ValParams;
+    for (Symbol P : V->valParams())
+      ValParams.push_back(BS.enter(P, VarSort::ValVar));
+    Env Inner = BS.env();
+    std::vector<const Type *> ValTypes;
+    for (const Type *T : V->valParamTypes())
+      ValTypes.push_back(substTypeRec(T, Inner));
+    return C.valCode(std::move(TagParams), V->tagParamKinds(),
+                     std::move(RegionParams), std::move(ValParams),
+                     std::move(ValTypes), substTermRec(V->codeBody(), Inner));
+  }
+  }
+  return V;
+}
+
+const Op *substOpRec(const Op *O, const Env &E) {
+  GcContext &C = E.C;
+  switch (O->kind()) {
+  case OpKind::Val:
+    return C.opVal(substValueRec(O->value(), E));
+  case OpKind::Proj1:
+    return C.opProj(1, substValueRec(O->value(), E));
+  case OpKind::Proj2:
+    return C.opProj(2, substValueRec(O->value(), E));
+  case OpKind::Put:
+    return C.opPut(substRegion(O->putRegion(), E),
+                   substValueRec(O->value(), E));
+  case OpKind::Get:
+    return C.opGet(substValueRec(O->value(), E));
+  case OpKind::Strip:
+    return C.opStrip(substValueRec(O->value(), E));
+  case OpKind::Prim:
+    return C.opPrim(O->primOp(), substValueRec(O->lhs(), E),
+                    substValueRec(O->rhs(), E));
+  }
+  return O;
+}
+
+const Term *substTermRec(const Term *T, const Env &E) {
+  GcContext &C = E.C;
+  switch (T->kind()) {
+  case TermKind::App: {
+    const Value *F = substValueRec(T->appFun(), E);
+    std::vector<const Tag *> Tags;
+    for (const Tag *A : T->appTags())
+      Tags.push_back(substTagRec(A, E));
+    std::vector<Region> Regions;
+    for (Region R : T->appRegions())
+      Regions.push_back(substRegion(R, E));
+    std::vector<const Value *> Args;
+    for (const Value *A : T->appArgs())
+      Args.push_back(substValueRec(A, E));
+    return C.termApp(F, std::move(Tags), std::move(Regions), std::move(Args));
+  }
+  case TermKind::Let: {
+    const Op *O = substOpRec(T->letOp(), E);
+    BinderScope BS(E);
+    Symbol X = BS.enter(T->binderVar(), VarSort::ValVar);
+    return C.termLet(X, O, substTermRec(T->sub1(), BS.env()));
+  }
+  case TermKind::Halt:
+    return C.termHalt(substValueRec(T->scrutinee(), E));
+  case TermKind::IfGc:
+    return C.termIfGc(substRegion(T->region(), E), substTermRec(T->sub1(), E),
+                      substTermRec(T->sub2(), E));
+  case TermKind::OpenTag: {
+    const Value *V = substValueRec(T->scrutinee(), E);
+    BinderScope BS(E);
+    Symbol TV = BS.enter(T->binderVar(), VarSort::TagVar);
+    Symbol XV = BS.enter(T->binderVar2(), VarSort::ValVar);
+    return C.termOpenTag(V, TV, XV, substTermRec(T->sub1(), BS.env()));
+  }
+  case TermKind::OpenTyVar: {
+    const Value *V = substValueRec(T->scrutinee(), E);
+    BinderScope BS(E);
+    Symbol AV = BS.enter(T->binderVar(), VarSort::TypeVar);
+    Symbol XV = BS.enter(T->binderVar2(), VarSort::ValVar);
+    return C.termOpenTyVar(V, AV, XV, substTermRec(T->sub1(), BS.env()));
+  }
+  case TermKind::LetRegion: {
+    BinderScope BS(E);
+    Symbol R = BS.enter(T->binderVar(), VarSort::RegionVar);
+    return C.termLetRegion(R, substTermRec(T->sub1(), BS.env()));
+  }
+  case TermKind::Only:
+    return C.termOnly(substRegionSet(T->onlySet(), E),
+                      substTermRec(T->sub1(), E));
+  case TermKind::Typecase: {
+    const Tag *Scrut = substTagRec(T->tag(), E);
+    const Term *CaseI = substTermRec(T->caseInt(), E);
+    const Term *CaseA = substTermRec(T->caseArrow(), E);
+    BinderScope BSP(E);
+    Symbol T1 = BSP.enter(T->prodVar1(), VarSort::TagVar);
+    Symbol T2 = BSP.enter(T->prodVar2(), VarSort::TagVar);
+    const Term *CaseP = substTermRec(T->caseProd(), BSP.env());
+    BinderScope BSE(E);
+    Symbol Te = BSE.enter(T->existsVar(), VarSort::TagVar);
+    const Term *CaseE = substTermRec(T->caseExists(), BSE.env());
+    return C.termTypecase(Scrut, CaseI, CaseA, T1, T2, CaseP, Te, CaseE);
+  }
+  case TermKind::IfLeft: {
+    const Value *V = substValueRec(T->scrutinee(), E);
+    BinderScope BS(E);
+    Symbol X = BS.enter(T->binderVar(), VarSort::ValVar);
+    Env Inner = BS.env();
+    return C.termIfLeft(X, V, substTermRec(T->sub1(), Inner),
+                        substTermRec(T->sub2(), Inner));
+  }
+  case TermKind::Set:
+    return C.termSet(substValueRec(T->scrutinee(), E),
+                     substValueRec(T->setSource(), E),
+                     substTermRec(T->sub1(), E));
+  case TermKind::LetWiden: {
+    Region R = substRegion(T->region(), E);
+    const Tag *Tau = substTagRec(T->tag(), E);
+    const Value *V = substValueRec(T->scrutinee(), E);
+    BinderScope BS(E);
+    Symbol X = BS.enter(T->binderVar(), VarSort::ValVar);
+    return C.termLetWiden(X, R, Tau, V, substTermRec(T->sub1(), BS.env()));
+  }
+  case TermKind::OpenRegion: {
+    const Value *V = substValueRec(T->scrutinee(), E);
+    BinderScope BS(E);
+    Symbol RV = BS.enter(T->binderVar(), VarSort::RegionVar);
+    Symbol XV = BS.enter(T->binderVar2(), VarSort::ValVar);
+    return C.termOpenRegion(V, RV, XV, substTermRec(T->sub1(), BS.env()));
+  }
+  case TermKind::IfReg:
+    return C.termIfReg(substRegion(T->ifregLhs(), E),
+                       substRegion(T->ifregRhs(), E),
+                       substTermRec(T->sub1(), E), substTermRec(T->sub2(), E));
+  case TermKind::If0:
+    return C.termIf0(substValueRec(T->scrutinee(), E),
+                     substTermRec(T->sub1(), E), substTermRec(T->sub2(), E));
+  }
+  return T;
+}
+
+} // namespace
+
+const Tag *scav::gc::applySubst(GcContext &C, const Tag *T, const Subst &S) {
+  if (S.empty())
+    return T;
+  SymbolSet Unsafe = computeUnsafe(S);
+  return substTagRec(T, Env{C, S, Unsafe});
+}
+
+const Type *scav::gc::applySubst(GcContext &C, const Type *T, const Subst &S) {
+  if (S.empty())
+    return T;
+  SymbolSet Unsafe = computeUnsafe(S);
+  return substTypeRec(T, Env{C, S, Unsafe});
+}
+
+const Value *scav::gc::applySubst(GcContext &C, const Value *V,
+                                  const Subst &S) {
+  if (S.empty())
+    return V;
+  SymbolSet Unsafe = computeUnsafe(S);
+  return substValueRec(V, Env{C, S, Unsafe});
+}
+
+const Op *scav::gc::applySubst(GcContext &C, const Op *O, const Subst &S) {
+  if (S.empty())
+    return O;
+  SymbolSet Unsafe = computeUnsafe(S);
+  return substOpRec(O, Env{C, S, Unsafe});
+}
+
+const Term *scav::gc::applySubst(GcContext &C, const Term *E, const Subst &S) {
+  if (S.empty())
+    return E;
+  SymbolSet Unsafe = computeUnsafe(S);
+  return substTermRec(E, Env{C, S, Unsafe});
+}
+
+Region scav::gc::applySubst(Region R, const Subst &S) {
+  if (!R.isVar())
+    return R;
+  auto It = S.Regions.find(R.sym());
+  return It == S.Regions.end() ? R : It->second;
+}
+
+RegionSet scav::gc::applySubst(const RegionSet &RS, const Subst &S) {
+  RegionSet Out;
+  for (Region R : RS)
+    Out.insert(applySubst(R, S));
+  return Out;
+}
+
+const Tag *scav::gc::substTag(GcContext &C, const Tag *In, Symbol Var,
+                              const Tag *Rep) {
+  Subst S;
+  S.Tags[Var] = Rep;
+  return applySubst(C, In, S);
+}
+
+const Type *scav::gc::substTagInType(GcContext &C, const Type *In, Symbol Var,
+                                     const Tag *Rep) {
+  Subst S;
+  S.Tags[Var] = Rep;
+  return applySubst(C, In, S);
+}
+
+const Type *scav::gc::substRegionInType(GcContext &C, const Type *In,
+                                        Symbol Var, Region Rep) {
+  Subst S;
+  S.Regions[Var] = Rep;
+  return applySubst(C, In, S);
+}
+
+const Type *scav::gc::substTypeVarInType(GcContext &C, const Type *In,
+                                         Symbol Var, const Type *Rep) {
+  Subst S;
+  S.Types[Var] = Rep;
+  return applySubst(C, In, S);
+}

@@ -1,0 +1,89 @@
+//===- gc/Tag.h - Tags τ: runtime type descriptors -------------*- C++ -*-===//
+///
+/// \file
+/// Tags (Fig 2) are the runtime entities analysed by `typecase`:
+///
+///   τ ::= t | Int | τ1 × τ2 | ~τ → 0 | ∃t.τ | λt.τ | τ1 τ2
+///
+/// Tags deliberately mirror λCLOS source types (no region annotations); the
+/// hard-wired Typerec M maps them to real λGC types. Tag-level λ/application
+/// exist solely so `typecase` can analyse existentials (§4.2): analysing
+/// ∃t.τ yields the tag function λt.τ.
+///
+/// Arrow tags carry a *vector* of argument tags; λCLOS arrows are unary but
+/// the collector's own code needs multi-argument code types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_TAG_H
+#define SCAV_GC_TAG_H
+
+#include "gc/Kind.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <vector>
+
+namespace scav::gc {
+
+using scav::Symbol;
+
+enum class TagKind { Var, Int, Prod, Arrow, Exists, Lam, App };
+
+/// A tag node; arena-allocated and immutable.
+class Tag {
+public:
+  TagKind kind() const { return K; }
+  bool is(TagKind Which) const { return K == Which; }
+
+  /// Var: the variable; Exists/Lam: the bound variable.
+  Symbol var() const {
+    assert((K == TagKind::Var || K == TagKind::Exists || K == TagKind::Lam) &&
+           "no variable on this tag");
+    return V;
+  }
+
+  /// Prod: left component. App: the function.
+  const Tag *left() const {
+    assert((K == TagKind::Prod || K == TagKind::App) && "no left child");
+    return A;
+  }
+  /// Prod: right component. App: the argument.
+  const Tag *right() const {
+    assert((K == TagKind::Prod || K == TagKind::App) && "no right child");
+    return B;
+  }
+
+  /// Exists/Lam: the body under the binder.
+  const Tag *body() const {
+    assert((K == TagKind::Exists || K == TagKind::Lam) && "no body");
+    return A;
+  }
+
+  /// Lam: the kind of the bound variable (Ω in the paper).
+  const Kind *binderKind() const {
+    assert(K == TagKind::Lam && "binderKind on non-lambda tag");
+    return BK;
+  }
+
+  /// Arrow: the argument tags of ~τ → 0.
+  const std::vector<const Tag *> &arrowArgs() const {
+    assert(K == TagKind::Arrow && "arrowArgs on non-arrow tag");
+    return Args;
+  }
+
+private:
+  friend class GcContext;
+  Tag(TagKind K) : K(K) {}
+
+  TagKind K;
+  Symbol V;
+  const Tag *A = nullptr;
+  const Tag *B = nullptr;
+  const Kind *BK = nullptr;
+  std::vector<const Tag *> Args;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_TAG_H

@@ -1,0 +1,307 @@
+//===- gc/Translate.cpp - λCLOS → λGC translation (Fig 3) -----------------===//
+
+#include "gc/Translate.h"
+
+#include "gc/Builder.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+using clos::ClosContext;
+using clos::Exp;
+using clos::ExpKind;
+using clos::FunDef;
+using clos::Program;
+using clos::Val;
+using clos::ValKind;
+
+struct Translator {
+  Machine &M;
+  GcContext &C;
+  ClosContext &CL;
+  LanguageLevel Level;
+  Address GcAddr;
+  DiagEngine &Diags;
+  bool Failed = false;
+
+  std::map<Symbol, Address> FunAddrs;
+  std::map<Symbol, const Tag *> FunTys;
+
+  bool gen() const { return Level == LanguageLevel::Generational; }
+  bool fwd() const { return Level == LanguageLevel::Forward; }
+
+  void fail(const std::string &Msg) {
+    if (!Failed)
+      Diags.error(Msg);
+    Failed = true;
+  }
+
+  /// The regions a mutator function abstracts over: [r] or [ry, ro].
+  std::vector<Region> funRegions(Region R1, Region R2) {
+    if (gen())
+      return {R1, R2};
+    return {R1};
+  }
+
+  /// M view of tag τ for the current level.
+  const Type *mOf(Region Ry, Region Ro, const Tag *T) {
+    if (gen())
+      return C.typeM({Ry, Ro}, T);
+    return C.typeM(Ry, T);
+  }
+
+  const Tag *typeOfVal(const Val *V, const gc::TagEnv &Theta,
+                       const std::map<Symbol, const Tag *> &Gamma) {
+    return clos::typeOfVal(CL, V, Theta, Gamma, FunTys, Diags);
+  }
+
+  /// Translates a λCLOS value, emitting allocations into \p B. \p Ry is
+  /// the allocation (young) region, \p Ro the old region (gen only).
+  const Value *transVal(BlockBuilder &B, const Val *V, Region Ry, Region Ro,
+                        const gc::TagEnv &Theta,
+                        const std::map<Symbol, const Tag *> &Gamma) {
+    switch (V->kind()) {
+    case ValKind::Int:
+      return C.valInt(V->intValue());
+    case ValKind::Var:
+      return C.valVar(V->var());
+    case ValKind::FunName: {
+      auto It = FunAddrs.find(V->var());
+      if (It == FunAddrs.end()) {
+        fail("unknown function in translation");
+        return C.valInt(0);
+      }
+      return C.valAddr(It->second);
+    }
+    case ValKind::Pair: {
+      const Tag *T1 = typeOfVal(V->first(), Theta, Gamma);
+      const Tag *T2 = typeOfVal(V->second(), Theta, Gamma);
+      if (!T1 || !T2) {
+        fail("pair does not typecheck during translation");
+        return C.valInt(0);
+      }
+      const Value *L = transVal(B, V->first(), Ry, Ro, Theta, Gamma);
+      const Value *R = transVal(B, V->second(), Ry, Ro, Theta, Gamma);
+      const Value *P = C.valPair(L, R);
+      if (fwd())
+        P = C.valInl(P);
+      const Value *A = B.put(Ry, P);
+      if (!gen())
+        return A;
+      // pack ⟨r ∈ {ry,ro} = ry, a : M_{r,ro}(τ1) × M_{r,ro}(τ2)⟩
+      Symbol RV = C.fresh("r");
+      Region Rv = Region::var(RV);
+      const Type *Body =
+          C.typeProd(C.typeM({Rv, Ro}, T1), C.typeM({Rv, Ro}, T2));
+      return C.valPackRegion(RV, RegionSet{Ry, Ro}, Ry, A, Body);
+    }
+    case ValKind::Pack: {
+      const Value *Payload = transVal(B, V->payload(), Ry, Ro, Theta, Gamma);
+      // ⟨t = τw, v : M(τbody)⟩, allocated in the current region.
+      const Type *BodyTy = gen()
+                               ? C.typeM({Ry, Ro}, V->bodyType())
+                               : C.typeM(Ry, V->bodyType());
+      const Value *Pk = C.valPackTag(V->var(), V->witness(), Payload, BodyTy);
+      const Value *Content = fwd() ? C.valInl(Pk) : Pk;
+      const Value *A = B.put(Ry, Content);
+      if (!gen())
+        return A;
+      Symbol RV = C.fresh("r");
+      Region Rv = Region::var(RV);
+      Symbol U = C.fresh(C.name(V->var()));
+      const Tag *BodyTag = gc::substTag(C, V->bodyType(), V->var(),
+                                        C.tagVar(U));
+      const Type *Body =
+          C.typeExistsTag(U, C.omega(), C.typeM({Rv, Ro}, BodyTag));
+      return C.valPackRegion(RV, RegionSet{Ry, Ro}, Ry, A, Body);
+    }
+    }
+    fail("unknown value kind in translation");
+    return C.valInt(0);
+  }
+
+  /// Fetches the contents of a translated heap reference \p V: applies the
+  /// level-specific unwrapping (get; strip at Forward; region-open + get
+  /// at Generational).
+  const Value *fetch(BlockBuilder &B, const Value *V) {
+    if (gen()) {
+      auto [R, A] = B.openRegion(V, "r", "a");
+      (void)R;
+      return B.get(A);
+    }
+    const Value *G = B.get(V);
+    if (fwd())
+      G = B.strip(G);
+    return G;
+  }
+
+  const Term *transExp(const Exp *E, Region Ry, Region Ro, gc::TagEnv Theta,
+                       std::map<Symbol, const Tag *> Gamma) {
+    BlockBuilder B(C);
+    for (const Exp *Cur = E;;) {
+      switch (Cur->kind()) {
+      case ExpKind::LetVal: {
+        const Tag *T = typeOfVal(Cur->val1(), Theta, Gamma);
+        if (!T) {
+          fail("value does not typecheck during translation");
+          return C.termHalt(C.valInt(0));
+        }
+        const Value *V = transVal(B, Cur->val1(), Ry, Ro, Theta, Gamma);
+        B.bindExact(Cur->binder(), C.opVal(V));
+        Gamma[Cur->binder()] = T;
+        Cur = Cur->sub1();
+        continue;
+      }
+      case ExpKind::LetProj1:
+      case ExpKind::LetProj2: {
+        const Tag *T = typeOfVal(Cur->val1(), Theta, Gamma);
+        if (!T) {
+          fail("projection does not typecheck during translation");
+          return C.termHalt(C.valInt(0));
+        }
+        const Tag *N = normalizeTag(C, T);
+        const Value *V = transVal(B, Cur->val1(), Ry, Ro, Theta, Gamma);
+        const Value *G = fetch(B, V);
+        const Value *P = Cur->is(ExpKind::LetProj1) ? B.proj1(G) : B.proj2(G);
+        B.bindExact(Cur->binder(), C.opVal(P));
+        Gamma[Cur->binder()] =
+            Cur->is(ExpKind::LetProj1) ? N->left() : N->right();
+        Cur = Cur->sub1();
+        continue;
+      }
+      case ExpKind::LetPrim: {
+        const Value *L = transVal(B, Cur->val1(), Ry, Ro, Theta, Gamma);
+        const Value *R = transVal(B, Cur->val2(), Ry, Ro, Theta, Gamma);
+        PrimOp P = PrimOp::Add;
+        switch (Cur->primOp()) {
+        case lambda::PrimOp::Add:
+          P = PrimOp::Add;
+          break;
+        case lambda::PrimOp::Sub:
+          P = PrimOp::Sub;
+          break;
+        case lambda::PrimOp::Mul:
+          P = PrimOp::Mul;
+          break;
+        case lambda::PrimOp::Le:
+          P = PrimOp::Le;
+          break;
+        }
+        const Value *N = B.prim(P, L, R);
+        B.bindExact(Cur->binder(), C.opVal(N));
+        Gamma[Cur->binder()] = C.tagInt();
+        Cur = Cur->sub1();
+        continue;
+      }
+      case ExpKind::App: {
+        const Value *F = transVal(B, Cur->val1(), Ry, Ro, Theta, Gamma);
+        const Value *A = transVal(B, Cur->val2(), Ry, Ro, Theta, Gamma);
+        return B.finish(
+            C.termApp(F, {}, funRegions(Ry, Ro), {A}));
+      }
+      case ExpKind::Open: {
+        const Tag *T = typeOfVal(Cur->val1(), Theta, Gamma);
+        if (!T) {
+          fail("open does not typecheck during translation");
+          return C.termHalt(C.valInt(0));
+        }
+        const Tag *N = normalizeTag(C, T);
+        const Value *V = transVal(B, Cur->val1(), Ry, Ro, Theta, Gamma);
+        const Value *G = fetch(B, V);
+        B.openTagExact(G, Cur->tagBinder(), Cur->binder());
+        Theta[Cur->tagBinder()] = C.omega();
+        Gamma[Cur->binder()] = gc::substTag(C, N->body(), N->var(),
+                                            C.tagVar(Cur->tagBinder()));
+        Cur = Cur->sub1();
+        continue;
+      }
+      case ExpKind::Halt: {
+        const Value *V = transVal(B, Cur->val1(), Ry, Ro, Theta, Gamma);
+        return B.finish(C.termHalt(V));
+      }
+      case ExpKind::If0: {
+        const Value *V = transVal(B, Cur->val1(), Ry, Ro, Theta, Gamma);
+        const Term *Z = transExp(Cur->sub1(), Ry, Ro, Theta, Gamma);
+        const Term *NZ = transExp(Cur->sub2(), Ry, Ro, Theta, Gamma);
+        return B.finish(C.termIf0(V, Z, NZ));
+      }
+      }
+      fail("unknown expression kind in translation");
+      return C.termHalt(C.valInt(0));
+    }
+  }
+};
+
+} // namespace
+
+TranslatedProgram scav::gc::translateProgram(
+    Machine &M, clos::ClosContext &CL, const clos::Program &P, Address GcAddr,
+    DiagEngine &Diags, Address MajorGcAddr) {
+  GcContext &C = M.context();
+  Translator T{M, C, CL, M.level(), GcAddr, Diags, false, {}, {}};
+  TranslatedProgram Out;
+
+  bool HasGc = GcAddr.Offset != ~0u;
+  bool HasMajor = MajorGcAddr.Offset != ~0u &&
+                  M.level() == LanguageLevel::Generational;
+
+  // Reserve all function labels first (mutual recursion).
+  for (const FunDef &F : P.Funs) {
+    T.FunAddrs[F.Name] = M.reserveCode(C.name(F.Name));
+    T.FunTys[F.Name] = C.tagArrow({F.ParamTy});
+  }
+
+  // Translate and install each function.
+  for (const FunDef &F : P.Funs) {
+    CodeBuilder CB(C);
+    Region R1 = CB.regionParam(T.gen() ? "ry" : "r");
+    Region R2 = T.gen() ? CB.regionParam("ro") : Region();
+    const Type *ParamTy = T.mOf(R1, R2, F.ParamTy);
+    const Value *X = CB.valParam(C.name(F.Param), ParamTy);
+    // The code parameter symbol is freshened; bind the λCLOS name to it.
+    gc::TagEnv Theta;
+    std::map<Symbol, const Tag *> Gamma;
+    Gamma[F.Param] = F.ParamTy;
+    const Term *Work = T.transExp(F.Body, R1, R2, Theta, Gamma);
+    const Term *Body;
+    if (HasGc) {
+      const Term *GcCall =
+          C.termApp(C.valAddr(GcAddr), {F.ParamTy}, T.funRegions(R1, R2),
+                    {C.valAddr(T.FunAddrs[F.Name]), X});
+      Body = C.termIfGc(R1, GcCall, Work);
+      if (HasMajor) {
+        // Major collections trigger on the old generation filling up.
+        const Term *MajorCall = C.termApp(
+            C.valAddr(MajorGcAddr), {F.ParamTy}, T.funRegions(R1, R2),
+            {C.valAddr(T.FunAddrs[F.Name]), X});
+        Body = C.termIfGc(R2, MajorCall, Body);
+      }
+    } else {
+      Body = Work;
+    }
+    // Bind the λCLOS parameter name to the code parameter.
+    Body = C.termLet(F.Param, C.opVal(X), Body);
+    M.defineCode(T.FunAddrs[F.Name], CB.build(Body));
+    if (T.Failed)
+      return Out;
+  }
+
+  // Main term: create the region(s) and run.
+  {
+    BlockBuilder B(C);
+    Region R1 = B.letRegion(T.gen() ? "ry" : "r");
+    Region R2 = T.gen() ? B.letRegion("ro") : Region();
+    gc::TagEnv Theta;
+    std::map<Symbol, const Tag *> Gamma;
+    const Term *MainBody = T.transExp(P.Main, R1, R2, Theta, Gamma);
+    Out.Main = B.finish(MainBody);
+  }
+
+  if (T.Failed)
+    return Out;
+  Out.FunAddrs = std::move(T.FunAddrs);
+  Out.Ok = true;
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- gc/Translate.h - λCLOS → λGC translation (Fig 3) --------*- C++ -*-===//
+///
+/// \file
+/// The Fig 3 translation and its λGC-forw / λGC-gen variants. λCLOS types
+/// become λGC *tags* verbatim; values become allocation sequences (pairs
+/// and packages are `put` into the current region, with a forwarding tag
+/// bit `inl` at the Forward level and a region package at the Generational
+/// level); every function begins with `ifgc r (gc[τ][~r](self, x)) e`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_TRANSLATE_H
+#define SCAV_GC_TRANSLATE_H
+
+#include "clos/Clos.h"
+#include "gc/Machine.h"
+
+namespace scav::gc {
+
+/// Sentinel "no collector" address.
+inline Address noCollector() { return Address{Region(), ~0u}; }
+
+struct TranslatedProgram {
+  /// Addresses of the translated letrec functions in cd.
+  std::map<Symbol, Address> FunAddrs;
+  /// The main term, including the initial `let region`(s).
+  const Term *Main = nullptr;
+  bool Ok = false;
+};
+
+/// Translates \p P into \p M (installing code into cd), wiring collection
+/// points to \p GcAddr — the entry of a collector previously installed by
+/// installBasicCollector / installForwardCollector / installGenCollector,
+/// matching M's language level. If \p GcAddr is not provided (Offset ==
+/// ~0u), functions skip the ifgc check entirely (used to measure mutator
+/// baselines without GC).
+/// \p MajorGcAddr (Generational level only, optional): a full collector
+/// (installGenFullCollector) to invoke when the OLD generation fills;
+/// functions then begin with
+///   ifgc ro (gcFull[τ][ry,ro](self,x)) (ifgc ry (gc[τ][ry,ro](self,x)) e).
+TranslatedProgram translateProgram(Machine &M, clos::ClosContext &CL,
+                                   const clos::Program &P, Address GcAddr,
+                                   DiagEngine &Diags,
+                                   Address MajorGcAddr = noCollector());
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_TRANSLATE_H

@@ -1,0 +1,189 @@
+//===- gc/Type.h - λGC types σ ---------------------------------*- C++ -*-===//
+///
+/// \file
+/// The static types of the λGC family (Fig 2 + Fig 8 + Fig 10):
+///
+///   σ ::= int | σ1 × σ2 | ∀[~t:~κ][~r](~σ) → 0 | ∃t:κ.σ | σ at ρ
+///       | M_ρ(τ) | M_{ρy,ρo}(τ) | α | ∀J~τK[~r](~σ) →ρ 0 | ∃α:∆.σ
+///       | left σ | right σ | σ1 + σ2 | C_{ρ,ρ'}(τ)         (λGC-forw)
+///       | ∃r∈∆.(σ at r)                                    (λGC-gen)
+///
+/// M and C are the hard-wired Typerec operators: M_ρ(τ) is the mutator's
+/// view of tag τ allocated in region ρ (two regions young/old at the
+/// generational level), and C_{ρ,ρ'}(τ) is the collector's forwarding view.
+/// Their reduction lives in TypeOps (normalizeType).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_TYPE_H
+#define SCAV_GC_TYPE_H
+
+#include "gc/Region.h"
+#include "gc/Tag.h"
+
+#include <cassert>
+#include <vector>
+
+namespace scav::gc {
+
+enum class TypeKind {
+  Int,          ///< int
+  Prod,         ///< σ1 × σ2
+  Code,         ///< ∀[~t:~κ][~r](~σ) → 0
+  TransCode,    ///< ∀J~τKJ~ρK(~σ) →ρ 0  (translucent code, §6.1; see below)
+  ExistsTag,    ///< ∃t:κ.σ
+  ExistsTyVar,  ///< ∃α:∆.σ
+  ExistsRegion, ///< ∃r∈∆.(σ at r)      (λGC-gen)
+  At,           ///< σ at ρ
+  MApp,         ///< M_ρ(τ) or M_{ρy,ρo}(τ)
+  CApp,         ///< C_{ρ,ρ'}(τ)        (λGC-forw)
+  TyVar,        ///< α
+  Left,         ///< left σ             (λGC-forw)
+  Right,        ///< right σ            (λGC-forw)
+  Sum,          ///< σ1 + σ2            (λGC-forw)
+};
+
+/// Translucent code (§6.1): the paper prints ∀J~τK[~r](~σ) → 0 with bound
+/// region parameters, but Fig 12 only typechecks if the env type variable's
+/// region constraint {r1,r2,r3} is captured by those binders — an
+/// intentional hygiene violation. We repair this soundly by pinning the
+/// region arguments at closure-creation time, exactly as the tag arguments
+/// are pinned: ∀J~τKJ~ρK(~σ) →ρ 0, where ~σ are fully instantiated.
+/// Application must supply the pinned tags and regions verbatim.
+///
+/// A type node; arena-allocated and immutable.
+class Type {
+public:
+  TypeKind kind() const { return K; }
+  bool is(TypeKind Which) const { return K == Which; }
+
+  /// Prod/Sum: left component.
+  const Type *left() const {
+    assert((K == TypeKind::Prod || K == TypeKind::Sum) && "no left child");
+    return A;
+  }
+  /// Prod/Sum: right component.
+  const Type *right() const {
+    assert((K == TypeKind::Prod || K == TypeKind::Sum) && "no right child");
+    return B;
+  }
+
+  /// At/ExistsTag/ExistsTyVar/ExistsRegion/Left/Right: the underlying type.
+  const Type *body() const {
+    assert((K == TypeKind::At || K == TypeKind::ExistsTag ||
+            K == TypeKind::ExistsTyVar || K == TypeKind::ExistsRegion ||
+            K == TypeKind::Left || K == TypeKind::Right) &&
+           "no body");
+    return A;
+  }
+
+  /// TyVar: α. ExistsTag: t. ExistsTyVar: α. ExistsRegion: r.
+  Symbol var() const {
+    assert((K == TypeKind::TyVar || K == TypeKind::ExistsTag ||
+            K == TypeKind::ExistsTyVar || K == TypeKind::ExistsRegion) &&
+           "no variable");
+    return V;
+  }
+
+  /// ExistsTag: the kind κ of the bound tag variable.
+  const Kind *binderKind() const {
+    assert(K == TypeKind::ExistsTag && "binderKind on non-∃t type");
+    return BK;
+  }
+
+  /// ExistsTyVar/ExistsRegion: the ∆ bound.
+  const RegionSet &delta() const {
+    assert((K == TypeKind::ExistsTyVar || K == TypeKind::ExistsRegion) &&
+           "no ∆ bound");
+    return Delta;
+  }
+
+  /// At: ρ. TransCode: the region the code pointer lives in.
+  Region atRegion() const {
+    assert((K == TypeKind::At || K == TypeKind::TransCode) && "no at-region");
+    return R1;
+  }
+
+  /// MApp: the region parameters (1 at Base/Forward, 2 at Generational).
+  const std::vector<Region> &mRegions() const {
+    assert(K == TypeKind::MApp && "mRegions on non-M type");
+    return Regions;
+  }
+
+  /// CApp: from-region ρ.
+  Region cFrom() const {
+    assert(K == TypeKind::CApp && "cFrom on non-C type");
+    return R1;
+  }
+  /// CApp: to-region ρ'.
+  Region cTo() const {
+    assert(K == TypeKind::CApp && "cTo on non-C type");
+    return R2;
+  }
+
+  /// MApp/CApp: the analysed tag.
+  const Tag *tag() const {
+    assert((K == TypeKind::MApp || K == TypeKind::CApp) && "no tag");
+    return T;
+  }
+
+  /// Code: bound tag variables ~t and their kinds ~κ.
+  const std::vector<Symbol> &tagParams() const {
+    assert(K == TypeKind::Code && "tagParams on non-code type");
+    return TagParams;
+  }
+  const std::vector<const Kind *> &tagParamKinds() const {
+    assert(K == TypeKind::Code && "tagParamKinds on non-code type");
+    return TagKinds;
+  }
+
+  /// TransCode: the pinned tag arguments ~τ of ∀J~τK.
+  const std::vector<const Tag *> &transTags() const {
+    assert(K == TypeKind::TransCode && "transTags on non-translucent type");
+    return TagArgs;
+  }
+
+  /// TransCode: the pinned region arguments ~ρ of J~ρK.
+  const std::vector<Region> &transRegions() const {
+    assert(K == TypeKind::TransCode &&
+           "transRegions on non-translucent type");
+    return Regions;
+  }
+
+  /// Code: bound region variables ~r.
+  const std::vector<Symbol> &regionParams() const {
+    assert(K == TypeKind::Code && "regionParams on non-code type");
+    return RegionParams;
+  }
+
+  /// Code/TransCode: value argument types ~σ.
+  const std::vector<const Type *> &argTypes() const {
+    assert((K == TypeKind::Code || K == TypeKind::TransCode) &&
+           "argTypes on non-code type");
+    return Args;
+  }
+
+private:
+  friend class GcContext;
+  Type(TypeKind K) : K(K) {}
+
+  TypeKind K;
+  const Type *A = nullptr;
+  const Type *B = nullptr;
+  Symbol V;
+  const Kind *BK = nullptr;
+  RegionSet Delta;
+  Region R1;
+  Region R2;
+  const Tag *T = nullptr;
+  std::vector<Region> Regions;
+  std::vector<Symbol> TagParams;
+  std::vector<const Kind *> TagKinds;
+  std::vector<Symbol> RegionParams;
+  std::vector<const Type *> Args;
+  std::vector<const Tag *> TagArgs;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_TYPE_H

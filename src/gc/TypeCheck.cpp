@@ -1,0 +1,950 @@
+//===- gc/TypeCheck.cpp - Static semantics of the λGC family --------------===//
+///
+/// \file
+/// Implements Figs 6 (λGC), 8 (λGC-forw), and 10 (λGC-gen). See
+/// TypeCheck.h for the judgment forms and the documented algorithmic
+/// compromises.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/TypeCheck.h"
+
+using namespace scav;
+using namespace scav::gc;
+
+bool TypeChecker::requireLevel(LanguageLevel Min, const char *Construct) {
+  if (Level == Min)
+    return true;
+  return fail(std::string(Construct) + " is only available in " +
+              languageLevelName(Min) + ", current level is " +
+              languageLevelName(Level));
+}
+
+//===----------------------------------------------------------------------===//
+// ∆; Θ; Φ ⊢ σ
+//===----------------------------------------------------------------------===//
+
+bool TypeChecker::checkTypeWf(const Type *T, const CheckEnv &E) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+    return true;
+
+  case TypeKind::Prod:
+  case TypeKind::Sum:
+    if (T->is(TypeKind::Sum) && Level != LanguageLevel::Forward)
+      return false;
+    return checkTypeWf(T->left(), E) && checkTypeWf(T->right(), E);
+
+  case TypeKind::Left:
+  case TypeKind::Right:
+    if (Level != LanguageLevel::Forward)
+      return false;
+    return checkTypeWf(T->body(), E);
+
+  case TypeKind::At:
+    return inDelta(T->atRegion(), E) && checkTypeWf(T->body(), E);
+
+  case TypeKind::TyVar: {
+    auto It = E.Phi.find(T->var());
+    return It != E.Phi.end() && It->second.subsetOf(E.Delta);
+  }
+
+  case TypeKind::MApp: {
+    size_t WantArity = Level == LanguageLevel::Generational ? 2 : 1;
+    if (T->mRegions().size() != WantArity)
+      return false;
+    for (Region R : T->mRegions())
+      if (!inDelta(R, E))
+        return false;
+    const Kind *K = kindOfTag(C, T->tag(), E.Theta);
+    return K && K->isOmega();
+  }
+
+  case TypeKind::CApp: {
+    if (Level != LanguageLevel::Forward)
+      return false;
+    if (!inDelta(T->cFrom(), E) || !inDelta(T->cTo(), E))
+      return false;
+    const Kind *K = kindOfTag(C, T->tag(), E.Theta);
+    return K && K->isOmega();
+  }
+
+  case TypeKind::ExistsTag: {
+    CheckEnv Inner = E;
+    Inner.Theta[T->var()] = T->binderKind();
+    return checkTypeWf(T->body(), Inner);
+  }
+
+  case TypeKind::ExistsTyVar: {
+    for (Region R : T->delta())
+      if (!inDelta(R, E))
+        return false;
+    CheckEnv Inner = E;
+    Inner.Phi[T->var()] = T->delta();
+    return checkTypeWf(T->body(), Inner);
+  }
+
+  case TypeKind::ExistsRegion: {
+    if (Level != LanguageLevel::Generational)
+      return false;
+    for (Region R : T->delta())
+      if (!inDelta(R, E))
+        return false;
+    CheckEnv Inner = E;
+    Inner.Delta.insert(Region::var(T->var()));
+    return checkTypeWf(T->body(), Inner);
+  }
+
+  case TypeKind::Code: {
+    // Fig 6 prints {~r}; ~t:~κ; · ⊢ σi. Regions are reset (code is
+    // region-closed — that is the point of the rule), but Θ must extend the
+    // outer tag environment: the paper's own collectors use code types that
+    // mention enclosing tag variables (Fig 4: f : ∀[][r](M_r(t)) → 0 with t
+    // bound by gc), so the printed Θ-reset is an over-restriction.
+    CheckEnv Inner;
+    Inner.Psi = E.Psi;
+    Inner.Theta = E.Theta;
+    for (Symbol R : T->regionParams())
+      Inner.Delta.insert(Region::var(R));
+    for (size_t I = 0, N = T->tagParams().size(); I != N; ++I)
+      Inner.Theta[T->tagParams()[I]] = T->tagParamKinds()[I];
+    for (const Type *A : T->argTypes())
+      if (!checkTypeWf(A, Inner))
+        return false;
+    return true;
+  }
+
+  case TypeKind::TransCode: {
+    // Translucent code pins its tag AND region arguments (see Type.h), so
+    // the argument types are checked in the current environment.
+    if (!inDelta(T->atRegion(), E))
+      return false;
+    for (const Tag *A : T->transTags())
+      if (!kindOfTag(C, A, E.Theta))
+        return false;
+    for (Region R : T->transRegions())
+      if (!inDelta(R, E))
+        return false;
+    for (const Type *A : T->argTypes())
+      if (!checkTypeWf(A, E))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Subtyping (sum subsumption, Fig 8)
+//===----------------------------------------------------------------------===//
+
+bool TypeChecker::subtypeOf(const Type *A, const Type *B) {
+  CheckEnv Empty;
+  return subtypeOf(A, B, Empty);
+}
+
+bool TypeChecker::subtypeOf(const Type *A, const Type *B, const CheckEnv &E) {
+  const Type *NA = normalizeType(C, A, Level);
+  const Type *NB = normalizeType(C, B, Level);
+  if (alphaEqualType(NA, NB))
+    return true;
+
+  // Fig 8 sum subsumption.
+  if (NB->is(TypeKind::Sum)) {
+    if (NA->is(TypeKind::Sum))
+      return subtypeOf(NA->left(), NB->left(), E) &&
+             subtypeOf(NA->right(), NB->right(), E);
+    return subtypeOf(NA, NB->left(), E) || subtypeOf(NA, NB->right(), E);
+  }
+
+  if (Level != LanguageLevel::Generational)
+    return false;
+
+  // ∆1 is covered by ∆2 if each element is in ∆2 directly or is an opened
+  // region variable whose recorded bound is covered by ∆2.
+  auto RegionSetLe = [&](const RegionSet &D1, const RegionSet &D2,
+                         auto &&Self) -> bool {
+    for (Region R : D1) {
+      if (D2.contains(R))
+        continue;
+      if (!R.isVar())
+        return false;
+      auto It = E.RegionBounds.find(R.sym());
+      if (It == E.RegionBounds.end() || !Self(It->second, D2, Self))
+        return false;
+    }
+    return true;
+  };
+
+  // Generational width subtyping (the "subtyping with M_{ρ1,ρ2}" of
+  // Lemma D.4). λGC-gen is mutation-free, so covariant depth rules are
+  // sound here; they are NOT enabled at the Forward level, where `set`
+  // would break them.
+  switch (NA->kind()) {
+  case TypeKind::MApp: {
+    // M_{A1,ρo}(τ) ≤ M_{B1,ρo}(τ) when A1 = B1, A1 = ρo (fully old), or A1
+    // is an opened region variable bounded by {B1, ρo}.
+    if (!NB->is(TypeKind::MApp))
+      return false;
+    if (NA->mRegions().size() != 2 || NB->mRegions().size() != 2)
+      return false;
+    if (!tagEqual(C, NA->tag(), NB->tag()))
+      return false;
+    Region A1 = NA->mRegions()[0], A2 = NA->mRegions()[1];
+    Region B1 = NB->mRegions()[0], B2 = NB->mRegions()[1];
+    if (A2 != B2)
+      return false;
+    if (A1 == B1 || A1 == A2)
+      return true;
+    return RegionSetLe(RegionSet{A1}, RegionSet{B1, B2}, RegionSetLe);
+  }
+  case TypeKind::ExistsRegion: {
+    // ∃r∈∆1.σ1 ≤ ∃r∈∆2.σ2 when ∆1 ⊆ ∆2 and σ1 ≤ σ2 (binders aligned; the
+    // aligned binder keeps the *tighter* bound ∆1).
+    if (!NB->is(TypeKind::ExistsRegion))
+      return false;
+    if (!RegionSetLe(NA->delta(), NB->delta(), RegionSetLe))
+      return false;
+    const Type *BodyA = substRegionInType(C, NA->body(), NA->var(),
+                                          Region::var(NB->var()));
+    CheckEnv Inner = E;
+    Inner.RegionBounds[NB->var()] = NA->delta();
+    return subtypeOf(BodyA, NB->body(), Inner);
+  }
+  case TypeKind::Prod:
+    return NB->is(TypeKind::Prod) &&
+           subtypeOf(NA->left(), NB->left(), E) &&
+           subtypeOf(NA->right(), NB->right(), E);
+  case TypeKind::At:
+    return NB->is(TypeKind::At) && NA->atRegion() == NB->atRegion() &&
+           subtypeOf(NA->body(), NB->body(), E);
+  case TypeKind::ExistsTag: {
+    if (!NB->is(TypeKind::ExistsTag) ||
+        !Kind::equal(NA->binderKind(), NB->binderKind()))
+      return false;
+    const Type *BodyA =
+        substTagInType(C, NA->body(), NA->var(), C.tagVar(NB->var()));
+    return subtypeOf(BodyA, NB->body(), E);
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Value typing
+//===----------------------------------------------------------------------===//
+
+const Type *TypeChecker::inferValue(const Value *V, const CheckEnv &E) {
+  return inferValueImpl(V, E);
+}
+
+const Type *TypeChecker::inferValueImpl(const Value *V, const CheckEnv &E) {
+  switch (V->kind()) {
+  case ValueKind::Int:
+    return C.typeInt();
+
+  case ValueKind::Var: {
+    auto It = E.Gamma.find(V->var());
+    if (It == E.Gamma.end())
+      return failT("unbound variable " + std::string(C.name(V->var())));
+    return It->second;
+  }
+
+  case ValueKind::Addr: {
+    Address A = V->address();
+    const Type *Cell = E.Psi.lookup(A);
+    if (!Cell)
+      return failT("dangling address " + printValue(C, V) +
+                   " (not in Dom(Psi))");
+    if (!TrustAddresses) {
+      // Dom(Ψ); ·; · ⊢ σ at ν.
+      CheckEnv DomEnv;
+      DomEnv.Psi = E.Psi;
+      DomEnv.Delta = E.Psi.domain();
+      if (!checkTypeWf(Cell, DomEnv))
+        return failT("cell type ill-formed under Dom(Psi): " +
+                     printType(C, Cell));
+    }
+    return C.typeAt(Cell, A.R);
+  }
+
+  case ValueKind::Pair: {
+    const Type *L = inferValueImpl(V->first(), E);
+    const Type *R = inferValueImpl(V->second(), E);
+    if (!L || !R)
+      return nullptr;
+    return C.typeProd(L, R);
+  }
+
+  case ValueKind::Inl: {
+    if (Level != LanguageLevel::Forward)
+      return failT("inl outside lambda-GC-forw");
+    const Type *P = inferValueImpl(V->payload(), E);
+    return P ? C.typeLeft(P) : nullptr;
+  }
+  case ValueKind::Inr: {
+    if (Level != LanguageLevel::Forward)
+      return failT("inr outside lambda-GC-forw");
+    const Type *P = inferValueImpl(V->payload(), E);
+    return P ? C.typeRight(P) : nullptr;
+  }
+
+  case ValueKind::PackTag: {
+    const Kind *K = kindOfTag(C, V->tagWitness(), E.Theta);
+    if (!K)
+      return failT("ill-kinded tag witness in " + printValue(C, V));
+    const Type *Want =
+        substTagInType(C, V->bodyType(), V->var(), V->tagWitness());
+    if (!checkValue(V->payload(), Want, E))
+      return failT("existential payload does not match body type in " +
+                   printValue(C, V));
+    return C.typeExistsTag(V->var(), K, V->bodyType());
+  }
+
+  case ValueKind::PackTyVar: {
+    for (Region R : V->delta())
+      if (!inDelta(R, E))
+        return failT("type package bound not a subset of Delta: " +
+                     printValue(C, V));
+    CheckEnv WitEnv = E;
+    WitEnv.Delta = V->delta();
+    // Φ|∆'.
+    WitEnv.Phi.clear();
+    for (const auto &[A, D] : E.Phi)
+      if (D.subsetOf(V->delta()))
+        WitEnv.Phi.emplace(A, D);
+    if (!checkTypeWf(V->typeWitness(), WitEnv))
+      return failT("type witness ill-formed under its bound in " +
+                   printValue(C, V));
+    const Type *Want =
+        substTypeVarInType(C, V->bodyType(), V->var(), V->typeWitness());
+    if (!checkValue(V->payload(), Want, E))
+      return failT("type-package payload does not match body type in " +
+                   printValue(C, V));
+    return C.typeExistsTyVar(V->var(), V->delta(), V->bodyType());
+  }
+
+  case ValueKind::PackRegion: {
+    if (Level != LanguageLevel::Generational)
+      return failT("region package outside lambda-GC-gen");
+    for (Region R : V->delta())
+      if (!inDelta(R, E))
+        return failT("region package bound not in scope: " +
+                     printValue(C, V));
+    Region W = V->regionWitness();
+    if (!V->delta().contains(W))
+      return failT("region witness outside package bound: " +
+                   printValue(C, V));
+    const Type *Want =
+        C.typeAt(substRegionInType(C, V->bodyType(), V->var(), W), W);
+    if (!checkValue(V->payload(), Want, E))
+      return failT("region-package payload does not match body type in " +
+                   printValue(C, V));
+    return C.typeExistsRegion(V->var(), V->delta(), V->bodyType());
+  }
+
+  case ValueKind::TransApp: {
+    const Type *Inner = inferValueImpl(V->payload(), E);
+    if (!Inner)
+      return nullptr;
+    const Type *N = normalizeType(C, Inner, Level);
+    if (!N->is(TypeKind::At) || !N->body()->is(TypeKind::Code))
+      return failT("translucent application of non-code value: " +
+                   printValue(C, V));
+    const Type *Code = N->body();
+    const auto &Params = Code->tagParams();
+    if (Params.size() != V->transTags().size() ||
+        Code->regionParams().size() != V->transRegions().size())
+      return failT("translucent application arity mismatch: " +
+                   printValue(C, V));
+    Subst S;
+    for (size_t I = 0, NP = Params.size(); I != NP; ++I) {
+      const Kind *K = kindOfTag(C, V->transTags()[I], E.Theta);
+      if (!K || !Kind::equal(K, Code->tagParamKinds()[I]))
+        return failT("translucent tag argument kind mismatch: " +
+                     printValue(C, V));
+      S.Tags[Params[I]] = V->transTags()[I];
+    }
+    for (size_t I = 0, NR = V->transRegions().size(); I != NR; ++I) {
+      if (!inDelta(V->transRegions()[I], E))
+        return failT("translucent region argument not in Delta: " +
+                     printValue(C, V));
+      S.Regions[Code->regionParams()[I]] = V->transRegions()[I];
+    }
+    std::vector<const Type *> Args;
+    Args.reserve(Code->argTypes().size());
+    for (const Type *A : Code->argTypes())
+      Args.push_back(applySubst(C, A, S));
+    return C.typeTransCode(V->transTags(), V->transRegions(),
+                           std::move(Args), N->atRegion());
+  }
+
+  case ValueKind::Code: {
+    const Type *Ty = C.typeCode(V->tagParams(), V->tagParamKinds(),
+                                V->regionParams(), V->valParamTypes());
+    if (SkipCodeBodies)
+      return Ty;
+    // Fig 6: Ψ|cd; cd, ~r; ~t:~κ; ·; ~x:~σ ⊢ e, with σi well-formed under
+    // the code's own binders (Θ extends the outer tag environment, see the
+    // corresponding note in checkTypeWf).
+    CheckEnv Inner;
+    Inner.Psi = E.Psi.restrictedTo(RegionSet{});
+    Inner.Theta = E.Theta;
+    for (Symbol R : V->regionParams())
+      Inner.Delta.insert(Region::var(R));
+    for (size_t I = 0, N = V->tagParams().size(); I != N; ++I)
+      Inner.Theta[V->tagParams()[I]] = V->tagParamKinds()[I];
+    for (size_t I = 0, N = V->valParams().size(); I != N; ++I) {
+      if (!checkTypeWf(V->valParamTypes()[I], Inner))
+        return failT("code parameter type ill-formed: " +
+                     printType(C, V->valParamTypes()[I]));
+      Inner.Gamma[V->valParams()[I]] = V->valParamTypes()[I];
+    }
+    if (!checkTerm(V->codeBody(), Inner))
+      return failT("code body ill-typed");
+    return Ty;
+  }
+  }
+  return nullptr;
+}
+
+bool TypeChecker::checkValue(const Value *V, const Type *Expected,
+                             const CheckEnv &E) {
+  const Type *Want = normalizeType(C, Expected, Level);
+
+  // Structural decomposition keeps checking annotation-free under nested
+  // expected types (pairs of sums etc.).
+  switch (V->kind()) {
+  case ValueKind::Pair:
+    if (Want->is(TypeKind::Prod))
+      return checkValue(V->first(), Want->left(), E) &&
+             checkValue(V->second(), Want->right(), E);
+    break;
+  case ValueKind::Inl:
+    if (Want->is(TypeKind::Left))
+      return checkValue(V->payload(), Want->body(), E);
+    if (Want->is(TypeKind::Sum)) // subsumption: try either branch
+      return checkValue(V, Want->left(), E) || checkValue(V, Want->right(), E);
+    break;
+  case ValueKind::Inr:
+    if (Want->is(TypeKind::Right))
+      return checkValue(V->payload(), Want->body(), E);
+    if (Want->is(TypeKind::Sum))
+      return checkValue(V, Want->left(), E) || checkValue(V, Want->right(), E);
+    break;
+  case ValueKind::PackTag:
+    if (Want->is(TypeKind::ExistsTag)) {
+      const Kind *K = kindOfTag(C, V->tagWitness(), E.Theta);
+      if (!K || !Kind::equal(K, Want->binderKind()))
+        return fail("tag witness kind mismatch in " + printValue(C, V));
+      const Type *BodyWant =
+          substTagInType(C, Want->body(), Want->var(), V->tagWitness());
+      return checkValue(V->payload(), BodyWant, E);
+    }
+    break;
+  case ValueKind::PackTyVar:
+    if (Want->is(TypeKind::ExistsTyVar)) {
+      CheckEnv WitEnv = E;
+      WitEnv.Delta = Want->delta();
+      WitEnv.Phi.clear();
+      for (const auto &[A, D] : E.Phi)
+        if (D.subsetOf(Want->delta()))
+          WitEnv.Phi.emplace(A, D);
+      if (!checkTypeWf(V->typeWitness(), WitEnv))
+        return fail("type witness ill-formed under expected bound in " +
+                    printValue(C, V));
+      const Type *BodyWant =
+          substTypeVarInType(C, Want->body(), Want->var(), V->typeWitness());
+      return checkValue(V->payload(), BodyWant, E);
+    }
+    break;
+  case ValueKind::PackRegion:
+    if (Want->is(TypeKind::ExistsRegion)) {
+      Region W = V->regionWitness();
+      if (!Want->delta().contains(W))
+        return fail("region witness outside expected bound in " +
+                    printValue(C, V));
+      const Type *BodyWant =
+          C.typeAt(substRegionInType(C, Want->body(), Want->var(), W), W);
+      return checkValue(V->payload(), BodyWant, E);
+    }
+    break;
+  default:
+    break;
+  }
+
+  const Type *Got = inferValueImpl(V, E);
+  if (!Got)
+    return false;
+  if (subtypeOf(Got, Want, E))
+    return true;
+  return fail("value " + printValue(C, V) + " has type " + printType(C, Got) +
+              ", expected " + printType(C, Want));
+}
+
+//===----------------------------------------------------------------------===//
+// Operation typing
+//===----------------------------------------------------------------------===//
+
+const Type *TypeChecker::inferOp(const Op *O, const CheckEnv &E) {
+  switch (O->kind()) {
+  case OpKind::Val:
+    return inferValue(O->value(), E);
+
+  case OpKind::Proj1:
+  case OpKind::Proj2: {
+    const Type *T = inferValue(O->value(), E);
+    if (!T)
+      return nullptr;
+    const Type *N = normalizeType(C, T, Level);
+    if (!N->is(TypeKind::Prod))
+      return failT("projection from non-pair of type " + printType(C, N));
+    return O->is(OpKind::Proj1) ? N->left() : N->right();
+  }
+
+  case OpKind::Put: {
+    if (!inDelta(O->putRegion(), E))
+      return failT("put into region not in Delta: " +
+                   printRegion(C, O->putRegion()));
+    const Type *T = inferValue(O->value(), E);
+    if (!T)
+      return nullptr;
+    return C.typeAt(T, O->putRegion());
+  }
+
+  case OpKind::Get: {
+    const Type *T = inferValue(O->value(), E);
+    if (!T)
+      return nullptr;
+    const Type *N = normalizeType(C, T, Level);
+    if (!N->is(TypeKind::At))
+      return failT("get from non-reference of type " + printType(C, N));
+    return N->body();
+  }
+
+  case OpKind::Strip: {
+    if (Level != LanguageLevel::Forward)
+      return failT("strip outside lambda-GC-forw");
+    const Type *T = inferValue(O->value(), E);
+    if (!T)
+      return nullptr;
+    const Type *N = normalizeType(C, T, Level);
+    if (N->is(TypeKind::Left) || N->is(TypeKind::Right))
+      return N->body();
+    return failT("strip of non-tagged value of type " + printType(C, N));
+  }
+
+  case OpKind::Prim: {
+    if (!checkValue(O->lhs(), C.typeInt(), E) ||
+        !checkValue(O->rhs(), C.typeInt(), E))
+      return failT("primitive operands must be int");
+    return C.typeInt();
+  }
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Environment restriction (the `only` rule)
+//===----------------------------------------------------------------------===//
+
+CheckEnv TypeChecker::restrictEnv(const CheckEnv &E,
+                                  const RegionSet &DeltaPrime) {
+  CheckEnv Out;
+  Out.Psi = E.Psi.restrictedTo(DeltaPrime);
+  Out.Delta = DeltaPrime;
+  Out.Theta = E.Theta;
+  // Φ|∆': keep α whose bound fits.
+  for (const auto &[A, D] : E.Phi)
+    if (D.subsetOf(DeltaPrime))
+      Out.Phi.emplace(A, D);
+  for (const auto &[R, D] : E.RegionBounds)
+    if (D.subsetOf(DeltaPrime))
+      Out.RegionBounds.emplace(R, D);
+  // Γ|∆': keep x whose type is well-formed in the restricted environment.
+  for (const auto &[X, T] : E.Gamma)
+    if (checkTypeWf(T, Out))
+      Out.Gamma.emplace(X, T);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Term well-formedness
+//===----------------------------------------------------------------------===//
+
+bool TypeChecker::checkTerm(const Term *E, const CheckEnv &Env) {
+  switch (E->kind()) {
+  case TermKind::App: {
+    const Type *FT = inferValue(E->appFun(), Env);
+    if (!FT)
+      return false;
+    const Type *N = normalizeType(C, FT, Level);
+
+    for (Region R : E->appRegions())
+      if (!inDelta(R, Env))
+        return fail("application region argument not in Delta: " +
+                    printRegion(C, R));
+
+    if (N->is(TypeKind::At) && N->body()->is(TypeKind::Code)) {
+      const Type *Code = N->body();
+      if (Code->tagParams().size() != E->appTags().size() ||
+          Code->regionParams().size() != E->appRegions().size() ||
+          Code->argTypes().size() != E->appArgs().size())
+        return fail("application arity mismatch");
+      Subst S;
+      for (size_t I = 0, NP = Code->tagParams().size(); I != NP; ++I) {
+        const Kind *K = kindOfTag(C, E->appTags()[I], Env.Theta);
+        if (!K || !Kind::equal(K, Code->tagParamKinds()[I]))
+          return fail("application tag argument kind mismatch");
+        S.Tags[Code->tagParams()[I]] = E->appTags()[I];
+      }
+      for (size_t I = 0, NP = Code->regionParams().size(); I != NP; ++I)
+        S.Regions[Code->regionParams()[I]] = E->appRegions()[I];
+      for (size_t I = 0, NA = E->appArgs().size(); I != NA; ++I) {
+        const Type *Want = applySubst(C, Code->argTypes()[I], S);
+        if (!checkValue(E->appArgs()[I], Want, Env))
+          return fail("application argument " + std::to_string(I) +
+                      " ill-typed");
+      }
+      return true;
+    }
+
+    if (N->is(TypeKind::TransCode)) {
+      if (N->transTags().size() != E->appTags().size() ||
+          N->transRegions().size() != E->appRegions().size() ||
+          N->argTypes().size() != E->appArgs().size())
+        return fail("translucent application arity mismatch");
+      for (size_t I = 0, NT = N->transTags().size(); I != NT; ++I)
+        if (!tagEqual(C, N->transTags()[I], E->appTags()[I]))
+          return fail("translucent application tag mismatch: expected " +
+                      printTag(C, N->transTags()[I]) + ", got " +
+                      printTag(C, E->appTags()[I]));
+      for (size_t I = 0, NR = N->transRegions().size(); I != NR; ++I)
+        if (N->transRegions()[I] != E->appRegions()[I])
+          return fail("translucent application region mismatch: expected " +
+                      printRegion(C, N->transRegions()[I]) + ", got " +
+                      printRegion(C, E->appRegions()[I]));
+      for (size_t I = 0, NA = E->appArgs().size(); I != NA; ++I) {
+        if (!checkValue(E->appArgs()[I], N->argTypes()[I], Env))
+          return fail("translucent application argument " +
+                      std::to_string(I) + " ill-typed");
+      }
+      return true;
+    }
+
+    return fail("application of non-code value of type " + printType(C, N));
+  }
+
+  case TermKind::Let: {
+    const Type *T = inferOp(E->letOp(), Env);
+    if (!T)
+      return false;
+    CheckEnv Inner = Env;
+    Inner.Gamma[E->binderVar()] = T;
+    return checkTerm(E->sub1(), Inner);
+  }
+
+  case TermKind::Halt:
+    return checkValue(E->scrutinee(), C.typeInt(), Env);
+
+  case TermKind::IfGc:
+    if (!inDelta(E->region(), Env))
+      return fail("ifgc region not in Delta: " +
+                  printRegion(C, E->region()));
+    return checkTerm(E->sub1(), Env) && checkTerm(E->sub2(), Env);
+
+  case TermKind::OpenTag: {
+    const Type *T = inferValue(E->scrutinee(), Env);
+    if (!T)
+      return false;
+    const Type *N = normalizeType(C, T, Level);
+    if (!N->is(TypeKind::ExistsTag))
+      return fail("open-as-tag of non-existential of type " +
+                  printType(C, N));
+    CheckEnv Inner = Env;
+    Inner.Theta[E->binderVar()] = N->binderKind();
+    Inner.Gamma[E->binderVar2()] =
+        substTagInType(C, N->body(), N->var(), C.tagVar(E->binderVar()));
+    return checkTerm(E->sub1(), Inner);
+  }
+
+  case TermKind::OpenTyVar: {
+    const Type *T = inferValue(E->scrutinee(), Env);
+    if (!T)
+      return false;
+    const Type *N = normalizeType(C, T, Level);
+    if (!N->is(TypeKind::ExistsTyVar))
+      return fail("open-as-type of non-existential of type " +
+                  printType(C, N));
+    CheckEnv Inner = Env;
+    Inner.Phi[E->binderVar()] = N->delta();
+    Inner.Gamma[E->binderVar2()] =
+        substTypeVarInType(C, N->body(), N->var(), C.typeVar(E->binderVar()));
+    return checkTerm(E->sub1(), Inner);
+  }
+
+  case TermKind::OpenRegion: {
+    if (!requireLevel(LanguageLevel::Generational, "open-as-region"))
+      return false;
+    const Type *T = inferValue(E->scrutinee(), Env);
+    if (!T)
+      return false;
+    const Type *N = normalizeType(C, T, Level);
+    if (!N->is(TypeKind::ExistsRegion))
+      return fail("open-as-region of non-existential of type " +
+                  printType(C, N));
+    CheckEnv Inner = Env;
+    Region RV = Region::var(E->binderVar());
+    Inner.Delta.insert(RV);
+    Inner.RegionBounds[E->binderVar()] = N->delta();
+    Inner.Gamma[E->binderVar2()] =
+        C.typeAt(substRegionInType(C, N->body(), N->var(), RV), RV);
+    return checkTerm(E->sub1(), Inner);
+  }
+
+  case TermKind::LetRegion: {
+    CheckEnv Inner = Env;
+    Inner.Delta.insert(Region::var(E->binderVar()));
+    return checkTerm(E->sub1(), Inner);
+  }
+
+  case TermKind::Only: {
+    for (Region R : E->onlySet())
+      if (!inDelta(R, Env))
+        return fail("only keep-set mentions region not in Delta: " +
+                    printRegion(C, R));
+    CheckEnv Inner = restrictEnv(Env, E->onlySet());
+    return checkTerm(E->sub1(), Inner);
+  }
+
+  case TermKind::Typecase: {
+    const Tag *Scrut = normalizeTag(C, E->tag());
+    const Kind *K = kindOfTag(C, Scrut, Env.Theta);
+    if (!K || !K->isOmega())
+      return fail("typecase scrutinee is not a kind-O tag: " +
+                  printTag(C, Scrut));
+
+    switch (Scrut->kind()) {
+    case TagKind::Int:
+      return checkTerm(E->caseInt(), Env);
+    case TagKind::Arrow:
+      return checkTerm(E->caseArrow(), Env);
+    case TagKind::Prod: {
+      Subst S;
+      S.Tags[E->prodVar1()] = Scrut->left();
+      S.Tags[E->prodVar2()] = Scrut->right();
+      return checkTerm(applySubst(C, E->caseProd(), S), Env);
+    }
+    case TagKind::Exists: {
+      Subst S;
+      S.Tags[E->existsVar()] =
+          C.tagLam(Scrut->var(), C.omega(), Scrut->body());
+      return checkTerm(applySubst(C, E->caseExists(), S), Env);
+    }
+    case TagKind::Var: {
+      Symbol T = Scrut->var();
+      auto Refine = [&](const Tag *Refined, const Term *Arm,
+                        CheckEnv ArmEnv) {
+        Subst S;
+        S.Tags[T] = Refined;
+        ArmEnv.Theta.erase(T);
+        for (auto &[X, Ty] : ArmEnv.Gamma)
+          Ty = applySubst(C, Ty, S);
+        return checkTerm(applySubst(C, Arm, S), ArmEnv);
+      };
+      // ei under [Int/t].
+      if (!Refine(C.tagInt(), E->caseInt(), Env))
+        return false;
+      // eλ under Θ,ta and [(ta → 0)/t]. The paper's printed rule leaves eλ
+      // unrefined, but then the collectors' λ arms (Fig 4/9/11/12: return x
+      // of type M_{r1}(t) at type M_{r2}(t)) cannot typecheck. Every λCLOS
+      // function takes exactly one argument, so we refine with a fresh
+      // unary arrow; see DESIGN.md.
+      {
+        CheckEnv ArmEnv = Env;
+        Symbol Ta = C.fresh("ta");
+        ArmEnv.Theta[Ta] = C.omega();
+        const Tag *Refined = C.tagArrow({C.tagVar(Ta)});
+        if (!Refine(Refined, E->caseArrow(), ArmEnv))
+          return false;
+      }
+      // e× under Θ,t1,t2 and [t1×t2/t].
+      {
+        CheckEnv ArmEnv = Env;
+        ArmEnv.Theta[E->prodVar1()] = C.omega();
+        ArmEnv.Theta[E->prodVar2()] = C.omega();
+        const Tag *Refined =
+            C.tagProd(C.tagVar(E->prodVar1()), C.tagVar(E->prodVar2()));
+        if (!Refine(Refined, E->caseProd(), ArmEnv))
+          return false;
+      }
+      // e∃ under Θ,te:Ω→Ω and [∃u.te u/t].
+      {
+        CheckEnv ArmEnv = Env;
+        ArmEnv.Theta[E->existsVar()] = C.omegaToOmega();
+        Symbol U = C.fresh("t");
+        const Tag *Refined = C.tagExists(
+            U, C.tagApp(C.tagVar(E->existsVar()), C.tagVar(U)));
+        if (!Refine(Refined, E->caseExists(), ArmEnv))
+          return false;
+      }
+      return true;
+    }
+    default:
+      return fail("typecase on a stuck tag application is not supported "
+                  "(Fig 6 refines variables only): " +
+                  printTag(C, Scrut));
+    }
+  }
+
+  case TermKind::IfLeft: {
+    if (!requireLevel(LanguageLevel::Forward, "ifleft"))
+      return false;
+    const Type *T = inferValue(E->scrutinee(), Env);
+    if (!T)
+      return false;
+    const Type *N = normalizeType(C, T, Level);
+    if (N->is(TypeKind::Sum)) {
+      CheckEnv LEnv = Env;
+      LEnv.Gamma[E->binderVar()] = N->left();
+      CheckEnv REnv = Env;
+      REnv.Gamma[E->binderVar()] = N->right();
+      return checkTerm(E->sub1(), LEnv) && checkTerm(E->sub2(), REnv);
+    }
+    // Algorithmic compromise for mid-execution states: a manifest inl/inr
+    // scrutinee has a principal left/right type; check only the branch the
+    // machine will take (the other branch is dead in this state).
+    if (N->is(TypeKind::Left)) {
+      CheckEnv LEnv = Env;
+      LEnv.Gamma[E->binderVar()] = N;
+      return checkTerm(E->sub1(), LEnv);
+    }
+    if (N->is(TypeKind::Right)) {
+      CheckEnv REnv = Env;
+      REnv.Gamma[E->binderVar()] = N;
+      return checkTerm(E->sub2(), REnv);
+    }
+    return fail("ifleft scrutinee is not a sum: " + printType(C, N));
+  }
+
+  case TermKind::Set: {
+    if (!requireLevel(LanguageLevel::Forward, "set"))
+      return false;
+    const Type *T = inferValue(E->scrutinee(), Env);
+    if (!T)
+      return false;
+    const Type *N = normalizeType(C, T, Level);
+    if (!N->is(TypeKind::At))
+      return fail("set target is not a reference: " + printType(C, N));
+    if (!checkValue(E->setSource(), N->body(), Env))
+      return fail("set source does not match cell type " +
+                  printType(C, N->body()));
+    return checkTerm(E->sub1(), Env);
+  }
+
+  case TermKind::LetWiden: {
+    if (!requireLevel(LanguageLevel::Forward, "widen"))
+      return false;
+    const Type *T = inferValue(E->scrutinee(), Env);
+    if (!T)
+      return false;
+    const Type *N = normalizeType(C, T, Level);
+    if (!N->is(TypeKind::At))
+      return fail("widen argument must be heap-allocated, got " +
+                  printType(C, N));
+    Region From = N->atRegion();
+    Region To = E->region();
+    const Type *WantM = normalizeType(C, C.typeM(From, E->tag()), Level);
+    if (!alphaEqualType(N, WantM))
+      return fail("widen argument is not M-view of its tag: got " +
+                  printType(C, N) + ", want " + printType(C, WantM));
+    if (!inDelta(From, Env) || !inDelta(To, Env))
+      return fail("widen regions must be in Delta");
+    // Body: Ψ|cd; cd, ρ, ρ'; Θ; Φ|ρρ'; x : C_{ρ,ρ'}(τ).
+    CheckEnv Inner;
+    RegionSet Dp{From, To};
+    Inner.Psi = Env.Psi.restrictedTo(RegionSet{});
+    Inner.Delta = Dp;
+    Inner.Theta = Env.Theta;
+    for (const auto &[A, D] : Env.Phi)
+      if (D.subsetOf(Dp))
+        Inner.Phi.emplace(A, D);
+    Inner.Gamma[E->binderVar()] = C.typeC(From, To, E->tag());
+    return checkTerm(E->sub1(), Inner);
+  }
+
+  case TermKind::IfReg: {
+    if (!requireLevel(LanguageLevel::Generational, "ifreg"))
+      return false;
+    Region A = E->ifregLhs(), B = E->ifregRhs();
+    if (!inDelta(A, Env) || !inDelta(B, Env))
+      return fail("ifreg regions must be in Delta");
+
+    auto CheckRefined = [&](Symbol Var, Region Rep) {
+      Subst S;
+      S.Regions[Var] = Rep;
+      CheckEnv Refined;
+      Refined.Psi = Env.Psi;
+      for (Region R : Env.Delta)
+        Refined.Delta.insert(R.isVar() && R.sym() == Var ? Rep : R);
+      if (Rep.isVar())
+        Refined.Delta.insert(Rep);
+      Refined.Theta = Env.Theta;
+      for (const auto &[Al, D] : Env.Phi)
+        Refined.Phi.emplace(Al, D.substituted(Region::var(Var), Rep));
+      for (const auto &[Rv, D] : Env.RegionBounds)
+        if (Rv != Var)
+          Refined.RegionBounds.emplace(
+              Rv, D.substituted(Region::var(Var), Rep));
+      for (const auto &[X, Ty] : Env.Gamma)
+        Refined.Gamma.emplace(X, applySubst(C, Ty, S));
+      return checkTerm(applySubst(C, E->sub1(), S), Refined);
+    };
+
+    if (A.isName() && B.isName()) {
+      // Machine states: only the branch that will be taken is live.
+      return A == B ? checkTerm(E->sub1(), Env) : checkTerm(E->sub2(), Env);
+    }
+    if (A.isVar() && B.isName())
+      return CheckRefined(A.sym(), B) && checkTerm(E->sub2(), Env);
+    if (A.isName() && B.isVar())
+      return CheckRefined(B.sym(), A) && checkTerm(E->sub2(), Env);
+    // Both variables: unify to a fresh region variable in e1.
+    {
+      Symbol Fresh = C.fresh("r");
+      Region RF = Region::var(Fresh);
+      Subst S;
+      S.Regions[A.sym()] = RF;
+      S.Regions[B.sym()] = RF;
+      CheckEnv Refined;
+      Refined.Psi = Env.Psi;
+      for (Region R : Env.Delta) {
+        if (R.isVar() && (R.sym() == A.sym() || R.sym() == B.sym()))
+          Refined.Delta.insert(RF);
+        else
+          Refined.Delta.insert(R);
+      }
+      Refined.Theta = Env.Theta;
+      for (const auto &[Al, D] : Env.Phi)
+        Refined.Phi.emplace(
+            Al, D.substituted(A, RF).substituted(B, RF));
+      for (const auto &[Rv, D] : Env.RegionBounds)
+        if (Rv != A.sym() && Rv != B.sym())
+          Refined.RegionBounds.emplace(
+              Rv, D.substituted(A, RF).substituted(B, RF));
+      for (const auto &[X, Ty] : Env.Gamma)
+        Refined.Gamma.emplace(X, applySubst(C, Ty, S));
+      if (!checkTerm(applySubst(C, E->sub1(), S), Refined))
+        return false;
+      return checkTerm(E->sub2(), Env);
+    }
+  }
+
+  case TermKind::If0:
+    if (!checkValue(E->scrutinee(), C.typeInt(), Env))
+      return fail("if0 scrutinee must be int");
+    return checkTerm(E->sub1(), Env) && checkTerm(E->sub2(), Env);
+  }
+  return false;
+}

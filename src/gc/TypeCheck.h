@@ -1,0 +1,177 @@
+//===- gc/TypeCheck.h - Static semantics of the λGC family -----*- C++ -*-===//
+///
+/// \file
+/// The typechecker for λGC / λGC-forw / λGC-gen (Figs 6, 8, 10). The
+/// judgment forms are:
+///
+///   Θ ⊢ τ : κ            tag kinding            (kindOfTag, Ops.h)
+///   ∆; Θ; Φ ⊢ σ          type well-formedness   (checkTypeWf)
+///   Ψ; ∆; Θ; Φ; Γ ⊢ v:σ  value typing           (inferValue / checkValue)
+///   Ψ; ∆; Θ; Φ; Γ ⊢ op:σ operation typing       (inferOp)
+///   Ψ; ∆; Θ; Φ; Γ ⊢ e    term well-formedness   (checkTerm)
+///
+/// Value typing is algorithmic/bidirectional: inference produces principal
+/// types; λGC-forw's sum subsumption (v:σ1 ⇒ v:σ1+σ2, Fig 8) is folded
+/// into checkValue/subtypeOf. Two deliberate algorithmic compromises are
+/// documented at their implementation sites:
+///
+///  * `ifleft` whose scrutinee is a manifest inl/inr value (this only
+///    arises in mid-execution machine states) checks only the branch that
+///    will be taken — the declarative system would guess a sum type;
+///  * `typecase` on a stuck tag application is rejected (Fig 6 only
+///    refines variables; the paper's collectors never need more).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_GC_TYPECHECK_H
+#define SCAV_GC_TYPECHECK_H
+
+#include "gc/Memory.h"
+#include "gc/Ops.h"
+#include "support/Diag.h"
+
+#include <map>
+
+namespace scav::gc {
+
+/// A possibly-restricted view of a memory type Ψ. `only ∆ in e` and the
+/// body of `widen` check their continuations under Ψ|∆; the view avoids
+/// copying the underlying maps. cd is always visible (§A: "the code region
+/// cd is always implicitly part of the environment").
+struct PsiView {
+  const MemoryType *M = nullptr;
+  Symbol Cd;
+  bool Restricted = false;
+  RegionSet Allowed; ///< Meaningful only when Restricted.
+
+  bool visible(Symbol RegionSym) const {
+    if (RegionSym == Cd)
+      return true;
+    if (!M || !M->hasRegion(RegionSym))
+      return false;
+    return !Restricted || Allowed.contains(Region::name(RegionSym));
+  }
+
+  const Type *lookup(Address A) const {
+    if (!M || !visible(A.R.sym()))
+      return nullptr;
+    return M->lookup(A);
+  }
+
+  /// Dom(Ψ) under the restriction.
+  RegionSet domain() const {
+    RegionSet Out;
+    if (!M)
+      return Out;
+    for (const auto &[S, _] : M->Regions)
+      if (visible(S))
+        Out.insert(Region::name(S));
+    return Out;
+  }
+
+  PsiView restrictedTo(const RegionSet &Keep) const {
+    PsiView Out = *this;
+    if (!Out.Restricted) {
+      Out.Restricted = true;
+      Out.Allowed = Keep;
+      return Out;
+    }
+    RegionSet Inter;
+    for (Region R : Keep)
+      if (Allowed.contains(R))
+        Inter.insert(R);
+    Out.Allowed = Inter;
+    return Out;
+  }
+};
+
+/// The environment quintuple Ψ; ∆; Θ; Φ; Γ, plus (λGC-gen) the recorded
+/// upper bounds of opened region variables: `open v as ⟨r, x⟩` with
+/// v : ∃r∈∆'.(σ at r) records r ↦ ∆'. Fig 10 discards the bound, but then
+/// Fig 11's copy cannot typecheck (its recursive calls pass M_{r,ρo} values
+/// where M_{ρy,ρo} is expected, sound only because r ∈ {ρy,ρo}); the
+/// paper's own Lemma D.4 appeals to "subtyping with the M_{ρ1,ρ2}(τ) type"
+/// without stating it — this is the missing ingredient.
+struct CheckEnv {
+  PsiView Psi;
+  RegionSet Delta;
+  TagEnv Theta;
+  std::map<Symbol, RegionSet> Phi;
+  std::map<Symbol, const Type *> Gamma;
+  std::map<Symbol, RegionSet> RegionBounds;
+};
+
+/// Typechecker for one language level. Reports failures into a DiagEngine;
+/// every entry point returns false / nullptr on error.
+class TypeChecker {
+public:
+  TypeChecker(GcContext &C, LanguageLevel Level, DiagEngine &Diags)
+      : C(C), Level(Level), Diags(Diags) {}
+
+  LanguageLevel level() const { return Level; }
+
+  /// When set, inferValue on a code value trusts its declared type and does
+  /// not re-check the body. Used by the state checker to avoid re-checking
+  /// the immutable cd region at every machine step.
+  void setSkipCodeBodies(bool Skip) { SkipCodeBodies = Skip; }
+
+  /// When set, inferValue on an address skips the Dom(Ψ) well-formedness
+  /// premise of the ν.ℓ rule (Ψ lookup still happens). The machine's
+  /// internal Ψ bookkeeping uses this — it stores only types it built
+  /// itself; the state checker re-validates them with the full rule.
+  void setTrustAddresses(bool Trust) { TrustAddresses = Trust; }
+
+  /// ∆; Θ; Φ ⊢ σ. Silent (no diagnostics): used as a filter when
+  /// restricting environments.
+  bool checkTypeWf(const Type *T, const CheckEnv &E);
+
+  /// Ψ; ∆; Θ; Φ; Γ ⊢ v : σ (inference). Returns nullptr on failure.
+  const Type *inferValue(const Value *V, const CheckEnv &E);
+
+  /// Ψ; ∆; Θ; Φ; Γ ⊢ v : Expected (checking, with sum subsumption).
+  bool checkValue(const Value *V, const Type *Expected, const CheckEnv &E);
+
+  /// σ1 ≤ σ2 with the Fig 8 sum subsumption and, at the Generational
+  /// level, M/region-existential width subtyping (see CheckEnv).
+  bool subtypeOf(const Type *A, const Type *B);
+  bool subtypeOf(const Type *A, const Type *B, const CheckEnv &E);
+
+  /// Ψ; ∆; Θ; Φ; Γ ⊢ op : σ. Returns nullptr on failure.
+  const Type *inferOp(const Op *O, const CheckEnv &E);
+
+  /// Ψ; ∆; Θ; Φ; Γ ⊢ e.
+  bool checkTerm(const Term *E, const CheckEnv &Env);
+
+  /// Builds the restricted environment of the `only ∆'` rule:
+  /// Ψ|∆'; ∆',cd; Θ; Φ|∆'; Γ|∆'.
+  CheckEnv restrictEnv(const CheckEnv &E, const RegionSet &DeltaPrime);
+
+  /// ρ ∈ ∆ (cd is always a member).
+  bool inDelta(Region R, const CheckEnv &E) const {
+    return R == C.cd() || E.Delta.contains(R);
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Diags.error(Msg);
+    return false;
+  }
+  const Type *failT(const std::string &Msg) {
+    Diags.error(Msg);
+    return nullptr;
+  }
+
+  bool requireLevel(LanguageLevel Min, const char *Construct);
+
+  const Type *inferValueImpl(const Value *V, const CheckEnv &E);
+
+  GcContext &C;
+  LanguageLevel Level;
+  DiagEngine &Diags;
+  bool SkipCodeBodies = false;
+  bool TrustAddresses = false;
+};
+
+} // namespace scav::gc
+
+#endif // SCAV_GC_TYPECHECK_H

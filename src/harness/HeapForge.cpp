@@ -1,0 +1,285 @@
+//===- harness/HeapForge.cpp - Direct heap construction --------------------===//
+
+#include "harness/HeapForge.h"
+
+#include "gc/Builder.h"
+
+using namespace scav;
+using namespace scav::harness;
+using namespace scav::gc;
+
+const Tag *scav::harness::listTag(GcContext &C) {
+  Symbol U = C.fresh("u");
+  return C.tagExists(U, C.tagProd(C.tagVar(U), C.tagInt()));
+}
+
+namespace {
+
+/// Level-aware cell allocation: wraps the content in `inl` at Forward.
+const Value *putCell(Machine &M, Region R, const Value *Content) {
+  GcContext &C = M.context();
+  if (M.level() == LanguageLevel::Forward)
+    Content = C.valInl(Content);
+  return M.allocate(R, Content);
+}
+
+/// Level-aware reference: wraps an address in a region package at
+/// Generational (bound {R, Old}, witness R).
+const Value *mkRef(Machine &M, Region R, Region Old, const Value *Addr,
+                   const Type *BodyUnderR /* binds the fresh r */,
+                   Symbol RVar) {
+  if (M.level() != LanguageLevel::Generational)
+    return Addr;
+  GcContext &C = M.context();
+  return C.valPackRegion(RVar, RegionSet{R, Old}, R, Addr, BodyUnderR);
+}
+
+} // namespace
+
+ForgedHeap scav::harness::forgeList(Machine &M, Region R, Region Old,
+                                    size_t N) {
+  GcContext &C = M.context();
+  bool Gen = M.level() == LanguageLevel::Generational;
+  ForgedHeap H;
+  H.Tag = listTag(C);
+
+  // node_0: pack⟨u = Int, (0, n)⟩.
+  auto PackBodyTy = [&](Symbol U, Region Rr) -> const Type * {
+    // M(u × Int) under the pack binder u, in region Rr (or {r, Old} at
+    // Generational with the *region* binder handled by the caller).
+    if (Gen)
+      return C.typeM({Rr, Old}, C.tagProd(C.tagVar(U), C.tagInt()));
+    return C.typeM(Rr, C.tagProd(C.tagVar(U), C.tagInt()));
+  };
+
+  const Value *Prev = nullptr;
+  for (size_t I = 0; I != N; ++I) {
+    bool First = I == 0;
+    const Tag *Witness = First ? C.tagInt() : H.Tag;
+    const Value *Head =
+        First ? static_cast<const Value *>(C.valInt(0)) : Prev;
+    // The pair cell (head, i).
+    const Value *PairAddr =
+        putCell(M, R, C.valPair(Head, C.valInt(static_cast<int64_t>(I))));
+    ++H.Cells;
+    const Value *PairRef;
+    if (Gen) {
+      Symbol RV = C.fresh("r");
+      const Type *Body =
+          C.typeProd(C.typeM({Region::var(RV), Old}, Witness),
+                     C.typeM({Region::var(RV), Old}, C.tagInt()));
+      PairRef = mkRef(M, R, Old, PairAddr, Body, RV);
+    } else {
+      PairRef = PairAddr;
+    }
+    // The existential cell pack⟨u = Witness, pairRef⟩.
+    Symbol U = C.fresh("u");
+    const Value *Pack = C.valPackTag(U, Witness, PairRef, PackBodyTy(U, R));
+    const Value *ExAddr = putCell(M, R, Pack);
+    ++H.Cells;
+    if (Gen) {
+      Symbol RV = C.fresh("r");
+      Symbol U2 = C.fresh("u");
+      const Type *Body = C.typeExistsTag(
+          U2, C.omega(),
+          C.typeM({Region::var(RV), Old},
+                  C.tagProd(C.tagVar(U2), C.tagInt())));
+      Prev = mkRef(M, R, Old, ExAddr, Body, RV);
+    } else {
+      Prev = ExAddr;
+    }
+  }
+  H.Root = Prev;
+  return H;
+}
+
+namespace {
+
+/// Recursive worker for forgeTree: returns (ref value, tag) of a tree of
+/// the given depth and counts cells.
+std::pair<const Value *, const Tag *>
+forgeTreeRec(Machine &M, Region R, Region Old, unsigned Depth, bool Share,
+             size_t &Cells) {
+  GcContext &C = M.context();
+  bool Gen = M.level() == LanguageLevel::Generational;
+
+  auto RefOf = [&](const Value *Addr, const Tag *LT,
+                   const Tag *RT) -> const Value * {
+    if (!Gen)
+      return Addr;
+    Symbol RV = C.fresh("r");
+    const Type *Body = C.typeProd(C.typeM({Region::var(RV), Old}, LT),
+                                  C.typeM({Region::var(RV), Old}, RT));
+    return mkRef(M, R, Old, Addr, Body, RV);
+  };
+
+  if (Depth == 0) {
+    const Value *Addr =
+        putCell(M, R, C.valPair(C.valInt(1), C.valInt(2)));
+    ++Cells;
+    return {RefOf(Addr, C.tagInt(), C.tagInt()),
+            C.tagProd(C.tagInt(), C.tagInt())};
+  }
+
+  auto [Left, SubTag] = forgeTreeRec(M, R, Old, Depth - 1, Share, Cells);
+  const Value *Right = Left;
+  if (!Share)
+    Right = forgeTreeRec(M, R, Old, Depth - 1, Share, Cells).first;
+  const Value *Addr = putCell(M, R, C.valPair(Left, Right));
+  ++Cells;
+  return {RefOf(Addr, SubTag, SubTag), C.tagProd(SubTag, SubTag)};
+}
+
+} // namespace
+
+ForgedHeap scav::harness::forgeTree(Machine &M, Region R, Region Old,
+                                    unsigned Depth, bool Share) {
+  ForgedHeap H;
+  auto [Root, Tag] = forgeTreeRec(M, R, Old, Depth, Share, H.Cells);
+  H.Root = Root;
+  H.Tag = Tag;
+  return H;
+}
+
+ForgedHeap scav::harness::forgeRandom(Machine &M, Region R, Region Old,
+                                      Rng &Rand, size_t NodeBudget) {
+  GcContext &C = M.context();
+  bool Gen = M.level() == LanguageLevel::Generational;
+
+  // Built nodes: mutator-view reference value + its tag. Ints are values
+  // without cells; heap nodes are pairs and existentials.
+  struct Node {
+    const Value *Ref;
+    const Tag *T;
+  };
+  std::vector<Node> Pool;
+  auto RandomLeaf = [&]() -> Node {
+    return {C.valInt(Rand.range(-50, 50)), C.tagInt()};
+  };
+  auto Pick = [&]() -> Node {
+    if (Pool.empty() || Rand.chance(1, 4))
+      return RandomLeaf();
+    return Pool[Rand.below(Pool.size())];
+  };
+
+  ForgedHeap H;
+  for (size_t I = 0; I != NodeBudget; ++I) {
+    if (Pool.empty() || Rand.chance(2, 3)) {
+      // Pair node (v1, v2).
+      Node A = Pick(), B = Pick();
+      const Value *Addr = putCell(M, R, C.valPair(A.Ref, B.Ref));
+      ++H.Cells;
+      const Tag *T = C.tagProd(A.T, B.T);
+      const Value *Ref;
+      if (Gen) {
+        Symbol RV = C.fresh("r");
+        const Type *Body = C.typeProd(C.typeM({Region::var(RV), Old}, A.T),
+                                      C.typeM({Region::var(RV), Old}, B.T));
+        Ref = mkRef(M, R, Old, Addr, Body, RV);
+      } else {
+        Ref = Addr;
+      }
+      Pool.push_back({Ref, T});
+    } else {
+      // Existential node pack⟨u = τ, v⟩ : ∃u.(u × Int).
+      Node A = Pick();
+      // The payload of tag (u × Int)[A.T/u] is a pair cell.
+      const Value *PairAddr = putCell(
+          M, R, C.valPair(A.Ref, C.valInt(Rand.range(0, 9))));
+      ++H.Cells;
+      const Value *PairRef = PairAddr;
+      if (Gen) {
+        Symbol RV = C.fresh("r");
+        const Type *Body = C.typeProd(C.typeM({Region::var(RV), Old}, A.T),
+                                      C.typeM({Region::var(RV), Old},
+                                              C.tagInt()));
+        PairRef = mkRef(M, R, Old, PairAddr, Body, RV);
+      }
+      Symbol U = C.fresh("u");
+      const Type *BodyTy =
+          Gen ? C.typeM({R, Old}, C.tagProd(C.tagVar(U), C.tagInt()))
+              : C.typeM(R, C.tagProd(C.tagVar(U), C.tagInt()));
+      const Value *Pack = C.valPackTag(U, A.T, PairRef, BodyTy);
+      const Value *ExAddr = putCell(M, R, Pack);
+      ++H.Cells;
+      Symbol U2 = C.fresh("u");
+      const Tag *T = C.tagExists(U2, C.tagProd(C.tagVar(U2), C.tagInt()));
+      const Value *Ref;
+      if (Gen) {
+        Symbol RV = C.fresh("r");
+        Symbol U3 = C.fresh("u");
+        const Type *Body = C.typeExistsTag(
+            U3, C.omega(),
+            C.typeM({Region::var(RV), Old},
+                    C.tagProd(C.tagVar(U3), C.tagInt())));
+        Ref = mkRef(M, R, Old, ExAddr, Body, RV);
+      } else {
+        Ref = ExAddr;
+      }
+      Pool.push_back({Ref, T});
+    }
+  }
+  // Root: a pair of two random pool nodes (guarantees one root value).
+  Node A = Pick(), B = Pick();
+  const Value *RootAddr = putCell(M, R, C.valPair(A.Ref, B.Ref));
+  ++H.Cells;
+  H.Tag = C.tagProd(A.T, B.T);
+  if (Gen) {
+    Symbol RV = C.fresh("r");
+    const Type *Body = C.typeProd(C.typeM({Region::var(RV), Old}, A.T),
+                                  C.typeM({Region::var(RV), Old}, B.T));
+    H.Root = mkRef(M, R, Old, RootAddr, Body, RV);
+  } else {
+    H.Root = RootAddr;
+  }
+  return H;
+}
+
+Address scav::harness::installFinisher(Machine &M, const Tag *Tau) {
+  GcContext &C = M.context();
+  CodeBuilder CB(C);
+  if (M.level() == LanguageLevel::Generational) {
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    (void)CB.valParam("x", C.typeM({Ry, Ro}, Tau));
+  } else {
+    Region R = CB.regionParam("r");
+    (void)CB.valParam("x", C.typeM(R, Tau));
+  }
+  return M.installCode("finisher", CB.build(C.termHalt(C.valInt(0))));
+}
+
+Address scav::harness::installRootCapturingFinisher(Machine &M,
+                                                    const Tag *Tau) {
+  GcContext &C = M.context();
+  CodeBuilder CB(C);
+  const Value *X;
+  Region Alloc;
+  if (M.level() == LanguageLevel::Generational) {
+    Region Ry = CB.regionParam("ry");
+    Region Ro = CB.regionParam("ro");
+    X = CB.valParam("x", C.typeM({Ry, Ro}, Tau));
+    Alloc = Ry;
+  } else {
+    Region R = CB.regionParam("r");
+    X = CB.valParam("x", C.typeM(R, Tau));
+    Alloc = R;
+  }
+  BlockBuilder B(C);
+  (void)B.put(Alloc, C.valPair(X, X));
+  return M.installCode("finisher",
+                       CB.build(B.finish(C.termHalt(C.valInt(0)))));
+}
+
+const Term *scav::harness::collectOnceTerm(Machine &M, Address GcAddr,
+                                           const ForgedHeap &H, Region R,
+                                           Region Old, Address Finisher) {
+  GcContext &C = M.context();
+  std::vector<Region> Rs;
+  if (M.level() == LanguageLevel::Generational)
+    Rs = {R, Old};
+  else
+    Rs = {R};
+  return C.termApp(C.valAddr(GcAddr), {H.Tag}, Rs,
+                   {C.valAddr(Finisher), H.Root});
+}

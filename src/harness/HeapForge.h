@@ -1,0 +1,72 @@
+//===- harness/HeapForge.h - Direct heap construction -----------*- C++ -*-===//
+///
+/// \file
+/// Builds mutator-view heap structures directly in a machine's memory,
+/// bypassing the mutator. Used by the collector benchmarks, which want to
+/// measure collection of an N-object heap without paying for the
+/// interpreted mutator that would build it.
+///
+/// The workhorse encoding is the existential list
+///
+///   L = ∃u.(u × Int)
+///
+/// whose nodes all carry the *same* finite tag: node_i packs its tail (a
+/// value of type M(L)) as the witness-typed payload, so arbitrarily long
+/// lists have O(1) tag size. This is exactly the "recursion through the
+/// witness" pattern that makes λCLOS closures (and hence this paper's GC
+/// story) work without recursive types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_HARNESS_HEAPFORGE_H
+#define SCAV_HARNESS_HEAPFORGE_H
+
+#include "gc/Machine.h"
+#include "support/Rng.h"
+
+namespace scav::harness {
+
+struct ForgedHeap {
+  const gc::Value *Root = nullptr; ///< Mutator-view root value.
+  const gc::Tag *Tag = nullptr;    ///< Its λCLOS tag.
+  size_t Cells = 0;                ///< Heap cells allocated.
+};
+
+/// The list tag L = ∃u.(u × Int).
+const gc::Tag *listTag(gc::GcContext &C);
+
+/// An existential list of \p N nodes in \p R (level-aware: adds the
+/// forwarding bit / region packages as the machine's level demands).
+/// \p Old is the old generation (Generational level only).
+ForgedHeap forgeList(gc::Machine &M, gc::Region R, gc::Region Old, size_t N);
+
+/// A complete binary tree of pairs of the given depth; with \p Share, the
+/// two children of every node are the *same* object (a maximal DAG: D+1
+/// cells describe 2^(D+1)-1 logical nodes).
+ForgedHeap forgeTree(gc::Machine &M, gc::Region R, gc::Region Old,
+                     unsigned Depth, bool Share);
+
+/// A random heap: a DAG mixing pair and existential nodes with natural
+/// sharing (children are drawn from already-built nodes). \p NodeBudget
+/// bounds the number of heap cells.
+ForgedHeap forgeRandom(gc::Machine &M, gc::Region R, gc::Region Old,
+                       Rng &Rand, size_t NodeBudget);
+
+/// Installs a trivial mutator function fin[][~r](x : M(τ)) = halt 0 that a
+/// collector entry point can use as its return continuation.
+gc::Address installFinisher(gc::Machine &M, const gc::Tag *Tau);
+
+/// Like installFinisher, but the function first allocates (x, x) into its
+/// region, so the post-collection root can be recovered from the last cell
+/// of the surviving region (used by the differential oracle tests).
+gc::Address installRootCapturingFinisher(gc::Machine &M, const gc::Tag *Tau);
+
+/// Builds the term gc[τ][~r](fin, root) that runs one full collection of
+/// the forged heap and halts.
+const gc::Term *collectOnceTerm(gc::Machine &M, gc::Address GcAddr,
+                                const ForgedHeap &H, gc::Region R,
+                                gc::Region Old, gc::Address Finisher);
+
+} // namespace scav::harness
+
+#endif // SCAV_HARNESS_HEAPFORGE_H

@@ -1,0 +1,150 @@
+//===- harness/Pipeline.cpp - Whole-pipeline driver ------------------------===//
+
+#include "harness/Pipeline.h"
+
+using namespace scav;
+using namespace scav::harness;
+
+Pipeline::Pipeline(PipelineOptions O) : Opts(O) {
+  GC = std::make_unique<gc::GcContext>();
+  LC = std::make_unique<lambda::LambdaContext>(GC->symbols());
+  CC = std::make_unique<cps::CpsContext>(GC->symbols());
+  CL = std::make_unique<clos::ClosContext>(*GC);
+  M = std::make_unique<gc::Machine>(*GC, Opts.Level, Opts.Machine);
+
+  if (Opts.InstallCollector) {
+    switch (Opts.Level) {
+    case gc::LanguageLevel::Base:
+      GcEntry = gc::installBasicCollector(*M).Gc;
+      break;
+    case gc::LanguageLevel::Forward:
+      GcEntry = gc::installForwardCollector(*M).Gc;
+      break;
+    case gc::LanguageLevel::Generational:
+      GcEntry = gc::installGenCollector(*M).Gc;
+      if (Opts.InstallMajorCollector)
+        MajorGcEntry = gc::installGenFullCollector(*M).Gc;
+      break;
+    }
+  }
+}
+
+bool Pipeline::compile(std::string_view Source, DiagEngine &Diags) {
+  const lambda::Expr *E = lambda::parseExpr(*LC, Source, Diags);
+  if (!E)
+    return false;
+  return compileExpr(E, Diags);
+}
+
+bool Pipeline::compileExpr(const lambda::Expr *E, DiagEngine &Diags) {
+  Src = E;
+  if (!lambda::typeCheck(*LC, Src, Diags))
+    return false;
+  Cps = cps::cpsConvert(*LC, *CC, Src, Diags);
+  if (!Cps)
+    return false;
+  if (!clos::closureConvert(*CC, *CL, Cps, Clos, Diags))
+    return false;
+  if (!clos::typeCheckProgram(*CL, Clos, Diags)) {
+    Diags.error("closure-converted program does not typecheck");
+    return false;
+  }
+  Translated =
+      gc::translateProgram(*M, *CL, Clos, GcEntry, Diags, MajorGcEntry);
+  return Translated.Ok;
+}
+
+RunResult Pipeline::runSource(uint64_t Fuel) {
+  RunResult R;
+  lambda::EvalResult E = lambda::evaluate(Src, Fuel);
+  R.Steps = E.Steps;
+  if (!E.Value) {
+    R.Error = E.Error;
+    return R;
+  }
+  if (E.Value->K != lambda::EvalValue::Kind::Int) {
+    R.Error = "source program did not produce an integer";
+    return R;
+  }
+  R.Ok = true;
+  R.Value = E.Value->N;
+  return R;
+}
+
+RunResult Pipeline::runCps(uint64_t Fuel) {
+  RunResult R;
+  cps::CpsEvalResult E = cps::evaluate(Cps, Fuel);
+  R.Ok = E.Ok;
+  R.Value = E.Value;
+  R.Error = E.Error;
+  R.Steps = E.Steps;
+  return R;
+}
+
+RunResult Pipeline::runClos(uint64_t Fuel) {
+  RunResult R;
+  clos::ClosEvalResult E = clos::evaluate(*CL, Clos, Fuel);
+  R.Ok = E.Ok;
+  R.Value = E.Value;
+  R.Error = E.Error;
+  R.Steps = E.Steps;
+  return R;
+}
+
+RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
+  RunResult R;
+  if (!Translated.Main) {
+    R.Error = "no translated program";
+    return R;
+  }
+  M->start(Translated.Main);
+
+  gc::StateCheckOptions Check;
+  Check.RestrictToReachable = Opts.Level == gc::LanguageLevel::Forward;
+  if (CheckEveryN != 0) {
+    gc::StateCheckResult R0 = gc::checkState(*M, Check);
+    if (!R0.Ok) {
+      R.Error = "initial state ill-formed: " + R0.Error;
+      return R;
+    }
+    Check.CheckCodeRegion = false;
+  }
+
+  for (uint64_t I = 0; I != MaxSteps; ++I) {
+    if (M->status() != gc::Machine::Status::Running)
+      break;
+    gc::Machine::Status S = M->step();
+    if (S == gc::Machine::Status::Stuck) {
+      R.Error = "machine stuck (progress violation): " + M->stuckReason();
+      R.Steps = M->stats().Steps;
+      return R;
+    }
+    if (CheckEveryN != 0 && I % CheckEveryN == 0) {
+      gc::StateCheckResult Rc = gc::checkState(*M, Check);
+      if (!Rc.Ok) {
+        R.Error = "preservation violation: " + Rc.Error;
+        R.Steps = M->stats().Steps;
+        return R;
+      }
+    }
+  }
+  R.Steps = M->stats().Steps;
+  if (M->status() != gc::Machine::Status::Halted) {
+    R.Error = M->status() == gc::Machine::Status::Running
+                  ? "machine did not halt within the step budget"
+                  : M->stuckReason();
+    return R;
+  }
+  const gc::Value *V = M->haltValue();
+  if (!V || !V->is(gc::ValueKind::Int)) {
+    R.Error = "machine halted with a non-integer";
+    return R;
+  }
+  R.Ok = true;
+  R.Value = V->intValue();
+  return R;
+}
+
+bool Pipeline::certify(DiagEngine &Diags) {
+  return gc::certifyCodeRegion(*M, Diags);
+}

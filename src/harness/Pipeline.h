@@ -1,0 +1,106 @@
+//===- harness/Pipeline.h - Whole-pipeline driver ---------------*- C++ -*-===//
+///
+/// \file
+/// Drives a source program through the full certified-GC pipeline:
+///
+///   STLC source ──cps──▶ CPS IR ──cc──▶ λCLOS ──Fig 3──▶ λGC machine
+///                                                        + collector
+///
+/// and can evaluate the program at every stage, which is how the
+/// differential-semantics tests (T4) and all the benchmarks are built.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_HARNESS_PIPELINE_H
+#define SCAV_HARNESS_PIPELINE_H
+
+#include "clos/Clos.h"
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
+#include "gc/StateCheck.h"
+#include "gc/Translate.h"
+
+#include <memory>
+#include <optional>
+
+namespace scav::harness {
+
+struct PipelineOptions {
+  gc::LanguageLevel Level = gc::LanguageLevel::Base;
+  gc::MachineConfig Machine;
+  /// Install the level's certified collector and wire ifgc to it. When
+  /// false, translated functions have no collection point (baseline runs).
+  bool InstallCollector = true;
+  /// Generational level only: also install the certified *major* collector
+  /// and trigger it when the old generation fills.
+  bool InstallMajorCollector = false;
+};
+
+struct RunResult {
+  bool Ok = false;
+  int64_t Value = 0;
+  std::string Error;
+  uint64_t Steps = 0;
+};
+
+/// Owns every context of one compilation pipeline.
+class Pipeline {
+public:
+  explicit Pipeline(PipelineOptions Opts = {});
+
+  /// Parses + typechecks + lowers \p Source all the way into the machine.
+  bool compile(std::string_view Source, DiagEngine &Diags);
+
+  /// Same, from an already-built source AST (must live in lambdaContext()).
+  bool compileExpr(const lambda::Expr *E, DiagEngine &Diags);
+
+  // Stage artifacts (valid after compile succeeds).
+  const lambda::Expr *sourceExpr() const { return Src; }
+  const cps::Exp *cpsExp() const { return Cps; }
+  const clos::Program &closProgram() const { return Clos; }
+  const gc::Term *mainTerm() const { return Translated.Main; }
+  gc::Address gcEntry() const { return GcEntry; }
+  gc::Address majorGcEntry() const { return MajorGcEntry; }
+
+  // Contexts.
+  gc::GcContext &gcContext() { return *GC; }
+  lambda::LambdaContext &lambdaContext() { return *LC; }
+  cps::CpsContext &cpsContext() { return *CC; }
+  clos::ClosContext &closContext() { return *CL; }
+  gc::Machine &machine() { return *M; }
+
+  /// Reference evaluations at each stage.
+  RunResult runSource(uint64_t Fuel = 10'000'000);
+  RunResult runCps(uint64_t Fuel = 10'000'000);
+  RunResult runClos(uint64_t Fuel = 10'000'000);
+
+  /// Runs the translated program on the λGC machine. With CheckEveryN != 0,
+  /// re-establishes ⊢ (M, e) every N steps (1 = per-step) and checks
+  /// progress throughout.
+  RunResult runMachine(uint64_t MaxSteps = 5'000'000,
+                       uint32_t CheckEveryN = 0);
+
+  /// Re-runs compile-time certification of the cd region (collector +
+  /// translated mutator code).
+  bool certify(DiagEngine &Diags);
+
+private:
+  PipelineOptions Opts;
+  std::unique_ptr<gc::GcContext> GC;
+  std::unique_ptr<lambda::LambdaContext> LC;
+  std::unique_ptr<cps::CpsContext> CC;
+  std::unique_ptr<clos::ClosContext> CL;
+  std::unique_ptr<gc::Machine> M;
+
+  const lambda::Expr *Src = nullptr;
+  const cps::Exp *Cps = nullptr;
+  clos::Program Clos;
+  gc::TranslatedProgram Translated;
+  gc::Address GcEntry = gc::noCollector();
+  gc::Address MajorGcEntry = gc::noCollector();
+};
+
+} // namespace scav::harness
+
+#endif // SCAV_HARNESS_PIPELINE_H

@@ -1,0 +1,216 @@
+//===- harness/ProgramGen.cpp - Random well-typed program generator --------===//
+
+#include "harness/ProgramGen.h"
+
+#include <vector>
+
+using namespace scav;
+using namespace scav::harness;
+using namespace scav::lambda;
+
+namespace {
+
+/// In-scope variables with their types.
+struct GenEnv {
+  std::vector<std::pair<Symbol, const Type *>> Vars;
+
+  std::vector<Symbol> ofType(const Type *T) const {
+    std::vector<Symbol> Out;
+    for (const auto &[S, Ty] : Vars)
+      if (typeEqual(Ty, T))
+        Out.push_back(S);
+    return Out;
+  }
+};
+
+struct Generator {
+  LambdaContext &C;
+  Rng &R;
+  const GenOptions &Opts;
+
+  /// A random type of bounded depth (Int-biased at the leaves).
+  const Type *genType(unsigned Depth) {
+    if (Depth == 0 || R.chance(1, 2))
+      return C.tyInt();
+    if (R.chance(1, 2))
+      return C.tyProd(genType(Depth - 1), genType(Depth - 1));
+    return C.tyArrow(genType(Depth - 1), genType(Depth - 1));
+  }
+
+  const Expr *gen(const Type *Want, unsigned Depth, const GenEnv &Env) {
+    // Sometimes reuse a variable of the right type.
+    std::vector<Symbol> Candidates = Env.ofType(Want);
+    if (!Candidates.empty() && R.chance(2, 5))
+      return C.var(Candidates[R.below(Candidates.size())]);
+
+    if (Depth == 0)
+      return base(Want, Env);
+
+    switch (Want->kind()) {
+    case TypeKind::Int:
+      switch (R.below(6)) {
+      case 0:
+        return base(Want, Env);
+      case 1: { // primitive
+        PrimOp P = static_cast<PrimOp>(R.below(4));
+        return C.prim(P, gen(C.tyInt(), Depth - 1, Env),
+                      gen(C.tyInt(), Depth - 1, Env));
+      }
+      case 2: { // if0
+        return C.if0(gen(C.tyInt(), Depth - 1, Env),
+                     gen(Want, Depth - 1, Env), gen(Want, Depth - 1, Env));
+      }
+      case 3: { // projection from a random pair type
+        const Type *Other = genType(1);
+        bool First = R.chance(1, 2);
+        const Type *PairTy = First ? C.tyProd(Want, Other)
+                                   : C.tyProd(Other, Want);
+        const Expr *P = gen(PairTy, Depth - 1, Env);
+        return First ? C.fst(P) : C.snd(P);
+      }
+      case 4: { // application
+        const Type *ArgTy = genType(1);
+        const Expr *F = gen(C.tyArrow(ArgTy, Want), Depth - 1, Env);
+        const Expr *A = gen(ArgTy, Depth - 1, Env);
+        return C.app(F, A);
+      }
+      default: { // let
+        const Type *BoundTy = genType(2);
+        Symbol X = C.fresh("v");
+        const Expr *Bound = gen(BoundTy, Depth - 1, Env);
+        GenEnv Inner = Env;
+        Inner.Vars.push_back({X, BoundTy});
+        return C.let(X, Bound, gen(Want, Depth - 1, Inner));
+      }
+      }
+
+    case TypeKind::Prod:
+      if (R.chance(4, 5))
+        return C.pair(gen(Want->left(), Depth - 1, Env),
+                      gen(Want->right(), Depth - 1, Env));
+      return base(Want, Env);
+
+    case TypeKind::Arrow: {
+      Symbol X = C.fresh("x");
+      GenEnv Inner = Env;
+      Inner.Vars.push_back({X, Want->from()});
+      return C.lam(X, Want->from(), gen(Want->to(), Depth - 1, Inner));
+    }
+    }
+    return base(Want, Env);
+  }
+
+  /// A minimal inhabitant of the type (leaf case).
+  const Expr *base(const Type *Want, const GenEnv &Env) {
+    std::vector<Symbol> Candidates = Env.ofType(Want);
+    if (!Candidates.empty())
+      return C.var(Candidates[R.below(Candidates.size())]);
+    switch (Want->kind()) {
+    case TypeKind::Int:
+      return C.intLit(R.range(-9, 9));
+    case TypeKind::Prod:
+      return C.pair(base(Want->left(), Env), base(Want->right(), Env));
+    case TypeKind::Arrow: {
+      Symbol X = C.fresh("x");
+      GenEnv Inner = Env;
+      Inner.Vars.push_back({X, Want->from()});
+      return C.lam(X, Want->from(), base(Want->to(), Inner));
+    }
+    }
+    return C.intLit(0);
+  }
+};
+
+} // namespace
+
+const Expr *scav::harness::genPure(LambdaContext &C, Rng &R, const Type *Want,
+                                   unsigned Depth, const GenOptions &Opts) {
+  Generator G{C, R, Opts};
+  GenEnv Env;
+  return G.gen(Want, Depth, Env);
+}
+
+const Expr *scav::harness::genProgram(LambdaContext &C, Rng &R,
+                                      const GenOptions &Opts) {
+  Generator G{C, R, Opts};
+  GenEnv Empty;
+  int64_t Iters = R.range(2, Opts.MaxIterations);
+  const Type *IntInt = C.tyArrow(C.tyInt(), C.tyInt());
+
+  switch (R.below(4)) {
+  case 0: {
+    // Loop skeleton: fix f(n) = if0 n BASE (STEP + f(n-1)).
+    Symbol F = C.fresh("loop"), N = C.fresh("n");
+    GenEnv Env;
+    Env.Vars.push_back({N, C.tyInt()});
+    const Expr *Base = G.gen(C.tyInt(), Opts.MaxDepth, Env);
+    const Expr *Step = G.gen(C.tyInt(), Opts.MaxDepth, Env);
+    const Expr *Body = C.if0(
+        C.var(N), Base,
+        C.prim(PrimOp::Add, Step,
+               C.app(C.var(F), C.prim(PrimOp::Sub, C.var(N), C.intLit(1)))));
+    const Expr *Fix = C.fix(F, N, C.tyInt(), C.tyInt(), Body);
+    return C.app(Fix, C.intLit(Iters));
+  }
+  case 1: {
+    // Closure-chain skeleton: each iteration captures the previous closure.
+    Symbol B = C.fresh("build"), N = C.fresh("n"), Gv = C.fresh("g"),
+           X = C.fresh("x");
+    GenEnv Env;
+    Env.Vars.push_back({N, C.tyInt()});
+    const Expr *Seed = G.gen(IntInt, Opts.MaxDepth, Env);
+    GenEnv Inner = Env;
+    Inner.Vars.push_back({Gv, IntInt});
+    Inner.Vars.push_back({X, C.tyInt()});
+    const Expr *StepBody =
+        C.app(C.var(Gv),
+              C.prim(PrimOp::Add, C.var(X),
+                     G.gen(C.tyInt(), 2, Inner)));
+    const Expr *Body = C.if0(
+        C.var(N), Seed,
+        C.let(Gv,
+              C.app(C.var(B), C.prim(PrimOp::Sub, C.var(N), C.intLit(1))),
+              C.lam(X, C.tyInt(), StepBody)));
+    const Expr *Fix = C.fix(B, N, C.tyInt(), IntInt, Body);
+    return C.app(C.app(Fix, C.intLit(Iters)), C.intLit(R.range(0, 100)));
+  }
+  case 2: {
+    // Closure-tree skeleton with sharing: λx. s (s x).
+    Symbol T = C.fresh("tree"), D = C.fresh("d"), S = C.fresh("s"),
+           X = C.fresh("x");
+    GenEnv LeafEnv;
+    LeafEnv.Vars.push_back({X, C.tyInt()});
+    const Expr *Leaf =
+        C.lam(X, C.tyInt(),
+              C.prim(PrimOp::Add, C.var(X), G.gen(C.tyInt(), 2, LeafEnv)));
+    const Expr *Body = C.if0(
+        C.var(D), Leaf,
+        C.let(S, C.app(C.var(T), C.prim(PrimOp::Sub, C.var(D), C.intLit(1))),
+              C.lam(X, C.tyInt(),
+                    C.app(C.var(S), C.app(C.var(S), C.var(X))))));
+    int64_t Depth = std::min<int64_t>(Iters, 6);
+    const Expr *Fix = C.fix(T, D, C.tyInt(), IntInt, Body);
+    return C.app(C.app(Fix, C.intLit(Depth)), C.intLit(R.range(0, 10)));
+  }
+  default: {
+    // Pair-churn skeleton: builds and consumes nested pairs per iteration.
+    Symbol F = C.fresh("churn"), N = C.fresh("n"), P = C.fresh("p");
+    GenEnv Env;
+    Env.Vars.push_back({N, C.tyInt()});
+    const Type *PP = C.tyProd(C.tyProd(C.tyInt(), C.tyInt()), C.tyInt());
+    const Expr *Mk = G.gen(PP, Opts.MaxDepth, Env);
+    GenEnv Inner = Env;
+    Inner.Vars.push_back({P, PP});
+    const Expr *Use = C.prim(PrimOp::Add, C.snd(C.fst(C.var(P))),
+                             C.snd(C.var(P)));
+    const Expr *Body = C.if0(
+        C.var(N), C.intLit(0),
+        C.let(P, Mk,
+              C.prim(PrimOp::Add, Use,
+                     C.app(C.var(F),
+                           C.prim(PrimOp::Sub, C.var(N), C.intLit(1))))));
+    const Expr *Fix = C.fix(F, N, C.tyInt(), C.tyInt(), Body);
+    return C.app(Fix, C.intLit(Iters));
+  }
+  }
+}

@@ -1,0 +1,44 @@
+//===- harness/ProgramGen.h - Random well-typed program generator -*-C++-*-=//
+///
+/// \file
+/// Generates random *well-typed, terminating* source programs for the
+/// property-based soundness tests (T1) and the differential tests (T4).
+///
+/// Two layers:
+///  * genPure: type-directed generation of non-recursive expressions
+///    (always terminates, exercises pairs/closures/higher-order code);
+///  * genProgram: wraps pure expressions into one of several recursion
+///    skeletons (loops, closure chains, closure trees) whose recursion
+///    variable strictly decreases — the generated heap churn is what makes
+///    collections fire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_HARNESS_PROGRAMGEN_H
+#define SCAV_HARNESS_PROGRAMGEN_H
+
+#include "lambda/Lambda.h"
+#include "support/Rng.h"
+
+namespace scav::harness {
+
+struct GenOptions {
+  /// Maximum expression depth of pure subterms.
+  unsigned MaxDepth = 5;
+  /// Iteration bound fed to the recursion skeletons.
+  int64_t MaxIterations = 12;
+};
+
+/// Generates a closed expression of the given type. Always terminating.
+const lambda::Expr *genPure(lambda::LambdaContext &C, Rng &R,
+                            const lambda::Type *Want, unsigned Depth,
+                            const GenOptions &Opts = {});
+
+/// Generates a whole random program of type Int that allocates enough to
+/// drive collections.
+const lambda::Expr *genProgram(lambda::LambdaContext &C, Rng &R,
+                               const GenOptions &Opts = {});
+
+} // namespace scav::harness
+
+#endif // SCAV_HARNESS_PROGRAMGEN_H

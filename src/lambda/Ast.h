@@ -1,0 +1,236 @@
+//===- lambda/Ast.h - The source language: STLC + fix ----------*- C++ -*-===//
+///
+/// \file
+/// The source language of §3 — the simply typed λ-calculus — extended with
+/// `fix` (recursive functions), integer primitives, and `if0` (see
+/// DESIGN.md: the paper's λCLOS has top-level `letrec`, so recursion is
+/// already in its world; without it no mutator can build unbounded heap
+/// structures for the collectors to trace).
+///
+///   T ::= Int | T1 → T2 | T1 × T2
+///   e ::= n | x | λx:T.e | fix f(x:T):T.e | e1 e2 | (e1, e2)
+///       | fst e | snd e | let x = e1 in e2 | e1 ⊕ e2
+///       | if0 e then e1 else e2
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_LAMBDA_AST_H
+#define SCAV_LAMBDA_AST_H
+
+#include "support/Arena.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+
+namespace scav::lambda {
+
+using scav::Symbol;
+
+enum class TypeKind { Int, Arrow, Prod };
+
+class Type {
+public:
+  TypeKind kind() const { return K; }
+  bool is(TypeKind Which) const { return K == Which; }
+
+  const Type *from() const {
+    assert(K == TypeKind::Arrow && "not an arrow");
+    return A;
+  }
+  const Type *to() const {
+    assert(K == TypeKind::Arrow && "not an arrow");
+    return B;
+  }
+  const Type *left() const {
+    assert(K == TypeKind::Prod && "not a product");
+    return A;
+  }
+  const Type *right() const {
+    assert(K == TypeKind::Prod && "not a product");
+    return B;
+  }
+
+private:
+  friend class LambdaContext;
+  Type(TypeKind K) : K(K) {}
+  TypeKind K;
+  const Type *A = nullptr;
+  const Type *B = nullptr;
+};
+
+enum class PrimOp { Add, Sub, Mul, Le };
+
+enum class ExprKind {
+  Int,
+  Var,
+  Lam,
+  Fix,
+  App,
+  Pair,
+  Fst,
+  Snd,
+  Let,
+  Prim,
+  If0,
+};
+
+class Expr {
+public:
+  ExprKind kind() const { return K; }
+  bool is(ExprKind Which) const { return K == Which; }
+
+  int64_t intValue() const {
+    assert(K == ExprKind::Int && "not an int literal");
+    return N;
+  }
+
+  /// Var: x. Lam: the parameter. Fix: the function name (param in var2()).
+  /// Let: the bound variable.
+  Symbol var() const { return X1; }
+  /// Fix: the parameter name.
+  Symbol var2() const { return X2; }
+
+  /// Lam/Fix: parameter type. Fix: result type in annot2().
+  const Type *annot() const { return T1; }
+  const Type *annot2() const { return T2; }
+
+  /// Sub-expressions: Lam/Fix/Fst/Snd: E1. App/Pair/Let/Prim: E1, E2.
+  /// If0: E1 (scrutinee), E2 (zero), E3 (nonzero).
+  const Expr *sub1() const { return E1; }
+  const Expr *sub2() const { return E2; }
+  const Expr *sub3() const { return E3; }
+
+  PrimOp primOp() const {
+    assert(K == ExprKind::Prim && "not a primitive");
+    return P;
+  }
+
+private:
+  friend class LambdaContext;
+  Expr(ExprKind K) : K(K) {}
+  ExprKind K;
+  int64_t N = 0;
+  Symbol X1;
+  Symbol X2;
+  const Type *T1 = nullptr;
+  const Type *T2 = nullptr;
+  const Expr *E1 = nullptr;
+  const Expr *E2 = nullptr;
+  const Expr *E3 = nullptr;
+  PrimOp P = PrimOp::Add;
+};
+
+/// Owns the AST nodes of one source program. The symbol table is external
+/// and shared across the whole pipeline (lambda → cps → clos → gc), so
+/// variable names survive every translation.
+class LambdaContext {
+public:
+  explicit LambdaContext(SymbolTable &Syms) : Syms(Syms) {
+    IntTy = Alloc.create<Type>(Type(TypeKind::Int));
+  }
+  LambdaContext(const LambdaContext &) = delete;
+  LambdaContext &operator=(const LambdaContext &) = delete;
+
+  SymbolTable &symbols() { return Syms; }
+  Symbol intern(std::string_view S) { return Syms.intern(S); }
+  Symbol fresh(std::string_view S) { return Syms.fresh(S); }
+  std::string_view name(Symbol S) const { return Syms.name(S); }
+
+  const Type *tyInt() const { return IntTy; }
+  const Type *tyArrow(const Type *From, const Type *To) {
+    Type *T = Alloc.create<Type>(Type(TypeKind::Arrow));
+    T->A = From;
+    T->B = To;
+    return T;
+  }
+  const Type *tyProd(const Type *L, const Type *R) {
+    Type *T = Alloc.create<Type>(Type(TypeKind::Prod));
+    T->A = L;
+    T->B = R;
+    return T;
+  }
+
+  const Expr *intLit(int64_t N) {
+    Expr *E = alloc(ExprKind::Int);
+    E->N = N;
+    return E;
+  }
+  const Expr *var(Symbol S) {
+    Expr *E = alloc(ExprKind::Var);
+    E->X1 = S;
+    return E;
+  }
+  const Expr *lam(Symbol X, const Type *T, const Expr *Body) {
+    Expr *E = alloc(ExprKind::Lam);
+    E->X1 = X;
+    E->T1 = T;
+    E->E1 = Body;
+    return E;
+  }
+  const Expr *fix(Symbol F, Symbol X, const Type *ParamTy, const Type *RetTy,
+                  const Expr *Body) {
+    Expr *E = alloc(ExprKind::Fix);
+    E->X1 = F;
+    E->X2 = X;
+    E->T1 = ParamTy;
+    E->T2 = RetTy;
+    E->E1 = Body;
+    return E;
+  }
+  const Expr *app(const Expr *Fun, const Expr *Arg) {
+    Expr *E = alloc(ExprKind::App);
+    E->E1 = Fun;
+    E->E2 = Arg;
+    return E;
+  }
+  const Expr *pair(const Expr *L, const Expr *R) {
+    Expr *E = alloc(ExprKind::Pair);
+    E->E1 = L;
+    E->E2 = R;
+    return E;
+  }
+  const Expr *fst(const Expr *P) {
+    Expr *E = alloc(ExprKind::Fst);
+    E->E1 = P;
+    return E;
+  }
+  const Expr *snd(const Expr *P) {
+    Expr *E = alloc(ExprKind::Snd);
+    E->E1 = P;
+    return E;
+  }
+  const Expr *let(Symbol X, const Expr *Bound, const Expr *Body) {
+    Expr *E = alloc(ExprKind::Let);
+    E->X1 = X;
+    E->E1 = Bound;
+    E->E2 = Body;
+    return E;
+  }
+  const Expr *prim(PrimOp P, const Expr *L, const Expr *R) {
+    Expr *E = alloc(ExprKind::Prim);
+    E->P = P;
+    E->E1 = L;
+    E->E2 = R;
+    return E;
+  }
+  const Expr *if0(const Expr *Scrut, const Expr *Zero, const Expr *NonZero) {
+    Expr *E = alloc(ExprKind::If0);
+    E->E1 = Scrut;
+    E->E2 = Zero;
+    E->E3 = NonZero;
+    return E;
+  }
+
+private:
+  Expr *alloc(ExprKind K) { return Alloc.create<Expr>(Expr(K)); }
+
+  Arena Alloc;
+  SymbolTable &Syms;
+  const Type *IntTy;
+};
+
+} // namespace scav::lambda
+
+#endif // SCAV_LAMBDA_AST_H

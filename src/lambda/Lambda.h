@@ -1,0 +1,90 @@
+//===- lambda/Lambda.h - Typechecker, evaluator, parser, printer -*- C++-*-=//
+///
+/// \file
+/// The rest of the source-language toolkit: a typechecker, a big-step
+/// evaluator (closures as values; fuel-limited), an s-expression parser for
+/// the textual syntax used by the examples, and a printer.
+///
+/// Textual syntax:
+///   (lam (x Int) body)            λx:Int.body
+///   (fix f (x Int) Int body)      fix f(x:Int):Int.body
+///   (app f a)                     f a
+///   (pair a b) (fst p) (snd p)
+///   (let x e1 e2)
+///   (+ a b) (- a b) (* a b) (<= a b)
+///   (if0 c z nz)
+///   Types: Int, (-> T1 T2), (* T1 T2)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_LAMBDA_LAMBDA_H
+#define SCAV_LAMBDA_LAMBDA_H
+
+#include "lambda/Ast.h"
+#include "support/Diag.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scav::lambda {
+
+//===----------------------------------------------------------------------===//
+// Typechecker
+//===----------------------------------------------------------------------===//
+
+bool typeEqual(const Type *A, const Type *B);
+
+using TypeEnv = std::map<Symbol, const Type *>;
+
+/// Infers the type of \p E under \p Env; nullptr + diagnostics on error.
+const Type *typeOf(LambdaContext &C, const Expr *E, const TypeEnv &Env,
+                   DiagEngine &Diags);
+
+/// Whole-program check: \p E must be closed and well-typed.
+const Type *typeCheck(LambdaContext &C, const Expr *E, DiagEngine &Diags);
+
+//===----------------------------------------------------------------------===//
+// Evaluator
+//===----------------------------------------------------------------------===//
+
+struct EvalValue;
+using EvalValueRef = std::shared_ptr<EvalValue>;
+
+/// Runtime values of the big-step evaluator.
+struct EvalValue {
+  enum class Kind { Int, Pair, Closure } K;
+  int64_t N = 0;
+  EvalValueRef A, B;
+  // Closure:
+  const Expr *Fun = nullptr; // Lam or Fix node
+  std::map<Symbol, EvalValueRef> Env;
+};
+
+struct EvalResult {
+  EvalValueRef Value; ///< null on failure
+  std::string Error;
+  uint64_t Steps = 0;
+};
+
+/// Evaluates a closed expression with a fuel limit.
+EvalResult evaluate(const Expr *E, uint64_t Fuel = 10'000'000);
+
+//===----------------------------------------------------------------------===//
+// Parser / printer
+//===----------------------------------------------------------------------===//
+
+/// Parses the s-expression syntax; nullptr + diagnostics on error.
+const Expr *parseExpr(LambdaContext &C, std::string_view Src,
+                      DiagEngine &Diags);
+const Type *parseType(LambdaContext &C, std::string_view Src,
+                      DiagEngine &Diags);
+
+std::string printType(const LambdaContext &C, const Type *T);
+std::string printExpr(const LambdaContext &C, const Expr *E);
+
+} // namespace scav::lambda
+
+#endif // SCAV_LAMBDA_LAMBDA_H

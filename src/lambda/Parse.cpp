@@ -1,0 +1,329 @@
+//===- lambda/Parse.cpp - S-expression parser and printer -------------------===//
+
+#include "lambda/Lambda.h"
+
+#include <cctype>
+
+using namespace scav;
+using namespace scav::lambda;
+
+namespace {
+
+/// A parsed s-expression: an atom or a list.
+struct SExpr {
+  bool IsAtom = false;
+  std::string Atom;
+  std::vector<SExpr> Items;
+};
+
+struct SParser {
+  std::string_view Src;
+  size_t Pos = 0;
+  DiagEngine &Diags;
+
+  void skipWs() {
+    while (Pos < Src.size()) {
+      if (std::isspace(static_cast<unsigned char>(Src[Pos]))) {
+        ++Pos;
+      } else if (Src[Pos] == ';') { // comment to end of line
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= Src.size();
+  }
+
+  std::optional<SExpr> parse() {
+    skipWs();
+    if (Pos >= Src.size()) {
+      Diags.error("unexpected end of input");
+      return std::nullopt;
+    }
+    if (Src[Pos] == '(') {
+      ++Pos;
+      SExpr List;
+      for (;;) {
+        skipWs();
+        if (Pos >= Src.size()) {
+          Diags.error("unterminated list");
+          return std::nullopt;
+        }
+        if (Src[Pos] == ')') {
+          ++Pos;
+          return List;
+        }
+        auto Item = parse();
+        if (!Item)
+          return std::nullopt;
+        List.Items.push_back(std::move(*Item));
+      }
+    }
+    if (Src[Pos] == ')') {
+      Diags.error("unexpected ')'");
+      return std::nullopt;
+    }
+    SExpr Atom;
+    Atom.IsAtom = true;
+    size_t Start = Pos;
+    while (Pos < Src.size() &&
+           !std::isspace(static_cast<unsigned char>(Src[Pos])) &&
+           Src[Pos] != '(' && Src[Pos] != ')' && Src[Pos] != ';')
+      ++Pos;
+    Atom.Atom = std::string(Src.substr(Start, Pos - Start));
+    return Atom;
+  }
+};
+
+/// Binder names must not look like integer literals.
+static bool isIdent(const std::string &A) {
+  if (A.empty())
+    return false;
+  if (std::isdigit(static_cast<unsigned char>(A[0])))
+    return false;
+  if (A[0] == '-' && A.size() > 1 &&
+      std::isdigit(static_cast<unsigned char>(A[1])))
+    return false;
+  return true;
+}
+
+struct AstBuilder {
+  LambdaContext &C;
+  DiagEngine &Diags;
+
+  const Type *fail(const std::string &Msg) {
+    Diags.error(Msg);
+    return nullptr;
+  }
+  const Expr *failE(const std::string &Msg) {
+    Diags.error(Msg);
+    return nullptr;
+  }
+
+  const Type *type(const SExpr &S) {
+    if (S.IsAtom) {
+      if (S.Atom == "Int")
+        return C.tyInt();
+      return fail("unknown type atom '" + S.Atom + "'");
+    }
+    if (S.Items.size() == 3 && S.Items[0].IsAtom) {
+      const Type *A = type(S.Items[1]);
+      const Type *B = type(S.Items[2]);
+      if (!A || !B)
+        return nullptr;
+      if (S.Items[0].Atom == "->")
+        return C.tyArrow(A, B);
+      if (S.Items[0].Atom == "*")
+        return C.tyProd(A, B);
+    }
+    return fail("malformed type");
+  }
+
+  std::optional<PrimOp> primOf(const std::string &A) {
+    if (A == "+")
+      return PrimOp::Add;
+    if (A == "-")
+      return PrimOp::Sub;
+    if (A == "*")
+      return PrimOp::Mul;
+    if (A == "<=")
+      return PrimOp::Le;
+    return std::nullopt;
+  }
+
+  const Expr *expr(const SExpr &S) {
+    if (S.IsAtom) {
+      const std::string &A = S.Atom;
+      if (!A.empty() &&
+          (std::isdigit(static_cast<unsigned char>(A[0])) ||
+           (A[0] == '-' && A.size() > 1)))
+        return C.intLit(std::stoll(A));
+      return C.var(C.intern(A));
+    }
+    if (S.Items.empty() || !S.Items[0].IsAtom)
+      return failE("malformed expression");
+    const std::string &Head = S.Items[0].Atom;
+    auto Arity = [&](size_t N) {
+      if (S.Items.size() == N + 1)
+        return true;
+      Diags.error("'" + Head + "' expects " + std::to_string(N) +
+                  " arguments");
+      return false;
+    };
+
+    if (Head == "lam") {
+      // (lam (x T) body)
+      if (!Arity(2) || S.Items[1].IsAtom || S.Items[1].Items.size() != 2 ||
+          !S.Items[1].Items[0].IsAtom || !isIdent(S.Items[1].Items[0].Atom))
+        return failE("malformed lam");
+      const Type *T = type(S.Items[1].Items[1]);
+      const Expr *Body = expr(S.Items[2]);
+      if (!T || !Body)
+        return nullptr;
+      return C.lam(C.intern(S.Items[1].Items[0].Atom), T, Body);
+    }
+    if (Head == "fix") {
+      // (fix f (x T) RetT body)
+      if (S.Items.size() != 5 || !S.Items[1].IsAtom ||
+          !isIdent(S.Items[1].Atom) || S.Items[2].IsAtom ||
+          S.Items[2].Items.size() != 2 || !S.Items[2].Items[0].IsAtom ||
+          !isIdent(S.Items[2].Items[0].Atom))
+        return failE("malformed fix");
+      const Type *PT = type(S.Items[2].Items[1]);
+      const Type *RT = type(S.Items[3]);
+      const Expr *Body = expr(S.Items[4]);
+      if (!PT || !RT || !Body)
+        return nullptr;
+      return C.fix(C.intern(S.Items[1].Atom),
+                   C.intern(S.Items[2].Items[0].Atom), PT, RT, Body);
+    }
+    if (Head == "app") {
+      if (!Arity(2))
+        return nullptr;
+      const Expr *F = expr(S.Items[1]);
+      const Expr *A = expr(S.Items[2]);
+      return F && A ? C.app(F, A) : nullptr;
+    }
+    if (Head == "pair") {
+      if (!Arity(2))
+        return nullptr;
+      const Expr *L = expr(S.Items[1]);
+      const Expr *R = expr(S.Items[2]);
+      return L && R ? C.pair(L, R) : nullptr;
+    }
+    if (Head == "fst" || Head == "snd") {
+      if (!Arity(1))
+        return nullptr;
+      const Expr *P = expr(S.Items[1]);
+      if (!P)
+        return nullptr;
+      return Head == "fst" ? C.fst(P) : C.snd(P);
+    }
+    if (Head == "let") {
+      // (let x e1 e2)
+      if (!Arity(3) || !S.Items[1].IsAtom || !isIdent(S.Items[1].Atom))
+        return failE("malformed let");
+      const Expr *E1 = expr(S.Items[2]);
+      const Expr *E2 = expr(S.Items[3]);
+      return E1 && E2 ? C.let(C.intern(S.Items[1].Atom), E1, E2) : nullptr;
+    }
+    if (Head == "if0") {
+      if (!Arity(3))
+        return nullptr;
+      const Expr *A = expr(S.Items[1]);
+      const Expr *B = expr(S.Items[2]);
+      const Expr *D = expr(S.Items[3]);
+      return A && B && D ? C.if0(A, B, D) : nullptr;
+    }
+    if (auto P = primOf(Head)) {
+      if (!Arity(2))
+        return nullptr;
+      const Expr *L = expr(S.Items[1]);
+      const Expr *R = expr(S.Items[2]);
+      return L && R ? C.prim(*P, L, R) : nullptr;
+    }
+    return failE("unknown form '" + Head + "'");
+  }
+};
+
+} // namespace
+
+const Expr *scav::lambda::parseExpr(LambdaContext &C, std::string_view Src,
+                                    DiagEngine &Diags) {
+  SParser P{Src, 0, Diags};
+  auto S = P.parse();
+  if (!S)
+    return nullptr;
+  if (!P.atEnd()) {
+    Diags.error("trailing input after expression");
+    return nullptr;
+  }
+  AstBuilder B{C, Diags};
+  return B.expr(*S);
+}
+
+const Type *scav::lambda::parseType(LambdaContext &C, std::string_view Src,
+                                    DiagEngine &Diags) {
+  SParser P{Src, 0, Diags};
+  auto S = P.parse();
+  if (!S)
+    return nullptr;
+  AstBuilder B{C, Diags};
+  return B.type(*S);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+std::string scav::lambda::printType(const LambdaContext &C, const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+    return "Int";
+  case TypeKind::Arrow:
+    return "(-> " + printType(C, T->from()) + " " + printType(C, T->to()) +
+           ")";
+  case TypeKind::Prod:
+    return "(* " + printType(C, T->left()) + " " + printType(C, T->right()) +
+           ")";
+  }
+  return "?";
+}
+
+std::string scav::lambda::printExpr(const LambdaContext &C, const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Int:
+    return std::to_string(E->intValue());
+  case ExprKind::Var:
+    return std::string(C.name(E->var()));
+  case ExprKind::Lam:
+    return "(lam (" + std::string(C.name(E->var())) + " " +
+           printType(C, E->annot()) + ") " + printExpr(C, E->sub1()) + ")";
+  case ExprKind::Fix:
+    return "(fix " + std::string(C.name(E->var())) + " (" +
+           std::string(C.name(E->var2())) + " " + printType(C, E->annot()) +
+           ") " + printType(C, E->annot2()) + " " + printExpr(C, E->sub1()) +
+           ")";
+  case ExprKind::App:
+    return "(app " + printExpr(C, E->sub1()) + " " + printExpr(C, E->sub2()) +
+           ")";
+  case ExprKind::Pair:
+    return "(pair " + printExpr(C, E->sub1()) + " " + printExpr(C, E->sub2()) +
+           ")";
+  case ExprKind::Fst:
+    return "(fst " + printExpr(C, E->sub1()) + ")";
+  case ExprKind::Snd:
+    return "(snd " + printExpr(C, E->sub1()) + ")";
+  case ExprKind::Let:
+    return "(let " + std::string(C.name(E->var())) + " " +
+           printExpr(C, E->sub1()) + " " + printExpr(C, E->sub2()) + ")";
+  case ExprKind::Prim: {
+    const char *Op = "+";
+    switch (E->primOp()) {
+    case PrimOp::Add:
+      Op = "+";
+      break;
+    case PrimOp::Sub:
+      Op = "-";
+      break;
+    case PrimOp::Mul:
+      Op = "*";
+      break;
+    case PrimOp::Le:
+      Op = "<=";
+      break;
+    }
+    return std::string("(") + Op + " " + printExpr(C, E->sub1()) + " " +
+           printExpr(C, E->sub2()) + ")";
+  }
+  case ExprKind::If0:
+    return "(if0 " + printExpr(C, E->sub1()) + " " + printExpr(C, E->sub2()) +
+           " " + printExpr(C, E->sub3()) + ")";
+  }
+  return "?";
+}

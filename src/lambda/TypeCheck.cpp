@@ -1,0 +1,137 @@
+//===- lambda/TypeCheck.cpp - STLC typechecker -----------------------------===//
+
+#include "lambda/Lambda.h"
+
+using namespace scav;
+using namespace scav::lambda;
+
+bool scav::lambda::typeEqual(const Type *A, const Type *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TypeKind::Int:
+    return true;
+  case TypeKind::Arrow:
+    return typeEqual(A->from(), B->from()) && typeEqual(A->to(), B->to());
+  case TypeKind::Prod:
+    return typeEqual(A->left(), B->left()) && typeEqual(A->right(), B->right());
+  }
+  return false;
+}
+
+const Type *scav::lambda::typeOf(LambdaContext &C, const Expr *E,
+                                 const TypeEnv &Env, DiagEngine &Diags) {
+  auto Fail = [&](const std::string &Msg) -> const Type * {
+    Diags.error(Msg);
+    return nullptr;
+  };
+
+  switch (E->kind()) {
+  case ExprKind::Int:
+    return C.tyInt();
+
+  case ExprKind::Var: {
+    auto It = Env.find(E->var());
+    if (It == Env.end())
+      return Fail("unbound variable " + std::string(C.name(E->var())));
+    return It->second;
+  }
+
+  case ExprKind::Lam: {
+    TypeEnv Inner = Env;
+    Inner[E->var()] = E->annot();
+    const Type *Body = typeOf(C, E->sub1(), Inner, Diags);
+    if (!Body)
+      return nullptr;
+    return C.tyArrow(E->annot(), Body);
+  }
+
+  case ExprKind::Fix: {
+    const Type *FnTy = C.tyArrow(E->annot(), E->annot2());
+    TypeEnv Inner = Env;
+    Inner[E->var()] = FnTy;
+    Inner[E->var2()] = E->annot();
+    const Type *Body = typeOf(C, E->sub1(), Inner, Diags);
+    if (!Body)
+      return nullptr;
+    if (!typeEqual(Body, E->annot2()))
+      return Fail("fix body type does not match declared result type");
+    return FnTy;
+  }
+
+  case ExprKind::App: {
+    const Type *Fun = typeOf(C, E->sub1(), Env, Diags);
+    const Type *Arg = typeOf(C, E->sub2(), Env, Diags);
+    if (!Fun || !Arg)
+      return nullptr;
+    if (!Fun->is(TypeKind::Arrow))
+      return Fail("application of non-function of type " + printType(C, Fun));
+    if (!typeEqual(Fun->from(), Arg))
+      return Fail("argument type mismatch: expected " +
+                  printType(C, Fun->from()) + ", got " + printType(C, Arg));
+    return Fun->to();
+  }
+
+  case ExprKind::Pair: {
+    const Type *L = typeOf(C, E->sub1(), Env, Diags);
+    const Type *R = typeOf(C, E->sub2(), Env, Diags);
+    if (!L || !R)
+      return nullptr;
+    return C.tyProd(L, R);
+  }
+
+  case ExprKind::Fst:
+  case ExprKind::Snd: {
+    const Type *P = typeOf(C, E->sub1(), Env, Diags);
+    if (!P)
+      return nullptr;
+    if (!P->is(TypeKind::Prod))
+      return Fail("projection from non-pair of type " + printType(C, P));
+    return E->is(ExprKind::Fst) ? P->left() : P->right();
+  }
+
+  case ExprKind::Let: {
+    const Type *Bound = typeOf(C, E->sub1(), Env, Diags);
+    if (!Bound)
+      return nullptr;
+    TypeEnv Inner = Env;
+    Inner[E->var()] = Bound;
+    return typeOf(C, E->sub2(), Inner, Diags);
+  }
+
+  case ExprKind::Prim: {
+    const Type *L = typeOf(C, E->sub1(), Env, Diags);
+    const Type *R = typeOf(C, E->sub2(), Env, Diags);
+    if (!L || !R)
+      return nullptr;
+    if (!L->is(TypeKind::Int) || !R->is(TypeKind::Int))
+      return Fail("primitive operands must be Int");
+    return C.tyInt();
+  }
+
+  case ExprKind::If0: {
+    const Type *S = typeOf(C, E->sub1(), Env, Diags);
+    if (!S)
+      return nullptr;
+    if (!S->is(TypeKind::Int))
+      return Fail("if0 scrutinee must be Int");
+    const Type *Z = typeOf(C, E->sub2(), Env, Diags);
+    const Type *N = typeOf(C, E->sub3(), Env, Diags);
+    if (!Z || !N)
+      return nullptr;
+    if (!typeEqual(Z, N))
+      return Fail("if0 branches have different types: " + printType(C, Z) +
+                  " vs " + printType(C, N));
+    return Z;
+  }
+  }
+  return nullptr;
+}
+
+const Type *scav::lambda::typeCheck(LambdaContext &C, const Expr *E,
+                                    DiagEngine &Diags) {
+  TypeEnv Empty;
+  return typeOf(C, E, Empty, Diags);
+}

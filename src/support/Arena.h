@@ -1,0 +1,139 @@
+//===- support/Arena.h - Bump-pointer arena allocator ---------*- C++ -*-===//
+//
+// Part of the principled-scavenging reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena. All AST nodes in this project are immutable
+/// and live for the lifetime of their owning context, so an arena (no
+/// per-node free) is the right allocation strategy. Objects with non-trivial
+/// destructors may be allocated but their destructors are never run; AST
+/// nodes therefore only hold trivially-destructible members or pointers into
+/// the same arena (std::vector members are destroyed via a registered
+/// cleanup list).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_ARENA_H
+#define SCAV_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace scav {
+
+/// Bump-pointer arena allocator with destructor support.
+///
+/// `create<T>(args...)` allocates and constructs a T. If T has a
+/// non-trivial destructor it is registered and run when the arena dies,
+/// so AST nodes may freely contain std::vector / std::string members.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  ~Arena() {
+    for (auto It = Cleanups.rbegin(), E = Cleanups.rend(); It != E; ++It)
+      It->Fn(It->Obj);
+  }
+
+  /// Allocates raw storage with the given size and alignment.
+  void *allocate(size_t Size, size_t Align) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    uintptr_t Cur = reinterpret_cast<uintptr_t>(Ptr);
+    uintptr_t Aligned = (Cur + Align - 1) & ~(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      newSlab(Size + Align);
+      Cur = reinterpret_cast<uintptr_t>(Ptr);
+      Aligned = (Cur + Align - 1) & ~(Align - 1);
+    }
+    Ptr = reinterpret_cast<char *>(Aligned + Size);
+    ++NumAllocations;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Allocates and constructs an object of type T in the arena.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Obj = new (Mem) T(std::forward<Args>(As)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Cleanups.push_back({Obj, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Obj;
+  }
+
+  /// \returns the total number of objects allocated so far.
+  size_t numAllocations() const { return NumAllocations; }
+
+  /// \returns the total number of bytes reserved in slabs.
+  size_t bytesReserved() const { return BytesReserved; }
+
+  /// A point in the allocation history; see mark()/release().
+  struct Checkpoint {
+    size_t SlabCount;
+    char *Ptr;
+    char *End;
+    size_t CleanupCount;
+    size_t NumAllocations;
+  };
+
+  /// Captures the current allocation state. Everything allocated after the
+  /// mark can be bulk-freed with release(). The caller must guarantee that
+  /// no object allocated after the mark is reachable afterwards — used to
+  /// scope the transient allocations of a machine-state check.
+  Checkpoint mark() const {
+    return Checkpoint{Slabs.size(), Ptr, End, Cleanups.size(),
+                      NumAllocations};
+  }
+
+  /// Destroys and frees everything allocated since \p Cp.
+  void release(const Checkpoint &Cp) {
+    for (size_t I = Cleanups.size(); I > Cp.CleanupCount; --I) {
+      Cleanup &Cl = Cleanups[I - 1];
+      Cl.Fn(Cl.Obj);
+    }
+    Cleanups.resize(Cp.CleanupCount);
+    Slabs.resize(Cp.SlabCount);
+    Ptr = Cp.Ptr;
+    End = Cp.End;
+    NumAllocations = Cp.NumAllocations;
+  }
+
+private:
+  struct Cleanup {
+    void *Obj;
+    void (*Fn)(void *);
+  };
+
+  void newSlab(size_t MinSize) {
+    size_t Size = SlabSize;
+    if (Size < MinSize)
+      Size = MinSize;
+    Slabs.push_back(std::make_unique<char[]>(Size));
+    Ptr = Slabs.back().get();
+    End = Ptr + Size;
+    BytesReserved += Size;
+    if (SlabSize < MaxSlabSize)
+      SlabSize *= 2;
+  }
+
+  static constexpr size_t InitialSlabSize = 1 << 14;
+  static constexpr size_t MaxSlabSize = 1 << 22;
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  std::vector<Cleanup> Cleanups;
+  char *Ptr = nullptr;
+  char *End = nullptr;
+  size_t SlabSize = InitialSlabSize;
+  size_t NumAllocations = 0;
+  size_t BytesReserved = 0;
+};
+
+} // namespace scav
+
+#endif // SCAV_SUPPORT_ARENA_H

@@ -1,0 +1,80 @@
+//===- support/Diag.h - Diagnostic collection ------------------*- C++ -*-===//
+///
+/// \file
+/// Diagnostics for the typecheckers and translators. Library code never
+/// aborts on a user-program error: it reports into a DiagEngine and returns
+/// failure, so tests can assert on specific messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_DIAG_H
+#define SCAV_SUPPORT_DIAG_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scav {
+
+enum class DiagLevel { Note, Warning, Error };
+
+/// One diagnostic message.
+struct Diag {
+  DiagLevel Level;
+  std::string Message;
+};
+
+/// Accumulates diagnostics. Cheap to pass by reference through a checker.
+class DiagEngine {
+public:
+  void error(std::string Msg) {
+    Diags.push_back({DiagLevel::Error, std::move(Msg)});
+    ++NumErrors;
+  }
+
+  void warning(std::string Msg) {
+    Diags.push_back({DiagLevel::Warning, std::move(Msg)});
+  }
+
+  void note(std::string Msg) {
+    Diags.push_back({DiagLevel::Note, std::move(Msg)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned numErrors() const { return NumErrors; }
+  const std::vector<Diag> &diags() const { return Diags; }
+
+  /// Renders all diagnostics, one per line (for test failure messages).
+  std::string str() const {
+    std::string Out;
+    for (const Diag &D : Diags) {
+      switch (D.Level) {
+      case DiagLevel::Note:
+        Out += "note: ";
+        break;
+      case DiagLevel::Warning:
+        Out += "warning: ";
+        break;
+      case DiagLevel::Error:
+        Out += "error: ";
+        break;
+      }
+      Out += D.Message;
+      Out += '\n';
+    }
+    return Out;
+  }
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diag> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace scav
+
+#endif // SCAV_SUPPORT_DIAG_H

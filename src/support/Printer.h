@@ -1,0 +1,72 @@
+//===- support/Printer.h - Indenting pretty-print stream ------*- C++ -*-===//
+///
+/// \file
+/// A tiny indentation-aware output buffer used by all AST pretty-printers.
+/// We deliberately avoid <iostream> (per the coding standards); printers
+/// build strings which callers forward to stdout or to diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_PRINTER_H
+#define SCAV_SUPPORT_PRINTER_H
+
+#include <string>
+#include <string_view>
+
+namespace scav {
+
+/// Accumulates text with explicit indentation control.
+class Printer {
+public:
+  Printer &operator<<(std::string_view S) {
+    flushIndent();
+    Out.append(S);
+    return *this;
+  }
+
+  Printer &operator<<(char C) {
+    flushIndent();
+    Out.push_back(C);
+    return *this;
+  }
+
+  Printer &operator<<(int64_t N) {
+    flushIndent();
+    Out.append(std::to_string(N));
+    return *this;
+  }
+
+  Printer &operator<<(size_t N) {
+    flushIndent();
+    Out.append(std::to_string(N));
+    return *this;
+  }
+
+  /// Ends the current line; the next write re-applies indentation.
+  void newline() {
+    Out.push_back('\n');
+    AtLineStart = true;
+  }
+
+  void indent() { Indent += 2; }
+  void dedent() { Indent -= Indent >= 2 ? 2 : Indent; }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void flushIndent() {
+    if (!AtLineStart)
+      return;
+    Out.append(Indent, ' ');
+    AtLineStart = false;
+  }
+
+  std::string Out;
+  unsigned Indent = 0;
+  bool AtLineStart = true;
+};
+
+} // namespace scav
+
+#endif // SCAV_SUPPORT_PRINTER_H

@@ -1,0 +1,51 @@
+//===- support/Rng.h - Deterministic random number generator --*- C++ -*-===//
+///
+/// \file
+/// SplitMix64-based RNG. Deterministic across platforms (unlike
+/// std::mt19937 distributions), which matters because the property-test
+/// harness derives whole random programs from a printed seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_RNG_H
+#define SCAV_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace scav {
+
+/// Deterministic 64-bit RNG (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below(0) is meaningless");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace scav
+
+#endif // SCAV_SUPPORT_RNG_H

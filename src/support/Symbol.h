@@ -1,0 +1,90 @@
+//===- support/Symbol.h - Interned identifiers ----------------*- C++ -*-===//
+///
+/// \file
+/// Interned symbols. A Symbol is a small value type (an index into a
+/// SymbolTable) used for every variable sort in the calculi: term variables
+/// x, tag variables t, type variables α, region variables r, region names ν,
+/// and code labels ℓ. The table also provides a fresh-name supply used by
+/// capture-avoiding substitution and the various program transformations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_SYMBOL_H
+#define SCAV_SUPPORT_SYMBOL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace scav {
+
+class SymbolTable;
+
+/// An interned identifier; equality is O(1).
+class Symbol {
+public:
+  Symbol() : Id(~0u) {}
+
+  bool isValid() const { return Id != ~0u; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  friend class SymbolTable;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+  uint32_t Id;
+};
+
+/// Owns symbol spellings and hands out fresh names.
+class SymbolTable {
+public:
+  /// Interns \p Name and returns its Symbol.
+  Symbol intern(std::string_view Name) {
+    auto It = Map.find(std::string(Name));
+    if (It != Map.end())
+      return Symbol(It->second);
+    uint32_t Id = static_cast<uint32_t>(Names.size());
+    Names.emplace_back(Name);
+    Map.emplace(Names.back(), Id);
+    return Symbol(Id);
+  }
+
+  /// Creates a fresh symbol whose spelling starts with \p Base. The result
+  /// is guaranteed distinct from every symbol interned so far.
+  Symbol fresh(std::string_view Base) {
+    for (;;) {
+      std::string Candidate =
+          std::string(Base) + "$" + std::to_string(FreshCounter++);
+      if (Map.find(Candidate) == Map.end())
+        return intern(Candidate);
+    }
+  }
+
+  /// \returns the spelling of \p S.
+  std::string_view name(Symbol S) const {
+    assert(S.isValid() && S.id() < Names.size() && "invalid symbol");
+    return Names[S.id()];
+  }
+
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> Map;
+  uint64_t FreshCounter = 0;
+};
+
+/// Hash support so Symbols can key unordered containers.
+struct SymbolHash {
+  size_t operator()(Symbol S) const { return S.id(); }
+};
+
+} // namespace scav
+
+#endif // SCAV_SUPPORT_SYMBOL_H

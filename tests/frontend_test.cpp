@@ -1,0 +1,261 @@
+//===- tests/frontend_test.cpp - STLC / CPS / λCLOS unit tests ------------===//
+
+#include "clos/Clos.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Source language
+//===----------------------------------------------------------------------===//
+
+struct LambdaTest : ::testing::Test {
+  SymbolTable Syms;
+  lambda::LambdaContext LC{Syms};
+  DiagEngine Diags;
+
+  const lambda::Expr *parse(std::string_view S) {
+    const lambda::Expr *E = lambda::parseExpr(LC, S, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    return E;
+  }
+
+  int64_t evalInt(std::string_view S) {
+    const lambda::Expr *E = parse(S);
+    if (!E)
+      return -999999;
+    EXPECT_NE(lambda::typeCheck(LC, E, Diags), nullptr) << Diags.str();
+    lambda::EvalResult R = lambda::evaluate(E);
+    EXPECT_TRUE(R.Value != nullptr) << R.Error;
+    if (!R.Value)
+      return -999999;
+    EXPECT_EQ(R.Value->K, lambda::EvalValue::Kind::Int);
+    return R.Value->N;
+  }
+};
+
+TEST_F(LambdaTest, Literals) { EXPECT_EQ(evalInt("42"), 42); }
+
+TEST_F(LambdaTest, Arithmetic) {
+  EXPECT_EQ(evalInt("(+ 1 (* 2 3))"), 7);
+  EXPECT_EQ(evalInt("(- 10 4)"), 6);
+  EXPECT_EQ(evalInt("(<= 3 3)"), 1);
+  EXPECT_EQ(evalInt("(<= 4 3)"), 0);
+}
+
+TEST_F(LambdaTest, LambdaAndApp) {
+  EXPECT_EQ(evalInt("(app (lam (x Int) (+ x 1)) 41)"), 42);
+  EXPECT_EQ(evalInt("(app (app (lam (f (-> Int Int)) f) (lam (x Int) x)) 7)"),
+            7);
+}
+
+TEST_F(LambdaTest, PairsAndLet) {
+  EXPECT_EQ(evalInt("(fst (pair 1 2))"), 1);
+  EXPECT_EQ(evalInt("(snd (pair 1 2))"), 2);
+  EXPECT_EQ(evalInt("(let p (pair (pair 1 2) 3) (snd (fst p)))"), 2);
+}
+
+TEST_F(LambdaTest, FixFactorial) {
+  EXPECT_EQ(evalInt("(app (fix f (n Int) Int"
+                    "  (if0 n 1 (* n (app f (- n 1))))) 6)"),
+            720);
+}
+
+TEST_F(LambdaTest, FixSum) {
+  EXPECT_EQ(evalInt("(app (fix f (n Int) Int"
+                    "  (if0 n 0 (+ n (app f (- n 1))))) 100)"),
+            5050);
+}
+
+TEST_F(LambdaTest, ClosureChain) {
+  // Builds a chain of closures each capturing the previous one.
+  EXPECT_EQ(
+      evalInt("(app (app (fix b (n Int) (-> Int Int)"
+              "  (if0 n (lam (x Int) x)"
+              "    (let g (app b (- n 1)) (lam (x Int) (app g (+ x n))))))"
+              " 5) 100)"),
+      115);
+}
+
+TEST_F(LambdaTest, TypeErrors) {
+  struct Case {
+    const char *Src;
+  } Cases[] = {
+      {"(app 1 2)"},
+      {"(+ (pair 1 2) 3)"},
+      {"(fst 3)"},
+      {"(if0 1 2 (pair 1 1))"},
+      {"(app (lam (x Int) x) (pair 1 2))"},
+      {"y"},
+  };
+  for (const auto &Tc : Cases) {
+    DiagEngine D;
+    const lambda::Expr *E = lambda::parseExpr(LC, Tc.Src, D);
+    ASSERT_NE(E, nullptr);
+    EXPECT_EQ(lambda::typeCheck(LC, E, D), nullptr)
+        << "expected type error for: " << Tc.Src;
+  }
+}
+
+TEST_F(LambdaTest, ParseErrors) {
+  for (const char *Src : {"(", ")", "(lam x body)", "(unknownform 1)",
+                          "(let 1 2 3)"}) {
+    DiagEngine D;
+    EXPECT_EQ(lambda::parseExpr(LC, Src, D), nullptr)
+        << "expected parse error for: " << Src;
+  }
+}
+
+TEST_F(LambdaTest, PrintRoundTrip) {
+  const char *Src = "(app (fix f (n Int) Int (if0 n 1 (* n (app f (- n 1))))) "
+                    "5)";
+  const lambda::Expr *E1 = parse(Src);
+  std::string Printed = lambda::printExpr(LC, E1);
+  DiagEngine D;
+  const lambda::Expr *E2 = lambda::parseExpr(LC, Printed, D);
+  ASSERT_NE(E2, nullptr) << D.str() << "\nprinted: " << Printed;
+  lambda::EvalResult R1 = lambda::evaluate(E1);
+  lambda::EvalResult R2 = lambda::evaluate(E2);
+  ASSERT_TRUE(R1.Value && R2.Value);
+  EXPECT_EQ(R1.Value->N, R2.Value->N);
+}
+
+//===----------------------------------------------------------------------===//
+// CPS conversion
+//===----------------------------------------------------------------------===//
+
+struct CpsTest : ::testing::Test {
+  SymbolTable Syms;
+  lambda::LambdaContext LC{Syms};
+  cps::CpsContext CC{Syms};
+  DiagEngine Diags;
+
+  const cps::Exp *convert(std::string_view S) {
+    const lambda::Expr *E = lambda::parseExpr(LC, S, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    if (!E)
+      return nullptr;
+    const cps::Exp *X = cps::cpsConvert(LC, CC, E, Diags);
+    EXPECT_NE(X, nullptr) << Diags.str();
+    return X;
+  }
+};
+
+TEST_F(CpsTest, ConvertedProgramsTypecheck) {
+  for (const char *Src :
+       {"42", "(+ 1 2)", "(app (lam (x Int) (+ x 1)) 41)",
+        "(snd (fst (pair (pair 1 2) 3)))",
+        "(app (fix f (n Int) Int (if0 n 0 (+ n (app f (- n 1))))) 10)",
+        "(let g (lam (p (* Int Int)) (+ (fst p) (snd p)))"
+        " (app g (pair 20 22)))"}) {
+    const cps::Exp *X = convert(Src);
+    ASSERT_NE(X, nullptr);
+    cps::TypeEnv Empty;
+    EXPECT_TRUE(cps::checkExp(CC, X, Empty, Diags))
+        << Diags.str() << "\nfor: " << Src;
+  }
+}
+
+TEST_F(CpsTest, SemanticsPreserved) {
+  struct Case {
+    const char *Src;
+    int64_t Want;
+  } Cases[] = {
+      {"42", 42},
+      {"(+ 1 (* 2 3))", 7},
+      {"(app (lam (x Int) (+ x 1)) 41)", 42},
+      {"(snd (pair 1 (fst (pair 9 0))))", 9},
+      {"(app (fix f (n Int) Int (if0 n 1 (* n (app f (- n 1))))) 6)", 720},
+      {"(app (app (fix b (n Int) (-> Int Int)"
+       "  (if0 n (lam (x Int) x)"
+       "    (let g (app b (- n 1)) (lam (x Int) (app g (+ x n))))))"
+       " 5) 100)",
+       115},
+      {"(if0 (<= 3 2) 10 20)", 10},
+  };
+  for (const auto &Tc : Cases) {
+    const cps::Exp *X = convert(Tc.Src);
+    ASSERT_NE(X, nullptr);
+    cps::CpsEvalResult R = cps::evaluate(X);
+    EXPECT_TRUE(R.Ok) << R.Error << "\nfor: " << Tc.Src;
+    EXPECT_EQ(R.Value, Tc.Want) << "for: " << Tc.Src;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Closure conversion → λCLOS
+//===----------------------------------------------------------------------===//
+
+struct ClosTest : ::testing::Test {
+  gc::GcContext GC;
+  lambda::LambdaContext LC{GC.symbols()};
+  cps::CpsContext CC{GC.symbols()};
+  clos::ClosContext CL{GC};
+  DiagEngine Diags;
+
+  bool convert(std::string_view S, clos::Program &Out) {
+    const lambda::Expr *E = lambda::parseExpr(LC, S, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    if (!E)
+      return false;
+    const cps::Exp *X = cps::cpsConvert(LC, CC, E, Diags);
+    EXPECT_NE(X, nullptr) << Diags.str();
+    if (!X)
+      return false;
+    return clos::closureConvert(CC, CL, X, Out, Diags);
+  }
+};
+
+TEST_F(ClosTest, ConvertedProgramsTypecheck) {
+  for (const char *Src :
+       {"42", "(app (lam (x Int) (+ x 1)) 41)",
+        "(app (fix f (n Int) Int (if0 n 0 (+ n (app f (- n 1))))) 10)",
+        "(app (app (fix b (n Int) (-> Int Int)"
+        "  (if0 n (lam (x Int) x)"
+        "    (let g (app b (- n 1)) (lam (x Int) (app g (+ x n))))))"
+        " 3) 0)"}) {
+    clos::Program P;
+    ASSERT_TRUE(convert(Src, P)) << Diags.str() << "\nfor: " << Src;
+    EXPECT_TRUE(clos::typeCheckProgram(CL, P, Diags))
+        << Diags.str() << "\nfor: " << Src << "\n"
+        << clos::printProgram(CL, P);
+  }
+}
+
+TEST_F(ClosTest, SemanticsPreserved) {
+  struct Case {
+    const char *Src;
+    int64_t Want;
+  } Cases[] = {
+      {"(app (lam (x Int) (+ x 1)) 41)", 42},
+      {"(app (fix f (n Int) Int (if0 n 1 (* n (app f (- n 1))))) 6)", 720},
+      {"(app (app (fix b (n Int) (-> Int Int)"
+       "  (if0 n (lam (x Int) x)"
+       "    (let g (app b (- n 1)) (lam (x Int) (app g (+ x n))))))"
+       " 5) 100)",
+       115},
+      {"(let g (lam (p (* Int Int)) (+ (fst p) (snd p)))"
+       " (app g (pair 20 22)))",
+       42},
+  };
+  for (const auto &Tc : Cases) {
+    clos::Program P;
+    ASSERT_TRUE(convert(Tc.Src, P)) << Diags.str();
+    clos::ClosEvalResult R = clos::evaluate(CL, P);
+    EXPECT_TRUE(R.Ok) << R.Error << "\nfor: " << Tc.Src;
+    EXPECT_EQ(R.Value, Tc.Want) << "for: " << Tc.Src;
+  }
+}
+
+TEST_F(ClosTest, FunctionsAreHoisted) {
+  clos::Program P;
+  ASSERT_TRUE(convert("(app (lam (x Int) (app (lam (y Int) (+ x y)) 1)) 2)",
+                      P));
+  // Two user lambdas + reified continuations, all top-level.
+  EXPECT_GE(P.Funs.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- tests/gc_contclosure_test.cpp - Continuation-closure machinery -----===//
+//
+// Unit tests for the typed closure-conversion machinery shared by the
+// collectors (ContClosure.h): the uniform continuation type tk[s], pack
+// construction, and the open-and-apply sequence — checked in isolation
+// from any collector.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/ContClosure.h"
+#include "gc/StateCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+struct ContTest : ::testing::Test {
+  GcContext C;
+
+  ContLayout layout(Region R1, Region R2, Region R3) {
+    ContLayout L;
+    L.Regions = {R1, R2, R3};
+    L.To = R2;
+    L.Holder = R3;
+    return L;
+  }
+};
+
+TEST_F(ContTest, ContTypeIsWellFormed) {
+  DiagEngine Diags;
+  TypeChecker Ck(C, LanguageLevel::Base, Diags);
+  CheckEnv E;
+  Region R1 = Region::name(C.fresh("nu1"));
+  Region R2 = Region::name(C.fresh("nu2"));
+  Region R3 = Region::name(C.fresh("nu3"));
+  E.Delta = RegionSet{R1, R2, R3};
+  const Type *Tk = contType(C, layout(R1, R2, R3), C.tagInt());
+  EXPECT_TRUE(Ck.checkTypeWf(Tk, E)) << printType(C, Tk);
+  // And not under a smaller ∆ (r3 missing).
+  CheckEnv E2;
+  E2.Delta = RegionSet{R1, R2};
+  EXPECT_FALSE(Ck.checkTypeWf(Tk, E2));
+}
+
+TEST_F(ContTest, ContTypeIsUniformInTheTag) {
+  // tk[s] has the same size regardless of s's complexity modulo the two
+  // M_{r2}(s) occurrences — the continuation protocol is type-indexed but
+  // not type-specialized (the heart of the "GC as a library" claim).
+  Region R1 = Region::name(C.fresh("nu1"));
+  Region R2 = Region::name(C.fresh("nu2"));
+  Region R3 = Region::name(C.fresh("nu3"));
+  ContLayout L = layout(R1, R2, R3);
+  const Type *A = contType(C, L, C.tagInt());
+  const Tag *Big = C.tagProd(C.tagProd(C.tagInt(), C.tagInt()),
+                             C.tagProd(C.tagInt(), C.tagInt()));
+  const Type *B = contType(C, L, Big);
+  EXPECT_EQ(typeSize(A) - tagSize(C.tagInt()),
+            typeSize(B) - tagSize(Big));
+}
+
+TEST_F(ContTest, PackAndApplyRoundTrip) {
+  // Build a full continuation closure around a finishing code block, put
+  // it in the holder region, then run applyCont's open-and-apply term:
+  // the machine must deliver the copied value to the code.
+  Machine M(C, LanguageLevel::Base);
+  Region R1 = M.createRegion("nu1", 0);
+  Region R2 = M.createRegion("nu2", 0);
+  Region R3 = M.createRegion("nu3", 0);
+  ContLayout L = layout(R1, R2, R3);
+
+  // fin[t1,t2,te][r1,r2,r3](y : int, env : int) = halt y+env.
+  // (The payload tag is pinned to Int below, and M_{r2}(Int) = int, so the
+  // plain-int parameter matches the continuation protocol.)
+  CodeBuilder CB(C);
+  (void)CB.tagParam("t1");
+  (void)CB.tagParam("t2");
+  (void)CB.tagParam("te", C.omegaToOmega());
+  (void)CB.regionParam("r1");
+  (void)CB.regionParam("r2");
+  (void)CB.regionParam("r3");
+  const Value *Y = CB.valParam("y", C.typeInt());
+  const Value *Env = CB.valParam("env", C.typeInt());
+  BlockBuilder FB(C);
+  const Value *Sum = FB.prim(PrimOp::Add, Y, Env);
+  Address Fin = M.installCode("fin", CB.build(FB.finish(C.termHalt(Sum))));
+
+  const Value *Code = C.valTransApp(C.valAddr(Fin),
+                                    {C.tagInt(), C.tagInt(), C.tagIdFun()},
+                                    L.Regions);
+  const Value *Pk = packCont(C, L, C.tagInt(), C.tagInt(), C.tagInt(),
+                             C.tagIdFun(), C.typeInt(), Code, C.valInt(30));
+  const Value *K = M.allocate(R3, Pk);
+
+  const Term *E = applyCont(C, L, K, C.valInt(12));
+  M.start(E);
+  StateCheckResult R0 = checkState(M);
+  EXPECT_TRUE(R0.Ok) << R0.Error;
+  M.run(100);
+  ASSERT_EQ(M.status(), Machine::Status::Halted)
+      << (M.status() == Machine::Status::Stuck ? M.stuckReason() : "running");
+  EXPECT_EQ(M.haltValue()->intValue(), 42);
+}
+
+TEST_F(ContTest, PackedContinuationChecksAgainstContType) {
+  Machine M(C, LanguageLevel::Base);
+  Region R1 = M.createRegion("nu1", 0);
+  Region R2 = M.createRegion("nu2", 0);
+  Region R3 = M.createRegion("nu3", 0);
+  ContLayout L = layout(R1, R2, R3);
+
+  CodeBuilder CB(C);
+  const Tag *T1 = CB.tagParam("t1");
+  (void)CB.tagParam("t2");
+  (void)CB.tagParam("te", C.omegaToOmega());
+  (void)CB.regionParam("r1");
+  Region Rr2 = CB.regionParam("r2");
+  (void)CB.regionParam("r3");
+  (void)CB.valParam("y", C.typeM(Rr2, T1));
+  (void)CB.valParam("env", C.typeInt());
+  Address Fin = M.installCode("fin", CB.build(C.termHalt(C.valInt(0))));
+
+  const Value *Code = C.valTransApp(C.valAddr(Fin),
+                                    {C.tagInt(), C.tagInt(), C.tagIdFun()},
+                                    L.Regions);
+  const Value *Pk = packCont(C, L, C.tagInt(), C.tagInt(), C.tagInt(),
+                             C.tagIdFun(), C.typeInt(), Code, C.valInt(0));
+  const Value *K = M.allocate(R3, Pk);
+
+  DiagEngine Diags;
+  TypeChecker Ck(C, LanguageLevel::Base, Diags);
+  Ck.setSkipCodeBodies(true);
+  CheckEnv E;
+  E.Psi.M = &M.psi();
+  E.Psi.Cd = C.cd().sym();
+  E.Delta = M.psi().domain();
+  const Type *Tk = contType(C, L, C.tagInt());
+  EXPECT_TRUE(Ck.checkValue(K, Tk, E)) << Diags.str();
+  // Negative: the same package does NOT check at a different payload tag.
+  const Type *TkWrong =
+      contType(C, L, C.tagProd(C.tagInt(), C.tagInt()));
+  EXPECT_FALSE(Ck.checkValue(K, TkWrong, E));
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/gc_machine_negative_test.cpp - Stuck-state detection ---------===//
+//
+// The contrapositive of progress: states the checker REJECTS are allowed
+// to get stuck, and the machine must report them as stuck (never crash,
+// never mis-execute). Each case pairs an ill-formed program with the
+// static rejection and the dynamic stuck reason.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Builder.h"
+#include "gc/StateCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+struct NegativeTest : ::testing::Test {
+  GcContext C;
+
+  /// Runs E and expects the machine to end Stuck with a reason containing
+  /// \p Needle; also expects the state checker to reject some state on
+  /// the way (ill-formed programs must not slip through both nets).
+  void expectStuck(LanguageLevel Level, const Term *E,
+                   std::string_view Needle) {
+    Machine M(C, Level);
+    M.start(E);
+    bool CheckerRejected = !checkState(M).Ok;
+    for (int I = 0; I != 1000 && M.status() == Machine::Status::Running;
+         ++I) {
+      if (!checkState(M).Ok)
+        CheckerRejected = true;
+      M.step();
+    }
+    ASSERT_EQ(M.status(), Machine::Status::Stuck)
+        << "expected a stuck state for: " << printTerm(C, E);
+    EXPECT_NE(M.stuckReason().find(Needle), std::string::npos)
+        << "reason was: " << M.stuckReason();
+    EXPECT_TRUE(CheckerRejected)
+        << "the state checker accepted an ill-formed program";
+  }
+};
+
+TEST_F(NegativeTest, ProjectionFromInt) {
+  const Term *E = C.termLet(C.fresh("x"), C.opProj(1, C.valInt(3)),
+                            C.termHalt(C.valInt(0)));
+  expectStuck(LanguageLevel::Base, E, "projection from non-pair");
+}
+
+TEST_F(NegativeTest, GetFromNonAddress) {
+  const Term *E = C.termLet(C.fresh("x"), C.opGet(C.valInt(3)),
+                            C.termHalt(C.valInt(0)));
+  expectStuck(LanguageLevel::Base, E, "get of non-address");
+}
+
+TEST_F(NegativeTest, ApplicationOfInt) {
+  const Term *E = C.termApp(C.valInt(7), {}, {}, {});
+  expectStuck(LanguageLevel::Base, E, "application of non-address");
+}
+
+TEST_F(NegativeTest, UnboundVariable) {
+  const Term *E = C.termHalt(C.valVar(C.fresh("ghost")));
+  Machine M(C, LanguageLevel::Base);
+  M.start(E);
+  EXPECT_FALSE(checkState(M).Ok);
+  // halt of a variable: the machine halts with a non-int "value"; the
+  // harness (Pipeline::runMachine) reports it. Here the state checker is
+  // the net.
+}
+
+TEST_F(NegativeTest, PrimOnPair) {
+  const Term *E = C.termLet(
+      C.fresh("x"),
+      C.opPrim(PrimOp::Add, C.valPair(C.valInt(1), C.valInt(2)),
+               C.valInt(1)),
+      C.termHalt(C.valInt(0)));
+  expectStuck(LanguageLevel::Base, E, "primitive on non-integers");
+}
+
+TEST_F(NegativeTest, TypecaseOnStuckApplication) {
+  Symbol Te = C.fresh("te");
+  (void)Te;
+  // typecase (f Int) with f free: both statically rejected and stuck.
+  const Tag *Stuck = C.tagApp(C.tagVar(C.fresh("f")), C.tagInt());
+  const Term *E = C.termTypecase(
+      Stuck, C.termHalt(C.valInt(1)), C.termHalt(C.valInt(2)), C.fresh("t1"),
+      C.fresh("t2"), C.termHalt(C.valInt(3)), C.fresh("te"),
+      C.termHalt(C.valInt(4)));
+  expectStuck(LanguageLevel::Base, E, "typecase on non-constructor tag");
+}
+
+TEST_F(NegativeTest, StripOfUntagged) {
+  const Term *E = C.termLet(C.fresh("x"), C.opStrip(C.valInt(1)),
+                            C.termHalt(C.valInt(0)));
+  expectStuck(LanguageLevel::Forward, E, "strip of untagged value");
+}
+
+TEST_F(NegativeTest, IfLeftOfInt) {
+  const Term *E = C.termIfLeft(C.fresh("x"), C.valInt(1),
+                               C.termHalt(C.valInt(0)),
+                               C.termHalt(C.valInt(1)));
+  expectStuck(LanguageLevel::Forward, E, "ifleft of untagged value");
+}
+
+TEST_F(NegativeTest, SetThroughDanglingAddress) {
+  // Construct an address into a region the machine never created.
+  Machine M(C, LanguageLevel::Forward);
+  Address Bogus{Region::name(C.fresh("ghostregion")), 0};
+  const Term *E = C.termSet(C.valAddr(Bogus), C.valInl(C.valInt(1)),
+                            C.termHalt(C.valInt(0)));
+  M.start(E);
+  EXPECT_FALSE(checkState(M).Ok);
+  M.step();
+  EXPECT_EQ(M.status(), Machine::Status::Stuck);
+  EXPECT_NE(M.stuckReason().find("dangling"), std::string::npos);
+}
+
+TEST_F(NegativeTest, OpenTagOfPair) {
+  const Term *E =
+      C.termOpenTag(C.valPair(C.valInt(1), C.valInt(2)), C.fresh("t"),
+                    C.fresh("x"), C.termHalt(C.valInt(0)));
+  expectStuck(LanguageLevel::Base, E, "open-as-tag of non-package");
+}
+
+TEST_F(NegativeTest, IfregOnUnresolvedVariable) {
+  Region Rv = Region::var(C.fresh("r"));
+  const Term *E = C.termIfReg(Rv, Rv, C.termHalt(C.valInt(0)),
+                              C.termHalt(C.valInt(1)));
+  expectStuck(LanguageLevel::Generational, E, "unresolved region variable");
+}
+
+TEST_F(NegativeTest, MachineSurvivesAndReportsAfterStuck) {
+  // Once stuck, further step() calls are inert.
+  Machine M(C, LanguageLevel::Base);
+  M.start(C.termApp(C.valInt(7), {}, {}, {}));
+  M.step();
+  ASSERT_EQ(M.status(), Machine::Status::Stuck);
+  std::string Reason = M.stuckReason();
+  M.step();
+  EXPECT_EQ(M.status(), Machine::Status::Stuck);
+  EXPECT_EQ(M.stuckReason(), Reason);
+}
+
+} // namespace

@@ -1,0 +1,346 @@
+//===- tests/gc_machine_test.cpp - λGC machine + per-step soundness -------===//
+//
+// Small hand-written λGC programs, executed with type preservation checked
+// after every step (Prop 6.4) and progress (Prop 6.5) asserted whenever a
+// well-formed non-halt state is seen.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Builder.h"
+#include "gc/StateCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+/// Runs the machine to completion with ⊢ (M, e) re-checked at every step.
+/// Returns the halt value; fails the test on stuck or ill-formed states.
+const Value *runChecked(Machine &M, const Term *E,
+                        bool RestrictReachable = false,
+                        uint64_t MaxSteps = 100000) {
+  M.start(E);
+  StateCheckOptions Opts;
+  Opts.RestrictToReachable = RestrictReachable;
+  StateCheckResult R0 = checkState(M, Opts);
+  EXPECT_TRUE(R0.Ok) << "initial state ill-formed: " << R0.Error;
+  Opts.CheckCodeRegion = false; // cd is immutable; checked above.
+  for (uint64_t I = 0; I != MaxSteps; ++I) {
+    if (M.status() != Machine::Status::Running)
+      break;
+    Machine::Status S = M.step();
+    if (S == Machine::Status::Stuck) {
+      ADD_FAILURE() << "machine stuck (progress violation): "
+                    << M.stuckReason() << "\nterm:\n"
+                    << printTerm(M.context(), M.currentTerm());
+      return nullptr;
+    }
+    StateCheckResult R = checkState(M, Opts);
+    if (!R.Ok) {
+      ADD_FAILURE() << "preservation violation after step " << I << ": "
+                    << R.Error << "\nterm:\n"
+                    << printTerm(M.context(), M.currentTerm());
+      return nullptr;
+    }
+    if (S == Machine::Status::Halted)
+      return M.haltValue();
+  }
+  EXPECT_EQ(M.status(), Machine::Status::Halted) << "did not halt";
+  return M.haltValue();
+}
+
+class MachineTest : public ::testing::Test {
+protected:
+  GcContext C;
+};
+
+TEST_F(MachineTest, HaltImmediately) {
+  Machine M(C, LanguageLevel::Base);
+  const Value *V = runChecked(M, C.termHalt(C.valInt(42)));
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 42);
+}
+
+TEST_F(MachineTest, LetAndPrim) {
+  Machine M(C, LanguageLevel::Base);
+  BlockBuilder B(C);
+  const Value *X = B.prim(PrimOp::Add, C.valInt(40), C.valInt(2));
+  const Value *Y = B.prim(PrimOp::Mul, X, C.valInt(2));
+  const Value *V = runChecked(M, B.finish(C.termHalt(Y)));
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 84);
+}
+
+TEST_F(MachineTest, If0BothBranches) {
+  for (int64_t N : {0, 7}) {
+    Machine M(C, LanguageLevel::Base);
+    BlockBuilder B(C);
+    const Value *X = B.name("x", C.valInt(N));
+    const Term *E = B.finish(
+        C.termIf0(X, C.termHalt(C.valInt(100)), C.termHalt(C.valInt(200))));
+    const Value *V = runChecked(M, E);
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(V->intValue(), N == 0 ? 100 : 200);
+  }
+}
+
+TEST_F(MachineTest, PutGetProj) {
+  Machine M(C, LanguageLevel::Base);
+  BlockBuilder B(C);
+  Region R = B.letRegion("r");
+  const Value *A = B.put(R, C.valPair(C.valInt(1), C.valInt(2)));
+  const Value *P = B.get(A);
+  const Value *X1 = B.proj1(P);
+  const Value *X2 = B.proj2(P);
+  const Value *S = B.prim(PrimOp::Add, X1, X2);
+  const Value *V = runChecked(M, B.finish(C.termHalt(S)));
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 3);
+}
+
+TEST_F(MachineTest, OnlyReclaimsRegions) {
+  Machine M(C, LanguageLevel::Base);
+  BlockBuilder B(C);
+  Region R1 = B.letRegion("r1");
+  Region R2 = B.letRegion("r2");
+  const Value *A1 = B.put(R1, C.valInt(10));
+  (void)A1;
+  const Value *A2 = B.put(R2, C.valInt(20));
+  B.only(RegionSet{R2});
+  const Value *X = B.get(A2);
+  const Value *V = runChecked(M, B.finish(C.termHalt(X)));
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 20);
+  EXPECT_EQ(M.stats().RegionsReclaimed, 1u);
+  // Only cd and R2's instantiation remain.
+  EXPECT_EQ(M.memory().numRegions(), 2u);
+}
+
+TEST_F(MachineTest, DanglingGetAfterOnlyIsIllFormed) {
+  // Negative test: using a reclaimed region's address must be caught by the
+  // state checker (the term is ill-formed, so we do NOT assert progress).
+  Machine M(C, LanguageLevel::Base);
+  BlockBuilder B(C);
+  Region R1 = B.letRegion("r1");
+  Region R2 = B.letRegion("r2");
+  const Value *A1 = B.put(R1, C.valInt(10));
+  (void)B.put(R2, C.valInt(20));
+  B.only(RegionSet{R2});
+  const Value *X = B.get(A1); // dangling!
+  const Term *E = B.finish(C.termHalt(X));
+
+  M.start(E);
+  bool SawIllFormed = false;
+  for (int I = 0; I != 100 && M.status() == Machine::Status::Running; ++I) {
+    StateCheckResult R = checkState(M);
+    if (!R.Ok) {
+      SawIllFormed = true;
+      break;
+    }
+    M.step();
+  }
+  if (!SawIllFormed) {
+    // The machine must at least get stuck rather than produce a value.
+    EXPECT_EQ(M.status(), Machine::Status::Stuck);
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST_F(MachineTest, TypecaseDispatch) {
+  struct CaseSpec {
+    const Tag *Scrut;
+    int64_t Expect;
+  };
+  Symbol T = C.intern("t");
+  std::vector<CaseSpec> Cases = {
+      {C.tagInt(), 1},
+      {C.tagArrow({C.tagInt()}), 2},
+      {C.tagProd(C.tagInt(), C.tagInt()), 3},
+      {C.tagExists(T, C.tagVar(T)), 4},
+  };
+  for (const CaseSpec &CS : Cases) {
+    Machine M(C, LanguageLevel::Base);
+    const Term *E = C.termTypecase(
+        CS.Scrut, C.termHalt(C.valInt(1)), C.termHalt(C.valInt(2)),
+        C.fresh("t1"), C.fresh("t2"), C.termHalt(C.valInt(3)), C.fresh("te"),
+        C.termHalt(C.valInt(4)));
+    const Value *V = runChecked(M, E);
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(V->intValue(), CS.Expect);
+  }
+}
+
+TEST_F(MachineTest, TypecaseBetaReducesScrutinee) {
+  // typecase ((λt.t×t) Int) must take the product arm.
+  Symbol T = C.intern("t");
+  const Tag *Scrut = C.tagApp(C.tagLam(T, C.tagProd(C.tagVar(T), C.tagVar(T))),
+                              C.tagInt());
+  Machine M(C, LanguageLevel::Base);
+  const Term *E = C.termTypecase(
+      Scrut, C.termHalt(C.valInt(1)), C.termHalt(C.valInt(2)), C.fresh("t1"),
+      C.fresh("t2"), C.termHalt(C.valInt(3)), C.fresh("te"),
+      C.termHalt(C.valInt(4)));
+  const Value *V = runChecked(M, E);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 3);
+}
+
+TEST_F(MachineTest, ExistentialPackOpen) {
+  Machine M(C, LanguageLevel::Base);
+  BlockBuilder B(C);
+  Region R = B.letRegion("r");
+  // pack ⟨t = Int, 5 : M_r(t)⟩  — stuck body type, refined on open.
+  Symbol TV = C.fresh("t");
+  const Value *Pack = C.valPackTag(TV, C.tagInt(), C.valInt(5),
+                                   C.typeM(R, C.tagVar(TV)));
+  const Value *A = B.put(R, Pack);
+  const Value *G = B.get(A);
+  auto [TagV, Payload] = B.openTag(G, "t", "x");
+  (void)TagV;
+  // Payload has type M_r(t) with t unknown; we can still halt after using
+  // it opaquely — here we just return a constant to stay well-typed.
+  (void)Payload;
+  const Value *V = runChecked(M, B.finish(C.termHalt(C.valInt(9))));
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 9);
+}
+
+TEST_F(MachineTest, CodeInstallAndCall) {
+  Machine M(C, LanguageLevel::Base);
+  // double : ∀[][r](int, (∀[][r'](int)→0 at cd)) → 0 — CPS doubling.
+  // ret    : ∀[][r](int) → 0 — halts with its argument.
+  Symbol RetR = C.fresh("r");
+  const Type *RetTy = C.typeCode({}, {}, {RetR}, {C.typeInt()});
+
+  CodeBuilder RetB(C);
+  Region Rr = RetB.regionParam("r");
+  (void)Rr;
+  const Value *RetArg = RetB.valParam("x", C.typeInt());
+  const Value *RetCode = RetB.build(C.termHalt(RetArg));
+  Address RetAddr = M.installCode("ret", RetCode);
+
+  CodeBuilder DblB(C);
+  Region Dr = DblB.regionParam("r");
+  const Value *N = DblB.valParam("n", C.typeInt());
+  const Value *K = DblB.valParam("k", C.typeAt(RetTy, C.cd()));
+  BlockBuilder Body(C);
+  const Value *N2 = Body.prim(PrimOp::Add, N, N);
+  const Term *DblBody = Body.finish(C.termApp(K, {}, {Dr}, {N2}));
+  Address DblAddr = M.installCode("double", DblB.build(DblBody));
+
+  BlockBuilder Main(C);
+  Region R = Main.letRegion("r");
+  const Term *E = Main.finish(C.termApp(
+      C.valAddr(DblAddr), {}, {R}, {C.valInt(21), C.valAddr(RetAddr)}));
+  const Value *V = runChecked(M, E);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 42);
+  EXPECT_EQ(M.stats().Applications, 2u);
+}
+
+TEST_F(MachineTest, PolymorphicCodeWithTags) {
+  Machine M(C, LanguageLevel::Base);
+  // swap-ish: id[t][r](x : M_r(t), k : ∀[][r2](M_{r2}(t))→0 at cd) = k[][r](x)
+  CodeBuilder IdB(C);
+  const Tag *T = IdB.tagParam("t");
+  Region R = IdB.regionParam("r");
+  Symbol KR = C.fresh("r2");
+  const Type *KTy =
+      C.typeAt(C.typeCode({}, {}, {KR}, {C.typeM(Region::var(KR), T)}), C.cd());
+  const Value *X = IdB.valParam("x", C.typeM(R, T));
+  const Value *K = IdB.valParam("k", KTy);
+  Address IdAddr =
+      M.installCode("id", IdB.build(C.termApp(K, {}, {R}, {X})));
+
+  // fin[t... actually fin is monomorphic at Int: fin[][r](x:int) = halt x.
+  CodeBuilder FinB(C);
+  Region FR = FinB.regionParam("r");
+  (void)FR;
+  const Value *FX = FinB.valParam("x", C.typeInt());
+  Address FinAddr = M.installCode("fin", FinB.build(C.termHalt(FX)));
+  (void)FinAddr;
+
+  BlockBuilder Main(C);
+  Region MR = Main.letRegion("r");
+  const Term *E = Main.finish(C.termApp(C.valAddr(IdAddr), {C.tagInt()}, {MR},
+                                        {C.valInt(7), C.valAddr(FinAddr)}));
+  const Value *V = runChecked(M, E);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 7);
+}
+
+//===----------------------------------------------------------------------===//
+// λGC-forw machine steps
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, ForwardInlStripSet) {
+  Machine M(C, LanguageLevel::Forward);
+  BlockBuilder B(C);
+  Region R = B.letRegion("r");
+  const Value *A = B.put(R, C.valInl(C.valPair(C.valInt(3), C.valInt(4))));
+  const Value *G = B.get(A);
+  // ifleft y = g then (strip; sum of parts) else halt -1.
+  Symbol Y = C.fresh("y");
+  BlockBuilder LB(C);
+  const Value *St = LB.strip(C.valVar(Y));
+  const Value *P1 = LB.proj1(St);
+  const Value *P2 = LB.proj2(St);
+  const Value *Sum = LB.prim(PrimOp::Add, P1, P2);
+  const Term *LeftArm = LB.finish(C.termHalt(Sum));
+  const Term *E = B.finish(
+      C.termIfLeft(Y, G, LeftArm, C.termHalt(C.valInt(-1))));
+  const Value *V = runChecked(M, E, /*RestrictReachable=*/true);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 7);
+}
+
+TEST_F(MachineTest, ForwardSetOverwrites) {
+  Machine M(C, LanguageLevel::Forward);
+  BlockBuilder B(C);
+  Region R = B.letRegion("r");
+  const Value *A = B.put(R, C.valInl(C.valPair(C.valInt(1), C.valInt(2))));
+  // Overwrite with another value of the same (left) type.
+  B.setCell(A, C.valInl(C.valPair(C.valInt(8), C.valInt(9))));
+  const Value *G = B.get(A);
+  const Value *St = B.strip(G);
+  const Value *P1 = B.proj1(St);
+  // Note: strip of an inl value works because the scrutinee is manifest.
+  const Value *V = runChecked(M, B.finish(C.termHalt(P1)),
+                              /*RestrictReachable=*/true);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 8);
+}
+
+//===----------------------------------------------------------------------===//
+// λGC-gen machine steps
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, RegionPackOpenAndIfreg) {
+  Machine M(C, LanguageLevel::Generational);
+  BlockBuilder B(C);
+  Region Ry = B.letRegion("ry");
+  Region Ro = B.letRegion("ro");
+  const Value *A = B.put(Ry, C.valPair(C.valInt(5), C.valInt(6)));
+  // pack ⟨r ∈ {ry,ro} = ry, a : (int × int) at r⟩
+  Symbol RV = C.fresh("r");
+  const Type *Body = C.typeProd(C.typeInt(), C.typeInt());
+  const Value *Pack =
+      C.valPackRegion(RV, RegionSet{Ry, Ro}, Ry, A, Body);
+  const Value *Named = B.name("pk", Pack);
+  auto [RVar, XVar] = B.openRegion(Named, "r", "x");
+  // ifreg (r = ro) then halt 0 else fetch through x.
+  BlockBuilder NE(C);
+  const Value *G = NE.get(XVar);
+  const Value *P1 = NE.proj1(G);
+  const Term *NotEq = NE.finish(C.termHalt(P1));
+  const Term *E = B.finish(
+      C.termIfReg(RVar, Ro, C.termHalt(C.valInt(0)), NotEq));
+  const Value *V = runChecked(M, E);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->intValue(), 5);
+}
+
+} // namespace

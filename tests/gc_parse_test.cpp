@@ -1,0 +1,219 @@
+//===- tests/gc_parse_test.cpp - Textual λGC round trips ------------------===//
+//
+// The λGC concrete syntax: parse/print round trips on tags, types, terms,
+// and whole programs; a hand-written textual mutator runs against the
+// installed certified collector; parse errors are reported, not crashed
+// on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorBasic.h"
+#include "gc/Parse.h"
+#include "gc/StateCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+struct ParseTest : ::testing::Test {
+  GcContext C;
+  DiagEngine Diags;
+};
+
+TEST_F(ParseTest, TagRoundTrips) {
+  for (const char *Src :
+       {"Int", "t", "(* Int t)", "(-> Int (* Int Int))", "(E u (* u Int))",
+        "(\\ u O (* u u))", "(@ (\\ u O u) Int)", "(->)"}) {
+    const Tag *T = parseGcTag(C, Src, Diags);
+    ASSERT_NE(T, nullptr) << Diags.str() << " for: " << Src;
+    std::string Printed = printGcTagSexp(C, T);
+    const Tag *T2 = parseGcTag(C, Printed, Diags);
+    ASSERT_NE(T2, nullptr) << Diags.str() << " reparsing: " << Printed;
+    EXPECT_TRUE(alphaEqualTag(T, T2)) << Printed;
+  }
+}
+
+TEST_F(ParseTest, TypeRoundTrips) {
+  for (const char *Src :
+       {"int", "(* int int)", "(at (left (* int int)) r)", "(M r Int)",
+        "(M2 ry ro (* Int Int))", "(C r1 r2 (E u (* u Int)))",
+        "(code ((t O) (te (-> O O))) (r1 r2) ((M r1 t) int))",
+        "(Et u O (M r (* u Int)))", "(Ea a (r1 r2) (* a int))",
+        "(Er rr (ry ro) (* (M2 rr ro Int) int))",
+        "(+ (left int) (right int))",
+        "(trans (Int (\\ u O u)) (r1 r2) (int (M r2 Int)) cd)"}) {
+    const Type *T = parseGcType(C, Src, Diags);
+    ASSERT_NE(T, nullptr) << Diags.str() << " for: " << Src;
+    std::string Printed = printGcTypeSexp(C, T);
+    const Type *T2 = parseGcType(C, Printed, Diags);
+    ASSERT_NE(T2, nullptr) << Diags.str() << " reparsing: " << Printed;
+    EXPECT_TRUE(alphaEqualType(T, T2)) << Printed;
+  }
+}
+
+TEST_F(ParseTest, TermRoundTripsViaPrinter) {
+  const char *Src = "(letregion r"
+                    " (let a (put r (pair 1 2))"
+                    " (let g (get a)"
+                    " (let x (pi1 g)"
+                    " (let y (pi2 g)"
+                    " (let s (+ x y)"
+                    " (halt s)))))))";
+  const Term *T = parseGcTerm(C, Src, Diags);
+  ASSERT_NE(T, nullptr) << Diags.str();
+  AddressNamer NoFn = [](Address) { return std::string(); };
+  std::string P1 = printGcTermSexp(C, T, NoFn);
+  const Term *T2 = parseGcTerm(C, P1, Diags);
+  ASSERT_NE(T2, nullptr) << Diags.str();
+  EXPECT_EQ(P1, printGcTermSexp(C, T2, NoFn));
+}
+
+TEST_F(ParseTest, ParsedTermRunsOnTheMachine) {
+  const char *Src = "(letregion r"
+                    " (let a (put r (pair 20 22))"
+                    " (let g (get a)"
+                    " (let x (pi1 g)"
+                    " (let y (pi2 g)"
+                    " (let s (+ x y)"
+                    " (halt s)))))))";
+  const Term *T = parseGcTerm(C, Src, Diags);
+  ASSERT_NE(T, nullptr) << Diags.str();
+  Machine M(C, LanguageLevel::Base);
+  M.start(T);
+  EXPECT_TRUE(checkState(M).Ok);
+  M.run(1000);
+  ASSERT_EQ(M.status(), Machine::Status::Halted);
+  EXPECT_EQ(M.haltValue()->intValue(), 42);
+}
+
+TEST_F(ParseTest, ParseErrorsAreReported) {
+  for (const char *Src :
+       {"(", "())", "(halt)", "(let 3 4 (halt 0))", "(frobnicate 1)",
+        "(app f (Int) (r))", "(typecase Int (halt 0))",
+        "(put r)", "(fn missing)"}) {
+    DiagEngine D;
+    EXPECT_EQ(parseGcTerm(C, Src, D), nullptr)
+        << "expected parse failure for: " << Src;
+    EXPECT_TRUE(D.hasErrors()) << Src;
+  }
+}
+
+TEST_F(ParseTest, WholeProgramWithCollector) {
+  // A textual λGC mutator: builds a pair, triggers the certified collector
+  // when the region fills, then sums the components.
+  const char *Src = R"((program
+    (fun mu () (r) ((x (M r (* Int Int))))
+      (ifgc r
+        (app (fn gc) ((* Int Int)) (r) ((fn mu) x))
+        (let g (get x)
+        (let a (pi1 g)
+        (let b (pi2 g)
+        (let s (+ a b)
+        (halt s)))))))
+    (main
+      (letregion r
+        (let junk1 (put r (pair 0 0))
+        (let junk2 (put r (pair 0 0))
+        (let root (put r (pair 19 23))
+          (app (fn mu) () (r) (root))))))))
+  )";
+
+  MachineConfig Cfg;
+  Cfg.DefaultRegionCapacity = 3;
+  Machine M(C, LanguageLevel::Base, Cfg);
+  BasicCollectorLib Lib = installBasicCollector(M);
+  std::map<std::string, Address> Prelude{{"gc", Lib.Gc}};
+
+  ParsedGcProgram P = parseGcProgram(M, Src, Diags, Prelude);
+  ASSERT_TRUE(P.Ok) << Diags.str();
+  ASSERT_NE(P.Main, nullptr);
+
+  // The parsed program must certify together with the collector.
+  DiagEngine CertDiags;
+  EXPECT_TRUE(certifyCodeRegion(M, CertDiags)) << CertDiags.str();
+
+  M.start(P.Main);
+  M.run(1'000'000);
+  ASSERT_EQ(M.status(), Machine::Status::Halted)
+      << (M.status() == Machine::Status::Stuck ? M.stuckReason() : "running");
+  EXPECT_EQ(M.haltValue()->intValue(), 42);
+  EXPECT_GE(M.stats().IfGcTaken, 1u);
+
+  // Program-level round trip: print, re-parse into a fresh machine, rerun.
+  std::string Printed = printGcProgramSexp(C, M, P);
+  GcContext C2;
+  Machine M2(C2, LanguageLevel::Base, Cfg);
+  BasicCollectorLib Lib2 = installBasicCollector(M2);
+  DiagEngine D2;
+  ParsedGcProgram P2 = parseGcProgram(M2, Printed, D2, {{"gc", Lib2.Gc}});
+  ASSERT_TRUE(P2.Ok) << D2.str() << "\nprinted program:\n" << Printed;
+  M2.start(P2.Main);
+  M2.run(1'000'000);
+  ASSERT_EQ(M2.status(), Machine::Status::Halted);
+  EXPECT_EQ(M2.haltValue()->intValue(), 42);
+}
+
+TEST_F(ParseTest, CollectorSurvivesTextualRoundTrip) {
+  // The flagship fidelity check for the textual format: serialize the
+  // entire certified basic collector to text, parse it into a FRESH
+  // machine, re-certify it there, and run a full collection with the
+  // reparsed collector driving a reparsed mutator.
+  MachineConfig Cfg;
+  Cfg.DefaultRegionCapacity = 3;
+  GcContext C1;
+  Machine M1(C1, LanguageLevel::Base, Cfg);
+  BasicCollectorLib Lib = installBasicCollector(M1);
+
+  // Name the collector's blocks and print them as a (program ...).
+  ParsedGcProgram AsProgram;
+  AsProgram.Funs = {{"gc", Lib.Gc},           {"gcend", Lib.GcEnd},
+                    {"copy", Lib.Copy},       {"copypair1", Lib.CopyPair1},
+                    {"copypair2", Lib.CopyPair2},
+                    {"copyexist1", Lib.CopyExist1}};
+  AsProgram.OwnFuns = AsProgram.Funs;
+  std::string CollectorText = printGcProgramSexp(C1, M1, AsProgram);
+
+  // Parse it into a fresh machine together with a textual mutator.
+  std::string Mutator = R"(
+    (fun mu () (r) ((x (M r (* Int Int))))
+      (ifgc r
+        (app (fn gc) ((* Int Int)) (r) ((fn mu) x))
+        (let g (get x)
+        (let a (pi1 g)
+        (let b (pi2 g)
+        (let s (+ a b)
+        (halt s)))))))
+    (main
+      (letregion r
+        (let junk1 (put r (pair 0 0))
+        (let junk2 (put r (pair 0 0))
+        (let root (put r (pair 19 23))
+          (app (fn mu) () (r) (root)))))))))";
+  std::string Full =
+      CollectorText.substr(0, CollectorText.rfind(')')) + Mutator;
+
+  GcContext C2;
+  Machine M2(C2, LanguageLevel::Base, Cfg);
+  DiagEngine D2;
+  ParsedGcProgram P = parseGcProgram(M2, Full, D2);
+  ASSERT_TRUE(P.Ok) << D2.str();
+
+  // The reparsed collector must certify in the fresh context...
+  DiagEngine CertDiags;
+  EXPECT_TRUE(certifyCodeRegion(M2, CertDiags)) << CertDiags.str();
+
+  // ...and collect.
+  M2.start(P.Main);
+  M2.run(1'000'000);
+  ASSERT_EQ(M2.status(), Machine::Status::Halted)
+      << (M2.status() == Machine::Status::Stuck ? M2.stuckReason()
+                                                : "running");
+  EXPECT_EQ(M2.haltValue()->intValue(), 42);
+  EXPECT_GE(M2.stats().IfGcTaken, 1u);
+  EXPECT_GE(M2.stats().RegionsReclaimed, 2u);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+//===- tests/gc_tag_test.cpp - Tags, kinds, normalization (T2) ------------===//
+//
+// Exercises Prop 6.1/6.2 territory: tag β-normalization terminates and is
+// confluent (checked here as: normalization is idempotent and reduction
+// order does not matter for the shapes we build), kinding, and
+// alpha-equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Ops.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+class TagTest : public ::testing::Test {
+protected:
+  GcContext C;
+};
+
+TEST_F(TagTest, IntIsNormal) {
+  const Tag *T = C.tagInt();
+  EXPECT_EQ(normalizeTag(C, T), T);
+}
+
+TEST_F(TagTest, BetaReduction) {
+  // (λt.t × Int) Int  ⇒  Int × Int
+  Symbol T = C.intern("t");
+  const Tag *Fun = C.tagLam(T, C.tagProd(C.tagVar(T), C.tagInt()));
+  const Tag *App = C.tagApp(Fun, C.tagInt());
+  const Tag *N = normalizeTag(C, App);
+  ASSERT_TRUE(N->is(TagKind::Prod));
+  EXPECT_TRUE(N->left()->is(TagKind::Int));
+  EXPECT_TRUE(N->right()->is(TagKind::Int));
+}
+
+TEST_F(TagTest, NestedBetaNormalizesFully) {
+  // ((λf.λx. f x) (λy.y)) Int ⇒ Int   — nested redexes, normal order.
+  Symbol F = C.intern("f"), X = C.intern("x"), Y = C.intern("y");
+  const Kind *OO = C.omegaToOmega();
+  const Tag *Inner = C.tagLam(F, OO,
+                              C.tagLam(X, C.tagApp(C.tagVar(F), C.tagVar(X))));
+  const Tag *Id = C.tagLam(Y, C.tagVar(Y));
+  const Tag *App = C.tagApp(C.tagApp(Inner, Id), C.tagInt());
+  EXPECT_TRUE(normalizeTag(C, App)->is(TagKind::Int));
+}
+
+TEST_F(TagTest, NormalizationIsIdempotent) {
+  Symbol T = C.intern("t");
+  const Tag *Fun = C.tagLam(T, C.tagExists(C.intern("u"),
+                                           C.tagProd(C.tagVar(T), C.tagInt())));
+  const Tag *App = C.tagApp(Fun, C.tagArrow({C.tagInt()}));
+  const Tag *N1 = normalizeTag(C, App);
+  const Tag *N2 = normalizeTag(C, N1);
+  EXPECT_TRUE(alphaEqualTag(N1, N2));
+}
+
+TEST_F(TagTest, CaptureAvoidingSubstitution) {
+  // (λu. t × u)[u/t] must not capture: result λu'. u × u'.
+  Symbol T = C.intern("t"), U = C.intern("u");
+  const Tag *Lam = C.tagLam(U, C.tagProd(C.tagVar(T), C.tagVar(U)));
+  const Tag *Out = substTag(C, Lam, T, C.tagVar(U));
+  ASSERT_TRUE(Out->is(TagKind::Lam));
+  // The binder must have been renamed away from `u`.
+  EXPECT_NE(Out->var(), U);
+  ASSERT_TRUE(Out->body()->is(TagKind::Prod));
+  EXPECT_EQ(Out->body()->left()->var(), U);
+  EXPECT_EQ(Out->body()->right()->var(), Out->var());
+}
+
+TEST_F(TagTest, AlphaEquivalence) {
+  Symbol A = C.intern("a"), B = C.intern("b");
+  const Tag *LamA = C.tagLam(A, C.tagProd(C.tagVar(A), C.tagInt()));
+  const Tag *LamB = C.tagLam(B, C.tagProd(C.tagVar(B), C.tagInt()));
+  EXPECT_TRUE(alphaEqualTag(LamA, LamB));
+  const Tag *LamFree = C.tagLam(A, C.tagProd(C.tagVar(B), C.tagInt()));
+  EXPECT_FALSE(alphaEqualTag(LamA, LamFree));
+}
+
+TEST_F(TagTest, AlphaDistinguishesFreeVars) {
+  Symbol A = C.intern("a"), B = C.intern("b");
+  EXPECT_FALSE(alphaEqualTag(C.tagVar(A), C.tagVar(B)));
+  EXPECT_TRUE(alphaEqualTag(C.tagVar(A), C.tagVar(A)));
+}
+
+TEST_F(TagTest, KindingBasics) {
+  TagEnv Theta;
+  EXPECT_TRUE(kindOfTag(C, C.tagInt(), Theta)->isOmega());
+
+  Symbol T = C.intern("t");
+  // λt.t : Ω → Ω.
+  const Kind *K = kindOfTag(C, C.tagLam(T, C.tagVar(T)), Theta);
+  ASSERT_NE(K, nullptr);
+  ASSERT_TRUE(K->isArrow());
+  EXPECT_TRUE(K->from()->isOmega());
+  EXPECT_TRUE(K->to()->isOmega());
+
+  // Unbound variable is ill-kinded.
+  EXPECT_EQ(kindOfTag(C, C.tagVar(T), Theta), nullptr);
+
+  // Application of a non-function is ill-kinded.
+  EXPECT_EQ(kindOfTag(C, C.tagApp(C.tagInt(), C.tagInt()), Theta), nullptr);
+
+  // ∃t.(t × Int) : Ω.
+  const Tag *Ex = C.tagExists(T, C.tagProd(C.tagVar(T), C.tagInt()));
+  ASSERT_NE(kindOfTag(C, Ex, Theta), nullptr);
+  EXPECT_TRUE(kindOfTag(C, Ex, Theta)->isOmega());
+}
+
+TEST_F(TagTest, ArrowTagKinding) {
+  TagEnv Theta;
+  const Tag *Arr = C.tagArrow({C.tagInt(), C.tagProd(C.tagInt(), C.tagInt())});
+  ASSERT_NE(kindOfTag(C, Arr, Theta), nullptr);
+  EXPECT_TRUE(kindOfTag(C, Arr, Theta)->isOmega());
+
+  // Arrow over a tag function is ill-kinded (arguments must be Ω).
+  Symbol T = C.intern("t");
+  const Tag *Bad = C.tagArrow({C.tagLam(T, C.tagVar(T))});
+  EXPECT_EQ(kindOfTag(C, Bad, Theta), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// M/C reduction
+//===----------------------------------------------------------------------===//
+
+class MTest : public ::testing::Test {
+protected:
+  GcContext C;
+  Region R1 = Region::name(C.intern("nu1"));
+  Region R2 = Region::name(C.intern("nu2"));
+};
+
+TEST_F(MTest, BaseInt) {
+  const Type *T = normalizeType(C, C.typeM(R1, C.tagInt()),
+                                LanguageLevel::Base);
+  EXPECT_TRUE(T->is(TypeKind::Int));
+}
+
+TEST_F(MTest, BasePair) {
+  // M_ρ(Int × Int) = (int × int) at ρ.
+  const Type *T = normalizeType(
+      C, C.typeM(R1, C.tagProd(C.tagInt(), C.tagInt())), LanguageLevel::Base);
+  ASSERT_TRUE(T->is(TypeKind::At));
+  EXPECT_EQ(T->atRegion(), R1);
+  ASSERT_TRUE(T->body()->is(TypeKind::Prod));
+  EXPECT_TRUE(T->body()->left()->is(TypeKind::Int));
+}
+
+TEST_F(MTest, BaseArrowLivesInCd) {
+  // M_ρ(Int → 0) = ∀[][r](M_r(Int)) → 0 at cd.
+  const Type *T = normalizeType(C, C.typeM(R1, C.tagArrow({C.tagInt()})),
+                                LanguageLevel::Base);
+  ASSERT_TRUE(T->is(TypeKind::At));
+  EXPECT_EQ(T->atRegion(), C.cd());
+  ASSERT_TRUE(T->body()->is(TypeKind::Code));
+  EXPECT_EQ(T->body()->regionParams().size(), 1u);
+  ASSERT_EQ(T->body()->argTypes().size(), 1u);
+  EXPECT_TRUE(T->body()->argTypes()[0]->is(TypeKind::Int));
+}
+
+TEST_F(MTest, BaseExists) {
+  Symbol T = C.intern("t");
+  const Type *Ty = normalizeType(
+      C, C.typeM(R1, C.tagExists(T, C.tagProd(C.tagVar(T), C.tagInt()))),
+      LanguageLevel::Base);
+  ASSERT_TRUE(Ty->is(TypeKind::At));
+  ASSERT_TRUE(Ty->body()->is(TypeKind::ExistsTag));
+  // Body: M_ρ(t × Int) is stuck on the variable? No: Prod expands, its
+  // components are M_ρ(t) (stuck) × int.
+  const Type *Body = Ty->body()->body();
+  ASSERT_TRUE(Body->is(TypeKind::At));
+  ASSERT_TRUE(Body->body()->is(TypeKind::Prod));
+  EXPECT_TRUE(Body->body()->left()->is(TypeKind::MApp));
+  EXPECT_TRUE(Body->body()->right()->is(TypeKind::Int));
+}
+
+TEST_F(MTest, StuckOnVariable) {
+  Symbol T = C.intern("t");
+  const Type *Ty =
+      normalizeType(C, C.typeM(R1, C.tagVar(T)), LanguageLevel::Base);
+  EXPECT_TRUE(Ty->is(TypeKind::MApp));
+}
+
+TEST_F(MTest, SymmetryNoAccumulation) {
+  // §2.2.1: M_{ρ2}(τ) and M_{ρ1}(τ) have the same size — GC does not grow
+  // the type.
+  const Tag *Tau = C.tagProd(C.tagProd(C.tagInt(), C.tagInt()),
+                             C.tagExists(C.intern("t"), C.tagVar(C.intern("t"))));
+  const Type *A = normalizeType(C, C.typeM(R1, Tau), LanguageLevel::Base);
+  const Type *B = normalizeType(C, C.typeM(R2, Tau), LanguageLevel::Base);
+  EXPECT_EQ(typeSize(A), typeSize(B));
+}
+
+TEST_F(MTest, ForwardPairHasTagBit) {
+  // §7: M_ρ(τ1×τ2) = (left(M × M)) at ρ.
+  const Type *T =
+      normalizeType(C, C.typeM(R1, C.tagProd(C.tagInt(), C.tagInt())),
+                    LanguageLevel::Forward);
+  ASSERT_TRUE(T->is(TypeKind::At));
+  ASSERT_TRUE(T->body()->is(TypeKind::Left));
+  EXPECT_TRUE(T->body()->body()->is(TypeKind::Prod));
+}
+
+TEST_F(MTest, ForwardCView) {
+  // C_{ρ,ρ'}(τ1×τ2) = (left(C×C) + right(M_{ρ'}(τ1×τ2))) at ρ.
+  const Type *T =
+      normalizeType(C, C.typeC(R1, R2, C.tagProd(C.tagInt(), C.tagInt())),
+                    LanguageLevel::Forward);
+  ASSERT_TRUE(T->is(TypeKind::At));
+  EXPECT_EQ(T->atRegion(), R1);
+  ASSERT_TRUE(T->body()->is(TypeKind::Sum));
+  EXPECT_TRUE(T->body()->left()->is(TypeKind::Left));
+  ASSERT_TRUE(T->body()->right()->is(TypeKind::Right));
+  // Forwarding pointer points into ρ' = R2.
+  const Type *Fwd = T->body()->right()->body();
+  ASSERT_TRUE(Fwd->is(TypeKind::At));
+  EXPECT_EQ(Fwd->atRegion(), R2);
+}
+
+TEST_F(MTest, ForwardCodeNeedsNoBit) {
+  const Type *M = normalizeType(C, C.typeM(R1, C.tagArrow({C.tagInt()})),
+                                LanguageLevel::Forward);
+  const Type *Cv = normalizeType(C, C.typeC(R1, R2, C.tagArrow({C.tagInt()})),
+                                 LanguageLevel::Forward);
+  EXPECT_TRUE(alphaEqualType(M, Cv));
+}
+
+TEST_F(MTest, GenerationalPairPacksRegion) {
+  // §8: M_{ρy,ρo}(τ1×τ2) = ∃r∈{ρy,ρo}.((M_{r,ρo}×M_{r,ρo}) at r).
+  const Type *T = normalizeType(
+      C, C.typeM({R1, R2}, C.tagProd(C.tagInt(), C.tagInt())),
+      LanguageLevel::Generational);
+  ASSERT_TRUE(T->is(TypeKind::ExistsRegion));
+  EXPECT_TRUE(T->delta().contains(R1));
+  EXPECT_TRUE(T->delta().contains(R2));
+  EXPECT_TRUE(T->body()->is(TypeKind::Prod));
+}
+
+TEST_F(MTest, GenerationalOldRegionInvariant) {
+  // Nested components use M_{r,ρo}: pointers below may live in r or ρo but
+  // never mention the young generation by name once r = old.
+  Symbol T1 = C.intern("x");
+  (void)T1;
+  const Tag *Nested =
+      C.tagProd(C.tagProd(C.tagInt(), C.tagInt()), C.tagInt());
+  const Type *T = normalizeType(C, C.typeM({R1, R2}, Nested),
+                                LanguageLevel::Generational);
+  ASSERT_TRUE(T->is(TypeKind::ExistsRegion));
+  const Type *Inner = T->body()->left();
+  ASSERT_TRUE(Inner->is(TypeKind::ExistsRegion));
+  // The inner existential's bound is {r, ρo} — the outer r and the old
+  // region — not the young region.
+  RegionSet D = Inner->delta();
+  EXPECT_TRUE(D.contains(R2));
+  EXPECT_FALSE(D.contains(R1));
+}
+
+TEST_F(MTest, TypeEqualModuloTagReduction) {
+  Symbol T = C.intern("t");
+  const Tag *Id = C.tagLam(T, C.tagVar(T));
+  const Tag *Applied = C.tagApp(Id, C.tagProd(C.tagInt(), C.tagInt()));
+  EXPECT_TRUE(typeEqual(C, C.typeM(R1, Applied),
+                        C.typeM(R1, C.tagProd(C.tagInt(), C.tagInt())),
+                        LanguageLevel::Base));
+}
+
+} // namespace

@@ -1,0 +1,372 @@
+//===- tests/gc_typecheck_test.cpp - λGC static semantics unit tests ------===//
+//
+// Positive and negative coverage of the Fig 6 / Fig 8 / Fig 10 rules that
+// the collector tests exercise only incidentally: region scoping, the
+// `only` restriction, sum subsumption, widen's draconian environment,
+// ifreg refinement, and the generational width subtyping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Builder.h"
+#include "gc/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+struct CheckTest : ::testing::Test {
+  GcContext C;
+  DiagEngine Diags;
+  MemoryType Psi;
+
+  CheckTest() { Psi.addRegion(C.cd().sym()); }
+
+  CheckEnv envWith(std::initializer_list<Region> Delta) {
+    CheckEnv E;
+    E.Psi.M = &Psi;
+    E.Psi.Cd = C.cd().sym();
+    for (Region R : Delta) {
+      E.Delta.insert(R);
+      if (R.isName()) {
+        Psi.addRegion(R.sym());
+      }
+    }
+    return E;
+  }
+
+  bool checks(LanguageLevel L, const Term *T, const CheckEnv &E) {
+    Diags.clear();
+    TypeChecker Ck(C, L, Diags);
+    return Ck.checkTerm(T, E);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Region scoping
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckTest, PutOutsideDeltaRejected) {
+  Region R = Region::name(C.fresh("nu"));
+  Region Other = Region::name(C.fresh("mu"));
+  CheckEnv E = envWith({R});
+  const Term *Good = C.termLet(C.fresh("x"), C.opPut(R, C.valInt(1)),
+                               C.termHalt(C.valInt(0)));
+  EXPECT_TRUE(checks(LanguageLevel::Base, Good, E)) << Diags.str();
+  const Term *Bad = C.termLet(C.fresh("x"), C.opPut(Other, C.valInt(1)),
+                              C.termHalt(C.valInt(0)));
+  EXPECT_FALSE(checks(LanguageLevel::Base, Bad, E));
+}
+
+TEST_F(CheckTest, IfgcRegionMustBeInDelta) {
+  Region R = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({});
+  const Term *Bad = C.termIfGc(R, C.termHalt(C.valInt(0)),
+                               C.termHalt(C.valInt(0)));
+  EXPECT_FALSE(checks(LanguageLevel::Base, Bad, E));
+}
+
+TEST_F(CheckTest, OnlyRestrictsGamma) {
+  // only {r2} must drop a variable whose type lives at r1.
+  Region R1 = Region::name(C.fresh("nu1"));
+  Region R2 = Region::name(C.fresh("nu2"));
+  CheckEnv E = envWith({R1, R2});
+  Symbol X = C.fresh("x");
+  E.Gamma[X] = C.typeAt(C.typeInt(), R1);
+  const Term *UseX = C.termLet(C.fresh("g"), C.opGet(C.valVar(X)),
+                               C.termHalt(C.valInt(0)));
+  EXPECT_TRUE(checks(LanguageLevel::Base, UseX, E)) << Diags.str();
+  const Term *Bad = C.termOnly(RegionSet{R2}, UseX);
+  EXPECT_FALSE(checks(LanguageLevel::Base, Bad, E))
+      << "x : int at r1 must not survive only {r2}";
+  const Term *Good = C.termOnly(RegionSet{R1}, UseX);
+  EXPECT_TRUE(checks(LanguageLevel::Base, Good, E)) << Diags.str();
+}
+
+TEST_F(CheckTest, OnlyKeepSetMustBeInScope) {
+  Region R1 = Region::name(C.fresh("nu1"));
+  Region Unknown = Region::name(C.fresh("zz"));
+  CheckEnv E = envWith({R1});
+  const Term *Bad =
+      C.termOnly(RegionSet{Unknown}, C.termHalt(C.valInt(0)));
+  EXPECT_FALSE(checks(LanguageLevel::Base, Bad, E));
+}
+
+TEST_F(CheckTest, CodeIsRegionClosed) {
+  // λ[][](x : int at ν).halt 0 — code body cannot mention an outer region.
+  Region R = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({R});
+  Symbol X = C.fresh("x");
+  const Value *BadCode = C.valCode({}, {}, {}, {X},
+                                   {C.typeAt(C.typeInt(), R)},
+                                   C.termHalt(C.valInt(0)));
+  Diags.clear();
+  TypeChecker Ck(C, LanguageLevel::Base, Diags);
+  EXPECT_EQ(Ck.inferValue(BadCode, E), nullptr)
+      << "code parameter typed at an outer region must be rejected";
+}
+
+//===----------------------------------------------------------------------===//
+// Level gating
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckTest, ForwardConstructsRejectedAtBase) {
+  Region R = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({R});
+  Symbol X = C.fresh("x");
+  const Term *Strip =
+      C.termLet(X, C.opStrip(C.valInl(C.valInt(1))), C.termHalt(C.valInt(0)));
+  EXPECT_FALSE(checks(LanguageLevel::Base, Strip, E));
+  EXPECT_TRUE(checks(LanguageLevel::Forward, Strip, E)) << Diags.str();
+}
+
+TEST_F(CheckTest, GenConstructsRejectedAtForward) {
+  Region R = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({R});
+  const Term *IfReg = C.termIfReg(R, R, C.termHalt(C.valInt(0)),
+                                  C.termHalt(C.valInt(1)));
+  EXPECT_FALSE(checks(LanguageLevel::Forward, IfReg, E));
+  EXPECT_TRUE(checks(LanguageLevel::Generational, IfReg, E)) << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Sum subsumption (Fig 8)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckTest, SumSubsumption) {
+  Diags.clear();
+  TypeChecker Ck(C, LanguageLevel::Forward, Diags);
+  CheckEnv E = envWith({});
+  const Type *L = C.typeLeft(C.typeInt());
+  const Type *R = C.typeRight(C.typeInt());
+  const Type *Sum = C.typeSum(L, R);
+  EXPECT_TRUE(Ck.checkValue(C.valInl(C.valInt(1)), Sum, E)) << Diags.str();
+  EXPECT_TRUE(Ck.checkValue(C.valInr(C.valInt(2)), Sum, E)) << Diags.str();
+  EXPECT_FALSE(Ck.checkValue(C.valInt(3), Sum, E));
+  EXPECT_TRUE(Ck.subtypeOf(L, Sum));
+  EXPECT_TRUE(Ck.subtypeOf(Sum, Sum));
+  EXPECT_FALSE(Ck.subtypeOf(Sum, L));
+  // Nested: a pair with a sum component checks structurally.
+  const Type *PairTy = C.typeProd(Sum, C.typeInt());
+  EXPECT_TRUE(Ck.checkValue(
+      C.valPair(C.valInl(C.valInt(1)), C.valInt(9)), PairTy, E))
+      << Diags.str();
+}
+
+TEST_F(CheckTest, SetRequiresCellCompatibleSource) {
+  // set x := v needs v : cell type (with subsumption).
+  Region R = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({R});
+  Symbol X = C.fresh("x");
+  const Type *Cell =
+      C.typeSum(C.typeLeft(C.typeInt()), C.typeRight(C.typeInt()));
+  E.Gamma[X] = C.typeAt(Cell, R);
+  const Term *Good = C.termSet(C.valVar(X), C.valInr(C.valInt(1)),
+                               C.termHalt(C.valInt(0)));
+  EXPECT_TRUE(checks(LanguageLevel::Forward, Good, E)) << Diags.str();
+  const Term *Bad = C.termSet(C.valVar(X), C.valInt(1),
+                              C.termHalt(C.valInt(0)));
+  EXPECT_FALSE(checks(LanguageLevel::Forward, Bad, E));
+}
+
+//===----------------------------------------------------------------------===//
+// widen (Fig 8): the body sees only x, cd, and the two regions
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckTest, WidenDropsGamma) {
+  Region R1 = Region::name(C.fresh("nu1"));
+  Region R2 = Region::name(C.fresh("nu2"));
+  CheckEnv E = envWith({R1, R2});
+  Symbol Y = C.fresh("y");
+  E.Gamma[Y] = C.typeInt();
+
+  const Tag *Tau = C.tagProd(C.tagInt(), C.tagInt());
+  Symbol V = C.fresh("v");
+  E.Gamma[V] = normalizeType(C, C.typeM(R1, Tau), LanguageLevel::Forward);
+
+  Symbol X = C.fresh("w");
+  // Bad: the widen body uses y, which the rule removes from scope.
+  const Term *BadBody = C.termHalt(C.valVar(Y));
+  const Term *Bad = C.termLetWiden(X, R2, Tau, C.valVar(V), BadBody);
+  EXPECT_FALSE(checks(LanguageLevel::Forward, Bad, E))
+      << "widen body must not see outer term variables";
+  // Good: use only x.
+  BlockBuilder B(C);
+  const Value *G = B.get(C.valVar(X));
+  Symbol W = C.fresh("u");
+  const Term *GoodBody = B.finish(C.termIfLeft(
+      W, G, C.termHalt(C.valInt(0)), C.termHalt(C.valInt(1))));
+  const Term *Good = C.termLetWiden(X, R2, Tau, C.valVar(V), GoodBody);
+  EXPECT_TRUE(checks(LanguageLevel::Forward, Good, E)) << Diags.str();
+}
+
+TEST_F(CheckTest, WidenArgumentMustBeMView) {
+  Region R1 = Region::name(C.fresh("nu1"));
+  Region R2 = Region::name(C.fresh("nu2"));
+  CheckEnv E = envWith({R1, R2});
+  const Tag *Tau = C.tagProd(C.tagInt(), C.tagInt());
+  Symbol X = C.fresh("w");
+  // An int is not M_ρ(τ1×τ2).
+  const Term *Bad = C.termLetWiden(X, R2, Tau, C.valInt(3),
+                                   C.termHalt(C.valInt(0)));
+  EXPECT_FALSE(checks(LanguageLevel::Forward, Bad, E));
+}
+
+//===----------------------------------------------------------------------===//
+// Generational subtyping and ifreg refinement
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckTest, GenMWidthSubtyping) {
+  Diags.clear();
+  TypeChecker Ck(C, LanguageLevel::Generational, Diags);
+  Region Ry = Region::name(C.fresh("ry"));
+  Region Ro = Region::name(C.fresh("ro"));
+  CheckEnv E = envWith({Ry, Ro});
+  Symbol T = C.fresh("t");
+  E.Theta[T] = C.omega();
+  const Type *OldOnly = C.typeM({Ro, Ro}, C.tagVar(T));
+  const Type *Mixed = C.typeM({Ry, Ro}, C.tagVar(T));
+  EXPECT_TRUE(Ck.subtypeOf(OldOnly, Mixed, E));
+  EXPECT_FALSE(Ck.subtypeOf(Mixed, OldOnly, E));
+  // Opened region variable with recorded bound.
+  Symbol Rv = C.fresh("r");
+  E.Delta.insert(Region::var(Rv));
+  E.RegionBounds[Rv] = RegionSet{Ry, Ro};
+  const Type *ViaVar = C.typeM({Region::var(Rv), Ro}, C.tagVar(T));
+  EXPECT_TRUE(Ck.subtypeOf(ViaVar, Mixed, E));
+  // Without the bound the relation must not hold.
+  CheckEnv E2 = E;
+  E2.RegionBounds.clear();
+  EXPECT_FALSE(Ck.subtypeOf(ViaVar, Mixed, E2));
+}
+
+TEST_F(CheckTest, RegionExistentialWidthSubtyping) {
+  Diags.clear();
+  TypeChecker Ck(C, LanguageLevel::Generational, Diags);
+  Region Ry = Region::name(C.fresh("ry"));
+  Region Ro = Region::name(C.fresh("ro"));
+  CheckEnv E = envWith({Ry, Ro});
+  Symbol R1 = C.fresh("r"), R2 = C.fresh("r");
+  const Type *Narrow = C.typeExistsRegion(
+      R1, RegionSet{Ro}, C.typeProd(C.typeInt(), C.typeInt()));
+  const Type *Wide = C.typeExistsRegion(
+      R2, RegionSet{Ry, Ro}, C.typeProd(C.typeInt(), C.typeInt()));
+  EXPECT_TRUE(Ck.subtypeOf(Narrow, Wide, E));
+  EXPECT_FALSE(Ck.subtypeOf(Wide, Narrow, E));
+}
+
+TEST_F(CheckTest, IfregRefinesVarAgainstName) {
+  // After ifreg (r = ν) the then-branch may use r as ν.
+  Region Nu = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({Nu});
+  Symbol Rv = C.fresh("r");
+  Region R = Region::var(Rv);
+  E.Delta.insert(R);
+  Symbol X = C.fresh("x");
+  E.Gamma[X] = C.typeAt(C.typeInt(), R);
+  // put into ν is fine in both branches; but `get x` then `put[ν]` the
+  // result... keep it simple: the then-branch returns through x typed at
+  // r = ν via a get (allowed anywhere) — use a stronger test: put[r]
+  // appears in the then-branch only after refinement makes r = ν.
+  const Term *Then = C.termLet(C.fresh("y"), C.opPut(R, C.valInt(1)),
+                               C.termHalt(C.valInt(0)));
+  const Term *T = C.termIfReg(R, Nu, Then, C.termHalt(C.valInt(0)));
+  EXPECT_TRUE(checks(LanguageLevel::Generational, T, E)) << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Typecase refinement
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckTest, TypecaseRefinesVariableInGamma) {
+  // x : M_ν(t); in the Int arm x may be used as an int.
+  Region R = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({R});
+  Symbol T = C.fresh("t");
+  E.Theta[T] = C.omega();
+  Symbol X = C.fresh("x");
+  E.Gamma[X] = C.typeM(R, C.tagVar(T));
+
+  const Term *IntArm = C.termHalt(C.valVar(X)); // needs x : int
+  const Term *Other = C.termHalt(C.valInt(0));
+  Symbol T1 = C.fresh("t1"), T2 = C.fresh("t2"), Te = C.fresh("te");
+  const Term *Tc = C.termTypecase(C.tagVar(T), IntArm, Other, T1, T2, Other,
+                                  Te, Other);
+  EXPECT_TRUE(checks(LanguageLevel::Base, Tc, E)) << Diags.str();
+
+  // Without the refinement the same term must fail: scrutinize a
+  // *different* variable.
+  Symbol U = C.fresh("u");
+  E.Theta[U] = C.omega();
+  const Term *Bad = C.termTypecase(C.tagVar(U), IntArm, Other, T1, T2, Other,
+                                   Te, Other);
+  EXPECT_FALSE(checks(LanguageLevel::Base, Bad, E));
+}
+
+TEST_F(CheckTest, TypecaseProdArmSeesComponents) {
+  Region R = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({R});
+  Symbol T = C.fresh("t");
+  E.Theta[T] = C.omega();
+  Symbol X = C.fresh("x");
+  E.Gamma[X] = C.typeM(R, C.tagVar(T));
+
+  Symbol T1 = C.fresh("t1"), T2 = C.fresh("t2"), Te = C.fresh("te");
+  // In the product arm, x : M_ν(t1×t2) = (M(t1) × M(t2)) at ν: get+proj ok.
+  BlockBuilder B(C);
+  const Value *G = B.get(C.valVar(X));
+  (void)B.proj1(G);
+  const Term *ProdArm = B.finish(C.termHalt(C.valInt(0)));
+  const Term *Other = C.termHalt(C.valInt(0));
+  const Term *Tc = C.termTypecase(C.tagVar(T), Other, Other, T1, T2, ProdArm,
+                                  Te, Other);
+  EXPECT_TRUE(checks(LanguageLevel::Base, Tc, E)) << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Application rules
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckTest, AppArityAndKindChecked) {
+  Diags.clear();
+  TypeChecker Ck(C, LanguageLevel::Base, Diags);
+  Region R = Region::name(C.fresh("nu"));
+  CheckEnv E = envWith({R});
+  // f : ∀[t:Ω][r](int) → 0 at cd.
+  Symbol F = C.fresh("f");
+  Symbol Tp = C.fresh("t"), Rp = C.fresh("r");
+  E.Gamma[F] = C.typeAt(
+      C.typeCode({Tp}, {C.omega()}, {Rp}, {C.typeInt()}), C.cd());
+
+  const Term *Good = C.termApp(C.valVar(F), {C.tagInt()}, {R},
+                               {C.valInt(1)});
+  EXPECT_TRUE(Ck.checkTerm(Good, E)) << Diags.str();
+  // Wrong tag kind.
+  Symbol U = C.fresh("u");
+  const Term *BadKind = C.termApp(C.valVar(F), {C.tagLam(U, C.tagVar(U))},
+                                  {R}, {C.valInt(1)});
+  EXPECT_FALSE(Ck.checkTerm(BadKind, E));
+  // Region not in Δ.
+  Region Other = Region::name(C.fresh("mu"));
+  const Term *BadRegion = C.termApp(C.valVar(F), {C.tagInt()}, {Other},
+                                    {C.valInt(1)});
+  EXPECT_FALSE(Ck.checkTerm(BadRegion, E));
+  // Wrong argument type.
+  const Term *BadArg = C.termApp(C.valVar(F), {C.tagInt()}, {R},
+                                 {C.valPair(C.valInt(1), C.valInt(2))});
+  EXPECT_FALSE(Ck.checkTerm(BadArg, E));
+  // Arity.
+  const Term *BadArity = C.termApp(C.valVar(F), {}, {R}, {C.valInt(1)});
+  EXPECT_FALSE(Ck.checkTerm(BadArity, E));
+}
+
+TEST_F(CheckTest, HaltRequiresInt) {
+  CheckEnv E = envWith({});
+  EXPECT_TRUE(checks(LanguageLevel::Base, C.termHalt(C.valInt(1)), E));
+  EXPECT_FALSE(checks(LanguageLevel::Base,
+                      C.termHalt(C.valPair(C.valInt(1), C.valInt(2))), E));
+}
+
+} // namespace

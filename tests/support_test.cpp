@@ -1,0 +1,194 @@
+//===- tests/support_test.cpp - Support-library unit tests ----------------===//
+
+#include "gc/Region.h"
+#include "support/Arena.h"
+#include "support/Diag.h"
+#include "support/Printer.h"
+#include "support/Rng.h"
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AllocatesAndAligns) {
+  Arena A;
+  char *P1 = static_cast<char *>(A.allocate(3, 1));
+  double *P2 = static_cast<double *>(A.allocate(sizeof(double), 8));
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 8, 0u);
+  EXPECT_EQ(A.numAllocations(), 2u);
+}
+
+TEST(Arena, CreateRunsDestructors) {
+  static int Destroyed = 0;
+  struct Tracked {
+    ~Tracked() { ++Destroyed; }
+  };
+  Destroyed = 0;
+  {
+    Arena A;
+    A.create<Tracked>();
+    A.create<Tracked>();
+  }
+  EXPECT_EQ(Destroyed, 2);
+}
+
+TEST(Arena, LargeAllocationsGetOwnSlab) {
+  Arena A;
+  void *P = A.allocate(1 << 20, 16);
+  EXPECT_NE(P, nullptr);
+  EXPECT_GE(A.bytesReserved(), size_t(1) << 20);
+}
+
+TEST(Arena, CheckpointReleasesMemoryAndRunsDestructors) {
+  static int Destroyed = 0;
+  struct Tracked {
+    std::string Payload = "force non-trivial destructor";
+    ~Tracked() { ++Destroyed; }
+  };
+  Destroyed = 0;
+  Arena A;
+  A.create<Tracked>(); // survives
+  Arena::Checkpoint Cp = A.mark();
+  size_t Before = A.numAllocations();
+  for (int I = 0; I != 100; ++I)
+    A.create<Tracked>();
+  A.release(Cp);
+  EXPECT_EQ(Destroyed, 100);
+  EXPECT_EQ(A.numAllocations(), Before);
+  // The arena is still usable after a release.
+  A.create<Tracked>();
+  EXPECT_EQ(A.numAllocations(), Before + 1);
+}
+
+TEST(Arena, NestedCheckpoints) {
+  Arena A;
+  A.allocate(64, 8);
+  Arena::Checkpoint Outer = A.mark();
+  A.allocate(64, 8);
+  Arena::Checkpoint Inner = A.mark();
+  A.allocate(64, 8);
+  A.release(Inner);
+  EXPECT_EQ(A.numAllocations(), 2u);
+  A.release(Outer);
+  EXPECT_EQ(A.numAllocations(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Symbols
+//===----------------------------------------------------------------------===//
+
+TEST(Symbols, InternIsIdempotent) {
+  SymbolTable T;
+  Symbol A = T.intern("foo");
+  Symbol B = T.intern("foo");
+  Symbol C = T.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(T.name(A), "foo");
+}
+
+TEST(Symbols, FreshNeverCollides) {
+  SymbolTable T;
+  Symbol A = T.intern("x");
+  Symbol F1 = T.fresh("x");
+  Symbol F2 = T.fresh("x");
+  EXPECT_NE(F1, A);
+  EXPECT_NE(F1, F2);
+  EXPECT_EQ(T.name(F1).substr(0, 1), "x");
+}
+
+TEST(Symbols, DefaultSymbolIsInvalid) {
+  Symbol S;
+  EXPECT_FALSE(S.isValid());
+  SymbolTable T;
+  EXPECT_TRUE(T.intern("a").isValid());
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(12345), B(12345);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.range(-3, 9);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 9);
+  }
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer / Diag
+//===----------------------------------------------------------------------===//
+
+TEST(Printer, IndentationApplies) {
+  Printer P;
+  P << "a";
+  P.newline();
+  P.indent();
+  P << "b";
+  P.newline();
+  P.dedent();
+  P << "c";
+  EXPECT_EQ(P.str(), "a\n  b\nc");
+}
+
+TEST(Diag, CountsErrorsOnly) {
+  DiagEngine D;
+  D.note("n");
+  D.warning("w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error("e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.numErrors(), 1u);
+  EXPECT_NE(D.str().find("error: e"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// RegionSet
+//===----------------------------------------------------------------------===//
+
+TEST(RegionSet, SetSemantics) {
+  SymbolTable T;
+  gc::Region A = gc::Region::name(T.intern("a"));
+  gc::Region B = gc::Region::var(T.intern("b"));
+  gc::RegionSet S{A, B, A};
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S.contains(A));
+  EXPECT_TRUE(S.contains(B));
+  EXPECT_FALSE(S.contains(gc::Region::name(T.intern("b")))); // name ≠ var
+}
+
+TEST(RegionSet, SubsetAndSubstitution) {
+  SymbolTable T;
+  gc::Region A = gc::Region::name(T.intern("a"));
+  gc::Region B = gc::Region::var(T.intern("b"));
+  gc::Region C = gc::Region::name(T.intern("c"));
+  gc::RegionSet Small{A};
+  gc::RegionSet Big{A, B};
+  EXPECT_TRUE(Small.subsetOf(Big));
+  EXPECT_FALSE(Big.subsetOf(Small));
+  gc::RegionSet Sub = Big.substituted(B, C);
+  EXPECT_TRUE(Sub.contains(C));
+  EXPECT_FALSE(Sub.contains(B));
+}
+
+} // namespace
