@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e1_sharing_loss.cpp" "bench/CMakeFiles/e1_sharing_loss.dir/e1_sharing_loss.cpp.o" "gcc" "bench/CMakeFiles/e1_sharing_loss.dir/e1_sharing_loss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/scav_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/clos/CMakeFiles/scav_clos.dir/DependInfo.cmake"
+  "/root/repo/build/src/cps/CMakeFiles/scav_cps.dir/DependInfo.cmake"
+  "/root/repo/build/src/lambda/CMakeFiles/scav_lambda.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/scav_gc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_sharing_loss.dir/e1_sharing_loss.cpp.o"
+  "CMakeFiles/e1_sharing_loss.dir/e1_sharing_loss.cpp.o.d"
+  "e1_sharing_loss"
+  "e1_sharing_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_sharing_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_forwarding.dir/e2_forwarding.cpp.o"
+  "CMakeFiles/e2_forwarding.dir/e2_forwarding.cpp.o.d"
+  "e2_forwarding"
+  "e2_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_cont_region.dir/e3_cont_region.cpp.o"
+  "CMakeFiles/e3_cont_region.dir/e3_cont_region.cpp.o.d"
+  "e3_cont_region"
+  "e3_cont_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_cont_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_generational.dir/e4_generational.cpp.o"
+  "CMakeFiles/e4_generational.dir/e4_generational.cpp.o.d"
+  "e4_generational"
+  "e4_generational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_generational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_type_growth.dir/e6_type_growth.cpp.o"
+  "CMakeFiles/e6_type_growth.dir/e6_type_growth.cpp.o.d"
+  "e6_type_growth"
+  "e6_type_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_type_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

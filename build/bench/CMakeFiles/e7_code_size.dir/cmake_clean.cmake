@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_code_size.dir/e7_code_size.cpp.o"
+  "CMakeFiles/e7_code_size.dir/e7_code_size.cpp.o.d"
+  "e7_code_size"
+  "e7_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

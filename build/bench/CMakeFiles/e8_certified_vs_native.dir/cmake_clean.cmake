@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_certified_vs_native.dir/e8_certified_vs_native.cpp.o"
+  "CMakeFiles/e8_certified_vs_native.dir/e8_certified_vs_native.cpp.o.d"
+  "e8_certified_vs_native"
+  "e8_certified_vs_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_certified_vs_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

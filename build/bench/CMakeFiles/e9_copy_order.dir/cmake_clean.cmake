@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_copy_order.dir/e9_copy_order.cpp.o"
+  "CMakeFiles/e9_copy_order.dir/e9_copy_order.cpp.o.d"
+  "e9_copy_order"
+  "e9_copy_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_copy_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

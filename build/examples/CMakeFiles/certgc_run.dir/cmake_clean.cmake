@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certgc_run.dir/certgc_run.cpp.o"
+  "CMakeFiles/certgc_run.dir/certgc_run.cpp.o.d"
+  "certgc_run"
+  "certgc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certgc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

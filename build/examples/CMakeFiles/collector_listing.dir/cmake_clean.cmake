@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_listing.dir/collector_listing.cpp.o"
+  "CMakeFiles/collector_listing.dir/collector_listing.cpp.o.d"
+  "collector_listing"
+  "collector_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generational_demo.dir/generational_demo.cpp.o"
+  "CMakeFiles/generational_demo.dir/generational_demo.cpp.o.d"
+  "generational_demo"
+  "generational_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generational_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

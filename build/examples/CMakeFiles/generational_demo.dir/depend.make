@@ -1,0 +1,2 @@
+# Empty dependencies file for generational_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_and_forwarding.dir/sharing_and_forwarding.cpp.o"
+  "CMakeFiles/sharing_and_forwarding.dir/sharing_and_forwarding.cpp.o.d"
+  "sharing_and_forwarding"
+  "sharing_and_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_and_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

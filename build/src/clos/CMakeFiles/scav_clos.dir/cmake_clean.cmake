@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scav_clos.dir/Clos.cpp.o"
+  "CMakeFiles/scav_clos.dir/Clos.cpp.o.d"
+  "CMakeFiles/scav_clos.dir/CloseConvert.cpp.o"
+  "CMakeFiles/scav_clos.dir/CloseConvert.cpp.o.d"
+  "CMakeFiles/scav_clos.dir/__/gc/Translate.cpp.o"
+  "CMakeFiles/scav_clos.dir/__/gc/Translate.cpp.o.d"
+  "libscav_clos.a"
+  "libscav_clos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scav_clos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

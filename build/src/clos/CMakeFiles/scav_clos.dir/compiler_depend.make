@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scav_clos.
+# This may be replaced when dependencies are built.

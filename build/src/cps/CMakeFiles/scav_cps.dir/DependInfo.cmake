@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cps/Convert.cpp" "src/cps/CMakeFiles/scav_cps.dir/Convert.cpp.o" "gcc" "src/cps/CMakeFiles/scav_cps.dir/Convert.cpp.o.d"
+  "/root/repo/src/cps/Support.cpp" "src/cps/CMakeFiles/scav_cps.dir/Support.cpp.o" "gcc" "src/cps/CMakeFiles/scav_cps.dir/Support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lambda/CMakeFiles/scav_lambda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

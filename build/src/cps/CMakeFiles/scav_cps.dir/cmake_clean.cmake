@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scav_cps.dir/Convert.cpp.o"
+  "CMakeFiles/scav_cps.dir/Convert.cpp.o.d"
+  "CMakeFiles/scav_cps.dir/Support.cpp.o"
+  "CMakeFiles/scav_cps.dir/Support.cpp.o.d"
+  "libscav_cps.a"
+  "libscav_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scav_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/CollectorBasic.cpp" "src/gc/CMakeFiles/scav_gc.dir/CollectorBasic.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/CollectorBasic.cpp.o.d"
+  "/root/repo/src/gc/CollectorForward.cpp" "src/gc/CMakeFiles/scav_gc.dir/CollectorForward.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/CollectorForward.cpp.o.d"
+  "/root/repo/src/gc/CollectorGen.cpp" "src/gc/CMakeFiles/scav_gc.dir/CollectorGen.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/CollectorGen.cpp.o.d"
+  "/root/repo/src/gc/ContClosure.cpp" "src/gc/CMakeFiles/scav_gc.dir/ContClosure.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/ContClosure.cpp.o.d"
+  "/root/repo/src/gc/Equal.cpp" "src/gc/CMakeFiles/scav_gc.dir/Equal.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/Equal.cpp.o.d"
+  "/root/repo/src/gc/Free.cpp" "src/gc/CMakeFiles/scav_gc.dir/Free.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/Free.cpp.o.d"
+  "/root/repo/src/gc/Machine.cpp" "src/gc/CMakeFiles/scav_gc.dir/Machine.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/Machine.cpp.o.d"
+  "/root/repo/src/gc/NativeCollector.cpp" "src/gc/CMakeFiles/scav_gc.dir/NativeCollector.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/NativeCollector.cpp.o.d"
+  "/root/repo/src/gc/Normalize.cpp" "src/gc/CMakeFiles/scav_gc.dir/Normalize.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/Normalize.cpp.o.d"
+  "/root/repo/src/gc/Parse.cpp" "src/gc/CMakeFiles/scav_gc.dir/Parse.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/Parse.cpp.o.d"
+  "/root/repo/src/gc/Print.cpp" "src/gc/CMakeFiles/scav_gc.dir/Print.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/Print.cpp.o.d"
+  "/root/repo/src/gc/SexpPrint.cpp" "src/gc/CMakeFiles/scav_gc.dir/SexpPrint.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/SexpPrint.cpp.o.d"
+  "/root/repo/src/gc/SpecializeCopy.cpp" "src/gc/CMakeFiles/scav_gc.dir/SpecializeCopy.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/SpecializeCopy.cpp.o.d"
+  "/root/repo/src/gc/StateCheck.cpp" "src/gc/CMakeFiles/scav_gc.dir/StateCheck.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/StateCheck.cpp.o.d"
+  "/root/repo/src/gc/Subst.cpp" "src/gc/CMakeFiles/scav_gc.dir/Subst.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/Subst.cpp.o.d"
+  "/root/repo/src/gc/TypeCheck.cpp" "src/gc/CMakeFiles/scav_gc.dir/TypeCheck.cpp.o" "gcc" "src/gc/CMakeFiles/scav_gc.dir/TypeCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

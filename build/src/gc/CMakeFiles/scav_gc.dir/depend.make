@@ -1,0 +1,2 @@
+# Empty dependencies file for scav_gc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scav_harness.dir/HeapForge.cpp.o"
+  "CMakeFiles/scav_harness.dir/HeapForge.cpp.o.d"
+  "CMakeFiles/scav_harness.dir/Pipeline.cpp.o"
+  "CMakeFiles/scav_harness.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/scav_harness.dir/ProgramGen.cpp.o"
+  "CMakeFiles/scav_harness.dir/ProgramGen.cpp.o.d"
+  "libscav_harness.a"
+  "libscav_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scav_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

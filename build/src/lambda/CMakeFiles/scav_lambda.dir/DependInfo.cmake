@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lambda/Eval.cpp" "src/lambda/CMakeFiles/scav_lambda.dir/Eval.cpp.o" "gcc" "src/lambda/CMakeFiles/scav_lambda.dir/Eval.cpp.o.d"
+  "/root/repo/src/lambda/Parse.cpp" "src/lambda/CMakeFiles/scav_lambda.dir/Parse.cpp.o" "gcc" "src/lambda/CMakeFiles/scav_lambda.dir/Parse.cpp.o.d"
+  "/root/repo/src/lambda/TypeCheck.cpp" "src/lambda/CMakeFiles/scav_lambda.dir/TypeCheck.cpp.o" "gcc" "src/lambda/CMakeFiles/scav_lambda.dir/TypeCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

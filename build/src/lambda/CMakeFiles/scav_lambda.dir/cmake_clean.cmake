@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scav_lambda.dir/Eval.cpp.o"
+  "CMakeFiles/scav_lambda.dir/Eval.cpp.o.d"
+  "CMakeFiles/scav_lambda.dir/Parse.cpp.o"
+  "CMakeFiles/scav_lambda.dir/Parse.cpp.o.d"
+  "CMakeFiles/scav_lambda.dir/TypeCheck.cpp.o"
+  "CMakeFiles/scav_lambda.dir/TypeCheck.cpp.o.d"
+  "libscav_lambda.a"
+  "libscav_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scav_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

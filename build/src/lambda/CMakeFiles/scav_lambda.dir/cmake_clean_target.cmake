@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscav_lambda.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_collector_basic_test.dir/gc_collector_basic_test.cpp.o"
+  "CMakeFiles/gc_collector_basic_test.dir/gc_collector_basic_test.cpp.o.d"
+  "gc_collector_basic_test"
+  "gc_collector_basic_test.pdb"
+  "gc_collector_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_collector_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_differential_collect_test.dir/gc_differential_collect_test.cpp.o"
+  "CMakeFiles/gc_differential_collect_test.dir/gc_differential_collect_test.cpp.o.d"
+  "gc_differential_collect_test"
+  "gc_differential_collect_test.pdb"
+  "gc_differential_collect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_differential_collect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

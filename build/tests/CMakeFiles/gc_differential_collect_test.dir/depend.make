@@ -1,0 +1,2 @@
+# Empty dependencies file for gc_differential_collect_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_machine_negative_test.dir/gc_machine_negative_test.cpp.o"
+  "CMakeFiles/gc_machine_negative_test.dir/gc_machine_negative_test.cpp.o.d"
+  "gc_machine_negative_test"
+  "gc_machine_negative_test.pdb"
+  "gc_machine_negative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_machine_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_native_forge_test.dir/gc_native_forge_test.cpp.o"
+  "CMakeFiles/gc_native_forge_test.dir/gc_native_forge_test.cpp.o.d"
+  "gc_native_forge_test"
+  "gc_native_forge_test.pdb"
+  "gc_native_forge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_native_forge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

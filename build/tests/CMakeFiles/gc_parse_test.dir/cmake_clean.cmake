@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_parse_test.dir/gc_parse_test.cpp.o"
+  "CMakeFiles/gc_parse_test.dir/gc_parse_test.cpp.o.d"
+  "gc_parse_test"
+  "gc_parse_test.pdb"
+  "gc_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

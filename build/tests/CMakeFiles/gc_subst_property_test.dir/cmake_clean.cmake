@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_subst_property_test.dir/gc_subst_property_test.cpp.o"
+  "CMakeFiles/gc_subst_property_test.dir/gc_subst_property_test.cpp.o.d"
+  "gc_subst_property_test"
+  "gc_subst_property_test.pdb"
+  "gc_subst_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_subst_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

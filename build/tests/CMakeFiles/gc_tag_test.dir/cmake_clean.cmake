@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_tag_test.dir/gc_tag_test.cpp.o"
+  "CMakeFiles/gc_tag_test.dir/gc_tag_test.cpp.o.d"
+  "gc_tag_test"
+  "gc_tag_test.pdb"
+  "gc_tag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_tag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_soundness_test.dir/property_soundness_test.cpp.o"
+  "CMakeFiles/property_soundness_test.dir/property_soundness_test.cpp.o.d"
+  "property_soundness_test"
+  "property_soundness_test.pdb"
+  "property_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

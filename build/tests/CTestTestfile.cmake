@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gc_tag_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_collector_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_collector_forward_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_collector_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/property_soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_native_forge_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_typecheck_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_subst_property_test[1]_include.cmake")
+include("/root/repo/build/tests/translate_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_machine_negative_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_differential_collect_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_contclosure_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_parse_test[1]_include.cmake")
