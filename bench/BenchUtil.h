@@ -19,7 +19,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace scav::bench {
 
@@ -34,8 +38,9 @@ struct Setup {
   Address GcAddr{};
   Region R, Old;
 
-  explicit Setup(LanguageLevel Level, MachineConfig Cfg = {}) {
-    C = std::make_unique<GcContext>();
+  explicit Setup(LanguageLevel Level, MachineConfig Cfg = {},
+                 bool Intern = GcContext::interningEnabledByDefault()) {
+    C = std::make_unique<GcContext>(Intern);
     M = std::make_unique<Machine>(*C, Level, Cfg);
     switch (Level) {
     case LanguageLevel::Base:
@@ -77,6 +82,66 @@ inline double secondsSince(
 
 inline void verdict(bool Ok, const char *Claim) {
   std::printf("%s: %s\n", Ok ? "PASS" : "FAIL", Claim);
+}
+
+/// Machine-readable experiment record. Every bench binary accepts
+/// `--json <path>`; when present, the binary writes one flat JSON object
+/// with the experiment name, a pass flag, and its key metrics, so
+/// EXPERIMENTS.md numbers can be regenerated mechanically.
+class JsonReport {
+public:
+  explicit JsonReport(std::string Name) : Name(std::move(Name)) {}
+
+  void metric(const std::string &Key, double V) {
+    Nums.emplace_back(Key, V);
+  }
+  void metric(const std::string &Key, uint64_t V) {
+    Ints.emplace_back(Key, V);
+  }
+  void pass(bool Ok) { Pass = Ok; }
+
+  /// Writes the report to \p Path; no-op when Path is empty.
+  bool write(const std::string &Path) const {
+    if (Path.empty())
+      return true;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "{\n  \"experiment\": \"%s\",\n  \"pass\": %s",
+                 Name.c_str(), Pass ? "true" : "false");
+    for (const auto &[K, V] : Ints)
+      std::fprintf(F, ",\n  \"%s\": %llu", K.c_str(),
+                   static_cast<unsigned long long>(V));
+    for (const auto &[K, V] : Nums)
+      std::fprintf(F, ",\n  \"%s\": %.9g", K.c_str(), V);
+    std::fprintf(F, "\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Name;
+  bool Pass = false;
+  std::vector<std::pair<std::string, uint64_t>> Ints;
+  std::vector<std::pair<std::string, double>> Nums;
+};
+
+/// Extracts `--json <path>` from argv (removing both tokens so libraries
+/// like google-benchmark never see them); returns the path or "".
+inline std::string consumeJsonArg(int &Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      std::string Path = Argv[I + 1];
+      for (int J = I; J + 2 < Argc; ++J)
+        Argv[J] = Argv[J + 2];
+      Argc -= 2;
+      return Path;
+    }
+  }
+  return {};
 }
 
 } // namespace scav::bench

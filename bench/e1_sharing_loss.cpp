@@ -16,7 +16,9 @@
 using namespace scav;
 using namespace scav::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = consumeJsonArg(argc, argv);
+  JsonReport Report("e1_sharing_loss");
   std::printf("E1: sharing loss of the basic collector (Fig 4/12, §7)\n");
   std::printf("claim: basic copy turns DAGs into trees; cells after a "
               "collection of a depth-D DAG grow from D+1 to 2^(D+1)-1\n\n");
@@ -46,9 +48,18 @@ int main() {
                 AfterFwd, Blowup);
     Ok = Ok && AfterBasic == (size_t(1) << (D + 1)) - 1 &&
          AfterFwd == Before;
+    if (D == 10) {
+      Report.metric("depth", uint64_t(D));
+      Report.metric("cells_before", uint64_t(Before));
+      Report.metric("after_basic", uint64_t(AfterBasic));
+      Report.metric("after_forwarding", uint64_t(AfterFwd));
+      Report.metric("blowup", Blowup);
+    }
   }
   std::printf("\n");
   verdict(Ok, "basic collector unfolds DAGs to full trees; forwarding "
               "collector preserves sharing exactly");
+  Report.pass(Ok);
+  Report.write(JsonPath);
   return Ok ? 0 : 1;
 }

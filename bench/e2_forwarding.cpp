@@ -16,7 +16,9 @@
 using namespace scav;
 using namespace scav::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = consumeJsonArg(argc, argv);
+  JsonReport Report("e2_forwarding");
   std::printf("E2: forwarding pointers in the certified collector (Fig 9)\n");
   std::printf("claim: one tag bit + one set per object; shared objects "
               "copied once; widen moves no data\n\n");
@@ -41,6 +43,10 @@ int main() {
     (void)Puts0;
     Ok = Ok && Live == H.Cells && Sets == H.Cells &&
          S.M->stats().Widens == 1;
+    if (N == 128) {
+      Report.metric("list_cells", uint64_t(H.Cells));
+      Report.metric("list_sets", Sets);
+    }
   }
 
   // Maximally-shared DAGs: copies = physical cells, not logical nodes.
@@ -58,6 +64,11 @@ int main() {
                 (unsigned long long)S.M->stats().Widens, Logical - H.Cells,
                 Live);
     Ok = Ok && Live == H.Cells && Sets == H.Cells;
+    if (D == 12) {
+      Report.metric("dag_cells", uint64_t(H.Cells));
+      Report.metric("dag_live_after", uint64_t(Live));
+      Report.metric("dag_logical", uint64_t(Logical));
+    }
   }
 
   // Idempotence: collecting a second time preserves the same live set.
@@ -74,5 +85,7 @@ int main() {
   verdict(Ok, "forwarding: exactly one copy and one forwarding-pointer "
               "store per live object, independent of sharing degree; one "
               "widen per collection");
+  Report.pass(Ok);
+  Report.write(JsonPath);
   return Ok ? 0 : 1;
 }

@@ -55,7 +55,9 @@ ForgedHeap forgeMixed(Machine &M, Region R, Region Old, size_t YoungN,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = consumeJsonArg(argc, argv);
+  JsonReport Report("e4_generational");
   std::printf("E4: generational minor collections (Fig 11)\n");
   std::printf("claim: minor-GC work tracks the young live set and is "
               "independent of the old generation's size\n\n");
@@ -88,10 +90,18 @@ int main() {
     // total machine work must stay within noise of the smallest case.
     Ok = Ok && Promoted == PromotedAtSmallest &&
          Steps < StepsAtSmallest + 200;
+    if (OldN == 256) {
+      Report.metric("young", uint64_t(YoungN));
+      Report.metric("old_max", uint64_t(OldN));
+      Report.metric("promoted", uint64_t(Promoted));
+      Report.metric("steps", Steps);
+    }
   }
 
   std::printf("\n");
   verdict(Ok, "promoted objects and collector work are independent of "
               "old-generation size (tracing stops at old references)");
+  Report.pass(Ok);
+  Report.write(JsonPath);
   return Ok ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "gc/Ops.h"
 
 #include <cstdio>
@@ -74,7 +75,9 @@ size_t sizeOf(const SType *T) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = scav::bench::consumeJsonArg(argc, argv);
+  scav::bench::JsonReport Report("e6_type_growth");
   std::printf("E6: type growth across collections — naive S vs symmetric M "
               "(section 2.2.1)\n");
   std::printf("claim: S operators accumulate on quantified variables (type "
@@ -116,11 +119,18 @@ int main() {
     Ok = Ok && MSize == MBase;
     if (K >= 4)
       Ok = Ok && sizeOf(Cur) > sizeOf(Naive);
+    if (K == 32) {
+      Report.metric("collections", uint64_t(K));
+      Report.metric("naive_s_size", uint64_t(sizeOf(Cur)));
+      Report.metric("m_size", uint64_t(MSize));
+    }
   }
 
   std::printf("\n");
   std::printf("%s: naive S grows linearly with collection count; the "
               "symmetric M stays constant\n",
               Ok ? "PASS" : "FAIL");
+  Report.pass(Ok);
+  Report.write(JsonPath);
   return Ok ? 0 : 1;
 }

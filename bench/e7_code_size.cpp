@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "gc/SpecializeCopy.h"
 
 #include <cstdio>
@@ -45,7 +46,9 @@ void programTypes(GcContext &C, size_t K, std::vector<const Tag *> &Roots,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = scav::bench::consumeJsonArg(argc, argv);
+  scav::bench::JsonReport Report("e7_code_size");
   std::printf("E7: collector code size — per-type specialization vs ITA "
               "library (section 2.1)\n");
   std::printf("claim: the monomorphized (Wang-Appel style) collector "
@@ -74,6 +77,11 @@ int main() {
                 double(St.TotalTermSize) / double(LibBase));
     Ok = Ok && St.TotalTermSize > PrevSize;
     PrevSize = St.TotalTermSize;
+    if (K == 256) {
+      Report.metric("types", uint64_t(K));
+      Report.metric("spec_size", uint64_t(St.TotalTermSize));
+      Report.metric("library_size", uint64_t(LibBase));
+    }
   }
 
   std::printf("\nnote: specialized bodies use a simplified direct-style "
@@ -82,5 +90,7 @@ int main() {
   std::printf("%s: specialized collector size grows with the number of "
               "program types; the ITA library does not\n",
               Ok ? "PASS" : "FAIL");
+  Report.pass(Ok);
+  Report.write(JsonPath);
   return Ok ? 0 : 1;
 }

@@ -46,7 +46,9 @@ double meanEdgeDistance(Machine &M, Region To) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = consumeJsonArg(argc, argv);
+  JsonReport Report("e9_copy_order");
   std::printf("E9: depth-first vs Cheney breadth-first copy (section 10 "
               "extension, native level)\n");
   std::printf("claim shape: both orders copy the same live set; they lay "
@@ -80,6 +82,11 @@ int main() {
     std::printf("%10s %8zu %10zu %10zu %12.2f %12.2f\n", Name, Cells, LiveD,
                 LiveB, DistD, DistB);
     Ok = Ok && LiveD == LiveB && LiveD == Cells;
+    if (std::string_view(Name) == "dag") {
+      Report.metric("dag_cells", uint64_t(Cells));
+      Report.metric("dfs_dist", DistD);
+      Report.metric("bfs_dist", DistB);
+    }
   };
 
   for (size_t N : {32, 256}) {
@@ -99,5 +106,7 @@ int main() {
   std::printf("\n");
   verdict(Ok, "both copy orders preserve the live set exactly (sharing "
               "included); only the to-space layout differs");
+  Report.pass(Ok);
+  Report.write(JsonPath);
   return Ok ? 0 : 1;
 }

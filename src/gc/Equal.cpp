@@ -62,8 +62,19 @@ struct AlphaEnv {
 };
 
 bool tagEq(const Tag *A, const Tag *B, AlphaEnv &Env) {
-  if (A == B && Env.TagVars.empty())
+  // Positive fast path: one node is alpha-equal to itself whenever the
+  // binder environment is empty — or unconditionally when it is ground
+  // (no free variables for the environment to rename).
+  if (A == B && (Env.TagVars.empty() || A->isGround()))
     return true;
+  // Negative fast path: ground nodes contain no binders, so alpha-equality
+  // degenerates to structural equality — and for *canonical* (interned)
+  // nodes structural equality is pointer equality. Sound only with both
+  // bits set: alpha-equivalent open nodes (λt.t vs λs.s) are interned as
+  // distinct nodes, and non-canonical nodes may simply be duplicates.
+  if (A != B && A->isGround() && B->isGround() && A->isCanonical() &&
+      B->isCanonical())
+    return false;
   if (A->kind() != B->kind())
     return false;
   switch (A->kind()) {
@@ -102,9 +113,16 @@ bool tagEq(const Tag *A, const Tag *B, AlphaEnv &Env) {
 }
 
 bool typeEq(const Type *A, const Type *B, AlphaEnv &Env) {
-  if (A == B && Env.TagVars.empty() && Env.RegionVars.empty() &&
-      Env.TypeVars.empty())
+  // Fast paths mirror tagEq; see the comments there. For types, Ground also
+  // guarantees every region is a concrete name, so the region stacks are
+  // irrelevant too.
+  if (A == B && ((Env.TagVars.empty() && Env.RegionVars.empty() &&
+                  Env.TypeVars.empty()) ||
+                 A->isGround()))
     return true;
+  if (A != B && A->isGround() && B->isGround() && A->isCanonical() &&
+      B->isCanonical())
+    return false;
   if (A->kind() != B->kind())
     return false;
   switch (A->kind()) {
@@ -213,13 +231,32 @@ bool scav::gc::alphaEqualType(const Type *A, const Type *B) {
 }
 
 bool scav::gc::tagEqual(GcContext &C, const Tag *A, const Tag *B) {
-  return alphaEqualTag(normalizeTag(C, A), normalizeTag(C, B));
+  GcContext::Stats &S = C.stats();
+  ++S.EqualTagCalls;
+  GcContext::TypeworkTimer Timer(S);
+  const Tag *NA = normalizeTag(C, A);
+  const Tag *NB = normalizeTag(C, B);
+  // With interning + the normalization memo, semantically equal tags usually
+  // share one normal-form node.
+  if (NA == NB) {
+    ++S.EqualPointerHits;
+    return true;
+  }
+  return alphaEqualTag(NA, NB);
 }
 
 bool scav::gc::typeEqual(GcContext &C, const Type *A, const Type *B,
                          LanguageLevel Level) {
-  return alphaEqualType(normalizeType(C, A, Level),
-                        normalizeType(C, B, Level));
+  GcContext::Stats &S = C.stats();
+  ++S.EqualTypeCalls;
+  GcContext::TypeworkTimer Timer(S);
+  const Type *NA = normalizeType(C, A, Level);
+  const Type *NB = normalizeType(C, B, Level);
+  if (NA == NB) {
+    ++S.EqualPointerHits;
+    return true;
+  }
+  return alphaEqualType(NA, NB);
 }
 
 //===----------------------------------------------------------------------===//

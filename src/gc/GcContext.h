@@ -1,42 +1,175 @@
-//===- gc/GcContext.h - Owning context and node factories ------*- C++ -*-===//
+//===- gc/GcContext.h - Owning, uniquing context and node factories -------===//
 ///
 /// \file
 /// GcContext owns the arena behind every λGC AST node and provides the only
-/// way to construct nodes. It also interns the handful of singletons (Ω,
-/// int, the Int tag, the cd region) used everywhere.
+/// way to construct nodes. For Tag, Type, and Kind nodes it is additionally a
+/// *uniquing (hash-consing) context*: every factory canonicalizes through a
+/// per-class hash table keyed on a structural hash stored in the node, so
+/// structurally identical nodes are pointer-identical. Because children are
+/// canonicalized before their parents, a parent only needs a *shallow*
+/// hash/equality over its own fields and child pointers — the classic
+/// FoldingSet discipline.
+///
+/// Each node carries three derived-fact bits, computed bottom-up at
+/// construction:
+///
+///  * Normal — the node is a normal form: normalizeTag/normalizeType would
+///    return it unchanged (level-independent: whether an M/C application is
+///    stuck depends only on its tag's head constructor).
+///  * Ground — no variables of any sort and no binders anywhere in the
+///    subtree (for types, every region mentioned is a concrete name). On
+///    ground nodes alpha-equivalence degenerates to structural equality, so
+///    canonical ground nodes compare by pointer in both directions. The bit
+///    deliberately excludes *binders*, not just free variables: interning is
+///    name-sensitive, so λt.t and λs.s are alpha-equal yet distinct nodes.
+///  * Canonical — the node went through the uniquing table (only set while
+///    interning is enabled), licensing the negative pointer-compare.
+///
+/// The context also owns the normalization memo caches (keyed by node
+/// pointer — sound precisely because nodes are unique — plus the
+/// LanguageLevel for types, whose M-expansions differ per level) and a
+/// Stats block with hit counters and an exclusive wall-clock accumulator
+/// for type-level work (see TypeworkTimer).
+///
+/// Interning can be disabled — `GcContext C(false)`, or process-wide via the
+/// SCAV_DISABLE_INTERN environment variable — which restores the seed's
+/// allocate-fresh behavior and turns off every fast path keyed on the bits,
+/// giving benchmarks an honest baseline (bench/e10_typework).
+///
+/// Lifetime: transient checking phases (StateCheck) bulk-free their
+/// allocations via Arena::mark/release. Uniquing tables and memo caches
+/// would then hold dangling pointers, so GcContext keeps insertion logs and
+/// exposes its own Checkpoint/Scope that unwinds table and memo entries
+/// *before* releasing the arena. Use GcContext::Scope, never a raw arena
+/// checkpoint, when nodes may be created inside the scope.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCAV_GC_GCCONTEXT_H
 #define SCAV_GC_GCCONTEXT_H
 
+#include "gc/Lang.h"
 #include "gc/Term.h"
 #include "support/Arena.h"
 #include "support/Symbol.h"
 
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <map>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 namespace scav::gc {
 
 /// Owns all λGC AST nodes and the symbol table used for their variables.
 class GcContext {
 public:
-  GcContext() {
+  /// Counters for the uniquing tables, the normalization memo caches, and
+  /// the equality fast paths, plus an exclusive typework clock. Cheap enough
+  /// to maintain unconditionally; read by bench/e10_typework and
+  /// tests/gc_intern_test.
+  struct Stats {
+    // Uniquing: hit = factory returned an existing node.
+    uint64_t TagInternHits = 0;
+    uint64_t TagInternMisses = 0;
+    uint64_t TypeInternHits = 0;
+    uint64_t TypeInternMisses = 0;
+    uint64_t KindInternHits = 0;
+    uint64_t KindInternMisses = 0;
+    // Normalization: NormalBit = O(1) already-normal exit; Memo = cache hit.
+    uint64_t NormalizeTagCalls = 0;
+    uint64_t NormalizeTagNormalBitHits = 0;
+    uint64_t NormalizeTagMemoHits = 0;
+    uint64_t NormalizeTypeCalls = 0;
+    uint64_t NormalizeTypeNormalBitHits = 0;
+    uint64_t NormalizeTypeMemoHits = 0;
+    // Semantic equality (tagEqual/typeEqual).
+    uint64_t EqualTagCalls = 0;
+    uint64_t EqualTypeCalls = 0;
+    uint64_t EqualPointerHits = 0;
+    // Substitution short-circuits on ground subtrees.
+    uint64_t SubstGroundSkips = 0;
+    // Exclusive wall time spent in normalize/equal/infer (TypeworkTimer).
+    bool TimingEnabled = false;
+    unsigned TimingDepth = 0;
+    double TypeworkSeconds = 0.0;
+  };
+
+  /// Depth-guarded RAII accumulator for Stats::TypeworkSeconds: only the
+  /// outermost timed frame reads the clock, so nested normalize-inside-infer
+  /// calls are not double counted. Off (zero clock reads) unless
+  /// Stats::TimingEnabled is set by a measurement harness.
+  class TypeworkTimer {
+  public:
+    explicit TypeworkTimer(Stats &S) : S(S), Active(S.TimingEnabled) {
+      if (Active && S.TimingDepth++ == 0)
+        Start = std::chrono::steady_clock::now();
+    }
+    ~TypeworkTimer() {
+      if (Active && --S.TimingDepth == 0)
+        S.TypeworkSeconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          Start)
+                .count();
+    }
+    TypeworkTimer(const TypeworkTimer &) = delete;
+    TypeworkTimer &operator=(const TypeworkTimer &) = delete;
+
+  private:
+    Stats &S;
+    bool Active;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+  /// Process-wide default: interning is on unless SCAV_DISABLE_INTERN is set
+  /// in the environment (the e10 baseline toggle).
+  static bool interningEnabledByDefault() {
+    return std::getenv("SCAV_DISABLE_INTERN") == nullptr;
+  }
+
+  explicit GcContext(bool EnableInterning = interningEnabledByDefault())
+      : InternOn(EnableInterning) {
+    if (InternOn) {
+      // Collections create nodes by the tens of thousands and the tables
+      // only ever grow (Scope unwinds aside), so incremental rehashing of
+      // a near-full table is pure overhead on the hot path — and it lands
+      // inside the typework timer. Start roomy instead.
+      TagTable.reserve(1u << 14);
+      TypeTable.reserve(1u << 16);
+      TagNormalMemo.reserve(1u << 12);
+      TypeNormalMemo.reserve(1u << 14);
+    }
     OmegaKind = Alloc.create<Kind>(Kind());
-    IntTagNode = allocTag(TagKind::Int);
-    IntTypeNode = allocType(TypeKind::Int);
+    IntTagNode = internTag(Tag(TagKind::Int));
+    IntTypeNode = internType(Type(TypeKind::Int));
     CdRegion = Region::name(Syms.intern("cd"));
+    // Eagerly build the identity tag singleton so it can never be created
+    // (and then rolled back) inside a transient Scope.
+    Symbol IdVar = Syms.intern("t_id");
+    IdFunTag = tagLam(IdVar, tagVar(IdVar));
   }
 
   GcContext(const GcContext &) = delete;
   GcContext &operator=(const GcContext &) = delete;
 
+  /// True when hash-consing (and every fast path that relies on it) is on.
+  bool interningEnabled() const { return InternOn; }
+
+  Stats &stats() { return S; }
+  const Stats &stats() const { return S; }
+
+  size_t internedTags() const { return TagTable.size(); }
+  size_t internedTypes() const { return TypeTable.size(); }
+
   SymbolTable &symbols() { return Syms; }
   const SymbolTable &symbols() const { return Syms; }
 
-  Symbol intern(std::string_view S) { return Syms.intern(S); }
+  Symbol intern(std::string_view Sv) { return Syms.intern(Sv); }
   Symbol fresh(std::string_view Base) { return Syms.fresh(Base); }
-  std::string_view name(Symbol S) const { return Syms.name(S); }
+  std::string_view name(Symbol Sym) const { return Syms.name(Sym); }
 
   /// The distinguished code region cd (§4.3).
   Region cd() const { return CdRegion; }
@@ -45,7 +178,19 @@ public:
 
   const Kind *omega() const { return OmegaKind; }
   const Kind *arrowKind(const Kind *From, const Kind *To) {
-    return Alloc.create<Kind>(Kind(From, To));
+    if (!InternOn)
+      return Alloc.create<Kind>(Kind(From, To));
+    auto Key = std::pair(From, To);
+    auto It = ArrowKinds.find(Key);
+    if (It != ArrowKinds.end()) {
+      ++S.KindInternHits;
+      return It->second;
+    }
+    ++S.KindInternMisses;
+    const Kind *K = Alloc.create<Kind>(Kind(From, To));
+    ArrowKinds.emplace(Key, K);
+    KindLog.push_back(Key);
+    return K;
   }
   /// Ω → Ω, the kind of tag functions.
   const Kind *omegaToOmega() { return arrowKind(OmegaKind, OmegaKind); }
@@ -54,66 +199,64 @@ public:
 
   const Tag *tagInt() const { return IntTagNode; }
 
-  const Tag *tagVar(Symbol S) {
-    Tag *T = allocTag(TagKind::Var);
-    T->V = S;
-    return T;
+  const Tag *tagVar(Symbol Sym) {
+    Tag T(TagKind::Var);
+    T.V = Sym;
+    return internTag(std::move(T));
   }
 
   const Tag *tagProd(const Tag *L, const Tag *R) {
-    Tag *T = allocTag(TagKind::Prod);
-    T->A = L;
-    T->B = R;
-    return T;
+    Tag T(TagKind::Prod);
+    T.A = L;
+    T.B = R;
+    return internTag(std::move(T));
   }
 
   const Tag *tagArrow(std::vector<const Tag *> Args) {
-    Tag *T = allocTag(TagKind::Arrow);
-    T->Args = std::move(Args);
-    return T;
+    Tag T(TagKind::Arrow);
+    T.Args = std::move(Args);
+    return internTag(std::move(T));
   }
 
   const Tag *tagExists(Symbol Var, const Tag *Body) {
-    Tag *T = allocTag(TagKind::Exists);
-    T->V = Var;
-    T->A = Body;
-    return T;
+    Tag T(TagKind::Exists);
+    T.V = Var;
+    T.A = Body;
+    return internTag(std::move(T));
   }
 
   const Tag *tagLam(Symbol Var, const Kind *K, const Tag *Body) {
-    Tag *T = allocTag(TagKind::Lam);
-    T->V = Var;
-    T->BK = K;
-    T->A = Body;
-    return T;
+    Tag T(TagKind::Lam);
+    T.V = Var;
+    T.BK = K;
+    T.A = Body;
+    return internTag(std::move(T));
   }
   const Tag *tagLam(Symbol Var, const Tag *Body) {
     return tagLam(Var, omega(), Body);
   }
 
   const Tag *tagApp(const Tag *Fun, const Tag *Arg) {
-    Tag *T = allocTag(TagKind::App);
-    T->A = Fun;
-    T->B = Arg;
-    return T;
+    Tag T(TagKind::App);
+    T.A = Fun;
+    T.B = Arg;
+    return internTag(std::move(T));
   }
 
   /// λt.t — the identity tag function, used to fill unused te slots in the
-  /// closure-converted collector (Fig 12).
-  const Tag *tagIdFun() {
-    Symbol T = fresh("t");
-    return tagLam(T, tagVar(T));
-  }
+  /// closure-converted collector (Fig 12). A singleton: all uses are
+  /// alpha-equivalent, so one shared binder is as good as a fresh one.
+  const Tag *tagIdFun() { return IdFunTag; }
 
   // -- Types ---------------------------------------------------------------
 
   const Type *typeInt() const { return IntTypeNode; }
 
   const Type *typeProd(const Type *L, const Type *R) {
-    Type *T = allocType(TypeKind::Prod);
-    T->A = L;
-    T->B = R;
-    return T;
+    Type T(TypeKind::Prod);
+    T.A = L;
+    T.B = R;
+    return internType(std::move(T));
   }
 
   const Type *typeCode(std::vector<Symbol> TagParams,
@@ -121,12 +264,12 @@ public:
                        std::vector<Symbol> RegionParams,
                        std::vector<const Type *> Args) {
     assert(TagParams.size() == TagKinds.size() && "mismatched tag binders");
-    Type *T = allocType(TypeKind::Code);
-    T->TagParams = std::move(TagParams);
-    T->TagKinds = std::move(TagKinds);
-    T->RegionParams = std::move(RegionParams);
-    T->Args = std::move(Args);
-    return T;
+    Type T(TypeKind::Code);
+    T.TagParams = std::move(TagParams);
+    T.TagKinds = std::move(TagKinds);
+    T.RegionParams = std::move(RegionParams);
+    T.Args = std::move(Args);
+    return internType(std::move(T));
   }
 
   /// ∀J~τKJ~ρK(~σ) →At 0: translucent code with pinned tag and region
@@ -134,91 +277,181 @@ public:
   const Type *typeTransCode(std::vector<const Tag *> TagArgs,
                             std::vector<Region> RegionArgs,
                             std::vector<const Type *> Args, Region At) {
-    Type *T = allocType(TypeKind::TransCode);
-    T->TagArgs = std::move(TagArgs);
-    T->Regions = std::move(RegionArgs);
-    T->Args = std::move(Args);
-    T->R1 = At;
-    return T;
+    Type T(TypeKind::TransCode);
+    T.TagArgs = std::move(TagArgs);
+    T.Regions = std::move(RegionArgs);
+    T.Args = std::move(Args);
+    T.R1 = At;
+    return internType(std::move(T));
   }
 
   const Type *typeExistsTag(Symbol Var, const Kind *K, const Type *Body) {
-    Type *T = allocType(TypeKind::ExistsTag);
-    T->V = Var;
-    T->BK = K;
-    T->A = Body;
-    return T;
+    Type T(TypeKind::ExistsTag);
+    T.V = Var;
+    T.BK = K;
+    T.A = Body;
+    return internType(std::move(T));
   }
 
   const Type *typeExistsTyVar(Symbol Var, RegionSet Delta, const Type *Body) {
-    Type *T = allocType(TypeKind::ExistsTyVar);
-    T->V = Var;
-    T->Delta = std::move(Delta);
-    T->A = Body;
-    return T;
+    Type T(TypeKind::ExistsTyVar);
+    T.V = Var;
+    T.Delta = std::move(Delta);
+    T.A = Body;
+    return internType(std::move(T));
   }
 
   /// ∃r∈∆.(Body at r); Body may mention r.
   const Type *typeExistsRegion(Symbol Var, RegionSet Delta, const Type *Body) {
-    Type *T = allocType(TypeKind::ExistsRegion);
-    T->V = Var;
-    T->Delta = std::move(Delta);
-    T->A = Body;
-    return T;
+    Type T(TypeKind::ExistsRegion);
+    T.V = Var;
+    T.Delta = std::move(Delta);
+    T.A = Body;
+    return internType(std::move(T));
   }
 
   const Type *typeAt(const Type *Body, Region R) {
-    Type *T = allocType(TypeKind::At);
-    T->A = Body;
-    T->R1 = R;
-    return T;
+    Type T(TypeKind::At);
+    T.A = Body;
+    T.R1 = R;
+    return internType(std::move(T));
   }
 
   /// M_ρ(τ) (Base/Forward: one region) or M_{ρy,ρo}(τ) (Generational: two).
   const Type *typeM(std::vector<Region> Regions, const Tag *T) {
     assert((Regions.size() == 1 || Regions.size() == 2) &&
            "M takes one or two regions");
-    Type *Ty = allocType(TypeKind::MApp);
-    Ty->Regions = std::move(Regions);
-    Ty->T = T;
-    return Ty;
+    Type Ty(TypeKind::MApp);
+    Ty.Regions = std::move(Regions);
+    Ty.T = T;
+    return internType(std::move(Ty));
   }
   const Type *typeM(Region R, const Tag *T) {
     return typeM(std::vector<Region>{R}, T);
   }
 
   const Type *typeC(Region From, Region To, const Tag *T) {
-    Type *Ty = allocType(TypeKind::CApp);
-    Ty->R1 = From;
-    Ty->R2 = To;
-    Ty->T = T;
-    return Ty;
+    Type Ty(TypeKind::CApp);
+    Ty.R1 = From;
+    Ty.R2 = To;
+    Ty.T = T;
+    return internType(std::move(Ty));
   }
 
-  const Type *typeVar(Symbol S) {
-    Type *T = allocType(TypeKind::TyVar);
-    T->V = S;
-    return T;
+  const Type *typeVar(Symbol Sym) {
+    Type T(TypeKind::TyVar);
+    T.V = Sym;
+    return internType(std::move(T));
   }
 
   const Type *typeLeft(const Type *Body) {
-    Type *T = allocType(TypeKind::Left);
-    T->A = Body;
-    return T;
+    Type T(TypeKind::Left);
+    T.A = Body;
+    return internType(std::move(T));
   }
 
   const Type *typeRight(const Type *Body) {
-    Type *T = allocType(TypeKind::Right);
-    T->A = Body;
-    return T;
+    Type T(TypeKind::Right);
+    T.A = Body;
+    return internType(std::move(T));
   }
 
   const Type *typeSum(const Type *L, const Type *R) {
-    Type *T = allocType(TypeKind::Sum);
-    T->A = L;
-    T->B = R;
-    return T;
+    Type T(TypeKind::Sum);
+    T.A = L;
+    T.B = R;
+    return internType(std::move(T));
   }
+
+  // -- Normalization memo caches ------------------------------------------
+  //
+  // Keyed by node pointer, which is sound because nodes are unique; the type
+  // cache additionally keys on the LanguageLevel since the M equations (and
+  // hence normal forms) differ per level. Only consulted/filled while
+  // interning is enabled (Normalize.cpp).
+
+  const Tag *lookupNormalTagMemo(const Tag *T) const {
+    auto It = TagNormalMemo.find(T);
+    return It == TagNormalMemo.end() ? nullptr : It->second;
+  }
+  void rememberNormalTag(const Tag *T, const Tag *N) {
+    if (TagNormalMemo.emplace(T, N).second)
+      TagMemoLog.push_back(T);
+  }
+
+  const Type *lookupNormalTypeMemo(const Type *T, LanguageLevel L) const {
+    auto It = TypeNormalMemo.find(T);
+    return It == TypeNormalMemo.end() ? nullptr
+                                      : It->second[levelIndex(L)];
+  }
+  void rememberNormalType(const Type *T, LanguageLevel L, const Type *N) {
+    auto &Slot = TypeNormalMemo[T][levelIndex(L)];
+    if (Slot == N)
+      return;
+    assert(!Slot && "normalization memo slot rebound to a different result");
+    Slot = N;
+    TypeMemoLog.push_back({T, levelIndex(L)});
+  }
+
+  // -- Checkpoint / Scope --------------------------------------------------
+
+  /// A rollback point for transient allocation phases: the arena checkpoint
+  /// plus the sizes of the uniquing-table and memo insertion logs.
+  struct Checkpoint {
+    Arena::Checkpoint Mem;
+    size_t Tags, Types, Kinds, TagMemo, TypeMemo;
+  };
+
+  Checkpoint mark() const {
+    return Checkpoint{Alloc.mark(),        TagLog.size(),
+                      TypeLog.size(),      KindLog.size(),
+                      TagMemoLog.size(),   TypeMemoLog.size()};
+  }
+
+  /// Unwinds every uniquing-table and memo entry inserted since \p Cp, then
+  /// bulk-frees the arena back to it. Entry removal must come first: the
+  /// hash tables need the (about-to-be-freed) node memory to rehash keys.
+  /// Entries inserted before the mark can only reference pre-mark nodes
+  /// (both key and value existed at insertion time), so they stay valid.
+  void release(const Checkpoint &Cp) {
+    for (size_t I = TagLog.size(); I > Cp.Tags; --I)
+      TagTable.erase(TagLog[I - 1]);
+    TagLog.resize(Cp.Tags);
+    for (size_t I = TypeLog.size(); I > Cp.Types; --I)
+      TypeTable.erase(TypeLog[I - 1]);
+    TypeLog.resize(Cp.Types);
+    for (size_t I = KindLog.size(); I > Cp.Kinds; --I)
+      ArrowKinds.erase(KindLog[I - 1]);
+    KindLog.resize(Cp.Kinds);
+    for (size_t I = TagMemoLog.size(); I > Cp.TagMemo; --I)
+      TagNormalMemo.erase(TagMemoLog[I - 1]);
+    TagMemoLog.resize(Cp.TagMemo);
+    for (size_t I = TypeMemoLog.size(); I > Cp.TypeMemo; --I) {
+      auto [T, L] = TypeMemoLog[I - 1];
+      auto It = TypeNormalMemo.find(T);
+      if (It == TypeNormalMemo.end())
+        continue;
+      It->second[L] = nullptr;
+      if (!It->second[0] && !It->second[1] && !It->second[2])
+        TypeNormalMemo.erase(It);
+    }
+    TypeMemoLog.resize(Cp.TypeMemo);
+    Alloc.release(Cp.Mem);
+  }
+
+  /// RAII over mark()/release(): scopes the transient allocations of a
+  /// checking phase without leaving dangling intern/memo entries behind.
+  class Scope {
+  public:
+    explicit Scope(GcContext &C) : C(C), Cp(C.mark()) {}
+    ~Scope() { C.release(Cp); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    GcContext &C;
+    Checkpoint Cp;
+  };
 
   // -- Values ----------------------------------------------------------
 
@@ -228,9 +461,9 @@ public:
     return V;
   }
 
-  const Value *valVar(Symbol S) {
+  const Value *valVar(Symbol Sym) {
     Value *V = allocValue(ValueKind::Var);
-    V->V = S;
+    V->V = Sym;
     return V;
   }
 
@@ -505,18 +738,244 @@ public:
   Arena &arena() { return Alloc; }
 
 private:
-  Tag *allocTag(TagKind K) { return Alloc.create<Tag>(Tag(K)); }
-  Type *allocType(TypeKind K) { return Alloc.create<Type>(Type(K)); }
+  static size_t hashCombine(size_t Seed, size_t V) {
+    return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+  }
+  static size_t symbolHash(Symbol Sym) {
+    return Sym.isValid() ? Sym.id() : static_cast<size_t>(~0u);
+  }
+  static size_t regionHash(Region R) {
+    if (!R.isValid())
+      return ~size_t(0);
+    return (static_cast<size_t>(R.sym().id()) << 1) | (R.isName() ? 1 : 0);
+  }
+  static size_t levelIndex(LanguageLevel L) {
+    return static_cast<size_t>(L); // Base/Forward/Generational → 0/1/2.
+  }
+
+  /// Computes and stores the structural hash and the Normal/Ground bits of a
+  /// freshly built tag from its (already canonical) children.
+  void finishTag(Tag &T) {
+    size_t H = hashCombine(0x517cc1b727220a95ULL, static_cast<size_t>(T.K));
+    uint8_t Bits = 0;
+    constexpr uint8_t NG = Tag::FlagNormal | Tag::FlagGround;
+    switch (T.K) {
+    case TagKind::Int:
+      Bits = NG;
+      break;
+    case TagKind::Var:
+      H = hashCombine(H, symbolHash(T.V));
+      Bits = Tag::FlagNormal;
+      break;
+    case TagKind::Prod:
+      H = hashCombine(hashCombine(H, T.A->hash()), T.B->hash());
+      Bits = (T.A->flags() & T.B->flags()) & NG;
+      break;
+    case TagKind::Arrow: {
+      Bits = NG;
+      for (const Tag *A : T.Args) {
+        H = hashCombine(H, A->hash());
+        Bits &= A->flags();
+      }
+      Bits &= NG;
+      break;
+    }
+    case TagKind::Exists:
+      H = hashCombine(hashCombine(H, symbolHash(T.V)), T.A->hash());
+      Bits = T.A->flags() & Tag::FlagNormal; // a binder: never ground
+      break;
+    case TagKind::Lam:
+      H = hashCombine(hashCombine(H, symbolHash(T.V)),
+                      reinterpret_cast<size_t>(T.BK));
+      H = hashCombine(H, T.A->hash());
+      Bits = T.A->flags() & Tag::FlagNormal; // a binder: never ground
+      break;
+    case TagKind::App:
+      H = hashCombine(hashCombine(H, T.A->hash()), T.B->hash());
+      Bits = (T.A->flags() & T.B->flags()) & Tag::FlagGround;
+      if (T.A->isNormal() && T.B->isNormal() && !T.A->is(TagKind::Lam))
+        Bits |= Tag::FlagNormal; // stuck application
+      break;
+    }
+    T.H = H;
+    T.Bits = Bits;
+  }
+
+  /// Same for types. The hash folds every field uniformly (unused fields are
+  /// empty/null and hash to constants); the bits are per-kind. Normality of
+  /// an M/C application depends only on whether its tag's *head constructor*
+  /// is analyzable (Int/Arrow/Prod/Exists) or stuck (Var/App/Lam) — the same
+  /// distinction at every LanguageLevel, so one bit suffices.
+  void finishType(Type &T) {
+    size_t H = hashCombine(0x2545f4914f6cdd1dULL, static_cast<size_t>(T.K));
+    H = hashCombine(H, T.A ? T.A->hash() : 0);
+    H = hashCombine(H, T.B ? T.B->hash() : 0);
+    H = hashCombine(H, symbolHash(T.V));
+    H = hashCombine(H, reinterpret_cast<size_t>(T.BK));
+    for (Region R : T.Delta)
+      H = hashCombine(H, regionHash(R));
+    H = hashCombine(H, regionHash(T.R1));
+    H = hashCombine(H, regionHash(T.R2));
+    H = hashCombine(H, T.T ? T.T->hash() : 0);
+    for (Region R : T.Regions)
+      H = hashCombine(H, regionHash(R));
+    for (Symbol Sym : T.TagParams)
+      H = hashCombine(H, symbolHash(Sym));
+    for (const Kind *K : T.TagKinds)
+      H = hashCombine(H, reinterpret_cast<size_t>(K));
+    for (Symbol Sym : T.RegionParams)
+      H = hashCombine(H, symbolHash(Sym));
+    for (const Type *A : T.Args)
+      H = hashCombine(H, A->hash());
+    for (const Tag *A : T.TagArgs)
+      H = hashCombine(H, A->hash());
+    T.H = H;
+    T.Bits = typeBits(T);
+  }
+
+  uint8_t typeBits(const Type &T) const {
+    constexpr uint8_t NG = Type::FlagNormal | Type::FlagGround;
+    switch (T.K) {
+    case TypeKind::Int:
+      return NG;
+    case TypeKind::TyVar:
+      return Type::FlagNormal;
+    case TypeKind::Prod:
+    case TypeKind::Sum:
+      return (T.A->flags() & T.B->flags()) & NG;
+    case TypeKind::Left:
+    case TypeKind::Right:
+      return T.A->flags() & NG;
+    case TypeKind::At: {
+      uint8_t Bits = T.A->flags() & NG;
+      if (!T.R1.isName())
+        Bits &= ~Type::FlagGround;
+      return Bits;
+    }
+    case TypeKind::MApp:
+    case TypeKind::CApp: {
+      bool Stuck = T.T->is(TagKind::Var) || T.T->is(TagKind::App) ||
+                   T.T->is(TagKind::Lam);
+      uint8_t Bits = 0;
+      if (Stuck && T.T->isNormal())
+        Bits |= Type::FlagNormal;
+      bool Ground = T.T->isGround();
+      if (T.K == TypeKind::MApp) {
+        for (Region R : T.Regions)
+          Ground &= R.isName();
+      } else {
+        Ground &= T.R1.isName() && T.R2.isName();
+      }
+      if (Ground)
+        Bits |= Type::FlagGround;
+      return Bits;
+    }
+    case TypeKind::ExistsTag:
+    case TypeKind::ExistsTyVar:
+    case TypeKind::ExistsRegion:
+      return T.A->flags() & Type::FlagNormal; // binders: never ground
+    case TypeKind::Code: {
+      uint8_t Bits = Type::FlagNormal; // binders: never ground
+      for (const Type *A : T.Args)
+        Bits &= A->flags();
+      return Bits & Type::FlagNormal;
+    }
+    case TypeKind::TransCode: {
+      uint8_t Bits = NG;
+      for (const Tag *A : T.TagArgs)
+        Bits &= A->flags();
+      for (const Type *A : T.Args)
+        Bits &= A->flags();
+      bool RegionsGround = T.R1.isName();
+      for (Region R : T.Regions)
+        RegionsGround &= R.isName();
+      if (!RegionsGround)
+        Bits &= ~Type::FlagGround;
+      return Bits & NG;
+    }
+    }
+    return 0;
+  }
+
+  struct TagHash {
+    size_t operator()(const Tag *T) const { return T->hash(); }
+  };
+  struct TagEq {
+    bool operator()(const Tag *A, const Tag *B) const {
+      return A->shallowEquals(*B);
+    }
+  };
+  struct TypeHash {
+    size_t operator()(const Type *T) const { return T->hash(); }
+  };
+  struct TypeEq {
+    bool operator()(const Type *A, const Type *B) const {
+      return A->shallowEquals(*B);
+    }
+  };
+
+  const Tag *internTag(Tag &&T) {
+    finishTag(T);
+    if (!InternOn)
+      return Alloc.create<Tag>(std::move(T));
+    auto It = TagTable.find(&T);
+    if (It != TagTable.end()) {
+      ++S.TagInternHits;
+      return *It;
+    }
+    ++S.TagInternMisses;
+    Tag *N = Alloc.create<Tag>(std::move(T));
+    N->Bits |= Tag::FlagCanonical;
+    TagTable.insert(N);
+    TagLog.push_back(N);
+    return N;
+  }
+
+  const Type *internType(Type &&T) {
+    finishType(T);
+    if (!InternOn)
+      return Alloc.create<Type>(std::move(T));
+    auto It = TypeTable.find(&T);
+    if (It != TypeTable.end()) {
+      ++S.TypeInternHits;
+      return *It;
+    }
+    ++S.TypeInternMisses;
+    Type *N = Alloc.create<Type>(std::move(T));
+    N->Bits |= Type::FlagCanonical;
+    TypeTable.insert(N);
+    TypeLog.push_back(N);
+    return N;
+  }
+
   Value *allocValue(ValueKind K) { return Alloc.create<Value>(Value(K)); }
   Op *allocOp(OpKind K) { return Alloc.create<Op>(Op(K)); }
   Term *allocTerm(TermKind K) { return Alloc.create<Term>(Term(K)); }
 
   Arena Alloc;
   SymbolTable Syms;
+  Stats S;
+  bool InternOn;
+
   const Kind *OmegaKind;
   const Tag *IntTagNode;
   const Type *IntTypeNode;
+  const Tag *IdFunTag = nullptr;
   Region CdRegion;
+
+  // Uniquing tables + insertion logs (for Checkpoint rollback).
+  std::unordered_set<Tag *, TagHash, TagEq> TagTable;
+  std::unordered_set<Type *, TypeHash, TypeEq> TypeTable;
+  std::map<std::pair<const Kind *, const Kind *>, const Kind *> ArrowKinds;
+  std::vector<Tag *> TagLog;
+  std::vector<Type *> TypeLog;
+  std::vector<std::pair<const Kind *, const Kind *>> KindLog;
+
+  // Normalization memos + insertion logs.
+  std::unordered_map<const Tag *, const Tag *> TagNormalMemo;
+  std::unordered_map<const Type *, std::array<const Type *, 3>> TypeNormalMemo;
+  std::vector<const Tag *> TagMemoLog;
+  std::vector<std::pair<const Type *, size_t>> TypeMemoLog;
 };
 
 } // namespace scav::gc

@@ -68,6 +68,7 @@ void Machine::start(const Term *E) {
 }
 
 const Type *Machine::inferRuntimeType(const Value *V) {
+  GcContext::TypeworkTimer Timer(C.stats());
   InferDiags.clear();
   CheckEnv E;
   E.Psi.M = &Psi;
@@ -79,6 +80,18 @@ const Type *Machine::inferRuntimeType(const Value *V) {
 void Machine::recordPut(Address A, const Value *V) {
   if (!Config.TrackTypes)
     return;
+  // Fast path: a value whose type was already inferred under this Ψ keeps
+  // that type regardless of the target cell (inference never looks at the
+  // destination region). The cache is cleared whenever Ψ is rewritten.
+  if (C.interningEnabled()) {
+    auto It = PutTypeCache.find(V);
+    if (It != PutTypeCache.end()) {
+      ++Stats.RecordPutCacheHits;
+      Psi.set(A, It->second);
+      return;
+    }
+    ++Stats.RecordPutCacheMisses;
+  }
   const Type *T = inferRuntimeType(V);
   if (!T) {
     if (TypeTrackingOkFlag) {
@@ -89,6 +102,8 @@ void Machine::recordPut(Address A, const Value *V) {
     return;
   }
   Psi.set(A, T);
+  if (C.interningEnabled())
+    PutTypeCache.emplace(V, T);
 }
 
 //===----------------------------------------------------------------------===//
@@ -451,6 +466,9 @@ Machine::Status Machine::step() {
         Drop.push_back(S2);
     for (Symbol S2 : Drop)
       Psi.removeRegion(S2);
+    // Cached inferred types may mention (or have been inferred under) the
+    // regions just dropped.
+    invalidatePutTypeCache();
     Cur = E->sub1();
     return St;
   }
@@ -528,6 +546,8 @@ Machine::Status Machine::step() {
         for (const Value *&Cell : R->Cells)
           if (Cell)
             Cell = widenValueTypes(Cell, FromS, To.sym());
+      // Ψ cell types just changed view (M → C); cached inferences are stale.
+      invalidatePutTypeCache();
     }
     Subst S;
     S.Vals[E->binderVar()] = V; // widen is a no-op on data (§7.1)

@@ -26,6 +26,7 @@
 #include "gc/TypeCheck.h"
 
 #include <string>
+#include <unordered_map>
 
 namespace scav::gc {
 
@@ -64,6 +65,10 @@ struct MachineStats {
   uint64_t Widens = 0;
   uint64_t IfGcTaken = 0;
   uint64_t IfGcSkipped = 0;
+  /// recordPut served the Ψ cell type from the value-pointer cache instead
+  /// of re-running inference (see Machine::recordPut).
+  uint64_t RecordPutCacheHits = 0;
+  uint64_t RecordPutCacheMisses = 0;
 };
 
 /// The λGC abstract machine.
@@ -149,6 +154,12 @@ public:
   /// Ψ transformation and by the native collector's Ψ refresh.
   const Type *renameRegionName(const Type *T, Symbol From, Symbol To);
 
+  /// Drops every recordPut-cached inferred type. Must be called by any code
+  /// that rewrites or shrinks Ψ *without* going through the machine's own
+  /// step rules (the native collector does); the machine itself invalidates
+  /// on `only` and `widen`.
+  void invalidatePutTypeCache() { PutTypeCache.clear(); }
+
 private:
   Status stuck(std::string Msg) {
     St = Status::Stuck;
@@ -180,6 +191,14 @@ private:
   bool TypeTrackingOkFlag = true;
   std::string TypeTrackingMsg;
   uint64_t OnlyEpoch = 0;
+
+  /// Ψ-tracking fast path: inferred cell types by value pointer. Values are
+  /// immutable and inference of a *successfully* inferred value depends on Ψ
+  /// only through lookups of addresses it embeds, so entries stay valid
+  /// until Ψ is rewritten (widen), shrunk (only), or mutated externally
+  /// (native collector) — all of which clear the cache. Only successes are
+  /// cached; failures must re-run to produce diagnostics.
+  std::unordered_map<const Value *, const Type *> PutTypeCache;
 };
 
 } // namespace scav::gc

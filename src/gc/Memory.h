@@ -21,9 +21,9 @@
 
 #include "gc/Term.h"
 
-#include <map>
-#include <vector>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 namespace scav::gc {
 
@@ -78,7 +78,12 @@ public:
     return Out;
   }
 
-  std::map<Symbol, RegionType> Regions;
+  /// Keyed by region-name symbol. An unordered map: Ψ's region set is
+  /// iterated only to build sorted RegionSets (domain()) or for
+  /// order-insensitive bulk updates (widen, only, state checking), never in
+  /// a way whose *order* is semantically relevant — O(1) lookup matters on
+  /// the per-put hot path.
+  std::unordered_map<Symbol, RegionType, SymbolHash> Regions;
 };
 
 /// A memory M. Always contains cd.
@@ -179,7 +184,11 @@ public:
     return N;
   }
 
-  std::map<Symbol, RegionData> Regions;
+  /// Keyed by region-name symbol. Unordered on purpose (see MemoryType):
+  /// iteration sites (restrictTo, liveDataCells, heap growth, the native
+  /// collector's keep-set, state checking) are all order-insensitive, and
+  /// `only`'s scan plus the per-put region lookup are hot (E5).
+  std::unordered_map<Symbol, RegionData, SymbolHash> Regions;
 
 private:
   Symbol CdSym;

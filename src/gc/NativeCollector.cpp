@@ -229,5 +229,8 @@ scav::gc::nativeCollect(Machine &M, const Value *Root, Region From,
       Keep.insert(Region::name(S));
   M.memory().restrictTo(Keep);
   M.psi().removeRegion(From.sym());
+  // This function rewrote Ψ behind the machine's back; its recordPut cache
+  // must not serve types inferred under the old Ψ.
+  M.invalidatePutTypeCache();
   return {NewRoot, To};
 }

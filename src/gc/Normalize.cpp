@@ -17,7 +17,12 @@
 using namespace scav;
 using namespace scav::gc;
 
-const Tag *scav::gc::normalizeTag(GcContext &C, const Tag *T) {
+namespace {
+
+/// Structural normalization pass. Recursion goes through the public
+/// normalizeTag wrapper so the Normal-bit and memo fast paths apply at every
+/// level of the tree, not just the root.
+const Tag *normalizeTagImpl(GcContext &C, const Tag *T) {
   switch (T->kind()) {
   case TagKind::Int:
   case TagKind::Var:
@@ -61,6 +66,32 @@ const Tag *scav::gc::normalizeTag(GcContext &C, const Tag *T) {
   }
   }
   return T;
+}
+
+} // namespace
+
+/// Memoizing entry point. With interning on, already-normal tags exit in
+/// O(1) via the Normal bit, and each distinct (by pointer = by structure)
+/// non-normal tag is normalized at most once per context. The memo also
+/// stabilizes results: re-normalizing a tag returns the *same* node.
+const Tag *scav::gc::normalizeTag(GcContext &C, const Tag *T) {
+  GcContext::Stats &S = C.stats();
+  ++S.NormalizeTagCalls;
+  if (C.interningEnabled()) {
+    if (T->isNormal()) {
+      ++S.NormalizeTagNormalBitHits;
+      return T;
+    }
+    if (const Tag *M = C.lookupNormalTagMemo(T)) {
+      ++S.NormalizeTagMemoHits;
+      return M;
+    }
+  }
+  GcContext::TypeworkTimer Timer(S);
+  const Tag *N = normalizeTagImpl(C, T);
+  if (C.interningEnabled())
+    C.rememberNormalTag(T, N);
+  return N;
 }
 
 const Type *scav::gc::expandMOnce(GcContext &C, const std::vector<Region> &Rs,
@@ -176,53 +207,94 @@ const Type *scav::gc::expandCOnce(GcContext &C, Region From, Region To,
   return nullptr;
 }
 
-const Type *scav::gc::normalizeType(GcContext &C, const Type *T,
-                                    LanguageLevel Level) {
+namespace {
+
+const Type *normalizeTypeImpl(GcContext &C, const Type *T,
+                              LanguageLevel Level) {
+  // Unchanged children => return T itself, skipping the uniquing table.
+  // Gated on interning (unlike the tag impl's pre-existing checks) so the
+  // SCAV_DISABLE_INTERN baseline keeps its original rebuild-always cost.
+  bool Id = C.interningEnabled();
   switch (T->kind()) {
   case TypeKind::Int:
   case TypeKind::TyVar:
     return T;
 
-  case TypeKind::Prod:
-    return C.typeProd(normalizeType(C, T->left(), Level),
-                      normalizeType(C, T->right(), Level));
-  case TypeKind::Sum:
-    return C.typeSum(normalizeType(C, T->left(), Level),
-                     normalizeType(C, T->right(), Level));
-  case TypeKind::Left:
-    return C.typeLeft(normalizeType(C, T->body(), Level));
-  case TypeKind::Right:
-    return C.typeRight(normalizeType(C, T->body(), Level));
-  case TypeKind::At:
-    return C.typeAt(normalizeType(C, T->body(), Level), T->atRegion());
+  case TypeKind::Prod: {
+    const Type *L = normalizeType(C, T->left(), Level);
+    const Type *R = normalizeType(C, T->right(), Level);
+    if (Id && L == T->left() && R == T->right())
+      return T;
+    return C.typeProd(L, R);
+  }
+  case TypeKind::Sum: {
+    const Type *L = normalizeType(C, T->left(), Level);
+    const Type *R = normalizeType(C, T->right(), Level);
+    if (Id && L == T->left() && R == T->right())
+      return T;
+    return C.typeSum(L, R);
+  }
+  case TypeKind::Left: {
+    const Type *B = normalizeType(C, T->body(), Level);
+    return Id && B == T->body() ? T : C.typeLeft(B);
+  }
+  case TypeKind::Right: {
+    const Type *B = normalizeType(C, T->body(), Level);
+    return Id && B == T->body() ? T : C.typeRight(B);
+  }
+  case TypeKind::At: {
+    const Type *B = normalizeType(C, T->body(), Level);
+    return Id && B == T->body() ? T : C.typeAt(B, T->atRegion());
+  }
 
-  case TypeKind::ExistsTag:
-    return C.typeExistsTag(T->var(), T->binderKind(),
-                           normalizeType(C, T->body(), Level));
-  case TypeKind::ExistsTyVar:
-    return C.typeExistsTyVar(T->var(), T->delta(),
-                             normalizeType(C, T->body(), Level));
-  case TypeKind::ExistsRegion:
-    return C.typeExistsRegion(T->var(), T->delta(),
-                              normalizeType(C, T->body(), Level));
+  case TypeKind::ExistsTag: {
+    const Type *B = normalizeType(C, T->body(), Level);
+    return Id && B == T->body() ? T
+                                : C.typeExistsTag(T->var(), T->binderKind(), B);
+  }
+  case TypeKind::ExistsTyVar: {
+    const Type *B = normalizeType(C, T->body(), Level);
+    return Id && B == T->body() ? T
+                                : C.typeExistsTyVar(T->var(), T->delta(), B);
+  }
+  case TypeKind::ExistsRegion: {
+    const Type *B = normalizeType(C, T->body(), Level);
+    return Id && B == T->body() ? T
+                                : C.typeExistsRegion(T->var(), T->delta(), B);
+  }
 
   case TypeKind::Code: {
     std::vector<const Type *> Args;
+    bool Changed = false;
     Args.reserve(T->argTypes().size());
-    for (const Type *A : T->argTypes())
-      Args.push_back(normalizeType(C, A, Level));
+    for (const Type *A : T->argTypes()) {
+      const Type *N = normalizeType(C, A, Level);
+      Changed |= N != A;
+      Args.push_back(N);
+    }
+    if (Id && !Changed)
+      return T;
     return C.typeCode(T->tagParams(), T->tagParamKinds(), T->regionParams(),
                       std::move(Args));
   }
   case TypeKind::TransCode: {
     std::vector<const Tag *> Tags;
+    bool Changed = false;
     Tags.reserve(T->transTags().size());
-    for (const Tag *A : T->transTags())
-      Tags.push_back(normalizeTag(C, A));
+    for (const Tag *A : T->transTags()) {
+      const Tag *N = normalizeTag(C, A);
+      Changed |= N != A;
+      Tags.push_back(N);
+    }
     std::vector<const Type *> Args;
     Args.reserve(T->argTypes().size());
-    for (const Type *A : T->argTypes())
-      Args.push_back(normalizeType(C, A, Level));
+    for (const Type *A : T->argTypes()) {
+      const Type *N = normalizeType(C, A, Level);
+      Changed |= N != A;
+      Args.push_back(N);
+    }
+    if (Id && !Changed)
+      return T;
     return C.typeTransCode(std::move(Tags), T->transRegions(),
                            std::move(Args), T->atRegion());
   }
@@ -231,14 +303,43 @@ const Type *scav::gc::normalizeType(GcContext &C, const Type *T,
     const Tag *NT = normalizeTag(C, T->tag());
     if (const Type *Expanded = expandMOnce(C, T->mRegions(), NT, Level))
       return normalizeType(C, Expanded, Level);
-    return C.typeM(T->mRegions(), NT);
+    return Id && NT == T->tag() ? T : C.typeM(T->mRegions(), NT);
   }
   case TypeKind::CApp: {
     const Tag *NT = normalizeTag(C, T->tag());
     if (const Type *Expanded = expandCOnce(C, T->cFrom(), T->cTo(), NT))
       return normalizeType(C, Expanded, Level);
-    return C.typeC(T->cFrom(), T->cTo(), NT);
+    return Id && NT == T->tag() ? T : C.typeC(T->cFrom(), T->cTo(), NT);
   }
   }
   return T;
+}
+
+} // namespace
+
+/// Memoizing entry point; the memo keys on (node, LanguageLevel) since the M
+/// equations differ per level. Note that expandMOnce invents fresh region
+/// binders, so without the memo two normalizations of the same type yield
+/// alpha-equivalent but structurally *distinct* results; memoization pins
+/// the first result, which in turn lets downstream equality checks succeed
+/// by pointer identity.
+const Type *scav::gc::normalizeType(GcContext &C, const Type *T,
+                                    LanguageLevel Level) {
+  GcContext::Stats &S = C.stats();
+  ++S.NormalizeTypeCalls;
+  if (C.interningEnabled()) {
+    if (T->isNormal()) {
+      ++S.NormalizeTypeNormalBitHits;
+      return T;
+    }
+    if (const Type *M = C.lookupNormalTypeMemo(T, Level)) {
+      ++S.NormalizeTypeMemoHits;
+      return M;
+    }
+  }
+  GcContext::TypeworkTimer Timer(S);
+  const Type *N = normalizeTypeImpl(C, T, Level);
+  if (C.interningEnabled())
+    C.rememberNormalType(T, Level, N);
+  return N;
 }

@@ -129,14 +129,12 @@ StateCheckResult scav::gc::checkState(Machine &M,
   Symbol CdS = C.cd().sym();
 
   // Checking allocates heavily (normalization, substitution); none of it
-  // survives the call, so scope it with an arena checkpoint — otherwise a
-  // per-step checking run leaks the whole transcript of its own work.
-  struct ArenaScope {
-    Arena &A;
-    Arena::Checkpoint Cp;
-    explicit ArenaScope(Arena &A) : A(A), Cp(A.mark()) {}
-    ~ArenaScope() { A.release(Cp); }
-  } Scope(C.arena());
+  // survives the call, so scope it with a context checkpoint — otherwise a
+  // per-step checking run leaks the whole transcript of its own work. This
+  // must be GcContext::Scope, not a raw arena checkpoint: the uniquing
+  // tables and normalization memos would otherwise keep dangling pointers
+  // to the released nodes.
+  GcContext::Scope Scope(C);
 
   if (!M.typeTrackingOk())
     return StateCheckResult::failure("Psi maintenance failed: " +

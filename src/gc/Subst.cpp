@@ -16,10 +16,20 @@ using namespace scav::gc;
 namespace {
 
 /// The set of symbols that force a binder rename.
-SymbolSet computeUnsafe(const Subst &S) {
+///
+/// A ground range node has no variables at all, so it cannot capture any
+/// binder; its symbols (concrete region names, at most) need not poison
+/// the traversal. Skipping them keeps the unsafe set small, which keeps
+/// binders un-renamed, which in turn lets the identity checks below return
+/// original (interned) subtrees. Like every other flag-driven shortcut,
+/// this is gated on interning so the disabled baseline is untouched.
+SymbolSet computeUnsafe(GcContext &C, const Subst &S) {
+  bool SkipGround = C.interningEnabled();
   SymbolSet U;
   for (const auto &[K, V] : S.Tags) {
     U.insert(K);
+    if (SkipGround && V->isGround())
+      continue;
     collectSymbols(V, U);
   }
   for (const auto &[K, V] : S.Regions) {
@@ -28,6 +38,8 @@ SymbolSet computeUnsafe(const Subst &S) {
   }
   for (const auto &[K, V] : S.Types) {
     U.insert(K);
+    if (SkipGround && V->isGround())
+      continue;
     collectSymbols(V, U);
   }
   for (const auto &[K, V] : S.Vals) {
@@ -129,6 +141,17 @@ const Term *substTermRec(const Term *T, const Env &E);
 
 const Tag *substTagRec(const Tag *T, const Env &E) {
   GcContext &C = E.C;
+  // Ground subtrees mention no variables of any sort, so every substitution
+  // is the identity on them. (Gated on interning so the e10 baseline toggle
+  // disables the whole optimization stack at once.)
+  if (C.interningEnabled() && T->isGround()) {
+    ++C.stats().SubstGroundSkips;
+    return T;
+  }
+  // Identity detection below (unchanged children ⇒ return T itself) is
+  // gated the same way: rebuilding an unchanged node is a wasted uniquing
+  // lookup when interning is on, and pre-optimization behavior when off.
+  bool Id = C.interningEnabled();
   switch (T->kind()) {
   case TagKind::Int:
     return T;
@@ -136,26 +159,48 @@ const Tag *substTagRec(const Tag *T, const Env &E) {
     auto It = E.S.Tags.find(T->var());
     return It == E.S.Tags.end() ? T : It->second;
   }
-  case TagKind::Prod:
-    return C.tagProd(substTagRec(T->left(), E), substTagRec(T->right(), E));
-  case TagKind::App:
-    return C.tagApp(substTagRec(T->left(), E), substTagRec(T->right(), E));
+  case TagKind::Prod: {
+    const Tag *A = substTagRec(T->left(), E);
+    const Tag *B = substTagRec(T->right(), E);
+    if (Id && A == T->left() && B == T->right())
+      return T;
+    return C.tagProd(A, B);
+  }
+  case TagKind::App: {
+    const Tag *A = substTagRec(T->left(), E);
+    const Tag *B = substTagRec(T->right(), E);
+    if (Id && A == T->left() && B == T->right())
+      return T;
+    return C.tagApp(A, B);
+  }
   case TagKind::Arrow: {
     std::vector<const Tag *> Args;
     Args.reserve(T->arrowArgs().size());
-    for (const Tag *A : T->arrowArgs())
-      Args.push_back(substTagRec(A, E));
+    bool Same = true;
+    for (const Tag *A : T->arrowArgs()) {
+      const Tag *N = substTagRec(A, E);
+      Same = Same && N == A;
+      Args.push_back(N);
+    }
+    if (Id && Same)
+      return T;
     return C.tagArrow(std::move(Args));
   }
   case TagKind::Exists: {
     BinderScope BS(E);
     Symbol B = BS.enter(T->var(), VarSort::TagVar);
-    return C.tagExists(B, substTagRec(T->body(), BS.env()));
+    const Tag *Body = substTagRec(T->body(), BS.env());
+    if (Id && B == T->var() && Body == T->body())
+      return T;
+    return C.tagExists(B, Body);
   }
   case TagKind::Lam: {
     BinderScope BS(E);
     Symbol B = BS.enter(T->var(), VarSort::TagVar);
-    return C.tagLam(B, T->binderKind(), substTagRec(T->body(), BS.env()));
+    const Tag *Body = substTagRec(T->body(), BS.env());
+    if (Id && B == T->var() && Body == T->body())
+      return T;
+    return C.tagLam(B, T->binderKind(), Body);
   }
   }
   return T;
@@ -163,6 +208,13 @@ const Tag *substTagRec(const Tag *T, const Env &E) {
 
 const Type *substTypeRec(const Type *T, const Env &E) {
   GcContext &C = E.C;
+  // See substTagRec: Ground types mention no variables (and only concrete
+  // region names), so substitution cannot change them.
+  if (C.interningEnabled() && T->isGround()) {
+    ++C.stats().SubstGroundSkips;
+    return T;
+  }
+  bool Id = C.interningEnabled(); // see substTagRec
   switch (T->kind()) {
   case TypeKind::Int:
     return T;
@@ -170,44 +222,81 @@ const Type *substTypeRec(const Type *T, const Env &E) {
     auto It = E.S.Types.find(T->var());
     return It == E.S.Types.end() ? T : It->second;
   }
-  case TypeKind::Prod:
-    return C.typeProd(substTypeRec(T->left(), E), substTypeRec(T->right(), E));
-  case TypeKind::Sum:
-    return C.typeSum(substTypeRec(T->left(), E), substTypeRec(T->right(), E));
-  case TypeKind::Left:
-    return C.typeLeft(substTypeRec(T->body(), E));
-  case TypeKind::Right:
-    return C.typeRight(substTypeRec(T->body(), E));
-  case TypeKind::At:
-    return C.typeAt(substTypeRec(T->body(), E), substRegion(T->atRegion(), E));
+  case TypeKind::Prod: {
+    const Type *A = substTypeRec(T->left(), E);
+    const Type *B = substTypeRec(T->right(), E);
+    if (Id && A == T->left() && B == T->right())
+      return T;
+    return C.typeProd(A, B);
+  }
+  case TypeKind::Sum: {
+    const Type *A = substTypeRec(T->left(), E);
+    const Type *B = substTypeRec(T->right(), E);
+    if (Id && A == T->left() && B == T->right())
+      return T;
+    return C.typeSum(A, B);
+  }
+  case TypeKind::Left: {
+    const Type *B = substTypeRec(T->body(), E);
+    return Id && B == T->body() ? T : C.typeLeft(B);
+  }
+  case TypeKind::Right: {
+    const Type *B = substTypeRec(T->body(), E);
+    return Id && B == T->body() ? T : C.typeRight(B);
+  }
+  case TypeKind::At: {
+    const Type *B = substTypeRec(T->body(), E);
+    Region R = substRegion(T->atRegion(), E);
+    if (Id && B == T->body() && R == T->atRegion())
+      return T;
+    return C.typeAt(B, R);
+  }
   case TypeKind::MApp: {
     std::vector<Region> Rs;
-    for (Region R : T->mRegions())
-      Rs.push_back(substRegion(R, E));
-    return C.typeM(std::move(Rs), substTagRec(T->tag(), E));
+    bool Same = true;
+    for (Region R : T->mRegions()) {
+      Region N = substRegion(R, E);
+      Same = Same && N == R;
+      Rs.push_back(N);
+    }
+    const Tag *Tg = substTagRec(T->tag(), E);
+    if (Id && Same && Tg == T->tag())
+      return T;
+    return C.typeM(std::move(Rs), Tg);
   }
-  case TypeKind::CApp:
-    return C.typeC(substRegion(T->cFrom(), E), substRegion(T->cTo(), E),
-                   substTagRec(T->tag(), E));
+  case TypeKind::CApp: {
+    Region F = substRegion(T->cFrom(), E);
+    Region To = substRegion(T->cTo(), E);
+    const Tag *Tg = substTagRec(T->tag(), E);
+    if (Id && F == T->cFrom() && To == T->cTo() && Tg == T->tag())
+      return T;
+    return C.typeC(F, To, Tg);
+  }
   case TypeKind::ExistsTag: {
     BinderScope BS(E);
     Symbol B = BS.enter(T->var(), VarSort::TagVar);
-    return C.typeExistsTag(B, T->binderKind(),
-                           substTypeRec(T->body(), BS.env()));
+    const Type *Body = substTypeRec(T->body(), BS.env());
+    if (Id && B == T->var() && Body == T->body())
+      return T;
+    return C.typeExistsTag(B, T->binderKind(), Body);
   }
   case TypeKind::ExistsTyVar: {
     RegionSet Delta = substRegionSet(T->delta(), E);
     BinderScope BS(E);
     Symbol B = BS.enter(T->var(), VarSort::TypeVar);
-    return C.typeExistsTyVar(B, std::move(Delta),
-                             substTypeRec(T->body(), BS.env()));
+    const Type *Body = substTypeRec(T->body(), BS.env());
+    if (Id && B == T->var() && Body == T->body() && Delta == T->delta())
+      return T;
+    return C.typeExistsTyVar(B, std::move(Delta), Body);
   }
   case TypeKind::ExistsRegion: {
     RegionSet Delta = substRegionSet(T->delta(), E);
     BinderScope BS(E);
     Symbol B = BS.enter(T->var(), VarSort::RegionVar);
-    return C.typeExistsRegion(B, std::move(Delta),
-                              substTypeRec(T->body(), BS.env()));
+    const Type *Body = substTypeRec(T->body(), BS.env());
+    if (Id && B == T->var() && Body == T->body() && Delta == T->delta())
+      return T;
+    return C.typeExistsRegion(B, std::move(Delta), Body);
   }
   case TypeKind::Code: {
     BinderScope BS(E);
@@ -445,14 +534,14 @@ const Term *substTermRec(const Term *T, const Env &E) {
 const Tag *scav::gc::applySubst(GcContext &C, const Tag *T, const Subst &S) {
   if (S.empty())
     return T;
-  SymbolSet Unsafe = computeUnsafe(S);
+  SymbolSet Unsafe = computeUnsafe(C, S);
   return substTagRec(T, Env{C, S, Unsafe});
 }
 
 const Type *scav::gc::applySubst(GcContext &C, const Type *T, const Subst &S) {
   if (S.empty())
     return T;
-  SymbolSet Unsafe = computeUnsafe(S);
+  SymbolSet Unsafe = computeUnsafe(C, S);
   return substTypeRec(T, Env{C, S, Unsafe});
 }
 
@@ -460,21 +549,21 @@ const Value *scav::gc::applySubst(GcContext &C, const Value *V,
                                   const Subst &S) {
   if (S.empty())
     return V;
-  SymbolSet Unsafe = computeUnsafe(S);
+  SymbolSet Unsafe = computeUnsafe(C, S);
   return substValueRec(V, Env{C, S, Unsafe});
 }
 
 const Op *scav::gc::applySubst(GcContext &C, const Op *O, const Subst &S) {
   if (S.empty())
     return O;
-  SymbolSet Unsafe = computeUnsafe(S);
+  SymbolSet Unsafe = computeUnsafe(C, S);
   return substOpRec(O, Env{C, S, Unsafe});
 }
 
 const Term *scav::gc::applySubst(GcContext &C, const Term *E, const Subst &S) {
   if (S.empty())
     return E;
-  SymbolSet Unsafe = computeUnsafe(S);
+  SymbolSet Unsafe = computeUnsafe(C, S);
   return substTermRec(E, Env{C, S, Unsafe});
 }
 

@@ -31,10 +31,44 @@ using scav::Symbol;
 enum class TagKind { Var, Int, Prod, Arrow, Exists, Lam, App };
 
 /// A tag node; arena-allocated and immutable.
+///
+/// Nodes constructed through GcContext are hash-consed: the context stores a
+/// structural hash (`hash()`) in every node at construction time and uniques
+/// structurally identical nodes, so `hash()`/`shallowEquals()` over child
+/// *pointers* implement full structural hashing/equality. Three derived facts
+/// are cached as flag bits (see GcContext for the exact definitions):
+///
+///  * Normal    — the tag is a β-normal form (normalizeTag is the identity);
+///  * Ground    — no variables and no binders anywhere in the subtree, so
+///                alpha-equivalence degenerates to structural equality;
+///  * Canonical — the node went through the uniquing table, so for two
+///                Ground+Canonical nodes pointer inequality implies
+///                structural (hence alpha-) inequality.
 class Tag {
 public:
+  enum : uint8_t {
+    FlagNormal = 1u << 0,
+    FlagGround = 1u << 1,
+    FlagCanonical = 1u << 2,
+  };
+
   TagKind kind() const { return K; }
   bool is(TagKind Which) const { return K == Which; }
+
+  /// Structural hash, stored at construction (children hash by pointer
+  /// identity, which equals structural identity for canonical nodes).
+  size_t hash() const { return H; }
+  bool isNormal() const { return Bits & FlagNormal; }
+  bool isGround() const { return Bits & FlagGround; }
+  bool isCanonical() const { return Bits & FlagCanonical; }
+  uint8_t flags() const { return Bits; }
+
+  /// Field-wise equality one level deep; full structural equality when the
+  /// children are canonical.
+  bool shallowEquals(const Tag &O) const {
+    return K == O.K && V == O.V && A == O.A && B == O.B && BK == O.BK &&
+           Args == O.Args;
+  }
 
   /// Var: the variable; Exists/Lam: the bound variable.
   Symbol var() const {
@@ -82,6 +116,8 @@ private:
   const Tag *B = nullptr;
   const Kind *BK = nullptr;
   std::vector<const Tag *> Args;
+  size_t H = 0;
+  uint8_t Bits = 0;
 };
 
 } // namespace scav::gc

@@ -52,10 +52,37 @@ enum class TypeKind {
 /// Application must supply the pinned tags and regions verbatim.
 ///
 /// A type node; arena-allocated and immutable.
+///
+/// Like Tag, type nodes are hash-consed by GcContext and carry a stored
+/// structural hash plus Normal/Ground/Canonical flag bits (see Tag.h and
+/// GcContext.h for the definitions; for types, Ground additionally requires
+/// every mentioned region to be a concrete name, never a variable).
 class Type {
 public:
+  enum : uint8_t {
+    FlagNormal = 1u << 0,
+    FlagGround = 1u << 1,
+    FlagCanonical = 1u << 2,
+  };
+
   TypeKind kind() const { return K; }
   bool is(TypeKind Which) const { return K == Which; }
+
+  size_t hash() const { return H; }
+  bool isNormal() const { return Bits & FlagNormal; }
+  bool isGround() const { return Bits & FlagGround; }
+  bool isCanonical() const { return Bits & FlagCanonical; }
+  uint8_t flags() const { return Bits; }
+
+  /// Field-wise equality one level deep; full structural equality when the
+  /// children are canonical.
+  bool shallowEquals(const Type &O) const {
+    return K == O.K && A == O.A && B == O.B && V == O.V && BK == O.BK &&
+           Delta == O.Delta && R1 == O.R1 && R2 == O.R2 && T == O.T &&
+           Regions == O.Regions && TagParams == O.TagParams &&
+           TagKinds == O.TagKinds && RegionParams == O.RegionParams &&
+           Args == O.Args && TagArgs == O.TagArgs;
+  }
 
   /// Prod/Sum: left component.
   const Type *left() const {
@@ -182,6 +209,8 @@ private:
   std::vector<Symbol> RegionParams;
   std::vector<const Type *> Args;
   std::vector<const Tag *> TagArgs;
+  size_t H = 0;
+  uint8_t Bits = 0;
 };
 
 } // namespace scav::gc

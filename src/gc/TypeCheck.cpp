@@ -144,9 +144,13 @@ bool TypeChecker::subtypeOf(const Type *A, const Type *B) {
 }
 
 bool TypeChecker::subtypeOf(const Type *A, const Type *B, const CheckEnv &E) {
+  // Reflexivity by pointer identity — with hash-consing, the overwhelmingly
+  // common σ ≤ σ case never even normalizes.
+  if (A == B)
+    return true;
   const Type *NA = normalizeType(C, A, Level);
   const Type *NB = normalizeType(C, B, Level);
-  if (alphaEqualType(NA, NB))
+  if (NA == NB || alphaEqualType(NA, NB))
     return true;
 
   // Fig 8 sum subsumption.

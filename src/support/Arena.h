@@ -85,7 +85,10 @@ public:
   /// Captures the current allocation state. Everything allocated after the
   /// mark can be bulk-freed with release(). The caller must guarantee that
   /// no object allocated after the mark is reachable afterwards — used to
-  /// scope the transient allocations of a machine-state check.
+  /// scope the transient allocations of a machine-state check. NOTE: side
+  /// tables keyed by node pointers (uniquing tables, memo caches) count as
+  /// reachability; contexts that maintain such tables must unwind their
+  /// entries before releasing (see GcContext::Scope, which wraps this).
   Checkpoint mark() const {
     return Checkpoint{Slabs.size(), Ptr, End, Cleanups.size(),
                       NumAllocations};
@@ -103,6 +106,20 @@ public:
     End = Cp.End;
     NumAllocations = Cp.NumAllocations;
   }
+
+  /// RAII over mark()/release() for callers without pointer-keyed side
+  /// tables to unwind.
+  class ScopedCheckpoint {
+  public:
+    explicit ScopedCheckpoint(Arena &A) : A(A), Cp(A.mark()) {}
+    ~ScopedCheckpoint() { A.release(Cp); }
+    ScopedCheckpoint(const ScopedCheckpoint &) = delete;
+    ScopedCheckpoint &operator=(const ScopedCheckpoint &) = delete;
+
+  private:
+    Arena &A;
+    Checkpoint Cp;
+  };
 
 private:
   struct Cleanup {

@@ -1,0 +1,211 @@
+//===- tests/gc_intern_test.cpp - Hash-consing & memoization --------------===//
+//
+// The uniquing context's contract: structurally identical ground nodes are
+// pointer-identical, normalization is memoized (and idempotent), open
+// alpha-variants are NOT unified (interning is name-sensitive), cache
+// entries unwind correctly with GcContext::Scope, and the full certified
+// pipeline (collection + state check with Ψ tracking) still passes with
+// every cache family actually hitting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorForward.h"
+#include "gc/NativeCollector.h"
+#include "gc/StateCheck.h"
+#include "harness/HeapForge.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::gc;
+using namespace scav::harness;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// 1. Uniquing: structurally equal ground nodes are pointer-equal
+//===----------------------------------------------------------------------===//
+
+TEST(Intern, GroundTagsArePointerEqual) {
+  GcContext C;
+  const Tag *A = C.tagProd(C.tagInt(), C.tagProd(C.tagInt(), C.tagInt()));
+  const Tag *B = C.tagProd(C.tagInt(), C.tagProd(C.tagInt(), C.tagInt()));
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(A->isGround());
+  EXPECT_TRUE(A->isCanonical());
+  EXPECT_GT(C.stats().TagInternHits, 0u);
+
+  const Tag *Arrow = C.tagArrow({A, C.tagInt()});
+  EXPECT_EQ(Arrow, C.tagArrow({B, C.tagInt()}));
+}
+
+TEST(Intern, GroundTypesArePointerEqual) {
+  GcContext C;
+  Region R = Region::name(C.fresh("rho"));
+  const Type *A = C.typeM(R, C.tagProd(C.tagInt(), C.tagInt()));
+  const Type *B = C.typeM(R, C.tagProd(C.tagInt(), C.tagInt()));
+  EXPECT_EQ(A, B);
+  EXPECT_GT(C.stats().TypeInternHits, 0u);
+  EXPECT_EQ(C.typeProd(A, A), C.typeProd(B, B));
+}
+
+TEST(Intern, DistinctNodesStayDistinct) {
+  GcContext C;
+  EXPECT_NE(C.tagProd(C.tagInt(), C.tagInt()), C.tagInt());
+  Region R1 = Region::name(C.fresh("r"));
+  Region R2 = Region::name(C.fresh("r"));
+  EXPECT_NE(C.typeM(R1, C.tagInt()), C.typeM(R2, C.tagInt()));
+}
+
+TEST(Intern, DisabledContextDoesNotUnify) {
+  GcContext C(/*EnableInterning=*/false);
+  EXPECT_FALSE(C.interningEnabled());
+  const Tag *A = C.tagProd(C.tagInt(), C.tagInt());
+  const Tag *B = C.tagProd(C.tagInt(), C.tagInt());
+  EXPECT_NE(A, B);
+  EXPECT_FALSE(A->isCanonical());
+  // Structural equality still holds, of course.
+  EXPECT_TRUE(tagEqual(C, A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// 2. Normalization: idempotent and memoized
+//===----------------------------------------------------------------------===//
+
+TEST(Intern, NormalizeTagMemoized) {
+  GcContext C;
+  Symbol T = C.fresh("t");
+  // (λt.(t × Int)) Int — a redex, so the Normal bit cannot short-circuit.
+  const Tag *Redex =
+      C.tagApp(C.tagLam(T, C.tagProd(C.tagVar(T), C.tagInt())), C.tagInt());
+  EXPECT_FALSE(Redex->isNormal());
+
+  const Tag *N1 = normalizeTag(C, Redex);
+  EXPECT_EQ(N1, C.tagProd(C.tagInt(), C.tagInt()));
+  EXPECT_TRUE(N1->isNormal());
+  // Idempotence, via the Normal bit (no recomputation).
+  EXPECT_EQ(normalizeTag(C, N1), N1);
+
+  uint64_t MemoBefore = C.stats().NormalizeTagMemoHits;
+  const Tag *N2 = normalizeTag(C, Redex);
+  EXPECT_EQ(N1, N2);
+  EXPECT_EQ(C.stats().NormalizeTagMemoHits, MemoBefore + 1);
+}
+
+TEST(Intern, NormalizeTypeMemoizedPerLevel) {
+  GcContext C;
+  Region R = Region::name(C.fresh("rho"));
+  const Type *MInt = C.typeM(R, C.tagProd(C.tagInt(), C.tagInt()));
+
+  const Type *N1 = normalizeType(C, MInt, LanguageLevel::Base);
+  EXPECT_EQ(normalizeType(C, N1, LanguageLevel::Base), N1);
+
+  uint64_t MemoBefore = C.stats().NormalizeTypeMemoHits;
+  EXPECT_EQ(normalizeType(C, MInt, LanguageLevel::Base), N1);
+  EXPECT_EQ(C.stats().NormalizeTypeMemoHits, MemoBefore + 1);
+
+  // A different language level is a different memo slot (M expands to a
+  // different wrapper structure per level), not a stale reuse.
+  const Type *NF = normalizeType(C, MInt, LanguageLevel::Forward);
+  EXPECT_NE(NF, N1);
+}
+
+//===----------------------------------------------------------------------===//
+// 3. Name-sensitivity: alpha-variants of open nodes are not unified
+//===----------------------------------------------------------------------===//
+
+TEST(Intern, AlphaVariantsNotUnified) {
+  GcContext C;
+  Symbol T = C.fresh("t"), S = C.fresh("s");
+  const Tag *IdT = C.tagLam(T, C.tagVar(T));
+  const Tag *IdS = C.tagLam(S, C.tagVar(S));
+  EXPECT_NE(IdT, IdS); // interning is name-sensitive
+  EXPECT_FALSE(IdT->isGround());
+  EXPECT_TRUE(alphaEqualTag(IdT, IdS)); // ...but they stay alpha-equal
+  EXPECT_TRUE(tagEqual(C, IdT, IdS));
+  // Same binder name: the nodes really are identical, so they unify.
+  EXPECT_EQ(IdT, C.tagLam(T, C.tagVar(T)));
+}
+
+//===----------------------------------------------------------------------===//
+// 4. Scope rollback: released nodes leave no dangling cache entries
+//===----------------------------------------------------------------------===//
+
+TEST(Intern, ScopeUnwindsTablesAndMemos) {
+  GcContext C;
+  const Tag *Keep = C.tagProd(C.tagInt(), C.tagInt());
+  size_t Tags = C.internedTags(), Types = C.internedTypes();
+  {
+    GcContext::Scope Scope(C);
+    Symbol T = C.fresh("t");
+    const Tag *Redex = C.tagApp(C.tagLam(T, C.tagVar(T)), Keep);
+    normalizeTag(C, Redex); // populates the memo inside the scope
+    Region R = Region::name(C.fresh("rho"));
+    normalizeType(C, C.typeM(R, Redex), LanguageLevel::Base);
+    EXPECT_GT(C.internedTags(), Tags);
+  }
+  EXPECT_EQ(C.internedTags(), Tags);
+  EXPECT_EQ(C.internedTypes(), Types);
+  // The surviving node is still canonical: re-building it hits the table
+  // (a dangling table entry would crash or miss here).
+  EXPECT_EQ(C.tagProd(C.tagInt(), C.tagInt()), Keep);
+}
+
+//===----------------------------------------------------------------------===//
+// 5. End-to-end: certified collection + state check with Ψ tracking
+//===----------------------------------------------------------------------===//
+
+TEST(Intern, CollectionAndStateCheckWithTracking) {
+  GcContext C;
+  ASSERT_TRUE(C.interningEnabled());
+  Machine M(C, LanguageLevel::Forward);
+  Address GcAddr = installForwardCollector(M).Gc;
+  Region R = M.createRegion("from", 0);
+  ForgedHeap H = forgeList(M, R, R, 24);
+
+  // Same value pointer allocated twice: the second put must be served from
+  // the recordPut cache.
+  const Value *V = C.valPair(C.valInt(1), C.valInt(2));
+  M.allocate(R, V);
+  M.allocate(R, V);
+  EXPECT_GT(M.stats().RecordPutCacheHits, 0u);
+
+  Address Fin = installFinisher(M, H.Tag);
+  const Term *E = collectOnceTerm(M, GcAddr, H, R, R, Fin);
+  M.start(E);
+  M.run(50'000'000);
+  ASSERT_EQ(M.status(), Machine::Status::Halted) << M.stuckReason();
+
+  StateCheckResult Res = checkState(M);
+  EXPECT_TRUE(Res.Ok) << Res.Error;
+
+  // The run must have exercised every cache family.
+  EXPECT_GT(C.stats().TagInternHits, 0u);
+  EXPECT_GT(C.stats().TypeInternHits, 0u);
+  EXPECT_GT(C.stats().NormalizeTagMemoHits + C.stats().NormalizeTypeMemoHits,
+            0u);
+  EXPECT_GT(C.stats().EqualPointerHits, 0u);
+  EXPECT_GT(C.stats().SubstGroundSkips, 0u);
+}
+
+TEST(Intern, DifferentialCollectStillAgrees) {
+  // The forwarding collector against the native sharing-preserving oracle
+  // on one forged heap, with interning on — graph shapes must agree (the
+  // detailed differential suite lives in gc_differential_collect_test).
+  auto LiveCells = [](bool Intern) {
+    GcContext C(Intern);
+    Machine M(C, LanguageLevel::Forward);
+    Address GcAddr = installForwardCollector(M).Gc;
+    Region R = M.createRegion("from", 0);
+    ForgedHeap H = forgeTree(M, R, R, 6, /*Share=*/true);
+    Address Fin = installFinisher(M, H.Tag);
+    const Term *E = collectOnceTerm(M, GcAddr, H, R, R, Fin);
+    M.start(E);
+    M.run(50'000'000);
+    EXPECT_EQ(M.status(), Machine::Status::Halted) << M.stuckReason();
+    return M.memory().liveDataCells();
+  };
+  EXPECT_EQ(LiveCells(true), LiveCells(false));
+}
+
+} // namespace
