@@ -84,10 +84,26 @@ inline void verdict(bool Ok, const char *Claim) {
   std::printf("%s: %s\n", Ok ? "PASS" : "FAIL", Claim);
 }
 
+/// The build's git revision, baked in at CMake configure time (see
+/// bench/CMakeLists.txt); "unknown" outside a git checkout. Configure-time,
+/// so it can lag uncommitted edits — good enough to trace a BENCH record
+/// back to the code that produced it.
+inline const char *gitSha() {
+#ifdef SCAV_GIT_SHA
+  return SCAV_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
 /// Machine-readable experiment record. Every bench binary accepts
 /// `--json <path>`; when present, the binary writes one flat JSON object
 /// with the experiment name, a pass flag, and its key metrics, so
-/// EXPERIMENTS.md numbers can be regenerated mechanically.
+/// EXPERIMENTS.md numbers can be regenerated mechanically. Every record
+/// also carries the machine's evaluation mode (the mode a Setup with the
+/// default config would use, unless the binary overrides it via evalMode)
+/// and the git revision, so BENCH files from different builds stay
+/// comparable.
 class JsonReport {
 public:
   explicit JsonReport(std::string Name) : Name(std::move(Name)) {}
@@ -99,6 +115,9 @@ public:
     Ints.emplace_back(Key, V);
   }
   void pass(bool Ok) { Pass = Ok; }
+  /// Overrides the recorded eval mode (binaries that run a non-default
+  /// or mixed-mode machine, like e11).
+  void evalMode(const std::string &Mode) { Mode_ = Mode; }
 
   /// Writes the report to \p Path; no-op when Path is empty.
   bool write(const std::string &Path) const {
@@ -109,8 +128,11 @@ public:
       std::fprintf(stderr, "cannot write %s\n", Path.c_str());
       return false;
     }
-    std::fprintf(F, "{\n  \"experiment\": \"%s\",\n  \"pass\": %s",
-                 Name.c_str(), Pass ? "true" : "false");
+    std::fprintf(F,
+                 "{\n  \"experiment\": \"%s\",\n  \"pass\": %s,\n"
+                 "  \"eval_mode\": \"%s\",\n  \"git_sha\": \"%s\"",
+                 Name.c_str(), Pass ? "true" : "false", Mode_.c_str(),
+                 gitSha());
     for (const auto &[K, V] : Ints)
       std::fprintf(F, ",\n  \"%s\": %llu", K.c_str(),
                    static_cast<unsigned long long>(V));
@@ -125,6 +147,7 @@ public:
 private:
   std::string Name;
   bool Pass = false;
+  std::string Mode_ = evalModeName(MachineConfig{}.Eval);
   std::vector<std::pair<std::string, uint64_t>> Ints;
   std::vector<std::pair<std::string, double>> Nums;
 };

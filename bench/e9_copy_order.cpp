@@ -31,7 +31,7 @@ double meanEdgeDistance(Machine &M, Region To) {
     return 0;
   uint64_t Sum = 0, Edges = 0;
   for (uint32_t Off = 0; Off != R->Cells.size(); ++Off) {
-    std::set<Address> Children;
+    AddressSet Children;
     if (R->Cells[Off])
       collectAddresses(R->Cells[Off], Children);
     for (Address A : Children) {

@@ -18,6 +18,8 @@ Address Machine::reserveCode(std::string_view Label) {
   RegionData *R = Mem.region(CdS);
   assert(R && "cd region must exist");
   (void)Label;
+  assert(R->Cells.size() < std::numeric_limits<uint32_t>::max() &&
+         "cd offset space exhausted");
   uint32_t Off = static_cast<uint32_t>(R->Cells.size());
   R->Cells.push_back(nullptr); // placeholder until defineCode
   return Address{C.cd(), Off};
@@ -54,7 +56,7 @@ Region Machine::createRegion(std::string_view BaseName, uint32_t Capacity) {
 const Value *Machine::allocate(Region R, const Value *V) {
   assert(R.isName() && "allocate into a concrete region");
   std::optional<Address> A = Mem.put(R.sym(), V);
-  assert(A && "allocate into a reclaimed region");
+  assert(A && "allocate failed: reclaimed region or offset-space overflow");
   ++Stats.Puts;
   recordPut(*A, V);
   return C.valAddr(*A);
@@ -62,9 +64,25 @@ const Value *Machine::allocate(Region R, const Value *V) {
 
 void Machine::start(const Term *E) {
   Cur = E;
+  EnvS = Subst{};
   St = Status::Running;
   HaltVal = nullptr;
   StuckMsg.clear();
+}
+
+const Term *Machine::currentTerm() const {
+  if (!Cur || Config.Eval != EvalMode::Env || EnvS.empty())
+    return Cur;
+  // Force boundary: external observers (checkState, the soundness harness,
+  // failure diagnostics) must see exactly the paper's substituted (M, e)
+  // state. Deliberately not memoized: checkState calls this under a
+  // GcContext::Scope, so caching the forced term would leave a dangling
+  // pointer once the scope unwinds.
+  ++Stats.EnvForces;
+  CloseCounters Ctr;
+  const Term *T = closeTerm(C, Cur, EnvS, &Ctr);
+  Stats.EnvLookups += Ctr.Lookups;
+  return T;
 }
 
 const Type *Machine::inferRuntimeType(const Value *V) {
@@ -265,7 +283,7 @@ Machine::Status Machine::step() {
   switch (E->kind()) {
   case TermKind::App: {
     ++Stats.Applications;
-    const Value *F = E->appFun();
+    const Value *F = resolveValue(E->appFun());
     if (F->is(ValueKind::TransApp))
       F = F->payload(); // (vJ~τK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v)
     if (!F->is(ValueKind::Addr))
@@ -280,6 +298,31 @@ Machine::Status Machine::step() {
         Code->regionParams().size() != E->appRegions().size() ||
         Code->valParams().size() != E->appArgs().size())
       return stuck("application arity mismatch at " + printValue(C, F));
+    if (envMode()) {
+      // The callee's body is closed up to its parameters (closure-converted
+      // code), so the environment is *replaced*, not extended — the new
+      // environment is exactly the binding set Fig 5's β-step substitutes,
+      // and the body itself is entered shared, with no traversal at all.
+      Subst NewEnv;
+      for (size_t I = 0, N = E->appTags().size(); I != N; ++I)
+        NewEnv.Tags[Code->tagParams()[I]] =
+            normalizeTag(C, resolveTag(E->appTags()[I]));
+      for (size_t I = 0, N = E->appRegions().size(); I != N; ++I) {
+        Region R = resolveRegion(E->appRegions()[I]);
+        if (!R.isName())
+          return stuck("application with unresolved region variable " +
+                       printRegion(C, R));
+        NewEnv.Regions[Code->regionParams()[I]] = R;
+      }
+      for (size_t I = 0, N = E->appArgs().size(); I != N; ++I)
+        NewEnv.Vals[Code->valParams()[I]] = resolveValue(E->appArgs()[I]);
+      Stats.EnvBindings +=
+          E->appTags().size() + E->appRegions().size() + E->appArgs().size();
+      EnvS = std::move(NewEnv);
+      noteEnvDepth();
+      Cur = Code->codeBody();
+      return St;
+    }
     Subst S;
     for (size_t I = 0, N = E->appTags().size(); I != N; ++I)
       S.Tags[Code->tagParams()[I]] = normalizeTag(C, E->appTags()[I]);
@@ -298,54 +341,59 @@ Machine::Status Machine::step() {
 
   case TermKind::Let: {
     const Op *O = E->letOp();
-    Subst S;
+    const Value *BV = nullptr;
     switch (O->kind()) {
     case OpKind::Val:
-      S.Vals[E->binderVar()] = O->value();
+      BV = resolveValue(O->value());
       break;
     case OpKind::Proj1:
     case OpKind::Proj2: {
       ++Stats.Projections;
-      const Value *V = O->value();
+      const Value *V = resolveValue(O->value());
       if (!V->is(ValueKind::Pair))
         return stuck("projection from non-pair: " + printValue(C, V));
-      S.Vals[E->binderVar()] =
-          O->is(OpKind::Proj1) ? V->first() : V->second();
+      BV = O->is(OpKind::Proj1) ? V->first() : V->second();
       break;
     }
     case OpKind::Put: {
       ++Stats.Puts;
-      Region R = O->putRegion();
+      Region R = resolveRegion(O->putRegion());
       if (!R.isName())
         return stuck("put into unresolved region variable " +
                      printRegion(C, R));
-      std::optional<Address> A = Mem.put(R.sym(), O->value());
+      // Stored values escape the step loop into memory, so they are closed
+      // here (the Env-mode force boundary for `put`).
+      const Value *SV = resolveValue(O->value());
+      std::optional<Address> A = Mem.put(R.sym(), SV);
       if (!A)
-        return stuck("put into reclaimed region " + printRegion(C, R));
-      recordPut(*A, O->value());
-      S.Vals[E->binderVar()] = C.valAddr(*A);
+        return stuck(Mem.hasRegion(R.sym())
+                         ? "put overflows the region offset space of " +
+                               printRegion(C, R)
+                         : "put into reclaimed region " + printRegion(C, R));
+      recordPut(*A, SV);
+      BV = C.valAddr(*A);
       break;
     }
     case OpKind::Get: {
       ++Stats.Gets;
-      const Value *V = O->value();
+      const Value *V = resolveValue(O->value());
       if (!V->is(ValueKind::Addr))
         return stuck("get of non-address: " + printValue(C, V));
       const Value *Cell = Mem.get(V->address());
       if (!Cell)
         return stuck("get of dangling address: " + printValue(C, V));
-      S.Vals[E->binderVar()] = Cell;
+      BV = Cell;
       break;
     }
     case OpKind::Strip: {
-      const Value *V = O->value();
+      const Value *V = resolveValue(O->value());
       if (!V->is(ValueKind::Inl) && !V->is(ValueKind::Inr))
         return stuck("strip of untagged value: " + printValue(C, V));
-      S.Vals[E->binderVar()] = V->payload();
+      BV = V->payload();
       break;
     }
     case OpKind::Prim: {
-      const Value *L = O->lhs(), *R = O->rhs();
+      const Value *L = resolveValue(O->lhs()), *R = resolveValue(O->rhs());
       if (!L->is(ValueKind::Int) || !R->is(ValueKind::Int))
         return stuck("primitive on non-integers");
       int64_t A = L->intValue(), B = R->intValue(), Res = 0;
@@ -363,23 +411,24 @@ Machine::Status Machine::step() {
         Res = A <= B ? 1 : 0;
         break;
       }
-      S.Vals[E->binderVar()] = C.valInt(Res);
+      BV = C.valInt(Res);
       break;
     }
     }
-    Cur = applySubst(C, E->sub1(), S);
+    continueBindVal(E->binderVar(), BV, E->sub1());
     return St;
   }
 
   case TermKind::Halt: {
-    const Value *V = E->scrutinee();
+    // Halt values escape the machine: force them closed in Env mode.
+    const Value *V = resolveValue(E->scrutinee());
     St = Status::Halted;
     HaltVal = V;
     return St;
   }
 
   case TermKind::IfGc: {
-    Region R = E->region();
+    Region R = resolveRegion(E->region());
     if (!R.isName())
       return stuck("ifgc on unresolved region variable");
     if (Mem.isFull(R.sym())) {
@@ -394,11 +443,18 @@ Machine::Status Machine::step() {
 
   case TermKind::OpenTag: {
     ++Stats.Opens;
-    const Value *V = E->scrutinee();
+    const Value *V = resolveValue(E->scrutinee());
     if (!V->is(ValueKind::PackTag))
       return stuck("open-as-tag of non-package: " + printValue(C, V));
+    const Tag *W = normalizeTag(C, V->tagWitness());
+    if (envMode()) {
+      bindTag(E->binderVar(), W);
+      bindVal(E->binderVar2(), V->payload());
+      Cur = E->sub1();
+      return St;
+    }
     Subst S;
-    S.Tags[E->binderVar()] = normalizeTag(C, V->tagWitness());
+    S.Tags[E->binderVar()] = W;
     S.Vals[E->binderVar2()] = V->payload();
     Cur = applySubst(C, E->sub1(), S);
     return St;
@@ -406,9 +462,15 @@ Machine::Status Machine::step() {
 
   case TermKind::OpenTyVar: {
     ++Stats.Opens;
-    const Value *V = E->scrutinee();
+    const Value *V = resolveValue(E->scrutinee());
     if (!V->is(ValueKind::PackTyVar))
       return stuck("open-as-type of non-package: " + printValue(C, V));
+    if (envMode()) {
+      bindType(E->binderVar(), V->typeWitness());
+      bindVal(E->binderVar2(), V->payload());
+      Cur = E->sub1();
+      return St;
+    }
     Subst S;
     S.Types[E->binderVar()] = V->typeWitness();
     S.Vals[E->binderVar2()] = V->payload();
@@ -418,11 +480,17 @@ Machine::Status Machine::step() {
 
   case TermKind::OpenRegion: {
     ++Stats.Opens;
-    const Value *V = E->scrutinee();
+    const Value *V = resolveValue(E->scrutinee());
     if (!V->is(ValueKind::PackRegion))
       return stuck("open-as-region of non-package: " + printValue(C, V));
     if (!V->regionWitness().isName())
       return stuck("region package with unresolved witness");
+    if (envMode()) {
+      bindRegion(E->binderVar(), V->regionWitness());
+      bindVal(E->binderVar2(), V->payload());
+      Cur = E->sub1();
+      return St;
+    }
     Subst S;
     S.Regions[E->binderVar()] = V->regionWitness();
     S.Vals[E->binderVar2()] = V->payload();
@@ -432,6 +500,11 @@ Machine::Status Machine::step() {
 
   case TermKind::LetRegion: {
     Region R = createRegion(C.name(E->binderVar()), 0);
+    if (envMode()) {
+      bindRegion(E->binderVar(), R);
+      Cur = E->sub1();
+      return St;
+    }
     Subst S;
     S.Regions[E->binderVar()] = R;
     Cur = applySubst(C, E->sub1(), S);
@@ -441,10 +514,11 @@ Machine::Status Machine::step() {
   case TermKind::Only: {
     ++Stats.OnlyOps;
     Stats.OnlyRegionsScanned += Mem.numRegions();
-    for (Region R : E->onlySet())
+    RegionSet Keep = resolveRegionSet(E->onlySet());
+    for (Region R : Keep)
       if (!R.isName())
         return stuck("only with unresolved region variable");
-    size_t Reclaimed = Mem.restrictTo(E->onlySet());
+    size_t Reclaimed = Mem.restrictTo(Keep);
     Stats.RegionsReclaimed += Reclaimed;
     if (Config.HeapGrowthFactor != 0 && Config.DefaultRegionCapacity != 0) {
       // Resize the collection's own to-spaces (regions born this epoch);
@@ -462,7 +536,7 @@ Machine::Status Machine::step() {
     // Ψ|∆.
     std::vector<Symbol> Drop;
     for (const auto &[S2, _] : Psi.Regions)
-      if (S2 != C.cd().sym() && !E->onlySet().contains(Region::name(S2)))
+      if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2)))
         Drop.push_back(S2);
     for (Symbol S2 : Drop)
       Psi.removeRegion(S2);
@@ -475,7 +549,7 @@ Machine::Status Machine::step() {
 
   case TermKind::Typecase: {
     ++Stats.TypecaseSteps;
-    const Tag *T = normalizeTag(C, E->tag());
+    const Tag *T = normalizeTag(C, resolveTag(E->tag()));
     switch (T->kind()) {
     case TagKind::Int:
       Cur = E->caseInt();
@@ -484,6 +558,12 @@ Machine::Status Machine::step() {
       Cur = E->caseArrow();
       return St;
     case TagKind::Prod: {
+      if (envMode()) {
+        bindTag(E->prodVar1(), T->left());
+        bindTag(E->prodVar2(), T->right());
+        Cur = E->caseProd();
+        return St;
+      }
       Subst S;
       S.Tags[E->prodVar1()] = T->left();
       S.Tags[E->prodVar2()] = T->right();
@@ -491,8 +571,14 @@ Machine::Status Machine::step() {
       return St;
     }
     case TagKind::Exists: {
+      const Tag *Lam = C.tagLam(T->var(), C.omega(), T->body());
+      if (envMode()) {
+        bindTag(E->existsVar(), Lam);
+        Cur = E->caseExists();
+        return St;
+      }
       Subst S;
-      S.Tags[E->existsVar()] = C.tagLam(T->var(), C.omega(), T->body());
+      S.Tags[E->existsVar()] = Lam;
       Cur = applySubst(C, E->caseExists(), S);
       return St;
     }
@@ -502,13 +588,12 @@ Machine::Status Machine::step() {
   }
 
   case TermKind::IfLeft: {
-    const Value *V = E->scrutinee();
-    Subst S;
-    S.Vals[E->binderVar()] = V;
+    const Value *V = resolveValue(E->scrutinee());
     if (V->is(ValueKind::Inl))
-      Cur = applySubst(C, E->sub1(), S);
+      continueBindVal(E->binderVar(), V, E->sub1());
     else if (V->is(ValueKind::Inr))
-      Cur = applySubst(C, E->sub2(), S); // (paper Fig 5 typo corrected)
+      continueBindVal(E->binderVar(), V,
+                      E->sub2()); // (paper Fig 5 typo corrected)
     else
       return stuck("ifleft of untagged value: " + printValue(C, V));
     return St;
@@ -516,10 +601,11 @@ Machine::Status Machine::step() {
 
   case TermKind::Set: {
     ++Stats.Sets;
-    const Value *Dst = E->scrutinee();
+    const Value *Dst = resolveValue(E->scrutinee());
     if (!Dst->is(ValueKind::Addr))
       return stuck("set of non-address: " + printValue(C, Dst));
-    if (!Mem.update(Dst->address(), E->setSource()))
+    // The stored value escapes into memory: force it closed in Env mode.
+    if (!Mem.update(Dst->address(), resolveValue(E->setSource())))
       return stuck("set of dangling address: " + printValue(C, Dst));
     // Ψ deliberately keeps the cell's (sum) type: the forwarding pointer is
     // typed by subsumption against it.
@@ -529,10 +615,10 @@ Machine::Status Machine::step() {
 
   case TermKind::LetWiden: {
     ++Stats.Widens;
-    const Value *V = E->scrutinee();
+    const Value *V = resolveValue(E->scrutinee());
     if (!V->is(ValueKind::Addr))
       return stuck("widen of non-address value: " + printValue(C, V));
-    Region To = E->region();
+    Region To = resolveRegion(E->region());
     if (!To.isName())
       return stuck("widen with unresolved to-region");
     Symbol FromS = V->address().R.sym();
@@ -549,14 +635,13 @@ Machine::Status Machine::step() {
       // Ψ cell types just changed view (M → C); cached inferences are stale.
       invalidatePutTypeCache();
     }
-    Subst S;
-    S.Vals[E->binderVar()] = V; // widen is a no-op on data (§7.1)
-    Cur = applySubst(C, E->sub1(), S);
+    continueBindVal(E->binderVar(), V, E->sub1()); // widen is a no-op on
+                                                   // data (§7.1)
     return St;
   }
 
   case TermKind::IfReg: {
-    Region A = E->ifregLhs(), B = E->ifregRhs();
+    Region A = resolveRegion(E->ifregLhs()), B = resolveRegion(E->ifregRhs());
     if (!A.isName() || !B.isName())
       return stuck("ifreg on unresolved region variable");
     Cur = A == B ? E->sub1() : E->sub2();
@@ -564,7 +649,7 @@ Machine::Status Machine::step() {
   }
 
   case TermKind::If0: {
-    const Value *V = E->scrutinee();
+    const Value *V = resolveValue(E->scrutinee());
     if (!V->is(ValueKind::Int))
       return stuck("if0 of non-integer: " + printValue(C, V));
     Cur = V->intValue() == 0 ? E->sub1() : E->sub2();

@@ -23,12 +23,31 @@
 #define SCAV_GC_MACHINE_H
 
 #include "gc/Memory.h"
+#include "gc/Ops.h"
 #include "gc/TypeCheck.h"
 
 #include <string>
 #include <unordered_map>
 
 namespace scav::gc {
+
+/// How the machine executes binding steps (App/Let/open/typecase/...).
+enum class EvalMode {
+  /// Fig 5 verbatim: build a substitution and rewrite the entire
+  /// continuation term at every step — O(steps × term size).
+  Subst,
+  /// Environment machine: keep the continuation shared, thread a persistent
+  /// environment of *closed* bindings (O(1) extend), and resolve variable
+  /// occurrences at their use sites. Substitution is forced only where a
+  /// closed term must escape the step loop: halt values, values stored by
+  /// `put`/`set`, diagnostics, and the Ψ/state-check boundary
+  /// (currentTerm()), so checkState still sees the paper's (M, e) states.
+  Env,
+};
+
+inline const char *evalModeName(EvalMode M) {
+  return M == EvalMode::Subst ? "subst" : "env";
+}
 
 struct MachineConfig {
   /// Soft capacity (in cells) for regions created by `let region`;
@@ -45,6 +64,10 @@ struct MachineConfig {
   /// Maintain Ψ (needed by the soundness harness; disable for raw
   /// throughput benchmarks).
   bool TrackTypes = true;
+  /// Evaluation strategy. Env is the default; Subst is retained for
+  /// differential testing (tests/gc_machine_env_diff_test) and as the
+  /// baseline of bench/e11_steprate.
+  EvalMode Eval = EvalMode::Env;
 };
 
 struct MachineStats {
@@ -69,6 +92,15 @@ struct MachineStats {
   /// of re-running inference (see Machine::recordPut).
   uint64_t RecordPutCacheHits = 0;
   uint64_t RecordPutCacheMisses = 0;
+  /// Environment-mode counters (all zero in Subst mode). EnvBindings counts
+  /// bindings pushed into the environment; EnvLookups counts variable
+  /// occurrences resolved through it; EnvForces counts close-to-substituted
+  /// traversals at the machine boundary (currentTerm); EnvDepthPeak is the
+  /// largest environment ever held.
+  uint64_t EnvBindings = 0;
+  uint64_t EnvLookups = 0;
+  uint64_t EnvForces = 0;
+  uint64_t EnvDepthPeak = 0;
 };
 
 /// The λGC abstract machine.
@@ -112,7 +144,11 @@ public:
   void start(const Term *E);
 
   Status status() const { return St; }
-  const Term *currentTerm() const { return Cur; }
+  /// The current term as the paper's (M, e) state: in Env mode this forces
+  /// the pending environment into the shared continuation (a fresh closed
+  /// term per call — deliberately unmemoized, because callers like
+  /// checkState run under a GcContext::Scope that reclaims the result).
+  const Term *currentTerm() const;
   const Value *haltValue() const { return HaltVal; }
   const std::string &stuckReason() const { return StuckMsg; }
 
@@ -172,18 +208,105 @@ private:
 
   void recordPut(Address A, const Value *V);
 
+  // -- Environment-mode helpers (identity in Subst mode) -------------------
+
+  bool envMode() const { return Config.Eval == EvalMode::Env; }
+
+  /// Closes a syntactic operand against the environment. Operand values in
+  /// terms are small (CPS code mentions variables, ints, and shallow
+  /// constructors), so this is O(operand), never O(continuation).
+  const Value *resolveValue(const Value *V) {
+    if (!envMode() || EnvS.empty())
+      return V;
+    CloseCounters Ctr;
+    const Value *Out = closeValue(C, V, EnvS, &Ctr);
+    Stats.EnvLookups += Ctr.Lookups;
+    return Out;
+  }
+  const Tag *resolveTag(const Tag *T) {
+    if (!envMode() || EnvS.empty())
+      return T;
+    CloseCounters Ctr;
+    const Tag *Out = closeTag(C, T, EnvS, &Ctr);
+    Stats.EnvLookups += Ctr.Lookups;
+    return Out;
+  }
+  Region resolveRegion(Region R) {
+    if (!envMode())
+      return R;
+    CloseCounters Ctr;
+    Region Out = closeRegion(R, EnvS, &Ctr);
+    Stats.EnvLookups += Ctr.Lookups;
+    return Out;
+  }
+  RegionSet resolveRegionSet(const RegionSet &RS) {
+    if (!envMode() || EnvS.Regions.empty())
+      return RS;
+    CloseCounters Ctr;
+    RegionSet Out = closeRegionSet(RS, EnvS, &Ctr);
+    Stats.EnvLookups += Ctr.Lookups;
+    return Out;
+  }
+
+  void noteEnvDepth() {
+    uint64_t D = EnvS.Tags.size() + EnvS.Regions.size() + EnvS.Types.size() +
+                 EnvS.Vals.size();
+    if (D > Stats.EnvDepthPeak)
+      Stats.EnvDepthPeak = D;
+  }
+  /// Shadowing-by-overwrite is sound: execution never re-enters an outer
+  /// binder's scope except through App, which replaces the environment
+  /// wholesale (code bodies are closed up to their parameters).
+  void bindVal(Symbol X, const Value *V) {
+    EnvS.Vals.insert_or_assign(X, V);
+    ++Stats.EnvBindings;
+    noteEnvDepth();
+  }
+  void bindTag(Symbol X, const Tag *T) {
+    EnvS.Tags.insert_or_assign(X, T);
+    ++Stats.EnvBindings;
+    noteEnvDepth();
+  }
+  void bindType(Symbol X, const Type *T) {
+    EnvS.Types.insert_or_assign(X, T);
+    ++Stats.EnvBindings;
+    noteEnvDepth();
+  }
+  void bindRegion(Symbol X, Region R) {
+    EnvS.Regions.insert_or_assign(X, R);
+    ++Stats.EnvBindings;
+    noteEnvDepth();
+  }
+
+  /// Advances into \p Body with one value binding: O(1) environment extend
+  /// in Env mode, whole-term substitution in Subst mode.
+  void continueBindVal(Symbol X, const Value *V, const Term *Body) {
+    if (envMode()) {
+      bindVal(X, V);
+      Cur = Body;
+    } else {
+      Subst S;
+      S.Vals[X] = V;
+      Cur = applySubst(C, Body, S);
+    }
+  }
+
 
   GcContext &C;
   LanguageLevel Level;
   MachineConfig Config;
   Memory Mem;
   MemoryType Psi;
-  MachineStats Stats;
+  /// Mutable so the const force boundary (currentTerm) can count its work.
+  mutable MachineStats Stats;
 
   DiagEngine InferDiags;
   TypeChecker Checker;
 
   const Term *Cur = nullptr;
+  /// Env-mode environment: the pending (closed-range) simultaneous
+  /// substitution that Subst mode would already have applied to Cur.
+  Subst EnvS;
   Status St = Status::Stuck;
   const Value *HaltVal = nullptr;
   std::string StuckMsg = "machine not started";

@@ -21,6 +21,7 @@
 
 #include "gc/Term.h"
 
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -62,7 +63,9 @@ public:
   void set(Address A, const Type *T) {
     auto &Cs = Regions[A.R.sym()].Cells;
     if (A.Offset >= Cs.size())
-      Cs.resize(A.Offset + 1, nullptr);
+      // size_t arithmetic: Offset + 1 must not wrap when Offset is the
+      // largest representable uint32_t.
+      Cs.resize(size_t(A.Offset) + 1, nullptr);
     Cs[A.Offset] = T;
   }
 
@@ -109,9 +112,15 @@ public:
   }
 
   /// Stores \p V at a fresh offset in region \p S; returns the address.
+  /// Fails (nullopt) if the region does not exist or its offset space is
+  /// exhausted: offsets are uint32_t, and silently wrapping past 2³² cells
+  /// would alias live cells. The machine turns the failure into a stuck
+  /// state rather than corrupting memory.
   std::optional<Address> put(Symbol S, const Value *V) {
     RegionData *R = region(S);
     if (!R)
+      return std::nullopt;
+    if (R->Cells.size() >= std::numeric_limits<uint32_t>::max())
       return std::nullopt;
     uint32_t Off = static_cast<uint32_t>(R->Cells.size());
     R->Cells.push_back(V);

@@ -50,6 +50,33 @@ const Term *applySubst(GcContext &C, const Term *E, const Subst &S);
 Region applySubst(Region R, const Subst &S);
 RegionSet applySubst(const RegionSet &RS, const Subst &S);
 
+/// Counters reported by the close* entry points (environment-mode machine
+/// statistics; see MachineStats::EnvLookups).
+struct CloseCounters {
+  uint64_t Lookups = 0; ///< environment hits at variable occurrences
+};
+
+/// Closing substitution: like applySubst, but specialized to environments
+/// whose ranges are *closed* — no free variables of any sort, and every
+/// region a concrete name — as maintained by the environment-mode machine
+/// (Machine.h, EvalMode::Env). Closed ranges cannot be captured, so binders
+/// are never freshened; they only *shadow* (mask) same-named environment
+/// entries. The traversal returns the input node unchanged whenever no
+/// substitution fires underneath it, so forcing an already-closed subtree
+/// is pointer-identity.
+const Tag *closeTag(GcContext &C, const Tag *T, const Subst &Env,
+                    CloseCounters *Counters = nullptr);
+const Type *closeType(GcContext &C, const Type *T, const Subst &Env,
+                      CloseCounters *Counters = nullptr);
+const Value *closeValue(GcContext &C, const Value *V, const Subst &Env,
+                        CloseCounters *Counters = nullptr);
+const Term *closeTerm(GcContext &C, const Term *E, const Subst &Env,
+                      CloseCounters *Counters = nullptr);
+Region closeRegion(Region R, const Subst &Env,
+                   CloseCounters *Counters = nullptr);
+RegionSet closeRegionSet(const RegionSet &RS, const Subst &Env,
+                         CloseCounters *Counters = nullptr);
+
 /// Convenience single-binding substitutions.
 const Tag *substTag(GcContext &C, const Tag *In, Symbol Var, const Tag *Rep);
 const Type *substTagInType(GcContext &C, const Type *In, Symbol Var,

@@ -2,7 +2,7 @@
 
 #include "gc/StateCheck.h"
 
-#include <deque>
+#include <vector>
 
 using namespace scav;
 using namespace scav::gc;
@@ -11,110 +11,148 @@ using namespace scav::gc;
 // Address collection / reachability
 //===----------------------------------------------------------------------===//
 
-void scav::gc::collectAddresses(const Value *V, std::set<Address> &Out) {
-  switch (V->kind()) {
-  case ValueKind::Int:
-  case ValueKind::Var:
-    return;
-  case ValueKind::Addr:
-    Out.insert(V->address());
-    return;
-  case ValueKind::Pair:
-    collectAddresses(V->first(), Out);
-    collectAddresses(V->second(), Out);
-    return;
-  case ValueKind::Inl:
-  case ValueKind::Inr:
-  case ValueKind::TransApp:
-  case ValueKind::PackTag:
-  case ValueKind::PackTyVar:
-  case ValueKind::PackRegion:
-    collectAddresses(V->payload(), Out);
-    return;
-  case ValueKind::Code:
-    collectAddresses(V->codeBody(), Out);
-    return;
-  }
-}
+namespace {
 
-void scav::gc::collectAddresses(const Term *E, std::set<Address> &Out) {
-  switch (E->kind()) {
-  case TermKind::App:
-    collectAddresses(E->appFun(), Out);
-    for (const Value *V : E->appArgs())
-      collectAddresses(V, Out);
-    return;
-  case TermKind::Let: {
-    const Op *O = E->letOp();
-    if (O->is(OpKind::Prim)) {
-      collectAddresses(O->lhs(), Out);
-      collectAddresses(O->rhs(), Out);
-    } else {
-      collectAddresses(O->value(), Out);
+/// Address collector with a visited-pointer set: the interning machinery and
+/// the sharing-preserving collectors alias subvalues heavily, so a naive
+/// recursive walk re-traverses the same DAG node once per parent. One
+/// collector instance may be reused across many roots (reachableCells does),
+/// in which case the visited set persists and shared structure is walked
+/// exactly once for the whole traversal.
+class AddressCollector {
+public:
+  /// \p NewlySeen, when set, receives every address whose insertion into
+  /// \p Out was fresh — the worklist hook for reachableCells.
+  explicit AddressCollector(AddressSet &Out,
+                           std::vector<Address> *NewlySeen = nullptr)
+      : Out(Out), NewlySeen(NewlySeen) {}
+
+  void visit(const Value *V) {
+    if (seen(V))
+      return;
+    switch (V->kind()) {
+    case ValueKind::Int:
+    case ValueKind::Var:
+      return;
+    case ValueKind::Addr:
+      address(V->address());
+      return;
+    case ValueKind::Pair:
+      visit(V->first());
+      visit(V->second());
+      return;
+    case ValueKind::Inl:
+    case ValueKind::Inr:
+    case ValueKind::TransApp:
+    case ValueKind::PackTag:
+    case ValueKind::PackTyVar:
+    case ValueKind::PackRegion:
+      visit(V->payload());
+      return;
+    case ValueKind::Code:
+      visit(V->codeBody());
+      return;
     }
-    collectAddresses(E->sub1(), Out);
-    return;
   }
-  case TermKind::Halt:
-    collectAddresses(E->scrutinee(), Out);
-    return;
-  case TermKind::IfGc:
-  case TermKind::IfReg:
-    collectAddresses(E->sub1(), Out);
-    collectAddresses(E->sub2(), Out);
-    return;
-  case TermKind::OpenTag:
-  case TermKind::OpenTyVar:
-  case TermKind::OpenRegion:
-  case TermKind::LetWiden:
-    collectAddresses(E->scrutinee(), Out);
-    collectAddresses(E->sub1(), Out);
-    return;
-  case TermKind::LetRegion:
-  case TermKind::Only:
-    collectAddresses(E->sub1(), Out);
-    return;
-  case TermKind::Typecase:
-    collectAddresses(E->caseInt(), Out);
-    collectAddresses(E->caseArrow(), Out);
-    collectAddresses(E->caseProd(), Out);
-    collectAddresses(E->caseExists(), Out);
-    return;
-  case TermKind::IfLeft:
-  case TermKind::If0:
-    collectAddresses(E->scrutinee(), Out);
-    collectAddresses(E->sub1(), Out);
-    collectAddresses(E->sub2(), Out);
-    return;
-  case TermKind::Set:
-    collectAddresses(E->scrutinee(), Out);
-    collectAddresses(E->setSource(), Out);
-    collectAddresses(E->sub1(), Out);
-    return;
+
+  void visit(const Term *E) {
+    if (seen(E))
+      return;
+    switch (E->kind()) {
+    case TermKind::App:
+      visit(E->appFun());
+      for (const Value *V : E->appArgs())
+        visit(V);
+      return;
+    case TermKind::Let: {
+      const Op *O = E->letOp();
+      if (O->is(OpKind::Prim)) {
+        visit(O->lhs());
+        visit(O->rhs());
+      } else {
+        visit(O->value());
+      }
+      visit(E->sub1());
+      return;
+    }
+    case TermKind::Halt:
+      visit(E->scrutinee());
+      return;
+    case TermKind::IfGc:
+    case TermKind::IfReg:
+      visit(E->sub1());
+      visit(E->sub2());
+      return;
+    case TermKind::OpenTag:
+    case TermKind::OpenTyVar:
+    case TermKind::OpenRegion:
+    case TermKind::LetWiden:
+      visit(E->scrutinee());
+      visit(E->sub1());
+      return;
+    case TermKind::LetRegion:
+    case TermKind::Only:
+      visit(E->sub1());
+      return;
+    case TermKind::Typecase:
+      visit(E->caseInt());
+      visit(E->caseArrow());
+      visit(E->caseProd());
+      visit(E->caseExists());
+      return;
+    case TermKind::IfLeft:
+    case TermKind::If0:
+      visit(E->scrutinee());
+      visit(E->sub1());
+      visit(E->sub2());
+      return;
+    case TermKind::Set:
+      visit(E->scrutinee());
+      visit(E->setSource());
+      visit(E->sub1());
+      return;
+    }
   }
+
+private:
+  bool seen(const void *P) { return !Visited.insert(P).second; }
+
+  void address(Address A) {
+    if (Out.insert(A).second && NewlySeen)
+      NewlySeen->push_back(A);
+  }
+
+  AddressSet &Out;
+  std::vector<Address> *NewlySeen;
+  std::unordered_set<const void *> Visited;
+};
+
+} // namespace
+
+void scav::gc::collectAddresses(const Value *V, AddressSet &Out) {
+  AddressCollector Coll(Out);
+  Coll.visit(V);
 }
 
-std::set<Address> scav::gc::reachableCells(const Machine &M) {
-  std::set<Address> Seen;
-  std::deque<Address> Work;
-  std::set<Address> Roots;
-  if (M.currentTerm())
-    collectAddresses(M.currentTerm(), Roots);
-  for (Address A : Roots) {
-    if (Seen.insert(A).second)
-      Work.push_back(A);
-  }
+void scav::gc::collectAddresses(const Term *E, AddressSet &Out) {
+  AddressCollector Coll(Out);
+  Coll.visit(E);
+}
+
+AddressSet scav::gc::reachableCells(const Machine &M) {
+  AddressSet Seen;
+  std::vector<Address> Work;
+  // One collector for the whole traversal: its visited set spans every cell
+  // visited below, so a value shared between N cells is walked once, not N
+  // times.
+  AddressCollector Coll(Seen, &Work);
+  if (const Term *E = M.currentTerm())
+    Coll.visit(E);
   while (!Work.empty()) {
-    Address A = Work.front();
-    Work.pop_front();
-    const Value *Cell = M.memory().get(A);
-    if (!Cell)
-      continue;
-    std::set<Address> Next;
-    collectAddresses(Cell, Next);
-    for (Address B : Next)
-      if (Seen.insert(B).second)
-        Work.push_back(B);
+    Address A = Work.back();
+    Work.pop_back();
+    if (const Value *Cell = M.memory().get(A))
+      Coll.visit(Cell);
   }
   return Seen;
 }
@@ -148,7 +186,7 @@ StateCheckResult scav::gc::checkState(Machine &M,
   Env.Psi.Cd = CdS;
   Env.Delta = M.psi().domain();
 
-  std::set<Address> Reachable;
+  AddressSet Reachable;
   if (Opts.RestrictToReachable)
     Reachable = reachableCells(M);
 

@@ -24,10 +24,15 @@
 
 #include "gc/Machine.h"
 
-#include <set>
 #include <string>
+#include <unordered_set>
 
 namespace scav::gc {
+
+/// Unordered address set: reachability and the Def 7.1 restriction are pure
+/// membership problems, so hashing beats the ordered std::set it replaced;
+/// callers that need a deterministic order sort explicitly.
+using AddressSet = std::unordered_set<Address, AddressHash>;
 
 struct StateCheckOptions {
   /// Re-check every code body in cd. Expensive; the harness does it once
@@ -47,12 +52,14 @@ struct StateCheckResult {
   }
 };
 
-/// Collects every address literal in a term / value.
-void collectAddresses(const Term *E, std::set<Address> &Out);
-void collectAddresses(const Value *V, std::set<Address> &Out);
+/// Collects every address literal in a term / value. Shared subtrees are
+/// visited once per call (values and terms alias heavily under the
+/// sharing-preserving collectors and the interned-substitution machine).
+void collectAddresses(const Term *E, AddressSet &Out);
+void collectAddresses(const Value *V, AddressSet &Out);
 
 /// The set of cells reachable from the current term through memory.
-std::set<Address> reachableCells(const Machine &M);
+AddressSet reachableCells(const Machine &M);
 
 /// Checks ⊢ (M, e) for the machine's current state.
 StateCheckResult checkState(Machine &M, const StateCheckOptions &Opts = {});

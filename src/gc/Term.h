@@ -55,6 +55,15 @@ struct Address {
   }
 };
 
+/// Hash for unordered address sets/maps (state checking, reachability).
+struct AddressHash {
+  size_t operator()(Address A) const {
+    size_t H = (static_cast<size_t>(A.R.sym().id()) << 1) |
+               (A.R.isName() ? 1u : 0u);
+    return (H * 0x9e3779b97f4a7c15ULL) ^ A.Offset;
+  }
+};
+
 enum class ValueKind {
   Int,        ///< n
   Var,        ///< x
