@@ -6,7 +6,14 @@
 //   certgc_run [options] (<file.scm> | -e '<expr>' | --gc <file.gc>)
 //     --level base|forward|gen     collector / language level
 //     --capacity N                 young-region capacity in cells
-//     --check N                    re-check ⊢ (M,e) every N machine steps
+//     --check-every N              re-check ⊢ (M,e) every N machine steps
+//                                  (0 = never; incremental checker unless
+//                                  --full-check; env SCAV_CHECK_EVERY sets
+//                                  the default; --check is a synonym)
+//     --full-check                 use the full O(heap) checker per check
+//     --full-check-every N         with the incremental checker, also run
+//                                  the full checker as an oracle every N-th
+//                                  check
 //     --certify                    typecheck all cd code before running
 //     --dump-clos                  print the λCLOS program
 //     --stats                      print machine statistics
@@ -23,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 using namespace scav;
@@ -33,7 +41,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: certgc_run [--level base|forward|gen] [--capacity N]"
-               " [--check N] [--certify] [--dump-clos] [--stats]"
+               " [--check-every N] [--full-check] [--full-check-every N]"
+               " [--certify] [--dump-clos] [--stats]"
                " (<file> | -e '<expr>' | --gc <file>)\n");
   return 2;
 }
@@ -43,7 +52,8 @@ int usage() {
 int main(int argc, char **argv) {
   PipelineOptions Opts;
   Opts.Machine.DefaultRegionCapacity = 64;
-  uint32_t CheckEveryN = 0;
+  // Soak runs steer the cadence with SCAV_CHECK_EVERY; explicit flags win.
+  uint32_t CheckEveryN = checkEveryFromEnv(0);
   bool Certify = false, DumpClos = false, Stats = false;
   bool RawGc = false;
   std::string Source;
@@ -71,11 +81,18 @@ int main(int argc, char **argv) {
         return usage();
       Opts.Machine.DefaultRegionCapacity =
           static_cast<uint32_t>(std::atoi(N));
-    } else if (A == "--check") {
+    } else if (A == "--check" || A == "--check-every") {
       const char *N = NextArg();
       if (!N)
         return usage();
       CheckEveryN = static_cast<uint32_t>(std::atoi(N));
+    } else if (A == "--full-check") {
+      Opts.IncrementalCheck = false;
+    } else if (A == "--full-check-every") {
+      const char *N = NextArg();
+      if (!N)
+        return usage();
+      Opts.FullCheckEvery = static_cast<uint32_t>(std::atoi(N));
     } else if (A == "--certify") {
       Certify = true;
     } else if (A == "--dump-clos") {
@@ -151,12 +168,15 @@ int main(int argc, char **argv) {
                   gc::languageLevelName(Opts.Level));
     }
     M.start(P.Main);
+    std::optional<gc::IncrementalStateCheck> Inc;
+    if (CheckEveryN != 0 && Opts.IncrementalCheck)
+      Inc.emplace(M);
     for (uint64_t I = 0; I != 500000000 &&
                          M.status() == gc::Machine::Status::Running;
          ++I) {
       M.step();
       if (CheckEveryN != 0 && I % CheckEveryN == 0) {
-        gc::StateCheckResult R = gc::checkState(M);
+        gc::StateCheckResult R = Inc ? Inc->check() : gc::checkState(M);
         if (!R.Ok) {
           std::fprintf(stderr, "preservation violation: %s\n",
                        R.Error.c_str());

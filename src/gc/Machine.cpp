@@ -22,6 +22,7 @@ Address Machine::reserveCode(std::string_view Label) {
          "cd offset space exhausted");
   uint32_t Off = static_cast<uint32_t>(R->Cells.size());
   R->Cells.push_back(nullptr); // placeholder until defineCode
+  ++R->Version;
   return Address{C.cd(), Off};
 }
 
@@ -30,7 +31,9 @@ void Machine::defineCode(Address A, const Value *Code) {
   assert(Code->is(ValueKind::Code) && "cd region only holds code (§6.2)");
   RegionData *R = Mem.region(C.cd().sym());
   assert(A.Offset < R->Cells.size() && "defineCode on unreserved label");
-  R->Cells[A.Offset] = Code;
+  // Through Memory::fill, not a raw cell store: the write must land in cd's
+  // dirty log so an attached incremental checker re-validates the slot.
+  Mem.fill(A, Code);
   ++R->TotalAllocated;
   // Ψ(cd.ℓ) is the code's declared type.
   const Type *Ty = C.typeCode(Code->tagParams(), Code->tagParamKinds(),
@@ -50,6 +53,7 @@ Region Machine::createRegion(std::string_view BaseName, uint32_t Capacity) {
   Mem.region(S)->Epoch = OnlyEpoch;
   Psi.addRegion(S);
   ++Stats.RegionsCreated;
+  journal(DeltaKind::RegionCreated, S);
   return Region::name(S);
 }
 
@@ -518,6 +522,11 @@ Machine::Status Machine::step() {
     for (Region R : Keep)
       if (!R.isName())
         return stuck("only with unresolved region variable");
+    // Journal the drop list *before* restrictTo erases it.
+    if (JournalOn)
+      for (const auto &[S2, _] : Mem.Regions)
+        if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2)))
+          journal(DeltaKind::RegionDropped, S2);
     size_t Reclaimed = Mem.restrictTo(Keep);
     Stats.RegionsReclaimed += Reclaimed;
     if (Config.HeapGrowthFactor != 0 && Config.DefaultRegionCapacity != 0) {
@@ -541,8 +550,9 @@ Machine::Status Machine::step() {
     for (Symbol S2 : Drop)
       Psi.removeRegion(S2);
     // Cached inferred types may mention (or have been inferred under) the
-    // regions just dropped.
-    invalidatePutTypeCache();
+    // regions just dropped. The journal already carries the precise
+    // RegionDropped events, so no ExternalMutation is emitted.
+    clearPutTypeCache();
     Cur = E->sub1();
     return St;
   }
@@ -633,8 +643,11 @@ Machine::Status Machine::step() {
           if (Cell)
             Cell = widenValueTypes(Cell, FromS, To.sym());
       // Ψ cell types just changed view (M → C); cached inferences are stale.
-      invalidatePutTypeCache();
+      // Journaled as the precise RegionWidened event below, so the internal
+      // clear suffices.
+      clearPutTypeCache();
     }
+    journal(DeltaKind::RegionWidened, FromS, To.sym());
     continueBindVal(E->binderVar(), V, E->sub1()); // widen is a no-op on
                                                    // data (§7.1)
     return St;

@@ -26,8 +26,11 @@
 #include "gc/Ops.h"
 #include "gc/TypeCheck.h"
 
+#include <algorithm>
+#include <cassert>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace scav::gc {
 
@@ -70,6 +73,36 @@ struct MachineConfig {
   EvalMode Eval = EvalMode::Env;
 };
 
+/// One entry of the per-step delta journal (Machine::enableDeltaJournal):
+/// the structural events a state-checking consumer cannot recover from the
+/// memory / Ψ dirty logs alone — region lifecycle, whole-region Ψ rewrites,
+/// and out-of-band mutation. Cell-granular writes are NOT journaled here;
+/// they live in the per-region dirty logs (Memory.h).
+enum class DeltaKind : uint8_t {
+  /// R: a fresh data region came into existence (`let region` /
+  /// createRegion). Monotone — nothing previously checked is affected —
+  /// but consumers need it to start tracking the region's cursors.
+  RegionCreated,
+  /// R: a region was reclaimed by `only` (dropped from both M and Ψ).
+  /// Every cached judgment that mentioned an address in R is poisoned.
+  RegionDropped,
+  /// R → R2: `widen` rewrote R's Ψ cell types (the T iterator of Lemma
+  /// C.8, mutator view → collector view toward R2) and the type
+  /// annotations embedded in R's values. Judgments *about* R's cells and
+  /// judgments that looked R's addresses up through Ψ are both stale.
+  RegionWidened,
+  /// Ψ and/or M were rewritten outside the machine's own step rules (the
+  /// native collector does this). Consumers must resynchronize from
+  /// scratch; the machine cannot say what changed.
+  ExternalMutation,
+};
+
+struct DeltaEvent {
+  DeltaKind Kind;
+  Symbol R{};  ///< Subject region (unset for ExternalMutation).
+  Symbol R2{}; ///< RegionWidened only: the to-region.
+};
+
 struct MachineStats {
   uint64_t Steps = 0;
   uint64_t Puts = 0;
@@ -101,6 +134,9 @@ struct MachineStats {
   uint64_t EnvLookups = 0;
   uint64_t EnvForces = 0;
   uint64_t EnvDepthPeak = 0;
+  /// Delta-journal events emitted (zero unless a consumer enabled the
+  /// journal; see Machine::enableDeltaJournal).
+  uint64_t DeltaJournalEvents = 0;
 };
 
 /// The λGC abstract machine.
@@ -193,10 +229,55 @@ public:
   /// Drops every recordPut-cached inferred type. Must be called by any code
   /// that rewrites or shrinks Ψ *without* going through the machine's own
   /// step rules (the native collector does); the machine itself invalidates
-  /// on `only` and `widen`.
-  void invalidatePutTypeCache() { PutTypeCache.clear(); }
+  /// on `only` and `widen`. Doubles as the out-of-band mutation signal for
+  /// delta-journal consumers: the same contract that makes the put-type
+  /// cache safe makes their caches safe, so an ExternalMutation event is
+  /// journaled here.
+  void invalidatePutTypeCache() {
+    PutTypeCache.clear();
+    journal(DeltaKind::ExternalMutation);
+  }
+
+  // -- Delta journal --------------------------------------------------------
+  // Off by default (zero cost beyond a branch); an incremental state
+  // checker switches it on and then consumes events by absolute index, so
+  // several consumers can attach without stealing each other's events.
+  // Consumed prefixes are reclaimed with trimJournal.
+
+  void enableDeltaJournal() { JournalOn = true; }
+  bool deltaJournalEnabled() const { return JournalOn; }
+  /// Absolute index one past the last event ever journaled.
+  uint64_t journalEnd() const { return JournalBase + Journal.size(); }
+  /// Absolute index of the oldest retained event.
+  uint64_t journalBegin() const { return JournalBase; }
+  const DeltaEvent &journalEvent(uint64_t AbsIdx) const {
+    assert(AbsIdx >= JournalBase && AbsIdx < journalEnd() &&
+           "journal event already trimmed or not yet emitted");
+    return Journal[AbsIdx - JournalBase];
+  }
+  /// Drops events below \p UpToAbs (callers pass the min cursor across
+  /// consumers; with one consumer, its own cursor).
+  void trimJournal(uint64_t UpToAbs) {
+    if (UpToAbs <= JournalBase)
+      return;
+    uint64_t N = std::min<uint64_t>(UpToAbs - JournalBase, Journal.size());
+    Journal.erase(Journal.begin(), Journal.begin() + static_cast<size_t>(N));
+    JournalBase += N;
+  }
 
 private:
+  void journal(DeltaKind K, Symbol R = {}, Symbol R2 = {}) {
+    if (!JournalOn)
+      return;
+    Journal.push_back(DeltaEvent{K, R, R2});
+    ++Stats.DeltaJournalEvents;
+  }
+
+  /// Internal form of invalidatePutTypeCache for the machine's own `only` /
+  /// `widen` steps: those are journaled precisely (RegionDropped /
+  /// RegionWidened), so no ExternalMutation event is emitted.
+  void clearPutTypeCache() { PutTypeCache.clear(); }
+
   Status stuck(std::string Msg) {
     St = Status::Stuck;
     StuckMsg = std::move(Msg);
@@ -314,6 +395,12 @@ private:
   bool TypeTrackingOkFlag = true;
   std::string TypeTrackingMsg;
   uint64_t OnlyEpoch = 0;
+
+  /// Delta journal (see enableDeltaJournal). Journal[i] is the event with
+  /// absolute index JournalBase + i.
+  bool JournalOn = false;
+  std::vector<DeltaEvent> Journal;
+  uint64_t JournalBase = 0;
 
   /// Ψ-tracking fast path: inferred cell types by value pointer. Values are
   /// immutable and inference of a *successfully* inferred value depends on Ψ

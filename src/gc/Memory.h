@@ -41,11 +41,28 @@ struct RegionData {
   /// resizes only regions born in the current collection cycle (the
   /// to-spaces), so long-lived regions keep their trigger capacity.
   uint64_t Epoch = 0;
+  /// Mutation stamp, bumped by every put/fill/update. A consumer that
+  /// remembers the stamp can skip an untouched region in O(1).
+  uint64_t Version = 0;
+  /// Offsets overwritten in place (fill/update), in order. Fresh cells are
+  /// not logged — consumers detect them from Cells.size() growth. The log
+  /// is only drained by the incremental state checker (via its cursor) and
+  /// is empty overhead otherwise: `set` and the Cheney copier's fill are
+  /// rare next to put.
+  std::vector<uint32_t> DirtyLog;
 };
 
 /// A region type Υ (dense, parallel to RegionData).
 struct RegionType {
   std::vector<const Type *> Cells;
+  /// Mutation stamp / in-place overwrite log, exactly as in RegionData.
+  /// In normal operation Ψ cells are only ever *extended* (recordPut at
+  /// fresh offsets) or rewritten wholesale (widen/only, which the machine
+  /// journals as region events), so the log stays empty except under
+  /// external Ψ surgery — which is precisely what the incremental checker
+  /// needs to hear about.
+  uint64_t Version = 0;
+  std::vector<uint32_t> DirtyLog;
 };
 
 /// A memory type Ψ.
@@ -61,12 +78,18 @@ public:
   }
 
   void set(Address A, const Type *T) {
-    auto &Cs = Regions[A.R.sym()].Cells;
+    RegionType &R = Regions[A.R.sym()];
+    auto &Cs = R.Cells;
     if (A.Offset >= Cs.size())
       // size_t arithmetic: Offset + 1 must not wrap when Offset is the
       // largest representable uint32_t.
       Cs.resize(size_t(A.Offset) + 1, nullptr);
+    else if (Cs[A.Offset])
+      // In-place overwrite of an established cell type — log it (fresh
+      // entries are found from Cells.size() growth instead).
+      R.DirtyLog.push_back(A.Offset);
     Cs[A.Offset] = T;
+    ++R.Version;
   }
 
   bool hasRegion(Symbol S) const { return Regions.count(S) != 0; }
@@ -125,6 +148,7 @@ public:
     uint32_t Off = static_cast<uint32_t>(R->Cells.size());
     R->Cells.push_back(V);
     ++R->TotalAllocated;
+    ++R->Version;
     return Address{Region::name(S), Off};
   }
 
@@ -143,6 +167,8 @@ public:
     if (!R || A.Offset >= R->Cells.size())
       return false;
     R->Cells[A.Offset] = V;
+    ++R->Version;
+    R->DirtyLog.push_back(A.Offset);
     return true;
   }
 
@@ -154,6 +180,8 @@ public:
     if (A.Offset >= R->Cells.size() || !R->Cells[A.Offset])
       return false;
     R->Cells[A.Offset] = V;
+    ++R->Version;
+    R->DirtyLog.push_back(A.Offset);
     return true;
   }
 

@@ -139,13 +139,14 @@ void scav::gc::collectAddresses(const Term *E, AddressSet &Out) {
   Coll.visit(E);
 }
 
-AddressSet scav::gc::reachableCells(const Machine &M) {
-  AddressSet Seen;
-  std::vector<Address> Work;
+void scav::gc::reachableCells(const Machine &M, AddressSet &Out,
+                              std::vector<Address> &Work) {
+  Out.clear();
+  Work.clear();
   // One collector for the whole traversal: its visited set spans every cell
   // visited below, so a value shared between N cells is walked once, not N
   // times.
-  AddressCollector Coll(Seen, &Work);
+  AddressCollector Coll(Out, &Work);
   if (const Term *E = M.currentTerm())
     Coll.visit(E);
   while (!Work.empty()) {
@@ -154,6 +155,12 @@ AddressSet scav::gc::reachableCells(const Machine &M) {
     if (const Value *Cell = M.memory().get(A))
       Coll.visit(Cell);
   }
+}
+
+AddressSet scav::gc::reachableCells(const Machine &M) {
+  AddressSet Seen;
+  std::vector<Address> Work;
+  reachableCells(M, Seen, Work);
   return Seen;
 }
 
@@ -200,7 +207,10 @@ StateCheckResult scav::gc::checkState(Machine &M,
       return StateCheckResult::failure(
           "Psi region missing from memory: " + std::string(C.name(S)));
 
-  // ⊢ M : Ψ (cell by cell), with Fig 7's cd discipline.
+  // ⊢ M : Ψ (cell by cell), with Fig 7's cd discipline — the per-cell body
+  // is TypeChecker::checkHeapCell, shared with the incremental checker so
+  // the two produce identical verdicts and error text.
+  std::string CellErr;
   for (const auto &[S, R] : M.memory().Regions) {
     bool IsCd = S == CdS;
     for (uint32_t Off = 0; Off != R.Cells.size(); ++Off) {
@@ -210,25 +220,10 @@ StateCheckResult scav::gc::checkState(Machine &M,
       Address A{Region::name(S), Off};
       if (Opts.RestrictToReachable && !IsCd && !Reachable.count(A))
         continue; // Def 7.1: drop unreachable (possibly ill-typed) garbage.
-      const Type *CellTy = M.psi().lookup(A);
-      if (!CellTy)
-        return StateCheckResult::failure("cell missing from Psi: " +
-                                         printValue(C, C.valAddr(A)));
-      if (IsCd) {
-        if (!CellTy->is(TypeKind::Code) || !V->is(ValueKind::Code))
-          return StateCheckResult::failure(
-              "cd region holds a non-code cell (Fig 7): " +
-              printValue(C, C.valAddr(A)));
-        if (!Opts.CheckCodeRegion)
-          continue;
-      }
-      Checker.setSkipCodeBodies(IsCd ? false : true);
-      if (!Checker.checkValue(V, CellTy, Env)) {
-        return StateCheckResult::failure(
-            "cell " + printValue(C, C.valAddr(A)) + " := " + printValue(C, V) +
-            " does not check against Psi type " + printType(C, CellTy) +
-            "\n" + Diags.str());
-      }
+      if (!Checker.checkHeapCell(A, V, M.psi().lookup(A), IsCd,
+                                 Opts.CheckCodeRegion, Env,
+                                 /*Cache=*/nullptr, &CellErr))
+        return StateCheckResult::failure(std::move(CellErr));
     }
   }
 
@@ -239,5 +234,522 @@ StateCheckResult scav::gc::checkState(Machine &M,
       return StateCheckResult::failure("term ill-typed:\n" + Diags.str());
   }
 
+  return StateCheckResult{};
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalStateCheck
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects every *region name* a cell judgment depends on: regions of
+/// addresses embedded in the value (their typing reads Ψ), region mentions
+/// in types (the cell type and the annotation types embedded in pack
+/// values). Conservative over-collection is harmless (a spurious dependent
+/// just re-validates); a miss would be a soundness bug, so every
+/// region-carrying constructor is walked. Code values/types are closed
+/// global entities (cd discipline) and are skipped, mirroring the machine's
+/// own region-renaming iterator.
+class RegionDepCollector {
+public:
+  explicit RegionDepCollector(std::unordered_set<Symbol, SymbolHash> &Out)
+      : Out(Out) {}
+
+  void region(Region R) {
+    if (R.isName())
+      Out.insert(R.sym());
+  }
+  void regions(const RegionSet &RS) {
+    for (Region R : RS)
+      region(R);
+  }
+
+  void visit(const Type *T) {
+    if (!T || seen(T))
+      return;
+    switch (T->kind()) {
+    case TypeKind::Int:
+    case TypeKind::TyVar:
+    case TypeKind::Code: // closed (see Machine::renameRegionName)
+      return;
+    case TypeKind::Prod:
+    case TypeKind::Sum:
+      visit(T->left());
+      visit(T->right());
+      return;
+    case TypeKind::Left:
+    case TypeKind::Right:
+      visit(T->body());
+      return;
+    case TypeKind::At:
+      region(T->atRegion());
+      visit(T->body());
+      return;
+    case TypeKind::MApp:
+      for (Region R : T->mRegions())
+        region(R);
+      return;
+    case TypeKind::CApp:
+      region(T->cFrom());
+      region(T->cTo());
+      return;
+    case TypeKind::ExistsTag:
+      visit(T->body());
+      return;
+    case TypeKind::ExistsTyVar:
+    case TypeKind::ExistsRegion:
+      regions(T->delta());
+      visit(T->body());
+      return;
+    case TypeKind::TransCode:
+      for (Region R : T->transRegions())
+        region(R);
+      region(T->atRegion());
+      for (const Type *A : T->argTypes())
+        visit(A);
+      return;
+    }
+  }
+
+  void visit(const Value *V) {
+    if (!V || seen(V))
+      return;
+    switch (V->kind()) {
+    case ValueKind::Int:
+    case ValueKind::Var:
+    case ValueKind::Code: // cd-resident, closed
+      return;
+    case ValueKind::Addr:
+      region(V->address().R);
+      return;
+    case ValueKind::Pair:
+      visit(V->first());
+      visit(V->second());
+      return;
+    case ValueKind::Inl:
+    case ValueKind::Inr:
+      visit(V->payload());
+      return;
+    case ValueKind::TransApp:
+      for (Region R : V->transRegions())
+        region(R);
+      visit(V->payload());
+      return;
+    case ValueKind::PackTag:
+      visit(V->payload());
+      visit(V->bodyType());
+      return;
+    case ValueKind::PackTyVar:
+      regions(V->delta());
+      visit(V->typeWitness());
+      visit(V->payload());
+      visit(V->bodyType());
+      return;
+    case ValueKind::PackRegion:
+      regions(V->delta());
+      region(V->regionWitness());
+      visit(V->payload());
+      visit(V->bodyType());
+      return;
+    }
+  }
+
+private:
+  bool seen(const void *P) { return !Visited.insert(P).second; }
+
+  std::unordered_set<Symbol, SymbolHash> &Out;
+  std::unordered_set<const void *> Visited;
+};
+
+} // namespace
+
+IncrementalStateCheck::IncrementalStateCheck(Machine &M,
+                                             IncrementalCheckOptions Opts)
+    : M(M), Opts(Opts), CdS(M.context().cd().sym()),
+      Checker(M.context(), M.level(), Diags) {}
+
+StateCheckResult IncrementalStateCheck::check() {
+  ++Stats.Checks;
+  if (!M.typeTrackingOk())
+    return StateCheckResult::failure("Psi maintenance failed: " +
+                                     M.typeTrackingError());
+  // Everything the check allocates (normalization, term forcing,
+  // diagnostics) is transient; the caches hold only pointers to
+  // machine-owned nodes, so the whole check runs under a context scope —
+  // same discipline as the full checkState.
+  GcContext::Scope Scope(M.context());
+  StateCheckResult R = runCheck();
+  Stats.CachedFacts = Facts.size();
+  Stats.CellJudgmentCacheHits = JudgmentMemo.Hits;
+  return R;
+}
+
+StateCheckResult IncrementalStateCheck::runCheck() {
+  Env.Psi.M = &M.psi();
+  Env.Psi.Cd = CdS;
+  Env.Delta = M.psi().domain();
+  ExactThisCheck = false;
+
+  if (!Attached) {
+    M.enableDeltaJournal();
+    Attached = true;
+    JournalCursor = M.journalEnd();
+    CheckCodeNow = Opts.CheckCodeRegion;
+    return resync();
+  }
+  if (NeedResync ||
+      (Opts.ResyncEvery != 0 && Stats.Checks % Opts.ResyncEvery == 0)) {
+    CheckCodeNow = false; // matches the per-step oracle's settings
+    return resync();
+  }
+
+  DirtySet.clear();
+  if (StateCheckResult R = drainJournal(); !R.Ok)
+    return R;
+  if (NeedResync) { // out-of-band mutation: the journal cannot say what
+    CheckCodeNow = false;
+    return resync();
+  }
+  collectDirty();
+  if (StateCheckResult R = checkRegionDomains(); !R.Ok)
+    return R;
+  CheckCodeNow = Opts.CheckCodeRegion; // freshly defined code
+  if (StateCheckResult R = validateDirty(); !R.Ok)
+    return R;
+
+  // A cell that failed while unreachable is tolerated garbage (Def 7.1) —
+  // but if the conservative reachable set has since grown over it, decide
+  // exactly, as the full checker would.
+  if (Opts.RestrictToReachable && ReachGrew && !KnownBad.empty()) {
+    bool Hit = false;
+    for (Address B : KnownBad)
+      if (ReachPlus.count(B)) {
+        Hit = true;
+        break;
+      }
+    if (Hit) {
+      if (!ExactThisCheck)
+        recomputeExactReachable();
+      WorkScratch.assign(KnownBad.begin(), KnownBad.end());
+      for (Address B : WorkScratch) {
+        if (!ReachPlus.count(B))
+          continue;
+        KnownBad.erase(B);
+        std::string Err;
+        if (!validateCell(B, Err))
+          return StateCheckResult::failure(std::move(Err));
+      }
+    }
+  }
+  ReachGrew = false;
+
+  return checkTermJudgment();
+}
+
+StateCheckResult IncrementalStateCheck::resync() {
+  ++Stats.FullResyncs;
+  NeedResync = false;
+  Facts.clear();
+  Dependents.clear();
+  JudgmentMemo.clear();
+  KnownBad.clear();
+  ReachGrew = false;
+
+  if (Opts.RestrictToReachable)
+    recomputeExactReachable();
+  else
+    ReachPlus.clear();
+
+  if (StateCheckResult R = checkRegionDomains(); !R.Ok)
+    return R;
+
+  for (const auto &[S, RD] : M.memory().Regions) {
+    Region RName = Region::name(S);
+    for (uint32_t Off = 0; Off != RD.Cells.size(); ++Off) {
+      if (!RD.Cells[Off])
+        continue;
+      std::string Err;
+      if (!validateCell(Address{RName, Off}, Err))
+        return StateCheckResult::failure(std::move(Err));
+    }
+  }
+
+  syncCursors();
+  JournalCursor = M.journalEnd();
+  M.trimJournal(JournalCursor);
+  return checkTermJudgment();
+}
+
+StateCheckResult IncrementalStateCheck::drainJournal() {
+  uint64_t End = M.journalEnd();
+  for (; JournalCursor != End && !NeedResync; ++JournalCursor) {
+    const DeltaEvent &Ev = M.journalEvent(JournalCursor);
+    ++Stats.JournalEventsConsumed;
+    switch (Ev.Kind) {
+    case DeltaKind::RegionCreated:
+      // Monotone: nothing cached is affected; a zeroed cursor makes
+      // collectDirty pick up every cell the region accrues.
+      Cursors.try_emplace(Ev.R);
+      break;
+    case DeltaKind::RegionDropped:
+      invalidateRegion(Ev.R, /*Dropped=*/true);
+      break;
+    case DeltaKind::RegionWidened:
+      invalidateRegion(Ev.R, /*Dropped=*/false);
+      break;
+    case DeltaKind::ExternalMutation:
+      NeedResync = true; // consume the rest via resync
+      break;
+    }
+  }
+  if (NeedResync)
+    JournalCursor = End;
+  M.trimJournal(JournalCursor);
+  return StateCheckResult{};
+}
+
+void IncrementalStateCheck::invalidateRegion(Symbol S, bool Dropped) {
+  ++Stats.RegionInvalidations;
+  // The (value, type) memo can hide a judgment that consulted S through an
+  // embedded address; region events are rare (once per collection), so a
+  // coarse clear is the honest price of keyed-by-pointer memoization.
+  JudgmentMemo.clear();
+
+  // Facts about S's own cells.
+  for (auto It = Facts.begin(); It != Facts.end();) {
+    if (It->first.R.sym() == S)
+      It = Facts.erase(It);
+    else
+      ++It;
+  }
+  if (Dropped) {
+    Cursors.erase(S);
+    for (auto It = KnownBad.begin(); It != KnownBad.end();) {
+      if (It->R.sym() == S)
+        It = KnownBad.erase(It);
+      else
+        ++It;
+    }
+    for (auto It = ReachPlus.begin(); It != ReachPlus.end();) {
+      if (It->R.sym() == S)
+        It = ReachPlus.erase(It);
+      else
+        ++It;
+    }
+  } else {
+    // Widened in place: every surviving cell of S must re-validate against
+    // its rewritten Ψ type (and annotation-rewritten value).
+    if (const RegionData *RD = M.memory().region(S)) {
+      Region RName = Region::name(S);
+      for (uint32_t Off = 0; Off != RD->Cells.size(); ++Off)
+        if (RD->Cells[Off])
+          DirtySet.insert(Address{RName, Off});
+    }
+  }
+
+  // Judgments elsewhere that consulted S (dropped: they must now fail if
+  // reachable, exactly as the full checker fails them; widened: their
+  // addresses' Ψ entries changed view).
+  auto DIt = Dependents.find(S);
+  if (DIt != Dependents.end()) {
+    for (Address A : DIt->second) {
+      if (A.R.sym() == S)
+        continue; // own-region facts already handled above
+      if (Facts.erase(A) != 0) {
+        DirtySet.insert(A);
+        ++Stats.DependentInvalidations;
+      }
+    }
+    Dependents.erase(DIt);
+  }
+}
+
+void IncrementalStateCheck::collectDirty() {
+  for (auto &[S, RD] : M.memory().Regions) {
+    RegionCursor &Cur = Cursors[S]; // zero-init for untracked regions
+    RegionType *PT = nullptr;
+    auto PIt = M.psi().Regions.find(S);
+    if (PIt != M.psi().Regions.end())
+      PT = &PIt->second;
+    uint64_t PsiV = PT ? PT->Version : 0;
+    if (Cur.MemVersion == RD.Version && Cur.PsiVersion == PsiV &&
+        Cur.MemCells == RD.Cells.size())
+      continue; // untouched region: O(1) skip
+    Region RName = Region::name(S);
+    // Fresh cells (put / reserveCode growth).
+    for (size_t Off = Cur.MemCells; Off < RD.Cells.size(); ++Off) {
+      Address A{RName, static_cast<uint32_t>(Off)};
+      DirtySet.insert(A);
+      // A put-bound address flows straight into the term: conservatively
+      // reachable from birth.
+      if (Opts.RestrictToReachable && S != CdS && ReachPlus.insert(A).second)
+        ReachGrew = true;
+    }
+    // In-place overwrites (set / fill / defineCode).
+    for (uint32_t Off : RD.DirtyLog)
+      DirtySet.insert(Address{RName, Off});
+    RD.DirtyLog.clear();
+    // In-place Ψ overwrites only happen under external surgery (the
+    // machine appends or rewrites whole regions, which are journaled):
+    // treat the region as suspicious — re-validate the touched cells and
+    // poison judgments that depend on this region.
+    if (PT && !PT->DirtyLog.empty()) {
+      for (uint32_t Off : PT->DirtyLog)
+        DirtySet.insert(Address{RName, Off});
+      PT->DirtyLog.clear();
+      invalidateRegion(S, /*Dropped=*/false);
+    }
+    Cur.MemVersion = RD.Version;
+    Cur.MemCells = RD.Cells.size();
+    Cur.PsiVersion = PT ? PT->Version : 0;
+  }
+}
+
+StateCheckResult IncrementalStateCheck::checkRegionDomains() {
+  GcContext &C = M.context();
+  for (const auto &[S, _] : M.memory().Regions)
+    if (!M.psi().hasRegion(S))
+      return StateCheckResult::failure("memory region missing from Psi: " +
+                                       std::string(C.name(S)));
+  for (const auto &[S, _] : M.psi().Regions)
+    if (!M.memory().hasRegion(S))
+      return StateCheckResult::failure("Psi region missing from memory: " +
+                                       std::string(C.name(S)));
+  return StateCheckResult{};
+}
+
+StateCheckResult IncrementalStateCheck::validateDirty() {
+  for (Address A : DirtySet) {
+    std::string Err;
+    if (!validateCell(A, Err))
+      return StateCheckResult::failure(std::move(Err));
+  }
+  return StateCheckResult{};
+}
+
+bool IncrementalStateCheck::validateCell(Address A, std::string &Err) {
+  const RegionData *RD = M.memory().region(A.R.sym());
+  if (!RD) { // region dropped after this address was dirtied
+    Facts.erase(A);
+    return true;
+  }
+  const Value *V =
+      A.Offset < RD->Cells.size() ? RD->Cells[A.Offset] : nullptr;
+  if (!V) { // reserved-but-undefined code slot
+    Facts.erase(A);
+    return true;
+  }
+  const Type *CellTy = M.psi().lookup(A);
+  bool IsCd = A.R.sym() == CdS;
+
+  auto It = Facts.find(A);
+  if (It != Facts.end() && It->second.V == V && It->second.T == CellTy)
+    return true; // dirtied but unchanged (e.g. idempotent fill)
+
+  ++Stats.CellsValidated;
+  std::string CellErr;
+  bool Ok = Checker.checkHeapCell(A, V, CellTy, IsCd, CheckCodeNow, Env,
+                                  IsCd ? nullptr : &JudgmentMemo, &CellErr);
+  if (Ok) {
+    Facts[A] = CellFact{V, CellTy};
+    KnownBad.erase(A);
+    if (!IsCd) {
+      recordDeps(A, V, CellTy);
+      if (Opts.RestrictToReachable)
+        addToReachable(A, V);
+    }
+    return true;
+  }
+
+  Facts.erase(A);
+  if (!Opts.RestrictToReachable || IsCd) {
+    Err = std::move(CellErr);
+    return false;
+  }
+  // Def 7.1: an unreachable ill-typed cell is tolerated garbage. The
+  // conservative set only ever *skips* (definitely-unreachable) failures;
+  // a failure inside it is decided by exact reachability.
+  if (!ReachPlus.count(A)) {
+    KnownBad.insert(A);
+    return true;
+  }
+  if (!ExactThisCheck)
+    recomputeExactReachable();
+  if (ReachPlus.count(A)) {
+    Err = std::move(CellErr);
+    return false;
+  }
+  KnownBad.insert(A);
+  return true;
+}
+
+void IncrementalStateCheck::recordDeps(Address A, const Value *V,
+                                       const Type *T) {
+  std::unordered_set<Symbol, SymbolHash> Regs;
+  RegionDepCollector Coll(Regs);
+  Coll.visit(V);
+  Coll.visit(T);
+  for (Symbol S : Regs) {
+    if (S == CdS || S == A.R.sym())
+      continue; // cd is immortal; own-region facts are invalidated directly
+    Dependents[S].push_back(A);
+  }
+}
+
+void IncrementalStateCheck::addToReachable(Address A, const Value *V) {
+  // Contents become reachable only through a (conservatively) reachable
+  // cell; unreachable garbage must not grow the set, or the Def 7.1 skip
+  // would erode into checking everything.
+  if (!ReachPlus.count(A))
+    return;
+  WorkScratch.clear();
+  size_t Before = ReachPlus.size();
+  AddressCollector Coll(ReachPlus, &WorkScratch);
+  Coll.visit(V);
+  while (!WorkScratch.empty()) {
+    Address Next = WorkScratch.back();
+    WorkScratch.pop_back();
+    if (const Value *Cell = M.memory().get(Next))
+      Coll.visit(Cell);
+  }
+  if (ReachPlus.size() != Before)
+    ReachGrew = true;
+}
+
+void IncrementalStateCheck::recomputeExactReachable() {
+  ++Stats.ReachExactRecomputes;
+  reachableCells(M, ReachScratch, WorkScratch);
+  ReachPlus.swap(ReachScratch);
+  ExactThisCheck = true;
+}
+
+void IncrementalStateCheck::syncCursors() {
+  Cursors.clear();
+  for (auto &[S, RD] : M.memory().Regions) {
+    RegionCursor Cur;
+    Cur.MemVersion = RD.Version;
+    Cur.MemCells = RD.Cells.size();
+    RD.DirtyLog.clear();
+    auto It = M.psi().Regions.find(S);
+    if (It != M.psi().Regions.end()) {
+      Cur.PsiVersion = It->second.Version;
+      It->second.DirtyLog.clear();
+    }
+    Cursors.emplace(S, Cur);
+  }
+}
+
+StateCheckResult IncrementalStateCheck::checkTermJudgment() {
+  // The redex moves every step and the environment machine's force
+  // boundary rebuilds the closed term anyway, so the term judgment is
+  // re-run in full — measured at tens of microseconds against the
+  // multi-millisecond per-cell loop this class exists to kill.
+  if (const Term *E = M.currentTerm()) {
+    Checker.setSkipCodeBodies(true);
+    Diags.clear();
+    if (!Checker.checkTerm(E, Env))
+      return StateCheckResult::failure("term ill-typed:\n" + Diags.str());
+  }
   return StateCheckResult{};
 }

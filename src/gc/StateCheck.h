@@ -25,7 +25,9 @@
 #include "gc/Machine.h"
 
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace scav::gc {
 
@@ -59,10 +61,176 @@ void collectAddresses(const Term *E, AddressSet &Out);
 void collectAddresses(const Value *V, AddressSet &Out);
 
 /// The set of cells reachable from the current term through memory.
+/// The two-argument form is the hot-path variant: \p Out is cleared and
+/// refilled (its hash-table capacity survives) and \p Work is the caller's
+/// reusable worklist buffer — per-step checking would otherwise pay a fresh
+/// AddressSet allocation per call.
+void reachableCells(const Machine &M, AddressSet &Out,
+                    std::vector<Address> &Work);
 AddressSet reachableCells(const Machine &M);
 
 /// Checks ⊢ (M, e) for the machine's current state.
 StateCheckResult checkState(Machine &M, const StateCheckOptions &Opts = {});
+
+//===----------------------------------------------------------------------===//
+// Incremental checking
+//===----------------------------------------------------------------------===//
+
+struct IncrementalCheckOptions {
+  /// Check cd code bodies once, at attach (the first check()). Later cd
+  /// writes (defineCode) are re-checked with the same setting.
+  bool CheckCodeRegion = true;
+  /// Def 7.1's reachable restriction M̄ ⊆ M (λGC-forw): unreachable
+  /// non-cd cells are allowed to be ill-typed.
+  bool RestrictToReachable = false;
+  /// Safety net: every N check() calls, drop every cached fact and
+  /// re-validate the whole state from scratch (also refreshes the exact
+  /// reachable set). 0 = never; the journal/dirty-log contract is then the
+  /// only line of defense against out-of-band mutation that forgot to call
+  /// Machine::invalidatePutTypeCache.
+  uint32_t ResyncEvery = 0;
+};
+
+struct IncrementalCheckStats {
+  uint64_t Checks = 0;
+  /// Cell judgments actually (re)run, cumulative. The headline: with a warm
+  /// cache this is O(cells written since the last check), not O(heap).
+  uint64_t CellsValidated = 0;
+  /// Judgments served from the shared (value, type) success memo.
+  uint64_t CellJudgmentCacheHits = 0;
+  uint64_t JournalEventsConsumed = 0;
+  /// Whole-region invalidations (widen / only / external Ψ writes).
+  uint64_t RegionInvalidations = 0;
+  /// Cached judgments poisoned because a region they depend on was
+  /// widened or dropped.
+  uint64_t DependentInvalidations = 0;
+  /// Exact reachability recomputations (lazy: only when a failing or
+  /// known-bad cell might be reachable).
+  uint64_t ReachExactRecomputes = 0;
+  uint64_t FullResyncs = 0;
+  size_t CachedFacts = 0; ///< Live per-cell facts after the last check.
+};
+
+/// Incremental ⊢ (M, e): caches per-cell judgments Ψ ⊢ M(a) : Ψ(a) and
+/// re-validates only state dirtied since the last check() — cells written
+/// by put/set/fill (per-region dirty logs, Memory.h), regions touched by
+/// widen/only/external mutation (the machine's delta journal), plus the
+/// term judgment at the new redex. The full checkState stays the oracle:
+/// verdicts must agree on every state both can see.
+///
+/// Invalidation rules (DESIGN.md §3.7):
+///  * a cell write dirties exactly that cell — address typing reads Ψ, not
+///    memory, so other cached judgments are unaffected;
+///  * `widen` poisons the from-region's facts and every fact whose
+///    judgment depends on that region (per-region dependents index);
+///  * `only` erases dropped regions' facts and poisons their dependents —
+///    a surviving reachable cell that still mentions a dropped address must
+///    re-fail exactly as the full checker fails it;
+///  * Ψ/Δ growth (put, let region) never invalidates a cached success
+///    (weakening), which is what makes the steady state O(delta).
+///
+/// Under RestrictToReachable, reachability is maintained conservatively: a
+/// superset of the truly-reachable cells, grown from each validated write's
+/// embedded addresses (closed through memory) and shrunk only by exact
+/// recomputation. The superset is never used to accept a cell the full
+/// checker would reject — it only *skips* failures that are definitely
+/// unreachable; a failure inside the superset triggers an exact
+/// recomputation which decides, and cells that failed while unreachable
+/// are remembered (KnownBad) and re-tried if the superset ever grows to
+/// include them.
+///
+/// One instance per machine: attaching enables the machine's delta journal
+/// and the checker consumes (and trims) the per-region dirty logs.
+class IncrementalStateCheck {
+public:
+  explicit IncrementalStateCheck(Machine &M,
+                                 IncrementalCheckOptions Opts = {});
+
+  /// Re-establishes ⊢ (M, e). The first call is a full check that builds
+  /// the caches; steady-state calls are O(delta + term).
+  StateCheckResult check();
+
+  /// Drops every cached fact; the next check() re-validates from scratch.
+  void invalidateAll() { NeedResync = true; }
+
+  const IncrementalCheckStats &stats() const { return Stats; }
+
+private:
+  struct RegionCursor {
+    uint64_t MemVersion = 0;
+    uint64_t PsiVersion = 0;
+    size_t MemCells = 0; ///< Cells already seen (size-growth cursor).
+  };
+  struct CellFact {
+    const Value *V;
+    const Type *T;
+  };
+
+  StateCheckResult runCheck();
+  StateCheckResult resync();
+  StateCheckResult drainJournal();
+  void collectDirty();
+  StateCheckResult validateDirty();
+  /// One cell; returns false (filling \p Err) only when the whole check
+  /// must fail — a tolerated Def 7.1 failure lands in KnownBad instead.
+  bool validateCell(Address A, std::string &Err);
+  StateCheckResult checkRegionDomains();
+  StateCheckResult checkTermJudgment();
+  void recordDeps(Address A, const Value *V, const Type *T);
+  void addToReachable(Address A, const Value *V);
+  void recomputeExactReachable();
+  void invalidateRegion(Symbol S, bool Dropped);
+  void syncCursors();
+
+  Machine &M;
+  IncrementalCheckOptions Opts;
+  IncrementalCheckStats Stats;
+  Symbol CdS;
+
+  DiagEngine Diags;
+  TypeChecker Checker;
+  CheckEnv Env;
+
+  bool Attached = false;
+  bool NeedResync = false;
+  /// Whether cd code bodies are re-checked for cells validated right now:
+  /// Opts.CheckCodeRegion at attach and for freshly defined code, false
+  /// during periodic resyncs (matching the per-step oracle's settings).
+  bool CheckCodeNow = false;
+  /// ReachPlus is exactly the reachable set as of this check() call — set
+  /// by recomputeExactReachable, avoids back-to-back recomputations.
+  bool ExactThisCheck = false;
+  uint64_t JournalCursor = 0;
+
+  std::unordered_map<Symbol, RegionCursor, SymbolHash> Cursors;
+  /// Cached successful judgments, by address. Values/types are
+  /// machine-owned (arena) pointers, so entries are plain data — safe to
+  /// keep across the GcContext::Scope each check runs under.
+  std::unordered_map<Address, CellFact, AddressHash> Facts;
+  /// Region → addresses whose cached judgment consulted that region
+  /// (through an embedded address, a region mention in the cell type, or
+  /// an embedded annotation type). Append-only between invalidations;
+  /// stale entries are filtered by re-validation.
+  std::unordered_map<Symbol, std::vector<Address>, SymbolHash> Dependents;
+  /// Shared (value, type) success memo across cells: distinct addresses
+  /// holding the same hash-consed value/type pair (common under the
+  /// sharing-preserving collectors) validate once.
+  CellJudgmentCache JudgmentMemo;
+
+  /// Conservative superset of the reachable cells (RestrictToReachable
+  /// only). Exact right after attach/resync/recompute; grows from deltas.
+  AddressSet ReachPlus;
+  bool ReachGrew = false;
+  /// Cells that failed their judgment while (conservatively) unreachable —
+  /// Def 7.1 garbage, tolerated but watched.
+  AddressSet KnownBad;
+
+  // Scratch buffers (persist to amortize allocation — the satellite point
+  // of the reachableCells overload).
+  AddressSet DirtySet;
+  AddressSet ReachScratch;
+  std::vector<Address> WorkScratch;
+};
 
 } // namespace scav::gc
 

@@ -952,3 +952,45 @@ bool TypeChecker::checkTerm(const Term *E, const CheckEnv &Env) {
   }
   return false;
 }
+
+//===----------------------------------------------------------------------===//
+// Ψ ⊢ M(a) : Ψ(a), one cell
+//===----------------------------------------------------------------------===//
+
+bool TypeChecker::checkHeapCell(Address A, const Value *V, const Type *CellTy,
+                                bool IsCd, bool CheckCodeBody,
+                                const CheckEnv &E, CellJudgmentCache *Cache,
+                                std::string *Error) {
+  auto failCell = [&](std::string Msg) {
+    if (Error)
+      *Error = std::move(Msg);
+    return false;
+  };
+  if (!CellTy)
+    return failCell("cell missing from Psi: " + printValue(C, C.valAddr(A)));
+  if (IsCd) {
+    if (!CellTy->is(TypeKind::Code) || !V->is(ValueKind::Code))
+      return failCell("cd region holds a non-code cell (Fig 7): " +
+                      printValue(C, C.valAddr(A)));
+    if (!CheckCodeBody)
+      return true;
+  }
+  if (Cache && Cache->contains(V, CellTy)) {
+    ++Cache->Hits;
+    return true;
+  }
+  bool SavedSkip = SkipCodeBodies;
+  SkipCodeBodies = IsCd ? false : true;
+  Diags.clear(); // self-contained failure message for this one cell
+  bool Ok = checkValue(V, CellTy, E);
+  SkipCodeBodies = SavedSkip;
+  if (!Ok)
+    return failCell("cell " + printValue(C, C.valAddr(A)) + " := " +
+                    printValue(C, V) + " does not check against Psi type " +
+                    printType(C, CellTy) + "\n" + Diags.str());
+  if (Cache) {
+    ++Cache->Misses;
+    Cache->insert(V, CellTy);
+  }
+  return Ok;
+}

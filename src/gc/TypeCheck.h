@@ -31,6 +31,9 @@
 #include "support/Diag.h"
 
 #include <map>
+#include <string>
+#include <unordered_set>
+#include <utility>
 
 namespace scav::gc {
 
@@ -101,6 +104,39 @@ struct CheckEnv {
   std::map<Symbol, RegionSet> RegionBounds;
 };
 
+/// Success memo for heap-cell judgments Ψ ⊢ M(a) : Ψ(a), keyed on the
+/// (value, cell-type) pointer pair — meaningful because both sides are
+/// hash-consed machine-owned nodes. A hit is sound while every Ψ binding
+/// the judgment consulted (the addresses embedded in the value) is
+/// unchanged; callers invalidate coarsely by clearing on region events
+/// (widen / only / external mutation). Only successes are stored:
+/// failures must re-run to produce diagnostics.
+class CellJudgmentCache {
+public:
+  bool contains(const Value *V, const Type *T) const {
+    return Hits_.count(key(V, T)) != 0;
+  }
+  void insert(const Value *V, const Type *T) { Hits_.insert(key(V, T)); }
+  void clear() { Hits_.clear(); }
+  size_t size() const { return Hits_.size(); }
+
+  /// Served / computed counters, for stats surfaces.
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+private:
+  using Key = std::pair<const Value *, const Type *>;
+  static Key key(const Value *V, const Type *T) { return Key{V, T}; }
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t H = std::hash<const void *>{}(K.first);
+      return H ^ (std::hash<const void *>{}(K.second) + 0x9e3779b97f4a7c15ull +
+                  (H << 6) + (H >> 2));
+    }
+  };
+  std::unordered_set<Key, KeyHash> Hits_;
+};
+
 /// Typechecker for one language level. Reports failures into a DiagEngine;
 /// every entry point returns false / nullptr on error.
 class TypeChecker {
@@ -141,6 +177,19 @@ public:
 
   /// Ψ; ∆; Θ; Φ; Γ ⊢ e.
   bool checkTerm(const Term *E, const CheckEnv &Env);
+
+  /// One heap-cell judgment Ψ ⊢ M(a) : Ψ(a), with Fig 7's cd discipline —
+  /// the per-cell body of the ⊢ M : Ψ loop, factored out so the full and
+  /// incremental state checkers produce identical verdicts and error text.
+  /// \p CellTy may be null (reported as "cell missing from Psi"). For cd
+  /// cells, \p CheckCodeBody selects between the full code-body re-check
+  /// and the discipline-only check. \p Cache, when given, memoizes
+  /// successful non-cd judgments. On failure returns false and, if
+  /// \p Error is set, fills it with the same message checkState reports.
+  bool checkHeapCell(Address A, const Value *V, const Type *CellTy, bool IsCd,
+                     bool CheckCodeBody, const CheckEnv &E,
+                     CellJudgmentCache *Cache = nullptr,
+                     std::string *Error = nullptr);
 
   /// Builds the restricted environment of the `only ∆'` rule:
   /// Ψ|∆'; ∆',cd; Θ; Φ|∆'; Γ|∆'.

@@ -2,6 +2,9 @@
 
 #include "harness/Pipeline.h"
 
+#include <cstdlib>
+#include <limits>
+
 using namespace scav;
 using namespace scav::harness;
 
@@ -91,6 +94,17 @@ RunResult Pipeline::runClos(uint64_t Fuel) {
   return R;
 }
 
+uint32_t scav::harness::checkEveryFromEnv(uint32_t Fallback) {
+  const char *Env = std::getenv("SCAV_CHECK_EVERY");
+  if (!Env || !*Env)
+    return Fallback;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Env, &End, 10);
+  if (End == Env || *End != '\0' || V > std::numeric_limits<uint32_t>::max())
+    return Fallback;
+  return static_cast<uint32_t>(V);
+}
+
 RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
   RunResult R;
   if (!Translated.Main) {
@@ -99,13 +113,27 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
   }
   M->start(Translated.Main);
 
+  bool Restrict = Opts.Level == gc::LanguageLevel::Forward;
   gc::StateCheckOptions Check;
-  Check.RestrictToReachable = Opts.Level == gc::LanguageLevel::Forward;
+  Check.RestrictToReachable = Restrict;
+  std::optional<gc::IncrementalStateCheck> Inc;
+  uint64_t ChecksRun = 0;
   if (CheckEveryN != 0) {
-    gc::StateCheckResult R0 = gc::checkState(*M, Check);
-    if (!R0.Ok) {
-      R.Error = "initial state ill-formed: " + R0.Error;
-      return R;
+    if (Opts.IncrementalCheck) {
+      gc::IncrementalCheckOptions IncOpts;
+      IncOpts.RestrictToReachable = Restrict;
+      Inc.emplace(*M, IncOpts); // attach: first check() is the full one
+      gc::StateCheckResult R0 = Inc->check();
+      if (!R0.Ok) {
+        R.Error = "initial state ill-formed: " + R0.Error;
+        return R;
+      }
+    } else {
+      gc::StateCheckResult R0 = gc::checkState(*M, Check);
+      if (!R0.Ok) {
+        R.Error = "initial state ill-formed: " + R0.Error;
+        return R;
+      }
     }
     Check.CheckCodeRegion = false;
   }
@@ -120,11 +148,23 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
       return R;
     }
     if (CheckEveryN != 0 && I % CheckEveryN == 0) {
-      gc::StateCheckResult Rc = gc::checkState(*M, Check);
+      gc::StateCheckResult Rc = Inc ? Inc->check() : gc::checkState(*M, Check);
+      ++ChecksRun;
       if (!Rc.Ok) {
         R.Error = "preservation violation: " + Rc.Error;
         R.Steps = M->stats().Steps;
         return R;
+      }
+      // Configurable oracle cadence: the incremental verdict must agree
+      // with the full checker's on every state both see.
+      if (Inc && Opts.FullCheckEvery != 0 &&
+          ChecksRun % Opts.FullCheckEvery == 0) {
+        gc::StateCheckResult Rf = gc::checkState(*M, Check);
+        if (!Rf.Ok) {
+          R.Error = "incremental checker missed a violation: " + Rf.Error;
+          R.Steps = M->stats().Steps;
+          return R;
+        }
       }
     }
   }

@@ -35,6 +35,16 @@ struct PipelineOptions {
   /// Generational level only: also install the certified *major* collector
   /// and trigger it when the old generation fills.
   bool InstallMajorCollector = false;
+  /// Use the incremental checker (delta journal + cached cell judgments,
+  /// StateCheck.h) for runMachine's per-N checks instead of re-running the
+  /// full checkState each time. The full checker remains the oracle; see
+  /// FullCheckEvery.
+  bool IncrementalCheck = true;
+  /// When nonzero (and IncrementalCheck is on), every N-th per-step check
+  /// also runs the full checkState and requires verdict agreement — a
+  /// configurable full-check cadence for paranoid runs. 0 = incremental
+  /// only.
+  uint32_t FullCheckEvery = 0;
 };
 
 struct RunResult {
@@ -43,6 +53,11 @@ struct RunResult {
   std::string Error;
   uint64_t Steps = 0;
 };
+
+/// Resolves the per-step check cadence: the SCAV_CHECK_EVERY environment
+/// variable when set to a valid unsigned integer, else \p Fallback. Shared
+/// by the drivers so one env var steers every harness entry point.
+uint32_t checkEveryFromEnv(uint32_t Fallback);
 
 /// Owns every context of one compilation pipeline.
 class Pipeline {

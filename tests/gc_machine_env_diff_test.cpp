@@ -87,11 +87,12 @@ struct PipelineOutcome {
   std::string StuckReason;
 };
 
-PipelineOutcome runPipeline(uint64_t Seed, LanguageLevel Level,
-                            EvalMode Mode) {
+PipelineOutcome runPipeline(uint64_t Seed, LanguageLevel Level, EvalMode Mode,
+                            bool Incremental) {
   PipelineOptions Opts;
   Opts.Level = Level;
   Opts.Machine = configFor(Mode);
+  Opts.IncrementalCheck = Incremental;
 
   Pipeline Pipe(Opts);
   Rng R(Seed);
@@ -126,8 +127,13 @@ TEST_P(EnvDiffPipeline, ModesAgreeOnRandomPrograms) {
   auto [SeedIdx, Level] = GetParam();
   uint64_t Seed = 0xE17D1FF0 + static_cast<uint64_t>(SeedIdx) * 7919;
 
-  PipelineOutcome E = runPipeline(Seed, Level, EvalMode::Env);
-  PipelineOutcome S = runPipeline(Seed, Level, EvalMode::Subst);
+  // 4-way differential: evaluation mode (env vs subst) × per-step checker
+  // (incremental vs full). All four runs must agree observationally, and
+  // the checker dimension must be invisible to the machine.
+  PipelineOutcome E = runPipeline(Seed, Level, EvalMode::Env, true);
+  PipelineOutcome S = runPipeline(Seed, Level, EvalMode::Subst, true);
+  PipelineOutcome EF = runPipeline(Seed, Level, EvalMode::Env, false);
+  PipelineOutcome SF = runPipeline(Seed, Level, EvalMode::Subst, false);
 
   std::string What =
       "seed " + std::to_string(Seed) + " " + languageLevelName(Level);
@@ -140,6 +146,22 @@ TEST_P(EnvDiffPipeline, ModesAgreeOnRandomPrograms) {
   EXPECT_EQ(E.CheckOk, S.CheckOk) << What;
   EXPECT_TRUE(E.CheckOk) << What << ": final Env state fails checkState";
   expectSameStats(E.Stats, S.Stats, What);
+
+  auto expectCheckerInvisible = [&](const PipelineOutcome &Incr,
+                                    const PipelineOutcome &Full,
+                                    const char *Mode) {
+    std::string W = What + " (" + Mode + ") incremental vs full checker";
+    EXPECT_EQ(Incr.Run.Ok, Full.Run.Ok)
+        << W << ": " << Incr.Run.Error << " vs " << Full.Run.Error;
+    EXPECT_EQ(Incr.Run.Value, Full.Run.Value) << W;
+    EXPECT_EQ(Incr.Run.Steps, Full.Run.Steps) << W;
+    EXPECT_EQ(Incr.StuckReason, Full.StuckReason) << W;
+    EXPECT_EQ(Incr.LiveCells, Full.LiveCells) << W;
+    EXPECT_EQ(Incr.CheckOk, Full.CheckOk) << W;
+    expectSameStats(Incr.Stats, Full.Stats, W);
+  };
+  expectCheckerInvisible(E, EF, "env");
+  expectCheckerInvisible(S, SF, "subst");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,12 +8,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "gc/Builder.h"
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
 #include "gc/StateCheck.h"
+#include "harness/HeapForge.h"
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <optional>
+
 using namespace scav;
 using namespace scav::gc;
+using namespace scav::harness;
 
 namespace {
 
@@ -129,6 +137,216 @@ TEST_F(NegativeTest, IfregOnUnresolvedVariable) {
   const Term *E = C.termIfReg(Rv, Rv, C.termHalt(C.valInt(0)),
                               C.termHalt(C.valInt(1)));
   expectStuck(LanguageLevel::Generational, E, "unresolved region variable");
+}
+
+//===----------------------------------------------------------------------===//
+// Post-cache corruption: the incremental checker must reject external
+// mutations made AFTER it cached a judgment for the mutated cell — including
+// mutations landing after a widen rewrote Ψ and after an only dropped
+// regions — and its verdict must agree with the full checker's.
+//===----------------------------------------------------------------------===//
+
+struct CorruptionTest : ::testing::Test {
+  GcContext C;
+  std::unique_ptr<Machine> M;
+  Address GcAddr{};
+  Region From{}, Old{};
+
+  void build(LanguageLevel Level, size_t N) {
+    M = std::make_unique<Machine>(C, Level);
+    switch (Level) {
+    case LanguageLevel::Base:
+      GcAddr = installBasicCollector(*M).Gc;
+      break;
+    case LanguageLevel::Forward:
+      GcAddr = installForwardCollector(*M).Gc;
+      break;
+    case LanguageLevel::Generational:
+      GcAddr = installGenCollector(*M).Gc;
+      break;
+    }
+    From = M->createRegion("from", 0);
+    Old = Level == LanguageLevel::Generational ? M->createRegion("old", 0)
+                                               : From;
+    ForgedHeap H = forgeList(*M, From, Old, N);
+    Address Fin = installFinisher(*M, H.Tag);
+    M->start(collectOnceTerm(*M, GcAddr, H, From, Old, Fin));
+  }
+
+  /// A value that is ill-typed against every Ψ entry: an address into a
+  /// region that does not exist.
+  const Value *poison() {
+    return C.valAddr(Address{Region::name(C.fresh("ghostregion")), 0});
+  }
+
+  /// First (region-scan order) non-cd cell that is reachable from the
+  /// current term — a cell Def 7.1 does NOT allow either checker to skip.
+  std::optional<Address> reachableDataCell() {
+    AddressSet Reach = reachableCells(*M);
+    Symbol Cd = C.cd().sym();
+    for (const auto &[S, RD] : M->memory().Regions) {
+      if (S == Cd)
+        continue;
+      for (uint32_t Off = 0; Off != RD.Cells.size(); ++Off) {
+        Address A{Region::name(S), Off};
+        if (RD.Cells[Off] && Reach.count(A))
+          return A;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Address> anyDataCell() {
+    Symbol Cd = C.cd().sym();
+    for (const auto &[S, RD] : M->memory().Regions) {
+      if (S == Cd)
+        continue;
+      for (uint32_t Off = 0; Off != RD.Cells.size(); ++Off)
+        if (RD.Cells[Off])
+          return Address{Region::name(S), Off};
+    }
+    return std::nullopt;
+  }
+
+  StateCheckResult fullCheck(bool Restrict) {
+    StateCheckOptions Opts;
+    Opts.CheckCodeRegion = false;
+    Opts.RestrictToReachable = Restrict;
+    return checkState(*M, Opts);
+  }
+
+  /// Steps with a per-step incremental check (asserting agreement with the
+  /// full checker throughout) until \p Done or the machine stops.
+  template <typename Pred>
+  void stepChecked(IncrementalStateCheck &Inc, bool Restrict, Pred Done) {
+    for (int I = 0; I != 100'000; ++I) {
+      if (M->status() != Machine::Status::Running || Done())
+        return;
+      M->step();
+      StateCheckResult RI = Inc.check();
+      StateCheckResult RF = fullCheck(Restrict);
+      ASSERT_EQ(RI.Ok, RF.Ok)
+          << "incremental vs full verdict diverges at step " << I << ":\n"
+          << RI.Error << "\nvs\n"
+          << RF.Error;
+      ASSERT_TRUE(RI.Ok) << RI.Error;
+    }
+    FAIL() << "machine did not meet the stepping goal";
+  }
+};
+
+TEST_F(CorruptionTest, RejectsCellCorruptionAfterCaching) {
+  build(LanguageLevel::Base, 16);
+  IncrementalStateCheck Inc(*M);
+  ASSERT_TRUE(Inc.check().Ok);
+  // Warm the caches across some real steps, then corrupt a cell whose
+  // judgment is cached.
+  int Steps = 0;
+  stepChecked(Inc, /*Restrict=*/false, [&] { return ++Steps > 25; });
+  std::optional<Address> A = anyDataCell();
+  ASSERT_TRUE(A.has_value());
+  ASSERT_TRUE(M->memory().update(*A, poison()));
+  StateCheckResult RI = Inc.check();
+  StateCheckResult RF = fullCheck(false);
+  EXPECT_FALSE(RI.Ok) << "incremental checker accepted a corrupted cell";
+  EXPECT_FALSE(RF.Ok);
+}
+
+TEST_F(CorruptionTest, RejectsPsiCorruptionAfterCaching) {
+  build(LanguageLevel::Base, 16);
+  IncrementalStateCheck Inc(*M);
+  ASSERT_TRUE(Inc.check().Ok);
+  int Steps = 0;
+  stepChecked(Inc, false, [&] { return ++Steps > 25; });
+  // Retype a non-integer cell as int: Ψ surgery behind the machine's back.
+  std::optional<Address> Victim;
+  for (const auto &[S, RD] : M->memory().Regions) {
+    if (S == C.cd().sym())
+      continue;
+    for (uint32_t Off = 0; Off != RD.Cells.size(); ++Off)
+      if (RD.Cells[Off] && !RD.Cells[Off]->is(ValueKind::Int)) {
+        Victim = Address{Region::name(S), Off};
+        break;
+      }
+    if (Victim)
+      break;
+  }
+  ASSERT_TRUE(Victim.has_value());
+  M->psi().set(*Victim, C.typeInt());
+  StateCheckResult RI = Inc.check();
+  StateCheckResult RF = fullCheck(false);
+  EXPECT_FALSE(RI.Ok) << "incremental checker accepted corrupted Psi";
+  EXPECT_FALSE(RF.Ok);
+}
+
+TEST_F(CorruptionTest, RejectsCorruptionAcrossWiden) {
+  // Forward only: the generational minor collection promotes without a
+  // widen on this workload (its differential coverage lives in
+  // gc_incremental_check_test).
+  {
+    LanguageLevel Level = LanguageLevel::Forward;
+    build(Level, 24);
+    IncrementalCheckOptions IOpts;
+    IOpts.RestrictToReachable = true;
+    IncrementalStateCheck Inc(*M, IOpts);
+    ASSERT_TRUE(Inc.check().Ok);
+    // Run through at least one widen (Ψ rewritten, caches invalidated per
+    // affected region), then let the caches re-warm.
+    stepChecked(Inc, true, [&] { return M->stats().Widens >= 1; });
+    ASSERT_GE(M->stats().Widens, 1u);
+    int Extra = 0;
+    stepChecked(Inc, true, [&] { return ++Extra > 10; });
+    std::optional<Address> A = reachableDataCell();
+    ASSERT_TRUE(A.has_value());
+    ASSERT_TRUE(M->memory().update(*A, poison()));
+    StateCheckResult RI = Inc.check();
+    StateCheckResult RF = fullCheck(true);
+    EXPECT_FALSE(RI.Ok)
+        << "incremental checker accepted a corrupted reachable cell";
+    EXPECT_FALSE(RF.Ok);
+  }
+}
+
+TEST_F(CorruptionTest, RejectsCorruptionAcrossOnly) {
+  build(LanguageLevel::Forward, 24);
+  IncrementalCheckOptions IOpts;
+  IOpts.RestrictToReachable = true;
+  IncrementalStateCheck Inc(*M, IOpts);
+  ASSERT_TRUE(Inc.check().Ok);
+  // Run past the collection's `only` (from-space dropped; cached judgments
+  // mentioning its addresses poisoned), while the machine is still live.
+  stepChecked(Inc, true, [&] { return M->stats().RegionsReclaimed >= 1; });
+  ASSERT_GE(M->stats().RegionsReclaimed, 1u);
+  ASSERT_EQ(M->status(), Machine::Status::Running);
+  std::optional<Address> A = reachableDataCell();
+  ASSERT_TRUE(A.has_value());
+  ASSERT_TRUE(M->memory().update(*A, poison()));
+  StateCheckResult RI = Inc.check();
+  StateCheckResult RF = fullCheck(true);
+  EXPECT_FALSE(RI.Ok)
+      << "incremental checker accepted corruption after only";
+  EXPECT_FALSE(RF.Ok);
+}
+
+TEST_F(CorruptionTest, UnreachableCorruptionToleratedUnderDef71) {
+  build(LanguageLevel::Forward, 24);
+  IncrementalCheckOptions IOpts;
+  IOpts.RestrictToReachable = true;
+  IncrementalStateCheck Inc(*M, IOpts);
+  ASSERT_TRUE(Inc.check().Ok);
+  int G = 0;
+  stepChecked(Inc, true, [&] { return ++G > 1'000'000; });
+  ASSERT_EQ(M->status(), Machine::Status::Halted);
+  // After halt the term is `halt 0`: every data cell is unreachable, so
+  // Def 7.1 lets BOTH checkers tolerate the corruption — agreement on
+  // accept, not just on reject.
+  std::optional<Address> A = anyDataCell();
+  ASSERT_TRUE(A.has_value());
+  ASSERT_TRUE(M->memory().update(*A, poison()));
+  StateCheckResult RI = Inc.check();
+  StateCheckResult RF = fullCheck(true);
+  EXPECT_EQ(RI.Ok, RF.Ok) << RI.Error << "\nvs\n" << RF.Error;
+  EXPECT_TRUE(RI.Ok);
 }
 
 TEST_F(NegativeTest, MachineSurvivesAndReportsAfterStuck) {
