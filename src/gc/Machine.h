@@ -240,9 +240,11 @@ public:
 
   // -- Delta journal --------------------------------------------------------
   // Off by default (zero cost beyond a branch); an incremental state
-  // checker switches it on and then consumes events by absolute index, so
-  // several consumers can attach without stealing each other's events.
-  // Consumed prefixes are reclaimed with trimJournal.
+  // checker switches it on and consumes events by absolute index, trimming
+  // its consumed prefix with trimJournal. Single-consumer contract: the
+  // sole IncrementalStateCheck instance (see StateCheck.h) trims to its own
+  // cursor unconditionally, so a second attached consumer would have
+  // unconsumed events trimmed out from under it.
 
   void enableDeltaJournal() { JournalOn = true; }
   bool deltaJournalEnabled() const { return JournalOn; }
@@ -255,8 +257,7 @@ public:
            "journal event already trimmed or not yet emitted");
     return Journal[AbsIdx - JournalBase];
   }
-  /// Drops events below \p UpToAbs (callers pass the min cursor across
-  /// consumers; with one consumer, its own cursor).
+  /// Drops events below \p UpToAbs (the single consumer's own cursor).
   void trimJournal(uint64_t UpToAbs) {
     if (UpToAbs <= JournalBase)
       return;

@@ -58,9 +58,12 @@ struct RegionType {
   /// Mutation stamp / in-place overwrite log, exactly as in RegionData.
   /// In normal operation Ψ cells are only ever *extended* (recordPut at
   /// fresh offsets) or rewritten wholesale (widen/only, which the machine
-  /// journals as region events), so the log stays empty except under
-  /// external Ψ surgery — which is precisely what the incremental checker
-  /// needs to hear about.
+  /// journals as region events), so the log stays nearly empty: the only
+  /// machine-originated entries are out-of-order defineCode filling a
+  /// reserved null pad in cd. Every other entry is external Ψ surgery —
+  /// which is precisely what the incremental checker needs to hear about,
+  /// and `set` logs *every* write at an established offset (null pad or
+  /// not) so no Version bump below Cells.size() can bypass the log.
   uint64_t Version = 0;
   std::vector<uint32_t> DirtyLog;
 };
@@ -84,9 +87,11 @@ public:
       // size_t arithmetic: Offset + 1 must not wrap when Offset is the
       // largest representable uint32_t.
       Cs.resize(size_t(A.Offset) + 1, nullptr);
-    else if (Cs[A.Offset])
-      // In-place overwrite of an established cell type — log it (fresh
-      // entries are found from Cells.size() growth instead).
+    else
+      // In-place write at an existing offset — log it even when the slot
+      // was a null pad, so every Version bump below Cells.size() is
+      // visible in DirtyLog (fresh entries are found from Cells.size()
+      // growth instead).
       R.DirtyLog.push_back(A.Offset);
     Cs[A.Offset] = T;
     ++R.Version;

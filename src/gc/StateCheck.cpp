@@ -431,8 +431,11 @@ StateCheckResult IncrementalStateCheck::runCheck() {
     if (Hit) {
       if (!ExactThisCheck)
         recomputeExactReachable();
-      WorkScratch.assign(KnownBad.begin(), KnownBad.end());
-      for (Address B : WorkScratch) {
+      // Dedicated snapshot: validateCell's success path reuses WorkScratch
+      // as the addToReachable worklist, which would invalidate a range-for
+      // over it.
+      std::vector<Address> Recheck(KnownBad.begin(), KnownBad.end());
+      for (Address B : Recheck) {
         if (!ReachPlus.count(B))
           continue;
         KnownBad.erase(B);
@@ -590,10 +593,11 @@ void IncrementalStateCheck::collectDirty() {
     for (uint32_t Off : RD.DirtyLog)
       DirtySet.insert(Address{RName, Off});
     RD.DirtyLog.clear();
-    // In-place Ψ overwrites only happen under external surgery (the
-    // machine appends or rewrites whole regions, which are journaled):
-    // treat the region as suspicious — re-validate the touched cells and
-    // poison judgments that depend on this region.
+    // In-place Ψ overwrites happen under external surgery (the machine
+    // appends or rewrites whole regions, which are journaled) or when an
+    // out-of-order defineCode fills a reserved null pad in cd: treat the
+    // region as suspicious — re-validate the touched cells and poison
+    // judgments that depend on this region.
     if (PT && !PT->DirtyLog.empty()) {
       for (uint32_t Off : PT->DirtyLog)
         DirtySet.insert(Address{RName, Off});

@@ -349,6 +349,96 @@ TEST_F(CorruptionTest, UnreachableCorruptionToleratedUnderDef71) {
   EXPECT_TRUE(RI.Ok);
 }
 
+TEST(KnownBadRecheckTest, RevalidatesEveryEntryWhenReachabilityGrows) {
+  // Regression test for the KnownBad re-check loop (runCheck): a tolerated
+  // Def 7.1 cell that became reachable AND valid again is re-validated
+  // *successfully* mid-loop, and that success path (addToReachable) mutates
+  // the checker's scratch worklist. The loop must still visit every other
+  // KnownBad entry — here a still-corrupt cell that also became reachable
+  // and must be rejected exactly as the full checker rejects it.
+  GcContext C;
+  Machine M(C, LanguageLevel::Forward);
+  Region RT = M.createRegion("rt", 0); // int targets
+  Region RM = M.createRegion("rm", 0); // mid cells (the KnownBad pool)
+  Region RH = M.createRegion("rh", 0); // term-rooted holder cells
+
+  auto addrOf = [](const Value *V) { return V->address(); };
+  // Unreachable target + reachable twin, both int: Psi entries agree.
+  Address A2 = addrOf(M.allocate(RT, C.valInt(1)));
+  Address A2p = addrOf(M.allocate(RT, C.valInt(2)));
+  // Two repairable KnownBad candidates pointing at A2, their well-typed
+  // twin B1p (same cell type at(int, RT) — typeAt types by region, not
+  // offset), and a directly-corruptible int cell with its twin.
+  Address B1a = addrOf(M.allocate(RM, C.valAddr(A2)));
+  Address B1b = addrOf(M.allocate(RM, C.valAddr(A2)));
+  Address B1p = addrOf(M.allocate(RM, C.valAddr(A2p)));
+  Address B2 = addrOf(M.allocate(RM, C.valInt(7)));
+  Address B2p = addrOf(M.allocate(RM, C.valInt(8)));
+  // Term-rooted holders; everything else is reachable only through them.
+  Address H1a = addrOf(M.allocate(RH, C.valAddr(B1p)));
+  Address H1b = addrOf(M.allocate(RH, C.valAddr(B1p)));
+  Address H2 = addrOf(M.allocate(RH, C.valAddr(B2p)));
+
+  // Roots: {H1a, H1b, H2}; closure adds {B1p, B2p, A2p}. B1a, B1b, B2 and
+  // A2 are garbage.
+  M.start(C.termLet(
+      C.fresh("x"), C.opGet(C.valAddr(H1a)),
+      C.termLet(C.fresh("y"), C.opGet(C.valAddr(H1b)),
+                C.termLet(C.fresh("z"), C.opGet(C.valAddr(H2)),
+                          C.termHalt(C.valInt(0))))));
+
+  IncrementalCheckOptions IOpts;
+  IOpts.RestrictToReachable = true;
+  IncrementalStateCheck Inc(M, IOpts);
+  StateCheckOptions FOpts;
+  FOpts.CheckCodeRegion = false;
+  FOpts.RestrictToReachable = true;
+  ASSERT_TRUE(Inc.check().Ok);
+  ASSERT_TRUE(checkState(M, FOpts).Ok);
+
+  // Corrupt only garbage: B2's value directly; B1a/B1b indirectly by
+  // retyping their target A2 behind the machine's back. All three fail
+  // their judgment while unreachable — tolerated, remembered as KnownBad.
+  const Type *IntT = C.typeInt();
+  M.psi().set(A2, C.typeProd(IntT, IntT));
+  ASSERT_TRUE(M.memory().update(
+      B2, C.valAddr(Address{Region::name(C.fresh("ghostregion")), 0})));
+  ASSERT_TRUE(Inc.check().Ok);
+  ASSERT_TRUE(checkState(M, FOpts).Ok);
+
+  // Repair A2's Psi entry: B1a/B1b's judgments are valid again, but the
+  // cells themselves are never dirtied (a failed cell has no cached fact
+  // for dependent-invalidation to find), so they stay in KnownBad.
+  M.psi().set(A2, IntT);
+  ASSERT_TRUE(Inc.check().Ok);
+  ASSERT_TRUE(checkState(M, FOpts).Ok);
+
+  // Phase A: swap the B1 holders onto their KnownBad twins — same cell
+  // type, so the holders stay well-typed and reachability grows over B1a
+  // and B1b. The re-check loop runs with snapshot {B1a, B1b, B2}: B2 is
+  // still unreachable (skipped), B1a and B1b re-validate *successfully*,
+  // and each success runs addToReachable mid-loop — the loop must keep
+  // iterating the remaining snapshot entries regardless of hash order.
+  uint64_t RecomputesBefore = Inc.stats().ReachExactRecomputes;
+  ASSERT_TRUE(M.memory().update(H1a, C.valAddr(B1a)));
+  ASSERT_TRUE(M.memory().update(H1b, C.valAddr(B1b)));
+  ASSERT_TRUE(Inc.check().Ok);
+  ASSERT_TRUE(checkState(M, FOpts).Ok);
+  // Exactly one exact-reachability recomputation: the one the re-check
+  // loop's Hit path performs — proof the loop actually ran.
+  ASSERT_EQ(Inc.stats().ReachExactRecomputes, RecomputesBefore + 1);
+
+  // Phase B: now make the still-corrupt B2 reachable the same way. The
+  // loop re-checks it and must reject, exactly as the full checker does.
+  ASSERT_TRUE(M.memory().update(H2, C.valAddr(B2)));
+  StateCheckResult RI = Inc.check();
+  StateCheckResult RF = checkState(M, FOpts);
+  EXPECT_FALSE(RF.Ok);
+  EXPECT_FALSE(RI.Ok)
+      << "incremental checker accepted a reachable corrupt cell that was "
+         "tolerated as unreachable Def 7.1 garbage when first seen";
+}
+
 TEST_F(NegativeTest, MachineSurvivesAndReportsAfterStuck) {
   // Once stuck, further step() calls are inert.
   Machine M(C, LanguageLevel::Base);
