@@ -536,8 +536,13 @@ Machine::Status Machine::step() {
       for (auto &[S2, R2] : Mem.Regions) {
         if (S2 == C.cd().sym() || R2.Capacity == 0 || R2.Epoch != OnlyEpoch)
           continue;
-        uint32_t Want = static_cast<uint32_t>(
-            R2.Cells.size() * Config.HeapGrowthFactor);
+        // Compute in 64 bits and clamp: cells × factor can exceed
+        // uint32_t, and the old straight cast truncated — a huge region
+        // could come out of a collection with a tiny (even zero) capacity.
+        uint64_t Want64 = static_cast<uint64_t>(R2.Cells.size()) *
+                          Config.HeapGrowthFactor;
+        uint32_t Want = static_cast<uint32_t>(std::min<uint64_t>(
+            Want64, std::numeric_limits<uint32_t>::max()));
         R2.Capacity = std::max(Config.DefaultRegionCapacity, Want);
       }
     }

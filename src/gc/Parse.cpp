@@ -2,6 +2,8 @@
 
 #include "gc/Parse.h"
 
+#include "support/ParseInt.h"
+
 #include <cctype>
 #include <optional>
 #include <vector>
@@ -27,10 +29,16 @@ struct SExpr {
   size_t arity() const { return IsAtom ? 0 : Items.size() - 1; }
 };
 
+/// Same nesting-depth cap as the lambda frontend: every nesting level is a
+/// recursion frame in the reader and in GcBuilder, so adversarial depth
+/// must be a diagnostic, not a stack overflow.
+constexpr unsigned MaxNestingDepth = 1000;
+
 struct Reader {
   std::string_view Src;
   size_t Pos = 0;
   DiagEngine &Diags;
+  unsigned Depth = 0;
 
   void skipWs() {
     while (Pos < Src.size()) {
@@ -57,6 +65,11 @@ struct Reader {
       return std::nullopt;
     }
     if (Src[Pos] == '(') {
+      if (++Depth > MaxNestingDepth) {
+        Diags.error("expression nesting too deep (limit " +
+                    std::to_string(MaxNestingDepth) + ")");
+        return std::nullopt;
+      }
       ++Pos;
       SExpr List;
       for (;;) {
@@ -67,6 +80,7 @@ struct Reader {
         }
         if (Src[Pos] == ')') {
           ++Pos;
+          --Depth;
           return List;
         }
         auto Item = read();
@@ -286,16 +300,20 @@ struct GcBuilder {
                         std::move(Args));
     }
     if (H == "Et") {
-      if (!Want(3) || !S.Items[1].IsAtom)
+      if (!Want(3))
         return nullptr;
+      if (!S.Items[1].IsAtom)
+        return fail<const Type>("binder of '" + H + "' must be an identifier");
       const Kind *K = kind(S.Items[2]);
       const Type *B = type(S.Items[3]);
       return K && B ? C.typeExistsTag(C.intern(S.Items[1].Atom), K, B)
                     : nullptr;
     }
     if (H == "Ea" || H == "Er") {
-      if (!Want(3) || !S.Items[1].IsAtom)
+      if (!Want(3))
         return nullptr;
+      if (!S.Items[1].IsAtom)
+        return fail<const Type>("binder of '" + H + "' must be an identifier");
       RegionSet D;
       if (!regionSet(S.Items[2], D))
         return nullptr;
@@ -406,8 +424,14 @@ struct GcBuilder {
 
   const Value *value(const SExpr &S) {
     if (S.IsAtom) {
-      if (looksLikeInt(S.Atom))
-        return C.valInt(std::stoll(S.Atom));
+      if (looksLikeInt(S.Atom)) {
+        // looksLikeInt guards shape, not range: std::stoll threw (and
+        // aborted) on literals past int64. parseInt64 reports instead.
+        if (std::optional<int64_t> N = parseInt64(S.Atom))
+          return C.valInt(*N);
+        return fail<const Value>("integer literal out of range: '" +
+                                 S.Atom + "'");
+      }
       return C.valVar(C.intern(S.Atom));
     }
     if (S.Items.empty() || !S.Items[0].IsAtom)

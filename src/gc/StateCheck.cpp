@@ -202,10 +202,20 @@ StateCheckResult scav::gc::checkState(Machine &M,
     if (!M.psi().hasRegion(S))
       return StateCheckResult::failure(
           "memory region missing from Psi: " + std::string(C.name(S)));
-  for (const auto &[S, _] : M.psi().Regions)
+  for (const auto &[S, PT] : M.psi().Regions) {
     if (!M.memory().hasRegion(S))
       return StateCheckResult::failure(
           "Psi region missing from memory: " + std::string(C.name(S)));
+    // Ψ entries exist only at offsets memory has (recordPut / defineCode
+    // write at established cells, and MemoryType::set resizes exactly to
+    // the written offset). A Ψ entry past the region's extent types a cell
+    // that does not exist — fuzzer-found: the region-wise domain check
+    // above cannot see it, and the per-cell loop below iterates memory.
+    if (PT.Cells.size() > M.memory().region(S)->Cells.size())
+      return StateCheckResult::failure(
+          "Psi types a cell memory does not have: " + std::string(C.name(S)) +
+          "." + std::to_string(M.memory().region(S)->Cells.size()));
+  }
 
   // ⊢ M : Ψ (cell by cell), with Fig 7's cd discipline — the per-cell body
   // is TypeChecker::checkHeapCell, shared with the incremental checker so
@@ -616,10 +626,18 @@ StateCheckResult IncrementalStateCheck::checkRegionDomains() {
     if (!M.psi().hasRegion(S))
       return StateCheckResult::failure("memory region missing from Psi: " +
                                        std::string(C.name(S)));
-  for (const auto &[S, _] : M.psi().Regions)
+  for (const auto &[S, PT] : M.psi().Regions) {
     if (!M.memory().hasRegion(S))
       return StateCheckResult::failure("Psi region missing from memory: " +
                                        std::string(C.name(S)));
+    // Mirror of the full checker's extent check (same error text): a Ψ
+    // entry past the region's memory extent types a nonexistent cell, and
+    // neither per-cell pass would visit it.
+    if (PT.Cells.size() > M.memory().region(S)->Cells.size())
+      return StateCheckResult::failure(
+          "Psi types a cell memory does not have: " + std::string(C.name(S)) +
+          "." + std::to_string(M.memory().region(S)->Cells.size()));
+  }
   return StateCheckResult{};
 }
 

@@ -1,0 +1,97 @@
+//===- harness/FuzzMutate.h - State and S-expression mutations --*- C++ -*-===//
+///
+/// \file
+/// The mutation library behind certgc_fuzz (DESIGN.md §3.8):
+///
+///  * State mutations: a taxonomy of heap/Ψ corruptions injected into a
+///    *live* λGC machine state — each one a violation of ⊢ (M, e) that both
+///    the full checkState and the IncrementalStateCheck must reject (and
+///    agree on). Every mutation goes through the machine's logged mutation
+///    paths (Memory::update, MemoryType::set) or is followed by
+///    Machine::invalidatePutTypeCache, so the incremental checker's
+///    journal/dirty-log contract holds and any disagreement is a real
+///    checker bug, not harness noise.
+///
+///  * S-expression text mutations: byte-level and node-level rewrites of
+///    valid corpus programs, feeding the grammar fuzzer's
+///    diagnostic-or-accept-never-crash invariant.
+///
+/// Everything is driven by the caller's Rng, so a failing case replays
+/// from its printed seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_HARNESS_FUZZMUTATE_H
+#define SCAV_HARNESS_FUZZMUTATE_H
+
+#include "gc/Machine.h"
+#include "support/Rng.h"
+
+#include <optional>
+#include <string>
+
+namespace scav::harness {
+
+/// Corruption taxonomy. Each kind is *guaranteed-detect*: given a
+/// well-formed pre-state and an applicable victim, the resulting state
+/// violates ⊢ (M, e) on a cell both checkers must visit.
+enum class StateMutationKind : uint8_t {
+  /// A data cell's value becomes an address into a region that never
+  /// existed (the classic dangling cross-region pointer).
+  CellDanglingRegion,
+  /// A data cell's value becomes an address past a live region's extent.
+  CellOffsetOverrun,
+  /// A data cell's value is swapped for a differently-shaped value (int
+  /// cell ↦ pair, non-int cell ↦ int) while Ψ keeps the old type.
+  CellShapeSwap,
+  /// Ψ(a) is retyped against the stored value (Ψ-cell-type swap).
+  PsiRetype,
+  /// Ψ gains an entry past the region's memory extent — a cell that does
+  /// not exist. Fuzzer-found: the checkers' region-wise domain comparison
+  /// could not see this until the extent check was added.
+  PsiPhantomCell,
+  /// λGC-forw forwarding-bit corruption: a tagged cell is rebuilt as
+  /// inr(dangling), a forwarding pointer to nowhere.
+  ForwardBitFlip,
+  /// A reachable cell is pointed at a fresh region which is then dropped
+  /// behind the machine's back (stale `only`-dropped region reference).
+  StaleRegionRef,
+  /// A pack value (∃t / ∃α / ∃r) is rebuilt with the same witness and
+  /// body type but a dangling payload.
+  PackPayloadClobber,
+  /// A cd code cell is overwritten with an integer.
+  CdCodeClobber,
+};
+
+inline constexpr unsigned NumStateMutationKinds = 9;
+
+const char *stateMutationName(StateMutationKind K);
+
+struct AppliedMutation {
+  StateMutationKind Kind;
+  gc::Address Target;      ///< The corrupted (or pointing) cell.
+  std::string Description; ///< Human-readable triage line.
+};
+
+/// Injects one corruption of kind \p K into \p M. Victims are drawn
+/// deterministically from \p Rand over a sorted cell list; when
+/// \p Restrict (Def 7.1 levels), only term-reachable victims are eligible,
+/// so the corruption cannot be tolerated as unreachable garbage.
+/// \returns nullopt when no applicable victim exists (e.g. ForwardBitFlip
+/// with no tagged cells) — the state is left untouched in that case.
+std::optional<AppliedMutation> applyStateMutation(gc::Machine &M,
+                                                  StateMutationKind K,
+                                                  Rng &Rand, bool Restrict);
+
+/// \p Rounds random byte edits (overwrite / insert / delete / truncate /
+/// duplicate-chunk / swap) over S-expression-flavored text.
+std::string mutateBytes(std::string Text, Rng &Rand, unsigned Rounds);
+
+/// \p Rounds structural edits (drop / duplicate / swap children, replace
+/// atoms with hostile ones, wrap, hoist) on the parsed node tree. Falls
+/// back to byte mutation when \p Text is not a readable S-expression.
+std::string mutateNodes(const std::string &Text, Rng &Rand, unsigned Rounds);
+
+} // namespace scav::harness
+
+#endif // SCAV_HARNESS_FUZZMUTATE_H

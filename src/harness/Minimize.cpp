@@ -1,0 +1,123 @@
+//===- harness/Minimize.cpp - S-expression test-case minimization ---------===//
+
+#include "harness/Minimize.h"
+
+#include "harness/SExprTree.h"
+
+#include <algorithm>
+
+using namespace scav;
+using namespace scav::harness;
+
+namespace {
+
+struct Budget {
+  unsigned Left;
+  bool spend() {
+    if (Left == 0)
+      return false;
+    --Left;
+    return true;
+  }
+};
+
+/// One pass of byte-chunk deletion, largest chunks first (ddmin-flavored):
+/// works on inputs too broken to read as S-expressions. Returns true when
+/// anything shrank.
+bool chunkPass(std::string &Text, const MinimizeOracle &StillFails,
+               Budget &B) {
+  bool Progress = false;
+  for (size_t Chunk = std::max<size_t>(1, Text.size() / 2); Chunk >= 1;
+       Chunk /= 2) {
+    for (size_t At = 0; At + Chunk <= Text.size();) {
+      std::string Candidate = Text.substr(0, At) + Text.substr(At + Chunk);
+      if (!B.spend())
+        return Progress;
+      if (StillFails(Candidate)) {
+        Text = std::move(Candidate);
+        Progress = true;
+        // Same At now names the next chunk.
+      } else {
+        At += Chunk;
+      }
+    }
+    if (Chunk == 1)
+      break;
+  }
+  return Progress;
+}
+
+/// One pass of structural shrinking: try deleting every node (children of
+/// lists) and hoisting every list to each of its children. Returns true
+/// when anything shrank; false also when the text is not an S-expression.
+bool nodePass(std::string &Text, const MinimizeOracle &StillFails,
+              Budget &B) {
+  bool Progress = false;
+  for (bool Again = true; Again;) {
+    Again = false;
+    size_t Pos = 0;
+    std::optional<SNode> Root = readSNode(Text, Pos);
+    if (!Root)
+      return Progress;
+
+    std::vector<SNode *> Lists;
+    collectSLists(*Root, Lists);
+    // Try each (list, child) deletion against the oracle; restart the
+    // whole pass after a hit since every node pointer is stale.
+    for (SNode *L : Lists) {
+      for (size_t I = 0; I != L->Kids.size(); ++I) {
+        SNode Removed = std::move(L->Kids[I]);
+        L->Kids.erase(L->Kids.begin() + static_cast<ptrdiff_t>(I));
+        std::string Candidate;
+        printSNode(*Root, Candidate);
+        if (!B.spend())
+          return Progress;
+        if (StillFails(Candidate)) {
+          Text = std::move(Candidate);
+          Progress = Again = true;
+          break;
+        }
+        L->Kids.insert(L->Kids.begin() + static_cast<ptrdiff_t>(I),
+                       std::move(Removed));
+      }
+      if (Again)
+        break;
+    }
+    if (Again)
+      continue;
+
+    // Hoist: replace the whole input by each root child in turn.
+    if (!Root->IsAtom) {
+      for (const SNode &Kid : Root->Kids) {
+        std::string Candidate;
+        printSNode(Kid, Candidate);
+        if (Candidate.size() >= Text.size())
+          continue;
+        if (!B.spend())
+          return Progress;
+        if (StillFails(Candidate)) {
+          Text = std::move(Candidate);
+          Progress = Again = true;
+          break;
+        }
+      }
+    }
+  }
+  return Progress;
+}
+
+} // namespace
+
+std::string scav::harness::minimizeSExpr(std::string Input,
+                                         const MinimizeOracle &StillFails,
+                                         unsigned MaxOracleCalls) {
+  Budget B{MaxOracleCalls};
+  for (bool Progress = true; Progress && B.Left;) {
+    Progress = false;
+    if (nodePass(Input, StillFails, B))
+      Progress = true;
+    if (chunkPass(Input, StillFails, B))
+      Progress = true;
+  }
+  return Input;
+}

@@ -1,0 +1,34 @@
+//===- harness/Minimize.h - S-expression test-case minimization -*- C++ -*-===//
+///
+/// \file
+/// Greedy test-case minimization for the grammar fuzzer: given a failing
+/// input and an oracle "does this text still fail?", repeatedly delete
+/// S-expression nodes (and raw byte chunks, for inputs too broken to read
+/// as S-expressions) and keep every deletion the oracle confirms. The
+/// result is the smallest input the greedy pass can reach — in practice a
+/// handful of tokens that name the bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_HARNESS_MINIMIZE_H
+#define SCAV_HARNESS_MINIMIZE_H
+
+#include <functional>
+#include <string>
+
+namespace scav::harness {
+
+/// \returns true when the candidate input still triggers the failure under
+/// investigation. Must be deterministic.
+using MinimizeOracle = std::function<bool(const std::string &)>;
+
+/// Shrinks \p Input while \p StillFails holds, alternating byte-chunk
+/// deletion (works on unreadable inputs) with structural node deletion and
+/// list-hoisting (when the input reads as an S-expression), until a full
+/// pass makes no progress. \p MaxOracleCalls bounds the work.
+std::string minimizeSExpr(std::string Input, const MinimizeOracle &StillFails,
+                          unsigned MaxOracleCalls = 2000);
+
+} // namespace scav::harness
+
+#endif // SCAV_HARNESS_MINIMIZE_H

@@ -1,0 +1,108 @@
+//===- harness/SExprTree.h - Tolerant S-expression tree ---------*- C++ -*-===//
+///
+/// \file
+/// A minimal S-expression tree for the fuzzing tools: the node mutator and
+/// the test-case minimizer both need to read arbitrary (possibly hostile)
+/// text, rewrite the tree, and print it back. Unlike the frontends' readers
+/// this one reports failure by value and never diagnoses — callers fall
+/// back to byte-level operation on unreadable input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_HARNESS_SEXPRTREE_H
+#define SCAV_HARNESS_SEXPRTREE_H
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scav::harness {
+
+struct SNode {
+  bool IsAtom = false;
+  std::string Atom;
+  std::vector<SNode> Kids;
+};
+
+/// Reads one S-expression from \p Src starting at \p Pos. Depth-capped;
+/// nullopt on any lexical problem (unbalanced parens, empty input).
+inline std::optional<SNode> readSNode(std::string_view Src, size_t &Pos,
+                                      unsigned Depth = 0) {
+  auto SkipWs = [&] {
+    while (Pos < Src.size() &&
+           (std::isspace(static_cast<unsigned char>(Src[Pos])) ||
+            Src[Pos] == ';')) {
+      if (Src[Pos] == ';')
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      else
+        ++Pos;
+    }
+  };
+  SkipWs();
+  if (Pos >= Src.size() || Depth > 200)
+    return std::nullopt;
+  if (Src[Pos] == '(') {
+    ++Pos;
+    SNode List;
+    for (;;) {
+      SkipWs();
+      if (Pos >= Src.size())
+        return std::nullopt;
+      if (Src[Pos] == ')') {
+        ++Pos;
+        return List;
+      }
+      auto Kid = readSNode(Src, Pos, Depth + 1);
+      if (!Kid)
+        return std::nullopt;
+      List.Kids.push_back(std::move(*Kid));
+    }
+  }
+  if (Src[Pos] == ')')
+    return std::nullopt;
+  SNode Atom;
+  Atom.IsAtom = true;
+  size_t Start = Pos;
+  while (Pos < Src.size() &&
+         !std::isspace(static_cast<unsigned char>(Src[Pos])) &&
+         Src[Pos] != '(' && Src[Pos] != ')' && Src[Pos] != ';')
+    ++Pos;
+  Atom.Atom = std::string(Src.substr(Start, Pos - Start));
+  return Atom;
+}
+
+inline void printSNode(const SNode &N, std::string &Out) {
+  if (N.IsAtom) {
+    Out += N.Atom;
+    return;
+  }
+  Out += '(';
+  for (size_t I = 0; I != N.Kids.size(); ++I) {
+    if (I)
+      Out += ' ';
+    printSNode(N.Kids[I], Out);
+  }
+  Out += ')';
+}
+
+/// Every node, pre-order; the root is index 0.
+inline void collectSNodes(SNode &N, std::vector<SNode *> &Out) {
+  Out.push_back(&N);
+  for (SNode &K : N.Kids)
+    collectSNodes(K, Out);
+}
+
+/// Every non-empty list node, pre-order.
+inline void collectSLists(SNode &N, std::vector<SNode *> &Out) {
+  if (!N.IsAtom && !N.Kids.empty())
+    Out.push_back(&N);
+  for (SNode &K : N.Kids)
+    collectSLists(K, Out);
+}
+
+} // namespace scav::harness
+
+#endif // SCAV_HARNESS_SEXPRTREE_H

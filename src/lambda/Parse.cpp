@@ -2,6 +2,8 @@
 
 #include "lambda/Lambda.h"
 
+#include "support/ParseInt.h"
+
 #include <cctype>
 
 using namespace scav;
@@ -16,10 +18,17 @@ struct SExpr {
   std::vector<SExpr> Items;
 };
 
+/// Lists beyond this nesting depth are rejected with a diagnostic: the
+/// reader (and the AST builder after it) recurse per nesting level, so
+/// unbounded depth is a stack overflow waiting for adversarial input. Far
+/// deeper than any program the pipeline emits.
+constexpr unsigned MaxNestingDepth = 1000;
+
 struct SParser {
   std::string_view Src;
   size_t Pos = 0;
   DiagEngine &Diags;
+  unsigned Depth = 0;
 
   void skipWs() {
     while (Pos < Src.size()) {
@@ -46,6 +55,11 @@ struct SParser {
       return std::nullopt;
     }
     if (Src[Pos] == '(') {
+      if (++Depth > MaxNestingDepth) {
+        Diags.error("expression nesting too deep (limit " +
+                    std::to_string(MaxNestingDepth) + ")");
+        return std::nullopt;
+      }
       ++Pos;
       SExpr List;
       for (;;) {
@@ -56,6 +70,7 @@ struct SParser {
         }
         if (Src[Pos] == ')') {
           ++Pos;
+          --Depth;
           return List;
         }
         auto Item = parse();
@@ -139,10 +154,19 @@ struct AstBuilder {
   const Expr *expr(const SExpr &S) {
     if (S.IsAtom) {
       const std::string &A = S.Atom;
+      // Digit-shaped atoms must parse fully as int64 or be diagnosed:
+      // std::stoll here aborted the process on atoms like `12abc`
+      // (invalid_argument after the digits) or `99999999999999999999`
+      // (out_of_range). Atoms like `-x` are identifiers, matching isIdent.
       if (!A.empty() &&
           (std::isdigit(static_cast<unsigned char>(A[0])) ||
-           (A[0] == '-' && A.size() > 1)))
-        return C.intLit(std::stoll(A));
+           (A[0] == '-' && A.size() > 1 &&
+            std::isdigit(static_cast<unsigned char>(A[1]))))) {
+        if (std::optional<int64_t> N = parseInt64(A))
+          return C.intLit(*N);
+        return failE("malformed or out-of-range integer literal '" + A +
+                     "'");
+      }
       return C.var(C.intern(A));
     }
     if (S.Items.empty() || !S.Items[0].IsAtom)

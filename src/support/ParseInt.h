@@ -1,0 +1,38 @@
+//===- support/ParseInt.h - Checked integer-literal parsing -----*- C++ -*-===//
+///
+/// \file
+/// One checked int64 parser shared by both S-expression frontends. The
+/// parsers originally called std::stoll, whose failure mode is an exception
+/// — an atom like `-x` (std::invalid_argument) or `99999999999999999999`
+/// (std::out_of_range) aborted the process instead of producing a parse
+/// diagnostic. std::from_chars reports both failures as values, so callers
+/// can turn them into diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_PARSEINT_H
+#define SCAV_SUPPORT_PARSEINT_H
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <system_error>
+
+namespace scav {
+
+/// Parses the *entire* string as a base-10 int64_t (optional leading '-').
+/// \returns nullopt when the string is not an integer or does not fit.
+inline std::optional<int64_t> parseInt64(std::string_view S) {
+  if (S.empty())
+    return std::nullopt;
+  int64_t V = 0;
+  auto [Ptr, Ec] = std::from_chars(S.data(), S.data() + S.size(), V, 10);
+  if (Ec != std::errc() || Ptr != S.data() + S.size())
+    return std::nullopt;
+  return V;
+}
+
+} // namespace scav
+
+#endif // SCAV_SUPPORT_PARSEINT_H

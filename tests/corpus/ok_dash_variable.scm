@@ -1,0 +1,1 @@
+(app (lam (-x Int) -x) 4)

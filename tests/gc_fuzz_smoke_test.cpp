@@ -1,0 +1,79 @@
+//===- tests/gc_fuzz_smoke_test.cpp - Fixed-seed fuzz regression ----------===//
+//
+// A deterministic slice of the certgc_fuzz workload runs inside tier-1:
+// 500 state mutations per language level through the differential
+// checkState / IncrementalStateCheck oracle, a grammar-fuzz burst over
+// both frontends, and a handful of end-to-end pipeline comparisons. The
+// seeds are fixed, so a failure here is a reproducible regression, and
+// the report's replay line points at the standalone binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FuzzDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::harness;
+
+namespace {
+
+void expectClean(const FuzzReport &R, const char *Mode) {
+  EXPECT_TRUE(R.ok()) << R.summary(Mode);
+  EXPECT_EQ(R.FalseAccepts, 0u);
+  EXPECT_EQ(R.Disagreements, 0u);
+  EXPECT_EQ(R.InvariantViolations, 0u);
+}
+
+TEST(FuzzSmoke, StateMutationsPerLevel) {
+  for (gc::LanguageLevel L :
+       {gc::LanguageLevel::Base, gc::LanguageLevel::Forward,
+        gc::LanguageLevel::Generational}) {
+    FuzzOptions Opts;
+    Opts.Seed = 1;
+    Opts.Iterations = 500;
+    Opts.AllLevels = false;
+    Opts.Level = L;
+    FuzzReport R = fuzzStates(Opts);
+    expectClean(R, "state");
+    EXPECT_EQ(R.Iterations, 500u);
+    // Every iteration must actually inject something and see it rejected.
+    EXPECT_EQ(R.MutationsApplied, 500u) << gc::languageLevelName(L);
+    EXPECT_EQ(R.Rejections, 500u) << gc::languageLevelName(L);
+  }
+}
+
+TEST(FuzzSmoke, GrammarMutationsNeverSilent) {
+  FuzzOptions Opts;
+  Opts.Seed = 1;
+  Opts.Iterations = 1000;
+  FuzzReport R = fuzzGrammar(Opts);
+  expectClean(R, "grammar");
+  EXPECT_EQ(R.Iterations, 1000u);
+  // The mutator must not degenerate into producing only valid programs
+  // (or only hopeless garbage): both outcomes stay represented.
+  EXPECT_GT(R.Rejections, 0u);
+  EXPECT_GT(R.CleanAccepts, 0u);
+}
+
+TEST(FuzzSmoke, PipelineDifferential) {
+  FuzzOptions Opts;
+  Opts.Seed = 1;
+  Opts.Iterations = 5;
+  FuzzReport R = fuzzPipeline(Opts);
+  expectClean(R, "pipeline");
+  EXPECT_EQ(R.CleanAccepts, 5u);
+}
+
+TEST(FuzzSmoke, SeedDeterminism) {
+  FuzzOptions Opts;
+  Opts.Seed = 42;
+  Opts.Iterations = 50;
+  FuzzReport A = fuzzStates(Opts);
+  FuzzReport B = fuzzStates(Opts);
+  EXPECT_EQ(A.PerKind, B.PerKind);
+  EXPECT_EQ(A.Rejections, B.Rejections);
+  EXPECT_EQ(A.summary("state"), B.summary("state"));
+}
+
+} // namespace

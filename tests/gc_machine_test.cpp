@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 using namespace scav;
 using namespace scav::gc;
 
@@ -116,6 +118,36 @@ TEST_F(MachineTest, OnlyReclaimsRegions) {
   EXPECT_EQ(M.stats().RegionsReclaimed, 1u);
   // Only cd and R2's instantiation remain.
   EXPECT_EQ(M.memory().numRegions(), 2u);
+}
+
+TEST_F(MachineTest, OnlyHeapGrowthIsClampedNotTruncated) {
+  // cells × HeapGrowthFactor is computed in 64 bits and clamped to the
+  // uint32_t capacity range; the old straight cast truncated 2·2³¹ = 2³²
+  // to 0, leaving a kept region with a near-empty capacity after `only`.
+  auto RunOnly = [&](uint32_t Factor) -> uint32_t {
+    MachineConfig Cfg;
+    Cfg.DefaultRegionCapacity = 1;
+    Cfg.HeapGrowthFactor = Factor;
+    Machine M(C, LanguageLevel::Base, Cfg);
+    BlockBuilder B(C);
+    Region R = B.letRegion("r");
+    const Value *A1 = B.put(R, C.valInt(1));
+    (void)A1;
+    const Value *A2 = B.put(R, C.valInt(2));
+    B.only(RegionSet{R});
+    const Value *X = B.get(A2);
+    const Value *V = runChecked(M, B.finish(C.termHalt(X)));
+    EXPECT_NE(V, nullptr);
+    for (const auto &[S, RM] : M.memory().Regions)
+      if (S != C.cd().sym())
+        return RM.Capacity;
+    ADD_FAILURE() << "kept region not found";
+    return 0;
+  };
+  // Non-overflowing growth stays exact: 2 cells × 3.
+  EXPECT_EQ(RunOnly(3), 6u);
+  // Overflowing growth saturates instead of wrapping to ~0.
+  EXPECT_EQ(RunOnly(1u << 31), std::numeric_limits<uint32_t>::max());
 }
 
 TEST_F(MachineTest, DanglingGetAfterOnlyIsIllFormed) {
