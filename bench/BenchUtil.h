@@ -7,6 +7,12 @@
 /// reproduces, the measured series, and a PASS/FAIL verdict on the claim's
 /// *shape* (EXPERIMENTS.md records the outputs).
 ///
+/// Machine-readable output (BENCH_e*.json) goes through the shared metrics
+/// registry (support/Metrics.h): JsonReport is a thin wrapper that adds the
+/// experiment header (name, pass flag, eval mode, git sha) on top of the
+/// "scav-metrics-v1" schema, so every bench record has the same shape as
+/// `certgc_run --stats-json` and gains histogram percentiles for free.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCAV_BENCH_BENCHUTIL_H
@@ -29,50 +35,6 @@ namespace scav::bench {
 
 using namespace scav::gc;
 using namespace scav::harness;
-
-/// A machine with the level's certified collector installed and a data
-/// region (plus an old region at the Generational level).
-struct Setup {
-  std::unique_ptr<GcContext> C;
-  std::unique_ptr<Machine> M;
-  Address GcAddr{};
-  Region R, Old;
-
-  explicit Setup(LanguageLevel Level, MachineConfig Cfg = {},
-                 bool Intern = GcContext::interningEnabledByDefault()) {
-    C = std::make_unique<GcContext>(Intern);
-    M = std::make_unique<Machine>(*C, Level, Cfg);
-    switch (Level) {
-    case LanguageLevel::Base:
-      GcAddr = installBasicCollector(*M).Gc;
-      break;
-    case LanguageLevel::Forward:
-      GcAddr = installForwardCollector(*M).Gc;
-      break;
-    case LanguageLevel::Generational:
-      GcAddr = installGenCollector(*M).Gc;
-      break;
-    }
-    R = M->createRegion("from", 0);
-    Old = Level == LanguageLevel::Generational
-              ? M->createRegion("old", 0)
-              : R;
-  }
-
-  /// Runs one certified collection of \p H; returns false on failure.
-  bool collectOnce(const ForgedHeap &H, uint64_t MaxSteps = 50'000'000) {
-    Address Fin = installFinisher(*M, H.Tag);
-    const Term *E = collectOnceTerm(*M, GcAddr, H, R, Old, Fin);
-    M->start(E);
-    M->run(MaxSteps);
-    if (M->status() != Machine::Status::Halted) {
-      std::fprintf(stderr, "collection failed: %s\n",
-                   M->stuckReason().c_str());
-      return false;
-    }
-    return true;
-  }
-};
 
 inline double secondsSince(
     const std::chrono::steady_clock::time_point &T0) {
@@ -97,49 +59,53 @@ inline const char *gitSha() {
 }
 
 /// Machine-readable experiment record. Every bench binary accepts
-/// `--json <path>`; when present, the binary writes one flat JSON object
-/// with the experiment name, a pass flag, and its key metrics, so
-/// EXPERIMENTS.md numbers can be regenerated mechanically. Every record
-/// also carries the machine's evaluation mode (the mode a Setup with the
-/// default config would use, unless the binary overrides it via evalMode)
-/// and the git revision, so BENCH files from different builds stay
-/// comparable.
+/// `--json <path>`; when present, the binary writes one "scav-metrics-v1"
+/// object (DESIGN.md §3.9) with the experiment name, a pass flag, and its
+/// key metrics, so EXPERIMENTS.md numbers can be regenerated mechanically.
+/// Every record also carries the machine's evaluation mode (the mode a
+/// Setup with the default config would use, unless the binary overrides it
+/// via evalMode) and the git revision, so BENCH files from different builds
+/// stay comparable.
 class JsonReport {
 public:
   explicit JsonReport(std::string Name) : Name(std::move(Name)) {}
 
-  void metric(const std::string &Key, double V) {
-    Nums.emplace_back(Key, V);
+  /// Point metrics: doubles land in the gauges section, integers in the
+  /// counters section.
+  void metric(const std::string &Key, double V) { Reg.setGauge(Key, V); }
+  void metric(const std::string &Key, uint64_t V) { Reg.setCounter(Key, V); }
+
+  /// One sample into the named histogram (default exponential nanosecond
+  /// buckets) — the record then reports count/mean/p50/p90/p99/max.
+  void sample(const std::string &Key, double V) {
+    Reg.histogram(Key).record(V);
   }
-  void metric(const std::string &Key, uint64_t V) {
-    Ints.emplace_back(Key, V);
-  }
+
   void pass(bool Ok) { Pass = Ok; }
   /// Overrides the recorded eval mode (binaries that run a non-default
   /// or mixed-mode machine, like e11).
   void evalMode(const std::string &Mode) { Mode_ = Mode; }
 
+  /// Direct access for callers that export whole subsystems
+  /// (Machine::exportMetrics, IncrementalCheckStats::exportTo).
+  support::MetricsRegistry &registry() { return Reg; }
+
   /// Writes the report to \p Path; no-op when Path is empty.
   bool write(const std::string &Path) const {
     if (Path.empty())
       return true;
-    std::FILE *F = std::fopen(Path.c_str(), "w");
-    if (!F) {
-      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    auto Quoted = [](const std::string &S) {
+      std::string Out;
+      support::detail::appendJsonString(Out, S);
+      return Out;
+    };
+    std::vector<std::pair<std::string, std::string>> Extra;
+    Extra.emplace_back("experiment", Quoted(Name));
+    Extra.emplace_back("pass", Pass ? "true" : "false");
+    Extra.emplace_back("eval_mode", Quoted(Mode_));
+    Extra.emplace_back("git_sha", Quoted(gitSha()));
+    if (!support::writeFile(Path, support::writeMetricsJson(Reg, Extra)))
       return false;
-    }
-    std::fprintf(F,
-                 "{\n  \"experiment\": \"%s\",\n  \"pass\": %s,\n"
-                 "  \"eval_mode\": \"%s\",\n  \"git_sha\": \"%s\"",
-                 Name.c_str(), Pass ? "true" : "false", Mode_.c_str(),
-                 gitSha());
-    for (const auto &[K, V] : Ints)
-      std::fprintf(F, ",\n  \"%s\": %llu", K.c_str(),
-                   static_cast<unsigned long long>(V));
-    for (const auto &[K, V] : Nums)
-      std::fprintf(F, ",\n  \"%s\": %.9g", K.c_str(), V);
-    std::fprintf(F, "\n}\n");
-    std::fclose(F);
     std::printf("wrote %s\n", Path.c_str());
     return true;
   }
@@ -148,8 +114,63 @@ private:
   std::string Name;
   bool Pass = false;
   std::string Mode_ = evalModeName(MachineConfig{}.Eval);
-  std::vector<std::pair<std::string, uint64_t>> Ints;
-  std::vector<std::pair<std::string, double>> Nums;
+  support::MetricsRegistry Reg;
+};
+
+/// A machine with the level's certified collector installed and a data
+/// region (plus an old region at the Generational level).
+struct Setup {
+  std::unique_ptr<GcContext> C;
+  std::unique_ptr<Machine> M;
+  Address GcAddr{};
+  Region R, Old;
+  /// When attached, collectOnce records each pause into the report's
+  /// "collect_pause_ns" histogram.
+  JsonReport *Report = nullptr;
+
+  explicit Setup(LanguageLevel Level, MachineConfig Cfg = {},
+                 bool Intern = GcContext::interningEnabledByDefault()) {
+    C = std::make_unique<GcContext>(Intern);
+    M = std::make_unique<Machine>(*C, Level, Cfg);
+    switch (Level) {
+    case LanguageLevel::Base:
+      GcAddr = installBasicCollector(*M).Gc;
+      break;
+    case LanguageLevel::Forward:
+      GcAddr = installForwardCollector(*M).Gc;
+      break;
+    case LanguageLevel::Generational:
+      GcAddr = installGenCollector(*M).Gc;
+      break;
+    }
+    R = M->createRegion("from", 0);
+    Old = Level == LanguageLevel::Generational
+              ? M->createRegion("old", 0)
+              : R;
+  }
+
+  void attachReport(JsonReport &Rep) { Report = &Rep; }
+
+  /// Runs one certified collection of \p H; returns false on failure.
+  bool collectOnce(const ForgedHeap &H, uint64_t MaxSteps = 50'000'000) {
+    Address Fin = installFinisher(*M, H.Tag);
+    const Term *E = collectOnceTerm(*M, GcAddr, H, R, Old, Fin);
+    auto T0 = std::chrono::steady_clock::now();
+    M->start(E);
+    M->run(MaxSteps);
+    if (Report)
+      Report->sample(
+          "collect_pause_ns",
+          std::chrono::duration<double, std::nano>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+    if (M->status() != Machine::Status::Halted) {
+      std::fprintf(stderr, "collection failed: %s\n",
+                   M->stuckReason().c_str());
+      return false;
+    }
+    return true;
+  }
 };
 
 /// Extracts `--json <path>` from argv (removing both tokens so libraries

@@ -59,6 +59,7 @@ struct RunResult {
   double WallSec = 0;
   GcContext::Stats Counters;
   uint64_t RecordPutHits = 0;
+  std::vector<double> CyclePauseNs; ///< Per-cycle collection wall time.
 };
 
 /// Two certified collection cycles with Ψ tracking on — allocate, churn,
@@ -90,7 +91,9 @@ RunResult runWorkload(LanguageLevel Level, bool Intern) {
     Address Fin = installFinisher(*S.M, H.Tag);
     const Term *E = collectOnceTerm(*S.M, S.GcAddr, H, From, Old, Fin);
     S.M->start(E);
+    auto C0 = std::chrono::steady_clock::now();
     S.M->run(50'000'000);
+    Out.CyclePauseNs.push_back(secondsSince(C0) * 1e9);
     Out.Ok = S.M->status() == Machine::Status::Halted;
     if (!Out.Ok)
       std::fprintf(stderr, "collection failed: %s\n",
@@ -151,6 +154,10 @@ int main(int argc, char **argv) {
     RunResult On = runWorkload(Cs.Level, /*Intern=*/true);
     if (!Off.Ok || !On.Ok)
       return 1;
+    for (double Ns : Off.CyclePauseNs)
+      Report.sample("collect_pause_off_ns", Ns);
+    for (double Ns : On.CyclePauseNs)
+      Report.sample("collect_pause_on_ns", Ns);
     double Speedup = On.TypeworkSec > 0 ? Off.TypeworkSec / On.TypeworkSec
                                         : 0;
     std::printf("%14s %11.3fs %11.3fs %7.2fx\n", Cs.Name, Off.TypeworkSec,

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "support/Trace.h"
 
 using namespace scav;
 using namespace scav::bench;
@@ -38,6 +39,7 @@ struct ModeResult {
   uint64_t Steps = 0;
   double Seconds = 0;
   size_t ArenaPeak = 0; ///< bytesReserved is monotone, so final == peak.
+  std::vector<double> CollectNs; ///< Per-repetition collection wall time.
 
   double stepsPerSec() const { return Seconds > 0 ? Steps / Seconds : 0; }
 };
@@ -63,7 +65,9 @@ ModeResult runWorkload(const Workload &W, EvalMode Mode, int Reps) {
     S.M->start(E);
     auto T0 = std::chrono::steady_clock::now();
     S.M->run(50'000'000);
-    Out.Seconds += secondsSince(T0);
+    double RepSec = secondsSince(T0);
+    Out.Seconds += RepSec;
+    Out.CollectNs.push_back(RepSec * 1e9);
     if (S.M->status() != Machine::Status::Halted) {
       std::fprintf(stderr, "%s (%s): collection failed: %s\n", W.Name,
                    evalModeName(Mode), S.M->stuckReason().c_str());
@@ -122,6 +126,10 @@ int main(int argc, char **argv) {
     if (W.MustSpeedUp)
       Ok = Ok && Speedup >= 5.0;
     Ok = Ok && Env.ArenaPeak <= Sub.ArenaPeak;
+    for (double Ns : Env.CollectNs)
+      Report.sample("env_collect_ns", Ns);
+    for (double Ns : Sub.CollectNs)
+      Report.sample("subst_collect_ns", Ns);
 
     std::string P = W.Name;
     for (char &Ch : P)
@@ -134,6 +142,30 @@ int main(int argc, char **argv) {
     Report.metric(P + "_env_arena_peak_bytes", uint64_t(Env.ArenaPeak));
     Report.metric(P + "_subst_arena_peak_bytes", uint64_t(Sub.ArenaPeak));
   }
+
+#if SCAV_TRACE_COMPILED_IN
+  // Tracing overhead (informational): the same E2 workload with the ring
+  // sink actively recording vs with tracing compiled in but disabled (the
+  // default state every number above was measured in). The compiled-OUT
+  // cost is a build-level property; CI compares this binary's steps/sec
+  // against an SCAV_TRACE_OFF build (see .github/workflows/ci.yml).
+  {
+    const Workload &W = Workloads[0];
+    ModeResult Base = runWorkload(W, EvalMode::Env, Reps / 2);
+    support::TraceSink::get().enable();
+    ModeResult Traced = runWorkload(W, EvalMode::Env, Reps / 2);
+    support::TraceSink::get().disable();
+    if (Base.Ok && Traced.Ok && Base.stepsPerSec() > 0) {
+      double Relative = Traced.stepsPerSec() / Base.stepsPerSec();
+      std::printf("\ntracing enabled (ring sink recording): %.3g st/s vs "
+                  "%.3g disabled (%.0f%% of disabled rate)\n",
+                  Traced.stepsPerSec(), Base.stepsPerSec(), Relative * 100);
+      Report.metric("trace_disabled_steps_per_sec", Base.stepsPerSec());
+      Report.metric("trace_enabled_steps_per_sec", Traced.stepsPerSec());
+      Report.metric("trace_enabled_relative_rate", Relative);
+    }
+  }
+#endif
 
   std::printf("\n");
   verdict(Ok, "env mode: >=5x steps/sec over substitution on the E2/E4 "

@@ -52,7 +52,8 @@ struct RateResult {
 
 /// Step + full checkState over a bounded window (the full checker is the
 /// O(heap) baseline being displaced; whole-run full checking is minutes).
-RateResult runFull(const Workload &W, uint64_t WindowSteps) {
+RateResult runFull(const Workload &W, uint64_t WindowSteps,
+                   JsonReport &Report) {
   RateResult Out;
   Setup S(W.Level);
   startWorkload(S, W);
@@ -70,7 +71,9 @@ RateResult runFull(const Workload &W, uint64_t WindowSteps) {
   for (uint64_t I = 0;
        I != WindowSteps && S.M->status() == Machine::Status::Running; ++I) {
     S.M->step();
+    auto C0 = std::chrono::steady_clock::now();
     StateCheckResult R = checkState(*S.M, Chk);
+    Report.sample("full_check_ns", secondsSince(C0) * 1e9);
     if (!R.Ok) {
       std::fprintf(stderr, "%s: full checker rejected step %llu: %s\n",
                    W.Name, (unsigned long long)I, R.Error.c_str());
@@ -85,7 +88,8 @@ RateResult runFull(const Workload &W, uint64_t WindowSteps) {
 
 /// Step + incremental check to halt, with the full checker re-run as an
 /// oracle every \p OracleEvery steps (0 = never).
-RateResult runIncremental(const Workload &W, uint64_t OracleEvery) {
+RateResult runIncremental(const Workload &W, uint64_t OracleEvery,
+                          JsonReport &Report) {
   RateResult Out;
   Setup S(W.Level);
   startWorkload(S, W);
@@ -119,7 +123,9 @@ RateResult runIncremental(const Workload &W, uint64_t OracleEvery) {
     if (OracleEvery != 0 && I % OracleEvery == 0) {
       auto O0 = std::chrono::steady_clock::now();
       StateCheckResult RF = checkState(*S.M, Oracle);
-      OracleSeconds += secondsSince(O0);
+      double OSec = secondsSince(O0);
+      OracleSeconds += OSec;
+      Report.sample("oracle_check_ns", OSec * 1e9);
       ++Out.AgreementChecks;
       if (!RF.Ok) {
         std::fprintf(stderr,
@@ -166,8 +172,8 @@ int main(int argc, char **argv) {
 
   bool Ok = true;
   for (const Workload &W : Workloads) {
-    RateResult Full = runFull(W, WindowSteps);
-    RateResult Incr = runIncremental(W, OracleEvery);
+    RateResult Full = runFull(W, WindowSteps, Report);
+    RateResult Incr = runIncremental(W, OracleEvery, Report);
     if (!Full.Ok || !Incr.Ok)
       return 1;
     double Speedup = Full.stepsPerSec() > 0

@@ -30,6 +30,7 @@ int main(int argc, char **argv) {
     size_t Before = 0, AfterBasic = 0, AfterFwd = 0;
     {
       Setup S(LanguageLevel::Base);
+      S.attachReport(Report); // pauses land in collect_pause_ns
       ForgedHeap H = forgeTree(*S.M, S.R, S.Old, D, /*Share=*/true);
       Before = H.Cells;
       if (!S.collectOnce(H))
@@ -38,6 +39,7 @@ int main(int argc, char **argv) {
     }
     {
       Setup S(LanguageLevel::Forward);
+      S.attachReport(Report);
       ForgedHeap H = forgeTree(*S.M, S.R, S.Old, D, /*Share=*/true);
       if (!S.collectOnce(H))
         return 1;

@@ -30,6 +30,7 @@ int main(int argc, char **argv) {
   // Lists of increasing length: sets == live objects, no sharing.
   for (size_t N : {4, 16, 64, 128}) {
     Setup S(LanguageLevel::Forward);
+    S.attachReport(Report); // pauses land in collect_pause_ns
     ForgedHeap H = forgeList(*S.M, S.R, S.Old, N);
     uint64_t Puts0 = S.M->stats().Puts;
     if (!S.collectOnce(H))
@@ -52,6 +53,7 @@ int main(int argc, char **argv) {
   // Maximally-shared DAGs: copies = physical cells, not logical nodes.
   for (unsigned D : {4, 8, 12}) {
     Setup S(LanguageLevel::Forward);
+    S.attachReport(Report);
     ForgedHeap H = forgeTree(*S.M, S.R, S.Old, D, /*Share=*/true);
     if (!S.collectOnce(H))
       return 1;
@@ -74,6 +76,7 @@ int main(int argc, char **argv) {
   // Idempotence: collecting a second time preserves the same live set.
   {
     Setup S(LanguageLevel::Forward);
+    S.attachReport(Report);
     ForgedHeap H = forgeList(*S.M, S.R, S.Old, 32);
     if (!S.collectOnce(H))
       return 1;

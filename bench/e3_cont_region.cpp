@@ -73,12 +73,18 @@ int main(int argc, char **argv) {
   for (size_t N : {8, 32, 128}) {
     Setup S(LanguageLevel::Base);
     ForgedHeap H = forgeList(*S.M, S.R, S.Old, N);
-    Row("list", H.Cells, runSampled(S, H));
+    auto T0 = std::chrono::steady_clock::now();
+    ContSample Cs = runSampled(S, H);
+    Report.sample("collect_pause_ns", secondsSince(T0) * 1e9);
+    Row("list", H.Cells, Cs);
   }
   for (unsigned D : {3, 5, 7}) {
     Setup S(LanguageLevel::Base);
     ForgedHeap H = forgeTree(*S.M, S.R, S.Old, D, /*Share=*/false);
-    Row("tree", H.Cells, runSampled(S, H));
+    auto T0 = std::chrono::steady_clock::now();
+    ContSample Cs = runSampled(S, H);
+    Report.sample("collect_pause_ns", secondsSince(T0) * 1e9);
+    Row("tree", H.Cells, Cs);
   }
 
   std::printf("\n");

@@ -71,6 +71,7 @@ int main(int argc, char **argv) {
 
   for (size_t OldN : {4, 16, 64, 256}) {
     Setup S(LanguageLevel::Generational);
+    S.attachReport(Report); // pauses land in collect_pause_ns
     // Old data is forged directly into the old region: its packages carry
     // witness Old, so the collector's ifreg takes the old branch.
     ForgedHeap H = forgeMixed(*S.M, S.R, S.Old, YoungN, OldN);

@@ -111,8 +111,13 @@ int main(int argc, char **argv) {
     for (int I = 1; I <= K; ++I)
       Cur = collect(A, Cur, I);
     Region R = Region::name(C.fresh("rho"));
+    auto T0 = std::chrono::steady_clock::now();
     size_t MSize =
         typeSize(normalizeType(C, C.typeM(R, Tau), LanguageLevel::Base));
+    Report.sample("normalize_ns",
+                  std::chrono::duration<double, std::nano>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count());
     if (K == 0)
       MBase = MSize;
     std::printf("%12d %14zu %14zu\n", K, sizeOf(Cur), MSize);

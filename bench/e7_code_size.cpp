@@ -71,7 +71,12 @@ int main(int argc, char **argv) {
     std::vector<const Tag *> Roots;
     std::vector<ExistsInstantiations> Insts;
     programTypes(C, K, Roots, Insts);
+    auto T0 = std::chrono::steady_clock::now();
     SpecializeStats St = specializeCopyFamily(C, Roots, Insts);
+    Report.sample("specialize_ns",
+                  std::chrono::duration<double, std::nano>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count());
     std::printf("%8zu %12zu %14zu %14zu %9.2fx\n", K, St.NumFunctions,
                 St.TotalTermSize, LibBase,
                 double(St.TotalTermSize) / double(LibBase));

@@ -102,11 +102,15 @@ bool measureCheckedVsNative(scav::bench::JsonReport &Report) {
   while (S.M->status() == Machine::Status::Running && Steps < 50'000'000) {
     auto T0 = std::chrono::steady_clock::now();
     S.M->step();
-    StepSeconds += secondsSince(T0);
+    double StepS = secondsSince(T0);
+    StepSeconds += StepS;
+    Report.sample("step_ns", StepS * 1e9);
     ++Steps;
     auto T1 = std::chrono::steady_clock::now();
     StateCheckResult R = Inc.check();
-    CheckSeconds += secondsSince(T1);
+    double CheckS = secondsSince(T1);
+    CheckSeconds += CheckS;
+    Report.sample("check_ns", CheckS * 1e9);
     if (!R.Ok) {
       std::fprintf(stderr, "checker rejected step %llu: %s\n",
                    (unsigned long long)Steps, R.Error.c_str());

@@ -68,8 +68,12 @@ int main(int argc, char **argv) {
       ForgedHeap H = Forge(M, R);
       Cells = H.Cells;
       NativeGcStats Stats;
+      auto T0 = std::chrono::steady_clock::now();
       auto [Root, To] = nativeCollect(M, H.Root, R, /*PreserveSharing=*/true,
                                       Stats, Order);
+      Report.sample(Order == CopyOrder::DepthFirst ? "dfs_collect_ns"
+                                                   : "bfs_collect_ns",
+                    secondsSince(T0) * 1e9);
       (void)Root;
       if (Order == CopyOrder::DepthFirst) {
         LiveD = M.memory().liveDataCells();

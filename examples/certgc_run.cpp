@@ -16,7 +16,14 @@
 //                                  check
 //     --certify                    typecheck all cd code before running
 //     --dump-clos                  print the λCLOS program
-//     --stats                      print machine statistics
+//     --stats                      print machine + checker statistics
+//                                  (shared metrics text reporter)
+//     --stats-json <file>          write the full metrics registry as
+//                                  "scav-metrics-v1" JSON (DESIGN.md §3.9);
+//                                  env SCAV_STATS_JSON sets the default
+//     --trace-out <file>           record a trace and write it as
+//                                  Chrome/Perfetto trace-event JSON; env
+//                                  SCAV_TRACE=<file> sets the default
 //     --gc <file>                  run a raw λGC program (see gc/Parse.h);
 //                                  `(fn gc)` refers to the installed
 //                                  collector of the chosen --level
@@ -28,6 +35,7 @@
 #include "gc/Parse.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -42,9 +50,23 @@ int usage() {
   std::fprintf(stderr,
                "usage: certgc_run [--level base|forward|gen] [--capacity N]"
                " [--check-every N] [--full-check] [--full-check-every N]"
-               " [--certify] [--dump-clos] [--stats]"
-               " (<file> | -e '<expr>' | --gc <file>)\n");
+               " [--certify] [--dump-clos] [--stats] [--stats-json FILE]"
+               " [--trace-out FILE] (<file> | -e '<expr>' | --gc <file>)\n");
   return 2;
+}
+
+/// End-of-run reporting shared by the raw-λGC and pipeline paths: optional
+/// trace export, optional metrics JSON, optional metrics text on stderr.
+void report(const support::MetricsRegistry &Reg, bool Stats,
+            const std::string &StatsJson, const std::string &TraceOut) {
+  if (!TraceOut.empty()) {
+    if (!support::TraceSink::get().writeChromeJson(TraceOut))
+      std::fprintf(stderr, "cannot write %s\n", TraceOut.c_str());
+  }
+  if (!StatsJson.empty())
+    support::writeFile(StatsJson, support::writeMetricsJson(Reg));
+  if (Stats)
+    std::fputs(support::writeMetricsText(Reg).c_str(), stderr);
 }
 
 } // namespace
@@ -57,6 +79,7 @@ int main(int argc, char **argv) {
   bool Certify = false, DumpClos = false, Stats = false;
   bool RawGc = false;
   std::string Source;
+  std::string TraceOut, StatsJson;
 
   for (int I = 1; I < argc; ++I) {
     std::string_view A = argv[I];
@@ -99,6 +122,16 @@ int main(int argc, char **argv) {
       DumpClos = true;
     } else if (A == "--stats") {
       Stats = true;
+    } else if (A == "--stats-json") {
+      const char *F = NextArg();
+      if (!F)
+        return usage();
+      StatsJson = F;
+    } else if (A == "--trace-out") {
+      const char *F = NextArg();
+      if (!F)
+        return usage();
+      TraceOut = F;
     } else if (A == "-e") {
       const char *E = NextArg();
       if (!E)
@@ -132,6 +165,23 @@ int main(int argc, char **argv) {
   }
   if (Source.empty())
     return usage();
+
+  // Trace bootstrap: the explicit flag wins; SCAV_TRACE=<file> is the env
+  // fallback (shared with every other driver via traceOutFromEnv).
+  if (!TraceOut.empty()) {
+#if SCAV_TRACE_COMPILED_IN
+    support::TraceSink::get().enable();
+#else
+    std::fprintf(stderr,
+                 "--trace-out: tracing compiled out (SCAV_TRACE_OFF); "
+                 "writing an empty trace\n");
+#endif
+  } else if (std::optional<std::string> EnvOut = traceOutFromEnv()) {
+    TraceOut = *EnvOut;
+  }
+  if (StatsJson.empty())
+    if (const char *Env = std::getenv("SCAV_STATS_JSON"); Env && *Env)
+      StatsJson = Env;
 
   if (RawGc) {
     // Raw λGC mode: install the collector, parse, certify, run.
@@ -171,6 +221,13 @@ int main(int argc, char **argv) {
     std::optional<gc::IncrementalStateCheck> Inc;
     if (CheckEveryN != 0 && Opts.IncrementalCheck)
       Inc.emplace(M);
+    auto Report = [&] {
+      support::MetricsRegistry Reg;
+      M.exportMetrics(Reg);
+      if (Inc)
+        Inc->stats().exportTo(Reg);
+      report(Reg, Stats, StatsJson, TraceOut);
+    };
     for (uint64_t I = 0; I != 500000000 &&
                          M.status() == gc::Machine::Status::Running;
          ++I) {
@@ -180,21 +237,18 @@ int main(int argc, char **argv) {
         if (!R.Ok) {
           std::fprintf(stderr, "preservation violation: %s\n",
                        R.Error.c_str());
+          Report();
           return 1;
         }
       }
     }
     if (M.status() != gc::Machine::Status::Halted) {
       std::fprintf(stderr, "run failed: %s\n", M.stuckReason().c_str());
+      Report();
       return 1;
     }
     std::printf("%lld\n", (long long)M.haltValue()->intValue());
-    if (Stats) {
-      const gc::MachineStats &St = M.stats();
-      std::fprintf(stderr, "steps=%llu collections=%llu\n",
-                   (unsigned long long)St.Steps,
-                   (unsigned long long)St.IfGcTaken);
-    }
+    Report();
     return 0;
   }
 
@@ -220,23 +274,14 @@ int main(int argc, char **argv) {
   }
 
   RunResult R = Pipe.runMachine(500'000'000, CheckEveryN);
+  support::MetricsRegistry Reg;
+  Pipe.exportMetrics(Reg);
   if (!R.Ok) {
     std::fprintf(stderr, "run failed: %s\n", R.Error.c_str());
+    report(Reg, Stats, StatsJson, TraceOut);
     return 1;
   }
   std::printf("%lld\n", (long long)R.Value);
-
-  if (Stats) {
-    const gc::MachineStats &St = Pipe.machine().stats();
-    std::fprintf(stderr,
-                 "steps=%llu puts=%llu gets=%llu collections=%llu "
-                 "regions-reclaimed=%llu widens=%llu sets=%llu\n",
-                 (unsigned long long)St.Steps, (unsigned long long)St.Puts,
-                 (unsigned long long)St.Gets,
-                 (unsigned long long)St.IfGcTaken,
-                 (unsigned long long)St.RegionsReclaimed,
-                 (unsigned long long)St.Widens,
-                 (unsigned long long)St.Sets);
-  }
+  report(Reg, Stats, StatsJson, TraceOut);
   return 0;
 }

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Structural sanity checks for a scavenging trace export (DESIGN.md §3.9).
+
+Validates the Chrome/Perfetto trace-event JSON that `certgc_run --trace-out`,
+`certgc_fuzz --trace-out`, and SCAV_TRACE=<file> produce:
+
+  * top-level shape: {"traceEvents": [...]}, every event carrying
+    name / cat / ph / ts / pid / tid with ph one of B, E, i, C;
+  * timestamps non-decreasing across the export;
+  * duration events balanced: B/E depth never goes negative, every scope
+    closed by the end (the exporter emits synthetic events for ring-sliced
+    scopes, so an unbalanced file is a bug, not a truncation);
+  * LIFO close order: an E always matches the innermost open B's name;
+  * instant events carry the mandatory scope field "s".
+
+With --require-collector-phases, additionally asserts the trace contains a
+complete collection: a "collect" B/E pair plus at least one entry-phase
+("gc*") and one copy-phase ("copy*") instant in the collector category —
+the shape every certified collection leaves behind. With
+--require-counters, asserts at least one counter-track sample exists.
+
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "i", "C"}
+REQUIRED_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path: str, require_phases: bool, require_counters: bool) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: 'traceEvents' must be a list")
+
+    stack = []  # (name) of open duration scopes
+    last_ts = None
+    counters = 0
+    collector = {"begin": 0, "end": 0, "entry": 0, "copy": 0}
+
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for field in REQUIRED_FIELDS:
+            if field not in ev:
+                fail(f"{where}: missing field '{field}'")
+        ph = ev["ph"]
+        if ph not in VALID_PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad timestamp {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{where}: timestamp went backwards ({ts} < {last_ts})")
+        last_ts = ts
+
+        name, cat = ev["name"], ev["cat"]
+        if ph == "B":
+            stack.append(name)
+        elif ph == "E":
+            if not stack:
+                fail(f"{where}: 'E' ({name}) with no open scope")
+            if stack[-1] != name:
+                fail(f"{where}: 'E' ({name}) closes scope "
+                     f"'{stack[-1]}' out of LIFO order")
+            stack.pop()
+        elif ph == "i":
+            if ev.get("s") != "t":
+                fail(f"{where}: instant without scope field 's'")
+        elif ph == "C":
+            counters += 1
+            if "args" not in ev or "value" not in ev["args"]:
+                fail(f"{where}: counter without args.value")
+
+        if cat == "collector":
+            if name == "collect" and ph == "B":
+                collector["begin"] += 1
+            elif name == "collect" and ph == "E":
+                collector["end"] += 1
+            elif ph == "i" and name.startswith("gc") and \
+                    not name.startswith("gcend"):
+                collector["entry"] += 1
+            elif ph == "i" and name.startswith("copy"):
+                collector["copy"] += 1
+
+    if stack:
+        fail(f"{path}: {len(stack)} unclosed scope(s), innermost "
+             f"'{stack[-1]}'")
+
+    if require_phases:
+        if collector["begin"] == 0 or collector["end"] == 0:
+            fail(f"{path}: no complete 'collect' scope "
+                 f"(B={collector['begin']}, E={collector['end']})")
+        if collector["begin"] != collector["end"]:
+            fail(f"{path}: unbalanced collect scopes "
+                 f"(B={collector['begin']}, E={collector['end']})")
+        if collector["entry"] == 0:
+            fail(f"{path}: no collector entry-phase (gc*) instant")
+        if collector["copy"] == 0:
+            fail(f"{path}: no collector copy-phase (copy*) instant")
+    if require_counters and counters == 0:
+        fail(f"{path}: no counter-track samples")
+
+    phases = (f", collect scopes={collector['begin']}"
+              if require_phases else "")
+    print(f"check_trace: OK: {path}: {len(events)} events, "
+          f"{counters} counter samples{phases}")
+
+
+def main() -> None:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("traces", nargs="+", help="trace JSON file(s)")
+    p.add_argument("--require-collector-phases", action="store_true",
+                   help="assert a complete collection is present")
+    p.add_argument("--require-counters", action="store_true",
+                   help="assert counter-track samples are present")
+    args = p.parse_args()
+    for path in args.traces:
+        check(path, args.require_collector_phases, args.require_counters)
+
+
+if __name__ == "__main__":
+    main()

@@ -267,6 +267,7 @@ BasicCollectorLib scav::gc::installBasicCollector(Machine &M) {
     M.defineCode(Lib.Gc, CB.build(Body));
   }
 
+  markCollectorPhases(M, Lib);
   return Lib;
 }
 

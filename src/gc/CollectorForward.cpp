@@ -315,5 +315,6 @@ ForwardCollectorLib scav::gc::installForwardCollector(Machine &M) {
     M.defineCode(Lib.Gc, CB.build(Body));
   }
 
+  markCollectorPhases(M, Lib);
   return Lib;
 }

@@ -299,6 +299,7 @@ GenCollectorLib scav::gc::installGenCollector(Machine &M) {
     M.defineCode(Lib.Gc, CB.build(Body));
   }
 
+  markCollectorPhases(M, Lib);
   return Lib;
 }
 
@@ -555,5 +556,6 @@ GenCollectorLib scav::gc::installGenFullCollector(Machine &M) {
     M.defineCode(Lib.Gc, CB.build(Body));
   }
 
+  markCollectorPhases(M, Lib);
   return Lib;
 }

@@ -17,12 +17,14 @@ Address Machine::reserveCode(std::string_view Label) {
   Symbol CdS = C.cd().sym();
   RegionData *R = Mem.region(CdS);
   assert(R && "cd region must exist");
-  (void)Label;
   assert(R->Cells.size() < std::numeric_limits<uint32_t>::max() &&
          "cd offset space exhausted");
   uint32_t Off = static_cast<uint32_t>(R->Cells.size());
   R->Cells.push_back(nullptr); // placeholder until defineCode
   ++R->Version;
+  // Remember the label: tracing names collector-phase App events after it,
+  // and drivers can resolve it back for diagnostics.
+  CdLabels.emplace(Off, std::string(Label));
   return Address{C.cd(), Off};
 }
 
@@ -54,6 +56,12 @@ Region Machine::createRegion(std::string_view BaseName, uint32_t Capacity) {
   Psi.addRegion(S);
   ++Stats.RegionsCreated;
   journal(DeltaKind::RegionCreated, S);
+  if (SCAV_TRACE_ENABLED()) {
+    support::TraceSink &Sink = support::TraceSink::get();
+    Sink.instant("region", "region.create");
+    Sink.counter("regions", static_cast<double>(Mem.numRegions()));
+    Sink.counter(traceRegionName(S), 0);
+  }
   return Region::name(S);
 }
 
@@ -85,7 +93,11 @@ const Term *Machine::currentTerm() const {
   ++Stats.EnvForces;
   CloseCounters Ctr;
   const Term *T = closeTerm(C, Cur, EnvS, &Ctr);
-  Stats.EnvLookups += Ctr.Lookups;
+  // Observer-driven lookups are counted apart from EnvLookups: currentTerm
+  // runs once per *observation* (checkState, diagnostics), so folding its
+  // lookups into the execution counter made EnvLookups depend on how often
+  // the run was watched (the env-counter drift fixed in this PR).
+  Stats.EnvForceLookups += Ctr.Lookups;
   return T;
 }
 
@@ -275,6 +287,97 @@ const Value *Machine::widenValueTypes(const Value *V, Symbol FromR,
 }
 
 //===----------------------------------------------------------------------===//
+// Trace emission (only reached when the global sink is enabled)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Stable per-kind names for mutator-step instants.
+const char *stepEventName(TermKind K) {
+  switch (K) {
+  case TermKind::App:
+    return "step.app";
+  case TermKind::Let:
+    return "step.let";
+  case TermKind::Halt:
+    return "step.halt";
+  case TermKind::IfGc:
+    return "step.ifgc";
+  case TermKind::OpenTag:
+  case TermKind::OpenTyVar:
+  case TermKind::OpenRegion:
+    return "step.open";
+  case TermKind::LetRegion:
+    return "step.letregion";
+  case TermKind::Only:
+    return "step.only";
+  case TermKind::Typecase:
+    return "step.typecase";
+  case TermKind::IfLeft:
+    return "step.ifleft";
+  case TermKind::Set:
+    return "step.set";
+  case TermKind::LetWiden:
+    return "step.widen";
+  case TermKind::IfReg:
+    return "step.ifreg";
+  case TermKind::If0:
+    return "step.if0";
+  }
+  return "step.unknown";
+}
+} // namespace
+
+const char *Machine::traceRegionName(Symbol S) {
+  auto It = TraceRegionNames.find(S);
+  if (It != TraceRegionNames.end())
+    return It->second;
+  const char *Name = support::TraceSink::get().intern(
+      "cells." + std::string(C.symbols().name(S)));
+  TraceRegionNames.emplace(S, Name);
+  return Name;
+}
+
+void Machine::traceRegionCounters() {
+  support::TraceSink &Sink = support::TraceSink::get();
+  for (const auto &[S, R] : Mem.Regions) {
+    if (S == C.cd().sym())
+      continue;
+    Sink.counter(traceRegionName(S), static_cast<double>(R.Cells.size()));
+  }
+}
+
+void Machine::traceStep(const Term *E) {
+  support::TraceSink &Sink = support::TraceSink::get();
+  Sink.instant("step", stepEventName(E->kind()));
+  // Periodic counter tracks: cheap enough at 1/64 steps to leave on for a
+  // whole run, dense enough to read heap growth off the timeline.
+  if (Stats.Steps % 64 == 0) {
+    Sink.counter("live_cells", static_cast<double>(Mem.liveDataCells()));
+    Sink.counter("env_depth", static_cast<double>(envDepth()));
+    Sink.counter("journal_len",
+                 static_cast<double>(journalEnd() - journalBegin()));
+  }
+}
+
+void Machine::traceAppPhase(Address CodeAddr) {
+  if (CodeAddr.R != C.cd())
+    return;
+  auto It = PhaseMarks.find(CodeAddr.Offset);
+  if (It == PhaseMarks.end())
+    return;
+  support::TraceSink &Sink = support::TraceSink::get();
+  if (It->second && !TraceCollectOpen) {
+    Sink.begin("collector", "collect");
+    TraceCollectOpen = true;
+  }
+  // Interned in markCollectorPhase: the ring sink outlives this machine, so
+  // event names must not point into machine-owned storage.
+  auto LIt = TracePhaseNames.find(CodeAddr.Offset);
+  if (LIt != TracePhaseNames.end())
+    Sink.instant("collector", LIt->second);
+}
+
+//===----------------------------------------------------------------------===//
 // The step function
 //===----------------------------------------------------------------------===//
 
@@ -283,6 +386,8 @@ Machine::Status Machine::step() {
     return St;
   const Term *E = Cur;
   ++Stats.Steps;
+  if (SCAV_TRACE_ENABLED())
+    traceStep(E);
 
   switch (E->kind()) {
   case TermKind::App: {
@@ -292,6 +397,8 @@ Machine::Status Machine::step() {
       F = F->payload(); // (vJ~τK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v)
     if (!F->is(ValueKind::Addr))
       return stuck("application of non-address value: " + printValue(C, F));
+    if (SCAV_TRACE_ENABLED())
+      traceAppPhase(F->address());
     const Value *Code = Mem.get(F->address());
     if (!Code)
       return stuck("application of dangling code address: " +
@@ -437,6 +544,7 @@ Machine::Status Machine::step() {
       return stuck("ifgc on unresolved region variable");
     if (Mem.isFull(R.sym())) {
       ++Stats.IfGcTaken;
+      TRACE_INSTANT("collector", "ifgc.taken");
       Cur = E->sub1();
     } else {
       ++Stats.IfGcSkipped;
@@ -527,6 +635,14 @@ Machine::Status Machine::step() {
       for (const auto &[S2, _] : Mem.Regions)
         if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2)))
           journal(DeltaKind::RegionDropped, S2);
+    if (SCAV_TRACE_ENABLED()) {
+      support::TraceSink &Sink = support::TraceSink::get();
+      for (const auto &[S2, _] : Mem.Regions)
+        if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2))) {
+          Sink.instant("region", "region.drop");
+          Sink.counter(traceRegionName(S2), 0);
+        }
+    }
     size_t Reclaimed = Mem.restrictTo(Keep);
     Stats.RegionsReclaimed += Reclaimed;
     if (Config.HeapGrowthFactor != 0 && Config.DefaultRegionCapacity != 0) {
@@ -558,6 +674,18 @@ Machine::Status Machine::step() {
     // regions just dropped. The journal already carries the precise
     // RegionDropped events, so no ExternalMutation is emitted.
     clearPutTypeCache();
+    if (SCAV_TRACE_ENABLED()) {
+      support::TraceSink &Sink = support::TraceSink::get();
+      Sink.counter("regions", static_cast<double>(Mem.numRegions()));
+      Sink.counter("live_cells", static_cast<double>(Mem.liveDataCells()));
+      traceRegionCounters();
+      // `only` is how every collection ends (gcend frees all but the
+      // to-space), so it closes the open collect scope.
+      if (TraceCollectOpen) {
+        Sink.end("collector", "collect");
+        TraceCollectOpen = false;
+      }
+    }
     Cur = E->sub1();
     return St;
   }
@@ -622,6 +750,8 @@ Machine::Status Machine::step() {
     // The stored value escapes into memory: force it closed in Env mode.
     if (!Mem.update(Dst->address(), resolveValue(E->setSource())))
       return stuck("set of dangling address: " + printValue(C, Dst));
+    // During a collection, `set` is the forwarding-pointer install (§7).
+    TRACE_INSTANT("mem", "set.forward");
     // Ψ deliberately keeps the cell's (sum) type: the forwarding pointer is
     // typed by subsumption against it.
     Cur = E->sub1();
@@ -653,6 +783,7 @@ Machine::Status Machine::step() {
       clearPutTypeCache();
     }
     journal(DeltaKind::RegionWidened, FromS, To.sym());
+    TRACE_INSTANT("region", "region.widen");
     continueBindVal(E->binderVar(), V, E->sub1()); // widen is a no-op on
                                                    // data (§7.1)
     return St;

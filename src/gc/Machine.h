@@ -26,6 +26,9 @@
 #include "gc/Ops.h"
 #include "gc/TypeCheck.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <string>
@@ -127,16 +130,58 @@ struct MachineStats {
   uint64_t RecordPutCacheMisses = 0;
   /// Environment-mode counters (all zero in Subst mode). EnvBindings counts
   /// bindings pushed into the environment; EnvLookups counts variable
-  /// occurrences resolved through it; EnvForces counts close-to-substituted
-  /// traversals at the machine boundary (currentTerm); EnvDepthPeak is the
-  /// largest environment ever held.
+  /// occurrences resolved through it *by the machine's own step rules*;
+  /// EnvForces counts close-to-substituted traversals at the machine
+  /// boundary (currentTerm) and EnvForceLookups the occurrences those
+  /// forces resolved; EnvDepthPeak is the largest environment ever held.
+  ///
+  /// EnvLookups and EnvForceLookups are deliberately separate: currentTerm
+  /// is called by external observers (checkState, diagnostics, tests), so
+  /// folding its lookups into EnvLookups made the counter drift with the
+  /// *observation* cadence — two identical runs reported different lookup
+  /// totals merely because one was checked more often. EnvLookups is now a
+  /// pure function of the executed program (see trace_metrics_test).
   uint64_t EnvBindings = 0;
   uint64_t EnvLookups = 0;
   uint64_t EnvForces = 0;
+  uint64_t EnvForceLookups = 0;
   uint64_t EnvDepthPeak = 0;
   /// Delta-journal events emitted (zero unless a consumer enabled the
   /// journal; see Machine::enableDeltaJournal).
   uint64_t DeltaJournalEvents = 0;
+
+  /// Registers every counter into \p Reg under "machine." names — the
+  /// typed-registry view of this struct (DESIGN.md §3.9). All reporting
+  /// surfaces (certgc_run --stats/--stats-json, BenchUtil, fuzz triage)
+  /// render MachineStats through this, never ad hoc.
+  void exportTo(support::MetricsRegistry &Reg) const {
+    auto C = [&](const char *Name, uint64_t V) {
+      Reg.setCounter(std::string("machine.") + Name, V);
+    };
+    C("steps", Steps);
+    C("puts", Puts);
+    C("gets", Gets);
+    C("sets", Sets);
+    C("projections", Projections);
+    C("applications", Applications);
+    C("typecase_steps", TypecaseSteps);
+    C("opens", Opens);
+    C("regions_created", RegionsCreated);
+    C("regions_reclaimed", RegionsReclaimed);
+    C("only_ops", OnlyOps);
+    C("only_regions_scanned", OnlyRegionsScanned);
+    C("widens", Widens);
+    C("ifgc_taken", IfGcTaken);
+    C("ifgc_skipped", IfGcSkipped);
+    C("recordput_cache_hits", RecordPutCacheHits);
+    C("recordput_cache_misses", RecordPutCacheMisses);
+    C("env_bindings", EnvBindings);
+    C("env_lookups", EnvLookups);
+    C("env_forces", EnvForces);
+    C("env_force_lookups", EnvForceLookups);
+    C("env_depth_peak", EnvDepthPeak);
+    C("delta_journal_events", DeltaJournalEvents);
+  }
 };
 
 /// The λGC abstract machine.
@@ -201,6 +246,58 @@ public:
   const MemoryType &psi() const { return Psi; }
   MachineStats &stats() { return Stats; }
   const MachineStats &stats() const { return Stats; }
+
+  /// Exports the machine's full observable state into \p Reg: MachineStats
+  /// counters plus memory/Ψ gauges (regions, live cells, env depth). The
+  /// one registry every reporter shares.
+  void exportMetrics(support::MetricsRegistry &Reg) const {
+    Stats.exportTo(Reg);
+    Reg.setGauge("memory.regions", static_cast<double>(Mem.numRegions()));
+    Reg.setGauge("memory.live_data_cells",
+                 static_cast<double>(Mem.liveDataCells()));
+    Reg.setGauge("memory.cd_cells",
+                 static_cast<double>(
+                     Mem.region(Mem.cdSym()) ? Mem.region(Mem.cdSym())->Cells.size()
+                                             : 0));
+    Reg.setGauge("machine.env_depth", static_cast<double>(envDepth()));
+    Reg.setGauge("machine.journal_len",
+                 static_cast<double>(journalEnd() - journalBegin()));
+  }
+
+  /// Current environment size (Env mode; 0 in Subst mode).
+  size_t envDepth() const {
+    return EnvS.Tags.size() + EnvS.Regions.size() + EnvS.Types.size() +
+           EnvS.Vals.size();
+  }
+
+  // -- Tracing --------------------------------------------------------------
+  // The machine emits structured trace events (support/Trace.h) when the
+  // global sink is enabled: per-step instants, region lifecycle, collector
+  // phase entries, and periodic counter tracks. Collector phases are
+  // *marked* cd labels: the certified collectors are λGC code, so the only
+  // place their phase structure is visible is the App step into their code
+  // addresses — installBasicCollector & friends mark their entry points,
+  // and the machine brackets `gc`-entry … `only` as one "collect" scope.
+
+  /// Marks \p A (a cd code address) as a collector phase for tracing; the
+  /// traced name is the label passed to reserveCode. \p IsEntry marks the
+  /// collection entry point that opens the per-collection trace scope.
+  /// The label is interned into the global sink here: trace events outlive
+  /// this machine, so they must not point into CdLabels' strings.
+  void markCollectorPhase(Address A, bool IsEntry = false) {
+    auto It = CdLabels.find(A.Offset);
+    if (It == CdLabels.end())
+      return;
+    PhaseMarks[A.Offset] = IsEntry;
+    TracePhaseNames[A.Offset] = support::TraceSink::get().intern(It->second);
+  }
+
+  /// The label a cd offset was reserved under ("" if unknown).
+  const std::string &codeLabel(uint32_t Offset) const {
+    static const std::string Empty;
+    auto It = CdLabels.find(Offset);
+    return It == CdLabels.end() ? Empty : It->second;
+  }
 
   /// False if Ψ maintenance ever failed (a stored value did not infer);
   /// the reason is in typeTrackingError().
@@ -279,6 +376,14 @@ private:
   /// RegionWidened), so no ExternalMutation event is emitted.
   void clearPutTypeCache() { PutTypeCache.clear(); }
 
+  // Trace emission helpers (Machine.cpp); called only under
+  // SCAV_TRACE_ENABLED(), so they cost nothing when tracing is disabled
+  // and compile away entirely under SCAV_TRACE_OFF.
+  void traceStep(const Term *E);
+  void traceAppPhase(Address CodeAddr);
+  void traceRegionCounters();
+  const char *traceRegionName(Symbol S);
+
   Status stuck(std::string Msg) {
     St = Status::Stuck;
     StuckMsg = std::move(Msg);
@@ -331,8 +436,7 @@ private:
   }
 
   void noteEnvDepth() {
-    uint64_t D = EnvS.Tags.size() + EnvS.Regions.size() + EnvS.Types.size() +
-                 EnvS.Vals.size();
+    uint64_t D = envDepth();
     if (D > Stats.EnvDepthPeak)
       Stats.EnvDepthPeak = D;
   }
@@ -403,6 +507,18 @@ private:
   std::vector<DeltaEvent> Journal;
   uint64_t JournalBase = 0;
 
+  /// cd offset → reserveCode label (small: one entry per installed code
+  /// block) and the offsets marked as collector phases (value: is-entry).
+  std::unordered_map<uint32_t, std::string> CdLabels;
+  std::unordered_map<uint32_t, bool> PhaseMarks;
+  /// Marked offset → sink-interned label (events outlive this machine).
+  std::unordered_map<uint32_t, const char *> TracePhaseNames;
+  /// A collector-entry App opened a "collect" trace scope that the next
+  /// `only` step closes (collections end in gcend's `only`).
+  bool TraceCollectOpen = false;
+  /// Region symbol → interned "cells.<region>" counter-track name.
+  std::unordered_map<Symbol, const char *, SymbolHash> TraceRegionNames;
+
   /// Ψ-tracking fast path: inferred cell types by value pointer. Values are
   /// immutable and inference of a *successfully* inferred value depends on Ψ
   /// only through lookups of addresses it embeds, so entries stay valid
@@ -411,6 +527,22 @@ private:
   /// cached; failures must re-run to produce diagnostics.
   std::unordered_map<const Value *, const Type *> PutTypeCache;
 };
+
+/// Registers a collector library's entry points with the machine's tracer
+/// so App steps into them emit collector-phase events: `Gc` opens the
+/// per-collection trace scope, the other labels show up as instant phase
+/// markers. Works for any of the Lib structs (Basic / Forward / Gen) —
+/// they share the six-entry-point shape. No-op when tracing is compiled
+/// out or disabled.
+template <typename CollectorLibT>
+void markCollectorPhases(Machine &M, const CollectorLibT &Lib) {
+  M.markCollectorPhase(Lib.Gc, /*IsEntry=*/true);
+  M.markCollectorPhase(Lib.GcEnd);
+  M.markCollectorPhase(Lib.Copy);
+  M.markCollectorPhase(Lib.CopyPair1);
+  M.markCollectorPhase(Lib.CopyPair2);
+  M.markCollectorPhase(Lib.CopyExist1);
+}
 
 } // namespace scav::gc
 

@@ -211,6 +211,7 @@ std::pair<const Value *, Region>
 scav::gc::nativeCollect(Machine &M, const Value *Root, Region From,
                         bool PreserveSharing, NativeGcStats &Stats,
                         CopyOrder Order) {
+  TRACE_SCOPE("collector", "native.collect");
   GcContext &C = M.context();
   Region To = M.createRegion("to", 0);
   const Value *NewRoot = nullptr;
@@ -221,6 +222,12 @@ scav::gc::nativeCollect(Machine &M, const Value *Root, Region From,
   } else {
     NativeGc Gc{M, C, From.sym(), To.sym(), PreserveSharing, Stats, {}};
     NewRoot = Gc.relocate(Root);
+  }
+  if (SCAV_TRACE_ENABLED()) {
+    auto &Sink = support::TraceSink::get();
+    Sink.counter("native.copied", static_cast<double>(Stats.ObjectsCopied));
+    Sink.counter("native.forwarding_hits",
+                 static_cast<double>(Stats.ForwardingHits));
   }
   // Reclaim the from-region (the machine-level analogue of `only`).
   RegionSet Keep;

@@ -170,6 +170,7 @@ AddressSet scav::gc::reachableCells(const Machine &M) {
 
 StateCheckResult scav::gc::checkState(Machine &M,
                                       const StateCheckOptions &Opts) {
+  TRACE_SCOPE("checker", "check.full");
   GcContext &C = M.context();
   Symbol CdS = C.cd().sym();
 
@@ -380,6 +381,7 @@ IncrementalStateCheck::IncrementalStateCheck(Machine &M,
       Checker(M.context(), M.level(), Diags) {}
 
 StateCheckResult IncrementalStateCheck::check() {
+  TRACE_SCOPE("checker", "check.incremental");
   ++Stats.Checks;
   if (!M.typeTrackingOk())
     return StateCheckResult::failure("Psi maintenance failed: " +
@@ -461,6 +463,7 @@ StateCheckResult IncrementalStateCheck::runCheck() {
 }
 
 StateCheckResult IncrementalStateCheck::resync() {
+  TRACE_INSTANT("checker", "check.resync");
   ++Stats.FullResyncs;
   NeedResync = false;
   Facts.clear();
@@ -506,12 +509,15 @@ StateCheckResult IncrementalStateCheck::drainJournal() {
       Cursors.try_emplace(Ev.R);
       break;
     case DeltaKind::RegionDropped:
+      TRACE_INSTANT("checker", "invalidate.drop");
       invalidateRegion(Ev.R, /*Dropped=*/true);
       break;
     case DeltaKind::RegionWidened:
+      TRACE_INSTANT("checker", "invalidate.widen");
       invalidateRegion(Ev.R, /*Dropped=*/false);
       break;
     case DeltaKind::ExternalMutation:
+      TRACE_INSTANT("checker", "invalidate.external");
       NeedResync = true; // consume the rest via resync
       break;
     }

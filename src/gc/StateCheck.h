@@ -109,6 +109,20 @@ struct IncrementalCheckStats {
   uint64_t ReachExactRecomputes = 0;
   uint64_t FullResyncs = 0;
   size_t CachedFacts = 0; ///< Live per-cell facts after the last check.
+
+  /// Publishes every counter under "checker.*" in the shared registry
+  /// (schema in DESIGN.md §3.9).
+  void exportTo(support::MetricsRegistry &Reg) const {
+    Reg.setCounter("checker.checks", Checks);
+    Reg.setCounter("checker.cells_validated", CellsValidated);
+    Reg.setCounter("checker.judgment_cache_hits", CellJudgmentCacheHits);
+    Reg.setCounter("checker.journal_events", JournalEventsConsumed);
+    Reg.setCounter("checker.region_invalidations", RegionInvalidations);
+    Reg.setCounter("checker.dependent_invalidations", DependentInvalidations);
+    Reg.setCounter("checker.reach_exact_recomputes", ReachExactRecomputes);
+    Reg.setCounter("checker.full_resyncs", FullResyncs);
+    Reg.setGauge("checker.cached_facts", static_cast<double>(CachedFacts));
+  }
 };
 
 /// Incremental ⊢ (M, e): caches per-cell judgments Ψ ⊢ M(a) : Ψ(a) and

@@ -39,6 +39,31 @@ std::string replayLine(const char *Mode, uint64_t IterSeed,
   return Out;
 }
 
+/// The trailing trace window a failure record carries ("" when tracing is
+/// off). Captured at failure time, before the ring moves on.
+std::string traceTail(const FuzzOptions &Opts) {
+  if (!SCAV_TRACE_ENABLED())
+    return std::string();
+  return support::TraceSink::get().formatTail(Opts.TraceTailEvents);
+}
+
+/// Shared per-mode bootstrap: ring on (when asked), synthetic self-test
+/// failure in (when asked). Returns through \p Rep.
+void fuzzModeSetup(const char *Mode, const FuzzOptions &Opts,
+                   FuzzReport &Rep) {
+#if SCAV_TRACE_COMPILED_IN
+  if (Opts.TraceRing)
+    support::TraceSink::get().enable();
+#endif
+  if (Opts.InjectSelfTestFailure) {
+    ++Rep.InvariantViolations;
+    TRACE_INSTANT("fuzz", "selftest.failure");
+    Rep.Failures.push_back({replayLine(Mode, Opts.Seed, Opts),
+                            "injected self-test failure (not a real bug)",
+                            std::string(), traceTail(Opts)});
+  }
+}
+
 /// Runs \p Iter once per iteration seed until the iteration count (or the
 /// wall-clock budget, when set) is exhausted.
 template <typename Body>
@@ -87,6 +112,10 @@ std::string FuzzReport::summary(const char *Mode) const {
     Out += "    replay: " + F.Replay + "\n";
     if (!F.Input.empty())
       Out += "    input: " + F.Input + "\n";
+    if (!F.TraceTail.empty()) {
+      Out += "    trace tail:\n";
+      Out += F.TraceTail;
+    }
   }
   return Out;
 }
@@ -166,7 +195,7 @@ void stateIteration(uint64_t IterSeed, const FuzzOptions &Opts,
     Rep.Failures.push_back(
         {replayLine("state", IterSeed, Opts),
          std::string(What) + " [level=" + languageLevelName(Level) + "]",
-         std::move(Detail)});
+         std::move(Detail), traceTail(Opts)});
   };
 
   if (StateCheckResult R0 = Inc.check(); !R0.Ok) {
@@ -243,6 +272,7 @@ void stateIteration(uint64_t IterSeed, const FuzzOptions &Opts,
 
 FuzzReport scav::harness::fuzzStates(const FuzzOptions &Opts) {
   FuzzReport Rep;
+  fuzzModeSetup("state", Opts, Rep);
   runLoop(Opts, Rep,
           [&](uint64_t Seed) { stateIteration(Seed, Opts, Rep); });
   return Rep;
@@ -380,7 +410,7 @@ void grammarIteration(uint64_t IterSeed, const FuzzOptions &Opts,
     });
     Rep.Failures.push_back({replayLine("grammar", IterSeed, Opts),
                             "parser rejected without a diagnostic",
-                            std::move(Minimized)});
+                            std::move(Minimized), traceTail(Opts)});
     return;
   }
   }
@@ -401,6 +431,7 @@ FuzzReport scav::harness::fuzzGrammar(const FuzzOptions &Opts) {
     Corpus.push_back(
         {IsGc ? CorpusKind::GcProgram : CorpusKind::LambdaExpr, Text});
   FuzzReport Rep;
+  fuzzModeSetup("grammar", Opts, Rep);
   runLoop(Opts, Rep, [&](uint64_t Seed) {
     grammarIteration(Seed, Opts, Corpus, Rep);
   });
@@ -423,7 +454,7 @@ void pipelineIteration(uint64_t IterSeed, const FuzzOptions &Opts,
     Rep.Failures.push_back(
         {replayLine("pipeline", IterSeed, Opts),
          std::string(What) + " [level=" + languageLevelName(Level) + "]",
-         std::move(Detail)});
+         std::move(Detail), traceTail(Opts)});
   };
 
   GenOptions GO;
@@ -508,6 +539,7 @@ void pipelineIteration(uint64_t IterSeed, const FuzzOptions &Opts,
 
 FuzzReport scav::harness::fuzzPipeline(const FuzzOptions &Opts) {
   FuzzReport Rep;
+  fuzzModeSetup("pipeline", Opts, Rep);
   runLoop(Opts, Rep,
           [&](uint64_t Seed) { pipelineIteration(Seed, Opts, Rep); });
   return Rep;

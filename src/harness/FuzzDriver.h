@@ -46,12 +46,23 @@ struct FuzzOptions {
   std::vector<std::pair<bool, std::string>> ExtraCorpus;
   /// Print every applied mutation (triage spelunking).
   bool Verbose = false;
+  /// Record into the global trace ring while fuzzing so every failure can
+  /// capture its trailing event window (fuzzing is not latency-sensitive).
+  /// No-op when tracing is compiled out (SCAV_TRACE_OFF).
+  bool TraceRing = true;
+  /// How many trailing trace events a failure record captures.
+  size_t TraceTailEvents = 32;
+  /// Deterministic self-test hook: record one synthetic failure before the
+  /// first iteration, exercising the whole triage path (replay line, trace
+  /// dump, exit code) without needing a real bug. Used by the smoke test.
+  bool InjectSelfTestFailure = false;
 };
 
 struct FuzzFailure {
   std::string Replay;    ///< Command-line fragment that reproduces.
   std::string What;      ///< Invariant that broke.
   std::string Input;     ///< Minimized input (grammar mode) or detail.
+  std::string TraceTail; ///< Last trace events at failure time (may be "").
 };
 
 struct FuzzReport {

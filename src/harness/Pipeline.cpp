@@ -105,12 +105,30 @@ uint32_t scav::harness::checkEveryFromEnv(uint32_t Fallback) {
   return static_cast<uint32_t>(V);
 }
 
+std::optional<std::string> scav::harness::traceOutFromEnv() {
+#ifdef SCAV_TRACE_OFF
+  return std::nullopt;
+#else
+  const char *Env = std::getenv("SCAV_TRACE");
+  if (!Env || !*Env)
+    return std::nullopt;
+  support::TraceSink::get().enable();
+  std::string V = Env;
+  // "1"/"on"/"true" mean "trace, no file" — anything else is a path.
+  if (V == "1" || V == "on" || V == "true")
+    return std::string();
+  return V;
+#endif
+}
+
 RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
+  TRACE_SCOPE("pipeline", "run.machine");
   RunResult R;
   if (!Translated.Main) {
     R.Error = "no translated program";
     return R;
   }
+  CheckStats = gc::IncrementalCheckStats{};
   M->start(Translated.Main);
 
   bool Restrict = Opts.Level == gc::LanguageLevel::Forward;
@@ -138,6 +156,12 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
     Check.CheckCodeRegion = false;
   }
 
+  // Keep the last checker stats visible after Inc dies with this frame.
+  auto SaveStats = [&] {
+    if (Inc)
+      CheckStats = Inc->stats();
+  };
+
   for (uint64_t I = 0; I != MaxSteps; ++I) {
     if (M->status() != gc::Machine::Status::Running)
       break;
@@ -145,6 +169,7 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
     if (S == gc::Machine::Status::Stuck) {
       R.Error = "machine stuck (progress violation): " + M->stuckReason();
       R.Steps = M->stats().Steps;
+      SaveStats();
       return R;
     }
     if (CheckEveryN != 0 && I % CheckEveryN == 0) {
@@ -153,6 +178,7 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
       if (!Rc.Ok) {
         R.Error = "preservation violation: " + Rc.Error;
         R.Steps = M->stats().Steps;
+        SaveStats();
         return R;
       }
       // Configurable oracle cadence: the incremental verdict must agree
@@ -163,11 +189,13 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
         if (!Rf.Ok) {
           R.Error = "incremental checker missed a violation: " + Rf.Error;
           R.Steps = M->stats().Steps;
+          SaveStats();
           return R;
         }
       }
     }
   }
+  SaveStats();
   R.Steps = M->stats().Steps;
   if (M->status() != gc::Machine::Status::Halted) {
     R.Error = M->status() == gc::Machine::Status::Running
@@ -187,4 +215,9 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
 
 bool Pipeline::certify(DiagEngine &Diags) {
   return gc::certifyCodeRegion(*M, Diags);
+}
+
+void Pipeline::exportMetrics(support::MetricsRegistry &Reg) const {
+  M->exportMetrics(Reg);
+  CheckStats.exportTo(Reg);
 }

@@ -59,6 +59,14 @@ struct RunResult {
 /// by the drivers so one env var steers every harness entry point.
 uint32_t checkEveryFromEnv(uint32_t Fallback);
 
+/// Shared trace bootstrap for every driver: when the SCAV_TRACE environment
+/// variable is set (and tracing is compiled in), enables the global trace
+/// ring and returns the Chrome-JSON output path the caller should write at
+/// exit — the variable's value, or the empty string for values like "1"
+/// that just switch tracing on. Returns nullopt when unset (or compiled
+/// out): tracing stays disabled.
+std::optional<std::string> traceOutFromEnv();
+
 /// Owns every context of one compilation pipeline.
 class Pipeline {
 public:
@@ -100,6 +108,14 @@ public:
   /// translated mutator code).
   bool certify(DiagEngine &Diags);
 
+  /// Publishes machine counters/gauges plus the last runMachine's checker
+  /// stats into the shared registry ("machine.*", "memory.*", "checker.*").
+  void exportMetrics(support::MetricsRegistry &Reg) const;
+
+  /// Stats from the incremental checker of the most recent runMachine
+  /// (all-zero if checking was off or ran the full checker).
+  const gc::IncrementalCheckStats &checkerStats() const { return CheckStats; }
+
 private:
   PipelineOptions Opts;
   std::unique_ptr<gc::GcContext> GC;
@@ -114,6 +130,7 @@ private:
   gc::TranslatedProgram Translated;
   gc::Address GcEntry = gc::noCollector();
   gc::Address MajorGcEntry = gc::noCollector();
+  gc::IncrementalCheckStats CheckStats;
 };
 
 } // namespace scav::harness

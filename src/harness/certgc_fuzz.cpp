@@ -20,6 +20,7 @@
 
 #include "harness/FuzzDriver.h"
 #include "harness/Minimize.h"
+#include "harness/Pipeline.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +41,7 @@ int usage(const char *Argv0) {
       "usage: %s [--mode state|grammar|pipeline|all] [--seed N] [--iters N]\n"
       "          [--time-budget SECS] [--level base|forward|gen]\n"
       "          [--corpus FILE]... [--repro-out FILE] [--verbose]\n"
+      "          [--trace-out FILE] [--no-trace] [--inject-failure]\n"
       "       %s --parse-one FILE [--gc]\n"
       "       %s --minimize FILE [--gc]\n",
       Argv0, Argv0, Argv0);
@@ -82,6 +84,7 @@ int main(int Argc, char **Argv) {
   FuzzOptions Opts;
   std::string Mode = "all";
   std::string ReproOut = "fuzz-repro.txt";
+  std::string TraceOut;
   std::string OneShot, MinimizeFile;
   bool ForceGc = false;
   bool ItersSet = false;
@@ -128,6 +131,12 @@ int main(int Argc, char **Argv) {
       ReproOut = NextArg(I);
     } else if (!std::strcmp(A, "--verbose")) {
       Opts.Verbose = true;
+    } else if (!std::strcmp(A, "--trace-out")) {
+      TraceOut = NextArg(I);
+    } else if (!std::strcmp(A, "--no-trace")) {
+      Opts.TraceRing = false;
+    } else if (!std::strcmp(A, "--inject-failure")) {
+      Opts.InjectSelfTestFailure = true;
     } else if (!std::strcmp(A, "--parse-one")) {
       OneShot = NextArg(I);
     } else if (!std::strcmp(A, "--minimize")) {
@@ -184,6 +193,12 @@ int main(int Argc, char **Argv) {
   if (!RunState && !RunGrammar && !RunPipeline)
     return usage(Argv[0]);
 
+  // SCAV_TRACE=<file> is the env fallback for --trace-out (the fuzz modes
+  // enable the ring themselves unless --no-trace).
+  if (TraceOut.empty())
+    if (std::optional<std::string> EnvOut = traceOutFromEnv())
+      TraceOut = *EnvOut;
+
   // Per-mode default workloads (state/grammar iterations are cheap; every
   // pipeline iteration compiles and runs four full configurations).
   auto WithIters = [&](uint64_t Default) {
@@ -212,6 +227,9 @@ int main(int Argc, char **Argv) {
   }
 
   std::fputs(Reports.c_str(), stdout);
+  if (!TraceOut.empty() &&
+      !support::TraceSink::get().writeChromeJson(TraceOut))
+    std::fprintf(stderr, "cannot write %s\n", TraceOut.c_str());
   if (!Total.ok()) {
     std::ofstream Out(ReproOut, std::ios::binary | std::ios::trunc);
     Out << Reports;

@@ -1,0 +1,303 @@
+//===- support/Metrics.h - Typed metrics registry and reporters -*- C++ -*-===//
+///
+/// \file
+/// A typed metrics registry (DESIGN.md §3.9) shared by every reporting
+/// surface: `certgc_run --stats` / `--stats-json`, the bench JSON records
+/// (BENCH_e*.json), and the fuzz driver's triage summaries. Three metric
+/// kinds:
+///
+///   * Counter   — monotone uint64 (machine step counts, cache hits)
+///   * Gauge     — point-in-time double (live cells, arena bytes)
+///   * Histogram — fixed-bucket distribution with count/sum/min/max and
+///                 interpolated percentiles (pause ns, step latency)
+///
+/// One JSON schema ("scav-metrics-v1", documented in DESIGN.md) and one
+/// fixed-width text layout serve every consumer, so no binary hand-rolls
+/// its own stats format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_METRICS_H
+#define SCAV_SUPPORT_METRICS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scav::support {
+
+/// Fixed-bucket histogram. Bounds are inclusive upper edges; a sample
+/// lands in the first bucket whose bound is >= the sample, or in the
+/// implicit overflow bucket past the last bound.
+class Histogram {
+public:
+  Histogram() : Histogram(defaultLatencyBoundsNs()) {}
+  explicit Histogram(std::vector<double> UpperBounds)
+      : Bounds(std::move(UpperBounds)), Counts(Bounds.size() + 1, 0) {}
+
+  /// Exponential nanosecond grid, 1us .. ~17s: the shared default for
+  /// pause / latency histograms.
+  static std::vector<double> defaultLatencyBoundsNs() {
+    std::vector<double> B;
+    for (double V = 1e3; V <= 2e10; V *= 2)
+      B.push_back(V);
+    return B;
+  }
+
+  void record(double V) {
+    ++Counts[bucketFor(V)];
+    ++Count;
+    Sum += V;
+    Min = Count == 1 ? V : std::min(Min, V);
+    Max = Count == 1 ? V : std::max(Max, V);
+  }
+
+  size_t bucketFor(double V) const {
+    size_t Lo =
+        std::lower_bound(Bounds.begin(), Bounds.end(), V) - Bounds.begin();
+    return Lo; // == Bounds.size() for the overflow bucket
+  }
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double min() const { return Count ? Min : 0; }
+  double max() const { return Count ? Max : 0; }
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+  const std::vector<double> &bounds() const { return Bounds; }
+  const std::vector<uint64_t> &counts() const { return Counts; }
+
+  /// Interpolated percentile (P in [0,100]): walks the buckets to the one
+  /// containing the target rank and interpolates linearly inside it,
+  /// clamped to the observed [min, max] so boundary cases (P=0, P=100,
+  /// single-sample histograms) stay exact.
+  double percentile(double P) const {
+    if (Count == 0)
+      return 0;
+    double Rank = (P / 100.0) * static_cast<double>(Count);
+    uint64_t Seen = 0;
+    for (size_t I = 0; I != Counts.size(); ++I) {
+      if (Counts[I] == 0)
+        continue;
+      if (static_cast<double>(Seen + Counts[I]) >= Rank) {
+        double Lo = I == 0 ? min() : Bounds[I - 1];
+        double Hi = I < Bounds.size() ? Bounds[I] : max();
+        Lo = std::max(Lo, min());
+        Hi = std::min(Hi, max());
+        if (Hi < Lo)
+          Hi = Lo;
+        double Within =
+            Counts[I] == 0
+                ? 0
+                : (Rank - static_cast<double>(Seen)) /
+                      static_cast<double>(Counts[I]);
+        Within = std::clamp(Within, 0.0, 1.0);
+        return Lo + (Hi - Lo) * Within;
+      }
+      Seen += Counts[I];
+    }
+    return max();
+  }
+
+private:
+  std::vector<double> Bounds;
+  std::vector<uint64_t> Counts;
+  uint64_t Count = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+};
+
+/// Name-keyed registry. Ordered maps: every reporter iterates, and stable
+/// (sorted) output order is worth more than O(1) registration — metrics
+/// are registered/updated at reporting boundaries, not on hot paths.
+class MetricsRegistry {
+public:
+  uint64_t &counter(const std::string &Name) { return Counters[Name]; }
+  double &gauge(const std::string &Name) { return Gauges[Name]; }
+  Histogram &histogram(const std::string &Name) {
+    return Histograms.try_emplace(Name).first->second;
+  }
+  Histogram &histogram(const std::string &Name, std::vector<double> Bounds) {
+    return Histograms.try_emplace(Name, Histogram(std::move(Bounds)))
+        .first->second;
+  }
+
+  void setCounter(const std::string &Name, uint64_t V) { Counters[Name] = V; }
+  void setGauge(const std::string &Name, double V) { Gauges[Name] = V; }
+
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  const std::map<std::string, double> &gauges() const { return Gauges; }
+  const std::map<std::string, Histogram> &histograms() const {
+    return Histograms;
+  }
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Histograms.empty();
+  }
+  void clear() {
+    Counters.clear();
+    Gauges.clear();
+    Histograms.clear();
+  }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+namespace detail {
+inline void appendJsonNumber(std::string &Out, double V) {
+  char Buf[64];
+  if (std::isfinite(V))
+    std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  else
+    std::snprintf(Buf, sizeof(Buf), "null");
+  Out += Buf;
+}
+inline void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      (Out += '\\') += C;
+    else if (static_cast<unsigned char>(C) < 0x20)
+      Out += ' ';
+    else
+      Out += C;
+  }
+  Out += '"';
+}
+} // namespace detail
+
+/// The shared JSON reporter ("scav-metrics-v1"). \p Extra is a list of
+/// pre-rendered top-level members (key, rendered-json-value) prepended
+/// before the metric sections — the bench records put experiment name /
+/// pass flag / git sha there.
+inline std::string
+writeMetricsJson(const MetricsRegistry &Reg,
+                 const std::vector<std::pair<std::string, std::string>>
+                     &Extra = {}) {
+  std::string Out = "{\n  \"schema\": \"scav-metrics-v1\"";
+  for (const auto &[K, V] : Extra) {
+    Out += ",\n  ";
+    detail::appendJsonString(Out, K);
+    Out += ": ";
+    Out += V;
+  }
+  Out += ",\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[K, V] : Reg.counters()) {
+    Out += First ? "\n    " : ",\n    ";
+    First = false;
+    detail::appendJsonString(Out, K);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), ": %llu",
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+  }
+  Out += First ? "}" : "\n  }";
+  Out += ",\n  \"gauges\": {";
+  First = true;
+  for (const auto &[K, V] : Reg.gauges()) {
+    Out += First ? "\n    " : ",\n    ";
+    First = false;
+    detail::appendJsonString(Out, K);
+    Out += ": ";
+    detail::appendJsonNumber(Out, V);
+  }
+  Out += First ? "}" : "\n  }";
+  Out += ",\n  \"histograms\": {";
+  First = true;
+  for (const auto &[K, H] : Reg.histograms()) {
+    Out += First ? "\n    " : ",\n    ";
+    First = false;
+    detail::appendJsonString(Out, K);
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), ": {\"count\": %llu, \"sum\": ",
+                  static_cast<unsigned long long>(H.count()));
+    Out += Buf;
+    detail::appendJsonNumber(Out, H.sum());
+    for (const auto &[Label, V] :
+         std::initializer_list<std::pair<const char *, double>>{
+             {"min", H.min()},
+             {"max", H.max()},
+             {"mean", H.mean()},
+             {"p50", H.percentile(50)},
+             {"p90", H.percentile(90)},
+             {"p99", H.percentile(99)}}) {
+      Out += ", \"";
+      Out += Label;
+      Out += "\": ";
+      detail::appendJsonNumber(Out, V);
+    }
+    Out += ", \"buckets\": [";
+    bool FirstB = true;
+    for (size_t I = 0; I != H.counts().size(); ++I) {
+      if (H.counts()[I] == 0)
+        continue; // sparse: empty buckets carry no information
+      Out += FirstB ? "" : ", ";
+      FirstB = false;
+      Out += "{\"le\": ";
+      if (I < H.bounds().size())
+        detail::appendJsonNumber(Out, H.bounds()[I]);
+      else
+        Out += "\"inf\"";
+      std::snprintf(Buf, sizeof(Buf), ", \"count\": %llu}",
+                    static_cast<unsigned long long>(H.counts()[I]));
+      Out += Buf;
+    }
+    Out += "]}";
+  }
+  Out += First ? "}" : "\n  }";
+  Out += "\n}\n";
+  return Out;
+}
+
+/// The shared text reporter: one `name value` line per metric, histograms
+/// as a one-line summary. Used by `certgc_run --stats` and the fuzz triage
+/// summaries.
+inline std::string writeMetricsText(const MetricsRegistry &Reg,
+                                    const char *Indent = "") {
+  std::string Out;
+  char Buf[256];
+  for (const auto &[K, V] : Reg.counters()) {
+    std::snprintf(Buf, sizeof(Buf), "%s%-40s %llu\n", Indent, K.c_str(),
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+  }
+  for (const auto &[K, V] : Reg.gauges()) {
+    std::snprintf(Buf, sizeof(Buf), "%s%-40s %.9g\n", Indent, K.c_str(), V);
+    Out += Buf;
+  }
+  for (const auto &[K, H] : Reg.histograms()) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s%-40s count=%llu mean=%.3g p50=%.3g p99=%.3g max=%.3g\n",
+                  Indent, K.c_str(),
+                  static_cast<unsigned long long>(H.count()), H.mean(),
+                  H.percentile(50), H.percentile(99), H.max());
+    Out += Buf;
+  }
+  return Out;
+}
+
+/// Writes \p Content to \p Path; shared by the --stats-json / --json /
+/// --trace-out file sinks.
+inline bool writeFile(const std::string &Path, const std::string &Content) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
+  }
+  bool Ok = std::fwrite(Content.data(), 1, Content.size(), F) ==
+            Content.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
+} // namespace scav::support
+
+#endif // SCAV_SUPPORT_METRICS_H

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/FuzzDriver.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -63,6 +64,31 @@ TEST(FuzzSmoke, PipelineDifferential) {
   FuzzReport R = fuzzPipeline(Opts);
   expectClean(R, "pipeline");
   EXPECT_EQ(R.CleanAccepts, 5u);
+}
+
+TEST(FuzzSmoke, TriageReportCarriesTraceTail) {
+  // An injected (fake) failure must flow through the same triage path a
+  // real one would: a replay line, a detail string, and — when tracing is
+  // compiled in — the tail of the trace ring at the moment of failure.
+  FuzzOptions Opts;
+  Opts.Seed = 7;
+  Opts.Iterations = 1;
+  Opts.AllLevels = false;
+  Opts.Level = gc::LanguageLevel::Base;
+  Opts.InjectSelfTestFailure = true;
+  FuzzReport R = fuzzStates(Opts);
+  EXPECT_EQ(R.InvariantViolations, 1u);
+  ASSERT_GE(R.Failures.size(), 1u);
+  std::string S = R.summary("state");
+  EXPECT_NE(S.find("injected self-test failure"), std::string::npos);
+#if SCAV_TRACE_COMPILED_IN
+  EXPECT_FALSE(R.Failures[0].TraceTail.empty());
+  EXPECT_NE(S.find("trace tail:"), std::string::npos);
+  EXPECT_NE(S.find("[trace]"), std::string::npos);
+  support::TraceSink::get().disable();
+#else
+  EXPECT_TRUE(R.Failures[0].TraceTail.empty());
+#endif
 }
 
 TEST(FuzzSmoke, SeedDeterminism) {

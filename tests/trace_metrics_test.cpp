@@ -1,0 +1,545 @@
+//===- tests/trace_metrics_test.cpp - Tracing & metrics subsystem ---------===//
+//
+// Tier-1 coverage for DESIGN.md §3.9: the trace ring (nesting, ring
+// overwrite, Perfetto JSON export invariants checked through a minimal
+// parser), the metrics registry (histogram bucket boundaries, percentile
+// clamping, the scav-metrics-v1 JSON shape), the golden collector-phase
+// event sequence for all three certified collectors, and the env-counter
+// observation-independence regression (EnvLookups vs EnvForceLookups).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
+#include "harness/HeapForge.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace scav;
+using namespace scav::gc;
+using namespace scav::harness;
+using support::Histogram;
+using support::MetricsRegistry;
+using support::TraceEvent;
+using support::TracePhase;
+using support::TraceSink;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Metrics: histogram bucketing and percentiles
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  // Bounds are inclusive upper edges; past the last bound is the overflow
+  // bucket.
+  Histogram H({10, 100, 1000});
+  EXPECT_EQ(H.bucketFor(-1), 0u);
+  EXPECT_EQ(H.bucketFor(0), 0u);
+  EXPECT_EQ(H.bucketFor(10), 0u); // edge lands in its own bucket
+  EXPECT_EQ(H.bucketFor(10.5), 1u);
+  EXPECT_EQ(H.bucketFor(100), 1u);
+  EXPECT_EQ(H.bucketFor(1000), 2u);
+  EXPECT_EQ(H.bucketFor(1000.5), 3u); // overflow
+  H.record(10);
+  H.record(10.5);
+  H.record(5000);
+  EXPECT_EQ(H.counts()[0], 1u);
+  EXPECT_EQ(H.counts()[1], 1u);
+  EXPECT_EQ(H.counts()[2], 0u);
+  EXPECT_EQ(H.counts()[3], 1u);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_DOUBLE_EQ(H.sum(), 10 + 10.5 + 5000);
+  EXPECT_DOUBLE_EQ(H.min(), 10);
+  EXPECT_DOUBLE_EQ(H.max(), 5000);
+}
+
+TEST(Metrics, HistogramEmptyAndSingleSample) {
+  Histogram Empty({10, 100});
+  EXPECT_EQ(Empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(Empty.min(), 0);
+  EXPECT_DOUBLE_EQ(Empty.max(), 0);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 0);
+  EXPECT_DOUBLE_EQ(Empty.percentile(50), 0);
+
+  // A single sample pins every percentile: the interpolation clamps to the
+  // observed [min, max] even though the sample sits mid-bucket.
+  Histogram One({10, 100});
+  One.record(42);
+  EXPECT_DOUBLE_EQ(One.percentile(0), 42);
+  EXPECT_DOUBLE_EQ(One.percentile(50), 42);
+  EXPECT_DOUBLE_EQ(One.percentile(100), 42);
+  EXPECT_DOUBLE_EQ(One.mean(), 42);
+}
+
+TEST(Metrics, HistogramPercentileInterpolation) {
+  // 100 samples, two values, one shared bucket: the percentile walks the
+  // bucket linearly between the observed min and max.
+  Histogram H({100});
+  for (int I = 0; I != 50; ++I)
+    H.record(10);
+  for (int I = 0; I != 50; ++I)
+    H.record(90);
+  EXPECT_NEAR(H.percentile(50), 50, 1e-9); // 10 + 0.5 * (90 - 10)
+  EXPECT_NEAR(H.percentile(99), 10 + 0.99 * 80, 1e-9);
+  // Monotone in P and clamped to the observed range.
+  EXPECT_LE(H.percentile(25), H.percentile(50));
+  EXPECT_LE(H.percentile(50), H.percentile(99));
+  EXPECT_LE(H.percentile(99), H.max());
+  EXPECT_GE(H.percentile(1), H.min());
+}
+
+TEST(Metrics, HistogramDefaultBoundsCoverLatencyRange) {
+  Histogram H; // exponential ns grid
+  H.record(1);      // below the first bound
+  H.record(1e6);    // 1 ms
+  H.record(1e11);   // beyond the grid: overflow bucket
+  EXPECT_EQ(H.count(), 3u);
+  uint64_t Total = 0;
+  for (uint64_t Ct : H.counts())
+    Total += Ct;
+  EXPECT_EQ(Total, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics: scav-metrics-v1 JSON / text reporters
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, JsonShape) {
+  MetricsRegistry Reg;
+  Reg.setCounter("machine.steps", 7);
+  Reg.setGauge("memory.live_data_cells", 3.5);
+  Reg.histogram("collect_pause_ns").record(2000);
+  Reg.histogram("collect_pause_ns").record(3000);
+  std::string J =
+      support::writeMetricsJson(Reg, {{"experiment", "\"e0\""},
+                                      {"pass", "true"}});
+  EXPECT_NE(J.find("\"schema\": \"scav-metrics-v1\""), std::string::npos);
+  // Extra members appear before the metric sections.
+  EXPECT_LT(J.find("\"experiment\": \"e0\""), J.find("\"counters\""));
+  EXPECT_NE(J.find("\"pass\": true"), std::string::npos);
+  EXPECT_NE(J.find("\"machine.steps\": 7"), std::string::npos);
+  EXPECT_NE(J.find("\"memory.live_data_cells\": 3.5"), std::string::npos);
+  EXPECT_NE(J.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(J.find("\"p50\""), std::string::npos);
+  EXPECT_NE(J.find("\"p99\""), std::string::npos);
+  EXPECT_NE(J.find("\"buckets\""), std::string::npos);
+  // Empty registry still yields all three (empty) sections.
+  MetricsRegistry None;
+  std::string E = support::writeMetricsJson(None);
+  EXPECT_NE(E.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(E.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(E.find("\"histograms\": {}"), std::string::npos);
+}
+
+TEST(Metrics, JsonStringEscaping) {
+  std::string Out;
+  support::detail::appendJsonString(Out, "a\"b\\c\nd");
+  EXPECT_EQ(Out, "\"a\\\"b\\\\c d\""); // control chars become spaces
+}
+
+TEST(Metrics, TextReporter) {
+  MetricsRegistry Reg;
+  Reg.setCounter("steps", 12);
+  Reg.histogram("pause").record(5);
+  std::string T = support::writeMetricsText(Reg, "  ");
+  EXPECT_NE(T.find("steps"), std::string::npos);
+  EXPECT_NE(T.find("12"), std::string::npos);
+  EXPECT_NE(T.find("count=1"), std::string::npos);
+  EXPECT_NE(T.find("p99="), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace ring: nesting, overwrite, formatTail
+//===----------------------------------------------------------------------===//
+
+/// RAII guard: every trace test leaves the global sink disabled and empty.
+struct SinkGuard {
+  explicit SinkGuard(size_t Capacity) {
+    TraceSink::get().enable(Capacity);
+    TraceSink::get().clear();
+  }
+  ~SinkGuard() {
+    TraceSink::get().disable();
+    TraceSink::get().clear();
+  }
+};
+
+TEST(Trace, ScopesWellNestedAndMonotonic) {
+#if !SCAV_TRACE_COMPILED_IN
+  GTEST_SKIP() << "tracing compiled out (SCAV_TRACE_OFF)";
+#endif
+  SinkGuard G(1 << 8);
+  {
+    TRACE_SCOPE("t", "outer");
+    TRACE_INSTANT("t", "mid");
+    { TRACE_SCOPE("t", "inner"); }
+    TRACE_COUNTER("gauge", 7);
+  }
+  std::vector<TraceEvent> Evs = TraceSink::get().snapshot();
+  ASSERT_EQ(Evs.size(), 6u);
+  EXPECT_EQ(Evs[0].Ph, TracePhase::Begin);
+  EXPECT_STREQ(Evs[0].Name, "outer");
+  EXPECT_EQ(Evs[1].Ph, TracePhase::Instant);
+  EXPECT_EQ(Evs[2].Ph, TracePhase::Begin);
+  EXPECT_STREQ(Evs[2].Name, "inner");
+  EXPECT_EQ(Evs[3].Ph, TracePhase::End);
+  EXPECT_STREQ(Evs[3].Name, "inner");
+  EXPECT_EQ(Evs[4].Ph, TracePhase::Counter);
+  EXPECT_DOUBLE_EQ(Evs[4].Value, 7);
+  EXPECT_EQ(Evs[5].Ph, TracePhase::End);
+  EXPECT_STREQ(Evs[5].Name, "outer");
+  for (size_t I = 1; I != Evs.size(); ++I)
+    EXPECT_GE(Evs[I].TsNs, Evs[I - 1].TsNs);
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  SinkGuard G(1 << 8);
+  TraceSink::get().disable();
+  TRACE_INSTANT("t", "dropped");
+  EXPECT_TRUE(TraceSink::get().snapshot().empty());
+  EXPECT_FALSE(SCAV_TRACE_ENABLED());
+}
+
+TEST(Trace, RingKeepsMostRecentAndCountsDrops) {
+  SinkGuard G(8);
+  TraceSink &Sink = TraceSink::get();
+  Sink.begin("t", "sliced");
+  for (int I = 0; I != 20; ++I)
+    Sink.instant("t", "fill");
+  Sink.end("t", "sliced");
+  EXPECT_EQ(Sink.recorded(), 22u);
+  EXPECT_EQ(Sink.dropped(), 14u);
+  std::vector<TraceEvent> Evs = Sink.snapshot();
+  ASSERT_EQ(Evs.size(), 8u);
+  // Oldest-first within the retained window; the End survives, its Begin
+  // was overwritten.
+  EXPECT_EQ(Evs.back().Ph, TracePhase::End);
+  EXPECT_STREQ(Evs.back().Name, "sliced");
+}
+
+TEST(Trace, FormatTailMentionsHiddenEvents) {
+  SinkGuard G(8);
+  TraceSink &Sink = TraceSink::get();
+  for (int I = 0; I != 20; ++I)
+    Sink.instant("cat", "ev");
+  Sink.counter("ctr", 3.5);
+  std::string Tail = Sink.formatTail(4);
+  EXPECT_NE(Tail.find("[trace] i cat ev"), std::string::npos);
+  EXPECT_NE(Tail.find("[trace] C counter ctr = 3.5"), std::string::npos);
+  EXPECT_NE(Tail.find("earlier events not shown"), std::string::npos);
+}
+
+TEST(Trace, InternReturnsStablePointers) {
+  TraceSink &Sink = TraceSink::get();
+  const char *A = Sink.intern("cells.from");
+  const char *B = Sink.intern("cells.from");
+  EXPECT_EQ(A, B); // same string interns to the same storage
+  EXPECT_STREQ(A, "cells.from");
+}
+
+//===----------------------------------------------------------------------===//
+// Perfetto export: minimal parser + invariants
+//===----------------------------------------------------------------------===//
+
+struct MiniEvent {
+  char Ph = 0;
+  std::string Name;
+  double Ts = 0;
+};
+
+// Parse-failure check that bails out of a value-returning function (gtest's
+// ASSERT_* only work in void functions).
+#define PARSE_REQUIRE(COND, RET)                                               \
+  do {                                                                         \
+    if (!(COND)) {                                                             \
+      ADD_FAILURE() << "parse failure: " #COND;                                \
+      return RET;                                                              \
+    }                                                                          \
+  } while (0)
+
+/// Minimal trace-event parser: one JSON object per event, extracts name /
+/// ph / ts. Gtest-fails on any event it cannot parse.
+std::vector<MiniEvent> parseChromeJson(const std::string &J) {
+  std::vector<MiniEvent> Out;
+  EXPECT_EQ(J.rfind("{\"traceEvents\": [", 0), 0u) << J.substr(0, 40);
+  EXPECT_NE(J.find("\n]}"), std::string::npos);
+  size_t Pos = 0;
+  while ((Pos = J.find("{\"name\": \"", Pos)) != std::string::npos) {
+    MiniEvent E;
+    size_t NameBeg = Pos + std::strlen("{\"name\": \"");
+    size_t NameEnd = J.find('"', NameBeg);
+    PARSE_REQUIRE(NameEnd != std::string::npos, Out);
+    E.Name = J.substr(NameBeg, NameEnd - NameBeg);
+    size_t PhPos = J.find("\"ph\": \"", Pos);
+    PARSE_REQUIRE(PhPos != std::string::npos, Out);
+    E.Ph = J[PhPos + std::strlen("\"ph\": \"")];
+    size_t TsPos = J.find("\"ts\": ", Pos);
+    PARSE_REQUIRE(TsPos != std::string::npos, Out);
+    E.Ts = std::strtod(J.c_str() + TsPos + std::strlen("\"ts\": "), nullptr);
+    Out.push_back(E);
+    Pos = NameEnd;
+  }
+  return Out;
+}
+
+/// Duration-event invariants every Perfetto-loadable export must satisfy:
+/// timestamps non-decreasing, B/E depth never negative, depth zero at end.
+void expectBalanced(const std::vector<MiniEvent> &Evs) {
+  std::vector<std::string> Stack;
+  double LastTs = 0;
+  for (const MiniEvent &E : Evs) {
+    EXPECT_GE(E.Ts, LastTs) << E.Name;
+    LastTs = E.Ts;
+    if (E.Ph == 'B') {
+      Stack.push_back(E.Name);
+    } else if (E.Ph == 'E') {
+      ASSERT_FALSE(Stack.empty()) << "E without B: " << E.Name;
+      EXPECT_EQ(Stack.back(), E.Name) << "non-LIFO scope close";
+      Stack.pop_back();
+    } else {
+      EXPECT_TRUE(E.Ph == 'i' || E.Ph == 'C') << E.Ph;
+    }
+  }
+  EXPECT_TRUE(Stack.empty()) << "unclosed scope: " << Stack.back();
+}
+
+TEST(Trace, ChromeJsonRoundTrip) {
+#if !SCAV_TRACE_COMPILED_IN
+  GTEST_SKIP() << "tracing compiled out (SCAV_TRACE_OFF)";
+#endif
+  SinkGuard G(1 << 8);
+  {
+    TRACE_SCOPE("m", "outer");
+    TRACE_INSTANT("m", "tick");
+    { TRACE_SCOPE("m", "inner"); }
+  }
+  TRACE_COUNTER("cells", 12);
+  std::vector<MiniEvent> Evs =
+      parseChromeJson(TraceSink::get().toChromeJson());
+  ASSERT_EQ(Evs.size(), 6u);
+  expectBalanced(Evs);
+  EXPECT_EQ(Evs[0].Name, "outer");
+  EXPECT_EQ(Evs[0].Ph, 'B');
+  EXPECT_EQ(Evs[1].Ph, 'i');
+  EXPECT_EQ(Evs[5].Name, "cells");
+  EXPECT_EQ(Evs[5].Ph, 'C');
+  // Instant events carry the mandatory scope field.
+  EXPECT_NE(TraceSink::get().toChromeJson().find("\"s\": \"t\""),
+            std::string::npos);
+}
+
+TEST(Trace, ChromeJsonBalancesWindowSlicedScopes) {
+  SinkGuard G(8);
+  TraceSink &Sink = TraceSink::get();
+  // The Begin is overwritten by ring wrap; the window retains only the End.
+  Sink.begin("m", "sliced");
+  for (int I = 0; I != 20; ++I)
+    Sink.instant("m", "fill");
+  Sink.end("m", "sliced");
+  // And one scope left open entirely.
+  Sink.begin("m", "open");
+  std::vector<MiniEvent> Evs =
+      parseChromeJson(Sink.toChromeJson());
+  expectBalanced(Evs); // synthetic B for "sliced", synthetic E for "open"
+  size_t Begins = 0, Ends = 0;
+  for (const MiniEvent &E : Evs) {
+    Begins += E.Ph == 'B';
+    Ends += E.Ph == 'E';
+  }
+  EXPECT_EQ(Begins, Ends);
+  EXPECT_EQ(Begins, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden collector-phase sequences
+//===----------------------------------------------------------------------===//
+
+struct PhaseExpectation {
+  LanguageLevel Level;
+  const char *Entry; ///< reserveCode label of the collection entry point.
+  const char *Copy;  ///< Label of the per-object copy dispatcher.
+};
+
+struct CollectionTrace {
+  std::vector<TraceEvent> Evs;
+  std::string Json;
+  uint64_t Dropped = 0;
+  uint64_t Steps = 0;
+};
+
+/// Runs one certified collection at \p Level with the sink recording and
+/// returns the retained events plus their Perfetto export.
+CollectionTrace traceOneCollection(LanguageLevel Level) {
+  GcContext C;
+  Machine M(C, Level);
+  Address GcAddr{};
+  switch (Level) {
+  case LanguageLevel::Base:
+    GcAddr = installBasicCollector(M).Gc;
+    break;
+  case LanguageLevel::Forward:
+    GcAddr = installForwardCollector(M).Gc;
+    break;
+  case LanguageLevel::Generational:
+    GcAddr = installGenCollector(M).Gc;
+    break;
+  }
+  Region R = M.createRegion("from", 0);
+  Region Old =
+      Level == LanguageLevel::Generational ? M.createRegion("old", 0) : R;
+  ForgedHeap H = forgeList(M, R, Old, 8);
+  Address Fin = installFinisher(M, H.Tag);
+  const Term *E = collectOnceTerm(M, GcAddr, H, R, Old, Fin);
+  SinkGuard G(1 << 17);
+  M.start(E);
+  M.run(10'000'000);
+  EXPECT_EQ(M.status(), Machine::Status::Halted)
+      << languageLevelName(Level) << ": " << M.stuckReason();
+  CollectionTrace Out;
+  Out.Steps = M.stats().Steps;
+  Out.Evs = TraceSink::get().snapshot();
+  Out.Json = TraceSink::get().toChromeJson();
+  Out.Dropped = TraceSink::get().dropped();
+  return Out;
+}
+
+TEST(Trace, GoldenCollectorPhaseSequence) {
+#if !SCAV_TRACE_COMPILED_IN
+  GTEST_SKIP() << "tracing compiled out (SCAV_TRACE_OFF)";
+#endif
+  const PhaseExpectation Cases[] = {
+      {LanguageLevel::Base, "gc", "copy"},
+      {LanguageLevel::Forward, "gcF", "copyF"},
+      {LanguageLevel::Generational, "gcG", "copyG"},
+  };
+  for (const PhaseExpectation &Cs : Cases) {
+    SCOPED_TRACE(languageLevelName(Cs.Level));
+    CollectionTrace Tr = traceOneCollection(Cs.Level);
+    const std::vector<TraceEvent> &Evs = Tr.Evs;
+    ASSERT_FALSE(Evs.empty());
+
+    // Exactly one collect scope, opened at the entry App and closed by the
+    // final `only`.
+    ptrdiff_t CollectBegin = -1, CollectEnd = -1;
+    ptrdiff_t FirstEntry = -1, FirstCopy = -1, RegionCreate = -1;
+    size_t StepEvents = 0;
+    for (size_t I = 0; I != Evs.size(); ++I) {
+      const TraceEvent &E = Evs[I];
+      if (std::strcmp(E.Cat, "collector") == 0 &&
+          std::strcmp(E.Name, "collect") == 0) {
+        if (E.Ph == TracePhase::Begin) {
+          EXPECT_EQ(CollectBegin, -1) << "collect scope opened twice";
+          CollectBegin = static_cast<ptrdiff_t>(I);
+        } else if (E.Ph == TracePhase::End) {
+          EXPECT_EQ(CollectEnd, -1) << "collect scope closed twice";
+          CollectEnd = static_cast<ptrdiff_t>(I);
+        }
+      }
+      if (E.Ph == TracePhase::Instant &&
+          std::strcmp(E.Cat, "collector") == 0) {
+        if (FirstEntry == -1 && std::strcmp(E.Name, Cs.Entry) == 0)
+          FirstEntry = static_cast<ptrdiff_t>(I);
+        if (FirstCopy == -1 && std::strcmp(E.Name, Cs.Copy) == 0)
+          FirstCopy = static_cast<ptrdiff_t>(I);
+      }
+      if (RegionCreate == -1 && std::strcmp(E.Cat, "region") == 0 &&
+          std::strcmp(E.Name, "region.create") == 0)
+        RegionCreate = static_cast<ptrdiff_t>(I);
+      StepEvents += std::strcmp(E.Cat, "step") == 0;
+    }
+    // The golden order: collect-Begin, entry-phase instant, to-space
+    // region.create, copy-phase instants, collect-End.
+    ASSERT_NE(CollectBegin, -1);
+    ASSERT_NE(CollectEnd, -1);
+    ASSERT_NE(FirstEntry, -1);
+    ASSERT_NE(FirstCopy, -1);
+    ASSERT_NE(RegionCreate, -1) << "collector allocated no to-space";
+    EXPECT_LT(CollectBegin, FirstEntry);
+    EXPECT_LT(FirstEntry, RegionCreate);
+    EXPECT_LT(RegionCreate, FirstCopy);
+    EXPECT_LT(FirstCopy, CollectEnd);
+    // Mutator-step events interleave throughout.
+    EXPECT_GT(StepEvents, 0u);
+    EXPECT_EQ(Tr.Dropped, 0u) << "ring too small for the golden run";
+    // Counter tracks appear once the run is long enough for the periodic
+    // sampler (every 64 steps).
+    if (Tr.Steps >= 64) {
+      bool SawCounter = false;
+      for (const TraceEvent &E : Evs)
+        SawCounter = SawCounter || E.Ph == TracePhase::Counter;
+      EXPECT_TRUE(SawCounter);
+    }
+    // And the whole capture exports as balanced Perfetto JSON.
+    std::vector<MiniEvent> Mini = parseChromeJson(Tr.Json);
+    EXPECT_EQ(Mini.size(), Evs.size());
+    expectBalanced(Mini);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MachineStats export + env-counter observation independence
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, MachineExportsRegistry) {
+  GcContext C;
+  Machine M(C, LanguageLevel::Base);
+  Address GcAddr = installBasicCollector(M).Gc;
+  Region R = M.createRegion("from", 0);
+  ForgedHeap H = forgeList(M, R, R, 4);
+  Address Fin = installFinisher(M, H.Tag);
+  M.start(collectOnceTerm(M, GcAddr, H, R, R, Fin));
+  M.run(10'000'000);
+  ASSERT_EQ(M.status(), Machine::Status::Halted);
+  MetricsRegistry Reg;
+  M.exportMetrics(Reg);
+  EXPECT_EQ(Reg.counters().at("machine.steps"), M.stats().Steps);
+  EXPECT_GT(Reg.counters().at("machine.steps"), 0u);
+  EXPECT_GT(Reg.gauges().at("memory.live_data_cells"), 0);
+  // The registry renders through the shared reporter without a hiccup.
+  std::string J = support::writeMetricsJson(Reg);
+  EXPECT_NE(J.find("\"machine.steps\""), std::string::npos);
+}
+
+TEST(Metrics, EnvLookupsIndependentOfObservation) {
+  // Regression for the env-counter double drift: currentTerm() is an
+  // observer (checkState, diagnostics), so the variable lookups its
+  // closing traversal performs must land in EnvForceLookups, never in
+  // EnvLookups — otherwise two identical runs report different lookup
+  // totals merely because one was observed more often.
+  auto Run = [](bool Observe) {
+    GcContext C;
+    Machine M(C, LanguageLevel::Base);
+    Address GcAddr = installBasicCollector(M).Gc;
+    Region R = M.createRegion("from", 0);
+    ForgedHeap H = forgeList(M, R, R, 6);
+    Address Fin = installFinisher(M, H.Tag);
+    M.start(collectOnceTerm(M, GcAddr, H, R, R, Fin));
+    uint64_t Guard = 0;
+    while (M.status() == Machine::Status::Running && ++Guard < 1'000'000) {
+      M.step();
+      if (Observe) {
+        (void)M.currentTerm();
+        (void)M.currentTerm();
+      }
+    }
+    EXPECT_EQ(M.status(), Machine::Status::Halted);
+    return std::make_pair(M.stats().EnvLookups, M.stats().EnvForceLookups);
+  };
+  auto [PlainLookups, PlainForced] = Run(false);
+  auto [WatchedLookups, WatchedForced] = Run(true);
+  EXPECT_EQ(PlainLookups, WatchedLookups)
+      << "EnvLookups drifted with observation cadence";
+  EXPECT_GT(WatchedForced, PlainForced)
+      << "observer lookups were not accounted to EnvForceLookups";
+  EXPECT_GT(PlainLookups, 0u);
+}
+
+} // namespace
