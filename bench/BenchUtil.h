@@ -22,6 +22,7 @@
 #include "gc/CollectorForward.h"
 #include "gc/CollectorGen.h"
 #include "harness/HeapForge.h"
+#include "vm/Vm.h"
 
 #include <chrono>
 #include <cstdio>
@@ -122,6 +123,9 @@ private:
 struct Setup {
   std::unique_ptr<GcContext> C;
   std::unique_ptr<Machine> M;
+  /// Bytecode backend, constructed when Cfg.Eval == Vm. Declared after M so
+  /// it detaches before the machine is destroyed.
+  std::unique_ptr<vm::VmExec> Vm;
   Address GcAddr{};
   Region R, Old;
   /// When attached, collectOnce records each pause into the report's
@@ -132,6 +136,8 @@ struct Setup {
                  bool Intern = GcContext::interningEnabledByDefault()) {
     C = std::make_unique<GcContext>(Intern);
     M = std::make_unique<Machine>(*C, Level, Cfg);
+    if (Cfg.Eval == EvalMode::Vm)
+      Vm = std::make_unique<vm::VmExec>(*M);
     switch (Level) {
     case LanguageLevel::Base:
       GcAddr = installBasicCollector(*M).Gc;

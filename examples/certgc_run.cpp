@@ -5,6 +5,10 @@
 //
 //   certgc_run [options] (<file.scm> | -e '<expr>' | --gc <file.gc>)
 //     --level base|forward|gen     collector / language level
+//     --eval-mode env|subst|vm     machine evaluation mode (env machine,
+//                                  reference substitution interpreter, or
+//                                  the compiled bytecode VM); env
+//                                  SCAV_EVAL_MODE sets the default
 //     --capacity N                 young-region capacity in cells
 //     --check-every N              re-check ⊢ (M,e) every N machine steps
 //                                  (0 = never; incremental checker unless
@@ -48,7 +52,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: certgc_run [--level base|forward|gen] [--capacity N]"
+               "usage: certgc_run [--level base|forward|gen]"
+               " [--eval-mode env|subst|vm] [--capacity N]"
                " [--check-every N] [--full-check] [--full-check-every N]"
                " [--certify] [--dump-clos] [--stats] [--stats-json FILE]"
                " [--trace-out FILE] (<file> | -e '<expr>' | --gc <file>)\n");
@@ -74,6 +79,15 @@ void report(const support::MetricsRegistry &Reg, bool Stats,
 int main(int argc, char **argv) {
   PipelineOptions Opts;
   Opts.Machine.DefaultRegionCapacity = 64;
+  // SCAV_EVAL_MODE seeds the default evaluation mode; --eval-mode wins.
+  if (const char *Env = std::getenv("SCAV_EVAL_MODE"); Env && *Env) {
+    std::optional<gc::EvalMode> Mode = gc::parseEvalMode(Env);
+    if (!Mode) {
+      std::fprintf(stderr, "SCAV_EVAL_MODE: unknown eval mode '%s'\n", Env);
+      return 2;
+    }
+    Opts.Machine.Eval = *Mode;
+  }
   // Soak runs steer the cadence with SCAV_CHECK_EVERY; explicit flags win.
   uint32_t CheckEveryN = checkEveryFromEnv(0);
   bool Certify = false, DumpClos = false, Stats = false;
@@ -98,6 +112,14 @@ int main(int argc, char **argv) {
         Opts.Level = gc::LanguageLevel::Generational;
       else
         return usage();
+    } else if (A == "--eval-mode") {
+      const char *E = NextArg();
+      if (!E)
+        return usage();
+      std::optional<gc::EvalMode> Mode = gc::parseEvalMode(E);
+      if (!Mode)
+        return usage();
+      Opts.Machine.Eval = *Mode;
     } else if (A == "--capacity") {
       const char *N = NextArg();
       if (!N)
@@ -187,6 +209,9 @@ int main(int argc, char **argv) {
     // Raw λGC mode: install the collector, parse, certify, run.
     gc::GcContext C;
     gc::Machine M(C, Opts.Level, Opts.Machine);
+    std::unique_ptr<vm::VmExec> Vm;
+    if (Opts.Machine.Eval == gc::EvalMode::Vm)
+      Vm = std::make_unique<vm::VmExec>(M);
     std::map<std::string, gc::Address> Prelude;
     switch (Opts.Level) {
     case gc::LanguageLevel::Base:

@@ -494,18 +494,51 @@ public:
   /// vJ~τKJ~ρK: translucent application pinning tags and regions.
   const Value *valTransApp(const Value *Inner, std::vector<const Tag *> TagArgs,
                            std::vector<Region> RegionArgs) {
+    return valTransApp(Inner,
+                       allocTransData(std::move(TagArgs),
+                                      std::move(RegionArgs)));
+  }
+
+  /// Shared-argument variant: \p Args must outlive the context
+  /// (arena-allocated). Producers that materialize the same vJ~τKJ~ρK
+  /// template many times share one argument block (see vm::TplInfo).
+  const Value *valTransApp(const Value *Inner, const TransData *Args) {
     Value *V = allocValue(ValueKind::TransApp);
     V->A = Inner;
-    V->TagArgs = std::move(TagArgs);
-    V->RegionArgs = std::move(RegionArgs);
+    V->Trans = Args;
     return V;
+  }
+
+  /// Arena-allocates a TransApp argument block (see valTransApp).
+  const TransData *allocTransData(std::vector<const Tag *> TagArgs,
+                                  std::vector<Region> RegionArgs) {
+    auto *D = Alloc.create<TransData>();
+    D->TagArgs = std::move(TagArgs);
+    D->RegionArgs = std::move(RegionArgs);
+    return D;
+  }
+
+  /// Arena-allocates a ∆ set for sharing across pack values (the Value node
+  /// holds deltas by pointer so it stays trivially destructible).
+  const RegionSet *allocRegionSet(RegionSet RS) {
+    return Alloc.create<RegionSet>(std::move(RS));
   }
 
   const Value *valPackTyVar(Symbol Var, RegionSet Delta, const Type *Witness,
                             const Value *Payload, const Type *BodyType) {
+    return valPackTyVar(Var, allocRegionSet(std::move(Delta)), Witness,
+                        Payload, BodyType);
+  }
+
+  /// Pointer-∆ variant: \p Delta must outlive the context (arena-allocated
+  /// or owned by a producer cache). Lets hot paths share one set across
+  /// many pack values instead of copying it per materialization.
+  const Value *valPackTyVar(Symbol Var, const RegionSet *Delta,
+                            const Type *Witness, const Value *Payload,
+                            const Type *BodyType) {
     Value *V = allocValue(ValueKind::PackTyVar);
     V->V = Var;
-    V->Delta = std::move(Delta);
+    V->Delta = Delta;
     V->TyW = Witness;
     V->A = Payload;
     V->BT = BodyType;
@@ -520,12 +553,14 @@ public:
     assert(TagParams.size() == TagKinds.size() && "mismatched tag binders");
     assert(ValParams.size() == ValTypes.size() && "mismatched val binders");
     Value *V = allocValue(ValueKind::Code);
-    V->TagParams = std::move(TagParams);
-    V->TagKinds = std::move(TagKinds);
-    V->RegionParams = std::move(RegionParams);
-    V->ValParams = std::move(ValParams);
-    V->ValTypes = std::move(ValTypes);
-    V->Body = Body;
+    auto *D = Alloc.create<CodeData>();
+    D->TagParams = std::move(TagParams);
+    D->TagKinds = std::move(TagKinds);
+    D->RegionParams = std::move(RegionParams);
+    D->ValParams = std::move(ValParams);
+    D->ValTypes = std::move(ValTypes);
+    D->Body = Body;
+    V->Code = D;
     return V;
   }
 
@@ -543,9 +578,17 @@ public:
 
   const Value *valPackRegion(Symbol Var, RegionSet Delta, Region Witness,
                              const Value *Payload, const Type *BodyType) {
+    return valPackRegion(Var, allocRegionSet(std::move(Delta)), Witness,
+                         Payload, BodyType);
+  }
+
+  /// Pointer-∆ variant of valPackRegion (see valPackTyVar).
+  const Value *valPackRegion(Symbol Var, const RegionSet *Delta,
+                             Region Witness, const Value *Payload,
+                             const Type *BodyType) {
     Value *V = allocValue(ValueKind::PackRegion);
     V->V = Var;
-    V->Delta = std::move(Delta);
+    V->Delta = Delta;
     V->RW = Witness;
     V->A = Payload;
     V->BT = BodyType;
@@ -948,9 +991,16 @@ private:
     return N;
   }
 
-  Value *allocValue(ValueKind K) { return Alloc.create<Value>(Value(K)); }
-  Op *allocOp(OpKind K) { return Alloc.create<Op>(Op(K)); }
-  Term *allocTerm(TermKind K) { return Alloc.create<Term>(Term(K)); }
+  // In-place construction: node constructors are private (friends of this
+  // context), so Arena::create can't call them — and the temporary-then-move
+  // detour it would need writes every fat node twice. allocateFor +
+  // placement new keeps one write pass; the kind-only constructors are
+  // noexcept, which allocateFor requires.
+  Value *allocValue(ValueKind K) {
+    return new (Alloc.allocateFor<Value>()) Value(K);
+  }
+  Op *allocOp(OpKind K) { return new (Alloc.allocateFor<Op>()) Op(K); }
+  Term *allocTerm(TermKind K) { return new (Alloc.allocateFor<Term>()) Term(K); }
 
   Arena Alloc;
   SymbolTable Syms;

@@ -80,9 +80,13 @@ void Machine::start(const Term *E) {
   St = Status::Running;
   HaltVal = nullptr;
   StuckMsg.clear();
+  if (Config.Eval == EvalMode::Vm && Backend)
+    Backend->onStart(E);
 }
 
 const Term *Machine::currentTerm() const {
+  if (Config.Eval == EvalMode::Vm && Backend)
+    return Backend->currentTerm();
   if (!Cur || Config.Eval != EvalMode::Env || EnvS.empty())
     return Cur;
   // Force boundary: external observers (checkState, the soundness harness,
@@ -378,12 +382,100 @@ void Machine::traceAppPhase(Address CodeAddr) {
 }
 
 //===----------------------------------------------------------------------===//
+// Step bodies shared between the interpreters and the bytecode backend
+//===----------------------------------------------------------------------===//
+
+void Machine::applyOnly(const RegionSet &Keep) {
+  // Journal the drop list *before* restrictTo erases it.
+  if (JournalOn)
+    for (const auto &[S2, _] : Mem.Regions)
+      if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2)))
+        journal(DeltaKind::RegionDropped, S2);
+  if (SCAV_TRACE_ENABLED()) {
+    support::TraceSink &Sink = support::TraceSink::get();
+    for (const auto &[S2, _] : Mem.Regions)
+      if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2))) {
+        Sink.instant("region", "region.drop");
+        Sink.counter(traceRegionName(S2), 0);
+      }
+  }
+  size_t Reclaimed = Mem.restrictTo(Keep);
+  Stats.RegionsReclaimed += Reclaimed;
+  if (Config.HeapGrowthFactor != 0 && Config.DefaultRegionCapacity != 0) {
+    // Resize the collection's own to-spaces (regions born this epoch);
+    // older regions keep their capacity so that triggers like the
+    // generational mutator's `ifgc ro` can still fire.
+    for (auto &[S2, R2] : Mem.Regions) {
+      if (S2 == C.cd().sym() || R2.Capacity == 0 || R2.Epoch != OnlyEpoch)
+        continue;
+      // Compute in 64 bits and clamp: cells × factor can exceed
+      // uint32_t, and the old straight cast truncated — a huge region
+      // could come out of a collection with a tiny (even zero) capacity.
+      uint64_t Want64 = static_cast<uint64_t>(R2.Cells.size()) *
+                        Config.HeapGrowthFactor;
+      uint32_t Want = static_cast<uint32_t>(std::min<uint64_t>(
+          Want64, std::numeric_limits<uint32_t>::max()));
+      R2.Capacity = std::max(Config.DefaultRegionCapacity, Want);
+    }
+  }
+  ++OnlyEpoch;
+  // Ψ|∆.
+  std::vector<Symbol> Drop;
+  for (const auto &[S2, _] : Psi.Regions)
+    if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2)))
+      Drop.push_back(S2);
+  for (Symbol S2 : Drop)
+    Psi.removeRegion(S2);
+  // Cached inferred types may mention (or have been inferred under) the
+  // regions just dropped. The journal already carries the precise
+  // RegionDropped events, so no ExternalMutation is emitted.
+  clearPutTypeCache();
+  if (SCAV_TRACE_ENABLED()) {
+    support::TraceSink &Sink = support::TraceSink::get();
+    Sink.counter("regions", static_cast<double>(Mem.numRegions()));
+    Sink.counter("live_cells", static_cast<double>(Mem.liveDataCells()));
+    traceRegionCounters();
+    // `only` is how every collection ends (gcend frees all but the
+    // to-space), so it closes the open collect scope.
+    if (TraceCollectOpen) {
+      Sink.end("collector", "collect");
+      TraceCollectOpen = false;
+    }
+  }
+}
+
+void Machine::applyWiden(Symbol From, Symbol To) {
+  if (Config.TrackTypes) {
+    auto It = Psi.Regions.find(From);
+    if (It != Psi.Regions.end())
+      for (const Type *&Ty : It->second.Cells)
+        if (Ty)
+          Ty = widenPsiType(Ty, From, To);
+    if (RegionData *R = Mem.region(From))
+      for (const Value *&Cell : R->Cells)
+        if (Cell)
+          Cell = widenValueTypes(Cell, From, To);
+    // Ψ cell types just changed view (M → C); cached inferences are stale.
+    // Journaled as the precise RegionWidened event below, so the internal
+    // clear suffices.
+    clearPutTypeCache();
+  }
+  journal(DeltaKind::RegionWidened, From, To);
+  TRACE_INSTANT("region", "region.widen");
+}
+
+//===----------------------------------------------------------------------===//
 // The step function
 //===----------------------------------------------------------------------===//
 
 Machine::Status Machine::step() {
   if (St != Status::Running)
     return St;
+  if (Config.Eval == EvalMode::Vm) {
+    if (!Backend)
+      return stuck("vm eval mode with no execution backend attached");
+    return Backend->step();
+  }
   const Term *E = Cur;
   ++Stats.Steps;
   if (SCAV_TRACE_ENABLED())
@@ -630,62 +722,7 @@ Machine::Status Machine::step() {
     for (Region R : Keep)
       if (!R.isName())
         return stuck("only with unresolved region variable");
-    // Journal the drop list *before* restrictTo erases it.
-    if (JournalOn)
-      for (const auto &[S2, _] : Mem.Regions)
-        if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2)))
-          journal(DeltaKind::RegionDropped, S2);
-    if (SCAV_TRACE_ENABLED()) {
-      support::TraceSink &Sink = support::TraceSink::get();
-      for (const auto &[S2, _] : Mem.Regions)
-        if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2))) {
-          Sink.instant("region", "region.drop");
-          Sink.counter(traceRegionName(S2), 0);
-        }
-    }
-    size_t Reclaimed = Mem.restrictTo(Keep);
-    Stats.RegionsReclaimed += Reclaimed;
-    if (Config.HeapGrowthFactor != 0 && Config.DefaultRegionCapacity != 0) {
-      // Resize the collection's own to-spaces (regions born this epoch);
-      // older regions keep their capacity so that triggers like the
-      // generational mutator's `ifgc ro` can still fire.
-      for (auto &[S2, R2] : Mem.Regions) {
-        if (S2 == C.cd().sym() || R2.Capacity == 0 || R2.Epoch != OnlyEpoch)
-          continue;
-        // Compute in 64 bits and clamp: cells × factor can exceed
-        // uint32_t, and the old straight cast truncated — a huge region
-        // could come out of a collection with a tiny (even zero) capacity.
-        uint64_t Want64 = static_cast<uint64_t>(R2.Cells.size()) *
-                          Config.HeapGrowthFactor;
-        uint32_t Want = static_cast<uint32_t>(std::min<uint64_t>(
-            Want64, std::numeric_limits<uint32_t>::max()));
-        R2.Capacity = std::max(Config.DefaultRegionCapacity, Want);
-      }
-    }
-    ++OnlyEpoch;
-    // Ψ|∆.
-    std::vector<Symbol> Drop;
-    for (const auto &[S2, _] : Psi.Regions)
-      if (S2 != C.cd().sym() && !Keep.contains(Region::name(S2)))
-        Drop.push_back(S2);
-    for (Symbol S2 : Drop)
-      Psi.removeRegion(S2);
-    // Cached inferred types may mention (or have been inferred under) the
-    // regions just dropped. The journal already carries the precise
-    // RegionDropped events, so no ExternalMutation is emitted.
-    clearPutTypeCache();
-    if (SCAV_TRACE_ENABLED()) {
-      support::TraceSink &Sink = support::TraceSink::get();
-      Sink.counter("regions", static_cast<double>(Mem.numRegions()));
-      Sink.counter("live_cells", static_cast<double>(Mem.liveDataCells()));
-      traceRegionCounters();
-      // `only` is how every collection ends (gcend frees all but the
-      // to-space), so it closes the open collect scope.
-      if (TraceCollectOpen) {
-        Sink.end("collector", "collect");
-        TraceCollectOpen = false;
-      }
-    }
+    applyOnly(Keep);
     Cur = E->sub1();
     return St;
   }
@@ -766,24 +803,7 @@ Machine::Status Machine::step() {
     Region To = resolveRegion(E->region());
     if (!To.isName())
       return stuck("widen with unresolved to-region");
-    Symbol FromS = V->address().R.sym();
-    if (Config.TrackTypes) {
-      auto It = Psi.Regions.find(FromS);
-      if (It != Psi.Regions.end())
-        for (const Type *&Ty : It->second.Cells)
-          if (Ty)
-            Ty = widenPsiType(Ty, FromS, To.sym());
-      if (RegionData *R = Mem.region(FromS))
-        for (const Value *&Cell : R->Cells)
-          if (Cell)
-            Cell = widenValueTypes(Cell, FromS, To.sym());
-      // Ψ cell types just changed view (M → C); cached inferences are stale.
-      // Journaled as the precise RegionWidened event below, so the internal
-      // clear suffices.
-      clearPutTypeCache();
-    }
-    journal(DeltaKind::RegionWidened, FromS, To.sym());
-    TRACE_INSTANT("region", "region.widen");
+    applyWiden(V->address().R.sym(), To.sym());
     continueBindVal(E->binderVar(), V, E->sub1()); // widen is a no-op on
                                                    // data (§7.1)
     return St;
@@ -809,6 +829,8 @@ Machine::Status Machine::step() {
 }
 
 Machine::Status Machine::run(uint64_t MaxSteps) {
+  if (Config.Eval == EvalMode::Vm && Backend && St == Status::Running)
+    return Backend->run(MaxSteps);
   for (uint64_t I = 0; I != MaxSteps && St == Status::Running; ++I)
     step();
   return St;

@@ -31,11 +31,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+namespace scav::vm {
+class VmExec;
+} // namespace scav::vm
+
 namespace scav::gc {
+
+class ExecBackend;
 
 /// How the machine executes binding steps (App/Let/open/typecase/...).
 enum class EvalMode {
@@ -49,10 +57,39 @@ enum class EvalMode {
   /// `put`/`set`, diagnostics, and the Ψ/state-check boundary
   /// (currentTerm()), so checkState still sees the paper's (M, e) states.
   Env,
+  /// Bytecode VM: terms are lowered once to flat, enum-tagged instructions
+  /// with environment slots resolved to frame indices at compile time
+  /// (src/vm/), and steps are executed by a tight dispatch loop. Requires
+  /// an attached ExecBackend (vm::VmExec does this in its constructor);
+  /// region operations, Ψ maintenance, the delta journal, and both state
+  /// checkers run unchanged — the backend calls back into the same Machine
+  /// primitives the interpreted modes use.
+  Vm,
 };
 
 inline const char *evalModeName(EvalMode M) {
-  return M == EvalMode::Subst ? "subst" : "env";
+  switch (M) {
+  case EvalMode::Subst:
+    return "subst";
+  case EvalMode::Env:
+    return "env";
+  case EvalMode::Vm:
+    return "vm";
+  }
+  return "unknown";
+}
+
+/// The one place an eval-mode name is parsed: drivers (certgc_run
+/// --eval-mode / SCAV_EVAL_MODE), tests, and fuzz replay lines all go
+/// through this. Returns nullopt for anything but "env" / "subst" / "vm".
+inline std::optional<EvalMode> parseEvalMode(std::string_view S) {
+  if (S == "env")
+    return EvalMode::Env;
+  if (S == "subst")
+    return EvalMode::Subst;
+  if (S == "vm")
+    return EvalMode::Vm;
+  return std::nullopt;
 }
 
 struct MachineConfig {
@@ -72,7 +109,9 @@ struct MachineConfig {
   bool TrackTypes = true;
   /// Evaluation strategy. Env is the default; Subst is retained for
   /// differential testing (tests/gc_machine_env_diff_test) and as the
-  /// baseline of bench/e11_steprate.
+  /// baseline of bench/e11_steprate; Vm requires an attached backend
+  /// (vm::VmExec) and is differential-tested three ways in
+  /// tests/gc_machine_vm_diff_test.
   EvalMode Eval = EvalMode::Env;
 };
 
@@ -222,7 +261,17 @@ public:
   const Value *allocate(Region R, const Value *V);
 
   /// Sets the term to execute. Resets halt/stuck state but keeps memory.
+  /// In Vm mode this also hands the term to the attached backend, which
+  /// lowers it to bytecode (lazily for code bodies, eagerly for the main
+  /// term).
   void start(const Term *E);
+
+  /// Attaches (or detaches, with nullptr) the execution backend used by
+  /// EvalMode::Vm. The backend is borrowed, not owned: vm::VmExec attaches
+  /// itself on construction and detaches on destruction, so it must outlive
+  /// every start/step/run in Vm mode.
+  void attachBackend(ExecBackend *B) { Backend = B; }
+  ExecBackend *backend() const { return Backend; }
 
   Status status() const { return St; }
   /// The current term as the paper's (M, e) state: in Env mode this forces
@@ -248,21 +297,10 @@ public:
   const MachineStats &stats() const { return Stats; }
 
   /// Exports the machine's full observable state into \p Reg: MachineStats
-  /// counters plus memory/Ψ gauges (regions, live cells, env depth). The
-  /// one registry every reporter shares.
-  void exportMetrics(support::MetricsRegistry &Reg) const {
-    Stats.exportTo(Reg);
-    Reg.setGauge("memory.regions", static_cast<double>(Mem.numRegions()));
-    Reg.setGauge("memory.live_data_cells",
-                 static_cast<double>(Mem.liveDataCells()));
-    Reg.setGauge("memory.cd_cells",
-                 static_cast<double>(
-                     Mem.region(Mem.cdSym()) ? Mem.region(Mem.cdSym())->Cells.size()
-                                             : 0));
-    Reg.setGauge("machine.env_depth", static_cast<double>(envDepth()));
-    Reg.setGauge("machine.journal_len",
-                 static_cast<double>(journalEnd() - journalBegin()));
-  }
+  /// counters plus memory/Ψ gauges (regions, live cells, env depth), and —
+  /// when a backend is attached — its "vm.*" compile/run metrics. The one
+  /// registry every reporter shares. (Defined after ExecBackend below.)
+  inline void exportMetrics(support::MetricsRegistry &Reg) const;
 
   /// Current environment size (Env mode; 0 in Subst mode).
   size_t envDepth() const {
@@ -364,6 +402,12 @@ public:
   }
 
 private:
+  /// The bytecode backend executes the same region-operation semantics as
+  /// the interpreted modes by calling back into the private step helpers,
+  /// so Only/LetWiden journaling, tracing, and Ψ maintenance cannot drift
+  /// between engines.
+  friend class scav::vm::VmExec;
+
   void journal(DeltaKind K, Symbol R = {}, Symbol R2 = {}) {
     if (!JournalOn)
       return;
@@ -394,6 +438,22 @@ private:
   const Type *inferRuntimeType(const Value *V);
 
   void recordPut(Address A, const Value *V);
+
+  // -- Step bodies shared with the bytecode backend -------------------------
+
+  /// Everything an `only` step does after its Keep set has been resolved
+  /// and checked: journal + trace the drops, restrict M and Ψ, apply the
+  /// heap-growth policy, bump the epoch, invalidate the put-type cache, and
+  /// close an open "collect" trace scope. Callers are responsible for the
+  /// OnlyOps/OnlyRegionsScanned counters (incremented before resolution,
+  /// like the stat always was).
+  void applyOnly(const RegionSet &Keep);
+
+  /// Everything a `widen` step does after its operands have been resolved
+  /// and checked: the Ψ/value-annotation T-iterator rewrite of \p From
+  /// toward \p To, the RegionWidened journal event, and the trace instant.
+  /// Callers bind the address value and advance.
+  void applyWiden(Symbol From, Symbol To);
 
   // -- Environment-mode helpers (identity in Subst mode) -------------------
 
@@ -481,6 +541,8 @@ private:
   GcContext &C;
   LanguageLevel Level;
   MachineConfig Config;
+  /// Borrowed execution backend for EvalMode::Vm (see attachBackend).
+  ExecBackend *Backend = nullptr;
   Memory Mem;
   MemoryType Psi;
   /// Mutable so the const force boundary (currentTerm) can count its work.
@@ -527,6 +589,48 @@ private:
   /// cached; failures must re-run to produce diagnostics.
   std::unordered_map<const Value *, const Type *> PutTypeCache;
 };
+
+/// A pluggable execution engine behind MachineConfig::EvalMode::Vm. The
+/// machine keeps ownership of all observable state (status, memory, Ψ,
+/// stats, journal, halt value, stuck reason); the backend only drives the
+/// step loop. Implemented by vm::VmExec (src/vm/Vm.h); defined here so the
+/// gc layer needs no link-time dependency on the vm layer.
+class ExecBackend {
+public:
+  virtual ~ExecBackend() = default;
+  /// Machine::start(E) was called: (re)lower \p E and reset the program
+  /// counter. The machine has already reset its status/halt/stuck state.
+  virtual void onStart(const Term *E) = 0;
+  /// Execute exactly one machine step (one bytecode instruction — the
+  /// lowering is 1:1 with Fig 5 steps, so MachineStats::Steps agrees with
+  /// the interpreted modes).
+  virtual Machine::Status step() = 0;
+  /// Execute until halt, stuck, or \p MaxSteps more steps. This is the
+  /// tight dispatch loop; semantically identical to calling step() in a
+  /// loop.
+  virtual Machine::Status run(uint64_t MaxSteps) = 0;
+  /// The paper's substituted (M, e) view of the backend's current program
+  /// point — same contract as Machine::currentTerm in Env mode.
+  virtual const Term *currentTerm() const = 0;
+  /// Publish backend metrics ("vm.*") into the shared registry.
+  virtual void exportMetrics(support::MetricsRegistry &Reg) const = 0;
+};
+
+inline void Machine::exportMetrics(support::MetricsRegistry &Reg) const {
+  Stats.exportTo(Reg);
+  Reg.setGauge("memory.regions", static_cast<double>(Mem.numRegions()));
+  Reg.setGauge("memory.live_data_cells",
+               static_cast<double>(Mem.liveDataCells()));
+  Reg.setGauge("memory.cd_cells",
+               static_cast<double>(
+                   Mem.region(Mem.cdSym()) ? Mem.region(Mem.cdSym())->Cells.size()
+                                           : 0));
+  Reg.setGauge("machine.env_depth", static_cast<double>(envDepth()));
+  Reg.setGauge("machine.journal_len",
+               static_cast<double>(journalEnd() - journalBegin()));
+  if (Backend)
+    Backend->exportMetrics(Reg);
+}
 
 /// Registers a collector library's entry points with the machine's tracer
 /// so App steps into them emit collector-phase events: `Gc` opens the

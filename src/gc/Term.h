@@ -34,6 +34,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace scav::gc {
@@ -76,6 +77,24 @@ enum class ValueKind {
   Inl,        ///< inl v   (λGC-forw)
   Inr,        ///< inr v   (λGC-forw)
   PackRegion, ///< ⟨r ∈ ∆ = ρ, v : σ⟩   (λGC-gen)
+};
+
+/// Code-only payload of a Value, split out so the (hot, allocated per
+/// machine step) Value node stays small and trivially destructible; code
+/// values are built once per program, so the extra indirection is cold.
+struct CodeData {
+  std::vector<Symbol> TagParams;
+  std::vector<const Kind *> TagKinds;
+  std::vector<Symbol> RegionParams;
+  std::vector<Symbol> ValParams;
+  std::vector<const Type *> ValTypes;
+  const Term *Body = nullptr;
+};
+
+/// TransApp-only payload of a Value (see CodeData).
+struct TransData {
+  std::vector<const Tag *> TagArgs;
+  std::vector<Region> RegionArgs;
 };
 
 /// A value; arena-allocated and immutable.
@@ -151,46 +170,46 @@ public:
   const RegionSet &delta() const {
     assert((K == ValueKind::PackTyVar || K == ValueKind::PackRegion) &&
            "no ∆ bound");
-    return Delta;
+    return *Delta;
   }
 
   /// TransApp: the pinned tag arguments ~τ of vJ~τK.
   const std::vector<const Tag *> &transTags() const {
     assert(K == ValueKind::TransApp && "no translucent tags");
-    return TagArgs;
+    return Trans->TagArgs;
   }
 
   /// TransApp: the pinned region arguments ~ρ of vJ~ρK.
   const std::vector<Region> &transRegions() const {
     assert(K == ValueKind::TransApp && "no translucent regions");
-    return RegionArgs;
+    return Trans->RegionArgs;
   }
 
   // -- Code values ---------------------------------------------------------
 
   const std::vector<Symbol> &tagParams() const {
     assert(K == ValueKind::Code && "not code");
-    return TagParams;
+    return Code->TagParams;
   }
   const std::vector<const Kind *> &tagParamKinds() const {
     assert(K == ValueKind::Code && "not code");
-    return TagKinds;
+    return Code->TagKinds;
   }
   const std::vector<Symbol> &regionParams() const {
     assert(K == ValueKind::Code && "not code");
-    return RegionParams;
+    return Code->RegionParams;
   }
   const std::vector<Symbol> &valParams() const {
     assert(K == ValueKind::Code && "not code");
-    return ValParams;
+    return Code->ValParams;
   }
   const std::vector<const Type *> &valParamTypes() const {
     assert(K == ValueKind::Code && "not code");
-    return ValTypes;
+    return Code->ValTypes;
   }
   const Term *codeBody() const {
     assert(K == ValueKind::Code && "not code");
-    return Body;
+    return Code->Body;
   }
 
 private:
@@ -207,16 +226,15 @@ private:
   const Type *TyW = nullptr;
   Region RW;
   const Type *BT = nullptr;
-  RegionSet Delta;
-  std::vector<const Tag *> TagArgs;
-  std::vector<Region> RegionArgs;
-  std::vector<Symbol> TagParams;
-  std::vector<const Kind *> TagKinds;
-  std::vector<Symbol> RegionParams;
-  std::vector<Symbol> ValParams;
-  std::vector<const Type *> ValTypes;
-  const Term *Body = nullptr;
+  /// PackTyVar/PackRegion: ∆ bound, arena-allocated (shared when the
+  /// producer caches it — see vm::TplInfo).
+  const RegionSet *Delta = nullptr;
+  const CodeData *Code = nullptr;   ///< Code only
+  const TransData *Trans = nullptr; ///< TransApp only
 };
+static_assert(std::is_trivially_destructible_v<Value>,
+              "Value is allocated per machine step; keep cold payloads in "
+              "side structs so the arena skips destructor registration");
 
 /// Integer primitives (documented extension).
 enum class PrimOp { Add, Sub, Mul, Le };

@@ -495,6 +495,19 @@ void pipelineIteration(uint64_t IterSeed, const FuzzOptions &Opts,
   }
   RunResult RB = B.runMachine(3'000'000, 0);
 
+  // Bytecode VM leg: same collector configuration as the reference, only
+  // the execution engine differs — steps, halt values, and stuck verdicts
+  // must all be identical to the env machine.
+  PipelineOptions PD = PA;
+  PD.Machine.Eval = EvalMode::Vm;
+  Pipeline D(PD);
+  DiagEngine DD;
+  if (!D.compile(Text, DD)) {
+    Fail("vm-mode recompile failed", DD.str() + "\n" + Text);
+    return;
+  }
+  RunResult RD = D.runMachine(3'000'000, 0);
+
   PipelineOptions PC = PA;
   PC.InstallCollector = false;
   PC.Machine.DefaultRegionCapacity = 0; // never "full", no collection point
@@ -510,25 +523,31 @@ void pipelineIteration(uint64_t IterSeed, const FuzzOptions &Opts,
     return Run.Ok ? "ok(" + std::to_string(Run.Value) + ")"
                   : "fail(" + Run.Error + ")";
   };
-  if (!RA.Ok || !RB.Ok || !RC.Ok) {
+  if (!RA.Ok || !RB.Ok || !RD.Ok || !RC.Ok) {
     Fail("machine run verdict differs from source",
          "src=" + Verdict(Src) + " env+gc=" + Verdict(RA) +
-             " subst+gc=" + Verdict(RB) + " nogc=" + Verdict(RC) + "\n" +
-             Text);
+             " subst+gc=" + Verdict(RB) + " vm+gc=" + Verdict(RD) +
+             " nogc=" + Verdict(RC) + "\n" + Text);
     return;
   }
   if (RA.Value != Src.Value || RB.Value != Src.Value ||
-      RC.Value != Src.Value) {
+      RD.Value != Src.Value || RC.Value != Src.Value) {
     Fail("machine value differs from source",
          "src=" + std::to_string(Src.Value) + " env+gc=" +
              std::to_string(RA.Value) + " subst+gc=" +
-             std::to_string(RB.Value) + " nogc=" + std::to_string(RC.Value) +
-             "\n" + Text);
+             std::to_string(RB.Value) + " vm+gc=" + std::to_string(RD.Value) +
+             " nogc=" + std::to_string(RC.Value) + "\n" + Text);
     return;
   }
   if (RA.Steps != RB.Steps) {
     Fail("env vs subst step counts differ",
          std::to_string(RA.Steps) + " vs " + std::to_string(RB.Steps) +
+             "\n" + Text);
+    return;
+  }
+  if (RA.Steps != RD.Steps) {
+    Fail("env vs vm step counts differ",
+         std::to_string(RA.Steps) + " vs " + std::to_string(RD.Steps) +
              "\n" + Text);
     return;
   }

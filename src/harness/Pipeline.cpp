@@ -14,6 +14,8 @@ Pipeline::Pipeline(PipelineOptions O) : Opts(O) {
   CC = std::make_unique<cps::CpsContext>(GC->symbols());
   CL = std::make_unique<clos::ClosContext>(*GC);
   M = std::make_unique<gc::Machine>(*GC, Opts.Level, Opts.Machine);
+  if (Opts.Machine.Eval == gc::EvalMode::Vm)
+    Vm = std::make_unique<vm::VmExec>(*M);
 
   if (Opts.InstallCollector) {
     switch (Opts.Level) {

@@ -20,6 +20,7 @@
 #include "gc/CollectorGen.h"
 #include "gc/StateCheck.h"
 #include "gc/Translate.h"
+#include "vm/Vm.h"
 
 #include <memory>
 #include <optional>
@@ -123,6 +124,9 @@ private:
   std::unique_ptr<cps::CpsContext> CC;
   std::unique_ptr<clos::ClosContext> CL;
   std::unique_ptr<gc::Machine> M;
+  /// Bytecode backend, constructed only when Opts.Machine.Eval == Vm.
+  /// Declared after M so it detaches/destructs first.
+  std::unique_ptr<vm::VmExec> Vm;
 
   const lambda::Expr *Src = nullptr;
   const cps::Exp *Cps = nullptr;

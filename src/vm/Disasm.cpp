@@ -1,0 +1,262 @@
+//===- vm/Disasm.cpp - Chunk disassembler ---------------------------------===//
+
+#include "vm/Disasm.h"
+
+#include "gc/GcContext.h"
+#include "gc/Ops.h"
+
+#include <sstream>
+
+using namespace scav;
+using namespace scav::gc;
+using namespace scav::vm;
+
+namespace {
+
+struct Disasm {
+  const Chunk &Ch;
+  const GcContext &C;
+  std::ostringstream OS;
+
+  void binds(uint32_t Begin, uint32_t End) {
+    OS << " [";
+    for (uint32_t I = Begin; I != End; ++I) {
+      const BindSpec &B = Ch.Binds[I];
+      if (I != Begin)
+        OS << " ";
+      OS << C.name(B.Sym);
+      switch (B.S) {
+      case Sort::Val:
+        break; // the common case reads cleaner unannotated
+      case Sort::Tag:
+        OS << ":tag";
+        break;
+      case Sort::Type:
+        OS << ":type";
+        break;
+      case Sort::Region:
+        OS << ":region";
+        break;
+      }
+      OS << "=s" << B.Slot;
+    }
+    OS << "]";
+  }
+
+  void val(uint32_t Idx) {
+    const ValOperand &Op = Ch.ValOps[Idx];
+    switch (Op.Kind) {
+    case ValOperand::K::Const:
+      OS << "const " << printValue(C, Op.V);
+      break;
+    case ValOperand::K::Slot:
+      OS << "s" << Op.Slot;
+      break;
+    case ValOperand::K::Fast:
+      OS << "fast " << printValue(C, Op.V);
+      binds(Op.BindsBegin, Op.BindsEnd);
+      break;
+    case ValOperand::K::Tpl: {
+      const TplInfo &TI = Ch.TplInfos[Op.Slot];
+      OS << "tpl " << printValue(C, Op.V) << " (atts=" << TI.NumAtts
+         << " deltas=" << TI.NumDeltas
+         << " key=" << (TI.KeyEnd - TI.KeyBegin) << ")";
+      break;
+    }
+    case ValOperand::K::Slow:
+      OS << "slow " << printValue(C, Op.V);
+      binds(Op.BindsBegin, Op.BindsEnd);
+      break;
+    }
+  }
+
+  void tag(uint32_t Idx) {
+    const TagOperand &Op = Ch.TagOps[Idx];
+    switch (Op.Kind) {
+    case TagOperand::K::Const:
+      OS << "const " << printTag(C, Op.T);
+      break;
+    case TagOperand::K::Slot:
+      OS << "s" << Op.Slot;
+      break;
+    case TagOperand::K::Slow:
+      OS << "slow " << printTag(C, Op.T);
+      binds(Op.BindsBegin, Op.BindsEnd);
+      break;
+    }
+  }
+
+  void reg(uint32_t Idx) {
+    const RegOperand &Op = Ch.RegOps[Idx];
+    if (Op.Kind == RegOperand::K::Slot)
+      OS << "s" << Op.Slot;
+    else
+      OS << "const " << printRegion(C, Op.R);
+  }
+
+  void run() {
+    OS << "chunk " << Ch.Label << " (slots=" << Ch.NumSlots;
+    if (Ch.NumTagParams || Ch.NumRegionParams || Ch.NumValParams)
+      OS << ", params=" << Ch.NumTagParams << "t/" << Ch.NumRegionParams
+         << "r/" << Ch.NumValParams << "v";
+    OS << ")\n";
+    for (uint32_t PC = 0; PC != Ch.Code.size(); ++PC) {
+      const Instr &I = Ch.Code[PC];
+      OS << "  " << PC << ": " << opcodeName(I.Op);
+      switch (I.Op) {
+      case Opcode::LetVal:
+      case Opcode::LetProj1:
+      case Opcode::LetProj2:
+      case Opcode::LetGet:
+      case Opcode::LetStrip:
+        OS << " ";
+        val(I.A);
+        OS << " -> s" << I.B;
+        break;
+      case Opcode::LetPrim:
+        OS << " " << (I.Small == 0   ? "add"
+                      : I.Small == 1 ? "sub"
+                      : I.Small == 2 ? "mul"
+                                     : "le")
+           << " ";
+        val(I.A);
+        OS << ", ";
+        val(I.B);
+        OS << " -> s" << I.C;
+        break;
+      case Opcode::LetPut:
+        OS << " ";
+        val(I.A);
+        OS << " at ";
+        reg(I.B);
+        OS << " -> s" << I.C;
+        break;
+      case Opcode::Call: {
+        const CallSite &CS = Ch.Calls[I.B];
+        OS << " ";
+        val(I.A);
+        for (uint32_t Idx : CS.Tags) {
+          OS << " <";
+          tag(Idx);
+          OS << ">";
+        }
+        for (uint32_t Idx : CS.Regions) {
+          OS << " {";
+          reg(Idx);
+          OS << "}";
+        }
+        for (uint32_t Idx : CS.Args) {
+          OS << " (";
+          val(Idx);
+          OS << ")";
+        }
+        break;
+      }
+      case Opcode::Halt:
+        OS << " ";
+        val(I.A);
+        break;
+      case Opcode::IfGc:
+        OS << " ";
+        reg(I.A);
+        OS << " @" << I.B << " @" << I.C;
+        break;
+      case Opcode::OpenTag:
+      case Opcode::OpenTyVar:
+      case Opcode::OpenRegion:
+        OS << " ";
+        val(I.A);
+        OS << " -> s" << I.B << ", s" << I.C;
+        break;
+      case Opcode::LetRegion:
+        OS << " " << C.name(I.Sym) << " -> s" << I.A;
+        break;
+      case Opcode::Only: {
+        const RegSetOp &RS = Ch.RegSets[I.A];
+        if (RS.AllConst) {
+          OS << " const " << printRegionSet(C, RS.Set);
+        } else {
+          OS << " {";
+          for (size_t E = 0; E != RS.Elems.size(); ++E) {
+            if (E)
+              OS << ", ";
+            reg(RS.Elems[E]);
+          }
+          OS << "}";
+        }
+        break;
+      }
+      case Opcode::Typecase:
+      case Opcode::TypecaseStatic: {
+        const TypecaseInfo &TI = Ch.Typecases[I.B];
+        OS << " ";
+        tag(I.A);
+        OS << " int@" << TI.IntT << " arrow@" << TI.ArrowT << " prod(s"
+           << TI.ProdSlot1 << ",s" << TI.ProdSlot2 << ")@" << TI.ProdT
+           << " exists(s" << TI.ExistsSlot << ")@" << TI.ExistsT;
+        if (I.Op == Opcode::TypecaseStatic) {
+          OS << " resolved=";
+          switch (TI.StaticKind) {
+          case TagKind::Int:
+            OS << "int";
+            break;
+          case TagKind::Arrow:
+            OS << "arrow";
+            break;
+          case TagKind::Prod:
+            OS << "prod(" << printTag(C, TI.StaticA) << ", "
+               << printTag(C, TI.StaticB) << ")";
+            break;
+          case TagKind::Exists:
+            OS << "exists(" << printTag(C, TI.StaticA) << ")";
+            break;
+          default:
+            OS << "?";
+            break;
+          }
+        }
+        break;
+      }
+      case Opcode::IfLeft:
+        OS << " ";
+        val(I.A);
+        OS << " -> s" << I.B << " @" << I.C << " @" << I.D;
+        break;
+      case Opcode::Set:
+        OS << " ";
+        val(I.A);
+        OS << " := ";
+        val(I.B);
+        break;
+      case Opcode::LetWiden:
+        OS << " ";
+        val(I.A);
+        OS << " to ";
+        reg(I.B);
+        OS << " -> s" << I.C;
+        break;
+      case Opcode::IfReg:
+        OS << " ";
+        reg(I.A);
+        OS << " == ";
+        reg(I.B);
+        OS << " @" << I.C << " @" << I.D;
+        break;
+      case Opcode::If0:
+        OS << " ";
+        val(I.A);
+        OS << " @" << I.B << " @" << I.C;
+        break;
+      }
+      OS << "\n";
+    }
+  }
+};
+
+} // namespace
+
+std::string vm::disassemble(const Chunk &Ch, const GcContext &C) {
+  Disasm D{Ch, C, {}};
+  D.run();
+  return D.OS.str();
+}

@@ -1,0 +1,30 @@
+//===- vm/Disasm.h - Chunk disassembler ------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders a compiled vm::Chunk as a stable textual listing — the format the
+/// golden tests in tests/vm_lower_test.cpp pin down. One line per
+/// instruction: `pc: opcode operands`, with frame slots printed `s<N>`,
+/// branch targets `@<pc>`, and operand classification spelled out
+/// (const/slot/fast/slow plus bind lists), so a listing diff shows exactly
+/// what the lowering decided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_VM_DISASM_H
+#define SCAV_VM_DISASM_H
+
+#include "vm/Bytecode.h"
+
+#include <string>
+
+namespace scav::gc {
+class GcContext;
+} // namespace scav::gc
+
+namespace scav::vm {
+
+std::string disassemble(const Chunk &Ch, const gc::GcContext &C);
+
+} // namespace scav::vm
+
+#endif // SCAV_VM_DISASM_H

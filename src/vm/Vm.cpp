@@ -1,0 +1,762 @@
+//===- vm/Vm.cpp - Bytecode dispatch loop ---------------------------------===//
+///
+/// \file
+/// The dispatch loop. Every case mirrors the corresponding branch of
+/// Machine::step() (Machine.cpp) exactly — same stat-increment order, same
+/// stuck messages, same trace events — with environment work replaced by
+/// frame-slot loads resolved at lowering time. One instruction is one
+/// machine step. Diffs against both interpreters live in
+/// tests/gc_machine_vm_diff_test.cpp; keep the two files in lockstep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include <chrono>
+
+using namespace scav;
+using namespace scav::gc;
+using namespace scav::vm;
+
+VmExec::VmExec(Machine &M) : M(M), C(M.context()), Lower(M.context()) {
+  M.attachBackend(this);
+}
+
+VmExec::~VmExec() {
+  if (M.backend() == this)
+    M.attachBackend(nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Chunk cache
+//===----------------------------------------------------------------------===//
+
+void VmExec::noteChunk(const Chunk &Ch) {
+  ++NumChunks;
+  NumInstrs += Ch.Code.size();
+  if (SCAV_TRACE_ENABLED()) {
+    support::TraceSink &Sink = support::TraceSink::get();
+    Sink.instant("vm", "vm.lower");
+    Sink.counter("vm_code_instrs", static_cast<double>(NumInstrs));
+  }
+}
+
+const Chunk *VmExec::chunkForTerm(const Term *E) {
+  auto It = Chunks.find(E);
+  if (It != Chunks.end())
+    return It->second.get();
+  auto T0 = std::chrono::steady_clock::now();
+  std::unique_ptr<Chunk> Ch = Lower.lowerMain(E, "main");
+  LowerNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  noteChunk(*Ch);
+  return Chunks.emplace(E, std::move(Ch)).first->second.get();
+}
+
+const Chunk *VmExec::chunkForCode(const Value *Code, std::string_view Label) {
+  auto It = Chunks.find(Code);
+  if (It != Chunks.end())
+    return It->second.get();
+  auto T0 = std::chrono::steady_clock::now();
+  std::unique_ptr<Chunk> Ch = Lower.lowerCode(Code, std::string(Label));
+  LowerNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  noteChunk(*Ch);
+  return Chunks.emplace(Code, std::move(Ch)).first->second.get();
+}
+
+//===----------------------------------------------------------------------===//
+// Operand materialization
+//===----------------------------------------------------------------------===//
+
+const Value *VmExec::matFast(const Value *V, uint32_t BindsBegin,
+                             uint32_t BindsEnd) {
+  switch (V->kind()) {
+  case ValueKind::Int:
+  case ValueKind::Addr:
+    return V;
+  case ValueKind::Var: {
+    Symbol S = V->var();
+    for (uint32_t I = BindsBegin; I != BindsEnd; ++I) {
+      const BindSpec &B = Cur->Binds[I];
+      if (B.Sym == S)
+        return static_cast<const Value *>(Frame[B.Slot].Ptr);
+    }
+    return V; // unbound, as in the interpreters
+  }
+  case ValueKind::Pair: {
+    const Value *A = matFast(V->first(), BindsBegin, BindsEnd);
+    const Value *B = matFast(V->second(), BindsBegin, BindsEnd);
+    // Preserve pointer identity when nothing fired (closeValue does too;
+    // it keeps the put-type cache hot on repeated stores of one template).
+    return (A == V->first() && B == V->second()) ? V : C.valPair(A, B);
+  }
+  case ValueKind::Inl: {
+    const Value *P = matFast(V->payload(), BindsBegin, BindsEnd);
+    return P == V->payload() ? V : C.valInl(P);
+  }
+  case ValueKind::Inr: {
+    const Value *P = matFast(V->payload(), BindsBegin, BindsEnd);
+    return P == V->payload() ? V : C.valInr(P);
+  }
+  default:
+    assert(false && "non-template value in Fast operand");
+    return V;
+  }
+}
+
+const Value *VmExec::matSlow(const ValOperand &Op) {
+  // Build the restricted environment (only symbols occurring in the
+  // operand, innermost binding per sym/sort — emplace keeps the first,
+  // which collectBinds stored innermost-first) and run the same closing
+  // substitution the env machine uses. Binder masking, capture avoidance,
+  // and pointer-identity preservation all come from closeValue itself.
+  Subst S;
+  for (uint32_t I = Op.BindsBegin; I != Op.BindsEnd; ++I) {
+    const BindSpec &B = Cur->Binds[I];
+    switch (B.S) {
+    case Sort::Val:
+      S.Vals.emplace(B.Sym, static_cast<const Value *>(Frame[B.Slot].Ptr));
+      break;
+    case Sort::Tag:
+      S.Tags.emplace(B.Sym, static_cast<const Tag *>(Frame[B.Slot].Ptr));
+      break;
+    case Sort::Type:
+      S.Types.emplace(B.Sym, static_cast<const Type *>(Frame[B.Slot].Ptr));
+      break;
+    case Sort::Region:
+      S.Regions.emplace(B.Sym, Frame[B.Slot].Reg);
+      break;
+    }
+  }
+  return closeValue(C, Op.V, S);
+}
+
+const TplCacheEntry &VmExec::refreshTpl(const TplInfo &TI) {
+  // Key check: the attachments depend only on these tag/type/region slots
+  // (λGC types never contain values), so matching contents mean every
+  // cached attachment is still what closeTag/closeType would produce.
+  // MRU scan: collector loops alternate between the scanned heap's few tag
+  // shapes, so the match is almost always in the first entry or two.
+  const uint32_t KeyLen = TI.KeyEnd - TI.KeyBegin;
+  for (size_t E = 0; E != TI.Cache.size(); ++E) {
+    const TplCacheEntry &Ent = TI.Cache[E];
+    bool Hit = true;
+    for (uint32_t I = 0; I != KeyLen; ++I) {
+      // Compare only the field the slot's sort populates: frame writers
+      // fill .Ptr or .Reg, never both, and the other field keeps whatever
+      // the recycled frame buffer last held.
+      const BindSpec &B = Cur->Binds[TI.KeyBegin + I];
+      const FrameCell &Cell = Frame[B.Slot];
+      if (B.S == Sort::Region ? Cell.Reg != Ent.Key[I].Reg
+                              : Cell.Ptr != Ent.Key[I].Ptr) {
+        Hit = false;
+        break;
+      }
+    }
+    if (Hit) {
+      ++TplHits;
+      if (E != 0)
+        std::swap(TI.Cache[0], TI.Cache[E]); // move to front
+      return TI.Cache[0];
+    }
+  }
+  ++TplMisses;
+  if (TI.Cache.size() == TplInfo::MaxCacheEntries)
+    TI.Cache.pop_back(); // evict least-recently-used
+  TI.Cache.emplace(TI.Cache.begin());
+  TplCacheEntry &New = TI.Cache.front();
+  New.Key.resize(KeyLen);
+  for (uint32_t I = 0; I != KeyLen; ++I)
+    New.Key[I] = Frame[Cur->Binds[TI.KeyBegin + I].Slot];
+  New.Atts.resize(TI.NumAtts);
+  New.Deltas.resize(TI.NumDeltas);
+  for (uint32_t AI = TI.AttsBegin; AI != TI.AttsEnd; ++AI) {
+    const TplAtt &A = Cur->TplAtts[AI];
+    switch (A.Kind) {
+    case TplAtt::K::Tag: {
+      const Tag *T = static_cast<const Tag *>(A.Node);
+      if (A.BindsBegin != A.BindsEnd) {
+        Subst S;
+        for (uint32_t I = A.BindsBegin; I != A.BindsEnd; ++I) {
+          const BindSpec &B = Cur->Binds[I];
+          switch (B.S) {
+          case Sort::Tag:
+            S.Tags.emplace(B.Sym, static_cast<const Tag *>(Frame[B.Slot].Ptr));
+            break;
+          case Sort::Type:
+            S.Types.emplace(B.Sym,
+                            static_cast<const Type *>(Frame[B.Slot].Ptr));
+            break;
+          case Sort::Region:
+            S.Regions.emplace(B.Sym, Frame[B.Slot].Reg);
+            break;
+          case Sort::Val:
+            break; // typedBinds never stores Val binds
+          }
+        }
+        T = closeTag(C, T, S); // no normalize — matches the Closer exactly
+      }
+      New.Atts[A.Ord] = T;
+      break;
+    }
+    case TplAtt::K::Type: {
+      const Type *T = static_cast<const Type *>(A.Node);
+      if (A.BindsBegin != A.BindsEnd) {
+        Subst S;
+        for (uint32_t I = A.BindsBegin; I != A.BindsEnd; ++I) {
+          const BindSpec &B = Cur->Binds[I];
+          switch (B.S) {
+          case Sort::Tag:
+            S.Tags.emplace(B.Sym, static_cast<const Tag *>(Frame[B.Slot].Ptr));
+            break;
+          case Sort::Type:
+            S.Types.emplace(B.Sym,
+                            static_cast<const Type *>(Frame[B.Slot].Ptr));
+            break;
+          case Sort::Region:
+            S.Regions.emplace(B.Sym, Frame[B.Slot].Reg);
+            break;
+          case Sort::Val:
+            break;
+          }
+        }
+        T = closeType(C, T, S);
+      }
+      New.Atts[A.Ord] = T;
+      break;
+    }
+    case TplAtt::K::Delta: {
+      if (A.AllConst) {
+        New.Deltas[A.Ord] = A.Set; // the template's own (arena) set
+      } else {
+        RegionSet RS;
+        for (uint32_t I = A.ArgsBegin; I != A.ArgsEnd; ++I)
+          RS.insert(materializeReg(Cur->RegOps[Cur->TplArgs[I]]));
+        New.Deltas[A.Ord] = C.allocRegionSet(std::move(RS));
+      }
+      break;
+    }
+    case TplAtt::K::Trans: {
+      std::vector<const Tag *> Tags;
+      Tags.reserve(A.NumTags);
+      uint32_t I = A.ArgsBegin;
+      for (uint32_t E = A.ArgsBegin + A.NumTags; I != E; ++I)
+        Tags.push_back(static_cast<const Tag *>(New.Atts[Cur->TplArgs[I]]));
+      std::vector<Region> Regs;
+      Regs.reserve(A.ArgsEnd - I);
+      for (; I != A.ArgsEnd; ++I)
+        Regs.push_back(materializeReg(Cur->RegOps[Cur->TplArgs[I]]));
+      New.Atts[A.Ord] = C.allocTransData(std::move(Tags), std::move(Regs));
+      break;
+    }
+    }
+  }
+  return New;
+}
+
+const Value *VmExec::buildTpl(const TplInfo &TI, const TplCacheEntry &E,
+                              uint32_t Id) {
+  const TplNode &N = Cur->Tpls[Id];
+  switch (N.Kind) {
+  case TplNode::K::Const:
+    return N.V;
+  case TplNode::K::Slot:
+    return static_cast<const Value *>(Frame[N.Slot].Ptr);
+  case TplNode::K::Pair:
+    return C.valPair(buildTpl(TI, E, N.A), buildTpl(TI, E, N.B));
+  case TplNode::K::Inl:
+    return C.valInl(buildTpl(TI, E, N.A));
+  case TplNode::K::Inr:
+    return C.valInr(buildTpl(TI, E, N.A));
+  case TplNode::K::PackTag:
+    return C.valPackTag(N.V->var(), static_cast<const Tag *>(E.Atts[N.Att1]),
+                        buildTpl(TI, E, N.A),
+                        static_cast<const Type *>(E.Atts[N.Att2]));
+  case TplNode::K::PackTyVar:
+    return C.valPackTyVar(N.V->var(), E.Deltas[N.Att3],
+                          static_cast<const Type *>(E.Atts[N.Att1]),
+                          buildTpl(TI, E, N.A),
+                          static_cast<const Type *>(E.Atts[N.Att2]));
+  case TplNode::K::PackRegion:
+    return C.valPackRegion(N.V->var(), E.Deltas[N.Att3],
+                           materializeReg(Cur->RegOps[N.Reg]),
+                           buildTpl(TI, E, N.A),
+                           static_cast<const Type *>(E.Atts[N.Att2]));
+  case TplNode::K::TransApp:
+    return C.valTransApp(buildTpl(TI, E, N.A),
+                         static_cast<const TransData *>(E.Atts[N.Att1]));
+  }
+  return N.V;
+}
+
+const Value *VmExec::matTpl(const ValOperand &Op) {
+  const TplInfo &TI = Cur->TplInfos[Op.Slot];
+  const TplCacheEntry &E = refreshTpl(TI);
+  return buildTpl(TI, E, TI.Root);
+}
+
+const Value *VmExec::materialize(const ValOperand &Op) {
+  switch (Op.Kind) {
+  case ValOperand::K::Const:
+    return Op.V;
+  case ValOperand::K::Slot:
+    return static_cast<const Value *>(Frame[Op.Slot].Ptr);
+  case ValOperand::K::Fast:
+    return matFast(Op.V, Op.BindsBegin, Op.BindsEnd);
+  case ValOperand::K::Tpl:
+    return matTpl(Op);
+  case ValOperand::K::Slow:
+    return matSlow(Op);
+  }
+  return Op.V;
+}
+
+const Tag *VmExec::materializeTag(const TagOperand &Op) {
+  switch (Op.Kind) {
+  case TagOperand::K::Const:
+    return Op.T; // pre-normalized at lowering time
+  case TagOperand::K::Slot: {
+    // Frame tags are already normal (they entered through App/open/typecase
+    // binds, all of which normalize), so the inline normal-bit check skips
+    // the call; normalizeTag handles any remaining non-normal form.
+    const Tag *T = static_cast<const Tag *>(Frame[Op.Slot].Ptr);
+    return T->isNormal() ? T : normalizeTag(C, T);
+  }
+  case TagOperand::K::Slow: {
+    Subst S;
+    for (uint32_t I = Op.BindsBegin; I != Op.BindsEnd; ++I) {
+      const BindSpec &B = Cur->Binds[I];
+      if (B.S == Sort::Tag)
+        S.Tags.emplace(B.Sym, static_cast<const Tag *>(Frame[B.Slot].Ptr));
+    }
+    return normalizeTag(C, closeTag(C, Op.T, S));
+  }
+  }
+  return Op.T;
+}
+
+//===----------------------------------------------------------------------===//
+// Backend interface
+//===----------------------------------------------------------------------===//
+
+void VmExec::onStart(const Term *E) {
+  Cur = chunkForTerm(E);
+  PC = 0;
+  Frame.assign(Cur->NumSlots, FrameCell{});
+  if (Cur->NumSlots > FrameSlotsPeak)
+    FrameSlotsPeak = Cur->NumSlots;
+}
+
+const Term *VmExec::currentTerm() const {
+  if (!Cur)
+    return nullptr;
+  const Instr &I = Cur->Code[PC];
+  if (I.Scope < 0)
+    return I.Src;
+  // Rebuild the env machine's environment from the scope chain (innermost
+  // first; emplace keeps the innermost binding per sym/sort) and force it
+  // into the source term — the same substituted (M, e) view Env mode
+  // produces, including after halt/stuck, because PC parks on the final
+  // instruction.
+  Subst S;
+  for (int32_t N = I.Scope; N >= 0; N = Cur->Scopes[N].Parent) {
+    const ScopeNode &SN = Cur->Scopes[N];
+    switch (SN.S) {
+    case Sort::Val:
+      S.Vals.emplace(SN.Sym, static_cast<const Value *>(Frame[SN.Slot].Ptr));
+      break;
+    case Sort::Tag:
+      S.Tags.emplace(SN.Sym, static_cast<const Tag *>(Frame[SN.Slot].Ptr));
+      break;
+    case Sort::Type:
+      S.Types.emplace(SN.Sym, static_cast<const Type *>(Frame[SN.Slot].Ptr));
+      break;
+    case Sort::Region:
+      S.Regions.emplace(SN.Sym, Frame[SN.Slot].Reg);
+      break;
+    }
+  }
+  return closeTerm(C, I.Src, S);
+}
+
+Machine::Status VmExec::step() {
+  if (M.St != Machine::Status::Running)
+    return M.St;
+  return execOne();
+}
+
+Machine::Status VmExec::run(uint64_t MaxSteps) {
+  for (uint64_t I = 0; I != MaxSteps && M.St == Machine::Status::Running; ++I)
+    execOne();
+  return M.St;
+}
+
+void VmExec::exportMetrics(support::MetricsRegistry &Reg) const {
+  Reg.setCounter("vm.steps", VmSteps);
+  Reg.setCounter("vm.lower_ns", LowerNs);
+  Reg.setCounter("vm.chunks", NumChunks);
+  Reg.setCounter("vm.instrs", NumInstrs);
+  Reg.setCounter("vm.typecase_static_steps", StaticTypecaseSteps);
+  Reg.setCounter("vm.tpl_hits", TplHits);
+  Reg.setCounter("vm.tpl_misses", TplMisses);
+  Reg.setGauge("vm.frame_slots_peak", static_cast<double>(FrameSlotsPeak));
+}
+
+//===----------------------------------------------------------------------===//
+// The dispatch loop
+//===----------------------------------------------------------------------===//
+
+Machine::Status VmExec::execOne() {
+  if (!Cur)
+    return M.stuck("vm backend attached after start (no compiled program)");
+  const Instr &I = Cur->Code[PC];
+  ++M.Stats.Steps;
+  ++VmSteps;
+  if (SCAV_TRACE_ENABLED()) {
+    M.traceStep(I.Src);
+    if (M.Stats.Steps % 64 == 0)
+      support::TraceSink::get().counter(
+          "vm_frame_slots", static_cast<double>(Cur->NumSlots));
+  }
+
+  switch (I.Op) {
+  case Opcode::LetVal:
+    Frame[I.B].Ptr = materialize(Cur->ValOps[I.A]);
+    ++PC;
+    return M.St;
+
+  case Opcode::LetProj1:
+  case Opcode::LetProj2: {
+    ++M.Stats.Projections;
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (!V->is(ValueKind::Pair))
+      return M.stuck("projection from non-pair: " + printValue(C, V));
+    Frame[I.B].Ptr = I.Op == Opcode::LetProj1 ? V->first() : V->second();
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::LetPut: {
+    ++M.Stats.Puts;
+    Region R = materializeReg(Cur->RegOps[I.B]);
+    if (!R.isName())
+      return M.stuck("put into unresolved region variable " +
+                     printRegion(C, R));
+    const Value *SV = materialize(Cur->ValOps[I.A]);
+    std::optional<Address> A = M.Mem.put(R.sym(), SV);
+    if (!A)
+      return M.stuck(M.Mem.hasRegion(R.sym())
+                         ? "put overflows the region offset space of " +
+                               printRegion(C, R)
+                         : "put into reclaimed region " + printRegion(C, R));
+    M.recordPut(*A, SV);
+    Frame[I.C].Ptr = C.valAddr(*A);
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::LetGet: {
+    ++M.Stats.Gets;
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (!V->is(ValueKind::Addr))
+      return M.stuck("get of non-address: " + printValue(C, V));
+    const Value *Cell = M.Mem.get(V->address());
+    if (!Cell)
+      return M.stuck("get of dangling address: " + printValue(C, V));
+    Frame[I.B].Ptr = Cell;
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::LetStrip: {
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (!V->is(ValueKind::Inl) && !V->is(ValueKind::Inr))
+      return M.stuck("strip of untagged value: " + printValue(C, V));
+    Frame[I.B].Ptr = V->payload();
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::LetPrim: {
+    const Value *L = materialize(Cur->ValOps[I.A]);
+    const Value *R = materialize(Cur->ValOps[I.B]);
+    if (!L->is(ValueKind::Int) || !R->is(ValueKind::Int))
+      return M.stuck("primitive on non-integers");
+    int64_t A = L->intValue(), B = R->intValue(), Res = 0;
+    switch (static_cast<PrimOp>(I.Small)) {
+    case PrimOp::Add:
+      Res = A + B;
+      break;
+    case PrimOp::Sub:
+      Res = A - B;
+      break;
+    case PrimOp::Mul:
+      Res = A * B;
+      break;
+    case PrimOp::Le:
+      Res = A <= B ? 1 : 0;
+      break;
+    }
+    Frame[I.C].Ptr = C.valInt(Res);
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::Call: {
+    ++M.Stats.Applications;
+    const Value *F = materialize(Cur->ValOps[I.A]);
+    if (F->is(ValueKind::TransApp))
+      F = F->payload(); // (vJ~τK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v)
+    if (!F->is(ValueKind::Addr))
+      return M.stuck("application of non-address value: " + printValue(C, F));
+    if (SCAV_TRACE_ENABLED())
+      M.traceAppPhase(F->address());
+    const Value *Code = M.Mem.get(F->address());
+    if (!Code)
+      return M.stuck("application of dangling code address: " +
+                     printValue(C, F));
+    if (!Code->is(ValueKind::Code))
+      return M.stuck("application of non-code cell: " + printValue(C, F));
+    const CallSite &CS = Cur->Calls[I.B];
+    if (Code->tagParams().size() != CS.Tags.size() ||
+        Code->regionParams().size() != CS.Regions.size() ||
+        Code->valParams().size() != CS.Args.size())
+      return M.stuck("application arity mismatch at " + printValue(C, F));
+
+    // Monomorphic inline cache: cd cells are immutable once defined, so a
+    // code value pointer keys its compiled chunk for good.
+    const Chunk *Callee;
+    if (CS.CachedCode == Code) {
+      Callee = static_cast<const Chunk *>(CS.CachedChunk);
+    } else {
+      Callee = chunkForCode(Code, M.codeLabel(F->address().Offset));
+      CS.CachedCode = Code;
+      CS.CachedChunk = Callee;
+    }
+
+    // Materialize the callee frame into the staging buffer (reads come
+    // from the live frame), then swap: wholesale environment replacement.
+    if (Scratch.size() < Callee->NumSlots)
+      Scratch.resize(Callee->NumSlots);
+    uint32_t S = 0;
+    for (uint32_t TIdx : CS.Tags)
+      Scratch[S++].Ptr = materializeTag(Cur->TagOps[TIdx]);
+    for (uint32_t RIdx : CS.Regions) {
+      Region R = materializeReg(Cur->RegOps[RIdx]);
+      if (!R.isName())
+        return M.stuck("application with unresolved region variable " +
+                       printRegion(C, R));
+      Scratch[S++].Reg = R;
+    }
+    for (uint32_t VIdx : CS.Args)
+      Scratch[S++].Ptr = materialize(Cur->ValOps[VIdx]);
+    std::swap(Frame, Scratch);
+    if (Frame.size() < Callee->NumSlots)
+      Frame.resize(Callee->NumSlots);
+    Cur = Callee;
+    PC = 0;
+    if (Callee->NumSlots > FrameSlotsPeak)
+      FrameSlotsPeak = Callee->NumSlots;
+    return M.St;
+  }
+
+  case Opcode::Halt: {
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    M.St = Machine::Status::Halted;
+    M.HaltVal = V;
+    return M.St; // PC parks here; currentTerm still sees the halt term
+  }
+
+  case Opcode::IfGc: {
+    Region R = materializeReg(Cur->RegOps[I.A]);
+    if (!R.isName())
+      return M.stuck("ifgc on unresolved region variable");
+    if (M.Mem.isFull(R.sym())) {
+      ++M.Stats.IfGcTaken;
+      TRACE_INSTANT("collector", "ifgc.taken");
+      PC = I.B;
+    } else {
+      ++M.Stats.IfGcSkipped;
+      PC = I.C;
+    }
+    return M.St;
+  }
+
+  case Opcode::OpenTag: {
+    ++M.Stats.Opens;
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (!V->is(ValueKind::PackTag))
+      return M.stuck("open-as-tag of non-package: " + printValue(C, V));
+    Frame[I.B].Ptr = V->tagWitness()->isNormal()
+                         ? V->tagWitness()
+                         : normalizeTag(C, V->tagWitness());
+    Frame[I.C].Ptr = V->payload();
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::OpenTyVar: {
+    ++M.Stats.Opens;
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (!V->is(ValueKind::PackTyVar))
+      return M.stuck("open-as-type of non-package: " + printValue(C, V));
+    Frame[I.B].Ptr = V->typeWitness();
+    Frame[I.C].Ptr = V->payload();
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::OpenRegion: {
+    ++M.Stats.Opens;
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (!V->is(ValueKind::PackRegion))
+      return M.stuck("open-as-region of non-package: " + printValue(C, V));
+    if (!V->regionWitness().isName())
+      return M.stuck("region package with unresolved witness");
+    Frame[I.B].Reg = V->regionWitness();
+    Frame[I.C].Ptr = V->payload();
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::LetRegion: {
+    Region R = M.createRegion(C.name(I.Sym), 0);
+    Frame[I.A].Reg = R;
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::Only: {
+    ++M.Stats.OnlyOps;
+    M.Stats.OnlyRegionsScanned += M.Mem.numRegions();
+    const RegSetOp &RS = Cur->RegSets[I.A];
+    RegionSet Resolved;
+    const RegionSet *Keep = &RS.Set;
+    if (!RS.AllConst) {
+      for (uint32_t Idx : RS.Elems)
+        Resolved.insert(materializeReg(Cur->RegOps[Idx]));
+      Keep = &Resolved;
+    }
+    for (Region R : *Keep)
+      if (!R.isName())
+        return M.stuck("only with unresolved region variable");
+    M.applyOnly(*Keep);
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::Typecase: {
+    ++M.Stats.TypecaseSteps;
+    const Tag *T = materializeTag(Cur->TagOps[I.A]);
+    const TypecaseInfo &TI = Cur->Typecases[I.B];
+    switch (T->kind()) {
+    case TagKind::Int:
+      PC = TI.IntT;
+      return M.St;
+    case TagKind::Arrow:
+      PC = TI.ArrowT;
+      return M.St;
+    case TagKind::Prod:
+      Frame[TI.ProdSlot1].Ptr = T->left();
+      Frame[TI.ProdSlot2].Ptr = T->right();
+      PC = TI.ProdT;
+      return M.St;
+    case TagKind::Exists:
+      Frame[TI.ExistsSlot].Ptr = C.tagLam(T->var(), C.omega(), T->body());
+      PC = TI.ExistsT;
+      return M.St;
+    default:
+      return M.stuck("typecase on non-constructor tag: " + printTag(C, T));
+    }
+  }
+
+  case Opcode::TypecaseStatic: {
+    // The scrutinee was a compile-time constant; branch and binder tags
+    // were resolved at lowering time. Still one machine step.
+    ++M.Stats.TypecaseSteps;
+    ++StaticTypecaseSteps;
+    const TypecaseInfo &TI = Cur->Typecases[I.B];
+    switch (TI.StaticKind) {
+    case TagKind::Int:
+      PC = TI.IntT;
+      return M.St;
+    case TagKind::Arrow:
+      PC = TI.ArrowT;
+      return M.St;
+    case TagKind::Prod:
+      Frame[TI.ProdSlot1].Ptr = TI.StaticA;
+      Frame[TI.ProdSlot2].Ptr = TI.StaticB;
+      PC = TI.ProdT;
+      return M.St;
+    case TagKind::Exists:
+      Frame[TI.ExistsSlot].Ptr = TI.StaticA;
+      PC = TI.ExistsT;
+      return M.St;
+    default:
+      assert(false && "non-constructor kind in static typecase");
+      return M.St;
+    }
+  }
+
+  case Opcode::IfLeft: {
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (V->is(ValueKind::Inl)) {
+      Frame[I.B].Ptr = V;
+      PC = I.C;
+    } else if (V->is(ValueKind::Inr)) {
+      Frame[I.B].Ptr = V;
+      PC = I.D;
+    } else {
+      return M.stuck("ifleft of untagged value: " + printValue(C, V));
+    }
+    return M.St;
+  }
+
+  case Opcode::Set: {
+    ++M.Stats.Sets;
+    const Value *Dst = materialize(Cur->ValOps[I.A]);
+    if (!Dst->is(ValueKind::Addr))
+      return M.stuck("set of non-address: " + printValue(C, Dst));
+    if (!M.Mem.update(Dst->address(), materialize(Cur->ValOps[I.B])))
+      return M.stuck("set of dangling address: " + printValue(C, Dst));
+    TRACE_INSTANT("mem", "set.forward");
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::LetWiden: {
+    ++M.Stats.Widens;
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (!V->is(ValueKind::Addr))
+      return M.stuck("widen of non-address value: " + printValue(C, V));
+    Region To = materializeReg(Cur->RegOps[I.B]);
+    if (!To.isName())
+      return M.stuck("widen with unresolved to-region");
+    M.applyWiden(V->address().R.sym(), To.sym());
+    Frame[I.C].Ptr = V; // widen is a no-op on data (§7.1)
+    ++PC;
+    return M.St;
+  }
+
+  case Opcode::IfReg: {
+    Region A = materializeReg(Cur->RegOps[I.A]);
+    Region B = materializeReg(Cur->RegOps[I.B]);
+    if (!A.isName() || !B.isName())
+      return M.stuck("ifreg on unresolved region variable");
+    PC = A == B ? I.C : I.D;
+    return M.St;
+  }
+
+  case Opcode::If0: {
+    const Value *V = materialize(Cur->ValOps[I.A]);
+    if (!V->is(ValueKind::Int))
+      return M.stuck("if0 of non-integer: " + printValue(C, V));
+    PC = V->intValue() == 0 ? I.B : I.C;
+    return M.St;
+  }
+  }
+  return M.stuck("unknown vm opcode");
+}

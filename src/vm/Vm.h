@@ -1,0 +1,118 @@
+//===- vm/Vm.h - Bytecode execution backend for the λGC machine -*- C++ -*-===//
+///
+/// \file
+/// VmExec is the gc::ExecBackend behind MachineConfig::EvalMode::Vm: it
+/// lowers terms to vm::Chunk bytecode (lazily, cached per code value) and
+/// drives a tight switch-dispatch loop. The Machine keeps ownership of every
+/// observable — memory, Ψ, stats, status, journal — and the VM calls back
+/// into the same Machine primitives (put/get/update, recordPut, applyOnly,
+/// applyWiden, stuck, trace helpers) the interpreted modes use, so the two
+/// engines cannot drift at the region-operation boundary.
+///
+/// Usage: construct with the machine (attaches itself), then drive the
+/// machine normally; destroy before the machine (detaches itself).
+///
+///   gc::Machine M(C, Level, Cfg);       // Cfg.Eval == EvalMode::Vm
+///   vm::VmExec Vm(M);
+///   M.start(Program);
+///   M.run(Budget);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_VM_VM_H
+#define SCAV_VM_VM_H
+
+#include "vm/Bytecode.h"
+#include "vm/Lower.h"
+
+#include "gc/Machine.h"
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+namespace scav::vm {
+
+class VmExec final : public gc::ExecBackend {
+public:
+  /// Attaches itself to \p M as the execution backend.
+  explicit VmExec(gc::Machine &M);
+  /// Detaches (if still the attached backend).
+  ~VmExec() override;
+
+  VmExec(const VmExec &) = delete;
+  VmExec &operator=(const VmExec &) = delete;
+
+  void onStart(const gc::Term *E) override;
+  gc::Machine::Status step() override;
+  gc::Machine::Status run(uint64_t MaxSteps) override;
+  const gc::Term *currentTerm() const override;
+  void exportMetrics(support::MetricsRegistry &Reg) const override;
+
+  /// The (cached) chunk for a main term / code value; compiles on first
+  /// request. Keys are node pointers — sound for code values because cd
+  /// cells are never rewritten, and for main terms because the driver owns
+  /// the term for the machine's lifetime.
+  const Chunk *chunkForTerm(const gc::Term *E);
+  const Chunk *chunkForCode(const gc::Value *Code, std::string_view Label);
+
+  /// Every chunk compiled so far, keyed by its source node (tests and
+  /// offline disassembly).
+  const std::unordered_map<const void *, std::unique_ptr<Chunk>> &
+  chunks() const {
+    return Chunks;
+  }
+
+  // Compile/run metrics (also exported as "vm.*" via exportMetrics).
+  uint64_t vmSteps() const { return VmSteps; }
+  uint64_t lowerNs() const { return LowerNs; }
+  uint64_t chunksCompiled() const { return NumChunks; }
+  uint64_t instrsCompiled() const { return NumInstrs; }
+  uint64_t staticTypecaseSteps() const { return StaticTypecaseSteps; }
+
+private:
+  gc::Machine::Status execOne();
+
+  const gc::Value *materialize(const ValOperand &Op);
+  const gc::Value *matFast(const gc::Value *V, uint32_t BindsBegin,
+                           uint32_t BindsEnd);
+  const gc::Value *matSlow(const ValOperand &Op);
+  const gc::Value *matTpl(const ValOperand &Op);
+  const TplCacheEntry &refreshTpl(const TplInfo &TI);
+  const gc::Value *buildTpl(const TplInfo &TI, const TplCacheEntry &E,
+                            uint32_t Id);
+  const gc::Tag *materializeTag(const TagOperand &Op);
+  gc::Region materializeReg(const RegOperand &Op) const {
+    return Op.Kind == RegOperand::K::Slot ? Frame[Op.Slot].Reg : Op.R;
+  }
+
+  void noteChunk(const Chunk &Ch);
+
+  gc::Machine &M;
+  gc::GcContext &C;
+  Lowerer Lower;
+
+  /// Node pointer (Term or code Value) → compiled chunk.
+  std::unordered_map<const void *, std::unique_ptr<Chunk>> Chunks;
+
+  const Chunk *Cur = nullptr;
+  uint32_t PC = 0;
+  std::vector<FrameCell> Frame;
+  /// Callee-frame staging buffer; swapped with Frame at Call. Reading
+  /// argument operands from the old frame while writing the new one into a
+  /// separate buffer is what makes wholesale frame replacement safe.
+  std::vector<FrameCell> Scratch;
+
+  uint64_t VmSteps = 0;
+  uint64_t LowerNs = 0;
+  uint64_t NumChunks = 0;
+  uint64_t NumInstrs = 0;
+  uint64_t StaticTypecaseSteps = 0;
+  uint64_t FrameSlotsPeak = 0;
+  uint64_t TplHits = 0;
+  uint64_t TplMisses = 0;
+};
+
+} // namespace scav::vm
+
+#endif // SCAV_VM_VM_H

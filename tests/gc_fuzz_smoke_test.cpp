@@ -66,6 +66,26 @@ TEST(FuzzSmoke, PipelineDifferential) {
   EXPECT_EQ(R.CleanAccepts, 5u);
 }
 
+TEST(FuzzSmoke, PipelineDifferentialVmLegPerLevel) {
+  // The pipeline oracle runs four machine configurations per program —
+  // env+gc, subst+gc, vm+gc, and collector-free — and any verdict, value,
+  // or step-count divergence is an invariant violation. Pinning one fixed
+  // seed per language level keeps the bytecode-VM leg exercised against
+  // each certified collector inside tier-1, deterministically.
+  for (gc::LanguageLevel L :
+       {gc::LanguageLevel::Base, gc::LanguageLevel::Forward,
+        gc::LanguageLevel::Generational}) {
+    FuzzOptions Opts;
+    Opts.Seed = 0xC0DE;
+    Opts.Iterations = 3;
+    Opts.AllLevels = false;
+    Opts.Level = L;
+    FuzzReport R = fuzzPipeline(Opts);
+    expectClean(R, "pipeline");
+    EXPECT_EQ(R.CleanAccepts, 3u) << gc::languageLevelName(L);
+  }
+}
+
 TEST(FuzzSmoke, TriageReportCarriesTraceTail) {
   // An injected (fake) failure must flow through the same triage path a
   // real one would: a replay line, a detail string, and — when tracing is

@@ -1,0 +1,226 @@
+//===- tests/vm_lower_test.cpp - Bytecode lowering unit tests -------------===//
+//
+// Pins down what the λGC → bytecode compiler (vm::Lowerer) decides, via the
+// stable disassembly format of vm/Disasm.h:
+//
+//  * golden listings for straight-line code, shadowing, static and dynamic
+//    typecase, and a Tpl-classified pack template (operand classification,
+//    frame-slot assignment, and branch targets all visible in the text);
+//  * frame-index semantics under shadowing and deep nesting, checked by
+//    running the compiled chunk on the VM backend;
+//  * the static-typecase specialization: a constant scrutinee compiles to
+//    TypecaseStatic (pre-resolved branch), a tag variable stays dynamic,
+//    and both still count machine TypecaseSteps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disasm.h"
+#include "vm/Lower.h"
+#include "vm/Vm.h"
+
+#include "gc/GcContext.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace scav;
+using namespace scav::gc;
+
+namespace {
+
+std::string disasmMain(GcContext &C, const Term *E, const char *Label) {
+  vm::Lowerer L(C);
+  return vm::disassemble(*L.lowerMain(E, Label), C);
+}
+
+/// One program run on a fresh base-level machine with the VM backend
+/// attached. Member order matters: Vm must outlive nothing and die before
+/// M (it detaches itself in its destructor).
+struct VmRun {
+  std::unique_ptr<Machine> M;
+  std::unique_ptr<vm::VmExec> Vm;
+  int64_t Halt = -1;
+};
+
+VmRun runVm(GcContext &C, const Term *E) {
+  MachineConfig Cfg;
+  Cfg.Eval = EvalMode::Vm;
+  VmRun R;
+  R.M = std::make_unique<Machine>(C, LanguageLevel::Base, Cfg);
+  R.Vm = std::make_unique<vm::VmExec>(*R.M);
+  R.M->start(E);
+  R.M->run(10'000);
+  EXPECT_EQ(R.M->status(), Machine::Status::Halted);
+  if (R.M->haltValue() && R.M->haltValue()->is(ValueKind::Int))
+    R.Halt = R.M->haltValue()->intValue();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Golden listings
+//===----------------------------------------------------------------------===//
+
+TEST(VmLower, GoldenShadowedLet) {
+  GcContext C;
+  Symbol X = C.intern("x"), Y = C.intern("y");
+  // let x = 1; let x = (x, x); let y = π1 x; halt y
+  // The rebinding of x must get a fresh slot (s1), and the pair operand is
+  // a Fast template reading the *outer* x (s0).
+  const Term *E = C.termLet(
+      X, C.opVal(C.valInt(1)),
+      C.termLet(X, C.opVal(C.valPair(C.valVar(X), C.valVar(X))),
+                C.termLet(Y, C.opProj(1, C.valVar(X)),
+                          C.termHalt(C.valVar(Y)))));
+  EXPECT_EQ(disasmMain(C, E, "shadow"),
+            "chunk shadow (slots=3)\n"
+            "  0: let.val const 1 -> s0\n"
+            "  1: let.val fast (x, x) [x=s0] -> s1\n"
+            "  2: let.proj1 s1 -> s2\n"
+            "  3: halt s2\n");
+}
+
+TEST(VmLower, GoldenStaticTypecase) {
+  GcContext C;
+  // typecase over the constant tag (Int × Int): compiles to
+  // typecase.static with the branch pre-resolved to prod and the binder
+  // tags baked in.
+  const Term *E = C.termTypecase(
+      C.tagProd(C.tagInt(), C.tagInt()), C.termHalt(C.valInt(1)),
+      C.termHalt(C.valInt(2)), C.intern("a"), C.intern("b"),
+      C.termHalt(C.valInt(3)), C.intern("e"), C.termHalt(C.valInt(4)));
+  EXPECT_EQ(disasmMain(C, E, "tc"),
+            "chunk tc (slots=3)\n"
+            "  0: typecase.static const (Int x Int) int@1 arrow@2 "
+            "prod(s0,s1)@3 exists(s2)@4 resolved=prod(Int, Int)\n"
+            "  1: halt const 1\n"
+            "  2: halt const 2\n"
+            "  3: halt const 3\n"
+            "  4: halt const 4\n");
+}
+
+TEST(VmLower, GoldenDynamicTypecase) {
+  GcContext C;
+  Symbol P = C.intern("p"), T = C.intern("t"), V = C.intern("v");
+  // The scrutinee is a tag bound at runtime by open — must stay a dynamic
+  // typecase reading slot s0.
+  const Term *E = C.termOpenTag(
+      C.valVar(P), T, V,
+      C.termTypecase(C.tagVar(T), C.termHalt(C.valInt(1)),
+                     C.termHalt(C.valInt(2)), C.intern("a"), C.intern("b"),
+                     C.termHalt(C.valInt(3)), C.intern("e"),
+                     C.termHalt(C.valInt(4))));
+  EXPECT_EQ(disasmMain(C, E, "tc"),
+            "chunk tc (slots=5)\n"
+            "  0: open.tag const p -> s0, s1\n"
+            "  1: typecase s0 int@2 arrow@3 prod(s2,s3)@4 exists(s4)@5\n"
+            "  2: halt const 1\n"
+            "  3: halt const 2\n"
+            "  4: halt const 3\n"
+            "  5: halt const 4\n");
+}
+
+TEST(VmLower, GoldenTplPackOperand) {
+  GcContext C;
+  Symbol P = C.intern("p"), T = C.intern("t"), V = C.intern("v"),
+         Q = C.intern("q"), A = C.intern("a");
+  // A pack whose witness tag and payload read open-bound slots: classified
+  // Tpl with two attachments (witness tag, masked body type) and a 1-slot
+  // cache key — only the Tag-sort dependency t; the Val-sort v lives in
+  // the rebuilt spine and must NOT widen the key.
+  Region Rho = Region::name(C.intern("rho"));
+  const Type *Body = C.typeM(Rho, C.tagProd(C.tagVar(A), C.tagInt()));
+  const Value *Pack =
+      C.valPackTag(A, C.tagVar(T), C.valPair(C.valVar(V), C.valInt(1)), Body);
+  const Term *E =
+      C.termOpenTag(C.valVar(P), T, V,
+                    C.termLet(Q, C.opVal(Pack), C.termHalt(C.valInt(0))));
+  EXPECT_EQ(disasmMain(C, E, "tpl"),
+            "chunk tpl (slots=3)\n"
+            "  0: open.tag const p -> s0, s1\n"
+            "  1: let.val tpl pack<a = t, (v, 1) : M[rho]((a x Int))> "
+            "(atts=2 deltas=0 key=1) -> s2\n"
+            "  2: halt const 0\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Frame-index semantics
+//===----------------------------------------------------------------------===//
+
+TEST(VmLower, ShadowingReadsInnermostBinding) {
+  GcContext C;
+  Symbol X = C.intern("x");
+  // let x = 2; let x = x * 3; let x = x + 1; halt x  ⇒ 7. Any slot
+  // collision between the bindings, or an outermost-first scope lookup,
+  // produces a different answer.
+  const Term *E = C.termLet(
+      X, C.opVal(C.valInt(2)),
+      C.termLet(X, C.opPrim(PrimOp::Mul, C.valVar(X), C.valInt(3)),
+                C.termLet(X, C.opPrim(PrimOp::Add, C.valVar(X), C.valInt(1)),
+                          C.termHalt(C.valVar(X)))));
+  EXPECT_EQ(runVm(C, E).Halt, 7);
+}
+
+TEST(VmLower, DeepNestingAssignsDistinctSlots) {
+  GcContext C;
+  Symbol X = C.intern("x"), Y = C.intern("y");
+  // Alternating x/y chain, 20 deep: x_{i+1} = x_i + y_i. Every binder gets
+  // its own slot, and the sum is only right if each read resolves the
+  // innermost live binding.
+  const Term *Body = C.termHalt(C.valVar(X));
+  for (int I = 0; I != 10; ++I)
+    Body = C.termLet(
+        X, C.opPrim(PrimOp::Add, C.valVar(X), C.valVar(Y)),
+        C.termLet(Y, C.opPrim(PrimOp::Add, C.valVar(X), C.valVar(Y)), Body));
+  const Term *E = C.termLet(
+      X, C.opVal(C.valInt(1)),
+      C.termLet(Y, C.opVal(C.valInt(1)), Body));
+  // Fibonacci-style growth: pairs (x,y) follow (1,1) -> (2,3) -> (5,8)...
+  // After 10 rounds x = F(21) = 10946.
+  EXPECT_EQ(runVm(C, E).Halt, 10946);
+
+  vm::Lowerer L(C);
+  auto Ch = L.lowerMain(E, "deep");
+  // 22 binders ⇒ 22 distinct slots; shadowing never reuses a live slot.
+  EXPECT_EQ(Ch->NumSlots, 22u);
+}
+
+//===----------------------------------------------------------------------===//
+// Static vs dynamic typecase at runtime
+//===----------------------------------------------------------------------===//
+
+TEST(VmLower, StaticTypecaseIsPreResolvedButStillCounts) {
+  GcContext C;
+  const Term *E = C.termTypecase(
+      C.tagProd(C.tagInt(), C.tagInt()), C.termHalt(C.valInt(1)),
+      C.termHalt(C.valInt(2)), C.intern("a"), C.intern("b"),
+      C.termHalt(C.valInt(3)), C.intern("e"), C.termHalt(C.valInt(4)));
+  VmRun R = runVm(C, E);
+  EXPECT_EQ(R.Halt, 3);
+  EXPECT_EQ(R.Vm->staticTypecaseSteps(), 1u);
+  EXPECT_EQ(R.M->stats().TypecaseSteps, 1u);
+}
+
+TEST(VmLower, DynamicTypecaseTakesTheRuntimeBranch) {
+  GcContext C;
+  Symbol P = C.intern("p"), T = C.intern("t"), V = C.intern("v");
+  // Scrutinee tag flows through a pack opened at runtime: the compiler
+  // cannot resolve it, so staticTypecaseSteps stays 0 and the arrow branch
+  // is selected dynamically.
+  const Value *Pack = C.valPackTag(
+      C.intern("a"), C.tagArrow({C.tagInt()}), C.valInt(0),
+      C.typeM(Region::name(C.intern("rho")), C.tagVar(C.intern("a"))));
+  const Term *E = C.termLet(
+      P, C.opVal(Pack),
+      C.termOpenTag(C.valVar(P), T, V,
+                    C.termTypecase(C.tagVar(T), C.termHalt(C.valInt(1)),
+                                   C.termHalt(C.valInt(2)), C.intern("a"),
+                                   C.intern("b"), C.termHalt(C.valInt(3)),
+                                   C.intern("e"), C.termHalt(C.valInt(4)))));
+  VmRun R = runVm(C, E);
+  EXPECT_EQ(R.Halt, 2);
+  EXPECT_EQ(R.Vm->staticTypecaseSteps(), 0u);
+  EXPECT_EQ(R.M->stats().TypecaseSteps, 1u);
+}
+
+} // namespace
