@@ -18,6 +18,17 @@
 //     --full-check-every N         with the incremental checker, also run
 //                                  the full checker as an oracle every N-th
 //                                  check
+//     --async-check                run the per-N checks on a dedicated
+//                                  checker thread (pipelined against the
+//                                  mutator; verdicts byte-identical to the
+//                                  synchronous checker's — DESIGN.md §3.11);
+//                                  env SCAV_ASYNC_CHECK=1 sets the default
+//     --threads N                  worker threads for parallel native
+//                                  copies (nativeCollect callers that use
+//                                  the process default; the certified λGC
+//                                  collectors are sequential by
+//                                  construction); env SCAV_THREADS sets
+//                                  the default
 //     --certify                    typecheck all cd code before running
 //     --dump-clos                  print the λCLOS program
 //     --stats                      print machine + checker statistics
@@ -36,6 +47,7 @@
 
 #include "harness/Pipeline.h"
 
+#include "gc/NativeCollector.h"
 #include "gc/Parse.h"
 
 #include <cstdio>
@@ -55,6 +67,7 @@ int usage() {
                "usage: certgc_run [--level base|forward|gen]"
                " [--eval-mode env|subst|vm] [--capacity N]"
                " [--check-every N] [--full-check] [--full-check-every N]"
+               " [--async-check] [--threads N]"
                " [--certify] [--dump-clos] [--stats] [--stats-json FILE]"
                " [--trace-out FILE] (<file> | -e '<expr>' | --gc <file>)\n");
   return 2;
@@ -88,6 +101,9 @@ int main(int argc, char **argv) {
     }
     Opts.Machine.Eval = *Mode;
   }
+  // SCAV_ASYNC_CHECK=1 pipelines the checker by default; --async-check wins.
+  if (const char *Env = std::getenv("SCAV_ASYNC_CHECK"); Env && *Env)
+    Opts.AsyncCheck = std::strcmp(Env, "0") != 0;
   // Soak runs steer the cadence with SCAV_CHECK_EVERY; explicit flags win.
   uint32_t CheckEveryN = checkEveryFromEnv(0);
   bool Certify = false, DumpClos = false, Stats = false;
@@ -138,6 +154,13 @@ int main(int argc, char **argv) {
       if (!N)
         return usage();
       Opts.FullCheckEvery = static_cast<uint32_t>(std::atoi(N));
+    } else if (A == "--async-check") {
+      Opts.AsyncCheck = true;
+    } else if (A == "--threads") {
+      const char *N = NextArg();
+      if (!N)
+        return usage();
+      gc::setNativeGcThreads(static_cast<unsigned>(std::atoi(N)));
     } else if (A == "--certify") {
       Certify = true;
     } else if (A == "--dump-clos") {

@@ -7,10 +7,12 @@ Validates the Chrome/Perfetto trace-event JSON that `certgc_run --trace-out`,
   * top-level shape: {"traceEvents": [...]}, every event carrying
     name / cat / ph / ts / pid / tid with ph one of B, E, i, C;
   * timestamps non-decreasing across the export;
-  * duration events balanced: B/E depth never goes negative, every scope
-    closed by the end (the exporter emits synthetic events for ring-sliced
-    scopes, so an unbalanced file is a bug, not a truncation);
-  * LIFO close order: an E always matches the innermost open B's name;
+  * duration events balanced *per (pid, tid) track* — nesting is only
+    meaningful within one thread track (collector workers and the async
+    checker emit on their own tids): depth never goes negative, every
+    scope closed by the end (the exporter emits synthetic events for
+    ring-sliced scopes, so an unbalanced file is a bug, not a truncation);
+  * LIFO close order: an E always matches its track's innermost open B;
   * instant events carry the mandatory scope field "s".
 
 With --require-collector-phases, additionally asserts the trace contains a
@@ -48,7 +50,7 @@ def check(path: str, require_phases: bool, require_counters: bool) -> None:
     if not isinstance(events, list):
         fail(f"{path}: 'traceEvents' must be a list")
 
-    stack = []  # (name) of open duration scopes
+    stacks = {}  # (pid, tid) -> names of open duration scopes
     last_ts = None
     counters = 0
     collector = {"begin": 0, "end": 0, "entry": 0, "copy": 0}
@@ -71,14 +73,17 @@ def check(path: str, require_phases: bool, require_counters: bool) -> None:
         last_ts = ts
 
         name, cat = ev["name"], ev["cat"]
+        stack = stacks.setdefault((ev["pid"], ev["tid"]), [])
         if ph == "B":
             stack.append(name)
         elif ph == "E":
             if not stack:
-                fail(f"{where}: 'E' ({name}) with no open scope")
+                fail(f"{where}: 'E' ({name}) with no open scope on "
+                     f"track {ev['pid']}/{ev['tid']}")
             if stack[-1] != name:
                 fail(f"{where}: 'E' ({name}) closes scope "
-                     f"'{stack[-1]}' out of LIFO order")
+                     f"'{stack[-1]}' out of LIFO order on "
+                     f"track {ev['pid']}/{ev['tid']}")
             stack.pop()
         elif ph == "i":
             if ev.get("s") != "t":
@@ -99,9 +104,10 @@ def check(path: str, require_phases: bool, require_counters: bool) -> None:
             elif ph == "i" and name.startswith("copy"):
                 collector["copy"] += 1
 
-    if stack:
-        fail(f"{path}: {len(stack)} unclosed scope(s), innermost "
-             f"'{stack[-1]}'")
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            fail(f"{path}: track {pid}/{tid}: {len(stack)} unclosed "
+                 f"scope(s), innermost '{stack[-1]}'")
 
     if require_phases:
         if collector["begin"] == 0 or collector["end"] == 0:

@@ -131,7 +131,25 @@ public:
   }
 
   explicit GcContext(bool EnableInterning = interningEnabledByDefault())
-      : InternOn(EnableInterning) {
+      : GcContext(nullptr, EnableInterning, /*MarkCanonicalBit=*/true) {}
+
+  /// Observer-context constructor: shares \p SharedSyms (the mutator
+  /// context's symbol table — thread-safe, see support/Symbol.h) instead of
+  /// owning one, so symbols captured from machine state resolve here too.
+  /// Built with MarkCanonicalBit off: this context's uniquing tables are
+  /// disjoint from the mutator's, so marking its nodes Canonical would
+  /// license the negative pointer-compare fast path (Equal.cpp) *across*
+  /// contexts, where structurally equal nodes are not pointer-identical.
+  /// Interning still dedupes (and memoizes) within this context; only the
+  /// cross-context-unsound bit is withheld.
+  GcContext(SymbolTable &SharedSyms, bool EnableInterning)
+      : GcContext(&SharedSyms, EnableInterning, /*MarkCanonicalBit=*/false) {}
+
+private:
+  GcContext(SymbolTable *Shared, bool EnableInterning, bool MarkCanonicalBit)
+      : OwnedSyms(Shared ? nullptr : std::make_unique<SymbolTable>()),
+        Syms(Shared ? *Shared : *OwnedSyms), InternOn(EnableInterning),
+        MarkCanonical(MarkCanonicalBit) {
     if (InternOn) {
       // Collections create nodes by the tens of thousands and the tables
       // only ever grow (Scope unwinds aside), so incremental rehashing of
@@ -152,6 +170,7 @@ public:
     IdFunTag = tagLam(IdVar, tagVar(IdVar));
   }
 
+public:
   GcContext(const GcContext &) = delete;
   GcContext &operator=(const GcContext &) = delete;
 
@@ -168,8 +187,66 @@ public:
   const SymbolTable &symbols() const { return Syms; }
 
   Symbol intern(std::string_view Sv) { return Syms.intern(Sv); }
-  Symbol fresh(std::string_view Base) { return Syms.fresh(Base); }
+
+  /// Creates a fresh symbol `Base$<tag><n>` distinct from everything
+  /// interned so far. The counter is per *context* and the spelling carries
+  /// the context's namespace tag, so an observer context (a state checker)
+  /// minting names against the shared table can never perturb the mutator
+  /// context's numbering — the mutator's name stream is a pure function of
+  /// the program, regardless of when or on which thread checks run.
+  Symbol fresh(std::string_view Base) {
+    for (;;) {
+      std::string Candidate(Base);
+      Candidate += '$';
+      Candidate += FreshTag;
+      Candidate += std::to_string(FreshCtr++);
+      auto [Sym, New] = Syms.internNew(Candidate);
+      if (New)
+        return Sym;
+      // Collision with an already-interned spelling (a source-program name,
+      // or an earlier mint in this namespace): skip the counter value. The
+      // skip is deterministic for a deterministic interning history.
+    }
+  }
+
   std::string_view name(Symbol Sym) const { return Syms.name(Sym); }
+
+  /// Re-namespaces fresh() for the duration of the scope: names become
+  /// `Base$<Tag><n>` drawn from the caller-owned counter \p Ctr (updated on
+  /// exit, so a long-lived owner — an incremental checker — numbers
+  /// monotonically across scopes). Checking phases wrap themselves in one of
+  /// these so their transient fresh names live in a namespace disjoint from
+  /// the mutator's ("" ↔ "c"/"o"), which keeps checker-minted symbols from
+  /// ever aliasing machine-state names and keeps both streams deterministic
+  /// when checks run asynchronously.
+  class FreshScope {
+  public:
+    FreshScope(GcContext &C, std::string Tag, uint64_t &Ctr)
+        : C(C), SavedTag(std::move(C.FreshTag)), SavedCtr(C.FreshCtr),
+          Ext(&Ctr) {
+      C.FreshTag = std::move(Tag);
+      C.FreshCtr = Ctr;
+    }
+    ~FreshScope() {
+      *Ext = C.FreshCtr;
+      C.FreshTag = std::move(SavedTag);
+      C.FreshCtr = SavedCtr;
+    }
+    FreshScope(const FreshScope &) = delete;
+    FreshScope &operator=(const FreshScope &) = delete;
+
+  private:
+    GcContext &C;
+    std::string SavedTag;
+    uint64_t SavedCtr;
+    uint64_t *Ext;
+  };
+
+  /// Counter for the full checkState oracle's "o" namespace. Per-context
+  /// and persistent so back-to-back oracle calls number monotonically: a
+  /// restarted-at-zero counter would make every call re-skip all previous
+  /// "o" mints in fresh() — quadratic over a per-step checking run.
+  uint64_t &oracleFreshCtr() { return OracleCtr; }
 
   /// The distinguished code region cd (§4.3).
   Region cd() const { return CdRegion; }
@@ -780,6 +857,15 @@ public:
 
   Arena &arena() { return Alloc; }
 
+  /// Takes ownership of \p A, keeping every node allocated in it alive for
+  /// this context's lifetime. The parallel collector's workers build copied
+  /// values in private arenas (no lock on the context's allocator); once the
+  /// workers join, their arenas are adopted here so the values installed in
+  /// machine memory stay valid.
+  void adoptArena(std::unique_ptr<Arena> A) {
+    AdoptedArenas.push_back(std::move(A));
+  }
+
 private:
   static size_t hashCombine(size_t Seed, size_t V) {
     return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
@@ -968,7 +1054,8 @@ private:
     }
     ++S.TagInternMisses;
     Tag *N = Alloc.create<Tag>(std::move(T));
-    N->Bits |= Tag::FlagCanonical;
+    if (MarkCanonical)
+      N->Bits |= Tag::FlagCanonical;
     TagTable.insert(N);
     TagLog.push_back(N);
     return N;
@@ -985,7 +1072,8 @@ private:
     }
     ++S.TypeInternMisses;
     Type *N = Alloc.create<Type>(std::move(T));
-    N->Bits |= Type::FlagCanonical;
+    if (MarkCanonical)
+      N->Bits |= Type::FlagCanonical;
     TypeTable.insert(N);
     TypeLog.push_back(N);
     return N;
@@ -1002,10 +1090,24 @@ private:
   Op *allocOp(OpKind K) { return new (Alloc.allocateFor<Op>()) Op(K); }
   Term *allocTerm(TermKind K) { return new (Alloc.allocateFor<Term>()) Term(K); }
 
+  friend class ValueBuilder;
+
   Arena Alloc;
-  SymbolTable Syms;
+  /// Owned unless constructed over a shared table (observer contexts).
+  /// OwnedSyms must be declared before the reference that may bind to it.
+  std::unique_ptr<SymbolTable> OwnedSyms;
+  SymbolTable &Syms;
   Stats S;
   bool InternOn;
+  /// Whether interned nodes get FlagCanonical (off for observer contexts —
+  /// see the shared-table constructor).
+  bool MarkCanonical;
+  /// fresh() namespace tag + counter; see FreshScope.
+  std::string FreshTag;
+  uint64_t FreshCtr = 0;
+  uint64_t OracleCtr = 0; ///< see oracleFreshCtr()
+  /// Worker arenas adopted after a parallel collection (adoptArena).
+  std::vector<std::unique_ptr<Arena>> AdoptedArenas;
 
   const Kind *OmegaKind;
   const Tag *IntTagNode;
@@ -1026,6 +1128,131 @@ private:
   std::unordered_map<const Type *, std::array<const Type *, 3>> TypeNormalMemo;
   std::vector<const Tag *> TagMemoLog;
   std::vector<std::pair<const Type *, size_t>> TypeMemoLog;
+};
+
+/// Value factories over a caller-owned arena, for the parallel collector's
+/// worker threads. GcContext's factories funnel through its single Arena,
+/// which is not thread-safe; each copy worker instead builds the copied
+/// values through one of these over a private Arena, and the machine's
+/// context adopts the arena (GcContext::adoptArena) after the workers join.
+/// Only the value shapes a collector can copy are provided — workers never
+/// build Code/Var values, Ops, or Terms.
+class ValueBuilder {
+public:
+  explicit ValueBuilder(Arena &A) : A(A) {}
+  ValueBuilder(const ValueBuilder &) = delete;
+  ValueBuilder &operator=(const ValueBuilder &) = delete;
+
+  const Value *valInt(int64_t N) {
+    Value *V = allocValue(ValueKind::Int);
+    V->N = N;
+    return V;
+  }
+
+  const Value *valAddr(Address Addr) {
+    assert(Addr.R.isName() && "addresses live in concrete regions");
+    Value *V = allocValue(ValueKind::Addr);
+    V->Addr = Addr;
+    return V;
+  }
+
+  const Value *valPair(const Value *L, const Value *R) {
+    Value *V = allocValue(ValueKind::Pair);
+    V->A = L;
+    V->B = R;
+    return V;
+  }
+
+  const Value *valInl(const Value *Payload) {
+    Value *V = allocValue(ValueKind::Inl);
+    V->A = Payload;
+    return V;
+  }
+
+  const Value *valInr(const Value *Payload) {
+    Value *V = allocValue(ValueKind::Inr);
+    V->A = Payload;
+    return V;
+  }
+
+  const Value *valPackTag(Symbol Var, const Tag *Witness, const Value *Payload,
+                          const Type *BodyType) {
+    Value *V = allocValue(ValueKind::PackTag);
+    V->V = Var;
+    V->TW = Witness;
+    V->A = Payload;
+    V->BT = BodyType;
+    return V;
+  }
+
+  const Value *valPackTyVar(Symbol Var, const RegionSet *Delta,
+                            const Type *Witness, const Value *Payload,
+                            const Type *BodyType) {
+    Value *V = allocValue(ValueKind::PackTyVar);
+    V->V = Var;
+    V->Delta = Delta;
+    V->TyW = Witness;
+    V->A = Payload;
+    V->BT = BodyType;
+    return V;
+  }
+
+  const Value *valPackTyVar(Symbol Var, RegionSet Delta, const Type *Witness,
+                            const Value *Payload, const Type *BodyType) {
+    return valPackTyVar(Var, allocRegionSet(std::move(Delta)), Witness,
+                        Payload, BodyType);
+  }
+
+  const Value *valPackRegion(Symbol Var, const RegionSet *Delta,
+                             Region Witness, const Value *Payload,
+                             const Type *BodyType) {
+    Value *V = allocValue(ValueKind::PackRegion);
+    V->V = Var;
+    V->Delta = Delta;
+    V->RW = Witness;
+    V->A = Payload;
+    V->BT = BodyType;
+    return V;
+  }
+
+  const Value *valPackRegion(Symbol Var, RegionSet Delta, Region Witness,
+                             const Value *Payload, const Type *BodyType) {
+    return valPackRegion(Var, allocRegionSet(std::move(Delta)), Witness,
+                         Payload, BodyType);
+  }
+
+  const Value *valTransApp(const Value *Inner, const TransData *Args) {
+    Value *V = allocValue(ValueKind::TransApp);
+    V->A = Inner;
+    V->Trans = Args;
+    return V;
+  }
+
+  const Value *valTransApp(const Value *Inner, std::vector<const Tag *> TagArgs,
+                           std::vector<Region> RegionArgs) {
+    return valTransApp(Inner,
+                       allocTransData(std::move(TagArgs),
+                                      std::move(RegionArgs)));
+  }
+
+  const TransData *allocTransData(std::vector<const Tag *> TagArgs,
+                                  std::vector<Region> RegionArgs) {
+    auto *D = A.create<TransData>();
+    D->TagArgs = std::move(TagArgs);
+    D->RegionArgs = std::move(RegionArgs);
+    return D;
+  }
+
+  const RegionSet *allocRegionSet(RegionSet RS) {
+    return A.create<RegionSet>(std::move(RS));
+  }
+
+private:
+  Value *allocValue(ValueKind K) {
+    return new (A.allocateFor<Value>()) Value(K);
+  }
+
+  Arena &A;
 };
 
 } // namespace scav::gc

@@ -279,6 +279,15 @@ public:
   /// term per call — deliberately unmemoized, because callers like
   /// checkState run under a GcContext::Scope that reclaims the result).
   const Term *currentTerm() const;
+  /// The raw (unforced) state pair behind currentTerm(): the pending term
+  /// plus the environment substitution (empty in Subst mode). Both point at
+  /// machine-arena nodes, which are immutable once built and never
+  /// reclaimed during a run — so a captured copy of this pair stays valid
+  /// while the machine keeps stepping, which is what the async checker's
+  /// capture relies on (AsyncCheck.h): the expensive closeTerm forcing can
+  /// then run on the checker thread, in the checker's own context.
+  const Term *rawTerm() const { return Cur; }
+  const Subst &rawEnv() const { return EnvS; }
   const Value *haltValue() const { return HaltVal; }
   const std::string &stuckReason() const { return StuckMsg; }
 

@@ -46,10 +46,36 @@ struct RegionData {
   uint64_t Version = 0;
   /// Offsets overwritten in place (fill/update), in order. Fresh cells are
   /// not logged — consumers detect them from Cells.size() growth. The log
-  /// is only drained by the incremental state checker (via its cursor) and
-  /// is empty overhead otherwise: `set` and the Cheney copier's fill are
-  /// rare next to put.
+  /// is cleared by its consumer (the incremental checker's capture step);
+  /// in unchecked runs it is bounded by DirtyLogCap: on overflow the log is
+  /// dropped and DirtyOverflow set, which consumers must treat as
+  /// "every established offset may be dirty" (full-region resync).
   std::vector<uint32_t> DirtyLog;
+  bool DirtyOverflow = false;
+
+  /// Cap on DirtyLog entries before falling back to the overflow flag.
+  /// Collectors `fill` every copied cell, so checked collection windows can
+  /// legitimately log thousands of offsets; 64Ki keeps those exact while
+  /// bounding unchecked runs to 256KiB of log per region.
+  static constexpr size_t DirtyLogCap = 1u << 16;
+
+  void logDirty(uint32_t Off) {
+    if (DirtyOverflow)
+      return;
+    if (DirtyLog.size() >= DirtyLogCap) {
+      DirtyLog.clear();
+      DirtyLog.shrink_to_fit();
+      DirtyOverflow = true;
+      return;
+    }
+    DirtyLog.push_back(Off);
+  }
+
+  /// Consumer-side drain: forget everything logged so far.
+  void clearDirty() {
+    DirtyLog.clear();
+    DirtyOverflow = false;
+  }
 };
 
 /// A region type Υ (dense, parallel to RegionData).
@@ -64,8 +90,27 @@ struct RegionType {
   /// which is precisely what the incremental checker needs to hear about,
   /// and `set` logs *every* write at an established offset (null pad or
   /// not) so no Version bump below Cells.size() can bypass the log.
+  /// Capped like RegionData's (overflow ⇒ consumers resync the region).
   uint64_t Version = 0;
   std::vector<uint32_t> DirtyLog;
+  bool DirtyOverflow = false;
+
+  void logDirty(uint32_t Off) {
+    if (DirtyOverflow)
+      return;
+    if (DirtyLog.size() >= RegionData::DirtyLogCap) {
+      DirtyLog.clear();
+      DirtyLog.shrink_to_fit();
+      DirtyOverflow = true;
+      return;
+    }
+    DirtyLog.push_back(Off);
+  }
+
+  void clearDirty() {
+    DirtyLog.clear();
+    DirtyOverflow = false;
+  }
 };
 
 /// A memory type Ψ.
@@ -92,7 +137,7 @@ public:
       // was a null pad, so every Version bump below Cells.size() is
       // visible in DirtyLog (fresh entries are found from Cells.size()
       // growth instead).
-      R.DirtyLog.push_back(A.Offset);
+      R.logDirty(A.Offset);
     Cs[A.Offset] = T;
     ++R.Version;
   }
@@ -154,7 +199,27 @@ public:
     R->Cells.push_back(V);
     ++R->TotalAllocated;
     ++R->Version;
+    if (S != CdSym)
+      ++LiveData;
     return Address{Region::name(S), Off};
+  }
+
+  /// Bulk-appends \p Vs at fresh offsets in region \p S (one Version bump).
+  /// The parallel collector's serial epilogue installs each worker's copied
+  /// cells this way; like put, fresh cells are not dirty-logged — consumers
+  /// see them from Cells.size() growth.
+  bool appendCells(Symbol S, const std::vector<const Value *> &Vs) {
+    RegionData *R = region(S);
+    if (!R)
+      return false;
+    if (R->Cells.size() + Vs.size() >= std::numeric_limits<uint32_t>::max())
+      return false;
+    R->Cells.insert(R->Cells.end(), Vs.begin(), Vs.end());
+    R->TotalAllocated += Vs.size();
+    ++R->Version;
+    if (S != CdSym)
+      LiveData += Vs.size();
+    return true;
   }
 
   /// \returns the value stored at \p A, or nullptr.
@@ -173,7 +238,7 @@ public:
       return false;
     R->Cells[A.Offset] = V;
     ++R->Version;
-    R->DirtyLog.push_back(A.Offset);
+    R->logDirty(A.Offset);
     return true;
   }
 
@@ -186,7 +251,7 @@ public:
       return false;
     R->Cells[A.Offset] = V;
     ++R->Version;
-    R->DirtyLog.push_back(A.Offset);
+    R->logDirty(A.Offset);
     return true;
   }
 
@@ -199,6 +264,7 @@ public:
         ++It;
         continue;
       }
+      LiveData -= It->second.Cells.size();
       It = Regions.erase(It);
       ++Reclaimed;
     }
@@ -217,14 +283,11 @@ public:
 
   size_t numRegions() const { return Regions.size(); }
 
-  /// Live cells across all regions except cd.
-  size_t liveDataCells() const {
-    size_t N = 0;
-    for (const auto &[S, R] : Regions)
-      if (S != CdSym)
-        N += R.Cells.size();
-    return N;
-  }
+  /// Live cells across all regions except cd. O(1): a running counter
+  /// maintained by put/appendCells/restrictTo (the only paths that grow or
+  /// drop data-region cells) — it is read from the per-step trace counter
+  /// track, where an O(regions) sum was measurable.
+  size_t liveDataCells() const { return LiveData; }
 
   /// Keyed by region-name symbol. Unordered on purpose (see MemoryType):
   /// iteration sites (restrictTo, liveDataCells, heap growth, the native
@@ -234,6 +297,8 @@ public:
 
 private:
   Symbol CdSym;
+  /// Running liveDataCells() counter (cells in non-cd regions).
+  size_t LiveData = 0;
 };
 
 } // namespace scav::gc

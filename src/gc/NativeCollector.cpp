@@ -2,8 +2,17 @@
 
 #include "gc/NativeCollector.h"
 
+#include "support/WorkSteal.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
 using namespace scav;
 using namespace scav::gc;
@@ -205,17 +214,340 @@ struct CheneyGc {
   }
 };
 
+/// Parallel Cheney copy. The from-space is frozen (the mutator is parked),
+/// so the only shared mutable state during the copy is the forwarding
+/// array: one atomic per from-cell, UNCLAIMED → PENDING (CAS winner is the
+/// copier) → the to-offset, drawn from one atomic bump counter. Workers
+/// build copied values in private arenas through ValueBuilder and record
+/// (to-offset, value) pairs; a serial epilogue assembles the to-region with
+/// one Memory::appendCells, rewrites Ψ, and adopts the arenas into the
+/// machine's context. Work is distributed in chunks through per-worker
+/// ChunkDeques (owner pops newest, thieves steal oldest); termination is a
+/// count of claimed-but-unscanned cells hitting zero — claims only happen
+/// inside a scan (or the serial root scan before workers start), so the
+/// count cannot re-rise from zero.
+struct ParallelCheney {
+  static constexpr uint32_t Unclaimed = 0xFFFFFFFFu;
+  static constexpr uint32_t Pending = 0xFFFFFFFEu;
+  static constexpr size_t ChunkSize = 64;
+  /// Smallest local stack worth half-splitting into the public deque.
+  static constexpr size_t MinSplit = 4;
+
+  struct Worker {
+    unsigned Id = 0;
+    std::unique_ptr<Arena> Mem;
+    std::unique_ptr<ValueBuilder> B;
+    std::vector<uint32_t> Local; ///< Active work, hottest at the back.
+    ChunkDeque<uint32_t> Deque;  ///< Published chunks, stealable.
+    std::vector<std::pair<uint32_t, const Value *>> Results;
+    /// Per-worker memo for renamed types: keeps RenameMu traffic down to
+    /// one lock per distinct annotation type per worker.
+    std::unordered_map<const Type *, const Type *> RenameCache;
+    uint64_t Objects = 0, Hits = 0, Steals = 0, Chunks = 0, CopyNs = 0;
+  };
+
+  Machine &M;
+  Symbol FromSym;
+  Symbol ToSym;
+  const std::vector<const Value *> &FromCells;
+  std::unique_ptr<std::atomic<uint32_t>[]> Fwd;
+  std::atomic<uint32_t> NextTo{0};
+  std::atomic<int64_t> Unscanned{0};
+  /// Serializes renameRegionName: it interns into the machine's (single-
+  /// threaded) GcContext. Cold — annotation types are few and memoized.
+  std::mutex RenameMu;
+  std::vector<Worker> Workers;
+
+  ParallelCheney(Machine &M, Symbol FromSym, Symbol ToSym, unsigned NThreads)
+      : M(M), FromSym(FromSym), ToSym(ToSym),
+        FromCells(M.memory().region(FromSym)->Cells),
+        Fwd(new std::atomic<uint32_t>[FromCells.size()]),
+        Workers(NThreads) {
+    for (size_t I = 0; I < FromCells.size(); ++I)
+      Fwd[I].store(Unclaimed, std::memory_order_relaxed);
+    for (unsigned I = 0; I < NThreads; ++I) {
+      Workers[I].Id = I;
+      Workers[I].Mem = std::make_unique<Arena>();
+      Workers[I].B = std::make_unique<ValueBuilder>(*Workers[I].Mem);
+    }
+  }
+
+  /// Claims the to-slot for from-offset \p Off; newly claimed offsets are
+  /// appended to \p NewWork (they still need scanning).
+  uint32_t claim(uint32_t Off, std::vector<uint32_t> &NewWork,
+                 uint64_t &Hits) {
+    std::atomic<uint32_t> &Slot = Fwd[Off];
+    uint32_t Cur = Slot.load(std::memory_order_acquire);
+    for (;;) {
+      if (Cur == Unclaimed) {
+        if (Slot.compare_exchange_weak(Cur, Pending,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+          uint32_t ToOff = NextTo.fetch_add(1, std::memory_order_relaxed);
+          Unscanned.fetch_add(1, std::memory_order_relaxed);
+          Slot.store(ToOff, std::memory_order_release);
+          NewWork.push_back(Off);
+          return ToOff;
+        }
+        continue; // Cur was refreshed by the failed CAS.
+      }
+      if (Cur != Pending) {
+        ++Hits;
+        return Cur;
+      }
+      // Another worker won the CAS and is about to publish the to-offset.
+      Cur = Slot.load(std::memory_order_acquire);
+    }
+  }
+
+  const Type *renameType(const Type *T, Worker &W) {
+    if (!T)
+      return nullptr;
+    auto It = W.RenameCache.find(T);
+    if (It != W.RenameCache.end())
+      return It->second;
+    const Type *R;
+    {
+      std::lock_guard<std::mutex> L(RenameMu);
+      R = M.renameRegionName(T, FromSym, ToSym);
+    }
+    W.RenameCache.emplace(T, R);
+    return R;
+  }
+
+  RegionSet retargetSet(const RegionSet &RS) {
+    RegionSet Out;
+    for (Region R : RS)
+      Out.insert(R.isName() && R.sym() == FromSym ? Region::name(ToSym) : R);
+    return Out;
+  }
+
+  /// Shallow rewrite of one value into \p W's arena: from-addresses become
+  /// claimed to-slots, annotation types are retargeted. Mirrors
+  /// CheneyGc::scan exactly so the two paths copy isomorphic graphs.
+  const Value *scanValue(const Value *V, Worker &W) {
+    ValueBuilder &B = *W.B;
+    switch (V->kind()) {
+    case ValueKind::Int:
+    case ValueKind::Var:
+    case ValueKind::Code:
+      return V;
+    case ValueKind::Addr: {
+      Address A = V->address();
+      if (A.R.sym() != FromSym)
+        return V;
+      uint32_t ToOff = claim(A.Offset, W.Local, W.Hits);
+      maybePublish(W);
+      return B.valAddr(Address{Region::name(ToSym), ToOff});
+    }
+    case ValueKind::Pair:
+      return B.valPair(scanValue(V->first(), W), scanValue(V->second(), W));
+    case ValueKind::Inl:
+      return B.valInl(scanValue(V->payload(), W));
+    case ValueKind::Inr:
+      return B.valInr(scanValue(V->payload(), W));
+    case ValueKind::PackTag:
+      return B.valPackTag(V->var(), V->tagWitness(),
+                          scanValue(V->payload(), W),
+                          renameType(V->bodyType(), W));
+    case ValueKind::PackTyVar:
+      return B.valPackTyVar(V->var(), retargetSet(V->delta()),
+                            renameType(V->typeWitness(), W),
+                            scanValue(V->payload(), W),
+                            renameType(V->bodyType(), W));
+    case ValueKind::PackRegion: {
+      Region Witness = V->regionWitness();
+      if (Witness.isName() && Witness.sym() == FromSym)
+        Witness = Region::name(ToSym);
+      return B.valPackRegion(V->var(), retargetSet(V->delta()), Witness,
+                             scanValue(V->payload(), W),
+                             renameType(V->bodyType(), W));
+    }
+    case ValueKind::TransApp: {
+      std::vector<Region> Rs;
+      for (Region R : V->transRegions())
+        Rs.push_back(R.isName() && R.sym() == FromSym ? Region::name(ToSym)
+                                                      : R);
+      return B.valTransApp(scanValue(V->payload(), W), V->transTags(),
+                           std::move(Rs));
+    }
+    }
+    return V;
+  }
+
+  /// Shares part of \p W's local work, keeping the hot tail for the owner.
+  /// Two triggers: a full chunk once the stack piles up, and — because a
+  /// depth-first local stack over a binary heap never grows past the heap
+  /// *depth* (~20 entries for a million-cell tree, far short of any fixed
+  /// chunk threshold) — an eager half-split of the older entries whenever
+  /// the worker's public deque has run empty. The oldest entries sit
+  /// closest to the root and fan out the widest, so thieves get the
+  /// biggest subtrees.
+  void maybePublish(Worker &W) {
+    size_t Share = 0;
+    if (W.Local.size() >= 2 * ChunkSize)
+      Share = ChunkSize;
+    else if (W.Local.size() >= MinSplit && W.Deque.empty())
+      Share = W.Local.size() / 2;
+    if (Share == 0)
+      return;
+    std::vector<uint32_t> Chunk(W.Local.begin(), W.Local.begin() + Share);
+    W.Local.erase(W.Local.begin(), W.Local.begin() + Share);
+    W.Deque.push(std::move(Chunk));
+    ++W.Chunks;
+  }
+
+  void scanCell(uint32_t FromOff, Worker &W) {
+    const Value *Cell = FromCells[FromOff];
+    assert(Cell && "parallel Cheney scan hit a dangling cell");
+    const Value *Copied = scanValue(Cell, W);
+    uint32_t ToOff = Fwd[FromOff].load(std::memory_order_acquire);
+    assert(ToOff != Unclaimed && ToOff != Pending && "scanning unclaimed cell");
+    W.Results.emplace_back(ToOff, Copied);
+    ++W.Objects;
+    Unscanned.fetch_sub(1, std::memory_order_release);
+  }
+
+  void workerLoop(Worker &W) {
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<uint32_t> Buf;
+    for (;;) {
+      if (!W.Local.empty()) {
+        uint32_t Off = W.Local.back();
+        W.Local.pop_back();
+        scanCell(Off, W);
+        continue;
+      }
+      if (W.Deque.pop(Buf)) {
+        W.Local = std::move(Buf);
+        Buf.clear();
+        continue;
+      }
+      bool Stole = false;
+      for (size_t I = 1; I < Workers.size() && !Stole; ++I) {
+        Worker &Victim = Workers[(W.Id + I) % Workers.size()];
+        if (Victim.Deque.steal(Buf)) {
+          W.Local = std::move(Buf);
+          Buf.clear();
+          ++W.Steals;
+          Stole = true;
+        }
+      }
+      if (Stole)
+        continue;
+      if (Unscanned.load(std::memory_order_acquire) == 0)
+        break;
+      std::this_thread::yield();
+    }
+    W.CopyNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+
+  /// Runs the full collection: serial root scan, parallel drain, serial
+  /// epilogue. Returns the relocated root.
+  const Value *collect(const Value *Root, NativeGcStats &Stats) {
+    // Root scan on the mutator thread: claims seed work, values built in
+    // worker 0's arena (adopted below like every other worker arena).
+    Worker &RootW = Workers[0];
+    const Value *NewRoot = scanValue(Root, RootW);
+    // Deal the seed work round-robin so every worker starts busy.
+    {
+      std::vector<uint32_t> Seeds = std::move(RootW.Local);
+      RootW.Local.clear();
+      std::vector<std::vector<uint32_t>> Split(Workers.size());
+      for (size_t I = 0; I < Seeds.size(); ++I)
+        Split[I % Workers.size()].push_back(Seeds[I]);
+      for (size_t I = 0; I < Workers.size(); ++I)
+        if (!Split[I].empty())
+          Workers[I].Local = std::move(Split[I]);
+    }
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers.size());
+    for (Worker &W : Workers)
+      Threads.emplace_back([this, &W] {
+        TRACE_SCOPE("collector", "native.worker");
+        workerLoop(W);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    assert(Unscanned.load() == 0 && "workers exited with pending cells");
+
+    // Serial epilogue: assemble the to-region in to-offset order and
+    // install it with one bulk append.
+    std::vector<const Value *> ToCells(NextTo.load(), nullptr);
+    for (Worker &W : Workers)
+      for (auto &[ToOff, V] : W.Results) {
+        assert(!ToCells[ToOff] && "two workers copied one cell");
+        ToCells[ToOff] = V;
+      }
+    bool Ok = M.memory().appendCells(ToSym, ToCells);
+    assert(Ok && "to-region vanished during parallel collection");
+    (void)Ok;
+    if (M.config().TrackTypes) {
+      // Ascending from-offset order: deterministic Ψ dirty footprint.
+      for (uint32_t Off = 0; Off < FromCells.size(); ++Off) {
+        uint32_t ToOff = Fwd[Off].load(std::memory_order_relaxed);
+        if (ToOff == Unclaimed)
+          continue;
+        if (const Type *T = M.psi().lookup(Address{Region::name(FromSym), Off}))
+          M.psi().set(Address{Region::name(ToSym), ToOff},
+                      M.renameRegionName(T, FromSym, ToSym));
+      }
+    }
+    Stats.Workers = static_cast<unsigned>(Workers.size());
+    for (Worker &W : Workers) {
+      Stats.ObjectsCopied += W.Objects;
+      Stats.ForwardingHits += W.Hits;
+      Stats.Steals += W.Steals;
+      Stats.ChunksPublished += W.Chunks;
+      Stats.WorkerCopyNs.push_back(W.CopyNs);
+      Stats.WorkerObjects.push_back(W.Objects);
+      M.context().adoptArena(std::move(W.Mem));
+    }
+    return NewRoot;
+  }
+};
+
+/// Threads == 0 ("use the default") resolves here: the setter wins, else
+/// SCAV_THREADS, else 1. Read once — a mid-run env change should not flip
+/// collection determinism under a test.
+unsigned &nativeGcThreadsSlot() {
+  static unsigned N = [] {
+    if (const char *Env = std::getenv("SCAV_THREADS"); Env && *Env) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Env, &End, 10);
+      if (End != Env && *End == '\0' && V != 0 && V <= 1024)
+        return static_cast<unsigned>(V);
+    }
+    return 1u;
+  }();
+  return N;
+}
+
 } // namespace
+
+unsigned scav::gc::nativeGcThreads() { return nativeGcThreadsSlot(); }
+
+void scav::gc::setNativeGcThreads(unsigned N) {
+  nativeGcThreadsSlot() = N == 0 ? 1 : N;
+}
 
 std::pair<const Value *, Region>
 scav::gc::nativeCollect(Machine &M, const Value *Root, Region From,
                         bool PreserveSharing, NativeGcStats &Stats,
-                        CopyOrder Order) {
+                        CopyOrder Order, unsigned Threads) {
   TRACE_SCOPE("collector", "native.collect");
+  if (Threads == 0)
+    Threads = nativeGcThreads();
   GcContext &C = M.context();
   Region To = M.createRegion("to", 0);
   const Value *NewRoot = nullptr;
-  if (Order == CopyOrder::BreadthFirst) {
+  if (Order == CopyOrder::BreadthFirst && Threads > 1) {
+    ParallelCheney Gc(M, From.sym(), To.sym(), Threads);
+    NewRoot = Gc.collect(Root, Stats);
+  } else if (Order == CopyOrder::BreadthFirst) {
     CheneyGc Gc{M, C, From.sym(), To.sym(), Stats, {}, {}};
     NewRoot = Gc.scan(Root);
     Gc.drain();

@@ -19,12 +19,37 @@
 #define SCAV_GC_NATIVECOLLECTOR_H
 
 #include "gc/Machine.h"
+#include "support/Metrics.h"
+
+#include <vector>
 
 namespace scav::gc {
 
 struct NativeGcStats {
   uint64_t ObjectsCopied = 0;
   uint64_t ForwardingHits = 0; ///< Shared objects found already copied.
+  // Parallel-copy counters (gc.parallel.* in bench JSON). Zero/empty on the
+  // serial paths.
+  unsigned Workers = 0;          ///< Worker threads that ran.
+  uint64_t Steals = 0;           ///< Chunks taken from another worker.
+  uint64_t ChunksPublished = 0;  ///< Chunks made visible for stealing.
+  std::vector<uint64_t> WorkerCopyNs;   ///< Per-worker wall time in the loop.
+  std::vector<uint64_t> WorkerObjects;  ///< Per-worker cells copied.
+
+  /// Publishes under "gc.parallel.*": the scalar counters plus per-worker
+  /// copy-loop time and copied-cell distributions as histograms (the JSON
+  /// record then carries count/mean/p50/p99/max for each).
+  void exportTo(support::MetricsRegistry &Reg) const {
+    Reg.setCounter("gc.parallel.workers", Workers);
+    Reg.setCounter("gc.parallel.steals", Steals);
+    Reg.setCounter("gc.parallel.chunks_published", ChunksPublished);
+    Reg.setCounter("gc.parallel.objects_copied", ObjectsCopied);
+    Reg.setCounter("gc.parallel.forwarding_hits", ForwardingHits);
+    for (uint64_t Ns : WorkerCopyNs)
+      Reg.histogram("gc.parallel.worker_copy_ns").record(double(Ns));
+    for (uint64_t N : WorkerObjects)
+      Reg.histogram("gc.parallel.worker_objects").record(double(N));
+  }
 };
 
 /// Copy order. The paper's certified collectors are depth-first (their
@@ -40,11 +65,28 @@ enum class CopyOrder { DepthFirst, BreadthFirst };
 /// sharing is lost (the Fig 4 behaviour). Returns the relocated root and
 /// the new region.
 ///
+/// With \p Threads > 1 and BreadthFirst order, the Cheney copy runs on that
+/// many worker threads over chunked work-stealing queues (the mutator is
+/// parked for the whole collection, so the from-space is stable). Cell
+/// order in the to-region then depends on claim interleaving; `Threads ==
+/// 1` always takes the sequential path, which is bit-identical to the
+/// pre-parallel collector (the differential/golden tests rely on this).
+/// `Threads == 0` resolves to the process default (setNativeGcThreads /
+/// SCAV_THREADS, else 1). DepthFirst ignores \p Threads: its copy order
+/// *is* the recursion order.
+///
 /// Ψ is refreshed for the new region when the machine tracks types.
 std::pair<const Value *, Region>
 nativeCollect(Machine &M, const Value *Root, Region From,
               bool PreserveSharing, NativeGcStats &Stats,
-              CopyOrder Order = CopyOrder::DepthFirst);
+              CopyOrder Order = CopyOrder::DepthFirst, unsigned Threads = 0);
+
+/// Process-wide default worker count for parallel native copies, used when
+/// nativeCollect is called with Threads == 0. Initialized from SCAV_THREADS
+/// (certgc_run's --threads flag overrides via the setter); defaults to 1,
+/// which preserves the deterministic sequential path.
+unsigned nativeGcThreads();
+void setNativeGcThreads(unsigned N);
 
 } // namespace scav::gc
 

@@ -2,6 +2,7 @@
 
 #include "gc/StateCheck.h"
 
+#include <algorithm>
 #include <vector>
 
 using namespace scav;
@@ -127,6 +128,28 @@ private:
   std::unordered_set<const void *> Visited;
 };
 
+/// Deterministic iteration order for error selection: by (region symbol id,
+/// offset). Machine-minted symbol ids are a pure function of the program
+/// (checker mints live in their own fresh namespace and never name
+/// regions), so this order — and therefore which of several violations is
+/// reported — is identical across sync and async runs of the same program.
+bool addrLess(Address A, Address B) {
+  if (A.R.sym() != B.R.sym())
+    return A.R.sym().id() < B.R.sym().id();
+  return A.Offset < B.Offset;
+}
+
+template <typename MapT>
+std::vector<Symbol> sortedRegionSyms(const MapT &Regions) {
+  std::vector<Symbol> Syms;
+  Syms.reserve(Regions.size());
+  for (const auto &KV : Regions)
+    Syms.push_back(KV.first);
+  std::sort(Syms.begin(), Syms.end(),
+            [](Symbol A, Symbol B) { return A.id() < B.id(); });
+  return Syms;
+}
+
 } // namespace
 
 void scav::gc::collectAddresses(const Value *V, AddressSet &Out) {
@@ -139,22 +162,27 @@ void scav::gc::collectAddresses(const Term *E, AddressSet &Out) {
   Coll.visit(E);
 }
 
-void scav::gc::reachableCells(const Machine &M, AddressSet &Out,
-                              std::vector<Address> &Work) {
+void scav::gc::reachableCells(const Term *E, const Memory &Mem,
+                              AddressSet &Out, std::vector<Address> &Work) {
   Out.clear();
   Work.clear();
   // One collector for the whole traversal: its visited set spans every cell
   // visited below, so a value shared between N cells is walked once, not N
   // times.
   AddressCollector Coll(Out, &Work);
-  if (const Term *E = M.currentTerm())
+  if (E)
     Coll.visit(E);
   while (!Work.empty()) {
     Address A = Work.back();
     Work.pop_back();
-    if (const Value *Cell = M.memory().get(A))
+    if (const Value *Cell = Mem.get(A))
       Coll.visit(Cell);
   }
+}
+
+void scav::gc::reachableCells(const Machine &M, AddressSet &Out,
+                              std::vector<Address> &Work) {
+  reachableCells(M.currentTerm(), M.memory(), Out, Work);
 }
 
 AddressSet scav::gc::reachableCells(const Machine &M) {
@@ -181,6 +209,11 @@ StateCheckResult scav::gc::checkState(Machine &M,
   // tables and normalization memos would otherwise keep dangling pointers
   // to the released nodes.
   GcContext::Scope Scope(C);
+  // The oracle's fresh mints live in their own "o" namespace (counter
+  // persisted on the context): checking never perturbs the machine's (or
+  // the incremental engine's) fresh-name numbering, so running extra
+  // oracle checks cannot change any later diagnostic's spelling.
+  GcContext::FreshScope Fresh(C, "o", C.oracleFreshCtr());
 
   if (!M.typeTrackingOk())
     return StateCheckResult::failure("Psi maintenance failed: " +
@@ -198,12 +231,15 @@ StateCheckResult scav::gc::checkState(Machine &M,
   if (Opts.RestrictToReachable)
     Reachable = reachableCells(M);
 
-  // Dom(M) = Dom(Ψ) region-wise.
-  for (const auto &[S, _] : M.memory().Regions)
+  // Dom(M) = Dom(Ψ) region-wise. Region iteration is by symbol id so the
+  // *first* violation reported is deterministic (see IncrementalStateCheck
+  // doc).
+  std::vector<Symbol> MemSyms = sortedRegionSyms(M.memory().Regions);
+  for (Symbol S : MemSyms)
     if (!M.psi().hasRegion(S))
       return StateCheckResult::failure(
           "memory region missing from Psi: " + std::string(C.name(S)));
-  for (const auto &[S, PT] : M.psi().Regions) {
+  for (Symbol S : sortedRegionSyms(M.psi().Regions)) {
     if (!M.memory().hasRegion(S))
       return StateCheckResult::failure(
           "Psi region missing from memory: " + std::string(C.name(S)));
@@ -212,6 +248,7 @@ StateCheckResult scav::gc::checkState(Machine &M,
     // the written offset). A Ψ entry past the region's extent types a cell
     // that does not exist — fuzzer-found: the region-wise domain check
     // above cannot see it, and the per-cell loop below iterates memory.
+    const RegionType &PT = M.psi().Regions.find(S)->second;
     if (PT.Cells.size() > M.memory().region(S)->Cells.size())
       return StateCheckResult::failure(
           "Psi types a cell memory does not have: " + std::string(C.name(S)) +
@@ -222,7 +259,8 @@ StateCheckResult scav::gc::checkState(Machine &M,
   // is TypeChecker::checkHeapCell, shared with the incremental checker so
   // the two produce identical verdicts and error text.
   std::string CellErr;
-  for (const auto &[S, R] : M.memory().Regions) {
+  for (Symbol S : MemSyms) {
+    const RegionData &R = *M.memory().region(S);
     bool IsCd = S == CdS;
     for (uint32_t Off = 0; Off != R.Cells.size(); ++Off) {
       const Value *V = R.Cells[Off];
@@ -375,9 +413,15 @@ private:
 
 } // namespace
 
-IncrementalStateCheck::IncrementalStateCheck(Machine &M,
+IncrementalStateCheck::IncrementalStateCheck(Machine &Mach,
                                              IncrementalCheckOptions Opts)
-    : M(M), Opts(Opts), CdS(M.context().cd().sym()),
+    : OwnedSubject(std::make_unique<MachineSubject>(Mach)), M(*OwnedSubject),
+      Opts(Opts), CdS(M.context().cd().sym()),
+      Checker(M.context(), M.level(), Diags) {}
+
+IncrementalStateCheck::IncrementalStateCheck(CheckSubject &S,
+                                             IncrementalCheckOptions Opts)
+    : M(S), Opts(Opts), CdS(M.context().cd().sym()),
       Checker(M.context(), M.level(), Diags) {}
 
 StateCheckResult IncrementalStateCheck::check() {
@@ -391,6 +435,11 @@ StateCheckResult IncrementalStateCheck::check() {
   // machine-owned nodes, so the whole check runs under a context scope —
   // same discipline as the full checkState.
   GcContext::Scope Scope(M.context());
+  // Engine mints live in the "c" fresh namespace, numbered continuously
+  // across checks: they can neither collide with nor renumber the
+  // machine's own `Base$<n>` mints, which keeps every diagnostic's
+  // spelling a pure function of the subject state.
+  GcContext::FreshScope Fresh(M.context(), "c", EngineFreshCtr);
   StateCheckResult R = runCheck();
   Stats.CachedFacts = Facts.size();
   Stats.CellJudgmentCacheHits = JudgmentMemo.Hits;
@@ -445,8 +494,9 @@ StateCheckResult IncrementalStateCheck::runCheck() {
         recomputeExactReachable();
       // Dedicated snapshot: validateCell's success path reuses WorkScratch
       // as the addToReachable worklist, which would invalidate a range-for
-      // over it.
+      // over it. Sorted for deterministic failure selection.
       std::vector<Address> Recheck(KnownBad.begin(), KnownBad.end());
+      std::sort(Recheck.begin(), Recheck.end(), addrLess);
       for (Address B : Recheck) {
         if (!ReachPlus.count(B))
           continue;
@@ -480,7 +530,8 @@ StateCheckResult IncrementalStateCheck::resync() {
   if (StateCheckResult R = checkRegionDomains(); !R.Ok)
     return R;
 
-  for (const auto &[S, RD] : M.memory().Regions) {
+  for (Symbol S : sortedRegionSyms(M.memory().Regions)) {
+    const RegionData &RD = *M.memory().region(S);
     Region RName = Region::name(S);
     for (uint32_t Off = 0; Off != RD.Cells.size(); ++Off) {
       if (!RD.Cells[Off])
@@ -605,19 +656,34 @@ void IncrementalStateCheck::collectDirty() {
       if (Opts.RestrictToReachable && S != CdS && ReachPlus.insert(A).second)
         ReachGrew = true;
     }
-    // In-place overwrites (set / fill / defineCode).
-    for (uint32_t Off : RD.DirtyLog)
-      DirtySet.insert(Address{RName, Off});
-    RD.DirtyLog.clear();
+    // In-place overwrites (set / fill / defineCode). An overflowed log has
+    // forgotten which offsets were written (Memory.h, DirtyLogCap), so the
+    // honest fallback is to treat every established cell as dirty — the
+    // cost of one bounded-memory resync of the region.
+    if (RD.DirtyOverflow) {
+      for (uint32_t Off = 0; Off != RD.Cells.size(); ++Off)
+        if (RD.Cells[Off])
+          DirtySet.insert(Address{RName, Off});
+    } else {
+      for (uint32_t Off : RD.DirtyLog)
+        DirtySet.insert(Address{RName, Off});
+    }
+    RD.clearDirty();
     // In-place Ψ overwrites happen under external surgery (the machine
     // appends or rewrites whole regions, which are journaled) or when an
     // out-of-order defineCode fills a reserved null pad in cd: treat the
     // region as suspicious — re-validate the touched cells and poison
     // judgments that depend on this region.
-    if (PT && !PT->DirtyLog.empty()) {
-      for (uint32_t Off : PT->DirtyLog)
-        DirtySet.insert(Address{RName, Off});
-      PT->DirtyLog.clear();
+    if (PT && (PT->DirtyOverflow || !PT->DirtyLog.empty())) {
+      if (PT->DirtyOverflow) {
+        for (uint32_t Off = 0; Off != RD.Cells.size(); ++Off)
+          if (RD.Cells[Off])
+            DirtySet.insert(Address{RName, Off});
+      } else {
+        for (uint32_t Off : PT->DirtyLog)
+          DirtySet.insert(Address{RName, Off});
+      }
+      PT->clearDirty();
       invalidateRegion(S, /*Dropped=*/false);
     }
     Cur.MemVersion = RD.Version;
@@ -628,11 +694,12 @@ void IncrementalStateCheck::collectDirty() {
 
 StateCheckResult IncrementalStateCheck::checkRegionDomains() {
   GcContext &C = M.context();
-  for (const auto &[S, _] : M.memory().Regions)
+  for (Symbol S : sortedRegionSyms(M.memory().Regions))
     if (!M.psi().hasRegion(S))
       return StateCheckResult::failure("memory region missing from Psi: " +
                                        std::string(C.name(S)));
-  for (const auto &[S, PT] : M.psi().Regions) {
+  for (Symbol S : sortedRegionSyms(M.psi().Regions)) {
+    const RegionType &PT = M.psi().Regions.find(S)->second;
     if (!M.memory().hasRegion(S))
       return StateCheckResult::failure("Psi region missing from memory: " +
                                        std::string(C.name(S)));
@@ -648,7 +715,10 @@ StateCheckResult IncrementalStateCheck::checkRegionDomains() {
 }
 
 StateCheckResult IncrementalStateCheck::validateDirty() {
-  for (Address A : DirtySet) {
+  // Sorted so which of several bad cells fails the check is deterministic.
+  std::vector<Address> Dirty(DirtySet.begin(), DirtySet.end());
+  std::sort(Dirty.begin(), Dirty.end(), addrLess);
+  for (Address A : Dirty) {
     std::string Err;
     if (!validateCell(A, Err))
       return StateCheckResult::failure(std::move(Err));
@@ -747,7 +817,7 @@ void IncrementalStateCheck::addToReachable(Address A, const Value *V) {
 
 void IncrementalStateCheck::recomputeExactReachable() {
   ++Stats.ReachExactRecomputes;
-  reachableCells(M, ReachScratch, WorkScratch);
+  reachableCells(M.currentTerm(), M.memory(), ReachScratch, WorkScratch);
   ReachPlus.swap(ReachScratch);
   ExactThisCheck = true;
 }
@@ -758,11 +828,11 @@ void IncrementalStateCheck::syncCursors() {
     RegionCursor Cur;
     Cur.MemVersion = RD.Version;
     Cur.MemCells = RD.Cells.size();
-    RD.DirtyLog.clear();
+    RD.clearDirty();
     auto It = M.psi().Regions.find(S);
     if (It != M.psi().Regions.end()) {
       Cur.PsiVersion = It->second.Version;
-      It->second.DirtyLog.clear();
+      It->second.clearDirty();
     }
     Cursors.emplace(S, Cur);
   }

@@ -24,6 +24,7 @@
 
 #include "gc/Machine.h"
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -61,16 +62,90 @@ void collectAddresses(const Term *E, AddressSet &Out);
 void collectAddresses(const Value *V, AddressSet &Out);
 
 /// The set of cells reachable from the current term through memory.
-/// The two-argument form is the hot-path variant: \p Out is cleared and
+/// The buffer-taking forms are the hot-path variants: \p Out is cleared and
 /// refilled (its hash-table capacity survives) and \p Work is the caller's
 /// reusable worklist buffer — per-step checking would otherwise pay a fresh
-/// AddressSet allocation per call.
+/// AddressSet allocation per call. The (term, memory) form is the
+/// primitive; the Machine forms wrap the machine's current closed term.
+void reachableCells(const Term *E, const Memory &Mem, AddressSet &Out,
+                    std::vector<Address> &Work);
 void reachableCells(const Machine &M, AddressSet &Out,
                     std::vector<Address> &Work);
 AddressSet reachableCells(const Machine &M);
 
 /// Checks ⊢ (M, e) for the machine's current state.
 StateCheckResult checkState(Machine &M, const StateCheckOptions &Opts = {});
+
+//===----------------------------------------------------------------------===//
+// Check subjects
+//===----------------------------------------------------------------------===//
+
+/// What the incremental checker actually needs from the thing it checks: a
+/// typed state (memory + Ψ + current term) plus the delta journal / dirty
+/// log contract. The live Machine satisfies it directly (MachineSubject);
+/// the async pipeline satisfies it with a checker-thread-owned *mirror*
+/// rebuilt from capture deltas (AsyncCheck.h), which is what lets
+/// IncrementalStateCheck run off-thread without ever touching live machine
+/// state.
+class CheckSubject {
+public:
+  virtual ~CheckSubject() = default;
+
+  /// Context check transients are allocated in (and whose symbol table
+  /// names regions). For a mirror this is an *observer* context sharing
+  /// the machine's SymbolTable but nothing else.
+  virtual GcContext &context() = 0;
+  virtual LanguageLevel level() const = 0;
+
+  /// Mutable access: the checker is the consumer of the per-region dirty
+  /// logs (it clears them as it reads them).
+  virtual Memory &memory() = 0;
+  virtual const Memory &memory() const = 0;
+  virtual MemoryType &psi() = 0;
+  virtual const MemoryType &psi() const = 0;
+
+  /// The closed current term, or null when there is none (halted). May
+  /// allocate in context() (environment forcing).
+  virtual const Term *currentTerm() const = 0;
+
+  virtual bool typeTrackingOk() const = 0;
+  virtual std::string typeTrackingError() const = 0;
+
+  // Delta journal (same contract as Machine's: absolute indices, single
+  // consumer, consumer trims).
+  virtual void enableDeltaJournal() = 0;
+  virtual uint64_t journalEnd() const = 0;
+  virtual const DeltaEvent &journalEvent(uint64_t AbsIdx) const = 0;
+  virtual void trimJournal(uint64_t UpToAbs) = 0;
+};
+
+/// The trivial subject: a live Machine, checked synchronously on the
+/// mutator thread.
+class MachineSubject final : public CheckSubject {
+public:
+  explicit MachineSubject(Machine &M) : M(M) {}
+
+  GcContext &context() override { return M.context(); }
+  LanguageLevel level() const override { return M.level(); }
+  Memory &memory() override { return M.memory(); }
+  const Memory &memory() const override { return M.memory(); }
+  MemoryType &psi() override { return M.psi(); }
+  const MemoryType &psi() const override { return M.psi(); }
+  const Term *currentTerm() const override { return M.currentTerm(); }
+  bool typeTrackingOk() const override { return M.typeTrackingOk(); }
+  std::string typeTrackingError() const override {
+    return M.typeTrackingError();
+  }
+  void enableDeltaJournal() override { M.enableDeltaJournal(); }
+  uint64_t journalEnd() const override { return M.journalEnd(); }
+  const DeltaEvent &journalEvent(uint64_t AbsIdx) const override {
+    return M.journalEvent(AbsIdx);
+  }
+  void trimJournal(uint64_t UpToAbs) override { M.trimJournal(UpToAbs); }
+
+private:
+  Machine &M;
+};
 
 //===----------------------------------------------------------------------===//
 // Incremental checking
@@ -153,11 +228,19 @@ struct IncrementalCheckStats {
 /// are remembered (KnownBad) and re-tried if the superset ever grows to
 /// include them.
 ///
-/// One instance per machine: attaching enables the machine's delta journal
-/// and the checker consumes (and trims) the per-region dirty logs.
+/// One instance per subject: attaching enables the subject's delta journal
+/// and the checker consumes (and trims) the per-region dirty logs. Wherever
+/// multiple violations could be reported, iteration is explicitly ordered
+/// by (region symbol id, offset), so the verdict — and its exact text — is
+/// a function of the subject state alone, not of hash-map iteration order.
+/// That is what lets the async checker (running this engine over a mirror)
+/// promise byte-identical diagnostics to a synchronous run.
 class IncrementalStateCheck {
 public:
   explicit IncrementalStateCheck(Machine &M,
+                                 IncrementalCheckOptions Opts = {});
+  /// Checks an arbitrary subject (not owned; must outlive the checker).
+  explicit IncrementalStateCheck(CheckSubject &S,
                                  IncrementalCheckOptions Opts = {});
 
   /// Re-establishes ⊢ (M, e). The first call is a full check that builds
@@ -196,7 +279,10 @@ private:
   void invalidateRegion(Symbol S, bool Dropped);
   void syncCursors();
 
-  Machine &M;
+  /// Set only by the legacy Machine& constructor; declared before M so the
+  /// reference can bind to it.
+  std::unique_ptr<MachineSubject> OwnedSubject;
+  CheckSubject &M; ///< The subject under check (historically the machine).
   IncrementalCheckOptions Opts;
   IncrementalCheckStats Stats;
   Symbol CdS;
@@ -215,6 +301,12 @@ private:
   /// by recomputeExactReachable, avoids back-to-back recomputations.
   bool ExactThisCheck = false;
   uint64_t JournalCursor = 0;
+  /// Fresh-name counter for the "c" namespace every check() runs under
+  /// (GcContext::FreshScope): checker-minted symbols are spelled
+  /// `Base$c<n>` and can never collide with — or perturb the numbering of —
+  /// the machine's own `Base$<n>` mints. Persisted across checks so the
+  /// engine's own mints stay collision-free with themselves.
+  uint64_t EngineFreshCtr = 0;
 
   std::unordered_map<Symbol, RegionCursor, SymbolHash> Cursors;
   /// Cached successful judgments, by address. Values/types are

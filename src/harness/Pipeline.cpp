@@ -131,6 +131,13 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
     return R;
   }
   CheckStats = gc::IncrementalCheckStats{};
+  AsyncStats = gc::AsyncCheckStats{};
+  // Async checking needs the incremental engine and the raw term state;
+  // the Vm backend maintains neither, so it silently degrades to the
+  // synchronous path (same verdicts, just no pipelining).
+  if (Opts.AsyncCheck && Opts.IncrementalCheck && CheckEveryN != 0 &&
+      Opts.Machine.Eval != gc::EvalMode::Vm)
+    return runMachineAsync(MaxSteps, CheckEveryN);
   M->start(Translated.Main);
 
   bool Restrict = Opts.Level == gc::LanguageLevel::Forward;
@@ -215,6 +222,96 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
   return R;
 }
 
+RunResult Pipeline::runMachineAsync(uint64_t MaxSteps, uint32_t CheckEveryN) {
+  TRACE_SCOPE("pipeline", "run.machine.async");
+  RunResult R;
+  M->start(Translated.Main);
+
+  bool Restrict = Opts.Level == gc::LanguageLevel::Forward;
+  gc::AsyncCheckSession::Options SOpts;
+  SOpts.Check.RestrictToReachable = Restrict;
+  SOpts.QueueCapacity = Opts.AsyncQueueCapacity;
+  gc::AsyncCheckSession Session(*M, SOpts);
+  // Oracle cadence (FullCheckEvery) still runs synchronously inline — it
+  // is a paranoia cross-check of the engine, not part of the pipeline.
+  gc::StateCheckOptions Check;
+  Check.RestrictToReachable = Restrict;
+  Check.CheckCodeRegion = false;
+  uint64_t ChecksRun = 0;
+
+  auto SaveStats = [&](gc::AsyncVerdict &V) {
+    AsyncStats = Session.stats();
+    CheckStats = AsyncStats.Engine;
+    if (!V.Ok) {
+      R.Error = (V.initial() ? "initial state ill-formed: "
+                             : "preservation violation: ") +
+                std::move(V.Error);
+      R.Steps = V.Steps;
+    }
+  };
+
+  Session.capture(); // unit 0: the attach / initial-state check
+
+  for (uint64_t I = 0; I != MaxSteps; ++I) {
+    if (M->status() != gc::Machine::Status::Running)
+      break;
+    if (Session.failed())
+      break; // verdict resolved at finish() below
+    gc::Machine::Status S = M->step();
+    if (S == gc::Machine::Status::Stuck) {
+      // Pending units were captured at earlier steps: a failure among
+      // them is what a synchronous run would have stopped on before ever
+      // reaching this stuck state, so it takes precedence.
+      gc::AsyncVerdict V = Session.finish();
+      SaveStats(V);
+      if (V.Ok) {
+        R.Error = "machine stuck (progress violation): " + M->stuckReason();
+        R.Steps = M->stats().Steps;
+      }
+      return R;
+    }
+    if (I % CheckEveryN == 0) {
+      if (!Session.capture())
+        break;
+      ++ChecksRun;
+      if (Opts.FullCheckEvery != 0 && ChecksRun % Opts.FullCheckEvery == 0) {
+        gc::StateCheckResult Rf = gc::checkState(*M, Check);
+        if (!Rf.Ok) {
+          // A pending unit at an earlier step outranks the oracle miss,
+          // exactly as its synchronous check would have.
+          gc::AsyncVerdict V = Session.finish();
+          SaveStats(V);
+          if (V.Ok) {
+            R.Error = "incremental checker missed a violation: " + Rf.Error;
+            R.Steps = M->stats().Steps;
+          }
+          return R;
+        }
+      }
+    }
+  }
+
+  gc::AsyncVerdict V = Session.finish();
+  SaveStats(V);
+  if (!V.Ok)
+    return R;
+  R.Steps = M->stats().Steps;
+  if (M->status() != gc::Machine::Status::Halted) {
+    R.Error = M->status() == gc::Machine::Status::Running
+                  ? "machine did not halt within the step budget"
+                  : M->stuckReason();
+    return R;
+  }
+  const gc::Value *Val = M->haltValue();
+  if (!Val || !Val->is(gc::ValueKind::Int)) {
+    R.Error = "machine halted with a non-integer";
+    return R;
+  }
+  R.Ok = true;
+  R.Value = Val->intValue();
+  return R;
+}
+
 bool Pipeline::certify(DiagEngine &Diags) {
   return gc::certifyCodeRegion(*M, Diags);
 }
@@ -222,4 +319,9 @@ bool Pipeline::certify(DiagEngine &Diags) {
 void Pipeline::exportMetrics(support::MetricsRegistry &Reg) const {
   M->exportMetrics(Reg);
   CheckStats.exportTo(Reg);
+  // Async-session counters only exist when a run actually pipelined; the
+  // embedded engine stats re-export the same checker.* values CheckStats
+  // just wrote (they are the same numbers in async mode).
+  if (AsyncStats.UnitsCaptured)
+    AsyncStats.exportTo(Reg);
 }

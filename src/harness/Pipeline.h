@@ -15,6 +15,7 @@
 #define SCAV_HARNESS_PIPELINE_H
 
 #include "clos/Clos.h"
+#include "gc/AsyncCheck.h"
 #include "gc/CollectorBasic.h"
 #include "gc/CollectorForward.h"
 #include "gc/CollectorGen.h"
@@ -46,6 +47,18 @@ struct PipelineOptions {
   /// configurable full-check cadence for paranoid runs. 0 = incremental
   /// only.
   uint32_t FullCheckEvery = 0;
+  /// Run the per-N checks on a dedicated checker thread (gc/AsyncCheck.h):
+  /// runMachine captures state deltas at every check point and keeps
+  /// stepping while the checker validates them in order. Verdicts — the
+  /// diagnostic text and the step they apply to — are byte-identical to a
+  /// synchronous incremental run's. Requires IncrementalCheck; Vm eval
+  /// mode falls back to synchronous checking (the bytecode backend does
+  /// not maintain the raw term/environment pair captures ship).
+  bool AsyncCheck = false;
+  /// Async only: check units in flight before capture blocks; when the
+  /// checker falls a full queue + timeout behind, the lag net certifies
+  /// synchronously and resyncs (see AsyncCheckSession::Options).
+  size_t AsyncQueueCapacity = 256;
 };
 
 struct RunResult {
@@ -114,8 +127,13 @@ public:
   void exportMetrics(support::MetricsRegistry &Reg) const;
 
   /// Stats from the incremental checker of the most recent runMachine
-  /// (all-zero if checking was off or ran the full checker).
+  /// (all-zero if checking was off or ran the full checker). In async mode
+  /// these are the mirror-side engine's counters.
   const gc::IncrementalCheckStats &checkerStats() const { return CheckStats; }
+
+  /// Async-session stats of the most recent runMachine (all-zero unless
+  /// Opts.AsyncCheck took effect).
+  const gc::AsyncCheckStats &asyncCheckStats() const { return AsyncStats; }
 
 private:
   PipelineOptions Opts;
@@ -135,6 +153,9 @@ private:
   gc::Address GcEntry = gc::noCollector();
   gc::Address MajorGcEntry = gc::noCollector();
   gc::IncrementalCheckStats CheckStats;
+  gc::AsyncCheckStats AsyncStats;
+
+  RunResult runMachineAsync(uint64_t MaxSteps, uint32_t CheckEveryN);
 };
 
 } // namespace scav::harness

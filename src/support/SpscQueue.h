@@ -1,0 +1,107 @@
+//===- support/SpscQueue.h - Bounded single-producer/single-consumer queue ===//
+///
+/// \file
+/// A bounded SPSC queue for pipelining work between exactly two threads —
+/// the mutator (producer) and the async state checker (consumer, see
+/// gc/AsyncCheck.h). Mutex + condvar rather than a lock-free ring: the
+/// payloads here are whole check units (kilobytes of captured deltas), so
+/// the handoff cost is dominated by building the unit, and a mutex keeps
+/// the blocking semantics — bounded capacity *is* the backpressure
+/// mechanism — trivially correct under TSan.
+///
+/// Push blocks (or times out, for tryPushFor) when full; pop blocks when
+/// empty. close() wakes both sides: a closed queue rejects pushes and
+/// drains remaining items before pop returns nullopt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_SPSCQUEUE_H
+#define SCAV_SUPPORT_SPSCQUEUE_H
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace scav {
+
+template <typename T> class SpscQueue {
+public:
+  explicit SpscQueue(size_t Capacity) : Cap(Capacity) {
+    assert(Capacity > 0 && "queue needs room for at least one item");
+  }
+
+  SpscQueue(const SpscQueue &) = delete;
+  SpscQueue &operator=(const SpscQueue &) = delete;
+
+  /// Blocks until there is room (backpressure), then enqueues.
+  /// \returns false if the queue was closed before room appeared.
+  bool push(T Item) {
+    std::unique_lock<std::mutex> L(Mu);
+    NotFull.wait(L, [&] { return Items.size() < Cap || Closed; });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Like push, but gives up after \p Timeout without room. On timeout the
+  /// item is returned to the caller via \p Item (unmoved-from), so the
+  /// producer can fall back to handling it synchronously (the checker-lag
+  /// safety net).
+  bool tryPushFor(T &Item, std::chrono::milliseconds Timeout) {
+    std::unique_lock<std::mutex> L(Mu);
+    if (!NotFull.wait_for(L, Timeout,
+                          [&] { return Items.size() < Cap || Closed; }))
+      return false;
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> L(Mu);
+    NotEmpty.wait(L, [&] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return std::nullopt; // closed and drained
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Closes the queue: subsequent pushes fail; pops drain what remains.
+  void close() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Closed = true;
+    }
+    NotFull.notify_all();
+    NotEmpty.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Items.size();
+  }
+
+  size_t capacity() const { return Cap; }
+
+private:
+  const size_t Cap;
+  mutable std::mutex Mu;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace scav
+
+#endif // SCAV_SUPPORT_SPSCQUEUE_H

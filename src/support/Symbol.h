@@ -7,6 +7,15 @@
 /// and code labels ℓ. The table also provides a fresh-name supply used by
 /// capture-avoiding substitution and the various program transformations.
 ///
+/// The table is internally synchronized: a mutator thread and the async
+/// state-checker thread (gc/AsyncCheck.h) intern into one shared table
+/// concurrently. Spelling storage is a deque so `name()` views stay stable
+/// across later interns (and across threads). Fresh-name *counters* live
+/// with the callers (see GcContext::fresh and its namespace tags), not
+/// here, so one observer context minting names cannot perturb another
+/// context's numbering; the legacy single-counter `fresh()` is kept for
+/// the single-threaded frontend contexts (lambda/cps).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCAV_SUPPORT_SYMBOL_H
@@ -14,10 +23,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace scav {
 
@@ -41,42 +51,66 @@ private:
   uint32_t Id;
 };
 
-/// Owns symbol spellings and hands out fresh names.
+/// Owns symbol spellings and hands out fresh names. Thread-safe.
 class SymbolTable {
 public:
   /// Interns \p Name and returns its Symbol.
   Symbol intern(std::string_view Name) {
-    auto It = Map.find(std::string(Name));
-    if (It != Map.end())
-      return Symbol(It->second);
-    uint32_t Id = static_cast<uint32_t>(Names.size());
-    Names.emplace_back(Name);
-    Map.emplace(Names.back(), Id);
-    return Symbol(Id);
+    std::lock_guard<std::mutex> L(Mu);
+    return internLocked(Name).first;
+  }
+
+  /// Interns \p Name; the bool is true iff the spelling was not in the
+  /// table yet. One atomic lookup-or-insert, for fresh-name loops that must
+  /// not race with another thread interning the same spelling.
+  std::pair<Symbol, bool> internNew(std::string_view Name) {
+    std::lock_guard<std::mutex> L(Mu);
+    return internLocked(Name);
   }
 
   /// Creates a fresh symbol whose spelling starts with \p Base. The result
-  /// is guaranteed distinct from every symbol interned so far.
+  /// is guaranteed distinct from every symbol interned so far. Uses the
+  /// table-global counter; GcContext-based code should go through
+  /// GcContext::fresh instead, which namespaces its counter per context.
   Symbol fresh(std::string_view Base) {
+    std::lock_guard<std::mutex> L(Mu);
     for (;;) {
       std::string Candidate =
           std::string(Base) + "$" + std::to_string(FreshCounter++);
-      if (Map.find(Candidate) == Map.end())
-        return intern(Candidate);
+      auto [S, New] = internLocked(Candidate);
+      if (New)
+        return S;
     }
   }
 
-  /// \returns the spelling of \p S.
+  /// \returns the spelling of \p S. The view is stable for the table's
+  /// lifetime (spellings live in a deque and are never moved).
   std::string_view name(Symbol S) const {
+    std::lock_guard<std::mutex> L(Mu);
     assert(S.isValid() && S.id() < Names.size() && "invalid symbol");
     return Names[S.id()];
   }
 
-  size_t size() const { return Names.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Names.size();
+  }
 
 private:
-  std::vector<std::string> Names;
-  std::unordered_map<std::string, uint32_t> Map;
+  std::pair<Symbol, bool> internLocked(std::string_view Name) {
+    auto It = Map.find(Name);
+    if (It != Map.end())
+      return {Symbol(It->second), false};
+    uint32_t Id = static_cast<uint32_t>(Names.size());
+    Names.emplace_back(Name);
+    Map.emplace(std::string_view(Names.back()), Id);
+    return {Symbol(Id), true};
+  }
+
+  mutable std::mutex Mu;
+  std::deque<std::string> Names; ///< Stable spelling storage.
+  /// Keys view into Names (stable — deque elements never move).
+  std::unordered_map<std::string_view, uint32_t> Map;
   uint64_t FreshCounter = 0;
 };
 

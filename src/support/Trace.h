@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -54,6 +55,7 @@ struct TraceEvent {
   const char *Name = ""; ///< Event / counter name (stable string).
   uint64_t TsNs = 0;     ///< steady_clock nanoseconds.
   double Value = 0;      ///< Counter events only.
+  uint32_t Tid = 1;      ///< Small per-thread id (TraceSink::threadId).
 };
 
 /// Process-global event sink: a fixed ring that keeps the most recent
@@ -99,9 +101,28 @@ public:
             .count());
   }
 
+  /// Small dense id for the calling thread (1 = first caller, normally the
+  /// mutator/main thread), used as the Perfetto tid so parallel collector
+  /// workers and the async checker get their own tracks.
+  static uint32_t threadId() {
+    static std::atomic<uint32_t> NextTid{1};
+    thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+    return Tid;
+  }
+
+  /// The disabled path stays one relaxed load (the E11 tracing-overhead
+  /// gate measures exactly this); the enabled path takes the sink mutex so
+  /// concurrent producers — collector workers, the async checker — never
+  /// race on a ring slot. Tracing *enabled* is already the slow, observed
+  /// configuration, so a mutex there is an acceptable price for events
+  /// that are well-formed under TSan.
   void record(TracePhase Ph, const char *Cat, const char *Name,
               double Value = 0) {
-    if (!On.load(std::memory_order_relaxed) || Ring.empty())
+    if (!On.load(std::memory_order_relaxed))
+      return;
+    uint32_t Tid = threadId();
+    std::lock_guard<std::mutex> L(Mu);
+    if (Ring.empty())
       return;
     uint64_t Slot = Next.fetch_add(1, std::memory_order_relaxed);
     TraceEvent &E = Ring[Slot & (Ring.size() - 1)];
@@ -110,6 +131,7 @@ public:
     E.Name = Name;
     E.TsNs = nowNs();
     E.Value = Value;
+    E.Tid = Tid;
   }
 
   void begin(const char *Cat, const char *Name) {
@@ -188,19 +210,22 @@ public:
 
   /// Serializes the retained events as Chrome/Perfetto trace-event JSON
   /// ({"traceEvents": [...]}, the legacy JSON format every Perfetto build
-  /// accepts). Scopes sliced by the ring window are balanced: an End whose
-  /// Begin was overwritten gets a synthetic Begin at the window start, and
-  /// an unclosed Begin gets a synthetic End at the window end, so the
-  /// export never contains an unpaired duration event.
+  /// accepts). Duration pairs are balanced *per thread track* — B/E
+  /// nesting is only meaningful within one tid: an End whose Begin was
+  /// overwritten by the ring gets a synthetic Begin at the window start,
+  /// and an unclosed Begin gets a synthetic End at the window end, so no
+  /// track ever contains an unpaired duration event.
   std::string toChromeJson() const {
     std::vector<TraceEvent> Evs = snapshot();
-    // Balance B/E pairs over the retained window.
-    std::vector<size_t> Stack;      // indices of open Begins
-    std::vector<TraceEvent> Orphans; // Ends with no Begin in the window
+    // One pass: per-tid open-Begin stacks; Ends with no open Begin on
+    // their track are window-sliced orphans.
+    std::map<uint32_t, std::vector<TraceEvent>> Open;
+    std::vector<TraceEvent> Orphans;
     for (const TraceEvent &E : Evs) {
       if (E.Ph == TracePhase::Begin)
-        Stack.push_back(1);
+        Open[E.Tid].push_back(E);
       else if (E.Ph == TracePhase::End) {
+        auto &Stack = Open[E.Tid];
         if (!Stack.empty())
           Stack.pop_back();
         else
@@ -218,46 +243,43 @@ public:
                        : E.Ph == TracePhase::Counter ? "C"
                                                      : "i";
       double Us = static_cast<double>(Ts - T0) / 1000.0;
+      unsigned Tid = E.Tid;
       if (E.Ph == TracePhase::Counter)
         std::snprintf(Buf, sizeof(Buf),
                       "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"C\", "
-                      "\"ts\": %.3f, \"pid\": 1, \"tid\": 1, "
+                      "\"ts\": %.3f, \"pid\": 1, \"tid\": %u, "
                       "\"args\": {\"value\": %.17g}}",
-                      First ? "" : ",\n", E.Name, E.Cat, Us, E.Value);
+                      First ? "" : ",\n", E.Name, E.Cat, Us, Tid, E.Value);
       else if (E.Ph == TracePhase::Instant)
         std::snprintf(Buf, sizeof(Buf),
                       "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", "
-                      "\"s\": \"t\", \"ts\": %.3f, \"pid\": 1, \"tid\": 1}",
-                      First ? "" : ",\n", E.Name, E.Cat, Us);
+                      "\"s\": \"t\", \"ts\": %.3f, \"pid\": 1, \"tid\": %u}",
+                      First ? "" : ",\n", E.Name, E.Cat, Us, Tid);
       else
         std::snprintf(Buf, sizeof(Buf),
                       "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", "
-                      "\"ts\": %.3f, \"pid\": 1, \"tid\": 1}",
-                      First ? "" : ",\n", E.Name, E.Cat, Ph, Us);
+                      "\"ts\": %.3f, \"pid\": 1, \"tid\": %u}",
+                      First ? "" : ",\n", E.Name, E.Cat, Ph, Us, Tid);
       Out += Buf;
       First = false;
     };
-    // Synthetic Begins for window-sliced scopes, innermost last.
+    // Synthetic Begins for window-sliced scopes (encounter order preserves
+    // per-track nesting: on each track the outermost orphan End came last,
+    // so its Begin is emitted last → innermost... outermost order holds).
     for (const TraceEvent &E : Orphans) {
       TraceEvent B = E;
       B.Ph = TracePhase::Begin;
       Emit(B, T0);
     }
-    std::vector<TraceEvent> Unclosed; // Begins still open at window end
-    Stack.clear();
-    std::vector<TraceEvent> OpenEvs;
-    for (const TraceEvent &E : Evs) {
+    for (const TraceEvent &E : Evs)
       Emit(E, E.TsNs);
-      if (E.Ph == TracePhase::Begin)
-        OpenEvs.push_back(E);
-      else if (E.Ph == TracePhase::End && !OpenEvs.empty())
-        OpenEvs.pop_back();
-    }
-    // Synthetic Ends for still-open scopes, innermost first.
-    for (auto It = OpenEvs.rbegin(); It != OpenEvs.rend(); ++It) {
-      TraceEvent End = *It;
-      End.Ph = TracePhase::End;
-      Emit(End, TEnd);
+    // Synthetic Ends for still-open scopes, innermost first per track.
+    for (auto &[Tid, Stack] : Open) {
+      for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
+        TraceEvent End = *It;
+        End.Ph = TracePhase::End;
+        Emit(End, TEnd);
+      }
     }
     Out += "\n]}\n";
     return Out;

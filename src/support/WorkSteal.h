@@ -1,0 +1,67 @@
+//===- support/WorkSteal.h - Chunked work-stealing deques ------*- C++ -*-===//
+///
+/// \file
+/// Per-worker chunk deques for the parallel Cheney copier
+/// (gc/NativeCollector.cpp). Each worker publishes work in *chunks* (small
+/// vectors of items) to its own deque; the owner pops from the back (LIFO,
+/// cache-warm) and idle workers steal whole chunks from the front of a
+/// victim's deque (FIFO, oldest — most likely to fan out). Chunk
+/// granularity keeps the mutex per-deque and touched once per ChunkSize
+/// items rather than per item; with chunks of 64+ items the lock is far
+/// off the copy path's critical section, so a plain mutex beats a
+/// Chase-Lev ring here for code the state checker also has to trust.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SUPPORT_WORKSTEAL_H
+#define SCAV_SUPPORT_WORKSTEAL_H
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace scav {
+
+template <typename T> class ChunkDeque {
+public:
+  /// Publishes \p Chunk (moved from) to this deque.
+  void push(std::vector<T> &&Chunk) {
+    if (Chunk.empty())
+      return;
+    std::lock_guard<std::mutex> L(Mu);
+    Chunks.push_back(std::move(Chunk));
+  }
+
+  /// Owner side: pops the most recently published chunk into \p Out.
+  bool pop(std::vector<T> &Out) {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Chunks.empty())
+      return false;
+    Out = std::move(Chunks.back());
+    Chunks.pop_back();
+    return true;
+  }
+
+  /// Thief side: steals the *oldest* chunk into \p Out.
+  bool steal(std::vector<T> &Out) {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Chunks.empty())
+      return false;
+    Out = std::move(Chunks.front());
+    Chunks.pop_front();
+    return true;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Chunks.empty();
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::deque<std::vector<T>> Chunks;
+};
+
+} // namespace scav
+
+#endif // SCAV_SUPPORT_WORKSTEAL_H
