@@ -29,6 +29,7 @@ double meanEdgeDistance(Machine &M, Region To) {
   const RegionData *R = M.memory().region(To.sym());
   if (!R)
     return 0;
+  M.memory().decodeRegion(*R);
   uint64_t Sum = 0, Edges = 0;
   for (uint32_t Off = 0; Off != R->Cells.size(); ++Off) {
     AddressSet Children;

@@ -9,6 +9,12 @@
 //                                  reference substitution interpreter, or
 //                                  the compiled bytecode VM); env
 //                                  SCAV_EVAL_MODE sets the default
+//     --heap-layout compact|legacy heap cell representation (compact
+//                                  tagged-word buffers vs legacy pointer
+//                                  cells — DESIGN.md §3.12); the build
+//                                  default is compact unless
+//                                  -DSCAV_HEAP_LEGACY=ON, and env
+//                                  SCAV_HEAP_LAYOUT overrides the build
 //     --capacity N                 young-region capacity in cells
 //     --check-every N              re-check ⊢ (M,e) every N machine steps
 //                                  (0 = never; incremental checker unless
@@ -65,7 +71,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: certgc_run [--level base|forward|gen]"
-               " [--eval-mode env|subst|vm] [--capacity N]"
+               " [--eval-mode env|subst|vm] [--heap-layout compact|legacy]"
+               " [--capacity N]"
                " [--check-every N] [--full-check] [--full-check-every N]"
                " [--async-check] [--threads N]"
                " [--certify] [--dump-clos] [--stats] [--stats-json FILE]"
@@ -136,6 +143,16 @@ int main(int argc, char **argv) {
       if (!Mode)
         return usage();
       Opts.Machine.Eval = *Mode;
+    } else if (A == "--heap-layout") {
+      const char *L = NextArg();
+      if (!L)
+        return usage();
+      if (!std::strcmp(L, "compact"))
+        Opts.Machine.Layout = gc::HeapLayout::Compact;
+      else if (!std::strcmp(L, "legacy"))
+        Opts.Machine.Layout = gc::HeapLayout::Legacy;
+      else
+        return usage();
     } else if (A == "--capacity") {
       const char *N = NextArg();
       if (!N)

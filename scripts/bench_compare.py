@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Diff two sets of scav-metrics-v1 bench records (BENCH_e*.json).
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--gate PCT] [--min-delta PCT]
+
+BASELINE and CURRENT are each a BENCH_*.json file or a directory scanned
+for BENCH_*.json. Records pair up by their "experiment" field; experiments
+present on only one side are listed but not compared.
+
+For every shared gauge/counter the report shows baseline, current, and the
+percent change, with the direction classified by key suffix:
+
+  * higher-is-better:  *_speedup, *_steps_per_sec, *_rate, *_per_sec
+  * lower-is-better:   *_ns, *_ms, *_us, *_seconds, *_bytes
+  * neutral:           anything else (reported, never gated — step counts
+    and sizes change legitimately when workloads change)
+
+Histogram summaries compare mean and p99 as lower-is-better.
+
+By default the exit code only reflects I/O / schema problems — wall-clock
+numbers on shared CI runners drift far too much to gate merges on, so CI
+runs this as a non-gating report. With --gate PCT, a directional metric
+that regresses by more than PCT percent fails the run (for local A/B
+checks on a quiet machine). A flipped "pass" verdict (baseline true,
+current false) always fails, gate or not: that is the bench's own claim
+gate, not runner noise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HIGHER_BETTER = ("_speedup", "_steps_per_sec", "_rate", "_per_sec")
+LOWER_BETTER = ("_ns", "_ms", "_us", "_seconds", "_bytes")
+
+
+def direction(key: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 neutral."""
+    if key.endswith(HIGHER_BETTER):
+        return 1
+    if key.endswith(LOWER_BETTER):
+        return -1
+    return 0
+
+
+def load_records(spec: str) -> dict:
+    """experiment name -> parsed record, from a file or a directory."""
+    path = Path(spec)
+    if path.is_dir():
+        files = sorted(path.glob("BENCH_*.json"))
+    elif path.is_file():
+        files = [path]
+    else:
+        sys.exit(f"bench_compare: {spec}: no such file or directory")
+    out = {}
+    for f in files:
+        try:
+            doc = json.loads(f.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"bench_compare: {f}: {e}")
+        if doc.get("schema") != "scav-metrics-v1":
+            sys.exit(f"bench_compare: {f}: unexpected schema "
+                     f"{doc.get('schema')!r}")
+        out[doc.get("experiment", f.stem)] = doc
+    return out
+
+
+def metrics_of(doc: dict) -> dict:
+    """Flat {key: float} view: gauges, counters, histogram mean/p99."""
+    out = {}
+    out.update(doc.get("gauges", {}))
+    out.update(doc.get("counters", {}))
+    for name, h in doc.get("histograms", {}).items():
+        for stat in ("mean", "p99"):
+            if stat in h:
+                out[f"{name}:{stat}"] = h[stat]
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--gate", type=float, metavar="PCT", default=None,
+                    help="fail if any directional metric regresses by more "
+                         "than PCT percent (default: report only)")
+    ap.add_argument("--min-delta", type=float, metavar="PCT", default=2.0,
+                    help="suppress rows that moved less than PCT percent "
+                         "(default: 2)")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    curr = load_records(args.current)
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+    shared = sorted(set(base) & set(curr))
+    if only_base:
+        print(f"baseline only (not compared): {', '.join(only_base)}")
+    if only_curr:
+        print(f"current only (not compared):  {', '.join(only_curr)}")
+    if not shared:
+        print("bench_compare: no shared experiments; nothing to compare")
+        return 0
+
+    failures = []
+    for exp in shared:
+        b, c = base[exp], curr[exp]
+        print(f"\n== {exp} "
+              f"(baseline {b.get('git_sha', '?')} -> "
+              f"current {c.get('git_sha', '?')})")
+        if b.get("pass") and not c.get("pass"):
+            failures.append(f"{exp}: claim gate flipped pass -> FAIL")
+            print("  !! claim gate flipped: baseline pass, current FAIL")
+        bm, cm = metrics_of(b), metrics_of(c)
+        for key in sorted(set(bm) & set(cm)):
+            bv, cv = bm[key], cm[key]
+            if not bv:
+                continue
+            pct = (cv - bv) / abs(bv) * 100
+            sense = direction(key.split(":")[0])
+            regress = sense != 0 and pct * sense < 0 and abs(pct) > (
+                args.gate if args.gate is not None else float("inf"))
+            if abs(pct) < args.min_delta and not regress:
+                continue
+            mark = {1: "+", -1: "-", 0: " "}[sense]
+            flag = "  << regression" if regress else ""
+            print(f"  {mark} {key:44s} {bv:>12.4g} -> {cv:>12.4g} "
+                  f"({pct:+.1f}%){flag}")
+            if regress:
+                failures.append(f"{exp}: {key} regressed {pct:+.1f}% "
+                                f"(gate {args.gate}%)")
+        missing = sorted(set(bm) - set(cm))
+        if missing:
+            print(f"  dropped metrics: {', '.join(missing)}")
+
+    if failures:
+        print("\nbench_compare: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench_compare: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -176,6 +176,11 @@ void AsyncCheckSession::buildUnit(CheckUnit &U) {
   U.Cur = M.rawTerm();
   U.Env = M.rawEnv();
 
+  // Compact layout: snapshot/tail/dirty capture below reads Cells directly,
+  // so word-written cells must be decoded first. Mutator-thread only — the
+  // checker thread sees the already-decoded pointers in the unit.
+  M.memory().decodeAll();
+
   // Consume the machine journal (this session is its sole consumer; the
   // engine consumes the *mirror's* copy on its own cursor).
   bool External = false;

@@ -19,9 +19,8 @@ Address Machine::reserveCode(std::string_view Label) {
   assert(R && "cd region must exist");
   assert(R->Cells.size() < std::numeric_limits<uint32_t>::max() &&
          "cd offset space exhausted");
-  uint32_t Off = static_cast<uint32_t>(R->Cells.size());
-  R->Cells.push_back(nullptr); // placeholder until defineCode
-  ++R->Version;
+  (void)R;
+  uint32_t Off = Mem.reserveSlot(CdS); // placeholder until defineCode
   // Remember the label: tracing names collector-phase App events after it,
   // and drivers can resolve it back for diagnostics.
   CdLabels.emplace(Off, std::string(Label));
@@ -451,10 +450,23 @@ void Machine::applyWiden(Symbol From, Symbol To) {
       for (const Type *&Ty : It->second.Cells)
         if (Ty)
           Ty = widenPsiType(Ty, From, To);
-    if (RegionData *R = Mem.region(From))
-      for (const Value *&Cell : R->Cells)
-        if (Cell)
-          Cell = widenValueTypes(Cell, From, To);
+    if (RegionData *R = Mem.region(From)) {
+      // The compact layout must see every cell as a Value to rewrite its
+      // embedded annotations, then mirror the rewrite into the word image.
+      // Like the legacy in-place writes below, the re-encode is neither
+      // version-stamped nor dirty-logged: the RegionWidened journal event
+      // is the consumer's signal.
+      Mem.decodeRegion(*R);
+      for (size_t Off = 0; Off != R->Cells.size(); ++Off) {
+        const Value *Cell = R->Cells[Off];
+        if (!Cell)
+          continue;
+        const Value *NewCell = widenValueTypes(Cell, From, To);
+        R->Cells[Off] = NewCell;
+        if (Mem.compact())
+          R->Words[Off] = Mem.encodeValue(*R, NewCell);
+      }
+    }
     // Ψ cell types just changed view (M → C); cached inferences are stale.
     // Journaled as the precise RegionWidened event below, so the internal
     // clear suffices.

@@ -113,6 +113,10 @@ struct MachineConfig {
   /// (vm::VmExec) and is differential-tested three ways in
   /// tests/gc_machine_vm_diff_test.
   EvalMode Eval = EvalMode::Env;
+  /// Cell representation (Memory.h): Compact tagged words by default,
+  /// Legacy pointer cells for the differential oracle. The process default
+  /// honours -DSCAV_HEAP_LEGACY and the SCAV_HEAP_LAYOUT env override.
+  HeapLayout Layout = defaultHeapLayout();
 };
 
 /// One entry of the per-step delta journal (Machine::enableDeltaJournal):
@@ -229,8 +233,8 @@ public:
   enum class Status { Running, Halted, Stuck };
 
   Machine(GcContext &C, LanguageLevel Level, MachineConfig Config = {})
-      : C(C), Level(Level), Config(Config), Mem(C.cd().sym()),
-        Checker(C, Level, InferDiags) {
+      : C(C), Level(Level), Config(Config),
+        Mem(C.cd().sym(), Config.Layout, &C), Checker(C, Level, InferDiags) {
     Checker.setSkipCodeBodies(true);
     Checker.setTrustAddresses(true);
     Psi.addRegion(C.cd().sym());
@@ -630,10 +634,9 @@ inline void Machine::exportMetrics(support::MetricsRegistry &Reg) const {
   Reg.setGauge("memory.regions", static_cast<double>(Mem.numRegions()));
   Reg.setGauge("memory.live_data_cells",
                static_cast<double>(Mem.liveDataCells()));
+  const RegionData *Cd = Mem.region(Mem.cdSym());
   Reg.setGauge("memory.cd_cells",
-               static_cast<double>(
-                   Mem.region(Mem.cdSym()) ? Mem.region(Mem.cdSym())->Cells.size()
-                                           : 0));
+               static_cast<double>(Cd ? Cd->Cells.size() : 0));
   Reg.setGauge("machine.env_depth", static_cast<double>(envDepth()));
   Reg.setGauge("machine.journal_len",
                static_cast<double>(journalEnd() - journalBegin()));

@@ -14,13 +14,29 @@
 /// `ifgc ρ e1 e2` ("if ρ is full"): allocation beyond capacity is allowed
 /// (the collector itself must be able to allocate), but `ifgc` reports full.
 ///
+/// Two heap layouts share this interface (DESIGN.md §3.12):
+///
+///  * Compact (default): every cell is additionally encoded as a 64-bit
+///    tagged word (HeapWord.h) in a flat per-region buffer, with region
+///    names resolved through a dense region-id table instead of hashing the
+///    symbol. Collectors and the VM write words directly; `Cells` entries
+///    are then decoded lazily (and cached) the first time a consumer needs
+///    the `const Value *` view. The invariant is Cells.size() ==
+///    Words.size(), with `Cells[i]` authoritative when non-null and
+///    `Words[i]` authoritative when Cells[i] is null (word 0 = no value).
+///  * Legacy (`-DSCAV_HEAP_LEGACY=ON`, or SCAV_HEAP_LAYOUT=legacy): the
+///    original pointer-per-cell representation, kept as the differential
+///    oracle. Words/Aux/Boxed stay empty.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCAV_GC_MEMORY_H
 #define SCAV_GC_MEMORY_H
 
+#include "gc/HeapWord.h"
 #include "gc/Term.h"
 
+#include <cassert>
 #include <limits>
 #include <optional>
 #include <unordered_map>
@@ -28,11 +44,37 @@
 
 namespace scav::gc {
 
+class GcContext;
+
+/// Which cell representation a Memory uses. Pipelines that differential-test
+/// the two run one Machine per layout over the same program.
+enum class HeapLayout { Compact, Legacy };
+
+/// Process default: Compact unless built with -DSCAV_HEAP_LEGACY=ON; the
+/// SCAV_HEAP_LAYOUT environment variable ("compact"/"legacy") overrides
+/// either build default. Sampled once.
+HeapLayout defaultHeapLayout();
+
 /// A region R: a dense bump-allocated cell array (offset = index). Regions
 /// are only ever freed wholesale (`only`), never cell by cell, so a vector
 /// models the paper's region arenas faithfully — including O(1) bulk free.
 struct RegionData {
   std::vector<const Value *> Cells;
+  /// Compact layout: the tagged-word image of each cell, parallel to Cells
+  /// (Words.size() == Cells.size() always). Empty under Legacy.
+  std::vector<uint64_t> Words;
+  /// Compact layout: child words of Pair/InlAux/InrAux cells.
+  std::vector<uint64_t> Aux;
+  /// Compact layout: side table for pointer-rich cells (Box words).
+  std::vector<const Value *> Boxed;
+  /// Compact layout: this region's dense id (index into Memory::ById).
+  uint32_t Id = 0;
+  /// Compact layout: conservative (never under-counting) number of cells
+  /// whose Words entry is set but whose Cells entry has not been decoded
+  /// yet. Zero means every cell is visible through Cells, so decodeRegion
+  /// is O(1) — consumers that need the pointer view (checkers, fuzzers)
+  /// call it unconditionally.
+  uint32_t Undecoded = 0;
   /// Soft capacity in cells; 0 means unlimited (never "full").
   uint32_t Capacity = 0;
   /// Total cells ever allocated here.
@@ -116,12 +158,23 @@ struct RegionType {
 /// A memory type Ψ.
 class MemoryType {
 public:
+  /// Single-lookup access to Υ = Ψ(ν), or nullptr if ν ∉ Dom(Ψ). Callers
+  /// that used to pair hasRegion() with find() go through this instead.
+  RegionType *region(Symbol S) {
+    auto It = Regions.find(S);
+    return It == Regions.end() ? nullptr : &It->second;
+  }
+  const RegionType *region(Symbol S) const {
+    auto It = Regions.find(S);
+    return It == Regions.end() ? nullptr : &It->second;
+  }
+
   /// \returns the cell type Ψ(ν.ℓ), or nullptr if absent.
   const Type *lookup(Address A) const {
-    auto RIt = Regions.find(A.R.sym());
-    if (RIt == Regions.end())
+    const RegionType *R = region(A.R.sym());
+    if (!R)
       return nullptr;
-    const auto &Cs = RIt->second.Cells;
+    const auto &Cs = R->Cells;
     return A.Offset < Cs.size() ? Cs[A.Offset] : nullptr;
   }
 
@@ -142,7 +195,7 @@ public:
     ++R.Version;
   }
 
-  bool hasRegion(Symbol S) const { return Regions.count(S) != 0; }
+  bool hasRegion(Symbol S) const { return Regions.find(S) != Regions.end(); }
   void addRegion(Symbol S) { Regions.try_emplace(S); }
   void removeRegion(Symbol S) { Regions.erase(S); }
 
@@ -165,30 +218,47 @@ public:
 /// A memory M. Always contains cd.
 class Memory {
 public:
-  explicit Memory(Symbol CdSym) : CdSym(CdSym) { Regions.try_emplace(CdSym); }
+  /// \p Ctx decodes compact words back into Values; passing nullptr (the
+  /// mirror subject and standalone unit tests do) forces Legacy regardless
+  /// of \p Layout, since a word heap without a context cannot be read back.
+  explicit Memory(Symbol CdSym, HeapLayout Layout = HeapLayout::Legacy,
+                  GcContext *Ctx = nullptr)
+      : Ctx(Ctx), Layout(Ctx ? Layout : HeapLayout::Legacy), CdSym(CdSym) {
+    addRegion(CdSym, 0);
+  }
+
+  // Decoded-cell caches hold interior pointers (ById, and the collectors
+  // keep RegionData references across a whole copy) — a Memory never moves
+  // or duplicates.
+  Memory(const Memory &) = delete;
+  Memory &operator=(const Memory &) = delete;
+
+  HeapLayout layout() const { return Layout; }
+  bool compact() const { return Layout == HeapLayout::Compact; }
 
   /// Allocates a fresh region named \p S with the given soft capacity.
   void addRegion(Symbol S, uint32_t Capacity) {
     RegionData &R = Regions[S];
     R.Capacity = Capacity;
+    if (compact()) {
+      R.Id = ensureRegionId(S);
+      ById[R.Id] = &R;
+    }
   }
 
-  bool hasRegion(Symbol S) const { return Regions.count(S) != 0; }
+  bool hasRegion(Symbol S) const { return regionImpl(S) != nullptr; }
 
   RegionData *region(Symbol S) {
-    auto It = Regions.find(S);
-    return It == Regions.end() ? nullptr : &It->second;
+    return const_cast<RegionData *>(regionImpl(S));
   }
-  const RegionData *region(Symbol S) const {
-    auto It = Regions.find(S);
-    return It == Regions.end() ? nullptr : &It->second;
-  }
+  const RegionData *region(Symbol S) const { return regionImpl(S); }
 
   /// Stores \p V at a fresh offset in region \p S; returns the address.
   /// Fails (nullopt) if the region does not exist or its offset space is
   /// exhausted: offsets are uint32_t, and silently wrapping past 2³² cells
   /// would alias live cells. The machine turns the failure into a stuck
-  /// state rather than corrupting memory.
+  /// state rather than corrupting memory. A null \p V reserves the slot
+  /// but still counts it as allocated (the Cheney copier's reserve step).
   std::optional<Address> put(Symbol S, const Value *V) {
     RegionData *R = region(S);
     if (!R)
@@ -196,12 +266,49 @@ public:
     if (R->Cells.size() >= std::numeric_limits<uint32_t>::max())
       return std::nullopt;
     uint32_t Off = static_cast<uint32_t>(R->Cells.size());
+    if (compact())
+      // Encode before push_back: encodeValue may grow Aux/Boxed but never
+      // Words. Eager store keeps machine-written cells always decoded.
+      R->Words.push_back(V ? encodeValue(*R, V) : heapword::Hole);
     R->Cells.push_back(V);
     ++R->TotalAllocated;
     ++R->Version;
     if (S != CdSym)
       ++LiveData;
     return Address{Region::name(S), Off};
+  }
+
+  /// Compact fast path: appends an already-encoded word to \p R (which must
+  /// be \p S's RegionData). The Cells entry stays null until decoded.
+  std::optional<Address> putWord(RegionData &R, Symbol S, uint64_t W) {
+    assert(compact() && "putWord is compact-only");
+    if (R.Cells.size() >= std::numeric_limits<uint32_t>::max())
+      return std::nullopt;
+    uint32_t Off = static_cast<uint32_t>(R.Cells.size());
+    R.Words.push_back(W);
+    R.Cells.push_back(nullptr);
+    if (W != heapword::Hole)
+      ++R.Undecoded;
+    ++R.TotalAllocated;
+    ++R.Version;
+    if (S != CdSym)
+      ++LiveData;
+    return Address{Region::name(S), Off};
+  }
+
+  /// Reserves an uncounted slot (reserveCode's two-phase cd init): extends
+  /// the region by one null cell and stamps Version, without touching
+  /// TotalAllocated/liveDataCells. \returns the new offset.
+  uint32_t reserveSlot(Symbol S) {
+    RegionData *R = region(S);
+    assert(R && "reserveSlot into a missing region");
+    assert(R->Cells.size() < std::numeric_limits<uint32_t>::max());
+    uint32_t Off = static_cast<uint32_t>(R->Cells.size());
+    if (compact())
+      R->Words.push_back(heapword::Hole);
+    R->Cells.push_back(nullptr);
+    ++R->Version;
+    return Off;
   }
 
   /// Bulk-appends \p Vs at fresh offsets in region \p S (one Version bump).
@@ -214,6 +321,9 @@ public:
       return false;
     if (R->Cells.size() + Vs.size() >= std::numeric_limits<uint32_t>::max())
       return false;
+    if (compact())
+      for (const Value *V : Vs)
+        R->Words.push_back(V ? encodeValue(*R, V) : heapword::Hole);
     R->Cells.insert(R->Cells.end(), Vs.begin(), Vs.end());
     R->TotalAllocated += Vs.size();
     ++R->Version;
@@ -222,12 +332,34 @@ public:
     return true;
   }
 
-  /// \returns the value stored at \p A, or nullptr.
+  /// Compact bulk append of already-encoded words (the parallel compact
+  /// copy's epilogue; word aux/box indices must already be rebased into
+  /// \p R's tables). One Version bump, fresh cells not dirty-logged.
+  bool appendWords(RegionData &R, Symbol S, const std::vector<uint64_t> &Ws) {
+    assert(compact() && "appendWords is compact-only");
+    if (R.Cells.size() + Ws.size() >= std::numeric_limits<uint32_t>::max())
+      return false;
+    R.Words.insert(R.Words.end(), Ws.begin(), Ws.end());
+    R.Cells.resize(R.Words.size(), nullptr);
+    R.Undecoded += static_cast<uint32_t>(Ws.size());
+    R.TotalAllocated += Ws.size();
+    ++R.Version;
+    if (S != CdSym)
+      LiveData += Ws.size();
+    return true;
+  }
+
+  /// \returns the value stored at \p A, or nullptr. Compact cells written
+  /// as raw words are decoded (and the decode cached) on first read.
   const Value *get(Address A) const {
-    const RegionData *R = region(A.R.sym());
-    if (!R)
+    const RegionData *R = regionImpl(A.R.sym());
+    if (!R || A.Offset >= R->Cells.size())
       return nullptr;
-    return A.Offset < R->Cells.size() ? R->Cells[A.Offset] : nullptr;
+    const Value *V = R->Cells[A.Offset];
+    if (V || Layout == HeapLayout::Legacy)
+      return V;
+    return R->Words[A.Offset] == heapword::Hole ? nullptr
+                                                : decodeCell(*R, A.Offset);
   }
 
   /// Fills a reserved (nullptr) slot; used by the Cheney copier and
@@ -236,22 +368,60 @@ public:
     RegionData *R = region(A.R.sym());
     if (!R || A.Offset >= R->Cells.size())
       return false;
+    if (compact())
+      R->Words[A.Offset] = V ? encodeValue(*R, V) : heapword::Hole;
     R->Cells[A.Offset] = V;
     ++R->Version;
     R->logDirty(A.Offset);
     return true;
   }
 
+  /// Compact Cheney fast path: fill with an already-encoded word. Same
+  /// stamps as fill (Version + dirty log); the decode is left lazy.
+  bool fillWord(RegionData &R, Address A, uint64_t W) {
+    assert(compact() && "fillWord is compact-only");
+    if (A.Offset >= R.Words.size())
+      return false;
+    R.Words[A.Offset] = W;
+    if (R.Cells[A.Offset])
+      R.Cells[A.Offset] = nullptr;
+    if (W != heapword::Hole)
+      ++R.Undecoded;
+    ++R.Version;
+    R.logDirty(A.Offset);
+    return true;
+  }
+
   /// Overwrites the cell at \p A (used by `set`); returns false if absent.
   bool update(Address A, const Value *V) {
     RegionData *R = region(A.R.sym());
-    if (!R)
+    if (!R || A.Offset >= R->Cells.size())
       return false;
-    if (A.Offset >= R->Cells.size() || !R->Cells[A.Offset])
+    if (!R->Cells[A.Offset] &&
+        (Layout == HeapLayout::Legacy ||
+         R->Words[A.Offset] == heapword::Hole))
       return false;
+    if (compact())
+      R->Words[A.Offset] = encodeValue(*R, V);
     R->Cells[A.Offset] = V;
     ++R->Version;
     R->logDirty(A.Offset);
+    return true;
+  }
+
+  /// Compact `set` fast path: overwrite an established cell with an
+  /// already-encoded word (the VM skips materializing the source value).
+  bool updateWord(RegionData &R, Address A, uint64_t W) {
+    assert(compact() && "updateWord is compact-only");
+    if (A.Offset >= R.Words.size())
+      return false;
+    if (!R.Cells[A.Offset] && R.Words[A.Offset] == heapword::Hole)
+      return false;
+    R.Words[A.Offset] = W;
+    R.Cells[A.Offset] = nullptr;
+    ++R.Undecoded;
+    ++R.Version;
+    R.logDirty(A.Offset);
     return true;
   }
 
@@ -265,6 +435,8 @@ public:
         continue;
       }
       LiveData -= It->second.Cells.size();
+      if (compact())
+        ById[It->second.Id] = nullptr;
       It = Regions.erase(It);
       ++Reclaimed;
     }
@@ -273,11 +445,77 @@ public:
 
   /// "ρ is full" for ifgc: at least Capacity cells live (0 = never full).
   bool isFull(Symbol S) const {
-    const RegionData *R = region(S);
+    const RegionData *R = regionImpl(S);
     if (!R || R->Capacity == 0)
       return false;
     return R->Cells.size() >= R->Capacity;
   }
+
+  /// Encodes \p V as a tagged word targeting region \p R (children land in
+  /// R's Aux/Boxed tables). Total: shapes that don't fit inline are boxed.
+  uint64_t encodeValue(RegionData &R, const Value *V);
+
+  /// Decodes one word of \p R back into a Value (allocating in Ctx).
+  const Value *decodeWord(const RegionData &R, uint64_t W) const;
+
+  /// Decodes and caches Cells[Off]; \p Off must hold a non-Hole word.
+  /// Const but caching (mutator-thread only): decode never stamps Version
+  /// or the dirty log — it changes the representation, not the state.
+  const Value *decodeCell(const RegionData &R, uint32_t Off) const;
+
+  /// Makes every cell of \p R visible through Cells. O(1) when nothing is
+  /// undecoded (eager machine writes keep it so outside collections).
+  void decodeRegion(const RegionData &R) const;
+
+  /// decodeRegion over every region — consumers that walk Cells directly
+  /// (checkers, fuzz victim enumeration) call this first. Must run before
+  /// any GcContext::Scope those consumers open: decoded values are cached
+  /// in Cells and must not be allocated under a scope that rolls back.
+  void decodeAll() const {
+    if (Layout == HeapLayout::Legacy)
+      return;
+    for (const auto &[S, R] : Regions)
+      decodeRegion(R);
+  }
+
+  /// Compact layout: live RegionData for a dense region id, or nullptr if
+  /// the id is unassigned or its region was reclaimed. The VM's word frame
+  /// slots and Addr words resolve their region this way — one vector index
+  /// instead of a symbol hash.
+  RegionData *regionById(uint32_t Id) {
+    return Id < ById.size() ? ById[Id] : nullptr;
+  }
+  const RegionData *regionById(uint32_t Id) const {
+    return Id < ById.size() ? ById[Id] : nullptr;
+  }
+
+  /// Re-targets an encoded word from \p Src into \p Dst without decoding:
+  /// region-independent payloads (Int, Addr, InlAddr, InrAddr) copy
+  /// verbatim, Pair/InlAux/InrAux subtrees are copied into Dst's Aux table,
+  /// Box payloads are re-boxed. Within one region the word is returned
+  /// unchanged — aux entries are immutable once written, so two cells
+  /// sharing a subtree is sound.
+  uint64_t transcodeWord(const RegionData &Src, uint64_t W, RegionData &Dst);
+
+  /// Dense region-id for \p S, assigning one if needed. Ids persist across
+  /// the region's death (IdToSym is append-only), so stale words still
+  /// name the right symbol; re-adding a name reuses its id.
+  uint32_t ensureRegionId(Symbol S) {
+    uint32_t Sid = S.id();
+    if (Sid >= SymToId.size())
+      SymToId.resize(size_t(Sid) + 1, InvalidId);
+    uint32_t Id = SymToId[Sid];
+    if (Id == InvalidId) {
+      Id = static_cast<uint32_t>(IdToSym.size());
+      IdToSym.push_back(S);
+      ById.push_back(nullptr);
+      SymToId[Sid] = Id;
+    }
+    return Id;
+  }
+
+  /// Symbol for a dense region id (total for ids handed out here).
+  Symbol regionIdSymbol(uint32_t Id) const { return IdToSym[Id]; }
 
   Symbol cdSym() const { return CdSym; }
 
@@ -292,13 +530,42 @@ public:
   /// Keyed by region-name symbol. Unordered on purpose (see MemoryType):
   /// iteration sites (restrictTo, liveDataCells, heap growth, the native
   /// collector's keep-set, state checking) are all order-insensitive, and
-  /// `only`'s scan plus the per-put region lookup are hot (E5).
+  /// `only`'s scan plus the per-put region lookup are hot (E5). The map
+  /// stays the owner even under Compact — its node-stable addresses are
+  /// what ById points at; compact lookups just bypass the hashing.
   std::unordered_map<Symbol, RegionData, SymbolHash> Regions;
 
 private:
+  static constexpr uint32_t InvalidId =
+      std::numeric_limits<uint32_t>::max();
+
+  /// Layout-dispatched lookup: dense table under Compact, hash under
+  /// Legacy. ById entries are nulled by restrictTo, so a hit is live.
+  const RegionData *regionImpl(Symbol S) const {
+    if (Layout == HeapLayout::Compact) {
+      uint32_t Sid = S.id();
+      if (Sid >= SymToId.size())
+        return nullptr;
+      uint32_t Id = SymToId[Sid];
+      return Id == InvalidId ? nullptr : ById[Id];
+    }
+    auto It = Regions.find(S);
+    return It == Regions.end() ? nullptr : &It->second;
+  }
+
+  uint64_t boxValue(RegionData &R, const Value *V);
+
+  GcContext *Ctx;
+  HeapLayout Layout;
   Symbol CdSym;
   /// Running liveDataCells() counter (cells in non-cd regions).
   size_t LiveData = 0;
+  /// Compact: Symbol::id() → dense region id (InvalidId = none yet).
+  std::vector<uint32_t> SymToId;
+  /// Compact: dense region id → symbol. Append-only.
+  std::vector<Symbol> IdToSym;
+  /// Compact: dense region id → live RegionData (null once dropped).
+  std::vector<RegionData *> ById;
 };
 
 } // namespace scav::gc

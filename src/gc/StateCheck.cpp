@@ -202,6 +202,11 @@ StateCheckResult scav::gc::checkState(Machine &M,
   GcContext &C = M.context();
   Symbol CdS = C.cd().sym();
 
+  // Compact layout: cells written as raw words (collector/VM fast paths)
+  // must be decoded before the Scope below — decoded Values are cached in
+  // Cells and must not live in allocations the scope will roll back.
+  M.memory().decodeAll();
+
   // Checking allocates heavily (normalization, substitution); none of it
   // survives the call, so scope it with a context checkpoint — otherwise a
   // per-step checking run leaks the whole transcript of its own work. This
@@ -240,7 +245,8 @@ StateCheckResult scav::gc::checkState(Machine &M,
       return StateCheckResult::failure(
           "memory region missing from Psi: " + std::string(C.name(S)));
   for (Symbol S : sortedRegionSyms(M.psi().Regions)) {
-    if (!M.memory().hasRegion(S))
+    const RegionData *MD = M.memory().region(S);
+    if (!MD)
       return StateCheckResult::failure(
           "Psi region missing from memory: " + std::string(C.name(S)));
     // Ψ entries exist only at offsets memory has (recordPut / defineCode
@@ -248,11 +254,12 @@ StateCheckResult scav::gc::checkState(Machine &M,
     // the written offset). A Ψ entry past the region's extent types a cell
     // that does not exist — fuzzer-found: the region-wise domain check
     // above cannot see it, and the per-cell loop below iterates memory.
-    const RegionType &PT = M.psi().Regions.find(S)->second;
-    if (PT.Cells.size() > M.memory().region(S)->Cells.size())
+    const RegionType &PT = *M.psi().region(S);
+    const RegionData &RD = *MD;
+    if (PT.Cells.size() > RD.Cells.size())
       return StateCheckResult::failure(
           "Psi types a cell memory does not have: " + std::string(C.name(S)) +
-          "." + std::to_string(M.memory().region(S)->Cells.size()));
+          "." + std::to_string(RD.Cells.size()));
   }
 
   // ⊢ M : Ψ (cell by cell), with Fig 7's cd discipline — the per-cell body
@@ -430,6 +437,9 @@ StateCheckResult IncrementalStateCheck::check() {
   if (!M.typeTrackingOk())
     return StateCheckResult::failure("Psi maintenance failed: " +
                                      M.typeTrackingError());
+  // Compact layout: surface word-written cells as Values before opening
+  // the scope below (decodes cache into Cells and must survive rollback).
+  M.memory().decodeAll();
   // Everything the check allocates (normalization, term forcing,
   // diagnostics) is transient; the caches hold only pointers to
   // machine-owned nodes, so the whole check runs under a context scope —
@@ -699,17 +709,18 @@ StateCheckResult IncrementalStateCheck::checkRegionDomains() {
       return StateCheckResult::failure("memory region missing from Psi: " +
                                        std::string(C.name(S)));
   for (Symbol S : sortedRegionSyms(M.psi().Regions)) {
-    const RegionType &PT = M.psi().Regions.find(S)->second;
-    if (!M.memory().hasRegion(S))
+    const RegionType &PT = *M.psi().region(S);
+    const RegionData *MD = M.memory().region(S);
+    if (!MD)
       return StateCheckResult::failure("Psi region missing from memory: " +
                                        std::string(C.name(S)));
     // Mirror of the full checker's extent check (same error text): a Ψ
     // entry past the region's memory extent types a nonexistent cell, and
     // neither per-cell pass would visit it.
-    if (PT.Cells.size() > M.memory().region(S)->Cells.size())
+    if (PT.Cells.size() > MD->Cells.size())
       return StateCheckResult::failure(
           "Psi types a cell memory does not have: " + std::string(C.name(S)) +
-          "." + std::to_string(M.memory().region(S)->Cells.size()));
+          "." + std::to_string(MD->Cells.size()));
   }
   return StateCheckResult{};
 }

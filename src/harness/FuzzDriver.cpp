@@ -151,7 +151,9 @@ void stateIteration(uint64_t IterSeed, const FuzzOptions &Opts,
   bool Restrict = Level == LanguageLevel::Forward;
 
   GcContext C;
-  Machine M(C, Level);
+  MachineConfig MC;
+  MC.Layout = Opts.Layout;
+  Machine M(C, Level, MC);
   Address GcAddr{};
   switch (Level) {
   case LanguageLevel::Base:
@@ -465,6 +467,7 @@ void pipelineIteration(uint64_t IterSeed, const FuzzOptions &Opts,
   // regions so collections actually fire, incremental per-N checks.
   PipelineOptions PA;
   PA.Level = Level;
+  PA.Machine.Layout = Opts.Layout;
   PA.Machine.DefaultRegionCapacity = 8 + static_cast<uint32_t>(R.below(25));
   Pipeline A(PA);
   const lambda::Expr *E = genProgram(A.lambdaContext(), R, GO);

@@ -73,9 +73,17 @@ enum class Sort : uint8_t { Val, Tag, Type, Region };
 /// One runtime frame cell. The sort is known statically from the operand
 /// that reads the slot, so values/tags/types share one pointer; regions
 /// (not a pointer type) get their own member.
+///
+/// Compact-heap fast path (DESIGN.md §3.12): a Val-sort cell may hold a raw
+/// heap word instead of a `const Value *`. The two are distinguished by the
+/// tag nibble — arena pointers never set bits 60..63, every non-Hole word
+/// does. WordRegion is the dense region id whose Aux table a Pair/InlAux/
+/// InrAux word's payload indexes; it is written together with every word
+/// store and meaningless when Ptr holds a real pointer.
 struct FrameCell {
   const void *Ptr = nullptr;
   gc::Region Reg;
+  uint32_t WordRegion = 0;
 };
 
 /// Compile-time binding used by template materialization: symbol → frame

@@ -18,7 +18,9 @@ using namespace scav;
 using namespace scav::gc;
 using namespace scav::vm;
 
-VmExec::VmExec(Machine &M) : M(M), C(M.context()), Lower(M.context()) {
+VmExec::VmExec(Machine &M)
+    : M(M), C(M.context()), Lower(M.context()),
+      FastHeap(M.memory().compact() && !M.config().TrackTypes) {
   M.attachBackend(this);
 }
 
@@ -82,7 +84,7 @@ const Value *VmExec::matFast(const Value *V, uint32_t BindsBegin,
     for (uint32_t I = BindsBegin; I != BindsEnd; ++I) {
       const BindSpec &B = Cur->Binds[I];
       if (B.Sym == S)
-        return static_cast<const Value *>(Frame[B.Slot].Ptr);
+        return slotValue(B.Slot);
     }
     return V; // unbound, as in the interpreters
   }
@@ -118,7 +120,7 @@ const Value *VmExec::matSlow(const ValOperand &Op) {
     const BindSpec &B = Cur->Binds[I];
     switch (B.S) {
     case Sort::Val:
-      S.Vals.emplace(B.Sym, static_cast<const Value *>(Frame[B.Slot].Ptr));
+      S.Vals.emplace(B.Sym, slotValue(B.Slot));
       break;
     case Sort::Tag:
       S.Tags.emplace(B.Sym, static_cast<const Tag *>(Frame[B.Slot].Ptr));
@@ -264,7 +266,7 @@ const Value *VmExec::buildTpl(const TplInfo &TI, const TplCacheEntry &E,
   case TplNode::K::Const:
     return N.V;
   case TplNode::K::Slot:
-    return static_cast<const Value *>(Frame[N.Slot].Ptr);
+    return slotValue(N.Slot);
   case TplNode::K::Pair:
     return C.valPair(buildTpl(TI, E, N.A), buildTpl(TI, E, N.B));
   case TplNode::K::Inl:
@@ -303,7 +305,7 @@ const Value *VmExec::materialize(const ValOperand &Op) {
   case ValOperand::K::Const:
     return Op.V;
   case ValOperand::K::Slot:
-    return static_cast<const Value *>(Frame[Op.Slot].Ptr);
+    return slotValue(Op.Slot);
   case ValOperand::K::Fast:
     return matFast(Op.V, Op.BindsBegin, Op.BindsEnd);
   case ValOperand::K::Tpl:
@@ -339,6 +341,286 @@ const Tag *VmExec::materializeTag(const TagOperand &Op) {
 }
 
 //===----------------------------------------------------------------------===//
+// Word frame slots (compact heap)
+//===----------------------------------------------------------------------===//
+
+void VmExec::storeWord(FrameCell &FC, uint64_t W, const RegionData &RD) {
+  using namespace gc::heapword;
+  if (tagOf(W) == WordTag::Box) {
+    // Boxed cells keep the original pointer; decoding here is free and
+    // keeps the no-Box-in-slots invariant that the other word paths rely
+    // on (their region-liveness reasoning only covers aux payloads).
+    FC.Ptr = RD.Boxed[indexOf(W)];
+    return;
+  }
+  FC.Ptr = wordPtr(W);
+  FC.WordRegion = RD.Id;
+}
+
+const Value *VmExec::decodeSlotWord(const FrameCell &FC) const {
+  using namespace gc::heapword;
+  uint64_t W = wordOf(FC);
+  switch (tagOf(W)) {
+  case WordTag::Int:
+    return C.valInt(intOf(W));
+  case WordTag::Addr:
+    return C.valAddr(Address{
+        Region::name(M.Mem.regionIdSymbol(addrRegionId(W))), addrOffset(W)});
+  case WordTag::InlAddr:
+  case WordTag::InrAddr: {
+    const Value *P = C.valAddr(Address{
+        Region::name(M.Mem.regionIdSymbol(addrRegionId(W))), addrOffset(W)});
+    return tagOf(W) == WordTag::InlAddr ? C.valInl(P) : C.valInr(P);
+  }
+  default: {
+    // Aux-dependent payload: the owning region is alive (decodeFrameWords
+    // runs before every `only`, so no live slot outlives its region).
+    const RegionData *RD = M.Mem.regionById(FC.WordRegion);
+    assert(RD && "word slot outlived its region");
+    return M.Mem.decodeWord(*RD, W);
+  }
+  }
+}
+
+const Value *VmExec::slotValue(uint32_t Slot) {
+  FrameCell &FC = Frame[Slot];
+  if (!isWordCell(FC))
+    return static_cast<const Value *>(FC.Ptr);
+  const Value *V = decodeSlotWord(FC);
+  FC.Ptr = V; // cache: the slot is read again far more often than not
+  return V;
+}
+
+uint64_t VmExec::transcodeSlot(const FrameCell &FC, RegionData &RD) {
+  using namespace gc::heapword;
+  uint64_t W = wordOf(FC);
+  switch (tagOf(W)) {
+  case WordTag::Int:
+  case WordTag::Addr:
+  case WordTag::InlAddr:
+  case WordTag::InrAddr:
+    return W; // region-independent: valid in any region, even a dead source
+  default: {
+    const RegionData *Src = M.Mem.regionById(FC.WordRegion);
+    assert(Src && "word slot outlived its region");
+    return M.Mem.transcodeWord(*Src, W, RD);
+  }
+  }
+}
+
+void VmExec::decodeFrameWords() {
+  using namespace gc::heapword;
+  for (uint32_t S = 0; S != Cur->NumSlots; ++S) {
+    FrameCell &FC = Frame[S];
+    if (!isWordCell(FC))
+      continue;
+    uint64_t W = wordOf(FC);
+    WordTag T = tagOf(W);
+    if (!isAuxTag(T))
+      continue; // inline payloads survive any reclaim
+    const RegionData *RD = M.Mem.regionById(FC.WordRegion);
+    if (!RD)
+      continue; // stale bits in a recycled cell, never read as a Val slot
+    // Bounds guard against stale bits whose region id was reused: a live
+    // slot's aux indices are always in range (Aux only grows).
+    size_t Need = size_t(indexOf(W)) + auxSpan(T);
+    if (Need > RD->Aux.size())
+      continue;
+    FC.Ptr = M.Mem.decodeWord(*RD, W);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compact-heap word-direct store paths
+//===----------------------------------------------------------------------===//
+
+/// matFast ∘ encodeValue fused at the word level: templates whose leaves are
+/// ints/addresses/bound slots encode straight into \p RD's word tables with
+/// no intermediate Value allocation. Aux slot order may differ from
+/// Memory::encodeValue (indices are explicit, decode does not care).
+uint64_t VmExec::encodeFastWord(const Value *V, uint32_t BindsBegin,
+                                uint32_t BindsEnd, RegionData &RD) {
+  using namespace gc::heapword;
+  switch (V->kind()) {
+  case ValueKind::Int: {
+    int64_t N = V->intValue();
+    if (fitsInt(N))
+      return makeInt(N);
+    return M.Mem.encodeValue(RD, V);
+  }
+  case ValueKind::Addr:
+    return M.Mem.encodeValue(RD, V);
+  case ValueKind::Var: {
+    Symbol S = V->var();
+    for (uint32_t I = BindsBegin; I != BindsEnd; ++I) {
+      const BindSpec &B = Cur->Binds[I];
+      if (B.Sym == S) {
+        const FrameCell &FC = Frame[B.Slot];
+        if (isWordCell(FC))
+          return transcodeSlot(FC, RD); // word-to-word, no Value round-trip
+        return M.Mem.encodeValue(RD, static_cast<const Value *>(FC.Ptr));
+      }
+    }
+    return M.Mem.encodeValue(RD, V); // unbound: boxed, as the decode of a
+                                     // legacy put of the bare Var would be
+  }
+  case ValueKind::Pair: {
+    if (RD.Aux.size() + 2 > size_t(std::numeric_limits<uint32_t>::max()))
+      return M.Mem.encodeValue(RD,
+                               matFast(V, BindsBegin, BindsEnd)); // boxes
+    uint32_t I = static_cast<uint32_t>(RD.Aux.size());
+    RD.Aux.push_back(Hole);
+    RD.Aux.push_back(Hole);
+    uint64_t First = encodeFastWord(V->first(), BindsBegin, BindsEnd, RD);
+    uint64_t Second = encodeFastWord(V->second(), BindsBegin, BindsEnd, RD);
+    RD.Aux[I] = First;
+    RD.Aux[I + 1] = Second;
+    return make(WordTag::Pair, I);
+  }
+  case ValueKind::Inl:
+  case ValueKind::Inr: {
+    bool IsInl = V->is(ValueKind::Inl);
+    uint64_t Child = encodeFastWord(V->payload(), BindsBegin, BindsEnd, RD);
+    if (tagOf(Child) == WordTag::Addr)
+      return make(IsInl ? WordTag::InlAddr : WordTag::InrAddr,
+                  Child & PayloadMask);
+    if (RD.Aux.size() >= size_t(std::numeric_limits<uint32_t>::max()))
+      return M.Mem.encodeValue(RD, matFast(V, BindsBegin, BindsEnd));
+    uint32_t I = static_cast<uint32_t>(RD.Aux.size());
+    RD.Aux.push_back(Child);
+    return make(IsInl ? WordTag::InlAux : WordTag::InrAux, I);
+  }
+  default:
+    assert(false && "non-template value in Fast operand");
+    return M.Mem.encodeValue(RD, V);
+  }
+}
+
+/// buildTpl ∘ encodeValue fused at the word level: pack template nodes write
+/// their attachment pointers (already resolved in the cache entry) straight
+/// into \p RD's Aux table, so a collector-copy put allocates no Value at
+/// all. Nodes the word format cannot express (TransApp, non-packable
+/// pointers) fall back to buildTpl + encodeValue for that subtree.
+uint64_t VmExec::encodeTplWord(const TplInfo &TI, const TplCacheEntry &E,
+                               uint32_t Id, RegionData &RD) {
+  using namespace gc::heapword;
+  const TplNode &N = Cur->Tpls[Id];
+  switch (N.Kind) {
+  case TplNode::K::Const:
+    return M.Mem.encodeValue(RD, N.V);
+  case TplNode::K::Slot: {
+    const FrameCell &FC = Frame[N.Slot];
+    if (isWordCell(FC))
+      return transcodeSlot(FC, RD);
+    return M.Mem.encodeValue(RD, static_cast<const Value *>(FC.Ptr));
+  }
+  case TplNode::K::Pair: {
+    if (RD.Aux.size() + 2 > size_t(std::numeric_limits<uint32_t>::max()))
+      return M.Mem.encodeValue(RD, buildTpl(TI, E, Id));
+    uint32_t I = static_cast<uint32_t>(RD.Aux.size());
+    RD.Aux.push_back(Hole);
+    RD.Aux.push_back(Hole);
+    uint64_t First = encodeTplWord(TI, E, N.A, RD);
+    uint64_t Second = encodeTplWord(TI, E, N.B, RD);
+    RD.Aux[I] = First;
+    RD.Aux[I + 1] = Second;
+    return make(WordTag::Pair, I);
+  }
+  case TplNode::K::Inl:
+  case TplNode::K::Inr: {
+    bool IsInl = N.Kind == TplNode::K::Inl;
+    uint64_t Child = encodeTplWord(TI, E, N.A, RD);
+    if (tagOf(Child) == WordTag::Addr)
+      return make(IsInl ? WordTag::InlAddr : WordTag::InrAddr,
+                  Child & PayloadMask);
+    if (RD.Aux.size() >= size_t(std::numeric_limits<uint32_t>::max()))
+      return M.Mem.encodeValue(RD, buildTpl(TI, E, Id));
+    uint32_t I = static_cast<uint32_t>(RD.Aux.size());
+    RD.Aux.push_back(Child);
+    return make(IsInl ? WordTag::InlAux : WordTag::InrAux, I);
+  }
+  case TplNode::K::PackTag: {
+    const void *Witness = E.Atts[N.Att1];
+    const void *Body = E.Atts[N.Att2];
+    if (!packable(Witness) || !packable(Body) ||
+        RD.Aux.size() + 4 > size_t(std::numeric_limits<uint32_t>::max()))
+      return M.Mem.encodeValue(RD, buildTpl(TI, E, Id));
+    uint32_t I = static_cast<uint32_t>(RD.Aux.size());
+    RD.Aux.resize(I + 4, Hole);
+    RD.Aux[I] = encodeTplWord(TI, E, N.A, RD);
+    RD.Aux[I + 1] = symBits(N.V->var());
+    RD.Aux[I + 2] = ptrBits(Witness);
+    RD.Aux[I + 3] = ptrBits(Body);
+    return make(WordTag::PackTagAux, I);
+  }
+  case TplNode::K::PackTyVar: {
+    const RegionSet *Delta = E.Deltas[N.Att3];
+    const void *Witness = E.Atts[N.Att1];
+    const void *Body = E.Atts[N.Att2];
+    if (!packable(Delta) || !packable(Witness) || !packable(Body) ||
+        RD.Aux.size() + 5 > size_t(std::numeric_limits<uint32_t>::max()))
+      return M.Mem.encodeValue(RD, buildTpl(TI, E, Id));
+    uint32_t I = static_cast<uint32_t>(RD.Aux.size());
+    RD.Aux.resize(I + 5, Hole);
+    RD.Aux[I] = encodeTplWord(TI, E, N.A, RD);
+    RD.Aux[I + 1] = symBits(N.V->var());
+    RD.Aux[I + 2] = ptrBits(Delta);
+    RD.Aux[I + 3] = ptrBits(Witness);
+    RD.Aux[I + 4] = ptrBits(Body);
+    return make(WordTag::PackTyVarAux, I);
+  }
+  case TplNode::K::PackRegion: {
+    const RegionSet *Delta = E.Deltas[N.Att3];
+    const void *Body = E.Atts[N.Att2];
+    if (!packable(Delta) || !packable(Body) ||
+        RD.Aux.size() + 5 > size_t(std::numeric_limits<uint32_t>::max()))
+      return M.Mem.encodeValue(RD, buildTpl(TI, E, Id));
+    uint32_t I = static_cast<uint32_t>(RD.Aux.size());
+    RD.Aux.resize(I + 5, Hole);
+    RD.Aux[I] = encodeTplWord(TI, E, N.A, RD);
+    RD.Aux[I + 1] = symBits(N.V->var());
+    RD.Aux[I + 2] = ptrBits(Delta);
+    RD.Aux[I + 3] = regionBits(materializeReg(Cur->RegOps[N.Reg]));
+    RD.Aux[I + 4] = ptrBits(Body);
+    return make(WordTag::PackRegionAux, I);
+  }
+  case TplNode::K::TransApp:
+    return M.Mem.encodeValue(RD, buildTpl(TI, E, Id));
+  }
+  return M.Mem.encodeValue(RD, buildTpl(TI, E, Id));
+}
+
+bool VmExec::tryEncodeOperand(const ValOperand &Op, RegionData &RD,
+                              uint64_t &W) {
+  switch (Op.Kind) {
+  case ValOperand::K::Const:
+    W = M.Mem.encodeValue(RD, Op.V);
+    return true;
+  case ValOperand::K::Slot: {
+    const FrameCell &FC = Frame[Op.Slot];
+    if (isWordCell(FC)) {
+      W = transcodeSlot(FC, RD);
+      return true;
+    }
+    W = M.Mem.encodeValue(RD, static_cast<const Value *>(FC.Ptr));
+    return true;
+  }
+  case ValOperand::K::Fast:
+    W = encodeFastWord(Op.V, Op.BindsBegin, Op.BindsEnd, RD);
+    return true;
+  case ValOperand::K::Tpl: {
+    const TplInfo &TI = Cur->TplInfos[Op.Slot];
+    const TplCacheEntry &E = refreshTpl(TI);
+    W = encodeTplWord(TI, E, TI.Root, RD);
+    return true;
+  }
+  case ValOperand::K::Slow:
+    return false; // substitution machinery wants real values
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
 // Backend interface
 //===----------------------------------------------------------------------===//
 
@@ -365,9 +647,13 @@ const Term *VmExec::currentTerm() const {
   for (int32_t N = I.Scope; N >= 0; N = Cur->Scopes[N].Parent) {
     const ScopeNode &SN = Cur->Scopes[N];
     switch (SN.S) {
-    case Sort::Val:
-      S.Vals.emplace(SN.Sym, static_cast<const Value *>(Frame[SN.Slot].Ptr));
+    case Sort::Val: {
+      const FrameCell &FC = Frame[SN.Slot];
+      S.Vals.emplace(SN.Sym, isWordCell(FC)
+                                 ? decodeSlotWord(FC)
+                                 : static_cast<const Value *>(FC.Ptr));
       break;
+    }
     case Sort::Tag:
       S.Tags.emplace(SN.Sym, static_cast<const Tag *>(Frame[SN.Slot].Ptr));
       break;
@@ -423,15 +709,35 @@ Machine::Status VmExec::execOne() {
   }
 
   switch (I.Op) {
-  case Opcode::LetVal:
-    Frame[I.B].Ptr = materialize(Cur->ValOps[I.A]);
+  case Opcode::LetVal: {
+    const ValOperand &Op = Cur->ValOps[I.A];
+    if (Op.Kind == ValOperand::K::Slot)
+      Frame[I.B] = Frame[Op.Slot]; // wholesale: words stay words
+    else
+      Frame[I.B].Ptr = materialize(Op);
     ++PC;
     return M.St;
+  }
 
   case Opcode::LetProj1:
   case Opcode::LetProj2: {
     ++M.Stats.Projections;
-    const Value *V = materialize(Cur->ValOps[I.A]);
+    const ValOperand &Op = Cur->ValOps[I.A];
+    if (FastHeap && Op.Kind == ValOperand::K::Slot &&
+        isWordCell(Frame[Op.Slot])) {
+      const FrameCell &FC = Frame[Op.Slot];
+      uint64_t W = wordOf(FC);
+      if (gc::heapword::tagOf(W) != gc::heapword::WordTag::Pair)
+        return M.stuck("projection from non-pair: " +
+                       printValue(C, slotValue(Op.Slot)));
+      const RegionData *RD = M.Mem.regionById(FC.WordRegion);
+      uint32_t Idx = gc::heapword::indexOf(W) +
+                     (I.Op == Opcode::LetProj2 ? 1 : 0);
+      storeWord(Frame[I.B], RD->Aux[Idx], *RD);
+      ++PC;
+      return M.St;
+    }
+    const Value *V = materialize(Op);
     if (!V->is(ValueKind::Pair))
       return M.stuck("projection from non-pair: " + printValue(C, V));
     Frame[I.B].Ptr = I.Op == Opcode::LetProj1 ? V->first() : V->second();
@@ -445,6 +751,27 @@ Machine::Status VmExec::execOne() {
     if (!R.isName())
       return M.stuck("put into unresolved region variable " +
                      printRegion(C, R));
+    if (FastHeap) {
+      RegionData *RD = M.Mem.region(R.sym());
+      if (!RD)
+        return M.stuck("put into reclaimed region " + printRegion(C, R));
+      uint64_t W;
+      if (tryEncodeOperand(Cur->ValOps[I.A], *RD, W)) {
+        std::optional<Address> A = M.Mem.putWord(*RD, R.sym(), W);
+        if (!A)
+          return M.stuck("put overflows the region offset space of " +
+                         printRegion(C, R));
+        if (RD->Id <= gc::heapword::MaxRegionId) {
+          Frame[I.C].Ptr =
+              wordPtr(gc::heapword::makeAddr(RD->Id, A->Offset));
+          Frame[I.C].WordRegion = RD->Id;
+        } else {
+          Frame[I.C].Ptr = C.valAddr(*A);
+        }
+        ++PC;
+        return M.St;
+      }
+    }
     const Value *SV = materialize(Cur->ValOps[I.A]);
     std::optional<Address> A = M.Mem.put(R.sym(), SV);
     if (!A)
@@ -460,6 +787,39 @@ Machine::Status VmExec::execOne() {
 
   case Opcode::LetGet: {
     ++M.Stats.Gets;
+    if (FastHeap) {
+      // Resolve the address straight to (region, offset): an Addr word in
+      // a slot carries both inline, and the word image of the cell is read
+      // without decoding it into a Value.
+      const ValOperand &Op = Cur->ValOps[I.A];
+      const RegionData *RD;
+      uint32_t Off;
+      const Value *AV = nullptr; // materialized address, for diagnostics
+      if (Op.Kind == ValOperand::K::Slot && isWordCell(Frame[Op.Slot])) {
+        uint64_t W = wordOf(Frame[Op.Slot]);
+        if (gc::heapword::tagOf(W) != gc::heapword::WordTag::Addr)
+          return M.stuck("get of non-address: " +
+                         printValue(C, slotValue(Op.Slot)));
+        RD = M.Mem.regionById(gc::heapword::addrRegionId(W));
+        Off = gc::heapword::addrOffset(W);
+      } else {
+        const Value *V = materialize(Op);
+        if (!V->is(ValueKind::Addr))
+          return M.stuck("get of non-address: " + printValue(C, V));
+        RD = M.Mem.region(V->address().R.sym());
+        Off = V->address().Offset;
+        AV = V;
+      }
+      if (RD && Off < RD->Words.size() &&
+          RD->Words[Off] != gc::heapword::Hole) {
+        storeWord(Frame[I.B], RD->Words[Off], *RD);
+        ++PC;
+        return M.St;
+      }
+      if (!AV)
+        AV = slotValue(Op.Slot); // decode the Addr word for the message
+      return M.stuck("get of dangling address: " + printValue(C, AV));
+    }
     const Value *V = materialize(Cur->ValOps[I.A]);
     if (!V->is(ValueKind::Addr))
       return M.stuck("get of non-address: " + printValue(C, V));
@@ -472,7 +832,32 @@ Machine::Status VmExec::execOne() {
   }
 
   case Opcode::LetStrip: {
-    const Value *V = materialize(Cur->ValOps[I.A]);
+    const ValOperand &Op = Cur->ValOps[I.A];
+    if (FastHeap && Op.Kind == ValOperand::K::Slot &&
+        isWordCell(Frame[Op.Slot])) {
+      using namespace gc::heapword;
+      const FrameCell &FC = Frame[Op.Slot];
+      uint64_t W = wordOf(FC);
+      switch (tagOf(W)) {
+      case WordTag::InlAddr:
+      case WordTag::InrAddr:
+        Frame[I.B].Ptr = wordPtr(make(WordTag::Addr, W & PayloadMask));
+        Frame[I.B].WordRegion = FC.WordRegion;
+        ++PC;
+        return M.St;
+      case WordTag::InlAux:
+      case WordTag::InrAux: {
+        const RegionData *RD = M.Mem.regionById(FC.WordRegion);
+        storeWord(Frame[I.B], RD->Aux[indexOf(W)], *RD);
+        ++PC;
+        return M.St;
+      }
+      default:
+        return M.stuck("strip of untagged value: " +
+                       printValue(C, slotValue(Op.Slot)));
+      }
+    }
+    const Value *V = materialize(Op);
     if (!V->is(ValueKind::Inl) && !V->is(ValueKind::Inr))
       return M.stuck("strip of untagged value: " + printValue(C, V));
     Frame[I.B].Ptr = V->payload();
@@ -481,6 +866,50 @@ Machine::Status VmExec::execOne() {
   }
 
   case Opcode::LetPrim: {
+    if (FastHeap) {
+      // Int words feed the ALU without a Value round-trip; mixed word/
+      // pointer operand pairs are fine (each side resolves independently).
+      auto IntArg = [&](const ValOperand &Op, int64_t &Out) {
+        if (Op.Kind == ValOperand::K::Slot && isWordCell(Frame[Op.Slot])) {
+          uint64_t W = wordOf(Frame[Op.Slot]);
+          if (gc::heapword::tagOf(W) != gc::heapword::WordTag::Int)
+            return false;
+          Out = gc::heapword::intOf(W);
+          return true;
+        }
+        const Value *V = materialize(Op);
+        if (!V->is(ValueKind::Int))
+          return false;
+        Out = V->intValue();
+        return true;
+      };
+      int64_t A, B;
+      if (!IntArg(Cur->ValOps[I.A], A) || !IntArg(Cur->ValOps[I.B], B))
+        return M.stuck("primitive on non-integers");
+      int64_t Res = 0;
+      switch (static_cast<PrimOp>(I.Small)) {
+      case PrimOp::Add:
+        Res = A + B;
+        break;
+      case PrimOp::Sub:
+        Res = A - B;
+        break;
+      case PrimOp::Mul:
+        Res = A * B;
+        break;
+      case PrimOp::Le:
+        Res = A <= B ? 1 : 0;
+        break;
+      }
+      if (gc::heapword::fitsInt(Res)) {
+        Frame[I.C].Ptr = wordPtr(gc::heapword::makeInt(Res));
+        Frame[I.C].WordRegion = 0; // Int payload is region-independent
+      } else {
+        Frame[I.C].Ptr = C.valInt(Res);
+      }
+      ++PC;
+      return M.St;
+    }
     const Value *L = materialize(Cur->ValOps[I.A]);
     const Value *R = materialize(Cur->ValOps[I.B]);
     if (!L->is(ValueKind::Int) || !R->is(ValueKind::Int))
@@ -507,24 +936,59 @@ Machine::Status VmExec::execOne() {
 
   case Opcode::Call: {
     ++M.Stats.Applications;
-    const Value *F = materialize(Cur->ValOps[I.A]);
-    if (F->is(ValueKind::TransApp))
-      F = F->payload(); // (vJ~τK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v)
-    if (!F->is(ValueKind::Addr))
-      return M.stuck("application of non-address value: " + printValue(C, F));
-    if (SCAV_TRACE_ENABLED())
-      M.traceAppPhase(F->address());
-    const Value *Code = M.Mem.get(F->address());
-    if (!Code)
-      return M.stuck("application of dangling code address: " +
-                     printValue(C, F));
-    if (!Code->is(ValueKind::Code))
-      return M.stuck("application of non-code cell: " + printValue(C, F));
+    const ValOperand &FOp = Cur->ValOps[I.A];
+    const Value *Code;
+    const Value *FAddr = nullptr; // materialized address, for diagnostics
+    uint32_t CodeOff;
+    if (FastHeap && FOp.Kind == ValOperand::K::Slot &&
+        isWordCell(Frame[FOp.Slot])) {
+      // Addr word → code cell without materializing the address. TransApp
+      // values are always boxed, so a word slot is never one.
+      using namespace gc::heapword;
+      uint64_t W = wordOf(Frame[FOp.Slot]);
+      if (tagOf(W) != WordTag::Addr)
+        return M.stuck("application of non-address value: " +
+                       printValue(C, slotValue(FOp.Slot)));
+      uint32_t Id = addrRegionId(W), Off = addrOffset(W);
+      if (SCAV_TRACE_ENABLED())
+        M.traceAppPhase(
+            Address{Region::name(M.Mem.regionIdSymbol(Id)), Off});
+      const RegionData *RD = M.Mem.regionById(Id);
+      uint64_t CW =
+          RD && Off < RD->Words.size() ? RD->Words[Off] : heapword::Hole;
+      if (CW == heapword::Hole)
+        return M.stuck("application of dangling code address: " +
+                       printValue(C, slotValue(FOp.Slot)));
+      Code = tagOf(CW) == WordTag::Box ? RD->Boxed[indexOf(CW)]
+                                       : M.Mem.decodeWord(*RD, CW);
+      if (!Code->is(ValueKind::Code))
+        return M.stuck("application of non-code cell: " +
+                       printValue(C, slotValue(FOp.Slot)));
+      CodeOff = Off;
+    } else {
+      const Value *F = materialize(FOp);
+      if (F->is(ValueKind::TransApp))
+        F = F->payload(); // (vJ~τK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v)
+      if (!F->is(ValueKind::Addr))
+        return M.stuck("application of non-address value: " +
+                       printValue(C, F));
+      if (SCAV_TRACE_ENABLED())
+        M.traceAppPhase(F->address());
+      Code = M.Mem.get(F->address());
+      if (!Code)
+        return M.stuck("application of dangling code address: " +
+                       printValue(C, F));
+      if (!Code->is(ValueKind::Code))
+        return M.stuck("application of non-code cell: " + printValue(C, F));
+      FAddr = F;
+      CodeOff = F->address().Offset;
+    }
     const CallSite &CS = Cur->Calls[I.B];
     if (Code->tagParams().size() != CS.Tags.size() ||
         Code->regionParams().size() != CS.Regions.size() ||
         Code->valParams().size() != CS.Args.size())
-      return M.stuck("application arity mismatch at " + printValue(C, F));
+      return M.stuck("application arity mismatch at " +
+                     printValue(C, FAddr ? FAddr : slotValue(FOp.Slot)));
 
     // Monomorphic inline cache: cd cells are immutable once defined, so a
     // code value pointer keys its compiled chunk for good.
@@ -532,7 +996,7 @@ Machine::Status VmExec::execOne() {
     if (CS.CachedCode == Code) {
       Callee = static_cast<const Chunk *>(CS.CachedChunk);
     } else {
-      Callee = chunkForCode(Code, M.codeLabel(F->address().Offset));
+      Callee = chunkForCode(Code, M.codeLabel(CodeOff));
       CS.CachedCode = Code;
       CS.CachedChunk = Callee;
     }
@@ -551,8 +1015,13 @@ Machine::Status VmExec::execOne() {
                        printRegion(C, R));
       Scratch[S++].Reg = R;
     }
-    for (uint32_t VIdx : CS.Args)
-      Scratch[S++].Ptr = materialize(Cur->ValOps[VIdx]);
+    for (uint32_t VIdx : CS.Args) {
+      const ValOperand &Op = Cur->ValOps[VIdx];
+      if (Op.Kind == ValOperand::K::Slot)
+        Scratch[S++] = Frame[Op.Slot]; // wholesale: words stay words
+      else
+        Scratch[S++].Ptr = materialize(Op);
+    }
     std::swap(Frame, Scratch);
     if (Frame.size() < Callee->NumSlots)
       Frame.resize(Callee->NumSlots);
@@ -587,7 +1056,24 @@ Machine::Status VmExec::execOne() {
 
   case Opcode::OpenTag: {
     ++M.Stats.Opens;
-    const Value *V = materialize(Cur->ValOps[I.A]);
+    const ValOperand &Op = Cur->ValOps[I.A];
+    if (FastHeap && Op.Kind == ValOperand::K::Slot &&
+        isWordCell(Frame[Op.Slot])) {
+      using namespace gc::heapword;
+      const FrameCell &FC = Frame[Op.Slot];
+      uint64_t W = wordOf(FC);
+      if (tagOf(W) != WordTag::PackTagAux)
+        return M.stuck("open-as-tag of non-package: " +
+                       printValue(C, slotValue(Op.Slot)));
+      const RegionData *RD = M.Mem.regionById(FC.WordRegion);
+      uint32_t Idx = indexOf(W);
+      const Tag *T = ptrOf<Tag>(RD->Aux[Idx + 2]);
+      Frame[I.B].Ptr = T->isNormal() ? T : normalizeTag(C, T);
+      storeWord(Frame[I.C], RD->Aux[Idx], *RD);
+      ++PC;
+      return M.St;
+    }
+    const Value *V = materialize(Op);
     if (!V->is(ValueKind::PackTag))
       return M.stuck("open-as-tag of non-package: " + printValue(C, V));
     Frame[I.B].Ptr = V->tagWitness()->isNormal()
@@ -600,7 +1086,23 @@ Machine::Status VmExec::execOne() {
 
   case Opcode::OpenTyVar: {
     ++M.Stats.Opens;
-    const Value *V = materialize(Cur->ValOps[I.A]);
+    const ValOperand &Op = Cur->ValOps[I.A];
+    if (FastHeap && Op.Kind == ValOperand::K::Slot &&
+        isWordCell(Frame[Op.Slot])) {
+      using namespace gc::heapword;
+      const FrameCell &FC = Frame[Op.Slot];
+      uint64_t W = wordOf(FC);
+      if (tagOf(W) != WordTag::PackTyVarAux)
+        return M.stuck("open-as-type of non-package: " +
+                       printValue(C, slotValue(Op.Slot)));
+      const RegionData *RD = M.Mem.regionById(FC.WordRegion);
+      uint32_t Idx = indexOf(W);
+      Frame[I.B].Ptr = ptrOf<Type>(RD->Aux[Idx + 3]);
+      storeWord(Frame[I.C], RD->Aux[Idx], *RD);
+      ++PC;
+      return M.St;
+    }
+    const Value *V = materialize(Op);
     if (!V->is(ValueKind::PackTyVar))
       return M.stuck("open-as-type of non-package: " + printValue(C, V));
     Frame[I.B].Ptr = V->typeWitness();
@@ -611,7 +1113,26 @@ Machine::Status VmExec::execOne() {
 
   case Opcode::OpenRegion: {
     ++M.Stats.Opens;
-    const Value *V = materialize(Cur->ValOps[I.A]);
+    const ValOperand &Op = Cur->ValOps[I.A];
+    if (FastHeap && Op.Kind == ValOperand::K::Slot &&
+        isWordCell(Frame[Op.Slot])) {
+      using namespace gc::heapword;
+      const FrameCell &FC = Frame[Op.Slot];
+      uint64_t W = wordOf(FC);
+      if (tagOf(W) != WordTag::PackRegionAux)
+        return M.stuck("open-as-region of non-package: " +
+                       printValue(C, slotValue(Op.Slot)));
+      const RegionData *RD = M.Mem.regionById(FC.WordRegion);
+      uint32_t Idx = indexOf(W);
+      Region Witness = regionOf(RD->Aux[Idx + 3]);
+      if (!Witness.isName())
+        return M.stuck("region package with unresolved witness");
+      Frame[I.B].Reg = Witness;
+      storeWord(Frame[I.C], RD->Aux[Idx], *RD);
+      ++PC;
+      return M.St;
+    }
+    const Value *V = materialize(Op);
     if (!V->is(ValueKind::PackRegion))
       return M.stuck("open-as-region of non-package: " + printValue(C, V));
     if (!V->regionWitness().isName())
@@ -643,6 +1164,8 @@ Machine::Status VmExec::execOne() {
     for (Region R : *Keep)
       if (!R.isName())
         return M.stuck("only with unresolved region variable");
+    if (FastHeap)
+      decodeFrameWords(); // aux payloads must not outlive their region
     M.applyOnly(*Keep);
     ++PC;
     return M.St;
@@ -702,7 +1225,27 @@ Machine::Status VmExec::execOne() {
   }
 
   case Opcode::IfLeft: {
-    const Value *V = materialize(Cur->ValOps[I.A]);
+    const ValOperand &Op = Cur->ValOps[I.A];
+    if (FastHeap && Op.Kind == ValOperand::K::Slot &&
+        isWordCell(Frame[Op.Slot])) {
+      using namespace gc::heapword;
+      switch (tagOf(wordOf(Frame[Op.Slot]))) {
+      case WordTag::InlAddr:
+      case WordTag::InlAux:
+        Frame[I.B] = Frame[Op.Slot];
+        PC = I.C;
+        return M.St;
+      case WordTag::InrAddr:
+      case WordTag::InrAux:
+        Frame[I.B] = Frame[Op.Slot];
+        PC = I.D;
+        return M.St;
+      default:
+        return M.stuck("ifleft of untagged value: " +
+                       printValue(C, slotValue(Op.Slot)));
+      }
+    }
+    const Value *V = materialize(Op);
     if (V->is(ValueKind::Inl)) {
       Frame[I.B].Ptr = V;
       PC = I.C;
@@ -717,7 +1260,50 @@ Machine::Status VmExec::execOne() {
 
   case Opcode::Set: {
     ++M.Stats.Sets;
-    const Value *Dst = materialize(Cur->ValOps[I.A]);
+    const ValOperand &DOp = Cur->ValOps[I.A];
+    if (FastHeap) {
+      // Destination address from a word slot carries (region id, offset)
+      // inline; materialize it only for diagnostics.
+      RegionData *RD;
+      Address DA;
+      const Value *DV = nullptr;
+      if (DOp.Kind == ValOperand::K::Slot && isWordCell(Frame[DOp.Slot])) {
+        uint64_t W = wordOf(Frame[DOp.Slot]);
+        if (gc::heapword::tagOf(W) != gc::heapword::WordTag::Addr)
+          return M.stuck("set of non-address: " +
+                         printValue(C, slotValue(DOp.Slot)));
+        uint32_t Id = gc::heapword::addrRegionId(W);
+        RD = M.Mem.regionById(Id);
+        DA = Address{Region::name(M.Mem.regionIdSymbol(Id)),
+                     gc::heapword::addrOffset(W)};
+      } else {
+        const Value *Dst = materialize(DOp);
+        if (!Dst->is(ValueKind::Addr))
+          return M.stuck("set of non-address: " + printValue(C, Dst));
+        RD = M.Mem.region(Dst->address().R.sym());
+        DA = Dst->address();
+        DV = Dst;
+      }
+      if (!RD)
+        return M.stuck("set of dangling address: " +
+                       printValue(C, DV ? DV : slotValue(DOp.Slot)));
+      uint64_t W;
+      if (tryEncodeOperand(Cur->ValOps[I.B], *RD, W)) {
+        if (!M.Mem.updateWord(*RD, DA, W))
+          return M.stuck("set of dangling address: " +
+                         printValue(C, DV ? DV : slotValue(DOp.Slot)));
+        TRACE_INSTANT("mem", "set.forward");
+        ++PC;
+        return M.St;
+      }
+      if (!M.Mem.update(DA, materialize(Cur->ValOps[I.B])))
+        return M.stuck("set of dangling address: " +
+                       printValue(C, DV ? DV : slotValue(DOp.Slot)));
+      TRACE_INSTANT("mem", "set.forward");
+      ++PC;
+      return M.St;
+    }
+    const Value *Dst = materialize(DOp);
     if (!Dst->is(ValueKind::Addr))
       return M.stuck("set of non-address: " + printValue(C, Dst));
     if (!M.Mem.update(Dst->address(), materialize(Cur->ValOps[I.B])))
@@ -751,7 +1337,17 @@ Machine::Status VmExec::execOne() {
   }
 
   case Opcode::If0: {
-    const Value *V = materialize(Cur->ValOps[I.A]);
+    const ValOperand &Op = Cur->ValOps[I.A];
+    if (FastHeap && Op.Kind == ValOperand::K::Slot &&
+        isWordCell(Frame[Op.Slot])) {
+      uint64_t W = wordOf(Frame[Op.Slot]);
+      if (gc::heapword::tagOf(W) != gc::heapword::WordTag::Int)
+        return M.stuck("if0 of non-integer: " +
+                       printValue(C, slotValue(Op.Slot)));
+      PC = gc::heapword::intOf(W) == 0 ? I.B : I.C;
+      return M.St;
+    }
+    const Value *V = materialize(Op);
     if (!V->is(ValueKind::Int))
       return M.stuck("if0 of non-integer: " + printValue(C, V));
     PC = V->intValue() == 0 ? I.B : I.C;

@@ -82,6 +82,44 @@ private:
   const gc::Value *buildTpl(const TplInfo &TI, const TplCacheEntry &E,
                             uint32_t Id);
   const gc::Tag *materializeTag(const TagOperand &Op);
+  /// Compact-heap put/set fast path: encode the operand straight to a
+  /// tagged word in \p RD (no Value materialization for templates).
+  /// \returns false for operand kinds that must take the slow path.
+  bool tryEncodeOperand(const ValOperand &Op, gc::RegionData &RD,
+                        uint64_t &W);
+  uint64_t encodeFastWord(const gc::Value *V, uint32_t BindsBegin,
+                          uint32_t BindsEnd, gc::RegionData &RD);
+  uint64_t encodeTplWord(const TplInfo &TI, const TplCacheEntry &E,
+                         uint32_t Id, gc::RegionData &RD);
+
+  // Word frame slots (FastHeap): a Val-sort cell whose Ptr bits carry a
+  // nonzero tag nibble holds a raw heap word (see FrameCell). The VM's
+  // get/proj/strip/ifleft/if0/prim/put/set chains stay word-level; a word
+  // decodes to a Value only when a generic consumer asks for one.
+  static bool isWordCell(const FrameCell &FC) {
+    return (reinterpret_cast<uintptr_t>(FC.Ptr) >> gc::heapword::TagShift) !=
+           0;
+  }
+  static uint64_t wordOf(const FrameCell &FC) {
+    return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(FC.Ptr));
+  }
+  static const void *wordPtr(uint64_t W) {
+    return reinterpret_cast<const void *>(static_cast<uintptr_t>(W));
+  }
+  /// Stores word \p W (owned by \p RD) into \p FC; Box words store the
+  /// boxed Value pointer directly, so Box never appears in a frame slot.
+  void storeWord(FrameCell &FC, uint64_t W, const gc::RegionData &RD);
+  /// Decodes \p FC's word to a Value without caching (const consumers).
+  const gc::Value *decodeSlotWord(const FrameCell &FC) const;
+  /// Decodes a word slot to a Value and caches the pointer back into the
+  /// slot; plain passthrough for pointer slots.
+  const gc::Value *slotValue(uint32_t Slot);
+  /// Re-encodes the word held in \p FC for storage into \p RD.
+  uint64_t transcodeSlot(const FrameCell &FC, gc::RegionData &RD);
+  /// Decodes every live aux-dependent word slot before `only` can drop the
+  /// region that owns its Aux table (Int/Addr payloads are inline and
+  /// survive any reclaim).
+  void decodeFrameWords();
   gc::Region materializeReg(const RegOperand &Op) const {
     return Op.Kind == RegOperand::K::Slot ? Frame[Op.Slot].Reg : Op.R;
   }
@@ -91,6 +129,10 @@ private:
   gc::Machine &M;
   gc::GcContext &C;
   Lowerer Lower;
+
+  /// Word-direct put/set are sound only when cells need no Ψ tracking at
+  /// write time: compact layout with TrackTypes off (recordPut is a no-op).
+  const bool FastHeap;
 
   /// Node pointer (Term or code Value) → compiled chunk.
   std::unordered_map<const void *, std::unique_ptr<Chunk>> Chunks;

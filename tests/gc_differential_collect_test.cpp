@@ -100,6 +100,7 @@ std::string certifiedSignature(LanguageLevel Level, uint64_t Seed,
     return "";
   }
   // The capture cell is the last cell of the surviving data region.
+  M.memory().decodeAll();
   for (const auto &[S, RD] : M.memory().Regions) {
     if (S == C.cd().sym() || RD.Cells.empty())
       continue;

@@ -1,0 +1,328 @@
+//===- tests/gc_heap_layout_diff_test.cpp - Compact vs legacy heap --------===//
+//
+// The compact tagged-word heap (DESIGN.md §3.12) must be observationally
+// identical to the legacy pointer-cell representation: same halt values,
+// same step counts, same stuck diagnostics, same checker verdicts — at
+// every language level, for every corruption kind the state fuzzer can
+// inject, and over a fixed-seed slice of every fuzz mode. Any divergence
+// here means the word encode/decode (or a collector/VM fast path built on
+// it) changed observable semantics, not just representation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FuzzDriver.h"
+#include "harness/HeapForge.h"
+#include "harness/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace scav;
+using namespace scav::gc;
+using namespace scav::harness;
+
+namespace {
+
+const LanguageLevel AllLevels[] = {LanguageLevel::Base,
+                                   LanguageLevel::Forward,
+                                   LanguageLevel::Generational};
+
+/// One pipeline run under an explicit heap layout: halt/stuck result plus
+/// a full post-run checker verdict.
+struct LayoutRun {
+  bool CompileOk = false;
+  RunResult Run;
+  bool CheckOk = false;
+  std::string CheckError;
+  uint64_t Collections = 0;
+};
+
+LayoutRun runPipeline(const char *Src, LanguageLevel Level, HeapLayout L,
+                      EvalMode Eval, uint32_t Capacity,
+                      uint32_t CheckEveryN, bool TrackTypes = true) {
+  PipelineOptions Opts;
+  Opts.Level = Level;
+  Opts.Machine.Layout = L;
+  Opts.Machine.Eval = Eval;
+  Opts.Machine.TrackTypes = TrackTypes;
+  Opts.Machine.DefaultRegionCapacity = Capacity;
+  Pipeline Pipe(Opts);
+  DiagEngine Diags;
+  LayoutRun Out;
+  Out.CompileOk = Pipe.compile(Src, Diags);
+  if (!Out.CompileOk)
+    return Out;
+  Out.Run = Pipe.runMachine(20'000'000, CheckEveryN);
+  StateCheckResult Res = checkState(Pipe.machine());
+  Out.CheckOk = Res.Ok;
+  Out.CheckError = Res.Error;
+  Out.Collections = Pipe.machine().stats().IfGcTaken;
+  return Out;
+}
+
+void expectSameRun(const LayoutRun &Legacy, const LayoutRun &Compact,
+                   const std::string &Label) {
+  ASSERT_EQ(Legacy.CompileOk, Compact.CompileOk) << Label;
+  EXPECT_EQ(Legacy.Run.Ok, Compact.Run.Ok) << Label;
+  EXPECT_EQ(Legacy.Run.Value, Compact.Run.Value) << Label;
+  EXPECT_EQ(Legacy.Run.Error, Compact.Run.Error) << Label;
+  EXPECT_EQ(Legacy.Run.Steps, Compact.Run.Steps) << Label;
+  EXPECT_EQ(Legacy.CheckOk, Compact.CheckOk) << Label;
+  EXPECT_EQ(Legacy.CheckError, Compact.CheckError) << Label;
+  EXPECT_EQ(Legacy.Collections, Compact.Collections) << Label;
+}
+
+struct DiffProgram {
+  const char *Name;
+  const char *Src;
+  uint32_t Capacity;
+  bool ExpectCollect; ///< Allocates enough that collections must fire.
+};
+
+const DiffProgram Programs[] = {
+    {"chain",
+     "(app (app (fix b (n Int) (-> Int Int)"
+     "  (if0 n (lam (x Int) x)"
+     "    (let g (app b (- n 1)) (lam (x Int) (app g (+ x n))))))"
+     " 12) 1000)",
+     12, true},
+    {"sum",
+     "(app (fix f (n Int) Int (if0 n 0 (+ n (app f (- n 1))))) 24)", 10,
+     true},
+    {"pairs",
+     "(let p (pair 3 4) (let q (pair (fst p) (snd p))"
+     "  (* (fst q) (snd q))))",
+     8, false},
+};
+
+TEST(HeapLayoutDiff, PipelineRunsAgreeAtEveryLevel) {
+  for (LanguageLevel Level : AllLevels) {
+    for (const DiffProgram &P : Programs) {
+      for (EvalMode Eval : {EvalMode::Env, EvalMode::Vm}) {
+        std::string Label = std::string(languageLevelName(Level)) + "/" +
+                            P.Name + "/" +
+                            (Eval == EvalMode::Vm ? "vm" : "env");
+        LayoutRun Legacy = runPipeline(P.Src, Level, HeapLayout::Legacy,
+                                       Eval, P.Capacity, 0);
+        LayoutRun Compact = runPipeline(P.Src, Level, HeapLayout::Compact,
+                                        Eval, P.Capacity, 0);
+        expectSameRun(Legacy, Compact, Label);
+        EXPECT_TRUE(Compact.Run.Ok) << Label << ": " << Compact.Run.Error;
+        if (P.ExpectCollect)
+          EXPECT_GE(Compact.Collections, 1u)
+              << Label << ": no collection fired — differential is vacuous";
+      }
+    }
+  }
+}
+
+TEST(HeapLayoutDiff, FastHeapVmRunsAgree) {
+  // Vm + TrackTypes off is the configuration that arms the VM's word-direct
+  // fast paths (FastHeap in vm/Vm.cpp): word frame slots, word-level
+  // put/set, and the aux-word open paths for pairs, sums, and packs. The
+  // other tests here keep TrackTypes on, so without this slice the
+  // word-direct code would never face the differential at all.
+  for (LanguageLevel Level : AllLevels) {
+    for (const DiffProgram &P : Programs) {
+      std::string Label = std::string(languageLevelName(Level)) + "/" +
+                          P.Name + "/vm-fastheap";
+      LayoutRun Legacy =
+          runPipeline(P.Src, Level, HeapLayout::Legacy, EvalMode::Vm,
+                      P.Capacity, 0, /*TrackTypes=*/false);
+      LayoutRun Compact =
+          runPipeline(P.Src, Level, HeapLayout::Compact, EvalMode::Vm,
+                      P.Capacity, 0, /*TrackTypes=*/false);
+      expectSameRun(Legacy, Compact, Label);
+      EXPECT_TRUE(Compact.Run.Ok) << Label << ": " << Compact.Run.Error;
+      if (P.ExpectCollect)
+        EXPECT_GE(Compact.Collections, 1u)
+            << Label << ": no collection fired — differential is vacuous";
+    }
+  }
+  // The stuck seam too: diagnostics printed from a word-direct frame slot.
+  LayoutRun Legacy =
+      runPipeline("(fst 7)", LanguageLevel::Base, HeapLayout::Legacy,
+                  EvalMode::Vm, 16, 0, /*TrackTypes=*/false);
+  LayoutRun Compact =
+      runPipeline("(fst 7)", LanguageLevel::Base, HeapLayout::Compact,
+                  EvalMode::Vm, 16, 0, /*TrackTypes=*/false);
+  if (Legacy.CompileOk) {
+    expectSameRun(Legacy, Compact, "stuck/vm-fastheap");
+    EXPECT_FALSE(Compact.Run.Ok) << "stuck/vm-fastheap";
+  } else {
+    EXPECT_EQ(Legacy.CompileOk, Compact.CompileOk) << "stuck/vm-fastheap";
+  }
+}
+
+TEST(HeapLayoutDiff, PerStepCheckedRunsAgree) {
+  // Per-step incremental checks exercise the decode seam under the
+  // checker's GcContext scopes on every single step.
+  for (LanguageLevel Level : AllLevels) {
+    LayoutRun Legacy = runPipeline(Programs[1].Src, Level,
+                                   HeapLayout::Legacy, EvalMode::Env,
+                                   Programs[1].Capacity, 1);
+    LayoutRun Compact = runPipeline(Programs[1].Src, Level,
+                                    HeapLayout::Compact, EvalMode::Env,
+                                    Programs[1].Capacity, 1);
+    expectSameRun(Legacy, Compact,
+                  std::string(languageLevelName(Level)) + "/checked");
+  }
+}
+
+/// Builds a machine + forged heap under \p L, injects one corruption of
+/// kind \p K with a fixed-seed Rng, and returns the (mutation description,
+/// full verdict, incremental verdict) triple.
+struct MutationOutcome {
+  bool Applied = false;
+  std::string Description;
+  bool FullOk = true, IncOk = true;
+  std::string FullError, IncError;
+};
+
+MutationOutcome runMutation(StateMutationKind K, LanguageLevel Level,
+                            HeapLayout L, uint64_t Seed) {
+  GcContext C;
+  MachineConfig MC;
+  MC.Layout = L;
+  Machine M(C, Level, MC);
+  bool Restrict = Level == LanguageLevel::Forward;
+  Address GcAddr{};
+  switch (Level) {
+  case LanguageLevel::Base:
+    GcAddr = installBasicCollector(M).Gc;
+    break;
+  case LanguageLevel::Forward:
+    GcAddr = installForwardCollector(M).Gc;
+    break;
+  case LanguageLevel::Generational:
+    GcAddr = installGenCollector(M).Gc;
+    break;
+  }
+  Region From = M.createRegion("from", 0);
+  Region Old = Level == LanguageLevel::Generational
+                   ? M.createRegion("old", 0)
+                   : From;
+  ForgedHeap H = forgeList(M, From, Old, 12);
+  Address Fin = installFinisher(M, H.Tag);
+  M.start(collectOnceTerm(M, GcAddr, H, From, Old, Fin));
+
+  IncrementalCheckOptions IOpts;
+  IOpts.RestrictToReachable = Restrict;
+  IncrementalStateCheck Inc(M, IOpts);
+  StateCheckOptions FOpts;
+  FOpts.CheckCodeRegion = false;
+  FOpts.RestrictToReachable = Restrict;
+  StateCheckResult Before = Inc.check();
+  EXPECT_TRUE(Before.Ok) << Before.Error;
+
+  MutationOutcome Out;
+  Rng Rand(Seed);
+  std::optional<AppliedMutation> App = applyStateMutation(M, K, Rand, Restrict);
+  if (!App)
+    return Out;
+  Out.Applied = true;
+  Out.Description = App->Description;
+  StateCheckResult Full = checkState(M, FOpts);
+  Out.FullOk = Full.Ok;
+  Out.FullError = Full.Error;
+  StateCheckResult IncRes = Inc.check();
+  Out.IncOk = IncRes.Ok;
+  Out.IncError = IncRes.Error;
+  return Out;
+}
+
+TEST(HeapLayoutDiff, MutationVerdictsAgreeForEveryKind) {
+  // All 9 corruption kinds: same seed, same forged heap, both layouts —
+  // the applied mutation and both checker verdicts must match byte for
+  // byte (the diagnostics embed addresses and printed values, so this is
+  // a strong equality).
+  for (LanguageLevel Level : AllLevels) {
+    for (unsigned KI = 0; KI != NumStateMutationKinds; ++KI) {
+      StateMutationKind K = static_cast<StateMutationKind>(KI);
+      std::string Label = std::string(languageLevelName(Level)) + "/" +
+                          stateMutationName(K);
+      MutationOutcome Legacy =
+          runMutation(K, Level, HeapLayout::Legacy, 0xFEED + KI);
+      MutationOutcome Compact =
+          runMutation(K, Level, HeapLayout::Compact, 0xFEED + KI);
+      ASSERT_EQ(Legacy.Applied, Compact.Applied) << Label;
+      if (!Legacy.Applied)
+        continue; // no applicable victim in this forged heap
+      EXPECT_EQ(Legacy.Description, Compact.Description) << Label;
+      EXPECT_EQ(Legacy.FullOk, Compact.FullOk) << Label;
+      EXPECT_EQ(Legacy.FullError, Compact.FullError) << Label;
+      EXPECT_EQ(Legacy.IncOk, Compact.IncOk) << Label;
+      EXPECT_EQ(Legacy.IncError, Compact.IncError) << Label;
+      // And the corruption must actually be caught under both layouts.
+      EXPECT_FALSE(Compact.FullOk) << Label;
+      EXPECT_FALSE(Compact.IncOk) << Label;
+    }
+  }
+}
+
+void expectSameReport(const FuzzReport &Legacy, const FuzzReport &Compact,
+                      const char *Mode) {
+  EXPECT_EQ(Legacy.Iterations, Compact.Iterations) << Mode;
+  EXPECT_EQ(Legacy.MutationsApplied, Compact.MutationsApplied) << Mode;
+  EXPECT_EQ(Legacy.Skipped, Compact.Skipped) << Mode;
+  EXPECT_EQ(Legacy.Rejections, Compact.Rejections) << Mode;
+  EXPECT_EQ(Legacy.CleanAccepts, Compact.CleanAccepts) << Mode;
+  EXPECT_EQ(Legacy.FalseAccepts, Compact.FalseAccepts) << Mode;
+  EXPECT_EQ(Legacy.Disagreements, Compact.Disagreements) << Mode;
+  EXPECT_EQ(Legacy.InvariantViolations, Compact.InvariantViolations)
+      << Mode;
+  EXPECT_EQ(Legacy.PerKind, Compact.PerKind) << Mode;
+}
+
+TEST(HeapLayoutDiff, FixedSeedFuzzSliceAgrees) {
+  // A fixed-seed slice of both fuzz modes that build machines, run under
+  // each layout: the per-kind outcome histograms must be identical, and
+  // both runs must be clean.
+  FuzzOptions Base;
+  Base.Seed = 0xD1FF;
+  Base.TraceRing = false;
+
+  FuzzOptions StateL = Base, StateC = Base;
+  StateL.Iterations = 150;
+  StateC.Iterations = 150;
+  StateL.Layout = HeapLayout::Legacy;
+  StateC.Layout = HeapLayout::Compact;
+  FuzzReport RSL = fuzzStates(StateL);
+  FuzzReport RSC = fuzzStates(StateC);
+  EXPECT_TRUE(RSC.ok()) << RSC.summary("state");
+  expectSameReport(RSL, RSC, "state");
+
+  FuzzOptions PipeL = Base, PipeC = Base;
+  PipeL.Iterations = 4;
+  PipeC.Iterations = 4;
+  PipeL.Layout = HeapLayout::Legacy;
+  PipeC.Layout = HeapLayout::Compact;
+  FuzzReport RPL = fuzzPipeline(PipeL);
+  FuzzReport RPC = fuzzPipeline(PipeC);
+  EXPECT_TRUE(RPC.ok()) << RPC.summary("pipeline");
+  expectSameReport(RPL, RPC, "pipeline");
+}
+
+TEST(HeapLayoutDiff, StuckDiagnosticsAgree) {
+  // A program that genuinely goes stuck (projection from a non-pair): the
+  // stuck text embeds a printed value, so byte equality across layouts
+  // checks the decode path feeding diagnostics.
+  const char *Src = "(fst 7)";
+  for (EvalMode Eval : {EvalMode::Env, EvalMode::Vm}) {
+    LayoutRun Legacy = runPipeline(Src, LanguageLevel::Base,
+                                   HeapLayout::Legacy, Eval, 16, 0);
+    LayoutRun Compact = runPipeline(Src, LanguageLevel::Base,
+                                    HeapLayout::Compact, Eval, 16, 0);
+    std::string Label =
+        std::string("stuck/") + (Eval == EvalMode::Vm ? "vm" : "env");
+    if (!Legacy.CompileOk) {
+      // The frontend may reject it statically; either way both layouts
+      // must land in the same place.
+      EXPECT_EQ(Legacy.CompileOk, Compact.CompileOk) << Label;
+      continue;
+    }
+    expectSameRun(Legacy, Compact, Label);
+    EXPECT_FALSE(Compact.Run.Ok) << Label;
+  }
+}
+
+} // namespace

@@ -183,6 +183,7 @@ struct CorruptionTest : ::testing::Test {
   /// current term — a cell Def 7.1 does NOT allow either checker to skip.
   std::optional<Address> reachableDataCell() {
     AddressSet Reach = reachableCells(*M);
+    M->memory().decodeAll();
     Symbol Cd = C.cd().sym();
     for (const auto &[S, RD] : M->memory().Regions) {
       if (S == Cd)
@@ -197,6 +198,7 @@ struct CorruptionTest : ::testing::Test {
   }
 
   std::optional<Address> anyDataCell() {
+    M->memory().decodeAll();
     Symbol Cd = C.cd().sym();
     for (const auto &[S, RD] : M->memory().Regions) {
       if (S == Cd)
@@ -259,6 +261,7 @@ TEST_F(CorruptionTest, RejectsPsiCorruptionAfterCaching) {
   int Steps = 0;
   stepChecked(Inc, false, [&] { return ++Steps > 25; });
   // Retype a non-integer cell as int: Ψ surgery behind the machine's back.
+  M->memory().decodeAll();
   std::optional<Address> Victim;
   for (const auto &[S, RD] : M->memory().Regions) {
     if (S == C.cd().sym())

@@ -193,6 +193,7 @@ TEST(NativeCollector, CheneyLaysListsOutContiguously) {
   // minimum, the to-region is fully populated with no reserved holes.
   const RegionData *RD = M.memory().region(To.sym());
   ASSERT_NE(RD, nullptr);
+  M.memory().decodeRegion(*RD);
   for (const Value *V : RD->Cells)
     EXPECT_NE(V, nullptr);
 }
