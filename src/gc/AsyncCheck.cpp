@@ -17,7 +17,13 @@ using namespace scav::gc;
 
 MirrorSubject::MirrorSubject(GcContext &MachineCtx, LanguageLevel Level)
     : Ctx(MachineCtx.symbols(), /*EnableInterning=*/true), Lvl(Level),
-      Mem(MachineCtx.cd().sym()) {}
+      Mem(MachineCtx.cd().sym()) {
+  // Inherit the machine context's fresh namespace so the mirror's
+  // "c"-scoped checker mints (FreshScope appends) stay disjoint from other
+  // sessions' checkers when many sessions share one SymbolTable — and keep
+  // the exact spellings the synchronous checker would produce.
+  Ctx.setFreshNamespace(MachineCtx.freshNamespace());
+}
 
 const Term *MirrorSubject::currentTerm() const {
   if (!Cur)

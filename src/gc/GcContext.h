@@ -79,6 +79,11 @@ public:
     uint64_t TypeInternMisses = 0;
     uint64_t KindInternHits = 0;
     uint64_t KindInternMisses = 0;
+    // Of the hits above, how many were served by a frozen shared base
+    // context (session contexts only; see the shared-base constructor).
+    uint64_t TagBaseHits = 0;
+    uint64_t TypeBaseHits = 0;
+    uint64_t KindBaseHits = 0;
     // Normalization: NormalBit = O(1) already-normal exit; Memo = cache hit.
     uint64_t NormalizeTagCalls = 0;
     uint64_t NormalizeTagNormalBitHits = 0;
@@ -145,6 +150,60 @@ public:
   GcContext(SymbolTable &SharedSyms, bool EnableInterning)
       : GcContext(&SharedSyms, EnableInterning, /*MarkCanonicalBit=*/false) {}
 
+  /// Session-context constructor: layers this context over \p SharedBase, a
+  /// *frozen* (freeze()) context whose tables are consulted read-only before
+  /// this context's own. This is the multi-session sharing seam: a service
+  /// builds one base context, warms it (collector installation interns the
+  /// runtime's tag/type vocabulary), freezes it, and then every concurrent
+  /// session layers a private context on top — all writes (interning, memo
+  /// fills, arena allocation) land in the session's own tables, so sessions
+  /// never synchronize with each other beyond the already-thread-safe shared
+  /// SymbolTable.
+  ///
+  /// Soundness of sharing hash-consed nodes:
+  ///  * Kinds are hashed by address (finishTag/finishType), so the base's
+  ///    Kind singletons (OmegaKind, ArrowKinds) MUST be reused — a private
+  ///    Omega would change every dependent hash and the base tables would
+  ///    never hit. The singleton Tag/Type nodes are copied for the same
+  ///    reason, and because derived-fact bits must agree.
+  ///  * The Canonical bit stays on: within one session's canonicalization
+  ///    domain (base tables ∪ session tables, probed in that order) every
+  ///    structurally-equal canonical node IS pointer-identical, which is all
+  ///    the negative pointer-compare fast path (Equal.cpp) needs. Two
+  ///    *different* sessions may each mint a canonical node for the same
+  ///    structure, but nodes never flow between sessions, so the domains
+  ///    never mix.
+  ///  * The base must outlive every session layered on it (its arena owns
+  ///    the shared nodes).
+  ///
+  /// \p SessionNamespace prefixes every fresh() mint of this context
+  /// (`Base$<ns><n>`). Sessions sharing a SymbolTable must use pairwise
+  /// distinct namespaces, each terminated unambiguously (e.g. "s3."), so
+  /// their name streams are disjoint — otherwise concurrent internNew
+  /// collisions would make counter skips (and hence spellings) depend on
+  /// thread interleaving.
+  GcContext(const GcContext &SharedBase, std::string SessionNamespace)
+      : OwnedSyms(nullptr), Syms(SharedBase.Syms),
+        InternOn(SharedBase.InternOn), MarkCanonical(SharedBase.MarkCanonical),
+        Base(&SharedBase), FreshTag(std::move(SessionNamespace)) {
+    assert(SharedBase.Frozen &&
+           "shared base must be frozen before sessions layer on it");
+    if (InternOn) {
+      // Sessions start with the warmed base vocabulary already available;
+      // their private tables only hold workload-specific nodes, so start
+      // them a few powers of two smaller than a standalone context's.
+      TagTable.reserve(1u << 10);
+      TypeTable.reserve(1u << 12);
+      TagNormalMemo.reserve(1u << 10);
+      TypeNormalMemo.reserve(1u << 12);
+    }
+    OmegaKind = SharedBase.OmegaKind;
+    IntTagNode = SharedBase.IntTagNode;
+    IntTypeNode = SharedBase.IntTypeNode;
+    IdFunTag = SharedBase.IdFunTag;
+    CdRegion = SharedBase.CdRegion;
+  }
+
 private:
   GcContext(SymbolTable *Shared, bool EnableInterning, bool MarkCanonicalBit)
       : OwnedSyms(Shared ? nullptr : std::make_unique<SymbolTable>()),
@@ -177,6 +236,29 @@ public:
   /// True when hash-consing (and every fast path that relies on it) is on.
   bool interningEnabled() const { return InternOn; }
 
+  /// Makes this context a read-only shared base: after this call no node may
+  /// be created, interned, memoized, or freshly named through it — only
+  /// lookups (performed by session contexts layered on it) remain legal.
+  /// Enforced by asserts on the mutating entry points; the TSan CI job is
+  /// the backstop in NDEBUG builds. Irreversible by design: a base that
+  /// could thaw while sessions race over it is exactly the bug class this
+  /// exists to remove.
+  void freeze() { Frozen = true; }
+  bool frozen() const { return Frozen; }
+
+  /// The frozen shared base this session context layers over, or null.
+  const GcContext *base() const { return Base; }
+
+  /// Re-tags fresh() mints (`Base$<ns><n>`). Must be called before the
+  /// first mint; used to give checker mirrors the session's namespace so
+  /// their "c"-scoped mints stay session-disjoint too (FreshScope appends
+  /// to this tag).
+  void setFreshNamespace(std::string Ns) {
+    assert(FreshCtr == 0 && "re-namespacing an already-minting context");
+    FreshTag = std::move(Ns);
+  }
+  const std::string &freshNamespace() const { return FreshTag; }
+
   Stats &stats() { return S; }
   const Stats &stats() const { return S; }
 
@@ -194,9 +276,10 @@ public:
   /// minting names against the shared table can never perturb the mutator
   /// context's numbering — the mutator's name stream is a pure function of
   /// the program, regardless of when or on which thread checks run.
-  Symbol fresh(std::string_view Base) {
+  Symbol fresh(std::string_view Stem) {
+    assert(!Frozen && "minting fresh names through a frozen shared base");
     for (;;) {
-      std::string Candidate(Base);
+      std::string Candidate(Stem);
       Candidate += '$';
       Candidate += FreshTag;
       Candidate += std::to_string(FreshCtr++);
@@ -218,13 +301,18 @@ public:
   /// these so their transient fresh names live in a namespace disjoint from
   /// the mutator's ("" ↔ "c"/"o"), which keeps checker-minted symbols from
   /// ever aliasing machine-state names and keeps both streams deterministic
-  /// when checks run asynchronously.
+  /// when checks run asynchronously. The scope tag *appends* to the
+  /// context's namespace tag rather than replacing it: in a session context
+  /// namespaced "s3." the checker mints under "s3.c", so checker streams of
+  /// concurrent sessions sharing one SymbolTable stay disjoint too (for a
+  /// standalone context the base tag is empty and nothing changes).
   class FreshScope {
   public:
     FreshScope(GcContext &C, std::string Tag, uint64_t &Ctr)
         : C(C), SavedTag(std::move(C.FreshTag)), SavedCtr(C.FreshCtr),
           Ext(&Ctr) {
-      C.FreshTag = std::move(Tag);
+      C.FreshTag = SavedTag;
+      C.FreshTag += Tag;
       C.FreshCtr = Ctr;
     }
     ~FreshScope() {
@@ -263,6 +351,15 @@ public:
       ++S.KindInternHits;
       return It->second;
     }
+    if (Base) {
+      auto BIt = Base->ArrowKinds.find(Key);
+      if (BIt != Base->ArrowKinds.end()) {
+        ++S.KindInternHits;
+        ++S.KindBaseHits;
+        return BIt->second;
+      }
+    }
+    assert(!Frozen && "interning kinds into a frozen shared base");
     ++S.KindInternMisses;
     const Kind *K = Alloc.create<Kind>(Kind(From, To));
     ArrowKinds.emplace(Key, K);
@@ -447,21 +544,30 @@ public:
   // hence normal forms) differ per level. Only consulted/filled while
   // interning is enabled (Normalize.cpp).
 
+  // Session contexts fall through to the frozen base's memos: normal forms
+  // of base nodes computed during warmup are shared read-only. A local miss
+  // must consult the base even when the local key exists (the type memo is
+  // per-level — the base may hold the level this context does not).
   const Tag *lookupNormalTagMemo(const Tag *T) const {
     auto It = TagNormalMemo.find(T);
-    return It == TagNormalMemo.end() ? nullptr : It->second;
+    if (It != TagNormalMemo.end())
+      return It->second;
+    return Base ? Base->lookupNormalTagMemo(T) : nullptr;
   }
   void rememberNormalTag(const Tag *T, const Tag *N) {
+    assert(!Frozen && "memoizing into a frozen shared base");
     if (TagNormalMemo.emplace(T, N).second)
       TagMemoLog.push_back(T);
   }
 
   const Type *lookupNormalTypeMemo(const Type *T, LanguageLevel L) const {
     auto It = TypeNormalMemo.find(T);
-    return It == TypeNormalMemo.end() ? nullptr
-                                      : It->second[levelIndex(L)];
+    if (It != TypeNormalMemo.end() && It->second[levelIndex(L)])
+      return It->second[levelIndex(L)];
+    return Base ? Base->lookupNormalTypeMemo(T, L) : nullptr;
   }
   void rememberNormalType(const Type *T, LanguageLevel L, const Type *N) {
+    assert(!Frozen && "memoizing into a frozen shared base");
     auto &Slot = TypeNormalMemo[T][levelIndex(L)];
     if (Slot == N)
       return;
@@ -491,6 +597,7 @@ public:
   /// Entries inserted before the mark can only reference pre-mark nodes
   /// (both key and value existed at insertion time), so they stay valid.
   void release(const Checkpoint &Cp) {
+    assert(!Frozen && "rolling back a frozen shared base");
     for (size_t I = TagLog.size(); I > Cp.Tags; --I)
       TagTable.erase(TagLog[I - 1]);
     TagLog.resize(Cp.Tags);
@@ -863,6 +970,7 @@ public:
   /// workers join, their arenas are adopted here so the values installed in
   /// machine memory stay valid.
   void adoptArena(std::unique_ptr<Arena> A) {
+    assert(!Frozen && "adopting arenas into a frozen shared base");
     AdoptedArenas.push_back(std::move(A));
   }
 
@@ -1045,13 +1153,28 @@ private:
 
   const Tag *internTag(Tag &&T) {
     finishTag(T);
-    if (!InternOn)
+    if (!InternOn) {
+      assert(!Frozen && "allocating tags in a frozen shared base");
       return Alloc.create<Tag>(std::move(T));
+    }
+    // Base probe first: the frozen base holds the warm shared vocabulary
+    // (collector/runtime types), the hot case for session contexts. A node
+    // is inserted locally only after missing both tables, so the two are
+    // disjoint and probe order is a pure performance choice.
+    if (Base) {
+      auto BIt = Base->TagTable.find(&T);
+      if (BIt != Base->TagTable.end()) {
+        ++S.TagInternHits;
+        ++S.TagBaseHits;
+        return *BIt;
+      }
+    }
     auto It = TagTable.find(&T);
     if (It != TagTable.end()) {
       ++S.TagInternHits;
       return *It;
     }
+    assert(!Frozen && "interning tags into a frozen shared base");
     ++S.TagInternMisses;
     Tag *N = Alloc.create<Tag>(std::move(T));
     if (MarkCanonical)
@@ -1063,13 +1186,24 @@ private:
 
   const Type *internType(Type &&T) {
     finishType(T);
-    if (!InternOn)
+    if (!InternOn) {
+      assert(!Frozen && "allocating types in a frozen shared base");
       return Alloc.create<Type>(std::move(T));
+    }
+    if (Base) {
+      auto BIt = Base->TypeTable.find(&T);
+      if (BIt != Base->TypeTable.end()) {
+        ++S.TypeInternHits;
+        ++S.TypeBaseHits;
+        return *BIt;
+      }
+    }
     auto It = TypeTable.find(&T);
     if (It != TypeTable.end()) {
       ++S.TypeInternHits;
       return *It;
     }
+    assert(!Frozen && "interning types into a frozen shared base");
     ++S.TypeInternMisses;
     Type *N = Alloc.create<Type>(std::move(T));
     if (MarkCanonical)
@@ -1085,10 +1219,17 @@ private:
   // placement new keeps one write pass; the kind-only constructors are
   // noexcept, which allocateFor requires.
   Value *allocValue(ValueKind K) {
+    assert(!Frozen && "allocating values in a frozen shared base");
     return new (Alloc.allocateFor<Value>()) Value(K);
   }
-  Op *allocOp(OpKind K) { return new (Alloc.allocateFor<Op>()) Op(K); }
-  Term *allocTerm(TermKind K) { return new (Alloc.allocateFor<Term>()) Term(K); }
+  Op *allocOp(OpKind K) {
+    assert(!Frozen && "allocating ops in a frozen shared base");
+    return new (Alloc.allocateFor<Op>()) Op(K);
+  }
+  Term *allocTerm(TermKind K) {
+    assert(!Frozen && "allocating terms in a frozen shared base");
+    return new (Alloc.allocateFor<Term>()) Term(K);
+  }
 
   friend class ValueBuilder;
 
@@ -1102,6 +1243,13 @@ private:
   /// Whether interned nodes get FlagCanonical (off for observer contexts —
   /// see the shared-table constructor).
   bool MarkCanonical;
+  /// Frozen read-only context whose tables are probed before this one's
+  /// (session contexts only; see the shared-base constructor). Null for
+  /// standalone and observer contexts.
+  const GcContext *Base = nullptr;
+  /// Set by freeze(): this context is now a read-only shared base; every
+  /// mutating entry point asserts against it.
+  bool Frozen = false;
   /// fresh() namespace tag + counter; see FreshScope.
   std::string FreshTag;
   uint64_t FreshCtr = 0;

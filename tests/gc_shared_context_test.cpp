@@ -1,0 +1,193 @@
+//===- tests/gc_shared_context_test.cpp - Frozen shared-base contexts -----===//
+//
+// Regression tests for the multi-session interning seam: before session
+// contexts existed, serving N pipelines concurrently meant either N fully
+// private contexts (no sharing, duplicated vocabulary) or naively pointing
+// several Machines at one GcContext — whose uniquing tables, memo caches,
+// and arena are unsynchronized, so TSan flags the very first concurrent
+// intern. The shared-base design removes the race by construction: one
+// frozen read-only base, all writes session-local. The multithreaded cases
+// here are the TSan regression — run under the sanitize-thread CI job they
+// fail on any future change that lets a session write through its base.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
+#include "gc/StateCheck.h"
+#include "harness/HeapForge.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace scav;
+using namespace scav::gc;
+using namespace scav::harness;
+
+namespace {
+
+Address installCollector(Machine &M, LanguageLevel Level) {
+  switch (Level) {
+  case LanguageLevel::Base:
+    return installBasicCollector(M).Gc;
+  case LanguageLevel::Forward:
+    return installForwardCollector(M).Gc;
+  case LanguageLevel::Generational:
+    return installGenCollector(M).Gc;
+  }
+  return {};
+}
+
+/// Builds a base context warmed with the full collector vocabulary (all
+/// three levels install their code and types through throwaway machines)
+/// and freezes it.
+std::unique_ptr<GcContext> makeFrozenBase() {
+  auto Base = std::make_unique<GcContext>();
+  for (LanguageLevel L : {LanguageLevel::Base, LanguageLevel::Forward,
+                          LanguageLevel::Generational}) {
+    Machine Warm(*Base, L);
+    installCollector(Warm, L);
+  }
+  // A closed structural tag the tests below use as their shared-vocabulary
+  // probe. (listTag is deliberately NOT such a probe: it packs a freshly
+  // minted variable, so each session's list tag is session-local by
+  // design.)
+  (void)Base->tagProd(Base->tagInt(), Base->tagInt());
+  Base->freeze();
+  return Base;
+}
+
+/// Re-interning the probe tag must resolve to the base's node. Interning
+/// through the frozen base itself is also legal — it is a pure lookup.
+const Tag *probeTag(GcContext &C) {
+  return C.tagProd(C.tagInt(), C.tagInt());
+}
+
+/// One full session over a shared base: private layered context, machine,
+/// collector, forged heap, one certified collection, one oracle check.
+/// Returns the halt value (0 on success).
+int64_t runSession(const GcContext &Base, unsigned Index, LanguageLevel Level,
+                   size_t ListLen, const Tag *BaseProbe) {
+  GcContext C(Base, "s" + std::to_string(Index) + ".");
+  // The shared vocabulary must resolve to the base's nodes, not copies.
+  EXPECT_EQ(probeTag(C), BaseProbe);
+  EXPECT_GT(C.stats().TagBaseHits, 0u);
+
+  Machine M(C, Level);
+  Address GcAddr = installCollector(M, Level);
+  Region R = M.createRegion("from", 0);
+  Region Old = Level == LanguageLevel::Generational
+                   ? M.createRegion("old", 0)
+                   : R;
+  ForgedHeap H = forgeList(M, R, Old, ListLen);
+  Address Fin = installFinisher(M, H.Tag);
+  const Term *E = collectOnceTerm(M, GcAddr, H, R, Old, Fin);
+  M.start(E);
+  M.run(5000000);
+  EXPECT_EQ(M.status(), Machine::Status::Halted)
+      << (M.status() == Machine::Status::Stuck ? M.stuckReason()
+                                               : "did not halt");
+  if (M.status() != Machine::Status::Halted)
+    return -1;
+  StateCheckResult Check = checkState(M);
+  EXPECT_TRUE(Check.Ok) << Check.Error;
+  return M.haltValue()->intValue();
+}
+
+TEST(SharedContext, BaseServesWarmVocabulary) {
+  auto Base = makeFrozenBase();
+  ASSERT_TRUE(Base->frozen());
+  const Tag *BaseProbe = probeTag(*Base); // pure lookup on the frozen base
+  {
+    GcContext Session(*Base, "s0.");
+    EXPECT_EQ(probeTag(Session), BaseProbe);
+    EXPECT_GT(Session.stats().TagBaseHits, 0u);
+    // Singletons are shared, so hashes (which fold kind addresses) agree.
+    EXPECT_EQ(Session.omega(), Base->omega());
+    EXPECT_EQ(Session.tagInt(), Base->tagInt());
+    EXPECT_EQ(Session.typeInt(), Base->typeInt());
+    EXPECT_EQ(Session.cd().sym(), Base->cd().sym());
+  }
+  // A second session resolves the same vocabulary to the same pointer.
+  GcContext Session(*Base, "s1.");
+  EXPECT_EQ(probeTag(Session), BaseProbe);
+  // listTag, by contrast, packs a session-fresh variable: it must NOT be
+  // shared across sessions (each session gets its own local node).
+  EXPECT_NE(listTag(Session), nullptr);
+  EXPECT_GT(Session.internedTags(), 0u);
+}
+
+TEST(SharedContext, SessionWritesStayLocal) {
+  auto Base = makeFrozenBase();
+  size_t BaseTags = Base->internedTags();
+  size_t BaseTypes = Base->internedTypes();
+  GcContext Session(*Base, "s0.");
+  // A workload-specific node (a session-fresh variable) misses the base
+  // and lands in the session's own table.
+  Symbol V = Session.fresh("u");
+  const Tag *Local = Session.tagProd(Session.tagVar(V), Session.tagInt());
+  EXPECT_EQ(Local, Session.tagProd(Session.tagVar(V), Session.tagInt()));
+  EXPECT_EQ(Base->internedTags(), BaseTags);
+  EXPECT_EQ(Base->internedTypes(), BaseTypes);
+  EXPECT_GT(Session.internedTags(), 0u);
+}
+
+TEST(SharedContext, NormalMemoFallsThroughToBase) {
+  auto Base = std::make_unique<GcContext>();
+  Symbol T = Base->intern("t");
+  const Tag *Redex = Base->tagApp(Base->tagLam(T, Base->tagVar(T)),
+                                  Base->tagInt());
+  Base->rememberNormalTag(Redex, Base->tagInt());
+  Base->freeze();
+  GcContext Session(*Base, "s0.");
+  EXPECT_EQ(Session.lookupNormalTagMemo(Redex), Session.tagInt());
+}
+
+TEST(SharedContext, FreshNamespacesAreDisjoint) {
+  auto Base = makeFrozenBase();
+  GcContext S0(*Base, "s0.");
+  GcContext S1(*Base, "s1.");
+  EXPECT_EQ(S0.name(S0.fresh("x")), "x$s0.0");
+  EXPECT_EQ(S1.name(S1.fresh("x")), "x$s1.0");
+  // Checker scopes append to the session namespace, so checker mints of
+  // different sessions cannot collide in the shared table either.
+  uint64_t Ctr = 0;
+  {
+    GcContext::FreshScope Scope(S0, "c", Ctr);
+    EXPECT_EQ(S0.name(S0.fresh("x")), "x$s0.c0");
+  }
+  EXPECT_EQ(S0.name(S0.fresh("x")), "x$s0.1");
+}
+
+// The TSan regression: concurrent sessions, one frozen base. Every session
+// interns the shared vocabulary (base hits), interns workload nodes
+// (local writes), runs a certified collection, and oracle-checks the
+// result. Any path that lets a session mutate base state shows up as a
+// data race under -fsanitize=thread.
+TEST(SharedContext, ConcurrentSessionsOverFrozenBase) {
+  auto Base = makeFrozenBase();
+  const Tag *BaseProbe = probeTag(*Base);
+  constexpr unsigned N = 6;
+  const LanguageLevel Levels[] = {LanguageLevel::Base, LanguageLevel::Forward,
+                                  LanguageLevel::Generational};
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      int64_t Halt = runSession(*Base, I, Levels[I % 3], 200 + 40 * I,
+                                BaseProbe);
+      if (Halt != 0)
+        ++Failures;
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+} // namespace
