@@ -63,6 +63,37 @@ public:
     return Lo; // == Bounds.size() for the overflow bucket
   }
 
+  /// Folds \p O into this histogram. Identical bucket grids merge exactly
+  /// (bucket-wise addition); differing grids degrade gracefully by
+  /// re-bucketing each of O's non-empty buckets at a representative value
+  /// (its upper edge, clamped to O's observed range), preserving count /
+  /// sum / min / max exactly and percentiles to within one bucket.
+  void mergeFrom(const Histogram &O) {
+    if (O.Count == 0)
+      return;
+    if (Count == 0) {
+      Min = O.Min;
+      Max = O.Max;
+    } else {
+      Min = std::min(Min, O.Min);
+      Max = std::max(Max, O.Max);
+    }
+    if (O.Bounds == Bounds) {
+      for (size_t I = 0; I != Counts.size(); ++I)
+        Counts[I] += O.Counts[I];
+    } else {
+      for (size_t I = 0; I != O.Counts.size(); ++I) {
+        if (O.Counts[I] == 0)
+          continue;
+        double Rep = I < O.Bounds.size() ? O.Bounds[I] : O.Max;
+        Rep = std::clamp(Rep, O.Min, O.Max);
+        Counts[bucketFor(Rep)] += O.Counts[I];
+      }
+    }
+    Count += O.Count;
+    Sum += O.Sum;
+  }
+
   uint64_t count() const { return Count; }
   double sum() const { return Sum; }
   double min() const { return Count ? Min : 0; }
@@ -115,6 +146,14 @@ private:
 /// Name-keyed registry. Ordered maps: every reporter iterates, and stable
 /// (sorted) output order is worth more than O(1) registration — metrics
 /// are registered/updated at reporting boundaries, not on hot paths.
+///
+/// Thread model (enforced by convention, checked by the TSan CI job): a
+/// registry has exactly ONE writer thread for its whole lifetime — nothing
+/// here is synchronized, and concurrent counter()/histogram() calls
+/// corrupt the maps and the histogram bucket arrays. Concurrent producers
+/// (certgc_serve worker sessions, stress tests) each write a private
+/// registry; the owner folds them together with mergeFrom() after the
+/// producers have joined. Readers may only run while no writer does.
 class MetricsRegistry {
 public:
   uint64_t &counter(const std::string &Name) { return Counters[Name]; }
@@ -129,6 +168,24 @@ public:
 
   void setCounter(const std::string &Name, uint64_t V) { Counters[Name] = V; }
   void setGauge(const std::string &Name, double V) { Gauges[Name] = V; }
+
+  /// Additive merge: counters and gauges accumulate, histograms fold
+  /// bucket-wise (Histogram::mergeFrom). This is the join step of the
+  /// one-writer-per-registry thread model above — call it after the
+  /// producer threads owning the source registries have joined. Additive
+  /// gauges aggregate meaningfully for extensive quantities (cells, bytes,
+  /// seconds of work); intensive per-session gauges are better exported
+  /// under per-session names by the caller. \p Prefix is prepended to every
+  /// merged-in name ("s3." turns "machine.steps" into "s3.machine.steps").
+  void mergeFrom(const MetricsRegistry &O, const std::string &Prefix = "") {
+    for (const auto &[K, V] : O.Counters)
+      Counters[Prefix + K] += V;
+    for (const auto &[K, V] : O.Gauges)
+      Gauges[Prefix + K] += V;
+    for (const auto &[K, H] : O.Histograms)
+      Histograms.try_emplace(Prefix + K, Histogram(H.bounds()))
+          .first->second.mergeFrom(H);
+  }
 
   const std::map<std::string, uint64_t> &counters() const { return Counters; }
   const std::map<std::string, double> &gauges() const { return Gauges; }

@@ -20,6 +20,7 @@
 
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace scav;
@@ -94,6 +95,102 @@ TEST(Metrics, HistogramPercentileInterpolation) {
   EXPECT_LE(H.percentile(50), H.percentile(99));
   EXPECT_LE(H.percentile(99), H.max());
   EXPECT_GE(H.percentile(1), H.min());
+}
+
+TEST(Metrics, HistogramMergeSameBounds) {
+  Histogram A({10, 100}), B({10, 100});
+  A.record(5);
+  A.record(50);
+  B.record(7);
+  B.record(500);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.count(), 4u);
+  EXPECT_DOUBLE_EQ(A.sum(), 5 + 50 + 7 + 500);
+  EXPECT_DOUBLE_EQ(A.min(), 5);
+  EXPECT_DOUBLE_EQ(A.max(), 500);
+  EXPECT_EQ(A.counts()[0], 2u);
+  EXPECT_EQ(A.counts()[1], 1u);
+  EXPECT_EQ(A.counts()[2], 1u);
+  // Merging an empty histogram is a no-op either way.
+  Histogram Empty({10, 100});
+  A.mergeFrom(Empty);
+  EXPECT_EQ(A.count(), 4u);
+  Empty.mergeFrom(A);
+  EXPECT_EQ(Empty.count(), 4u);
+  EXPECT_DOUBLE_EQ(Empty.min(), 5);
+}
+
+TEST(Metrics, HistogramMergeMismatchedBoundsIsCoarse) {
+  Histogram A({10, 100});
+  Histogram B({50});
+  B.record(30); // in B's [0,50] bucket; representative edge 50 -> A's (10,100]
+  B.record(900);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_DOUBLE_EQ(A.sum(), 930);
+  EXPECT_DOUBLE_EQ(A.min(), 30);
+  EXPECT_DOUBLE_EQ(A.max(), 900);
+  EXPECT_EQ(A.counts()[1], 1u);
+  EXPECT_EQ(A.counts()[2], 1u); // overflow representative clamped to max
+}
+
+TEST(Metrics, RegistryMergeAccumulates) {
+  MetricsRegistry A, B;
+  A.counter("steps") = 10;
+  B.counter("steps") = 32;
+  B.counter("only_b") = 1;
+  A.gauge("cells") = 1.5;
+  B.gauge("cells") = 2.5;
+  B.histogram("pause", {10, 100}).record(42);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.counters().at("steps"), 42u);
+  EXPECT_EQ(A.counters().at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(A.gauges().at("cells"), 4.0);
+  EXPECT_EQ(A.histograms().at("pause").count(), 1u);
+  // Prefixed merge keeps per-producer names apart.
+  MetricsRegistry Agg;
+  Agg.mergeFrom(B, "s1.");
+  EXPECT_EQ(Agg.counters().at("s1.steps"), 32u);
+  EXPECT_EQ(Agg.histograms().at("s1.pause").count(), 1u);
+}
+
+// The thread-model regression (see the MetricsRegistry doc comment): each
+// producer thread writes a private registry, the owner merges after join.
+// Pre-fix code had no merge API, pushing concurrent producers toward
+// sharing one registry — which corrupts the maps; under the TSan CI job
+// this test is also the canary for any future "optimization" that shares
+// histogram state across threads.
+TEST(Metrics, PerThreadRegistriesMergeExactly) {
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<MetricsRegistry> Regs(Threads);
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      MetricsRegistry &R = Regs[T];
+      Histogram &H = R.histogram("latency", {8, 64, 512});
+      for (uint64_t I = 0; I != PerThread; ++I) {
+        ++R.counter("events");
+        R.gauge("work") += 0.5;
+        H.record(static_cast<double>((I * 7 + T) % 1000));
+      }
+    });
+  for (auto &T : Pool)
+    T.join();
+  MetricsRegistry Total;
+  for (const auto &R : Regs)
+    Total.mergeFrom(R);
+  EXPECT_EQ(Total.counters().at("events"), Threads * PerThread);
+  EXPECT_DOUBLE_EQ(Total.gauges().at("work"), Threads * PerThread * 0.5);
+  const Histogram &H = Total.histograms().at("latency");
+  EXPECT_EQ(H.count(), Threads * PerThread);
+  uint64_t BucketSum = 0;
+  for (uint64_t C : H.counts())
+    BucketSum += C;
+  EXPECT_EQ(BucketSum, H.count());
+  EXPECT_DOUBLE_EQ(H.min(), 0);
+  EXPECT_DOUBLE_EQ(H.max(), 999);
+  EXPECT_LE(H.percentile(50), H.percentile(99));
 }
 
 TEST(Metrics, HistogramDefaultBoundsCoverLatencyRange) {
