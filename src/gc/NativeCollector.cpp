@@ -2,6 +2,7 @@
 
 #include "gc/NativeCollector.h"
 
+#include "support/ParseInt.h"
 #include "support/WorkSteal.h"
 
 #include <atomic>
@@ -1340,29 +1341,41 @@ struct ParallelCheneyCompact {
   }
 };
 
-/// Threads == 0 ("use the default") resolves here: the setter wins, else
-/// SCAV_THREADS, else 1. Read once — a mid-run env change should not flip
-/// collection determinism under a test.
-unsigned &nativeGcThreadsSlot() {
-  static unsigned N = [] {
-    if (const char *Env = std::getenv("SCAV_THREADS"); Env && *Env) {
-      char *End = nullptr;
-      unsigned long V = std::strtoul(Env, &End, 10);
-      if (End != Env && *End == '\0' && V != 0 && V <= 1024)
-        return static_cast<unsigned>(V);
-    }
-    return 1u;
-  }();
+/// Threads == 0 ("use the default") resolves here: a thread-local scoped
+/// override wins, else the process default (setter wins over SCAV_THREADS,
+/// else 1). The env var is read once — a mid-run change should not flip
+/// collection determinism under a test — and malformed values are
+/// diagnosed instead of silently running single-threaded
+/// (support/ParseInt.h). Atomic because concurrent serve sessions read it
+/// while a late setter call is legal.
+std::atomic<unsigned> &nativeGcThreadsSlot() {
+  static std::atomic<unsigned> N(static_cast<unsigned>(
+      envUnsignedOr("SCAV_THREADS", 1, 1, 1024)));
   return N;
 }
 
+/// Per-thread override installed by ScopedNativeGcThreads; 0 = none.
+thread_local unsigned NativeGcThreadsTls = 0;
+
 } // namespace
 
-unsigned scav::gc::nativeGcThreads() { return nativeGcThreadsSlot(); }
+unsigned scav::gc::nativeGcThreads() {
+  if (NativeGcThreadsTls != 0)
+    return NativeGcThreadsTls;
+  return nativeGcThreadsSlot().load(std::memory_order_relaxed);
+}
 
 void scav::gc::setNativeGcThreads(unsigned N) {
-  nativeGcThreadsSlot() = N == 0 ? 1 : N;
+  nativeGcThreadsSlot().store(N == 0 ? 1 : N, std::memory_order_relaxed);
 }
+
+ScopedNativeGcThreads::ScopedNativeGcThreads(unsigned N)
+    : Prev(NativeGcThreadsTls) {
+  if (N != 0)
+    NativeGcThreadsTls = N;
+}
+
+ScopedNativeGcThreads::~ScopedNativeGcThreads() { NativeGcThreadsTls = Prev; }
 
 std::pair<const Value *, Region>
 scav::gc::nativeCollect(Machine &M, const Value *Root, Region From,

@@ -81,12 +81,35 @@ nativeCollect(Machine &M, const Value *Root, Region From,
               bool PreserveSharing, NativeGcStats &Stats,
               CopyOrder Order = CopyOrder::DepthFirst, unsigned Threads = 0);
 
-/// Process-wide default worker count for parallel native copies, used when
-/// nativeCollect is called with Threads == 0. Initialized from SCAV_THREADS
-/// (certgc_run's --threads flag overrides via the setter); defaults to 1,
-/// which preserves the deterministic sequential path.
+/// Default worker count for parallel native copies, used when nativeCollect
+/// is called with Threads == 0: a calling thread's scoped override when one
+/// is active (ScopedNativeGcThreads), else the process-wide default.
+/// The process default is initialized from SCAV_THREADS — malformed values
+/// are diagnosed on stderr and fall back to 1 (support/ParseInt.h) — and
+/// certgc_run's --threads flag overrides it via the setter; 1 preserves the
+/// deterministic sequential path.
 unsigned nativeGcThreads();
+
+/// Sets the process-wide default. The slot is atomic, so a late call is
+/// safe, but configure-at-startup is the intended use; concurrent sessions
+/// wanting different counts use ScopedNativeGcThreads instead of fighting
+/// over this.
 void setNativeGcThreads(unsigned N);
+
+/// RAII thread-local override of nativeGcThreads() for the current thread:
+/// lets each certgc_serve session carry its own `threads` knob without
+/// mutating (and racing on) the process default from worker threads.
+/// N == 0 means "no override" — the process default stays in effect.
+class ScopedNativeGcThreads {
+public:
+  explicit ScopedNativeGcThreads(unsigned N);
+  ~ScopedNativeGcThreads();
+  ScopedNativeGcThreads(const ScopedNativeGcThreads &) = delete;
+  ScopedNativeGcThreads &operator=(const ScopedNativeGcThreads &) = delete;
+
+private:
+  unsigned Prev;
+};
 
 } // namespace scav::gc
 

@@ -2,6 +2,9 @@
 
 #include "harness/Pipeline.h"
 
+#include "support/ParseInt.h"
+
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 
@@ -97,14 +100,26 @@ RunResult Pipeline::runClos(uint64_t Fuel) {
 }
 
 uint32_t scav::harness::checkEveryFromEnv(uint32_t Fallback) {
-  const char *Env = std::getenv("SCAV_CHECK_EVERY");
+  // Diagnosed fallback (support/ParseInt.h): a typo'd SCAV_CHECK_EVERY used
+  // to silently disable the soak cadence it was meant to set.
+  return static_cast<uint32_t>(
+      envUnsignedOr("SCAV_CHECK_EVERY", Fallback, 0,
+                    std::numeric_limits<uint32_t>::max()));
+}
+
+gc::EvalMode scav::harness::evalModeFromEnv(gc::EvalMode Fallback) {
+  const char *Env = std::getenv("SCAV_EVAL_MODE");
   if (!Env || !*Env)
     return Fallback;
-  char *End = nullptr;
-  unsigned long V = std::strtoul(Env, &End, 10);
-  if (End == Env || *End != '\0' || V > std::numeric_limits<uint32_t>::max())
+  std::optional<gc::EvalMode> Mode = gc::parseEvalMode(Env);
+  if (!Mode) {
+    std::fprintf(stderr,
+                 "warning: SCAV_EVAL_MODE=\"%s\": unknown eval mode "
+                 "(env|subst|vm); keeping the default\n",
+                 Env);
     return Fallback;
-  return static_cast<uint32_t>(V);
+  }
+  return *Mode;
 }
 
 std::optional<std::string> scav::harness::traceOutFromEnv() {

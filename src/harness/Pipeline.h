@@ -69,9 +69,17 @@ struct RunResult {
 };
 
 /// Resolves the per-step check cadence: the SCAV_CHECK_EVERY environment
-/// variable when set to a valid unsigned integer, else \p Fallback. Shared
-/// by the drivers so one env var steers every harness entry point.
+/// variable when set to a valid unsigned integer, else \p Fallback —
+/// malformed values are diagnosed on stderr before falling back
+/// (support/ParseInt.h). Shared by the drivers so one env var steers every
+/// harness entry point.
 uint32_t checkEveryFromEnv(uint32_t Fallback);
+
+/// Resolves the default evaluation mode: SCAV_EVAL_MODE when set to a valid
+/// mode name (env|subst|vm), else \p Fallback; malformed values are
+/// diagnosed on stderr before falling back. Drivers that prefer to
+/// hard-fail on a bad value (certgc_run) parse the variable themselves.
+gc::EvalMode evalModeFromEnv(gc::EvalMode Fallback);
 
 /// Shared trace bootstrap for every driver: when the SCAV_TRACE environment
 /// variable is set (and tracing is compiled in), enables the global trace

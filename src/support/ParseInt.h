@@ -15,7 +15,10 @@
 
 #include <charconv>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <system_error>
 
@@ -31,6 +34,68 @@ inline std::optional<int64_t> parseInt64(std::string_view S) {
   if (Ec != std::errc() || Ptr != S.data() + S.size())
     return std::nullopt;
   return V;
+}
+
+/// Parses the *entire* string as a base-10 uint64_t.
+inline std::optional<uint64_t> parseUint64(std::string_view S) {
+  if (S.empty())
+    return std::nullopt;
+  uint64_t V = 0;
+  auto [Ptr, Ec] = std::from_chars(S.data(), S.data() + S.size(), V, 10);
+  if (Ec != std::errc() || Ptr != S.data() + S.size())
+    return std::nullopt;
+  return V;
+}
+
+/// Result of interpreting an environment knob: the value to use plus a
+/// non-empty diagnostic when the raw text was malformed and \p Fallback was
+/// substituted.
+struct EnvUnsigned {
+  uint64_t Value = 0;
+  std::string Diag; ///< empty = clean parse (or variable unset)
+};
+
+/// Interprets environment-variable text as an unsigned integer in
+/// [\p Min, \p Max]. Unset (\p Raw == nullptr) or empty picks \p Fallback
+/// silently — the knob simply isn't set. Anything else that fails to parse
+/// completely, overflows, or lands outside the range also picks \p Fallback
+/// but reports a one-line diagnostic naming the variable and the offending
+/// text. This is the same bug class as the frontend's stoll food (see
+/// parseInt64 above): strtoul-with-no-endptr-check turned SCAV_THREADS=4x
+/// into a silent single-threaded run. Pure (no getenv, no I/O) so tests
+/// can drive raw strings through it; envUnsignedOr below is the effectful
+/// wrapper the runtime knobs use.
+inline EnvUnsigned parseEnvUnsigned(std::string_view Name, const char *Raw,
+                                    uint64_t Fallback, uint64_t Min,
+                                    uint64_t Max) {
+  EnvUnsigned R{Fallback, {}};
+  if (!Raw || !*Raw)
+    return R;
+  std::string_view S(Raw);
+  std::optional<uint64_t> V = parseUint64(S);
+  std::string Msg;
+  if (!V) {
+    Msg = "not an unsigned integer";
+  } else if (*V < Min || *V > Max) {
+    Msg = "out of range [" + std::to_string(Min) + ", " +
+          std::to_string(Max) + "]";
+  } else {
+    R.Value = *V;
+    return R;
+  }
+  R.Diag = std::string(Name) + "=\"" + std::string(S) + "\": " + Msg +
+           "; using " + std::to_string(Fallback);
+  return R;
+}
+
+/// getenv + parseEnvUnsigned, printing the diagnostic (if any) to stderr.
+inline uint64_t envUnsignedOr(const char *Name, uint64_t Fallback,
+                              uint64_t Min, uint64_t Max) {
+  EnvUnsigned R =
+      parseEnvUnsigned(Name, std::getenv(Name), Fallback, Min, Max);
+  if (!R.Diag.empty())
+    std::fprintf(stderr, "warning: %s\n", R.Diag.c_str());
+  return R.Value;
 }
 
 } // namespace scav

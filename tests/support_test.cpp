@@ -1,17 +1,100 @@
 //===- tests/support_test.cpp - Support-library unit tests ----------------===//
 
+#include "gc/NativeCollector.h"
 #include "gc/Region.h"
 #include "support/Arena.h"
 #include "support/Diag.h"
+#include "support/ParseInt.h"
 #include "support/Printer.h"
 #include "support/Rng.h"
 #include "support/Symbol.h"
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace scav;
 
 namespace {
+
+//===----------------------------------------------------------------------===//
+// ParseInt: environment-knob parsing (parser_robustness style)
+//===----------------------------------------------------------------------===//
+
+TEST(ParseEnv, UnsetAndEmptyFallBackSilently) {
+  for (const char *Raw : {static_cast<const char *>(nullptr), ""}) {
+    EnvUnsigned R = parseEnvUnsigned("SCAV_THREADS", Raw, 7, 1, 1024);
+    EXPECT_EQ(R.Value, 7u);
+    EXPECT_TRUE(R.Diag.empty());
+  }
+}
+
+TEST(ParseEnv, ValidValuesParse) {
+  EXPECT_EQ(parseEnvUnsigned("K", "1", 7, 1, 1024).Value, 1u);
+  EXPECT_EQ(parseEnvUnsigned("K", "1024", 7, 1, 1024).Value, 1024u);
+  EXPECT_EQ(parseEnvUnsigned("K", "0", 7, 0, 10).Value, 0u);
+  EXPECT_TRUE(parseEnvUnsigned("K", "42", 7, 1, 1024).Diag.empty());
+}
+
+TEST(ParseEnv, MalformedValuesDiagnoseAndFallBack) {
+  // The stoll-food bug class: every one of these used to silently become
+  // the fallback with no hint the knob was ignored.
+  struct Case {
+    const char *Raw;
+  } Cases[] = {
+      {"4x"},     // trailing garbage
+      {"x4"},     // not a number
+      {"-1"},     // negative: not an unsigned integer
+      {" 4"},     // leading whitespace is not accepted
+      {"4 "},     // trailing whitespace either
+      {"0x10"},   // base-10 only
+      {"99999999999999999999"}, // does not fit uint64
+  };
+  for (const Case &C : Cases) {
+    EnvUnsigned R = parseEnvUnsigned("SCAV_CHECK_EVERY", C.Raw, 13, 0, 1u << 30);
+    EXPECT_EQ(R.Value, 13u) << C.Raw;
+    ASSERT_FALSE(R.Diag.empty()) << C.Raw;
+    // The diagnostic names the variable and quotes the offending text.
+    EXPECT_NE(R.Diag.find("SCAV_CHECK_EVERY"), std::string::npos) << R.Diag;
+    EXPECT_NE(R.Diag.find(C.Raw), std::string::npos) << R.Diag;
+    EXPECT_NE(R.Diag.find("13"), std::string::npos) << R.Diag;
+  }
+}
+
+TEST(ParseEnv, OutOfRangeDiagnosesAndFallsBack) {
+  EnvUnsigned R = parseEnvUnsigned("SCAV_THREADS", "0", 1, 1, 1024);
+  EXPECT_EQ(R.Value, 1u);
+  EXPECT_NE(R.Diag.find("out of range"), std::string::npos) << R.Diag;
+  R = parseEnvUnsigned("SCAV_THREADS", "4096", 1, 1, 1024);
+  EXPECT_EQ(R.Value, 1u);
+  EXPECT_FALSE(R.Diag.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Native-GC thread knob: scoped per-thread override
+//===----------------------------------------------------------------------===//
+
+TEST(NativeGcThreads, ScopedOverrideIsPerThread) {
+  unsigned Default = gc::nativeGcThreads();
+  {
+    gc::ScopedNativeGcThreads Override(3);
+    EXPECT_EQ(gc::nativeGcThreads(), 3u);
+    {
+      gc::ScopedNativeGcThreads Nested(5);
+      EXPECT_EQ(gc::nativeGcThreads(), 5u);
+      // 0 = "no override": the enclosing override stays in effect.
+      gc::ScopedNativeGcThreads NoOp(0);
+      EXPECT_EQ(gc::nativeGcThreads(), 5u);
+    }
+    EXPECT_EQ(gc::nativeGcThreads(), 3u);
+    // Another thread never sees this thread's override.
+    unsigned Seen = 0;
+    std::thread T([&] { Seen = gc::nativeGcThreads(); });
+    T.join();
+    EXPECT_EQ(Seen, Default);
+  }
+  EXPECT_EQ(gc::nativeGcThreads(), Default);
+}
 
 //===----------------------------------------------------------------------===//
 // Arena
