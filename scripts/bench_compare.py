@@ -29,7 +29,9 @@ gate, not runner noise.
 
 import argparse
 import json
+import math
 import sys
+import tempfile
 from pathlib import Path
 
 HIGHER_BETTER = ("_speedup", "_steps_per_sec", "_rate", "_per_sec")
@@ -68,31 +70,104 @@ def load_records(spec: str) -> dict:
 
 
 def metrics_of(doc: dict) -> dict:
-    """Flat {key: float} view: gauges, counters, histogram mean/p99."""
+    """Flat {key: float} view: gauges, counters, histogram mean/p99.
+
+    The JSON writer emits ``null`` for non-finite gauge values
+    (appendJsonNumber), so every value is filtered through a
+    finite-number check — a single NaN record must not crash the whole
+    comparison or poison a drift line.
+    """
     out = {}
-    out.update(doc.get("gauges", {}))
-    out.update(doc.get("counters", {}))
-    for name, h in doc.get("histograms", {}).items():
+    flat = {}
+    flat.update(doc.get("gauges", {}) or {})
+    flat.update(doc.get("counters", {}) or {})
+    for name, h in (doc.get("histograms", {}) or {}).items():
         for stat in ("mean", "p99"):
-            if stat in h:
-                out[f"{name}:{stat}"] = h[stat]
+            if isinstance(h, dict) and stat in h:
+                flat[f"{name}:{stat}"] = h[stat]
+    for key, value in flat.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and math.isfinite(value):
+            out[key] = float(value)
     return out
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--gate", type=float, metavar="PCT", default=None,
-                    help="fail if any directional metric regresses by more "
-                         "than PCT percent (default: report only)")
-    ap.add_argument("--min-delta", type=float, metavar="PCT", default=2.0,
-                    help="suppress rows that moved less than PCT percent "
-                         "(default: 2)")
-    args = ap.parse_args()
+def self_test() -> int:
+    """Synthetic-record regression tests, run from CI (--self-test).
 
-    base = load_records(args.baseline)
-    curr = load_records(args.current)
+    Covers the failure modes E14's multi-record output first exercised:
+    zero baselines, null (non-finite) values, experiments present on one
+    side only, and the gate logic around both.
+    """
+
+    def record(experiment, counters=None, gauges=None, histograms=None,
+               ok=True):
+        return {"schema": "scav-metrics-v1", "experiment": experiment,
+                "pass": ok, "git_sha": "selftest",
+                "counters": counters or {}, "gauges": gauges or {},
+                "histograms": histograms or {}}
+
+    def run(base_docs, curr_docs, argv):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            (root / "base").mkdir()
+            (root / "curr").mkdir()
+            for i, doc in enumerate(base_docs):
+                (root / "base" / f"BENCH_t{i}.json").write_text(
+                    json.dumps(doc), encoding="utf-8")
+            for i, doc in enumerate(curr_docs):
+                (root / "curr" / f"BENCH_t{i}.json").write_text(
+                    json.dumps(doc), encoding="utf-8")
+            return compare(str(root / "base"), str(root / "curr"), *argv)
+
+    checks = []
+
+    def check(name, got, want):
+        checks.append((name, got, want))
+        status = "ok" if got == want else "FAIL"
+        print(f"self-test {status}: {name} (exit {got}, want {want})")
+
+    # Zero and null baseline values must not crash or divide; drift on the
+    # healthy metric still gates.
+    noisy = record("e", gauges={"dead_rate": 0.0, "nan_gauge": None,
+                                "x_steps_per_sec": 100.0})
+    faster = record("e", gauges={"dead_rate": 5.0, "nan_gauge": None,
+                                 "x_steps_per_sec": 150.0})
+    slower = record("e", gauges={"dead_rate": 5.0,
+                                 "x_steps_per_sec": 10.0})
+    check("zero/null baseline compares clean", run([noisy], [faster], []), 0)
+    check("regression gates through zero-baseline noise",
+          run([noisy], [slower], ["--gate", "20"]), 1)
+    # Records absent from one side are listed, never compared.
+    check("one-sided records", run([record("only_base")],
+                                   [record("only_curr")], []), 0)
+    # Histogram entries that are not objects are tolerated.
+    odd = record("h", histograms={"pause": {"mean": 3.0, "p99": None}})
+    check("null histogram stat", run([odd], [odd], ["--gate", "1"]), 0)
+    # A flipped pass verdict fails even without a gate.
+    check("pass flip fails", run([record("p", ok=True)],
+                                 [record("p", ok=False)], []), 1)
+    # Improvements never gate.
+    check("improvement passes gate",
+          run([record("i", gauges={"t_seconds": 10.0})],
+              [record("i", gauges={"t_seconds": 1.0})], ["--gate", "5"]), 0)
+
+    failed = [name for name, got, want in checks if got != want]
+    if failed:
+        print(f"bench_compare --self-test: FAIL ({', '.join(failed)})")
+        return 1
+    print(f"bench_compare --self-test: ok ({len(checks)} checks)")
+    return 0
+
+
+def compare(baseline, current, *argv) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--gate", type=float, metavar="PCT", default=None)
+    ap.add_argument("--min-delta", type=float, metavar="PCT", default=2.0)
+    args = ap.parse_args(list(argv))
+
+    base = load_records(baseline)
+    curr = load_records(current)
     only_base = sorted(set(base) - set(curr))
     only_curr = sorted(set(curr) - set(base))
     shared = sorted(set(base) & set(curr))
@@ -116,7 +191,13 @@ def main() -> int:
         bm, cm = metrics_of(b), metrics_of(c)
         for key in sorted(set(bm) & set(cm)):
             bv, cv = bm[key], cm[key]
-            if not bv:
+            if bv == 0:
+                # No meaningful percent change from a zero baseline; report
+                # the transition (a metric coming alive is worth seeing)
+                # without dividing by it.
+                if cv != 0:
+                    print(f"    {key:44s} {bv:>12.4g} -> {cv:>12.4g} "
+                          f"(zero baseline, not gated)")
                 continue
             pct = (cv - bv) / abs(bv) * 100
             sense = direction(key.split(":")[0])
@@ -134,6 +215,9 @@ def main() -> int:
         missing = sorted(set(bm) - set(cm))
         if missing:
             print(f"  dropped metrics: {', '.join(missing)}")
+        added = sorted(set(cm) - set(bm))
+        if added:
+            print(f"  new metrics: {', '.join(added)}")
 
     if failures:
         print("\nbench_compare: FAIL")
@@ -142,6 +226,30 @@ def main() -> int:
         return 1
     print("\nbench_compare: ok")
     return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--gate", type=float, metavar="PCT", default=None,
+                    help="fail if any directional metric regresses by more "
+                         "than PCT percent (default: report only)")
+    ap.add_argument("--min-delta", type=float, metavar="PCT", default=2.0,
+                    help="suppress rows that moved less than PCT percent "
+                         "(default: 2)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in synthetic-record tests and exit")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("baseline and current are required unless --self-test")
+    argv = []
+    if args.gate is not None:
+        argv += ["--gate", str(args.gate)]
+    argv += ["--min-delta", str(args.min_delta)]
+    return compare(args.baseline, args.current, *argv)
 
 
 if __name__ == "__main__":
