@@ -79,6 +79,7 @@ void Machine::start(const Term *E) {
   St = Status::Running;
   HaltVal = nullptr;
   StuckMsg.clear();
+  PauseOpen = false;
   if (Config.Eval == EvalMode::Vm && Backend)
     Backend->onStart(E);
 }
@@ -368,6 +369,13 @@ void Machine::traceAppPhase(Address CodeAddr) {
   auto It = PhaseMarks.find(CodeAddr.Offset);
   if (It == PhaseMarks.end())
     return;
+  // Pause clock first: it ticks whether or not tracing is enabled.
+  if (It->second && PauseHist && !PauseOpen) {
+    PauseOpen = true;
+    PauseStart = std::chrono::steady_clock::now();
+  }
+  if (!SCAV_TRACE_ENABLED())
+    return;
   support::TraceSink &Sink = support::TraceSink::get();
   if (It->second && !TraceCollectOpen) {
     Sink.begin("collector", "collect");
@@ -418,6 +426,14 @@ void Machine::applyOnly(const RegionSet &Keep) {
     }
   }
   ++OnlyEpoch;
+  // `only` is how every collection ends, so it closes an open pause clock
+  // (tracing-independent; the trace scope below closes separately).
+  if (PauseOpen) {
+    PauseHist->record(std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - PauseStart)
+                          .count());
+    PauseOpen = false;
+  }
   // Ψ|∆.
   std::vector<Symbol> Drop;
   for (const auto &[S2, _] : Psi.Regions)
@@ -501,7 +517,7 @@ Machine::Status Machine::step() {
       F = F->payload(); // (vJ~τK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v)
     if (!F->is(ValueKind::Addr))
       return stuck("application of non-address value: " + printValue(C, F));
-    if (SCAV_TRACE_ENABLED())
+    if (SCAV_TRACE_ENABLED() || PauseHist)
       traceAppPhase(F->address());
     const Value *Code = Mem.get(F->address());
     if (!Code)

@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -277,6 +278,16 @@ public:
   void attachBackend(ExecBackend *B) { Backend = B; }
   ExecBackend *backend() const { return Backend; }
 
+  /// Attaches (or detaches, with nullptr) a collect-pause histogram: every
+  /// certified collection — the collector-entry App through the closing
+  /// `only` (the same bracket the "collect" trace scope uses) — records its
+  /// wall-clock duration in *nanoseconds* into \p H. Independent of
+  /// tracing: serve sessions report per-session p50/p99 pauses without
+  /// paying for (or sharing) the global trace ring. The histogram is
+  /// borrowed and single-writer (this machine's thread); it must outlive
+  /// every run while attached.
+  void attachPauseHistogram(support::Histogram *H) { PauseHist = H; }
+
   Status status() const { return St; }
   /// The current term as the paper's (M, e) state: in Env mode this forces
   /// the pending environment into the shared continuation (a fresh closed
@@ -435,7 +446,10 @@ private:
 
   // Trace emission helpers (Machine.cpp); called only under
   // SCAV_TRACE_ENABLED(), so they cost nothing when tracing is disabled
-  // and compile away entirely under SCAV_TRACE_OFF.
+  // and compile away entirely under SCAV_TRACE_OFF. Exception:
+  // traceAppPhase is also called when a pause histogram is attached
+  // (SCAV_TRACE_ENABLED() || PauseHist) — it runs the pause clock before
+  // its tracing-only tail.
   void traceStep(const Term *E);
   void traceAppPhase(Address CodeAddr);
   void traceRegionCounters();
@@ -591,6 +605,12 @@ private:
   /// A collector-entry App opened a "collect" trace scope that the next
   /// `only` step closes (collections end in gcend's `only`).
   bool TraceCollectOpen = false;
+  /// Collect-pause clock (attachPauseHistogram): opened at a
+  /// collector-entry App, recorded and closed by the `only` that ends the
+  /// collection. Mirrors TraceCollectOpen but works with tracing off.
+  support::Histogram *PauseHist = nullptr;
+  bool PauseOpen = false;
+  std::chrono::steady_clock::time_point PauseStart;
   /// Region symbol → interned "cells.<region>" counter-track name.
   std::unordered_map<Symbol, const char *, SymbolHash> TraceRegionNames;
 

@@ -11,8 +11,17 @@
 using namespace scav;
 using namespace scav::harness;
 
-Pipeline::Pipeline(PipelineOptions O) : Opts(O) {
-  GC = std::make_unique<gc::GcContext>();
+Pipeline::Pipeline(PipelineOptions O) : Opts(std::move(O)) {
+  if (Opts.SharedBase) {
+    assert(!Opts.FreshNamespace.empty() &&
+           "sessions over a shared base need a disjoint fresh namespace");
+    GC = std::make_unique<gc::GcContext>(*Opts.SharedBase,
+                                         Opts.FreshNamespace);
+  } else {
+    GC = std::make_unique<gc::GcContext>();
+    if (!Opts.FreshNamespace.empty())
+      GC->setFreshNamespace(Opts.FreshNamespace);
+  }
   LC = std::make_unique<lambda::LambdaContext>(GC->symbols());
   CC = std::make_unique<cps::CpsContext>(GC->symbols());
   CL = std::make_unique<clos::ClosContext>(*GC);

@@ -59,6 +59,18 @@ struct PipelineOptions {
   /// checker falls a full queue + timeout behind, the lag net certifies
   /// synchronously and resyncs (see AsyncCheckSession::Options).
   size_t AsyncQueueCapacity = 256;
+  /// Layer this pipeline's GcContext over a *frozen* read-only shared base
+  /// (GcContext's shared-base constructor): the base's interning tables
+  /// serve the warm common vocabulary, session-local inserts stay local.
+  /// The base must outlive the pipeline. nullptr = own a standalone
+  /// context, as before.
+  const gc::GcContext *SharedBase = nullptr;
+  /// Fresh-name namespace for this pipeline's context (e.g. "s3." for
+  /// serve session 3). Must end in a separator character so namespaces
+  /// are prefix-free across sessions ("s3." vs "s31."). Empty = the
+  /// default global namespace. Required non-empty when SharedBase is set —
+  /// concurrent sessions over one base must mint disjoint spellings.
+  std::string FreshNamespace;
 };
 
 struct RunResult {

@@ -1,0 +1,172 @@
+//===- serve/Serve.cpp - Concurrent multi-session pipeline runner ----------===//
+
+#include "serve/Serve.h"
+
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
+#include "gc/NativeCollector.h"
+#include "harness/Pipeline.h"
+#include "harness/ProgramGen.h"
+#include "support/Diag.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+using namespace scav;
+using namespace scav::serve;
+
+namespace {
+
+double secondsSince(const std::chrono::steady_clock::time_point &T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Builds the frozen shared base: one context warmed with all three
+/// collector vocabularies (throwaway machines install the code regions;
+/// the tags/types/kinds they intern are what sessions share), then frozen
+/// so every later mutation attempt is a session-local write by
+/// construction.
+std::unique_ptr<gc::GcContext> makeFrozenBase() {
+  auto Base = std::make_unique<gc::GcContext>();
+  for (gc::LanguageLevel L :
+       {gc::LanguageLevel::Base, gc::LanguageLevel::Forward,
+        gc::LanguageLevel::Generational}) {
+    gc::Machine Warm(*Base, L);
+    switch (L) {
+    case gc::LanguageLevel::Base:
+      gc::installBasicCollector(Warm);
+      break;
+    case gc::LanguageLevel::Forward:
+      gc::installForwardCollector(Warm);
+      break;
+    case gc::LanguageLevel::Generational:
+      gc::installGenCollector(Warm);
+      gc::installGenFullCollector(Warm);
+      break;
+    }
+  }
+  Base->freeze();
+  return Base;
+}
+
+/// Runs one manifest line to completion on the calling thread. Everything
+/// the session touches is private except the (frozen) base, the symbol
+/// table, and the trace sink — see the file comment in Serve.h.
+SessionResult runOne(const SessionSpec &Spec, size_t Index,
+                     const gc::GcContext *Base) {
+  SessionResult Res;
+  Res.Index = Index;
+  auto T0 = std::chrono::steady_clock::now();
+
+  harness::PipelineOptions PO;
+  PO.Level = Spec.Level;
+  PO.Machine.Eval = Spec.Eval;
+  PO.Machine.Layout = Spec.Layout;
+  PO.Machine.DefaultRegionCapacity = Spec.Capacity;
+  PO.FullCheckEvery = Spec.FullCheckEvery;
+  PO.AsyncCheck = Spec.AsyncCheck;
+  PO.SharedBase = Base;
+  PO.FreshNamespace = "s" + std::to_string(Index) + ".";
+
+  // The session's `threads` knob binds to this worker thread only; it must
+  // never touch the process default from a pool thread.
+  gc::ScopedNativeGcThreads ThreadsOverride(Spec.Threads);
+
+  harness::Pipeline P(PO);
+  support::Histogram &Pauses =
+      Res.Metrics.histogram("machine.collect_pause_ns");
+  P.machine().attachPauseHistogram(&Pauses);
+
+  DiagEngine Diags;
+  bool Compiled = false;
+  if (Spec.HasGenSeed) {
+    Rng R(Spec.GenSeed);
+    const lambda::Expr *E = harness::genProgram(P.lambdaContext(), R);
+    Compiled = E && P.compileExpr(E, Diags);
+  } else {
+    std::ifstream In{Spec.ProgramPath};
+    if (!In) {
+      Res.Error = "cannot open " + Spec.ProgramPath;
+      Res.Seconds = secondsSince(T0);
+      return Res;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Compiled = P.compile(Buf.str(), Diags);
+  }
+  if (!Compiled) {
+    Res.Error = "compile failed: " + Diags.str();
+    Res.Seconds = secondsSince(T0);
+    return Res;
+  }
+
+  harness::RunResult R = P.runMachine(Spec.MaxSteps, Spec.CheckEvery);
+  Res.Ok = R.Ok;
+  Res.Value = R.Value;
+  Res.Steps = R.Steps;
+  Res.Error = R.Error;
+  Res.Seconds = secondsSince(T0);
+  P.exportMetrics(Res.Metrics);
+  return Res;
+}
+
+} // namespace
+
+ServeReport scav::serve::runSessions(const Manifest &M,
+                                     const ServeOptions &Opts) {
+  ServeReport Rep;
+  Rep.Workers = std::max(1u, Opts.Workers);
+
+  std::unique_ptr<gc::GcContext> Base;
+  if (Opts.SharedBase)
+    Base = makeFrozenBase();
+
+  auto T0 = std::chrono::steady_clock::now();
+  Rep.Sessions.resize(M.Sessions.size());
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    for (size_t I = Next.fetch_add(1); I < M.Sessions.size();
+         I = Next.fetch_add(1))
+      Rep.Sessions[I] = runOne(M.Sessions[I], I, Base.get());
+  };
+  if (Rep.Workers == 1) {
+    // Inline: the serial baseline the differential test compares against.
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Rep.Workers);
+    for (unsigned W = 0; W != Rep.Workers; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  Rep.WallSeconds = secondsSince(T0);
+
+  // Aggregation is single-threaded (the registry thread model): sum every
+  // per-session registry, then stamp the service-level gauges.
+  Rep.AllOk = !Rep.Sessions.empty();
+  uint64_t TotalSteps = 0;
+  for (const SessionResult &S : Rep.Sessions) {
+    Rep.AllOk = Rep.AllOk && S.Ok;
+    TotalSteps += S.Steps;
+    Rep.Aggregate.mergeFrom(S.Metrics);
+  }
+  Rep.Aggregate.setGauge("serve.sessions",
+                         static_cast<double>(Rep.Sessions.size()));
+  Rep.Aggregate.setGauge("serve.workers", Rep.Workers);
+  Rep.Aggregate.setGauge("serve.wall_seconds", Rep.WallSeconds);
+  if (Rep.WallSeconds > 0) {
+    Rep.Aggregate.setGauge("serve.sessions_per_sec",
+                           Rep.Sessions.size() / Rep.WallSeconds);
+    Rep.Aggregate.setGauge("serve.steps_per_sec",
+                           static_cast<double>(TotalSteps) / Rep.WallSeconds);
+  }
+  return Rep;
+}

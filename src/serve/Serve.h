@@ -1,0 +1,79 @@
+//===- serve/Serve.h - Concurrent multi-session pipeline runner -*- C++ -*-===//
+///
+/// \file
+/// Runs a manifest of pipeline sessions across a pool of worker threads —
+/// the batch "service" front-end of DESIGN.md §3.13. Each session owns its
+/// whole pipeline (contexts, machine, collector, checker); the only shared
+/// mutable substrate is what is thread-safe by design:
+///
+///  * an optional *frozen* GcContext base (GcContext's shared-base
+///    constructor) serving the warm collector vocabulary read-only, with
+///    per-session fresh-name namespaces "s<i>." keeping minted spellings
+///    disjoint;
+///  * the SymbolTable behind it (internally synchronized);
+///  * the global TraceSink ring (mutex-protected; per-thread dense tids
+///    give each worker its own Perfetto track for free).
+///
+/// Metrics follow the registry thread model (support/Metrics.h): every
+/// session records into its own private registry — including a
+/// "machine.collect_pause_ns" histogram fed by the machine's pause hook —
+/// and the aggregate is merged single-threaded after the pool joins.
+///
+/// Session results are deterministic in the worker count: programs are
+/// seeded, fresh names are session-namespaced, and the base is frozen, so
+/// 1 worker and N workers produce identical verdicts, halt values, and
+/// step counts (tests/serve_differential_test.cpp holds this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCAV_SERVE_SERVE_H
+#define SCAV_SERVE_SERVE_H
+
+#include "serve/Manifest.h"
+#include "support/Metrics.h"
+
+#include <vector>
+
+namespace scav::serve {
+
+struct ServeOptions {
+  /// Worker threads; 1 runs every session inline on the calling thread
+  /// (the differential baseline).
+  unsigned Workers = 1;
+  /// Layer every session's GcContext over one frozen base warmed with the
+  /// three collector vocabularies. Off = fully private contexts (more
+  /// interning work, zero sharing) — kept as a differential baseline.
+  bool SharedBase = true;
+};
+
+/// Outcome of one manifest line. Metrics is the session's private registry:
+/// machine.*/memory.*/checker.* plus the collect-pause histogram.
+struct SessionResult {
+  size_t Index = 0;
+  bool Ok = false;
+  int64_t Value = 0;
+  uint64_t Steps = 0;
+  std::string Error;
+  double Seconds = 0; ///< Wall time of compile + run on its worker.
+  support::MetricsRegistry Metrics;
+};
+
+struct ServeReport {
+  std::vector<SessionResult> Sessions; ///< Manifest order.
+  unsigned Workers = 0;
+  double WallSeconds = 0;
+  bool AllOk = false;
+  /// Merged view of every session registry (counters/histograms summed)
+  /// plus the serve.* gauges: sessions, workers, wall_seconds,
+  /// sessions_per_sec, steps_per_sec.
+  support::MetricsRegistry Aggregate;
+};
+
+/// Runs every session in \p M on \p Opts.Workers threads; blocks until all
+/// sessions finish. Never throws on session failure — per-session errors
+/// land in SessionResult::Error and clear ServeReport::AllOk.
+ServeReport runSessions(const Manifest &M, const ServeOptions &Opts);
+
+} // namespace scav::serve
+
+#endif // SCAV_SERVE_SERVE_H

@@ -950,7 +950,7 @@ Machine::Status VmExec::execOne() {
         return M.stuck("application of non-address value: " +
                        printValue(C, slotValue(FOp.Slot)));
       uint32_t Id = addrRegionId(W), Off = addrOffset(W);
-      if (SCAV_TRACE_ENABLED())
+      if (SCAV_TRACE_ENABLED() || M.PauseHist)
         M.traceAppPhase(
             Address{Region::name(M.Mem.regionIdSymbol(Id)), Off});
       const RegionData *RD = M.Mem.regionById(Id);
@@ -972,7 +972,7 @@ Machine::Status VmExec::execOne() {
       if (!F->is(ValueKind::Addr))
         return M.stuck("application of non-address value: " +
                        printValue(C, F));
-      if (SCAV_TRACE_ENABLED())
+      if (SCAV_TRACE_ENABLED() || M.PauseHist)
         M.traceAppPhase(F->address());
       Code = M.Mem.get(F->address());
       if (!Code)
