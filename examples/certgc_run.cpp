@@ -45,6 +45,19 @@
 //     --trace-out <file>           record a trace and write it as
 //                                  Chrome/Perfetto trace-event JSON; env
 //                                  SCAV_TRACE=<file> sets the default
+//     --dump-dir <dir>             write a post-mortem dump bundle under
+//                                  <dir> on stuck machines and check
+//                                  failures (DESIGN.md §3.14); inspect it
+//                                  offline with certgc_inspect
+//     --corrupt-at-step N          fault injection: forge a heap
+//                                  corruption after machine step N so the
+//                                  per-N check fails deterministically
+//                                  (CI crash-dump fixture; needs
+//                                  --check-every)
+//     --corrupt-kind K             which StateMutationKind to start
+//                                  cycling from (default 0)
+//     --corrupt-seed S             RNG seed for the forged corruption
+//                                  (default 1)
 //     --gc <file>                  run a raw λGC program (see gc/Parse.h);
 //                                  `(fn gc)` refers to the installed
 //                                  collector of the chosen --level
@@ -76,7 +89,9 @@ int usage() {
                " [--check-every N] [--full-check] [--full-check-every N]"
                " [--async-check] [--threads N]"
                " [--certify] [--dump-clos] [--stats] [--stats-json FILE]"
-               " [--trace-out FILE] (<file> | -e '<expr>' | --gc <file>)\n");
+               " [--trace-out FILE] [--dump-dir DIR] [--corrupt-at-step N]"
+               " [--corrupt-kind K] [--corrupt-seed S]"
+               " (<file> | -e '<expr>' | --gc <file>)\n");
   return 2;
 }
 
@@ -194,6 +209,26 @@ int main(int argc, char **argv) {
       if (!F)
         return usage();
       TraceOut = F;
+    } else if (A == "--dump-dir") {
+      const char *F = NextArg();
+      if (!F)
+        return usage();
+      Opts.DumpDir = F;
+    } else if (A == "--corrupt-at-step") {
+      const char *N = NextArg();
+      if (!N)
+        return usage();
+      Opts.CorruptAtStep = std::strtoull(N, nullptr, 10);
+    } else if (A == "--corrupt-kind") {
+      const char *N = NextArg();
+      if (!N)
+        return usage();
+      Opts.CorruptKind = static_cast<unsigned>(std::atoi(N));
+    } else if (A == "--corrupt-seed") {
+      const char *N = NextArg();
+      if (!N)
+        return usage();
+      Opts.CorruptSeed = std::strtoull(N, nullptr, 10);
     } else if (A == "-e") {
       const char *E = NextArg();
       if (!E)
@@ -227,6 +262,14 @@ int main(int argc, char **argv) {
   }
   if (Source.empty())
     return usage();
+
+  // Dump bundles record how to rerun this exact invocation.
+  if (!Opts.DumpDir.empty())
+    for (int I = 0; I < argc; ++I) {
+      if (I)
+        Opts.ReplayCmd += ' ';
+      Opts.ReplayCmd += argv[I];
+    }
 
   // Trace bootstrap: the explicit flag wins; SCAV_TRACE=<file> is the env
   // fallback (shared with every other driver via traceOutFromEnv).
@@ -343,6 +386,8 @@ int main(int argc, char **argv) {
   Pipe.exportMetrics(Reg);
   if (!R.Ok) {
     std::fprintf(stderr, "run failed: %s\n", R.Error.c_str());
+    if (!R.DumpPath.empty())
+      std::fprintf(stderr, "dump bundle: %s\n", R.DumpPath.c_str());
     report(Reg, Stats, StatsJson, TraceOut);
     return 1;
   }

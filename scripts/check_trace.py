@@ -21,6 +21,13 @@ complete collection: a "collect" B/E pair plus at least one entry-phase
 the shape every certified collection leaves behind. With
 --require-counters, asserts at least one counter-track sample exists.
 
+Observability events (DESIGN.md §3.14) are validated on every run: "dump"
+category instants must be instants (never duration events), and every
+"serve.heartbeat*" counter track must be non-decreasing (the watchdog's
+total-beats sample is monotone while sessions progress). With
+--require-dump, asserts at least one dump-bundle instant is present; with
+--require-heartbeat, asserts at least one serve.heartbeat sample exists.
+
 Exit code 0 on success, 1 with a diagnostic on the first violation.
 """
 
@@ -37,7 +44,8 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check(path: str, require_phases: bool, require_counters: bool) -> None:
+def check(path: str, require_phases: bool, require_counters: bool,
+          require_dump: bool, require_heartbeat: bool) -> None:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -54,6 +62,8 @@ def check(path: str, require_phases: bool, require_counters: bool) -> None:
     last_ts = None
     counters = 0
     collector = {"begin": 0, "end": 0, "entry": 0, "copy": 0}
+    dumps = 0
+    heartbeats = {}  # counter-track name -> last sampled value
 
     for i, ev in enumerate(events):
         where = f"{path}: event {i}"
@@ -92,6 +102,19 @@ def check(path: str, require_phases: bool, require_counters: bool) -> None:
             counters += 1
             if "args" not in ev or "value" not in ev["args"]:
                 fail(f"{where}: counter without args.value")
+            if name.startswith("serve.heartbeat"):
+                value = ev["args"]["value"]
+                prev = heartbeats.get(name)
+                if prev is not None and value < prev:
+                    fail(f"{where}: heartbeat counter '{name}' went "
+                         f"backwards ({value} < {prev})")
+                heartbeats[name] = value
+
+        if cat == "dump":
+            if ph != "i":
+                fail(f"{where}: dump-category event with phase {ph!r} "
+                     f"(dump bundles emit instants only)")
+            dumps += 1
 
         if cat == "collector":
             if name == "collect" and ph == "B":
@@ -122,11 +145,20 @@ def check(path: str, require_phases: bool, require_counters: bool) -> None:
             fail(f"{path}: no collector copy-phase (copy*) instant")
     if require_counters and counters == 0:
         fail(f"{path}: no counter-track samples")
+    if require_dump and dumps == 0:
+        fail(f"{path}: no dump-bundle instant events")
+    if require_heartbeat and not heartbeats:
+        fail(f"{path}: no serve.heartbeat counter samples")
 
     phases = (f", collect scopes={collector['begin']}"
               if require_phases else "")
+    extras = ""
+    if dumps:
+        extras += f", {dumps} dump instant(s)"
+    if heartbeats:
+        extras += f", {len(heartbeats)} heartbeat track(s)"
     print(f"check_trace: OK: {path}: {len(events)} events, "
-          f"{counters} counter samples{phases}")
+          f"{counters} counter samples{phases}{extras}")
 
 
 def main() -> None:
@@ -136,9 +168,14 @@ def main() -> None:
                    help="assert a complete collection is present")
     p.add_argument("--require-counters", action="store_true",
                    help="assert counter-track samples are present")
+    p.add_argument("--require-dump", action="store_true",
+                   help="assert a dump-bundle instant event is present")
+    p.add_argument("--require-heartbeat", action="store_true",
+                   help="assert serve.heartbeat counter samples are present")
     args = p.parse_args()
     for path in args.traces:
-        check(path, args.require_collector_phases, args.require_counters)
+        check(path, args.require_collector_phases, args.require_counters,
+              args.require_dump, args.require_heartbeat)
 
 
 if __name__ == "__main__":

@@ -196,7 +196,13 @@ AddressSet scav::gc::reachableCells(const Machine &M) {
 // ⊢ (M, e)
 //===----------------------------------------------------------------------===//
 
-StateCheckResult scav::gc::checkState(Machine &M,
+StateCheckResult scav::gc::checkState(Machine &Mach,
+                                      const StateCheckOptions &Opts) {
+  MachineSubject S(Mach);
+  return checkState(S, Opts);
+}
+
+StateCheckResult scav::gc::checkState(CheckSubject &M,
                                       const StateCheckOptions &Opts) {
   TRACE_SCOPE("checker", "check.full");
   GcContext &C = M.context();
@@ -233,8 +239,10 @@ StateCheckResult scav::gc::checkState(Machine &M,
   Env.Delta = M.psi().domain();
 
   AddressSet Reachable;
-  if (Opts.RestrictToReachable)
-    Reachable = reachableCells(M);
+  if (Opts.RestrictToReachable) {
+    std::vector<Address> Work;
+    reachableCells(M.currentTerm(), M.memory(), Reachable, Work);
+  }
 
   // Dom(M) = Dom(Ψ) region-wise. Region iteration is by symbol id so the
   // *first* violation reported is deterministic (see IncrementalStateCheck

@@ -147,6 +147,13 @@ private:
   Machine &M;
 };
 
+/// Checks ⊢ (M, e) for an arbitrary subject — a live machine (the Machine
+/// overload wraps it in a MachineSubject and calls this), or a loaded
+/// post-mortem snapshot (gc/Snapshot.h). Same body, same deterministic
+/// diagnostics: given equal subject state and equal context fresh-name
+/// bookkeeping, the verdict text is byte-identical.
+StateCheckResult checkState(CheckSubject &S, const StateCheckOptions &Opts = {});
+
 //===----------------------------------------------------------------------===//
 // Incremental checking
 //===----------------------------------------------------------------------===//

@@ -3,6 +3,7 @@
 #include "harness/FuzzDriver.h"
 
 #include "gc/Parse.h"
+#include "harness/Dump.h"
 #include "harness/HeapForge.h"
 #include "harness/Minimize.h"
 #include "harness/Pipeline.h"
@@ -110,6 +111,8 @@ std::string FuzzReport::summary(const char *Mode) const {
   for (const FuzzFailure &F : Failures) {
     Out += "  FAILURE: " + F.What + "\n";
     Out += "    replay: " + F.Replay + "\n";
+    if (!F.BundlePath.empty())
+      Out += "    bundle: " + F.BundlePath + "\n";
     if (!F.Input.empty())
       Out += "    input: " + F.Input + "\n";
     if (!F.TraceTail.empty()) {
@@ -194,10 +197,22 @@ void stateIteration(uint64_t IterSeed, const FuzzOptions &Opts,
   FOpts.RestrictToReachable = Restrict;
 
   auto Fail = [&](const char *What, std::string Detail) {
+    // Triage bundle: the machine is live at every state-mode failure site,
+    // so each report carries a full post-mortem snapshot (harness/Dump.h).
+    std::string Bundle;
+    if (!Opts.DumpDir.empty()) {
+      DumpInfo Info;
+      Info.Kind = "fuzz";
+      Info.Diagnostic = Detail;
+      Info.RestrictToReachable = Restrict;
+      Info.ReplayCmd = replayLine("state", IterSeed, Opts);
+      Info.Step = M.stats().Steps;
+      Bundle = writeDumpBundle(Opts.DumpDir, M, Info);
+    }
     Rep.Failures.push_back(
         {replayLine("state", IterSeed, Opts),
          std::string(What) + " [level=" + languageLevelName(Level) + "]",
-         std::move(Detail), traceTail(Opts)});
+         std::move(Detail), traceTail(Opts), std::move(Bundle)});
   };
 
   if (StateCheckResult R0 = Inc.check(); !R0.Ok) {
@@ -451,12 +466,13 @@ void pipelineIteration(uint64_t IterSeed, const FuzzOptions &Opts,
   Rng R(IterSeed);
   LanguageLevel Level = pickLevel(Opts, R);
 
-  auto Fail = [&](const char *What, std::string Detail) {
+  auto Fail = [&](const char *What, std::string Detail,
+                  std::string Bundle = std::string()) {
     ++Rep.InvariantViolations;
     Rep.Failures.push_back(
         {replayLine("pipeline", IterSeed, Opts),
          std::string(What) + " [level=" + languageLevelName(Level) + "]",
-         std::move(Detail), traceTail(Opts)});
+         std::move(Detail), traceTail(Opts), std::move(Bundle)});
   };
 
   GenOptions GO;
@@ -469,6 +485,10 @@ void pipelineIteration(uint64_t IterSeed, const FuzzOptions &Opts,
   PA.Level = Level;
   PA.Machine.Layout = Opts.Layout;
   PA.Machine.DefaultRegionCapacity = 8 + static_cast<uint32_t>(R.below(25));
+  // Checker failures and stuck machines in any differential leg dump a
+  // bundle themselves (PB/PD/PC copy these fields from PA).
+  PA.DumpDir = Opts.DumpDir;
+  PA.ReplayCmd = replayLine("pipeline", IterSeed, Opts);
   Pipeline A(PA);
   const lambda::Expr *E = genProgram(A.lambdaContext(), R, GO);
   std::string Text = lambda::printExpr(A.lambdaContext(), E);
@@ -527,10 +547,17 @@ void pipelineIteration(uint64_t IterSeed, const FuzzOptions &Opts,
                   : "fail(" + Run.Error + ")";
   };
   if (!RA.Ok || !RB.Ok || !RD.Ok || !RC.Ok) {
+    // The failing leg already wrote its bundle (if dumping is on); attach
+    // the first one so the report points straight at it.
+    std::string Bundle = !RA.DumpPath.empty()   ? RA.DumpPath
+                         : !RB.DumpPath.empty() ? RB.DumpPath
+                         : !RD.DumpPath.empty() ? RD.DumpPath
+                                                : RC.DumpPath;
     Fail("machine run verdict differs from source",
          "src=" + Verdict(Src) + " env+gc=" + Verdict(RA) +
              " subst+gc=" + Verdict(RB) + " vm+gc=" + Verdict(RD) +
-             " nogc=" + Verdict(RC) + "\n" + Text);
+             " nogc=" + Verdict(RC) + "\n" + Text,
+         std::move(Bundle));
     return;
   }
   if (RA.Value != Src.Value || RB.Value != Src.Value ||

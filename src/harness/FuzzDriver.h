@@ -60,13 +60,19 @@ struct FuzzOptions {
   /// first iteration, exercising the whole triage path (replay line, trace
   /// dump, exit code) without needing a real bug. Used by the smoke test.
   bool InjectSelfTestFailure = false;
+  /// When non-empty, every failure with a live machine writes a dump
+  /// bundle (harness/Dump.h) under this directory and its FuzzFailure
+  /// carries the bundle path. Grammar-mode failures (no machine) and the
+  /// self-test failure have no bundle.
+  std::string DumpDir;
 };
 
 struct FuzzFailure {
-  std::string Replay;    ///< Command-line fragment that reproduces.
-  std::string What;      ///< Invariant that broke.
-  std::string Input;     ///< Minimized input (grammar mode) or detail.
-  std::string TraceTail; ///< Last trace events at failure time (may be "").
+  std::string Replay;     ///< Command-line fragment that reproduces.
+  std::string What;       ///< Invariant that broke.
+  std::string Input;      ///< Minimized input (grammar mode) or detail.
+  std::string TraceTail;  ///< Last trace events at failure time (may be "").
+  std::string BundlePath; ///< Dump bundle (see FuzzOptions::DumpDir).
 };
 
 struct FuzzReport {

@@ -2,11 +2,15 @@
 
 #include "harness/Pipeline.h"
 
+#include "harness/Dump.h"
+#include "harness/FuzzMutate.h"
 #include "support/ParseInt.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <thread>
 
 using namespace scav;
 using namespace scav::harness;
@@ -147,6 +151,23 @@ std::optional<std::string> scav::harness::traceOutFromEnv() {
 #endif
 }
 
+void Pipeline::dumpFailure(RunResult &R, const char *Kind,
+                           const std::string &Diagnostic, const char *Checker,
+                           bool CheckCodeRegion) {
+  if (Opts.DumpDir.empty())
+    return;
+  DumpInfo Info;
+  Info.Kind = Kind;
+  Info.Diagnostic = Diagnostic;
+  Info.Checker = Checker;
+  Info.RestrictToReachable = Opts.Level == gc::LanguageLevel::Forward;
+  Info.CheckCodeRegion = CheckCodeRegion;
+  Info.ReplayCmd = Opts.ReplayCmd;
+  Info.Step = M->stats().Steps;
+  Info.Metrics = Opts.DumpMetrics;
+  R.DumpPath = writeDumpBundle(Opts.DumpDir, *M, Info);
+}
+
 RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
   TRACE_SCOPE("pipeline", "run.machine");
   RunResult R;
@@ -176,12 +197,16 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
       Inc.emplace(*M, IncOpts); // attach: first check() is the full one
       gc::StateCheckResult R0 = Inc->check();
       if (!R0.Ok) {
+        dumpFailure(R, "check-failure", R0.Error, "incremental",
+                    /*CheckCodeRegion=*/true);
         R.Error = "initial state ill-formed: " + R0.Error;
         return R;
       }
     } else {
       gc::StateCheckResult R0 = gc::checkState(*M, Check);
       if (!R0.Ok) {
+        dumpFailure(R, "check-failure", R0.Error, "full",
+                    /*CheckCodeRegion=*/true);
         R.Error = "initial state ill-formed: " + R0.Error;
         return R;
       }
@@ -195,23 +220,61 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
       CheckStats = Inc->stats();
   };
 
+  bool Corrupted = false;
   for (uint64_t I = 0; I != MaxSteps; ++I) {
     if (M->status() != gc::Machine::Status::Running)
       break;
-    gc::Machine::Status S = M->step();
-    if (S == gc::Machine::Status::Stuck) {
-      R.Error = "machine stuck (progress violation): " + M->stuckReason();
+    // Deterministic wedge for the serve watchdog: sit here polling the
+    // abort flag instead of stepping, like a mutator that stopped making
+    // progress.
+    if (Opts.StallAtStep != 0 && Opts.AbortRequested &&
+        I + 1 == Opts.StallAtStep)
+      while (!Opts.AbortRequested->load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (Opts.AbortRequested &&
+        Opts.AbortRequested->load(std::memory_order_relaxed)) {
+      std::string Diag =
+          "watchdog stall at step " + std::to_string(M->stats().Steps);
       R.Steps = M->stats().Steps;
       SaveStats();
+      dumpFailure(R, "stall", Diag, "", /*CheckCodeRegion=*/false);
+      R.Error = "session aborted: " + Diag;
       return R;
+    }
+    gc::Machine::Status S = M->step();
+    if (Opts.Heartbeat)
+      Opts.Heartbeat->store(M->stats().Steps, std::memory_order_relaxed);
+    if (S == gc::Machine::Status::Stuck) {
+      R.Steps = M->stats().Steps;
+      SaveStats();
+      dumpFailure(R, "stuck", M->stuckReason(), "",
+                  /*CheckCodeRegion=*/false);
+      R.Error = "machine stuck (progress violation): " + M->stuckReason();
+      return R;
+    }
+    // Forced-corruption knob: injected through the same logged mutation
+    // paths the fuzzer uses, so the next check rejects with a genuine
+    // diagnostic (the CI crash-dump fixture rides this).
+    if (Opts.CorruptAtStep != 0 && !Corrupted && I + 1 >= Opts.CorruptAtStep) {
+      Corrupted = true;
+      Rng CorruptRng(Opts.CorruptSeed);
+      for (unsigned J = 0; J != NumStateMutationKinds; ++J)
+        if (applyStateMutation(*M,
+                               static_cast<StateMutationKind>(
+                                   (Opts.CorruptKind + J) %
+                                   NumStateMutationKinds),
+                               CorruptRng, Check.RestrictToReachable))
+          break;
     }
     if (CheckEveryN != 0 && I % CheckEveryN == 0) {
       gc::StateCheckResult Rc = Inc ? Inc->check() : gc::checkState(*M, Check);
       ++ChecksRun;
       if (!Rc.Ok) {
-        R.Error = "preservation violation: " + Rc.Error;
         R.Steps = M->stats().Steps;
         SaveStats();
+        dumpFailure(R, "check-failure", Rc.Error,
+                    Inc ? "incremental" : "full", Check.CheckCodeRegion);
+        R.Error = "preservation violation: " + Rc.Error;
         return R;
       }
       // Configurable oracle cadence: the incremental verdict must agree
@@ -220,9 +283,11 @@ RunResult Pipeline::runMachine(uint64_t MaxSteps, uint32_t CheckEveryN) {
           ChecksRun % Opts.FullCheckEvery == 0) {
         gc::StateCheckResult Rf = gc::checkState(*M, Check);
         if (!Rf.Ok) {
-          R.Error = "incremental checker missed a violation: " + Rf.Error;
           R.Steps = M->stats().Steps;
           SaveStats();
+          dumpFailure(R, "check-failure", Rf.Error, "full",
+                      Check.CheckCodeRegion);
+          R.Error = "incremental checker missed a violation: " + Rf.Error;
           return R;
         }
       }
@@ -267,10 +332,14 @@ RunResult Pipeline::runMachineAsync(uint64_t MaxSteps, uint32_t CheckEveryN) {
     AsyncStats = Session.stats();
     CheckStats = AsyncStats.Engine;
     if (!V.Ok) {
+      R.Steps = V.Steps;
+      // Async caveat: the machine has stepped past the verdict's state by
+      // the time the verdict lands, so this bundle records the state at
+      // dump time, not at V.Steps (the manifest keeps the verdict text).
+      dumpFailure(R, "check-failure", V.Error, "incremental", V.initial());
       R.Error = (V.initial() ? "initial state ill-formed: "
                              : "preservation violation: ") +
                 std::move(V.Error);
-      R.Steps = V.Steps;
     }
   };
 
@@ -281,7 +350,22 @@ RunResult Pipeline::runMachineAsync(uint64_t MaxSteps, uint32_t CheckEveryN) {
       break;
     if (Session.failed())
       break; // verdict resolved at finish() below
+    if (Opts.AbortRequested &&
+        Opts.AbortRequested->load(std::memory_order_relaxed)) {
+      gc::AsyncVerdict V = Session.finish();
+      SaveStats(V);
+      if (V.Ok) {
+        std::string Diag =
+            "watchdog stall at step " + std::to_string(M->stats().Steps);
+        R.Steps = M->stats().Steps;
+        dumpFailure(R, "stall", Diag, "", /*CheckCodeRegion=*/false);
+        R.Error = "session aborted: " + Diag;
+      }
+      return R;
+    }
     gc::Machine::Status S = M->step();
+    if (Opts.Heartbeat)
+      Opts.Heartbeat->store(M->stats().Steps, std::memory_order_relaxed);
     if (S == gc::Machine::Status::Stuck) {
       // Pending units were captured at earlier steps: a failure among
       // them is what a synchronous run would have stopped on before ever
@@ -289,8 +373,10 @@ RunResult Pipeline::runMachineAsync(uint64_t MaxSteps, uint32_t CheckEveryN) {
       gc::AsyncVerdict V = Session.finish();
       SaveStats(V);
       if (V.Ok) {
-        R.Error = "machine stuck (progress violation): " + M->stuckReason();
         R.Steps = M->stats().Steps;
+        dumpFailure(R, "stuck", M->stuckReason(), "",
+                    /*CheckCodeRegion=*/false);
+        R.Error = "machine stuck (progress violation): " + M->stuckReason();
       }
       return R;
     }
@@ -306,8 +392,10 @@ RunResult Pipeline::runMachineAsync(uint64_t MaxSteps, uint32_t CheckEveryN) {
           gc::AsyncVerdict V = Session.finish();
           SaveStats(V);
           if (V.Ok) {
-            R.Error = "incremental checker missed a violation: " + Rf.Error;
             R.Steps = M->stats().Steps;
+            dumpFailure(R, "check-failure", Rf.Error, "full",
+                        Check.CheckCodeRegion);
+            R.Error = "incremental checker missed a violation: " + Rf.Error;
           }
           return R;
         }

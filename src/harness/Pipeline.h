@@ -23,6 +23,7 @@
 #include "gc/Translate.h"
 #include "vm/Vm.h"
 
+#include <atomic>
 #include <memory>
 #include <optional>
 
@@ -71,6 +72,37 @@ struct PipelineOptions {
   /// default global namespace. Required non-empty when SharedBase is set —
   /// concurrent sessions over one base must mint disjoint spellings.
   std::string FreshNamespace;
+
+  // Observability (DESIGN.md §3.14).
+
+  /// When non-empty, a failed runMachine (checker rejection, stuck
+  /// machine, watchdog abort) writes a dump bundle (harness/Dump.h) under
+  /// this directory; RunResult::DumpPath names the bundle.
+  std::string DumpDir;
+  /// Replay command line recorded in dump-bundle manifests.
+  std::string ReplayCmd;
+  /// Metrics registry snapshotted into bundles (null = no metrics.json).
+  const support::MetricsRegistry *DumpMetrics = nullptr;
+  /// When set, the step loop publishes the machine's step count here after
+  /// every step (relaxed) — the serve watchdog's per-session heartbeat.
+  std::atomic<uint64_t> *Heartbeat = nullptr;
+  /// When set and it becomes true, the step loop abandons the run with a
+  /// stall diagnostic (and a "stall" dump bundle). The watchdog thread
+  /// only ever *sets* this flag; the session thread itself notices it and
+  /// writes the dump, so machine state is never touched cross-thread.
+  std::atomic<bool> *AbortRequested = nullptr;
+  /// Fault-injection knob (tests/CI): busy-wait before executing this
+  /// 1-based step, polling AbortRequested — a deterministic wedged mutator
+  /// for the watchdog path. Requires AbortRequested (a no-op otherwise);
+  /// synchronous step loop only. 0 = off.
+  uint64_t StallAtStep = 0;
+  /// Fault-injection knob (tests/CI): corrupt the machine state right
+  /// after this 1-based step (FuzzMutate taxonomy, kind CorruptKind mod 9,
+  /// rng seed CorruptSeed) so a healthy program forces a checker rejection
+  /// — and hence a dump bundle. Synchronous step loop only. 0 = off.
+  uint64_t CorruptAtStep = 0;
+  unsigned CorruptKind = 0;
+  uint64_t CorruptSeed = 1;
 };
 
 struct RunResult {
@@ -78,6 +110,9 @@ struct RunResult {
   int64_t Value = 0;
   std::string Error;
   uint64_t Steps = 0;
+  /// Dump-bundle directory for a failed run ("" when dumping is off, the
+  /// run succeeded, or the bundle write itself failed).
+  std::string DumpPath;
 };
 
 /// Resolves the per-step check cadence: the SCAV_CHECK_EVERY environment
@@ -176,6 +211,14 @@ private:
   gc::AsyncCheckStats AsyncStats;
 
   RunResult runMachineAsync(uint64_t MaxSteps, uint32_t CheckEveryN);
+
+  /// Writes a dump bundle for the current machine state when Opts.DumpDir
+  /// is set; fills \p R.DumpPath. \p Diagnostic is the raw checker/stuck
+  /// text (no "preservation violation: " prefix — certgc_inspect compares
+  /// it byte-for-byte against the offline re-check).
+  void dumpFailure(RunResult &R, const char *Kind,
+                   const std::string &Diagnostic, const char *Checker,
+                   bool CheckCodeRegion);
 };
 
 } // namespace scav::harness

@@ -42,6 +42,7 @@ int usage(const char *Argv0) {
       "          [--time-budget SECS] [--level base|forward|gen]\n"
       "          [--corpus FILE]... [--repro-out FILE] [--verbose]\n"
       "          [--trace-out FILE] [--no-trace] [--inject-failure]\n"
+      "          [--dump-dir DIR]\n"
       "       %s --parse-one FILE [--gc]\n"
       "       %s --minimize FILE [--gc]\n",
       Argv0, Argv0, Argv0);
@@ -137,6 +138,8 @@ int main(int Argc, char **Argv) {
       Opts.TraceRing = false;
     } else if (!std::strcmp(A, "--inject-failure")) {
       Opts.InjectSelfTestFailure = true;
+    } else if (!std::strcmp(A, "--dump-dir")) {
+      Opts.DumpDir = NextArg(I);
     } else if (!std::strcmp(A, "--parse-one")) {
       OneShot = NextArg(I);
     } else if (!std::strcmp(A, "--minimize")) {

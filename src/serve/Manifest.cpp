@@ -140,6 +140,10 @@ bool scav::serve::parseManifest(std::string_view Text, std::string_view BaseDir,
         if (!parseNum(Key, Val, UINT64_MAX, N, LineNo, Error))
           return false;
         S.MaxSteps = N;
+      } else if (Key == "stall-at-step") {
+        if (!parseNum(Key, Val, UINT64_MAX, N, LineNo, Error))
+          return false;
+        S.StallAtStep = N;
       } else {
         return fail(Error, LineNo, "unknown key '" + std::string(Key) + "'");
       }

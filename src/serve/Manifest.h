@@ -47,6 +47,10 @@ struct SessionSpec {
   /// 0 = the process default.
   unsigned Threads = 0;
   uint64_t MaxSteps = 5'000'000;
+  /// Fault-injection knob (tests/CI): wedge the session's step loop at
+  /// this 1-based step until the watchdog aborts it
+  /// (PipelineOptions::StallAtStep). 0 = off.
+  uint64_t StallAtStep = 0;
 };
 
 struct Manifest {

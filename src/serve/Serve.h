@@ -32,6 +32,8 @@
 #include "serve/Manifest.h"
 #include "support/Metrics.h"
 
+#include <functional>
+#include <string>
 #include <vector>
 
 namespace scav::serve {
@@ -44,6 +46,29 @@ struct ServeOptions {
   /// three collector vocabularies. Off = fully private contexts (more
   /// interning work, zero sharing) — kept as a differential baseline.
   bool SharedBase = true;
+
+  // Observability (DESIGN.md §3.14).
+
+  /// When non-empty, failed sessions write dump bundles (harness/Dump.h)
+  /// under `<DumpDir>/s<Index>/`; SessionResult::DumpPath names each.
+  std::string DumpDir;
+  /// Replay command recorded in bundle manifests (the certgc_serve CLI
+  /// passes its own invocation; runOne appends the session index).
+  std::string ReplayBase;
+  /// Per-session wall-clock stall threshold. When > 0, a watchdog thread
+  /// samples every running session's heartbeat (its machine step count);
+  /// a session whose heartbeat has not advanced for StallSeconds is
+  /// aborted — the *session's own thread* notices the flag, writes a
+  /// "stall" dump bundle, and fails with a stall error — and counted in
+  /// the aggregate `serve.stalled` counter. The watchdog never touches
+  /// machine state: it only sets a per-session atomic flag. 0 = off.
+  double StallSeconds = 0;
+  /// Watchdog sampling cadence (real time, independent of Clock).
+  double WatchdogPollSeconds = 0.01;
+  /// Injectable monotonic clock in seconds, read only by the watchdog
+  /// thread — deterministic stall tests advance it manually. Null = wall
+  /// clock (steady_clock).
+  std::function<double()> Clock;
 };
 
 /// Outcome of one manifest line. Metrics is the session's private registry:
@@ -55,6 +80,10 @@ struct SessionResult {
   uint64_t Steps = 0;
   std::string Error;
   double Seconds = 0; ///< Wall time of compile + run on its worker.
+  /// Dump-bundle directory for a failed session ("" when none was written).
+  std::string DumpPath;
+  /// True when the watchdog aborted this session.
+  bool Stalled = false;
   support::MetricsRegistry Metrics;
 };
 

@@ -16,6 +16,11 @@
 //                            collect-pause histogram and serve.* gauges)
 //     --trace-out FILE       record a merged Chrome/Perfetto trace; each
 //                            worker thread gets its own track (tid)
+//     --dump-dir DIR         write post-mortem dump bundles for failed
+//                            sessions under DIR/s<index>/ (harness/Dump.h)
+//     --stall-seconds S      arm the per-session watchdog: abort (and
+//                            dump) any session whose heartbeat stops for
+//                            S wall-clock seconds
 //
 // Exit status is 0 iff every session halted with a passing verdict.
 //
@@ -40,7 +45,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: certgc_serve --manifest FILE [--workers N]"
                " [--no-shared-base] [--stats] [--stats-json FILE]"
-               " [--trace-out FILE]\n");
+               " [--trace-out FILE] [--dump-dir DIR] [--stall-seconds S]\n");
   return 2;
 }
 
@@ -98,12 +103,35 @@ int main(int argc, char **argv) {
       if (!F)
         return usage();
       TraceOut = F;
+    } else if (A == "--dump-dir") {
+      const char *F = NextArg();
+      if (!F)
+        return usage();
+      Opts.DumpDir = F;
+    } else if (A == "--stall-seconds") {
+      const char *S = NextArg();
+      if (!S)
+        return usage();
+      Opts.StallSeconds = std::atof(S);
+      if (Opts.StallSeconds <= 0) {
+        std::fprintf(stderr, "--stall-seconds %s: expected a positive "
+                             "number of seconds\n",
+                     S);
+        return 2;
+      }
     } else {
       return usage();
     }
   }
   if (ManifestPath.empty())
     return usage();
+
+  // Bundle manifests record how to rerun this exact service invocation.
+  for (int I = 0; I < argc; ++I) {
+    if (I)
+      Opts.ReplayBase += ' ';
+    Opts.ReplayBase += argv[I];
+  }
 
   if (!TraceOut.empty()) {
 #if SCAV_TRACE_COMPILED_IN
@@ -142,6 +170,8 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(S.Steps), S.Seconds, P99Us);
     if (!S.Ok)
       std::printf("     error: %s\n", S.Error.c_str());
+    if (!S.DumpPath.empty())
+      std::printf("     dump: %s\n", S.DumpPath.c_str());
   }
   std::printf("%zu sessions on %u workers in %.3fs: %.1f sessions/sec, "
               "%.3g steps/sec aggregate%s\n",

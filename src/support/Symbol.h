@@ -91,6 +91,14 @@ public:
     return Names[S.id()];
   }
 
+  /// Spelling for a raw id. Snapshot serialization (gc/Snapshot.cpp) walks
+  /// the whole table by id — ids are dense, so [0, size()) enumerates it.
+  std::string_view name(uint32_t Id) const {
+    std::lock_guard<std::mutex> L(Mu);
+    assert(Id < Names.size() && "invalid symbol id");
+    return Names[Id];
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> L(Mu);
     return Names.size();

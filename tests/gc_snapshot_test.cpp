@@ -1,0 +1,198 @@
+//===- tests/gc_snapshot_test.cpp - Snapshot format round-trips -----------===//
+//
+// The versioned snapshot format (gc/Snapshot.h, DESIGN.md §3.14): a
+// serialized machine state must load back diff-empty against itself, under
+// both heap layouts and all three language levels, through both the
+// in-memory bytes and the on-disk file path; a forced cross-layout load of
+// the same state must also diff empty (layout is representation, not
+// state); and loaded healthy states must still pass both checkers offline.
+// Malformed images must be rejected with a diagnostic, never crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorBasic.h"
+#include "gc/CollectorForward.h"
+#include "gc/CollectorGen.h"
+#include "gc/Snapshot.h"
+#include "harness/HeapForge.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+using namespace scav;
+using namespace scav::gc;
+using namespace scav::harness;
+
+namespace {
+
+struct CollectRig {
+  GcContext C;
+  std::unique_ptr<Machine> M;
+
+  CollectRig(LanguageLevel Level, HeapLayout Layout, size_t N) {
+    MachineConfig MC;
+    MC.Layout = Layout;
+    M = std::make_unique<Machine>(C, Level, MC);
+    Address GcAddr{};
+    switch (Level) {
+    case LanguageLevel::Base:
+      GcAddr = installBasicCollector(*M).Gc;
+      break;
+    case LanguageLevel::Forward:
+      GcAddr = installForwardCollector(*M).Gc;
+      break;
+    case LanguageLevel::Generational:
+      GcAddr = installGenCollector(*M).Gc;
+      break;
+    }
+    Region From = M->createRegion("from", 0);
+    Region Old = Level == LanguageLevel::Generational
+                     ? M->createRegion("old", 0)
+                     : From;
+    ForgedHeap H = forgeList(*M, From, Old, N);
+    Address Fin = installFinisher(*M, H.Tag);
+    M->start(collectOnceTerm(*M, GcAddr, H, From, Old, Fin));
+  }
+};
+
+constexpr LanguageLevel AllLevels[] = {LanguageLevel::Base,
+                                       LanguageLevel::Forward,
+                                       LanguageLevel::Generational};
+constexpr HeapLayout AllLayouts[] = {HeapLayout::Compact, HeapLayout::Legacy};
+
+std::unique_ptr<Snapshot>
+parseOk(const std::string &Bytes,
+        std::optional<HeapLayout> Force = std::nullopt) {
+  std::string Error;
+  std::unique_ptr<Snapshot> S = parseSnapshot(Bytes, Error, Force);
+  EXPECT_TRUE(S) << Error;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, RoundTripAllLevelsAllLayouts) {
+  for (LanguageLevel Level : AllLevels) {
+    for (HeapLayout Layout : AllLayouts) {
+      SCOPED_TRACE(std::string(languageLevelName(Level)) + "/" +
+                   (Layout == HeapLayout::Compact ? "compact" : "legacy"));
+      CollectRig Rig(Level, Layout, 8);
+      // Part-way into the collection, so the snapshot carries live
+      // mid-collection structure (forwarded cells, to-region contents).
+      for (int I = 0; I != 40 && Rig.M->status() == Machine::Status::Running;
+           ++I)
+        Rig.M->step();
+
+      std::string Bytes = serializeSnapshot(*Rig.M);
+      std::unique_ptr<Snapshot> A = parseOk(Bytes);
+      ASSERT_TRUE(A);
+      EXPECT_EQ(A->Level, Level);
+      EXPECT_EQ(A->Layout, Layout);
+      EXPECT_EQ(A->Steps, Rig.M->stats().Steps);
+
+      // Serialization is deterministic, and a loaded snapshot diffs empty
+      // against an independently loaded copy of itself.
+      EXPECT_EQ(Bytes, serializeSnapshot(*Rig.M));
+      std::unique_ptr<Snapshot> B = parseOk(Bytes);
+      ASSERT_TRUE(B);
+      EXPECT_EQ(diffSnapshots(*A, *B), "");
+
+      // Healthy state: both checkers accept offline.
+      StateCheckResult Full = recheckSnapshot(*A);
+      EXPECT_TRUE(Full.Ok) << Full.Error;
+      StateCheckResult Inc = recheckSnapshotIncremental(*A);
+      EXPECT_TRUE(Inc.Ok) << Inc.Error;
+    }
+  }
+}
+
+TEST(Snapshot, CrossLayoutLoadDiffsEmpty) {
+  for (LanguageLevel Level : AllLevels) {
+    SCOPED_TRACE(languageLevelName(Level));
+    CollectRig Rig(Level, HeapLayout::Compact, 6);
+    for (int I = 0; I != 25 && Rig.M->status() == Machine::Status::Running;
+         ++I)
+      Rig.M->step();
+    std::string Bytes = serializeSnapshot(*Rig.M);
+
+    std::unique_ptr<Snapshot> Native = parseOk(Bytes);
+    std::unique_ptr<Snapshot> Forced = parseOk(Bytes, HeapLayout::Legacy);
+    ASSERT_TRUE(Native && Forced);
+    EXPECT_EQ(Native->Layout, HeapLayout::Compact);
+    EXPECT_EQ(Forced->Layout, HeapLayout::Legacy);
+    // Layout is representation, not state: same cells, empty diff.
+    EXPECT_EQ(diffSnapshots(*Native, *Forced), "");
+    // And the re-encoded heap still checks.
+    StateCheckResult R = recheckSnapshot(*Forced);
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+TEST(Snapshot, DiffReportsDivergence) {
+  CollectRig Rig(LanguageLevel::Base, HeapLayout::Compact, 6);
+  for (int I = 0; I != 10; ++I)
+    Rig.M->step();
+  std::unique_ptr<Snapshot> A = parseOk(serializeSnapshot(*Rig.M));
+  for (int I = 0; I != 6 && Rig.M->status() == Machine::Status::Running; ++I)
+    Rig.M->step();
+  std::unique_ptr<Snapshot> B = parseOk(serializeSnapshot(*Rig.M));
+  ASSERT_TRUE(A && B);
+  std::string D = diffSnapshots(*A, *B);
+  EXPECT_NE(D, "");
+  EXPECT_NE(D.find("steps"), std::string::npos) << D;
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  CollectRig Rig(LanguageLevel::Forward, HeapLayout::Compact, 5);
+  for (int I = 0; I != 15; ++I)
+    Rig.M->step();
+  std::string Path =
+      (std::filesystem::temp_directory_path() / "scav_snapshot_test.scavsnap")
+          .string();
+  SnapshotMeta Meta;
+  Meta.Kind = "manual";
+  Meta.RestrictToReachable = true;
+  std::string Error;
+  ASSERT_TRUE(saveSnapshot(*Rig.M, Meta, Path, Error)) << Error;
+  std::unique_ptr<Snapshot> S = loadSnapshot(Path, Error);
+  ASSERT_TRUE(S) << Error;
+  EXPECT_EQ(S->Meta.Kind, "manual");
+  EXPECT_TRUE(S->Meta.RestrictToReachable);
+  std::unique_ptr<Snapshot> InMem = parseOk(serializeSnapshot(*Rig.M, Meta));
+  ASSERT_TRUE(InMem);
+  EXPECT_EQ(diffSnapshots(*S, *InMem), "");
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed images
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, RejectsMalformedImages) {
+  CollectRig Rig(LanguageLevel::Base, HeapLayout::Compact, 3);
+  std::string Bytes = serializeSnapshot(*Rig.M);
+
+  std::string Error;
+  EXPECT_FALSE(parseSnapshot("", Error));
+  EXPECT_FALSE(Error.empty());
+
+  std::string BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(parseSnapshot(BadMagic, Error));
+
+  // Truncation at any point must be a clean parse failure, not a crash.
+  for (size_t Cut : {size_t(4), size_t(16), Bytes.size() / 2,
+                     Bytes.size() - 1})
+    EXPECT_FALSE(parseSnapshot(std::string_view(Bytes).substr(0, Cut), Error))
+        << "cut=" << Cut;
+
+  // Trailing garbage is also malformed (the format is self-delimiting).
+  EXPECT_FALSE(parseSnapshot(Bytes + "x", Error));
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/serve_watchdog_test.cpp - Watchdog stall detection -----------===//
+//
+// The per-session watchdog (serve/Serve.h, DESIGN.md §3.14) under an
+// injectable clock: a session wedged by the stall-at-step fault-injection
+// knob must be aborted once its heartbeat stops for StallSeconds of
+// (virtual) time, write a "stall" dump bundle, and be counted in the
+// aggregate `serve.stalled` counter — while a healthy session running next
+// to it finishes untouched. Clock time is advanced by the test, so no
+// test-suite wall-clock seconds are burned waiting for a real stall.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+
+using namespace scav;
+using namespace scav::serve;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A deterministic clock for the watchdog: every sample advances virtual
+/// time by one second, so "stalled for 3 seconds" is observed after a
+/// handful of (real-time ~10ms) polls.
+std::function<double()> tickingClock() {
+  auto T = std::make_shared<std::atomic<uint64_t>>(0);
+  return [T]() { return static_cast<double>(T->fetch_add(1)); };
+}
+
+fs::path freshDumpDir(const char *Name) {
+  fs::path Dir = fs::temp_directory_path() / Name;
+  fs::remove_all(Dir);
+  return Dir;
+}
+
+TEST(ServeWatchdog, StalledSessionIsAbortedAndDumped) {
+  Manifest M;
+  std::string Err;
+  // Session 0 is healthy; session 1 wedges its step loop at step 3 until
+  // aborted. stall-at-step is a manifest key like any other.
+  ASSERT_TRUE(parseManifest("gen-seed=1\n"
+                            "gen-seed=1 stall-at-step=3\n",
+                            "", M, Err))
+      << Err;
+  ASSERT_EQ(M.Sessions.size(), 2u);
+  EXPECT_EQ(M.Sessions[1].StallAtStep, 3u);
+
+  fs::path Dir = freshDumpDir("scav_watchdog_test");
+  ServeOptions Opts;
+  Opts.Workers = 2;
+  Opts.StallSeconds = 3;
+  Opts.DumpDir = Dir.string();
+  Opts.ReplayBase = "certgc_serve --manifest watchdog.manifest";
+  Opts.Clock = tickingClock();
+
+  ServeReport Rep = runSessions(M, Opts);
+  ASSERT_EQ(Rep.Sessions.size(), 2u);
+  EXPECT_FALSE(Rep.AllOk);
+
+  const SessionResult &Healthy = Rep.Sessions[0];
+  EXPECT_TRUE(Healthy.Ok) << Healthy.Error;
+  EXPECT_FALSE(Healthy.Stalled);
+  EXPECT_EQ(Healthy.DumpPath, "");
+
+  const SessionResult &Stalled = Rep.Sessions[1];
+  EXPECT_FALSE(Stalled.Ok);
+  EXPECT_TRUE(Stalled.Stalled);
+  EXPECT_NE(Stalled.Error.find("session aborted"), std::string::npos)
+      << Stalled.Error;
+  EXPECT_NE(Stalled.Error.find("watchdog stall"), std::string::npos)
+      << Stalled.Error;
+
+  // The session's own thread wrote a full bundle under its private
+  // subdirectory.
+  ASSERT_NE(Stalled.DumpPath, "");
+  fs::path Bundle(Stalled.DumpPath);
+  EXPECT_NE(Bundle.string().find((Dir / "s1").string()), std::string::npos)
+      << Bundle;
+  EXPECT_TRUE(fs::exists(Bundle / "snapshot.scavsnap"));
+  EXPECT_TRUE(fs::exists(Bundle / "MANIFEST.txt"));
+  EXPECT_TRUE(fs::exists(Bundle / "metrics.json"));
+  EXPECT_TRUE(fs::exists(Bundle / "replay.txt"));
+
+  // Aggregate accounting: exactly one stall, and per-session heartbeat
+  // gauges exist for both sessions.
+  EXPECT_EQ(Rep.Aggregate.counter("serve.stalled"), 1u);
+  EXPECT_GT(Rep.Aggregate.gauge("serve.heartbeat.s0"), 0.0);
+  EXPECT_GT(Rep.Aggregate.gauge("serve.heartbeat.s1"), 0.0);
+
+  fs::remove_all(Dir);
+}
+
+TEST(ServeWatchdog, HealthySessionsNeverFire) {
+  Manifest M;
+  std::string Err;
+  ASSERT_TRUE(parseManifest("gen-seed=1\ngen-seed=2\n", "", M, Err)) << Err;
+
+  fs::path Dir = freshDumpDir("scav_watchdog_ok_test");
+  ServeOptions Opts;
+  Opts.Workers = 2;
+  Opts.StallSeconds = 1000; // armed, but far beyond any real runtime
+  Opts.DumpDir = Dir.string();
+  Opts.Clock = tickingClock();
+
+  ServeReport Rep = runSessions(M, Opts);
+  EXPECT_TRUE(Rep.AllOk);
+  for (const SessionResult &S : Rep.Sessions) {
+    EXPECT_FALSE(S.Stalled);
+    EXPECT_EQ(S.DumpPath, "");
+  }
+  EXPECT_EQ(Rep.Aggregate.counter("serve.stalled"), 0u);
+  fs::remove_all(Dir);
+}
+
+TEST(ServeWatchdog, ManifestRejectsBadStallAtStep) {
+  Manifest M;
+  std::string Err;
+  EXPECT_FALSE(parseManifest("gen-seed=1 stall-at-step=pony\n", "", M, Err));
+  EXPECT_NE(Err.find("line 1"), std::string::npos) << Err;
+}
+
+} // namespace
